@@ -1,0 +1,355 @@
+(* Regenerates every table and figure of the paper's evaluation:
+
+     table1 / fig16  — optimization comparison, parallel tasks (§4.2)
+     table2 / fig17  — optimization comparison, concurrent tasks (§4.3)
+     table3          — language characteristics (§5.1)
+     table4 / fig18  — language comparison, parallel tasks (§5.2.1)
+     fig19           — speedup curves (§5.2.2; simulated, see DESIGN.md)
+     table5 / fig20  — language comparison, concurrent tasks (§5.3)
+     summary         — geometric means (§4.4, §5.4)
+     eve             — EVE retrofit (§4.5)
+     micro           — Bechamel micro-benchmarks of the runtime primitives
+
+   Measured rows run at a container-sized scale (see --scale/--nr/...);
+   paper rows are printed alongside for shape comparison. *)
+
+module H = Qs_benchmarks.Harness
+module Report = Qs_benchmarks.Report
+module PD = Qs_benchmarks.Paper_data
+
+let all_artifacts =
+  [
+    "table1"; "fig16"; "table2"; "fig17"; "table3"; "table4"; "fig18";
+    "fig19"; "table5"; "fig20"; "summary"; "eve"; "switches"; "micro";
+  ]
+
+(* §4.3 attributes the QoQ gains to "fewer context switches, since the
+   private queues require only one context switch to wait for a query to
+   return" vs three for the lock-based runtime.  The scheduler counters
+   measure this directly: run a query-heavy workload under each
+   configuration and report fiber dispatches and handoffs per query. *)
+let switches (s : H.scale) =
+  print_newline ();
+  print_endline
+    "§4.3 — context-switch accounting: scheduler counters for a \
+     query-heavy workload (per query round)";
+  print_endline (String.make 72 '-');
+  Printf.printf "%-10s %12s %12s %12s %12s\n" "config" "dispatches" "handoffs"
+    "steals" "parks";
+  let rounds = max 200 (s.H.m / 4) and clients = 8 in
+  List.iter
+    (fun config ->
+      let captured = ref None in
+      Scoop.Runtime.run ~domains:s.H.domains ~config
+        ~on_counters:(fun c -> captured := Some c)
+        (fun rt ->
+          let h = Scoop.Runtime.processor rt in
+          let cell = Scoop.Shared.create h (ref 0) in
+          let latch = Qs_sched.Latch.create clients in
+          for _ = 1 to clients do
+            Qs_sched.Sched.spawn (fun () ->
+              for _ = 1 to rounds do
+                Scoop.Runtime.separate rt h (fun reg ->
+                  Scoop.Shared.apply reg cell incr;
+                  ignore (Scoop.Shared.get reg cell (fun r -> !r) : int))
+              done;
+              Qs_sched.Latch.count_down latch)
+          done;
+          Qs_sched.Latch.wait latch);
+      match !captured with
+      | Some c ->
+        let per = float_of_int (clients * rounds) in
+        Printf.printf "%-10s %12.2f %12.2f %12.2f %12.2f\n"
+          config.Scoop.Config.name
+          (float_of_int c.Qs_sched.Sched.c_executed /. per)
+          (float_of_int c.Qs_sched.Sched.c_handoffs /. per)
+          (float_of_int c.Qs_sched.Sched.c_steals /. per)
+          (float_of_int c.Qs_sched.Sched.c_parks /. per)
+      | None -> ())
+    Scoop.Config.presets
+
+let fig19 () =
+  print_newline ();
+  print_endline
+    "Fig. 19 — speedup over single-core performance (simulated from the \
+     calibrated model; 1 physical core here, see DESIGN.md)";
+  print_endline (String.make 72 '-');
+  let cores = [ 1; 2; 4; 8; 16; 32 ] in
+  List.iter
+    (fun task ->
+      Printf.printf "%s:\n" task;
+      List.iter
+        (fun lang ->
+          match Qs_sim.Model.speedups ~task ~lang ~cores () with
+          | None -> ()
+          | Some curve ->
+            Printf.printf "  %-8s" lang;
+            List.iter (fun (c, s) -> Printf.printf "  %2d:%5.1fx" c s) curve;
+            print_newline ())
+        PD.languages;
+      (* compute-only curves, as in the paper's figure *)
+      List.iter
+        (fun lang ->
+          match
+            Qs_sim.Model.speedups ~variant:`Compute ~task ~lang ~cores ()
+          with
+          | None -> ()
+          | Some curve ->
+            Printf.printf "  %-8s" (lang ^ " (C)");
+            List.iter (fun (c, s) -> Printf.printf "  %2d:%5.1fx" c s) curve;
+            print_newline ())
+        PD.languages)
+    PD.parallel_tasks
+
+let table4_simulated () =
+  print_newline ();
+  print_endline
+    "Fig. 18 / Table 4 — simulated 32-core totals from the calibrated model";
+  print_endline (String.make 72 '-');
+  Printf.printf "%-22s" "";
+  List.iter (fun l -> Printf.printf "%10s" l) PD.languages;
+  print_newline ();
+  List.iter
+    (fun task ->
+      Printf.printf "%-22s" task;
+      List.iter
+        (fun lang ->
+          match Qs_sim.Model.predict ~task ~lang ~cores:32 () with
+          | Some t -> Printf.printf "%10.2f" t
+          | None -> Printf.printf "%10s" "-")
+        PD.languages;
+      print_newline ())
+    PD.parallel_tasks
+
+(* -- Bechamel micro-suite: one Test.make per table ------------------------- *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  print_newline ();
+  print_endline "Bechamel micro-benchmarks (ns/run, OLS estimate)";
+  print_endline (String.make 72 '-');
+  (* table1's primitive: one pulled element through a SCOOP query. *)
+  let t_table1 =
+    Test.make ~name:"table1:query-pull-100"
+      (Staged.stage (fun () ->
+         Scoop.Runtime.run ~domains:1 (fun rt ->
+           let h = Scoop.Runtime.processor rt in
+           let data = Scoop.Shared.create h (Array.init 100 Fun.id) in
+           Scoop.Runtime.separate rt h (fun reg ->
+             let acc = ref 0 in
+             for i = 0 to 99 do
+               acc := !acc + Scoop.Shared.get reg data (fun a -> a.(i))
+             done;
+             !acc))))
+  in
+  (* table2's primitive: reservation + one asynchronous call. *)
+  let t_table2 =
+    Test.make ~name:"table2:separate-call-100"
+      (Staged.stage (fun () ->
+         Scoop.Runtime.run ~domains:1 (fun rt ->
+           let h = Scoop.Runtime.processor rt in
+           let cell = Scoop.Shared.create h (ref 0) in
+           for _ = 1 to 100 do
+             Scoop.Runtime.separate rt h (fun reg ->
+               Scoop.Shared.apply reg cell incr)
+           done)))
+  in
+  (* table4's primitive: the fiber spawn/join cycle every paradigm uses. *)
+  let t_table4 =
+    Test.make ~name:"table4:spawn-join-100"
+      (Staged.stage (fun () ->
+         Qs_sched.Sched.run ~domains:1 (fun () ->
+           let latch = Qs_sched.Latch.create 100 in
+           for _ = 1 to 100 do
+             Qs_sched.Sched.spawn (fun () -> Qs_sched.Latch.count_down latch)
+           done;
+           Qs_sched.Latch.wait latch)))
+  in
+  (* table5's primitive: one STM transaction vs one channel rendezvous. *)
+  let t_table5 =
+    Test.make ~name:"table5:stm-incr-100"
+      (Staged.stage (fun () ->
+         Qs_sched.Sched.run ~domains:1 (fun () ->
+           let v = Qs_stm.Stm.make 0 in
+           for _ = 1 to 100 do
+             Qs_stm.Stm.update v succ
+           done)))
+  in
+  (* Ablations for the queue design choices DESIGN.md calls out: the
+     private-queue backing store (unbounded linked SPSC vs bounded ring)
+     and the queue-of-queues structure (specialized MPSC vs generic
+     Michael–Scott MPMC). *)
+  let t_spsc_linked =
+    Test.make ~name:"ablation:spsc-linked-1000"
+      (Staged.stage (fun () ->
+         let q = Qs_queues.Spsc_queue.create () in
+         for i = 1 to 1000 do
+           Qs_queues.Spsc_queue.push q i
+         done;
+         for _ = 1 to 1000 do
+           ignore (Qs_queues.Spsc_queue.pop q : int option)
+         done))
+  in
+  let t_spsc_ring =
+    Test.make ~name:"ablation:spsc-ring-1000"
+      (Staged.stage (fun () ->
+         let q = Qs_queues.Spsc_ring.create ~capacity_pow2:10 () in
+         for i = 1 to 1000 do
+           ignore (Qs_queues.Spsc_ring.try_push q i : bool)
+         done;
+         for _ = 1 to 1000 do
+           ignore (Qs_queues.Spsc_ring.pop q : int option)
+         done))
+  in
+  let t_mpsc =
+    Test.make ~name:"ablation:qoq-mpsc-1000"
+      (Staged.stage (fun () ->
+         let q = Qs_queues.Mpsc_queue.create () in
+         for i = 1 to 1000 do
+           Qs_queues.Mpsc_queue.push q i
+         done;
+         for _ = 1 to 1000 do
+           ignore (Qs_queues.Mpsc_queue.pop q : int option)
+         done))
+  in
+  let t_mpmc =
+    Test.make ~name:"ablation:qoq-mpmc-1000"
+      (Staged.stage (fun () ->
+         let q = Qs_queues.Mpmc_queue.create () in
+         for i = 1 to 1000 do
+           Qs_queues.Mpmc_queue.push q i
+         done;
+         for _ = 1 to 1000 do
+           ignore (Qs_queues.Mpmc_queue.pop q : int option)
+         done))
+  in
+  (* §7 future work: what would socket-backed private queues cost?
+     Same 1000-message stream through the marshalling socket transport
+     vs. the in-memory SPSC queue (compare with ablation:spsc-linked). *)
+  let t_socket =
+    Test.make ~name:"transport:socket-queue-1000"
+      (Staged.stage (fun () ->
+         Qs_sched.Sched.run ~domains:1 (fun () ->
+           let q = Qs_remote.Socket_queue.create () in
+           Fun.protect
+             ~finally:(fun () -> Qs_remote.Socket_queue.destroy q)
+             (fun () ->
+               Qs_sched.Sched.spawn (fun () ->
+                 for i = 1 to 1000 do
+                   Qs_remote.Socket_queue.enqueue q i
+                 done;
+                 Qs_remote.Socket_queue.close_writer q);
+               let rec drain () =
+                 match Qs_remote.Socket_queue.dequeue q with
+                 | Some _ -> drain ()
+                 | None -> ()
+               in
+               drain ()))))
+  in
+  let test =
+    Test.make_grouped ~name:"qs" ~fmt:"%s:%s"
+      [
+        t_table1; t_table2; t_table4; t_table5; t_spsc_linked; t_spsc_ring;
+        t_mpsc; t_mpmc; t_socket;
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~stabilize:true ~quota:(Time.second 0.5) ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Printf.printf "%-32s %12.0f ns/run\n" name est
+      | _ -> Printf.printf "%-32s (no estimate)\n" name)
+    results
+
+(* -- driver ----------------------------------------------------------------- *)
+
+let run scale only =
+  let want name = only = [] || List.mem name only in
+  let par_opt = lazy (H.optimization_parallel scale) in
+  let conc_opt = lazy (H.optimization_concurrent scale) in
+  if want "table1" then Report.table1 (Lazy.force par_opt);
+  if want "fig16" then Report.fig16 (Lazy.force par_opt);
+  if want "table2" || want "fig17" then Report.table2 (Lazy.force conc_opt);
+  if want "table3" then Report.table3 ();
+  if want "table4" || want "fig18" then begin
+    Report.table4 (H.language_parallel scale);
+    table4_simulated ()
+  end;
+  if want "fig19" then fig19 ();
+  if want "table5" || want "fig20" then Report.table5 (H.language_concurrent scale);
+  if want "summary" then begin
+    Report.geomeans_44
+      (H.optimization_geomeans ~parallel:(Lazy.force par_opt)
+         ~concurrent:(Lazy.force conc_opt));
+    let par_langs = H.language_parallel scale in
+    let conc_langs = H.language_concurrent scale in
+    Report.geomeans_langs
+      ~title:"§5.2.1 — parallel total-time geometric means (seconds)"
+      ~paper:PD.parallel_total_geomeans
+      (H.language_geomeans par_langs);
+    Report.geomeans_langs
+      ~title:"§5.3 — concurrent geometric means (seconds)"
+      ~paper:PD.concurrent_geomeans
+      (H.language_geomeans conc_langs);
+    Report.geomeans_langs
+      ~title:"§5.4 — overall geometric means (seconds)"
+      ~paper:PD.overall_geomeans
+      (H.language_geomeans (par_langs @ conc_langs))
+  end;
+  if want "eve" then Report.eve (H.eve_experiment scale);
+  if want "switches" then switches scale;
+  if want "micro" then micro ()
+
+open Cmdliner
+
+let scale_term =
+  let base =
+    Arg.(
+      value
+      & opt (enum [ ("default", H.default); ("tiny", H.tiny) ]) H.default
+      & info [ "scale" ] ~doc:"Problem scale preset (default or tiny).")
+  in
+  let nr = Arg.(value & opt (some int) None & info [ "nr" ] ~doc:"Matrix size.") in
+  let m = Arg.(value & opt (some int) None & info [ "m" ] ~doc:"Concurrent iterations.") in
+  let nt = Arg.(value & opt (some int) None & info [ "nt" ] ~doc:"Threadring passes.") in
+  let nc = Arg.(value & opt (some int) None & info [ "nc" ] ~doc:"Chameneos meetings.") in
+  let reps = Arg.(value & opt (some int) None & info [ "reps" ] ~doc:"Repetitions (median).") in
+  let domains = Arg.(value & opt (some int) None & info [ "domains" ] ~doc:"Scheduler domains.") in
+  let workers = Arg.(value & opt (some int) None & info [ "workers" ] ~doc:"Data-parallel workers.") in
+  let build base nr m nt nc reps domains workers =
+    let s = base in
+    let s = match nr with Some v -> { s with H.nr = v; nw = v } | None -> s in
+    let s = match m with Some v -> { s with H.m = v } | None -> s in
+    let s = match nt with Some v -> { s with H.nt = v } | None -> s in
+    let s = match nc with Some v -> { s with H.nc = v } | None -> s in
+    let s = match reps with Some v -> { s with H.reps = v } | None -> s in
+    let s = match domains with Some v -> { s with H.domains = v } | None -> s in
+    let s = match workers with Some v -> { s with H.workers = v } | None -> s in
+    s
+  in
+  Term.(const build $ base $ nr $ m $ nt $ nc $ reps $ domains $ workers)
+
+let only_term =
+  Arg.(
+    value & opt_all (enum (List.map (fun a -> (a, a)) all_artifacts)) []
+    & info [ "only" ]
+        ~doc:"Regenerate only the given artifact (repeatable). One of: table1 \
+              fig16 table2 fig17 table3 table4 fig18 fig19 table5 fig20 \
+              summary eve micro.")
+
+let cmd =
+  let doc = "Regenerate every table and figure of the SCOOP/Qs evaluation" in
+  Cmd.v
+    (Cmd.info "qs-bench" ~doc)
+    Term.(const run $ scale_term $ only_term)
+
+let () = exit (Cmd.eval cmd)

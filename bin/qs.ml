@@ -1,0 +1,268 @@
+(* Command-line companion tool:
+
+     qs explore <fig1|fig5|fig5-nested|fig6|fig6-queries|fig6-queries-outer>
+         — exhaustively explore a paper example under a chosen semantics,
+           reporting interleavings, deadlocks and guarantee checks.
+     qs syncopt [kernel]
+         — run the static sync-coalescing pass on the named kernel CFG
+           (default: all) and print the removals.
+     qs sim [--task t] [--lang l]
+         — print simulated scalability curves from the calibrated model.
+     qs demo
+         — a small end-to-end SCOOP program with runtime statistics. *)
+
+open Cmdliner
+
+(* -- explore ---------------------------------------------------------------- *)
+
+let programs =
+  [
+    ("fig1", Qs_semantics.Examples.fig1);
+    ("fig5", Qs_semantics.Examples.fig5);
+    ("fig5-nested", Qs_semantics.Examples.fig5_nested);
+    ("fig6", Qs_semantics.Examples.fig6);
+    ("fig6-queries", Qs_semantics.Examples.fig6_queries);
+    ("fig6-queries-outer", Qs_semantics.Examples.fig6_queries_outer);
+  ]
+
+let modes =
+  [
+    ("qs", Qs_semantics.Step.qs);
+    ("qs-client-exec", Qs_semantics.Step.qs_client_exec);
+    ("original", Qs_semantics.Step.original);
+  ]
+
+let explore name mode_name =
+  let program = List.assoc name programs in
+  let mode = List.assoc mode_name modes in
+  let module E = Qs_semantics.Explore in
+  let stats = E.reachable mode program in
+  Printf.printf "program %s under %s semantics:\n" name mode_name;
+  Printf.printf "  reachable states: %d%s\n" stats.E.states
+    (if stats.E.truncated then " (truncated)" else "");
+  Printf.printf "  terminal states:  %d\n" (List.length stats.E.terminals);
+  Printf.printf "  deadlock states:  %d\n" (List.length stats.E.deadlocks);
+  (match stats.E.deadlocks with
+  | d :: _ ->
+    Format.printf "  a deadlocked configuration:@.%a@." Qs_semantics.State.pp d
+  | [] -> ());
+  let traces, truncated =
+    E.observable_traces mode program
+      ~filter:(E.on_handler Qs_semantics.Examples.x)
+  in
+  Printf.printf "  distinct action orders on handler x: %d%s\n"
+    (List.length traces)
+    (if truncated then " (truncated)" else "");
+  List.iter (fun tr -> Printf.printf "    [%s]\n" (String.concat "; " tr)) traces;
+  let violation, runs, _ = Qs_semantics.Guarantees.check_program mode program in
+  (match violation with
+  | None -> Printf.printf "  guarantee 2 holds over %d complete runs\n" runs
+  | Some (_, v) ->
+    Format.printf "  GUARANTEE VIOLATION: %a@." Qs_semantics.Guarantees.pp_violation v)
+
+(* -- syncopt ---------------------------------------------------------------- *)
+
+let syncopt name =
+  let kernels =
+    match name with
+    | None -> Qs_syncopt.Kernels.all
+    | Some n -> (
+      match List.assoc_opt n Qs_syncopt.Kernels.all with
+      | Some k -> [ (n, k) ]
+      | None ->
+        Printf.eprintf "qs: unknown kernel %S; available: %s\n" n
+          (String.concat ", " (List.map fst Qs_syncopt.Kernels.all));
+        exit 1)
+  in
+  List.iter
+    (fun (n, k) ->
+      let cfg = k () in
+      Printf.printf "== %s ==\n" n;
+      Format.printf "%a" Qs_syncopt.Cfg.pp cfg;
+      let report = Qs_syncopt.Pass.run cfg in
+      Format.printf "%a@." Qs_syncopt.Pass.pp_report report)
+    kernels
+
+(* -- sim --------------------------------------------------------------------- *)
+
+let sim task lang =
+  let tasks =
+    match task with
+    | Some t -> [ t ]
+    | None -> Qs_benchmarks.Paper_data.parallel_tasks
+  in
+  let langs =
+    match lang with
+    | Some l -> [ l ]
+    | None -> Qs_benchmarks.Paper_data.languages
+  in
+  let cores = [ 1; 2; 4; 8; 16; 32 ] in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun l ->
+          match Qs_sim.Model.speedups ~task:t ~lang:l ~cores () with
+          | None -> ()
+          | Some curve ->
+            Printf.printf "%-8s %-8s" t l;
+            List.iter (fun (c, s) -> Printf.printf "  %2d:%5.1fx" c s) curve;
+            print_newline ())
+        langs)
+    tasks
+
+(* -- demo --------------------------------------------------------------------- *)
+
+let demo trace_flag =
+  let stats =
+    Scoop.Runtime.run ~domains:1 ~trace:trace_flag (fun rt ->
+      let account = Scoop.Runtime.processor rt in
+      let balance = Scoop.Shared.create account (ref 100) in
+      let tellers = 4 and deposits = 1000 in
+      let latch = Qs_sched.Latch.create tellers in
+      for _ = 1 to tellers do
+        Qs_sched.Sched.spawn (fun () ->
+          for _ = 1 to deposits do
+            Scoop.Runtime.separate rt account (fun reg ->
+              Scoop.Shared.apply reg balance (fun b -> b := !b + 1))
+          done;
+          Qs_sched.Latch.count_down latch)
+      done;
+      Qs_sched.Latch.wait latch;
+      let final =
+        Scoop.Runtime.separate rt account (fun reg ->
+          Scoop.Shared.get reg balance (fun b -> !b))
+      in
+      Printf.printf "final balance: %d (expected %d)\n" final
+        (100 + (tellers * deposits));
+      (match Scoop.Runtime.trace rt with
+      | Some tr ->
+        Format.printf "detailed trace (§7 instrumentation):@.%a@."
+          Scoop.Trace.pp_summary (Scoop.Trace.summarize tr)
+      | None -> ());
+      Scoop.Stats.snapshot (Scoop.Runtime.stats rt))
+  in
+  Format.printf "runtime statistics:@.%a@." Scoop.Stats.pp_snapshot stats
+
+(* -- lang --------------------------------------------------------------------- *)
+
+let lang_checked optimize explore_flag domains program =
+  if optimize then
+    List.iter
+      (fun r -> Format.printf "%a@." Qs_lang.Lang.Codegen.pp_report r)
+      (Qs_lang.Lang.Codegen.optimize program)
+  else if explore_flag then begin
+    let stats = Qs_lang.Lang.To_semantics.explore program in
+    Printf.printf "reachable states: %d%s\n" stats.Qs_semantics.Explore.states
+      (if stats.Qs_semantics.Explore.truncated then " (truncated)" else "");
+    Printf.printf "deadlock states:  %d\n"
+      (List.length stats.Qs_semantics.Explore.deadlocks);
+    match stats.Qs_semantics.Explore.deadlocks with
+    | d :: _ -> Format.printf "%a@." Qs_semantics.State.pp d
+    | [] -> ()
+  end
+  else begin
+    let out = Qs_lang.Lang.Compile.run ~domains program in
+    List.iter
+      (fun (h, vars) ->
+        Printf.printf "%s: %s\n" h
+          (String.concat ", "
+             (List.map (fun (v, n) -> Printf.sprintf "%s = %d" v n) vars)))
+      out.Qs_lang.Compile.finals;
+    match out.Qs_lang.Compile.printed with
+    | [] -> ()
+    | printed ->
+      Printf.printf "printed: %s\n"
+        (String.concat ", " (List.map string_of_int printed))
+  end
+
+
+let lang file optimize explore_flag domains =
+  if optimize && explore_flag then begin
+    Printf.eprintf "qs: --optimize and --explore are mutually exclusive\n";
+    exit 1
+  end;
+  let source =
+    try In_channel.with_open_text file In_channel.input_all
+    with Sys_error message ->
+      Printf.eprintf "qs: cannot read %s: %s\n" file message;
+      exit 1
+  in
+  let program =
+    try Qs_lang.Lang.parse source with
+    | Qs_lang.Lexer.Lex_error { line; message } ->
+      Printf.eprintf "%s:%d: lexical error: %s\n" file line message;
+      exit 1
+    | Qs_lang.Parser.Parse_error { line; message } ->
+      Printf.eprintf "%s:%d: parse error: %s\n" file line message;
+      exit 1
+  in
+  try lang_checked optimize explore_flag domains program with
+  | Qs_lang.Check.Check_error { client; message } ->
+    Printf.eprintf "%s: error in client %s: %s\n" file client message;
+    exit 1
+  | Qs_lang.To_semantics.Unsupported message ->
+    Printf.eprintf "%s: cannot explore: %s\n" file message;
+    exit 1
+
+(* -- CLI wiring ---------------------------------------------------------------- *)
+
+let explore_cmd =
+  let prog =
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun (n, _) -> (n, n)) programs))) None
+      & info [] ~docv:"PROGRAM")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum (List.map (fun (n, _) -> (n, n)) modes)) "qs"
+      & info [ "semantics" ] ~doc:"Rule set: qs, qs-client-exec or original.")
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc:"Exhaustively explore a paper example program")
+    Term.(const explore $ prog $ mode)
+
+let syncopt_cmd =
+  let kernel =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"KERNEL")
+  in
+  Cmd.v
+    (Cmd.info "syncopt" ~doc:"Run the static sync-coalescing pass on a kernel")
+    Term.(const syncopt $ kernel)
+
+let sim_cmd =
+  let task = Arg.(value & opt (some string) None & info [ "task" ]) in
+  let lang = Arg.(value & opt (some string) None & info [ "lang" ]) in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Simulated speedup curves (Fig. 19)")
+    Term.(const sim $ task $ lang)
+
+let demo_cmd =
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Enable detailed event tracing.")
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Small end-to-end SCOOP program with statistics")
+    Term.(const demo $ trace)
+
+let lang_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let optimize =
+    Arg.(value & flag & info [ "optimize" ] ~doc:"Run the sync-coalescing pass.")
+  in
+  let explore =
+    Arg.(value & flag & info [ "explore" ] ~doc:"Exhaustively explore instead of running.")
+  in
+  let domains = Arg.(value & opt int 1 & info [ "domains" ]) in
+  Cmd.v
+    (Cmd.info "lang"
+       ~doc:"Run, optimize or explore a Quicksilver-mini (.scoop) program")
+    Term.(const lang $ file $ optimize $ explore $ domains)
+
+let () =
+  let doc = "SCOOP/Qs companion tool: semantics explorer, sync-coalescing pass, simulator" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "qs" ~doc)
+          [ explore_cmd; syncopt_cmd; sim_cmd; demo_cmd; lang_cmd ]))

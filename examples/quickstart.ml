@@ -1,0 +1,28 @@
+(* Quickstart: the SCOOP model in ten lines.
+
+   A processor (handler) owns a counter object.  Clients reserve the
+   handler with a separate block; inside it, [apply] logs asynchronous
+   calls and [get] issues a synchronous query.  The runtime guarantees
+   (paper §2.2) that the handler executes this client's calls in order,
+   with no other client's calls interleaved — so the query's result is
+   exactly what sequential reasoning predicts.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  Scoop.Runtime.run (fun rt ->
+    (* A handler and an object it owns. *)
+    let handler = Scoop.Runtime.processor rt in
+    let counter = Scoop.Shared.create handler (ref 0) in
+    (* separate handler do ... end *)
+    let observed =
+      Scoop.Runtime.separate rt handler (fun reg ->
+        for _ = 1 to 10 do
+          (* Asynchronous: returns immediately, executed by the handler. *)
+          Scoop.Shared.apply reg counter (fun c -> incr c)
+        done;
+        (* Synchronous query: waits until the ten calls above are done. *)
+        Scoop.Shared.get reg counter (fun c -> !c))
+    in
+    Printf.printf "counter after 10 asynchronous increments: %d\n" observed;
+    assert (observed = 10))

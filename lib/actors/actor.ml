@@ -1,0 +1,49 @@
+(* Erlang-style actors over scheduler fibers.
+
+   The comparator substrate for the paper's Erlang benchmarks (§5,
+   Table 3: non-shared memory, actor model).  The defining cost is
+   modelled faithfully: every [send] passes the message through the
+   actor's [copy] function, because Erlang processes share nothing —
+   "when data is sent between processes it is copied in its entirety".
+   Benchmarks supply a deep copy for their message type; coordination
+   benchmarks whose messages are immediate integers use [Fun.id] copies,
+   which is also what Erlang effectively does for small terms.
+
+   Mailboxes are unbounded blocking MPSC queues: any fiber may send, only
+   the actor receives (no selective receive — none of the paper's
+   benchmarks needs it). *)
+
+type 'a t = {
+  mailbox : 'a Qs_sched.Bqueue.Mpsc.t;
+  copy : 'a -> 'a;
+  done_ : unit Qs_sched.Ivar.t;
+}
+
+let spawn ?(copy = Fun.id) body =
+  let actor =
+    {
+      mailbox = Qs_sched.Bqueue.Mpsc.create ();
+      copy;
+      done_ = Qs_sched.Ivar.create ();
+    }
+  in
+  Qs_sched.Sched.spawn (fun () ->
+    Fun.protect
+      ~finally:(fun () -> Qs_sched.Ivar.fill actor.done_ ())
+      (fun () -> body actor));
+  actor
+
+let send actor msg = Qs_sched.Bqueue.Mpsc.enqueue actor.mailbox (actor.copy msg)
+
+let receive actor =
+  match Qs_sched.Bqueue.Mpsc.dequeue actor.mailbox with
+  | Some msg -> msg
+  | None -> failwith "Actor.receive: mailbox closed"
+
+let try_receive actor =
+  if Qs_sched.Bqueue.Mpsc.is_empty actor.mailbox then None
+  else Qs_sched.Bqueue.Mpsc.dequeue actor.mailbox
+
+let stop actor = Qs_sched.Bqueue.Mpsc.close actor.mailbox
+
+let join actor = Qs_sched.Ivar.read actor.done_

@@ -1,0 +1,28 @@
+(** Erlang-style actors: share-nothing fibers with copying message
+    passing (the Erlang comparator of the paper's §5 comparison).
+
+    The [copy] function given at {!spawn} is applied to every message on
+    {!send}, modelling Erlang's copy-on-send heaps; pass a deep copy for
+    mutable payloads. *)
+
+type 'a t
+
+val spawn : ?copy:('a -> 'a) -> ('a t -> unit) -> 'a t
+(** Start an actor running [body] (which receives its own handle for
+    [receive]).  [copy] defaults to the identity — appropriate only for
+    immutable messages. *)
+
+val send : 'a t -> 'a -> unit
+(** Copy the message into the actor's mailbox.  Never blocks. *)
+
+val receive : 'a t -> 'a
+(** Take the oldest message, blocking this actor's fiber while empty.
+    Only the actor itself may call this. *)
+
+val try_receive : 'a t -> 'a option
+
+val stop : 'a t -> unit
+(** Close the mailbox; a blocked {!receive} then fails. *)
+
+val join : 'a t -> unit
+(** Block until the actor's body has returned. *)

@@ -1,0 +1,102 @@
+(* Shared benchmark plumbing: timing records, range splitting, phase
+   accounting and aggregate statistics.
+
+   The paper distinguishes total from computation-only time for the
+   parallel benchmarks ("to separate computational effects from
+   communication effects"); [timings] carries both, with [comm] the
+   explicitly attributed communication share. *)
+
+type timings = {
+  total : float; (* seconds *)
+  compute : float;
+  comm : float;
+}
+
+let zero = { total = 0.0; compute = 0.0; comm = 0.0 }
+
+let now () = Unix.gettimeofday ()
+
+(* Accumulating phase timers: kernels mark each phase as computation or
+   communication; [finish] pins total to wall-clock. *)
+type phases = {
+  mutable p_compute : float;
+  mutable p_comm : float;
+  started : float;
+}
+
+let start_phases () = { p_compute = 0.0; p_comm = 0.0; started = now () }
+
+let compute_phase p f =
+  let t0 = now () in
+  let r = f () in
+  p.p_compute <- p.p_compute +. (now () -. t0);
+  r
+
+let comm_phase p f =
+  let t0 = now () in
+  let r = f () in
+  p.p_comm <- p.p_comm +. (now () -. t0);
+  r
+
+let finish_phases p =
+  { total = now () -. p.started; compute = p.p_compute; comm = p.p_comm }
+
+let timed f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+(* Split [n] items into [parts] contiguous ranges (lo, hi); empty input
+   yields no ranges. *)
+let split n parts =
+  if n <= 0 then []
+  else begin
+    let parts = max 1 (min n parts) in
+    let base = n / parts and extra = n mod parts in
+    List.init parts (fun i ->
+      let lo = (i * base) + min i extra in
+      let hi = lo + base + if i < extra then 1 else 0 in
+      (lo, hi))
+  end
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> invalid_arg "median: empty"
+  | sorted -> List.nth sorted (List.length sorted / 2)
+
+(* Median-by-total over repetitions of a benchmark thunk. *)
+let repeat ~reps f =
+  let results = List.init (max 1 reps) (fun _ -> f ()) in
+  let totals = List.map (fun t -> t.total) results in
+  let m = median totals in
+  (* Return the run whose total is the median. *)
+  List.find (fun t -> t.total = m) results
+
+let geomean = function
+  | [] -> invalid_arg "geomean: empty"
+  | xs ->
+    let n = float_of_int (List.length xs) in
+    exp (List.fold_left (fun acc x -> acc +. log (max x 1e-12)) 0.0 xs /. n)
+
+exception Validation_failed of string
+
+let validate name ~expected ~actual =
+  if expected <> actual then
+    raise
+      (Validation_failed
+         (Printf.sprintf "%s: expected %s, got %s" name expected actual))
+
+let validate_int name ~expected ~actual =
+  validate name ~expected:(string_of_int expected)
+    ~actual:(string_of_int actual)
+
+let validate_float name ~expected ~actual =
+  let close =
+    expected = actual
+    || abs_float (expected -. actual)
+       <= 1e-6 *. (1.0 +. abs_float expected +. abs_float actual)
+  in
+  if not close then
+    raise
+      (Validation_failed
+         (Printf.sprintf "%s: expected %.9g, got %.9g" name expected actual))

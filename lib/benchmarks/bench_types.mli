@@ -1,0 +1,36 @@
+(** Shared benchmark plumbing: timings, phases, splitting, statistics. *)
+
+type timings = {
+  total : float;
+  compute : float;
+  comm : float;
+}
+
+val zero : timings
+val now : unit -> float
+
+(** Phase accounting: attribute regions of a run to computation or
+    communication (paper §5.2 distinguishes the two). *)
+type phases
+
+val start_phases : unit -> phases
+val compute_phase : phases -> (unit -> 'a) -> 'a
+val comm_phase : phases -> (unit -> 'a) -> 'a
+val finish_phases : phases -> timings
+
+val timed : (unit -> 'a) -> 'a * float
+
+val split : int -> int -> (int * int) list
+(** [split n parts] divides [0, n) into contiguous [(lo, hi)] ranges. *)
+
+val median : float list -> float
+val repeat : reps:int -> (unit -> timings) -> timings
+(** Run [reps] times, return the run with the median total. *)
+
+val geomean : float list -> float
+
+exception Validation_failed of string
+
+val validate : string -> expected:string -> actual:string -> unit
+val validate_int : string -> expected:int -> actual:int -> unit
+val validate_float : string -> expected:float -> actual:float -> unit

@@ -1,0 +1,226 @@
+(* The coordination benchmarks in Erlang style — every piece of shared
+   state is owned by a server actor; clients are actors exchanging
+   request/reply messages (paper §5.3).  Coordination messages are small
+   immutable values, so the copy-on-send is the identity, as it
+   effectively is for small terms in Erlang. *)
+
+module B = Bench_types
+module A = Qs_actors.Actor
+
+let timed_run ~domains main =
+  Qs_sched.Sched.run ~domains (fun () ->
+    let ph = B.start_phases () in
+    B.compute_phase ph (fun () -> main ());
+    B.finish_phases ph)
+
+(* Counter server: n clients send increment requests and await the ack. *)
+let mutex ~domains ~n ~m =
+  timed_run ~domains (fun () ->
+    let counter = ref 0 in
+    let server =
+      A.spawn (fun self ->
+        for _ = 1 to n * m do
+          let (reply : int A.t) = A.receive self in
+          incr counter;
+          A.send reply !counter
+        done)
+    in
+    let latch = Qs_sched.Latch.create n in
+    for _ = 1 to n do
+      ignore
+        (A.spawn (fun self ->
+           for _ = 1 to m do
+             A.send server self;
+             ignore (A.receive self : int)
+           done;
+           Qs_sched.Latch.count_down latch)
+          : int A.t)
+    done;
+    Qs_sched.Latch.wait latch;
+    A.join server;
+    B.validate_int "mutex/actors" ~expected:(n * m) ~actual:!counter)
+
+type 'reply buffer_msg =
+  | Push of int
+  | Pop of 'reply
+
+(* Queue server with Erlang-style pending receivers: a Pop on an empty
+   queue is parked inside the server until a Push arrives (what selective
+   receive gives Erlang for free). *)
+let prodcons ~domains ~n ~m =
+  timed_run ~domains (fun () ->
+    let consumed = Atomic.make 0 in
+    let server =
+      A.spawn (fun self ->
+        let queue = Queue.create () in
+        let pending = Queue.create () in
+        let served = ref 0 in
+        while !served < n * m do
+          (match A.receive self with
+          | Push v ->
+            if Queue.is_empty pending then Queue.push v queue
+            else begin
+              A.send (Queue.pop pending) v;
+              incr served
+            end
+          | Pop reply ->
+            if Queue.is_empty queue then Queue.push reply pending
+            else begin
+              A.send reply (Queue.pop queue);
+              incr served
+            end)
+        done)
+    in
+    let latch = Qs_sched.Latch.create (2 * n) in
+    for i = 1 to n do
+      ignore
+        (A.spawn (fun _self ->
+           for k = 1 to m do
+             A.send server (Push ((i * m) + k))
+           done;
+           Qs_sched.Latch.count_down latch)
+          : int A.t buffer_msg A.t);
+      ignore
+        (A.spawn (fun (self : int A.t) ->
+           for _ = 1 to m do
+             A.send server (Pop self);
+             ignore (A.receive self : int);
+             Atomic.incr consumed
+           done;
+           Qs_sched.Latch.count_down latch)
+          : int A.t)
+    done;
+    Qs_sched.Latch.wait latch;
+    A.join server;
+    B.validate_int "prodcons/actors" ~expected:(n * m)
+      ~actual:(Atomic.get consumed))
+
+let condition ~domains ~n ~m =
+  timed_run ~domains (fun () ->
+    let counter = ref 0 in
+    let target = 2 * n * m in
+    let server =
+      A.spawn (fun self ->
+        while !counter < target do
+          let parity, (reply : bool A.t) = A.receive self in
+          if !counter mod 2 = parity then begin
+            incr counter;
+            A.send reply true
+          end
+          else A.send reply false
+        done)
+    in
+    let latch = Qs_sched.Latch.create (2 * n) in
+    for w = 0 to (2 * n) - 1 do
+      let parity = w mod 2 in
+      ignore
+        (A.spawn (fun (self : bool A.t) ->
+           let rec attempt remaining =
+             if remaining > 0 then begin
+               A.send server (parity, self);
+               if A.receive self then attempt (remaining - 1)
+               else begin
+                 Qs_sched.Sched.yield ();
+                 attempt remaining
+               end
+             end
+           in
+           attempt m;
+           Qs_sched.Latch.count_down latch)
+          : bool A.t)
+    done;
+    Qs_sched.Latch.wait latch;
+    A.join server;
+    B.validate_int "condition/actors" ~expected:target ~actual:!counter)
+
+let threadring ~domains ~n ~nt =
+  timed_run ~domains (fun () ->
+    let winner = Qs_sched.Ivar.create () in
+    let latch = Qs_sched.Latch.create n in
+    (* Build the ring of actors; each knows its successor through a
+       forwarding cell filled once all are spawned. *)
+    let cells : int A.t option array = Array.make n None in
+    for i = 0 to n - 1 do
+      let actor =
+        A.spawn (fun self ->
+          let next () = Option.get cells.((i + 1) mod n) in
+          let rec serve () =
+            let k = A.receive self in
+            if k = 0 then begin
+              Qs_sched.Ivar.fill winner i;
+              A.send (next ()) (-1)
+            end
+            else if k < 0 then A.send (next ()) (-1)
+            else begin
+              A.send (next ()) (k - 1);
+              serve ()
+            end
+          in
+          serve ();
+          Qs_sched.Latch.count_down latch)
+      in
+      cells.(i) <- Some actor
+    done;
+    A.send (Option.get cells.(0)) nt;
+    Qs_sched.Latch.wait latch;
+    B.validate_int "threadring/actors" ~expected:(nt mod n)
+      ~actual:(Qs_sched.Ivar.read winner))
+
+type meet_msg = Meet of int * int A.t (* colour, creature mailbox *)
+
+let chameneos ~domains ~creatures ~nc =
+  timed_run ~domains (fun () ->
+    let met = Atomic.make 0 in
+    let broker =
+      A.spawn (fun self ->
+        let stops = ref 0 in
+        let rec serve count held =
+          if count >= nc then begin
+            (match held with
+            | Some (_, reply) ->
+              A.send reply (-1);
+              incr stops
+            | None -> ());
+            (* Reply Stop to every creature's next request. *)
+            while !stops < creatures do
+              let (Meet (_, reply)) = A.receive self in
+              A.send reply (-1);
+              incr stops
+            done
+          end
+          else
+            match held with
+            | None ->
+              let (Meet (c, reply)) = A.receive self in
+              serve count (Some (c, reply))
+            | Some (c1, r1) ->
+              let (Meet (c2, r2)) = A.receive self in
+              A.send r1 c2;
+              A.send r2 c1;
+              serve (count + 1) None
+        in
+        serve 0 None)
+    in
+    let latch = Qs_sched.Latch.create creatures in
+    for id = 0 to creatures - 1 do
+      ignore
+        (A.spawn (fun (self : int A.t) ->
+           let colour = ref (id mod 3) in
+           let rec live () =
+             A.send broker (Meet (!colour, self));
+             let other = A.receive self in
+             if other >= 0 then begin
+               colour := (!colour + other) mod 3;
+               Atomic.incr met;
+               live ()
+             end
+           in
+           live ();
+           Qs_sched.Latch.count_down latch)
+          : int A.t)
+    done;
+    Qs_sched.Latch.wait latch;
+    A.join broker;
+    B.validate_int "chameneos/actors" ~expected:(2 * nc)
+      ~actual:(Atomic.get met))
+

@@ -1,0 +1,182 @@
+(* The coordination benchmarks in Go style — goroutines and channels
+   (paper §5.3).  State that Go would guard with a mutex is owned by a
+   coordinator goroutine and accessed through request/reply channels, or
+   by a token semaphore (a one-slot buffered channel). *)
+
+module B = Bench_types
+module Ch = Qs_chan.Channel
+
+let timed_run ~domains main =
+  Qs_sched.Sched.run ~domains (fun () ->
+    let ph = B.start_phases () in
+    B.compute_phase ph (fun () -> main ());
+    B.finish_phases ph)
+
+let mutex ~domains ~n ~m =
+  timed_run ~domains (fun () ->
+    (* A one-slot buffered channel as a token semaphore (Go's classic
+       channel-based mutex). *)
+    let token = Ch.create ~capacity:1 () in
+    Ch.send token ();
+    let counter = ref 0 in
+    let latch = Qs_sched.Latch.create n in
+    for _ = 1 to n do
+      Ch.go (fun () ->
+        for _ = 1 to m do
+          Ch.recv token;
+          incr counter;
+          Ch.send token ()
+        done;
+        Qs_sched.Latch.count_down latch)
+    done;
+    Qs_sched.Latch.wait latch;
+    B.validate_int "mutex/chan" ~expected:(n * m) ~actual:!counter)
+
+let prodcons ~domains ~n ~m =
+  timed_run ~domains (fun () ->
+    (* The unbounded shared queue is a buffered channel big enough never
+       to block producers (the paper's queue "has no upper limit"). *)
+    let queue = Ch.create ~capacity:(n * m) () in
+    let latch = Qs_sched.Latch.create (2 * n) in
+    let consumed = Atomic.make 0 in
+    for i = 1 to n do
+      Ch.go (fun () ->
+        for k = 1 to m do
+          Ch.send queue ((i * m) + k)
+        done;
+        Qs_sched.Latch.count_down latch);
+      Ch.go (fun () ->
+        for _ = 1 to m do
+          ignore (Ch.recv queue : int);
+          Atomic.incr consumed
+        done;
+        Qs_sched.Latch.count_down latch)
+    done;
+    Qs_sched.Latch.wait latch;
+    B.validate_int "prodcons/chan" ~expected:(n * m)
+      ~actual:(Atomic.get consumed))
+
+let condition ~domains ~n ~m =
+  timed_run ~domains (fun () ->
+    (* A coordinator goroutine owns the counter; workers request a
+       parity-gated increment and retry on refusal. *)
+    let requests = Ch.create ~capacity:(2 * n) () in
+    let counter = ref 0 in
+    let target = 2 * n * m in
+    Ch.go (fun () ->
+      let rec serve () =
+        if !counter < target then begin
+          let parity, (reply : bool Ch.t) = Ch.recv requests in
+          if !counter mod 2 = parity then begin
+            incr counter;
+            Ch.send reply true
+          end
+          else Ch.send reply false;
+          serve ()
+        end
+      in
+      serve ());
+    let latch = Qs_sched.Latch.create (2 * n) in
+    for w = 0 to (2 * n) - 1 do
+      let parity = w mod 2 in
+      Ch.go (fun () ->
+        let reply = Ch.create ~capacity:1 () in
+        let rec attempt remaining =
+          if remaining > 0 then begin
+            Ch.send requests (parity, reply);
+            if Ch.recv reply then attempt (remaining - 1)
+            else begin
+              Qs_sched.Sched.yield ();
+              attempt remaining
+            end
+          end
+        in
+        attempt m;
+        Qs_sched.Latch.count_down latch)
+    done;
+    Qs_sched.Latch.wait latch;
+    B.validate_int "condition/chan" ~expected:target ~actual:!counter)
+
+let threadring ~domains ~n ~nt =
+  timed_run ~domains (fun () ->
+    (* The classic shootout shape: a ring of goroutines connected by
+       unbuffered channels. *)
+    let links = Array.init n (fun _ -> Ch.create ()) in
+    let winner = Qs_sched.Ivar.create () in
+    let latch = Qs_sched.Latch.create n in
+    for i = 0 to n - 1 do
+      Ch.go (fun () ->
+        let inbox = links.(i) and outbox = links.((i + 1) mod n) in
+        let rec serve () =
+          let k = Ch.recv inbox in
+          if k = 0 then begin
+            Qs_sched.Ivar.fill winner i;
+            (* Send the shutdown wave and absorb it when it returns (the
+               links are rendezvous channels, so the last forwarder needs
+               this node to still be receiving). *)
+            Ch.send outbox (-1);
+            ignore (Ch.recv inbox : int)
+          end
+          else if k < 0 then Ch.send outbox (-1)
+          else begin
+            Ch.send outbox (k - 1);
+            serve ()
+          end
+        in
+        serve ();
+        Qs_sched.Latch.count_down latch)
+    done;
+    Ch.go (fun () -> Ch.send links.(0) nt);
+    Qs_sched.Latch.wait latch;
+    B.validate_int "threadring/chan" ~expected:(nt mod n)
+      ~actual:(Qs_sched.Ivar.read winner))
+
+type meet_request = {
+  colour : int;
+  reply : int Ch.t; (* partner colour, or -1 for shutdown *)
+}
+
+let chameneos ~domains ~creatures ~nc =
+  timed_run ~domains (fun () ->
+    let meet = Ch.create () in
+    let met = Atomic.make 0 in
+    (* Broker goroutine pairs consecutive requests. *)
+    Ch.go (fun () ->
+      let rec serve count held =
+        if count >= nc then begin
+          (match held with
+          | Some r -> Ch.send r.reply (-1)
+          | None -> ());
+          Ch.close meet
+        end
+        else
+          match held with
+          | None -> serve count (Some (Ch.recv meet))
+          | Some first ->
+            let second = Ch.recv meet in
+            Ch.send first.reply second.colour;
+            Ch.send second.reply first.colour;
+            serve (count + 1) None
+      in
+      serve 0 None);
+    let latch = Qs_sched.Latch.create creatures in
+    for id = 0 to creatures - 1 do
+      Ch.go (fun () ->
+        let colour = ref (id mod 3) in
+        let reply = Ch.create ~capacity:1 () in
+        let rec live () =
+          match Ch.send meet { colour = !colour; reply } with
+          | () ->
+            let other = Ch.recv reply in
+            if other >= 0 then begin
+              colour := (!colour + other) mod 3;
+              Atomic.incr met;
+              live ()
+            end
+          | exception Ch.Closed -> ()
+        in
+        live ();
+        Qs_sched.Latch.count_down latch)
+    done;
+    Qs_sched.Latch.wait latch;
+    B.validate_int "chameneos/chan" ~expected:(2 * nc) ~actual:(Atomic.get met))

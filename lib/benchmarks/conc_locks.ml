@@ -1,0 +1,193 @@
+(* The coordination benchmarks with classic mutex/condition-variable
+   synchronization — the C++/TBB comparator (paper §5.3: traditional
+   threads and locks, no safety guarantees).  Fibers stand in for OS
+   threads; the primitives are [Fiber_mutex]/[Fiber_cond]. *)
+
+module B = Bench_types
+module M = Qs_sched.Fiber_mutex
+module Cond = Qs_sched.Fiber_cond
+
+let timed_run ~domains main =
+  Qs_sched.Sched.run ~domains (fun () ->
+    let ph = B.start_phases () in
+    B.compute_phase ph (fun () -> main ());
+    B.finish_phases ph)
+
+let mutex ~domains ~n ~m =
+  timed_run ~domains (fun () ->
+    let lock = M.create () in
+    let counter = ref 0 in
+    let latch = Qs_sched.Latch.create n in
+    for _ = 1 to n do
+      Qs_sched.Sched.spawn (fun () ->
+        for _ = 1 to m do
+          M.lock lock;
+          incr counter;
+          M.unlock lock
+        done;
+        Qs_sched.Latch.count_down latch)
+    done;
+    Qs_sched.Latch.wait latch;
+    B.validate_int "mutex/locks" ~expected:(n * m) ~actual:!counter)
+
+let prodcons ~domains ~n ~m =
+  timed_run ~domains (fun () ->
+    let lock = M.create () in
+    let not_empty = Cond.create () in
+    let queue = Queue.create () in
+    let latch = Qs_sched.Latch.create (2 * n) in
+    let consumed = Atomic.make 0 in
+    for i = 1 to n do
+      Qs_sched.Sched.spawn (fun () ->
+        for k = 1 to m do
+          M.lock lock;
+          Queue.push ((i * m) + k) queue;
+          Cond.signal not_empty;
+          M.unlock lock
+        done;
+        Qs_sched.Latch.count_down latch);
+      Qs_sched.Sched.spawn (fun () ->
+        for _ = 1 to m do
+          M.lock lock;
+          while Queue.is_empty queue do
+            Cond.wait not_empty lock
+          done;
+          ignore (Queue.pop queue : int);
+          Atomic.incr consumed;
+          M.unlock lock
+        done;
+        Qs_sched.Latch.count_down latch)
+    done;
+    Qs_sched.Latch.wait latch;
+    B.validate_int "prodcons/locks" ~expected:(n * m)
+      ~actual:(Atomic.get consumed))
+
+let condition ~domains ~n ~m =
+  timed_run ~domains (fun () ->
+    let lock = M.create () in
+    let changed = Cond.create () in
+    let counter = ref 0 in
+    let latch = Qs_sched.Latch.create (2 * n) in
+    for w = 0 to (2 * n) - 1 do
+      let parity = w mod 2 in
+      Qs_sched.Sched.spawn (fun () ->
+        for _ = 1 to m do
+          M.lock lock;
+          while !counter mod 2 <> parity do
+            Cond.wait changed lock
+          done;
+          incr counter;
+          Cond.broadcast changed;
+          M.unlock lock
+        done;
+        Qs_sched.Latch.count_down latch)
+    done;
+    Qs_sched.Latch.wait latch;
+    B.validate_int "condition/locks" ~expected:(2 * n * m) ~actual:!counter)
+
+type ring_node = {
+  lock : M.t;
+  arrived : Cond.t;
+  mutable token : int option;
+}
+
+let threadring ~domains ~n ~nt =
+  timed_run ~domains (fun () ->
+    let nodes =
+      Array.init n (fun _ ->
+        { lock = M.create (); arrived = Cond.create (); token = None })
+    in
+    let winner = Qs_sched.Ivar.create () in
+    let give node k =
+      M.lock node.lock;
+      node.token <- Some k;
+      Cond.signal node.arrived;
+      M.unlock node.lock
+    in
+    let latch = Qs_sched.Latch.create n in
+    for i = 0 to n - 1 do
+      Qs_sched.Sched.spawn (fun () ->
+        let node = nodes.(i) in
+        let next = nodes.((i + 1) mod n) in
+        let rec serve () =
+          M.lock node.lock;
+          while node.token = None do
+            Cond.wait node.arrived node.lock
+          done;
+          let k = Option.get node.token in
+          node.token <- None;
+          M.unlock node.lock;
+          if k = 0 then begin
+            Qs_sched.Ivar.fill winner i;
+            give next (-1)
+          end
+          else if k < 0 then give next (-1) (* shutdown wave *)
+          else begin
+            give next (k - 1);
+            serve ()
+          end
+        in
+        serve ();
+        Qs_sched.Latch.count_down latch)
+    done;
+    give nodes.(0) nt;
+    Qs_sched.Latch.wait latch;
+    B.validate_int "threadring/locks" ~expected:(nt mod n)
+      ~actual:(Qs_sched.Ivar.read winner))
+
+let chameneos ~domains ~creatures ~nc =
+  timed_run ~domains (fun () ->
+    let lock = M.create () in
+    let changed = Cond.create () in
+    let slot = ref None in
+    let results = Hashtbl.create 16 in
+    let meetings = ref 0 in
+    let met = Atomic.make 0 in
+    let latch = Qs_sched.Latch.create creatures in
+    for id = 0 to creatures - 1 do
+      Qs_sched.Sched.spawn (fun () ->
+        let colour = ref (id mod 3) in
+        let rec live () =
+          M.lock lock;
+          if !meetings >= nc then begin
+            (* Release a stranded waiter, then leave. *)
+            (match !slot with
+            | Some (waiter, _) ->
+              Hashtbl.replace results waiter (-1);
+              slot := None;
+              Cond.broadcast changed
+            | None -> ());
+            M.unlock lock
+          end
+          else begin
+            match !slot with
+            | None ->
+              slot := Some (id, !colour);
+              (* Wait for a partner (or shutdown). *)
+              while not (Hashtbl.mem results id) do
+                Cond.wait changed lock
+              done;
+              let other = Hashtbl.find results id in
+              Hashtbl.remove results id;
+              M.unlock lock;
+              if other >= 0 then begin
+                colour := (!colour + other) mod 3;
+                Atomic.incr met;
+                live ()
+              end
+            | Some (other_id, other_colour) ->
+              slot := None;
+              incr meetings;
+              Hashtbl.replace results other_id !colour;
+              Cond.broadcast changed;
+              M.unlock lock;
+              colour := (!colour + other_colour) mod 3;
+              Atomic.incr met;
+              live ()
+          end
+        in
+        live ();
+        Qs_sched.Latch.count_down latch)
+    done;
+    Qs_sched.Latch.wait latch;
+    B.validate_int "chameneos/locks" ~expected:(2 * nc) ~actual:(Atomic.get met))

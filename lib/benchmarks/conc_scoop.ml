@@ -1,0 +1,200 @@
+(* The coordination benchmarks on the SCOOP runtime (paper §4.1.2, §4.3,
+   Table 2, Fig. 17), parameterized by the optimization configuration.
+
+   These are the workloads where the queue-of-queues matters: reservation
+   is a non-blocking enqueue instead of a lock acquisition, and a query
+   needs one context switch instead of three (§4.3). *)
+
+module R = Scoop.Runtime
+module Reg = Scoop.Registration
+module Sh = Scoop.Shared
+module B = Bench_types
+
+let timed_run ~domains ~config main =
+  R.run ~domains ~config (fun rt ->
+    let ph = B.start_phases () in
+    B.compute_phase ph (fun () -> main rt);
+    B.finish_phases ph)
+
+(* n clients compete for a single resource, m rounds each. *)
+let mutex ~config ~domains ~n ~m =
+  timed_run ~domains ~config (fun rt ->
+    let resource = R.processor rt in
+    let counter = Sh.create resource (ref 0) in
+    let latch = Qs_sched.Latch.create n in
+    for _ = 1 to n do
+      Qs_sched.Sched.spawn (fun () ->
+        for _ = 1 to m do
+          R.separate rt resource (fun reg ->
+            Sh.apply reg counter (fun r -> incr r))
+        done;
+        Qs_sched.Latch.count_down latch)
+    done;
+    Qs_sched.Latch.wait latch;
+    let total =
+      R.separate rt resource (fun reg -> Sh.get reg counter (fun r -> !r))
+    in
+    B.validate_int "mutex/scoop" ~expected:(n * m) ~actual:total)
+
+(* n producers and n consumers over an unbounded shared queue. *)
+let prodcons ~config ~domains ~n ~m =
+  timed_run ~domains ~config (fun rt ->
+    let buffer = R.processor rt in
+    let queue = Sh.create buffer (Queue.create ()) in
+    let latch = Qs_sched.Latch.create (2 * n) in
+    let consumed = Atomic.make 0 in
+    for i = 1 to n do
+      Qs_sched.Sched.spawn (fun () ->
+        for k = 1 to m do
+          R.separate rt buffer (fun reg ->
+            Sh.apply reg queue (fun q -> Queue.push ((i * m) + k) q))
+        done;
+        Qs_sched.Latch.count_down latch);
+      Qs_sched.Sched.spawn (fun () ->
+        for _ = 1 to m do
+          (* Wait condition: consumers "must wait until the queue is
+             non-empty to make progress". *)
+          let _item =
+            R.separate_when rt buffer
+              ~pred:(fun reg ->
+                Sh.get reg queue (fun q -> not (Queue.is_empty q)))
+              (fun reg -> Sh.get reg queue Queue.pop)
+          in
+          Atomic.incr consumed
+        done;
+        Qs_sched.Latch.count_down latch)
+    done;
+    Qs_sched.Latch.wait latch;
+    B.validate_int "prodcons/scoop" ~expected:(n * m)
+      ~actual:(Atomic.get consumed))
+
+(* n "odd" and n "even" workers each perform m parity-gated increments. *)
+let condition ~config ~domains ~n ~m =
+  timed_run ~domains ~config (fun rt ->
+    let proc = R.processor rt in
+    let counter = Sh.create proc (ref 0) in
+    let latch = Qs_sched.Latch.create (2 * n) in
+    for w = 0 to (2 * n) - 1 do
+      let parity = w mod 2 in
+      Qs_sched.Sched.spawn (fun () ->
+        for _ = 1 to m do
+          (* Precondition-as-wait-condition: increment only from the
+             worker's own parity. *)
+          R.separate_when rt proc
+            ~pred:(fun reg -> Sh.get reg counter (fun r -> !r mod 2 = parity))
+            (fun reg -> Sh.apply reg counter incr)
+        done;
+        Qs_sched.Latch.count_down latch)
+    done;
+    Qs_sched.Latch.wait latch;
+    let total =
+      R.separate rt proc (fun reg -> Sh.get reg counter (fun r -> !r))
+    in
+    B.validate_int "condition/scoop" ~expected:(2 * n * m) ~actual:total)
+
+(* Token passed around a ring of n processors nt times — asynchronous
+   handler-to-handler delegation, no client in the loop. *)
+let threadring ~config ~domains ~n ~nt =
+  timed_run ~domains ~config (fun rt ->
+    let procs = Array.init n (fun _ -> R.processor rt) in
+    let finished = Qs_sched.Ivar.create () in
+    let rec pass i k =
+      if k = 0 then Qs_sched.Ivar.fill finished i
+      else begin
+        let next = (i + 1) mod n in
+        R.separate rt procs.(next) (fun reg ->
+          Reg.call reg (fun () -> pass next (k - 1)))
+      end
+    in
+    R.separate rt procs.(0) (fun reg -> Reg.call reg (fun () -> pass 0 nt));
+    let winner = Qs_sched.Ivar.read finished in
+    B.validate_int "threadring/scoop" ~expected:(nt mod n) ~actual:winner)
+
+(* Colour-changing chameneos meeting at a broker processor. *)
+type meet_result =
+  | Partner of int
+  | Waiting
+  | Stop
+
+type meeting_place = {
+  mutable slot : (int * int) option; (* creature id, colour *)
+  results : (int, int) Hashtbl.t; (* waiting creature -> partner colour *)
+  mutable meetings : int;
+  target : int;
+}
+
+let chameneos ~config ~domains ~creatures ~nc =
+  timed_run ~domains ~config (fun rt ->
+    let broker = R.processor rt in
+    let place =
+      Sh.create broker
+        { slot = None; results = Hashtbl.create 16; meetings = 0; target = nc }
+    in
+    let latch = Qs_sched.Latch.create creatures in
+    let met = Atomic.make 0 in
+    for id = 0 to creatures - 1 do
+      Qs_sched.Sched.spawn (fun () ->
+        let colour = ref (id mod 3) in
+        let meet () =
+          R.separate rt broker (fun reg ->
+            Sh.get reg place (fun st ->
+              if st.meetings >= st.target then begin
+                (* Release a creature stranded in the slot. *)
+                (match st.slot with
+                | Some (waiter, _) ->
+                  Hashtbl.replace st.results waiter (-1);
+                  st.slot <- None
+                | None -> ());
+                Stop
+              end
+              else
+                match st.slot with
+                | None ->
+                  st.slot <- Some (id, !colour);
+                  Waiting
+                | Some (other, other_colour) ->
+                  st.slot <- None;
+                  st.meetings <- st.meetings + 1;
+                  Hashtbl.replace st.results other !colour;
+                  Partner other_colour))
+        in
+        let poll () =
+          let rec go () =
+            let r =
+              R.separate rt broker (fun reg ->
+                Sh.get reg place (fun st ->
+                  match Hashtbl.find_opt st.results id with
+                  | Some c ->
+                    Hashtbl.remove st.results id;
+                    Some c
+                  | None -> None))
+            in
+            match r with
+            | Some c -> c
+            | None ->
+              Qs_sched.Sched.yield ();
+              go ()
+          in
+          go ()
+        in
+        let rec live () =
+          match meet () with
+          | Stop -> ()
+          | Partner other ->
+            colour := (!colour + other) mod 3;
+            Atomic.incr met;
+            live ()
+          | Waiting ->
+            let other = poll () in
+            if other >= 0 then begin
+              colour := (!colour + other) mod 3;
+              Atomic.incr met;
+              live ()
+            end
+        in
+        live ();
+        Qs_sched.Latch.count_down latch)
+    done;
+    Qs_sched.Latch.wait latch;
+    (* Each completed meeting involved two creatures. *)
+    B.validate_int "chameneos/scoop" ~expected:(2 * nc) ~actual:(Atomic.get met))

@@ -1,0 +1,21 @@
+(** The coordination benchmarks (paper §4.1.2) on the SCOOP runtime,
+    parameterized by optimization configuration (Table 2 / Fig. 17).
+
+    Each function runs one benchmark end to end and validates its final
+    counts.  @raise Bench_types.Validation_failed on incorrect results. *)
+
+val mutex :
+  config:Scoop.Config.t -> domains:int -> n:int -> m:int -> Bench_types.timings
+
+val prodcons :
+  config:Scoop.Config.t -> domains:int -> n:int -> m:int -> Bench_types.timings
+
+val condition :
+  config:Scoop.Config.t -> domains:int -> n:int -> m:int -> Bench_types.timings
+
+val threadring :
+  config:Scoop.Config.t -> domains:int -> n:int -> nt:int -> Bench_types.timings
+
+val chameneos :
+  config:Scoop.Config.t -> domains:int -> creatures:int -> nc:int ->
+  Bench_types.timings

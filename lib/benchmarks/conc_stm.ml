@@ -1,0 +1,180 @@
+(* The coordination benchmarks on software transactional memory — the
+   Haskell comparator (paper §5.3: "Haskell tends to perform the worst,
+   which is likely due to the use of STM, which incurs an extra level of
+   bookkeeping on every operation").  Blocking is expressed with [retry],
+   exactly as the GHC versions would. *)
+
+module B = Bench_types
+module S = Qs_stm.Stm
+
+let timed_run ~domains main =
+  Qs_sched.Sched.run ~domains (fun () ->
+    let ph = B.start_phases () in
+    B.compute_phase ph (fun () -> main ());
+    B.finish_phases ph)
+
+let mutex ~domains ~n ~m =
+  timed_run ~domains (fun () ->
+    let counter = S.make 0 in
+    let latch = Qs_sched.Latch.create n in
+    for _ = 1 to n do
+      Qs_sched.Sched.spawn (fun () ->
+        for _ = 1 to m do
+          S.update counter succ
+        done;
+        Qs_sched.Latch.count_down latch)
+    done;
+    Qs_sched.Latch.wait latch;
+    B.validate_int "mutex/stm" ~expected:(n * m) ~actual:(S.get counter))
+
+let prodcons ~domains ~n ~m =
+  timed_run ~domains (fun () ->
+    (* Functional queue in a tvar; consumers retry on empty. *)
+    let queue = S.make ([], []) in
+    let latch = Qs_sched.Latch.create (2 * n) in
+    let consumed = Atomic.make 0 in
+    for i = 1 to n do
+      Qs_sched.Sched.spawn (fun () ->
+        for k = 1 to m do
+          S.atomically (fun tx ->
+            let front, back = S.read tx queue in
+            S.write tx queue (front, ((i * m) + k) :: back))
+        done;
+        Qs_sched.Latch.count_down latch);
+      Qs_sched.Sched.spawn (fun () ->
+        for _ = 1 to m do
+          let _item =
+            S.atomically (fun tx ->
+              match S.read tx queue with
+              | x :: front, back ->
+                S.write tx queue (front, back);
+                x
+              | [], back -> (
+                match List.rev back with
+                | x :: front ->
+                  S.write tx queue (front, []);
+                  x
+                | [] -> S.retry tx))
+          in
+          Atomic.incr consumed
+        done;
+        Qs_sched.Latch.count_down latch)
+    done;
+    Qs_sched.Latch.wait latch;
+    B.validate_int "prodcons/stm" ~expected:(n * m)
+      ~actual:(Atomic.get consumed))
+
+let condition ~domains ~n ~m =
+  timed_run ~domains (fun () ->
+    let counter = S.make 0 in
+    let latch = Qs_sched.Latch.create (2 * n) in
+    for w = 0 to (2 * n) - 1 do
+      let parity = w mod 2 in
+      Qs_sched.Sched.spawn (fun () ->
+        for _ = 1 to m do
+          (* The textbook STM phrasing: block until the parity is ours. *)
+          S.atomically (fun tx ->
+            let c = S.read tx counter in
+            if c mod 2 <> parity then S.retry tx else S.write tx counter (c + 1))
+        done;
+        Qs_sched.Latch.count_down latch)
+    done;
+    Qs_sched.Latch.wait latch;
+    B.validate_int "condition/stm" ~expected:(2 * n * m)
+      ~actual:(S.get counter))
+
+let threadring ~domains ~n ~nt =
+  timed_run ~domains (fun () ->
+    let slots = Array.init n (fun _ -> S.make None) in
+    let winner = Qs_sched.Ivar.create () in
+    let latch = Qs_sched.Latch.create n in
+    for i = 0 to n - 1 do
+      Qs_sched.Sched.spawn (fun () ->
+        let mine = slots.(i) and next = slots.((i + 1) mod n) in
+        let take () =
+          S.atomically (fun tx ->
+            match S.read tx mine with
+            | None -> S.retry tx
+            | Some k ->
+              S.write tx mine None;
+              k)
+        in
+        let rec serve () =
+          let k = take () in
+          if k = 0 then begin
+            Qs_sched.Ivar.fill winner i;
+            S.set next (Some (-1))
+          end
+          else if k < 0 then S.set next (Some (-1))
+          else begin
+            S.set next (Some (k - 1));
+            serve ()
+          end
+        in
+        serve ();
+        Qs_sched.Latch.count_down latch)
+    done;
+    S.set slots.(0) (Some nt);
+    Qs_sched.Latch.wait latch;
+    B.validate_int "threadring/stm" ~expected:(nt mod n)
+      ~actual:(Qs_sched.Ivar.read winner))
+
+let chameneos ~domains ~creatures ~nc =
+  timed_run ~domains (fun () ->
+    let slot = S.make None (* (id, colour) of the first arrival *) in
+    let meetings = S.make 0 in
+    let results = Array.init creatures (fun _ -> S.make None) in
+    let met = Atomic.make 0 in
+    let latch = Qs_sched.Latch.create creatures in
+    for id = 0 to creatures - 1 do
+      Qs_sched.Sched.spawn (fun () ->
+        let colour = ref (id mod 3) in
+        let rec live () =
+          let outcome =
+            S.atomically (fun tx ->
+              if S.read tx meetings >= nc then begin
+                (* Release a stranded first arrival. *)
+                (match S.read tx slot with
+                | Some (waiter, _) ->
+                  S.write tx slot None;
+                  S.write tx results.(waiter) (Some (-1))
+                | None -> ());
+                `Stop
+              end
+              else
+                match S.read tx slot with
+                | None ->
+                  S.write tx slot (Some (id, !colour));
+                  `Wait
+                | Some (other, other_colour) ->
+                  S.write tx slot None;
+                  S.write tx meetings (S.read tx meetings + 1);
+                  S.write tx results.(other) (Some !colour);
+                  `Partner other_colour)
+          in
+          match outcome with
+          | `Stop -> ()
+          | `Partner other ->
+            colour := (!colour + other) mod 3;
+            Atomic.incr met;
+            live ()
+          | `Wait ->
+            let other =
+              S.atomically (fun tx ->
+                match S.read tx results.(id) with
+                | Some c ->
+                  S.write tx results.(id) None;
+                  c
+                | None -> S.retry tx)
+            in
+            if other >= 0 then begin
+              colour := (!colour + other) mod 3;
+              Atomic.incr met;
+              live ()
+            end
+        in
+        live ();
+        Qs_sched.Latch.count_down latch)
+    done;
+    Qs_sched.Latch.wait latch;
+    B.validate_int "chameneos/stm" ~expected:(2 * nc) ~actual:(Atomic.get met))

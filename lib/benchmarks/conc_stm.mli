@@ -1,0 +1,10 @@
+(** The coordination benchmarks (paper §4.1.2) over transactional memory with retry (the Haskell comparator).
+
+    Each function runs one benchmark end to end and validates its final
+    counts.  @raise Bench_types.Validation_failed on incorrect results. *)
+
+val mutex : domains:int -> n:int -> m:int -> Bench_types.timings
+val prodcons : domains:int -> n:int -> m:int -> Bench_types.timings
+val condition : domains:int -> n:int -> m:int -> Bench_types.timings
+val threadring : domains:int -> n:int -> nt:int -> Bench_types.timings
+val chameneos : domains:int -> creatures:int -> nc:int -> Bench_types.timings

@@ -1,0 +1,343 @@
+(* The Cowichan benchmarks in Erlang style — share-nothing worker actors
+   sending copied, list-represented results to a master actor (paper §5,
+   Table 3: light threads, non-shared memory, actors).
+
+   Two Erlang costs are modelled explicitly, following the paper's own
+   diagnosis (§5.2.1):
+   - data representation: workers compute with the linked-list kernels of
+     [Qs_workloads.Cowichan_lists] ("forced to use linked lists to
+     represent matrices");
+   - copying communication: every message payload is deep-copied on send
+     ("when data is sent between processes it is copied in its entirety").
+
+   Communication time (copy + mailbox traffic + master-side assembly) is
+   attributed to [comm], computation on the workers to [compute], mirroring
+   the split the paper reports for Erlang in Fig. 18 / Table 4. *)
+
+module B = Bench_types
+module C = Qs_workloads.Cowichan
+module CL = Qs_workloads.Cowichan_lists
+module A = Qs_actors.Actor
+
+(* Master-bound result messages.  The copy function rebuilds every list
+   spine, which is what an Erlang send does. *)
+type msg =
+  | Ints of int * int list (* lo, flat rows *)
+  | Floats of int * float list
+  | Triples of (int * int * int) list
+  | Hist of int array
+
+let copy_msg = function
+  | Ints (lo, values) -> Ints (lo, List.map Fun.id values)
+  | Floats (lo, values) -> Floats (lo, List.map Fun.id values)
+  | Triples points -> Triples (List.map Fun.id points)
+  | Hist h -> Hist (Array.copy h)
+
+(* Run [main] inside a master actor and return its result. *)
+let with_master ~domains main =
+  Qs_sched.Sched.run ~domains (fun () ->
+    let result = ref None in
+    let master = A.spawn ~copy:copy_msg (fun self -> result := Some (main self)) in
+    A.join master;
+    match !result with
+    | Some r -> r
+    | None -> failwith "cowichan_actors: master died")
+
+(* Fan a chunk computation out to worker actors; the master receives the
+   copied results.  [compute] runs on the worker (computation time);
+   receiving and [store] run on the master (communication time). *)
+let scatter_gather ~ph ~workers master n ~compute ~store =
+  let ranges = B.split n workers in
+  B.compute_phase ph (fun () ->
+    List.iter
+      (fun (lo, hi) ->
+        ignore
+          (A.spawn (fun _self -> A.send master (compute lo hi))
+            : unit A.t))
+      ranges);
+  B.comm_phase ph (fun () ->
+    List.iter (fun _ -> store (A.receive master)) ranges)
+
+let store_ints ~nr dst = function
+  | Ints (lo, values) ->
+    List.iteri (fun k v -> dst.((lo * nr) + k) <- v) values
+  | _ -> failwith "cowichan_actors: unexpected message"
+
+let store_floats ~width dst = function
+  | Floats (lo, values) ->
+    List.iteri (fun k v -> dst.((lo * width) + k) <- v) values
+  | _ -> failwith "cowichan_actors: unexpected message"
+
+let randmat ~domains ~workers ~nr ~seed =
+  with_master ~domains (fun master ->
+    let m = Array.make (nr * nr) 0 in
+    let ph = B.start_phases () in
+    scatter_gather ~ph ~workers master nr
+      ~compute:(fun lo hi -> Ints (lo, CL.randmat_chunk ~seed ~nr ~lo ~hi))
+      ~store:(store_ints ~nr m);
+    B.validate_int "randmat/actors"
+      ~expected:(C.checksum_int (C.randmat ~seed ~nr))
+      ~actual:(C.checksum_int m);
+    B.finish_phases ph)
+
+(* Workers hold no state between phases in this model, so multi-phase
+   kernels re-send the input lists they need — also Erlang-faithful. *)
+let thresh ~domains ~workers ~nr ~p ~seed =
+  let input = C.randmat ~seed ~nr in
+  let expected_threshold, expected_mask = C.thresh ~nr input ~p in
+  with_master ~domains (fun master ->
+    let ph = B.start_phases () in
+    (* Distribute: each worker receives its rows as a copied list. *)
+    let chunk_lists =
+      B.comm_phase ph (fun () ->
+        List.map
+          (fun (lo, hi) ->
+            (lo, hi, List.init ((hi - lo) * nr) (fun k -> input.((lo * nr) + k))))
+          (B.split nr workers))
+    in
+    let hist = Array.make C.modulus 0 in
+    B.compute_phase ph (fun () ->
+      List.iter
+        (fun (_, _, values) ->
+          ignore (A.spawn (fun _ -> A.send master (Hist (CL.hist values))) : unit A.t))
+        chunk_lists);
+    B.comm_phase ph (fun () ->
+      List.iter
+        (fun _ ->
+          match A.receive master with
+          | Hist h ->
+            for v = 0 to C.modulus - 1 do
+              hist.(v) <- hist.(v) + h.(v)
+            done
+          | _ -> failwith "thresh/actors: unexpected message")
+        chunk_lists);
+    let threshold = C.thresh_threshold ~hist ~total:(nr * nr) ~p in
+    let mask = Array.make (nr * nr) 0 in
+    B.compute_phase ph (fun () ->
+      List.iter
+        (fun (lo, _, values) ->
+          ignore
+            (A.spawn (fun _ -> A.send master (Ints (lo, CL.mask ~threshold values)))
+              : unit A.t))
+        chunk_lists);
+    B.comm_phase ph (fun () ->
+      List.iter (fun _ -> store_ints ~nr mask (A.receive master)) chunk_lists);
+    B.validate_int "thresh.threshold/actors" ~expected:expected_threshold
+      ~actual:threshold;
+    B.validate_int "thresh.mask/actors"
+      ~expected:(C.checksum_mask expected_mask)
+      ~actual:(Array.fold_left ( + ) 0 mask);
+    B.finish_phases ph)
+
+let winnow ~domains ~workers ~nr ~p ~nw ~seed =
+  let input = C.randmat ~seed ~nr in
+  let _, bmask = C.thresh ~nr input ~p in
+  let expected = C.winnow ~nr input bmask ~nw in
+  with_master ~domains (fun master ->
+    let ph = B.start_phases () in
+    let chunk_lists =
+      B.comm_phase ph (fun () ->
+        List.map
+          (fun (lo, hi) ->
+            let len = (hi - lo) * nr in
+            let values = List.init len (fun k -> input.((lo * nr) + k)) in
+            let mask =
+              List.init len (fun k ->
+                if Bytes.get bmask ((lo * nr) + k) = '\001' then 1 else 0)
+            in
+            (lo, values, mask))
+          (B.split nr workers))
+    in
+    B.compute_phase ph (fun () ->
+      List.iter
+        (fun (lo, values, mask) ->
+          ignore
+            (A.spawn (fun _ ->
+               A.send master (Triples (CL.collect ~nr ~row0:lo values mask)))
+              : unit A.t))
+        chunk_lists);
+    let all = ref [] in
+    B.comm_phase ph (fun () ->
+      List.iter
+        (fun _ ->
+          match A.receive master with
+          | Triples cs -> all := cs :: !all
+          | _ -> failwith "winnow/actors: unexpected message")
+        chunk_lists);
+    let points =
+      B.compute_phase ph (fun () ->
+        let a = Array.of_list (List.concat !all) in
+        Array.sort compare a;
+        C.winnow_select a ~nw)
+    in
+    B.validate_int "winnow/actors"
+      ~expected:(C.checksum_points expected)
+      ~actual:(C.checksum_points points);
+    B.finish_phases ph)
+
+let outer ~domains ~workers ~n ~range =
+  let points = C.synthetic_points ~n ~range in
+  let expected_m, expected_v = C.outer points in
+  with_master ~domains (fun master ->
+    let matrix = Array.make (n * n) 0.0 and vector = Array.make n 0.0 in
+    let ph = B.start_phases () in
+    let ranges = B.split n workers in
+    B.compute_phase ph (fun () ->
+      List.iter
+        (fun (lo, hi) ->
+          ignore
+            (A.spawn (fun _ ->
+               let mrows, vslice = CL.outer_chunk points ~lo ~hi in
+               A.send master (Floats (lo, mrows));
+               A.send master (Floats (n + lo, vslice)))
+              : unit A.t))
+        ranges);
+    B.comm_phase ph (fun () ->
+      List.iter
+        (fun _ ->
+          for _ = 1 to 2 do
+            match A.receive master with
+            | Floats (tag, values) when tag >= n ->
+              List.iteri (fun k v -> vector.(tag - n + k) <- v) values
+            | Floats (lo, values) -> store_floats ~width:n matrix (Floats (lo, values))
+            | _ -> failwith "outer/actors: unexpected message"
+          done)
+        ranges);
+    B.validate_float "outer/actors"
+      ~expected:(C.checksum_float expected_m +. C.checksum_float expected_v)
+      ~actual:(C.checksum_float matrix +. C.checksum_float vector);
+    B.finish_phases ph)
+
+let product ~domains ~workers ~n ~range =
+  let points = C.synthetic_points ~n ~range in
+  let matrix, vector = C.outer points in
+  let expected = C.product ~n matrix vector in
+  with_master ~domains (fun master ->
+    let result = Array.make n 0.0 in
+    let ph = B.start_phases () in
+    let chunk_lists =
+      B.comm_phase ph (fun () ->
+        List.map
+          (fun (lo, hi) ->
+            (lo, List.init ((hi - lo) * n) (fun k -> matrix.((lo * n) + k))))
+          (B.split n workers))
+    in
+    B.compute_phase ph (fun () ->
+      List.iter
+        (fun (lo, mrows) ->
+          ignore
+            (A.spawn (fun _ ->
+               A.send master (Floats (lo, CL.product_chunk ~n mrows vector)))
+              : unit A.t))
+        chunk_lists);
+    B.comm_phase ph (fun () ->
+      List.iter (fun _ -> store_floats ~width:1 result (A.receive master)) chunk_lists);
+    B.validate_float "product/actors"
+      ~expected:(C.checksum_float expected)
+      ~actual:(C.checksum_float result);
+    B.finish_phases ph)
+
+let chain ~domains ~workers ~nr ~p ~nw ~seed =
+  let expected = C.chain ~seed ~nr ~p ~nw in
+  with_master ~domains (fun master ->
+    let ph = B.start_phases () in
+    (* randmat: workers keep nothing, so the master assembles the matrix
+       and redistributes — the communication burden Erlang pays in every
+       stage of the chain. *)
+    let m = Array.make (nr * nr) 0 in
+    scatter_gather ~ph ~workers master nr
+      ~compute:(fun lo hi -> Ints (lo, CL.randmat_chunk ~seed ~nr ~lo ~hi))
+      ~store:(store_ints ~nr m);
+    let hist = Array.make C.modulus 0 in
+    let chunk_lists =
+      B.comm_phase ph (fun () ->
+        List.map
+          (fun (lo, hi) ->
+            (lo, List.init ((hi - lo) * nr) (fun k -> m.((lo * nr) + k))))
+          (B.split nr workers))
+    in
+    B.compute_phase ph (fun () ->
+      List.iter
+        (fun (_, values) ->
+          ignore (A.spawn (fun _ -> A.send master (Hist (CL.hist values))) : unit A.t))
+        chunk_lists);
+    B.comm_phase ph (fun () ->
+      List.iter
+        (fun _ ->
+          match A.receive master with
+          | Hist h ->
+            for v = 0 to C.modulus - 1 do
+              hist.(v) <- hist.(v) + h.(v)
+            done
+          | _ -> failwith "chain/actors: unexpected message")
+        chunk_lists);
+    let threshold = C.thresh_threshold ~hist ~total:(nr * nr) ~p in
+    B.compute_phase ph (fun () ->
+      List.iter
+        (fun (lo, values) ->
+          ignore
+            (A.spawn (fun _ ->
+               let mask = CL.mask ~threshold values in
+               A.send master (Triples (CL.collect ~nr ~row0:lo values mask)))
+              : unit A.t))
+        chunk_lists);
+    let all = ref [] in
+    B.comm_phase ph (fun () ->
+      List.iter
+        (fun _ ->
+          match A.receive master with
+          | Triples cs -> all := cs :: !all
+          | _ -> failwith "chain/actors: unexpected message")
+        chunk_lists);
+    let points =
+      B.compute_phase ph (fun () ->
+        let a = Array.of_list (List.concat !all) in
+        Array.sort compare a;
+        C.winnow_select a ~nw)
+    in
+    let n = Array.length points in
+    let matrix = Array.make (n * n) 0.0 and vector = Array.make n 0.0 in
+    let ranges = B.split n workers in
+    B.compute_phase ph (fun () ->
+      List.iter
+        (fun (lo, hi) ->
+          ignore
+            (A.spawn (fun _ ->
+               let mrows, vslice = CL.outer_chunk points ~lo ~hi in
+               A.send master (Floats (lo, mrows));
+               A.send master (Floats (n + lo, vslice)))
+              : unit A.t))
+        ranges);
+    B.comm_phase ph (fun () ->
+      List.iter
+        (fun _ ->
+          for _ = 1 to 2 do
+            match A.receive master with
+            | Floats (tag, values) when tag >= n ->
+              List.iteri (fun k v -> vector.(tag - n + k) <- v) values
+            | Floats (lo, values) -> store_floats ~width:n matrix (Floats (lo, values))
+            | _ -> failwith "chain/actors: unexpected message"
+          done)
+        ranges);
+    let result = Array.make n 0.0 in
+    let mrow_lists =
+      B.comm_phase ph (fun () ->
+        List.map
+          (fun (lo, hi) ->
+            (lo, List.init ((hi - lo) * n) (fun k -> matrix.((lo * n) + k))))
+          ranges)
+    in
+    B.compute_phase ph (fun () ->
+      List.iter
+        (fun (lo, mrows) ->
+          ignore
+            (A.spawn (fun _ ->
+               A.send master (Floats (lo, CL.product_chunk ~n mrows vector)))
+              : unit A.t))
+        mrow_lists);
+    B.comm_phase ph (fun () ->
+      List.iter (fun _ -> store_floats ~width:1 result (A.receive master)) mrow_lists);
+    B.validate_float "chain/actors"
+      ~expected:(C.checksum_float expected)
+      ~actual:(C.checksum_float result);
+    B.finish_phases ph)

@@ -1,0 +1,203 @@
+(* The Cowichan benchmarks in Go style — goroutines computing fresh chunks
+   and streaming them back over channels (paper §5, Table 3: light
+   threads, shared memory, channels).  Inputs are shared by reference (Go
+   permits shared memory); results travel through a buffered channel and
+   are assembled by the master, so the coordination cost is one channel
+   round trip per chunk. *)
+
+module B = Bench_types
+module C = Qs_workloads.Cowichan
+module Ch = Qs_chan.Channel
+
+let run ~domains f = Qs_sched.Sched.run ~domains f
+
+(* Fan out chunk computations to goroutines; gather over a channel. *)
+let scatter_gather ~workers n ~compute ~store =
+  let results = Ch.create ~capacity:workers () in
+  let ranges = B.split n workers in
+  List.iter
+    (fun (lo, hi) ->
+      Ch.go (fun () -> Ch.send results (lo, hi, compute lo hi)))
+    ranges;
+  List.iter
+    (fun _ ->
+      let lo, hi, chunk = Ch.recv results in
+      store lo hi chunk)
+    ranges
+
+let randmat ~domains ~workers ~nr ~seed =
+  run ~domains (fun () ->
+    let m = Array.make (nr * nr) 0 in
+    let ph = B.start_phases () in
+    B.compute_phase ph (fun () ->
+      scatter_gather ~workers nr
+        ~compute:(fun lo hi ->
+          let chunk = Array.make ((hi - lo) * nr) 0 in
+          C.randmat_chunk ~seed ~nr ~lo ~hi chunk;
+          chunk)
+        ~store:(fun lo hi chunk -> Array.blit chunk 0 m (lo * nr) ((hi - lo) * nr)));
+    B.validate_int "randmat/chan"
+      ~expected:(C.checksum_int (C.randmat ~seed ~nr))
+      ~actual:(C.checksum_int m);
+    B.finish_phases ph)
+
+let thresh ~domains ~workers ~nr ~p ~seed =
+  let input = C.randmat ~seed ~nr in
+  let expected_threshold, expected_mask = C.thresh ~nr input ~p in
+  run ~domains (fun () ->
+    let ph = B.start_phases () in
+    let threshold, mask =
+      B.compute_phase ph (fun () ->
+        let hist = Array.make C.modulus 0 in
+        scatter_gather ~workers nr
+          ~compute:(fun lo hi -> C.thresh_hist ~nr input ~lo ~hi)
+          ~store:(fun _ _ h ->
+            for v = 0 to C.modulus - 1 do
+              hist.(v) <- hist.(v) + h.(v)
+            done);
+        let threshold = C.thresh_threshold ~hist ~total:(nr * nr) ~p in
+        let mask = Bytes.make (nr * nr) '\000' in
+        scatter_gather ~workers nr
+          ~compute:(fun lo hi ->
+            let mb = Bytes.make ((hi - lo) * nr) '\000' in
+            for k = 0 to ((hi - lo) * nr) - 1 do
+              if input.((lo * nr) + k) >= threshold then Bytes.set mb k '\001'
+            done;
+            mb)
+          ~store:(fun lo hi mb -> Bytes.blit mb 0 mask (lo * nr) ((hi - lo) * nr));
+        (threshold, mask))
+    in
+    B.validate_int "thresh.threshold/chan" ~expected:expected_threshold
+      ~actual:threshold;
+    B.validate_int "thresh.mask/chan"
+      ~expected:(C.checksum_mask expected_mask)
+      ~actual:(C.checksum_mask mask);
+    B.finish_phases ph)
+
+let winnow ~domains ~workers ~nr ~p ~nw ~seed =
+  let input = C.randmat ~seed ~nr in
+  let _, mask = C.thresh ~nr input ~p in
+  let expected = C.winnow ~nr input mask ~nw in
+  run ~domains (fun () ->
+    let ph = B.start_phases () in
+    let points =
+      B.compute_phase ph (fun () ->
+        let all = ref [] in
+        scatter_gather ~workers nr
+          ~compute:(fun lo hi -> C.winnow_collect ~nr input mask ~lo ~hi ())
+          ~store:(fun _ _ cs -> all := cs :: !all);
+        let a = Array.of_list (List.concat !all) in
+        Array.sort compare a;
+        C.winnow_select a ~nw)
+    in
+    B.validate_int "winnow/chan"
+      ~expected:(C.checksum_points expected)
+      ~actual:(C.checksum_points points);
+    B.finish_phases ph)
+
+let outer ~domains ~workers ~n ~range =
+  let points = C.synthetic_points ~n ~range in
+  let expected_m, expected_v = C.outer points in
+  run ~domains (fun () ->
+    let matrix = Array.make (n * n) 0.0 and vector = Array.make n 0.0 in
+    let ph = B.start_phases () in
+    B.compute_phase ph (fun () ->
+      scatter_gather ~workers n
+        ~compute:(fun lo hi ->
+          let mchunk = Array.make ((hi - lo) * n) 0.0 in
+          let vchunk = Array.make (hi - lo) 0.0 in
+          C.outer_chunk points ~lo ~hi mchunk vchunk;
+          (mchunk, vchunk))
+        ~store:(fun lo hi (mchunk, vchunk) ->
+          Array.blit mchunk 0 matrix (lo * n) ((hi - lo) * n);
+          Array.blit vchunk 0 vector lo (hi - lo)));
+    B.validate_float "outer/chan"
+      ~expected:(C.checksum_float expected_m +. C.checksum_float expected_v)
+      ~actual:(C.checksum_float matrix +. C.checksum_float vector);
+    B.finish_phases ph)
+
+let product ~domains ~workers ~n ~range =
+  let points = C.synthetic_points ~n ~range in
+  let matrix, vector = C.outer points in
+  let expected = C.product ~n matrix vector in
+  run ~domains (fun () ->
+    let result = Array.make n 0.0 in
+    let ph = B.start_phases () in
+    B.compute_phase ph (fun () ->
+      scatter_gather ~workers n
+        ~compute:(fun lo hi ->
+          let rchunk = Array.make (hi - lo) 0.0 in
+          C.product_chunk ~n
+            (Array.sub matrix (lo * n) ((hi - lo) * n))
+            vector ~rows:(hi - lo) rchunk;
+          rchunk)
+        ~store:(fun lo hi rchunk -> Array.blit rchunk 0 result lo (hi - lo)));
+    B.validate_float "product/chan"
+      ~expected:(C.checksum_float expected)
+      ~actual:(C.checksum_float result);
+    B.finish_phases ph)
+
+let chain ~domains ~workers ~nr ~p ~nw ~seed =
+  let expected = C.chain ~seed ~nr ~p ~nw in
+  run ~domains (fun () ->
+    let ph = B.start_phases () in
+    let result =
+      B.compute_phase ph (fun () ->
+        let m = Array.make (nr * nr) 0 in
+        scatter_gather ~workers nr
+          ~compute:(fun lo hi ->
+            let chunk = Array.make ((hi - lo) * nr) 0 in
+            C.randmat_chunk ~seed ~nr ~lo ~hi chunk;
+            chunk)
+          ~store:(fun lo hi chunk ->
+            Array.blit chunk 0 m (lo * nr) ((hi - lo) * nr));
+        let hist = Array.make C.modulus 0 in
+        scatter_gather ~workers nr
+          ~compute:(fun lo hi -> C.thresh_hist ~nr m ~lo ~hi)
+          ~store:(fun _ _ h ->
+            for v = 0 to C.modulus - 1 do
+              hist.(v) <- hist.(v) + h.(v)
+            done);
+        let threshold = C.thresh_threshold ~hist ~total:(nr * nr) ~p in
+        let mask = Bytes.make (nr * nr) '\000' in
+        scatter_gather ~workers nr
+          ~compute:(fun lo hi ->
+            let mb = Bytes.make ((hi - lo) * nr) '\000' in
+            for k = 0 to ((hi - lo) * nr) - 1 do
+              if m.((lo * nr) + k) >= threshold then Bytes.set mb k '\001'
+            done;
+            mb)
+          ~store:(fun lo hi mb -> Bytes.blit mb 0 mask (lo * nr) ((hi - lo) * nr));
+        let all = ref [] in
+        scatter_gather ~workers nr
+          ~compute:(fun lo hi -> C.winnow_collect ~nr m mask ~lo ~hi ())
+          ~store:(fun _ _ cs -> all := cs :: !all);
+        let ca = Array.of_list (List.concat !all) in
+        Array.sort compare ca;
+        let points = C.winnow_select ca ~nw in
+        let n = Array.length points in
+        let matrix = Array.make (n * n) 0.0 and vector = Array.make n 0.0 in
+        scatter_gather ~workers n
+          ~compute:(fun lo hi ->
+            let mchunk = Array.make ((hi - lo) * n) 0.0 in
+            let vchunk = Array.make (hi - lo) 0.0 in
+            C.outer_chunk points ~lo ~hi mchunk vchunk;
+            (mchunk, vchunk))
+          ~store:(fun lo hi (mchunk, vchunk) ->
+            Array.blit mchunk 0 matrix (lo * n) ((hi - lo) * n);
+            Array.blit vchunk 0 vector lo (hi - lo));
+        let result = Array.make n 0.0 in
+        scatter_gather ~workers n
+          ~compute:(fun lo hi ->
+            let rchunk = Array.make (hi - lo) 0.0 in
+            C.product_chunk ~n
+              (Array.sub matrix (lo * n) ((hi - lo) * n))
+              vector ~rows:(hi - lo) rchunk;
+            rchunk)
+          ~store:(fun lo hi rchunk -> Array.blit rchunk 0 result lo (hi - lo));
+        result)
+    in
+    B.validate_float "chain/chan"
+      ~expected:(C.checksum_float expected)
+      ~actual:(C.checksum_float result);
+    B.finish_phases ph)

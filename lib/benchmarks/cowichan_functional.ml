@@ -1,0 +1,203 @@
+(* The Cowichan benchmarks in Haskell style — the paper's Haskell
+   comparator for the parallel workloads (§5.1: the [par] construct and
+   Repa-style bulk array operations on immutable data).
+
+   The defining costs modelled here: every parallel stage produces fresh
+   immutable chunk arrays that are concatenated sequentially afterwards
+   (no in-place writes into a shared output), which is exactly the
+   limitation the paper observed on randmat ("the concatenation is
+   sequential, ... putting a limit on the maximum speedup"), plus the
+   allocation/GC pressure of rebuilding arrays at each stage. *)
+
+module B = Bench_types
+module C = Qs_workloads.Cowichan
+module P = Qs_sched.Parfor
+
+let run ~domains f = Qs_sched.Sched.run ~domains f
+
+(* A parallel stage, Repa-style: map chunk ranges to fresh arrays, then
+   concatenate sequentially. *)
+let par_build ~workers n f =
+  let ranges = Array.of_list (B.split n workers) in
+  let pieces = Array.make (Array.length ranges) [||] in
+  P.for_each ~chunks:(Array.length ranges) (Array.length ranges) (fun i ->
+    let lo, hi = ranges.(i) in
+    pieces.(i) <- f lo hi);
+  Array.concat (Array.to_list pieces)
+
+let randmat ~domains ~workers ~nr ~seed =
+  run ~domains (fun () ->
+    let ph = B.start_phases () in
+    let m =
+      B.compute_phase ph (fun () ->
+        par_build ~workers nr (fun lo hi ->
+          let chunk = Array.make ((hi - lo) * nr) 0 in
+          C.randmat_chunk ~seed ~nr ~lo ~hi chunk;
+          chunk))
+    in
+    B.validate_int "randmat/functional"
+      ~expected:(C.checksum_int (C.randmat ~seed ~nr))
+      ~actual:(C.checksum_int m);
+    B.finish_phases ph)
+
+let thresh ~domains ~workers ~nr ~p ~seed =
+  let input = C.randmat ~seed ~nr in
+  let expected_threshold, expected_mask = C.thresh ~nr input ~p in
+  run ~domains (fun () ->
+    let ph = B.start_phases () in
+    let threshold, mask_ints =
+      B.compute_phase ph (fun () ->
+        let hist =
+          P.reduce_range ~chunks:workers 0 nr
+            ~neutral:(Array.make C.modulus 0)
+            ~chunk:(fun lo hi -> C.thresh_hist ~nr input ~lo ~hi)
+            ~combine:C.merge_hist
+        in
+        let threshold = C.thresh_threshold ~hist ~total:(nr * nr) ~p in
+        let mask =
+          par_build ~workers nr (fun lo hi ->
+            Array.init ((hi - lo) * nr) (fun k ->
+              if input.((lo * nr) + k) >= threshold then 1 else 0))
+        in
+        (threshold, mask))
+    in
+    B.validate_int "thresh.threshold/functional" ~expected:expected_threshold
+      ~actual:threshold;
+    B.validate_int "thresh.mask/functional"
+      ~expected:(C.checksum_mask expected_mask)
+      ~actual:(Array.fold_left ( + ) 0 mask_ints);
+    B.finish_phases ph)
+
+let winnow ~domains ~workers ~nr ~p ~nw ~seed =
+  let input = C.randmat ~seed ~nr in
+  let _, mask = C.thresh ~nr input ~p in
+  let expected = C.winnow ~nr input mask ~nw in
+  run ~domains (fun () ->
+    let ph = B.start_phases () in
+    let points =
+      B.compute_phase ph (fun () ->
+        let candidates =
+          P.reduce_range ~chunks:workers 0 nr ~neutral:[]
+            ~chunk:(fun lo hi -> C.winnow_collect ~nr input mask ~lo ~hi ())
+            ~combine:(fun a b -> a @ b)
+        in
+        let sorted = List.sort compare candidates in
+        C.winnow_select (Array.of_list sorted) ~nw)
+    in
+    B.validate_int "winnow/functional"
+      ~expected:(C.checksum_points expected)
+      ~actual:(C.checksum_points points);
+    B.finish_phases ph)
+
+let outer ~domains ~workers ~n ~range =
+  let points = C.synthetic_points ~n ~range in
+  let expected_m, expected_v = C.outer points in
+  run ~domains (fun () ->
+    let ph = B.start_phases () in
+    let matrix, vector =
+      B.compute_phase ph (fun () ->
+        let matrix =
+          par_build ~workers n (fun lo hi ->
+            let mchunk = Array.make ((hi - lo) * n) 0.0 in
+            let vchunk = Array.make (hi - lo) 0.0 in
+            C.outer_chunk points ~lo ~hi mchunk vchunk;
+            mchunk)
+        in
+        let vector =
+          par_build ~workers n (fun lo hi ->
+            let mchunk = Array.make ((hi - lo) * n) 0.0 in
+            let vchunk = Array.make (hi - lo) 0.0 in
+            C.outer_chunk points ~lo ~hi mchunk vchunk;
+            vchunk)
+        in
+        (matrix, vector))
+    in
+    B.validate_float "outer/functional"
+      ~expected:(C.checksum_float expected_m +. C.checksum_float expected_v)
+      ~actual:(C.checksum_float matrix +. C.checksum_float vector);
+    B.finish_phases ph)
+
+let product ~domains ~workers ~n ~range =
+  let points = C.synthetic_points ~n ~range in
+  let matrix, vector = C.outer points in
+  let expected = C.product ~n matrix vector in
+  run ~domains (fun () ->
+    let ph = B.start_phases () in
+    let result =
+      B.compute_phase ph (fun () ->
+        par_build ~workers n (fun lo hi ->
+          let rchunk = Array.make (hi - lo) 0.0 in
+          for i = lo to hi - 1 do
+            let acc = ref 0.0 in
+            for j = 0 to n - 1 do
+              acc := !acc +. (matrix.((i * n) + j) *. vector.(j))
+            done;
+            rchunk.(i - lo) <- !acc
+          done;
+          rchunk))
+    in
+    B.validate_float "product/functional"
+      ~expected:(C.checksum_float expected)
+      ~actual:(C.checksum_float result);
+    B.finish_phases ph)
+
+let chain ~domains ~workers ~nr ~p ~nw ~seed =
+  let expected = C.chain ~seed ~nr ~p ~nw in
+  run ~domains (fun () ->
+    let ph = B.start_phases () in
+    let result =
+      B.compute_phase ph (fun () ->
+        let m =
+          par_build ~workers nr (fun lo hi ->
+            let chunk = Array.make ((hi - lo) * nr) 0 in
+            C.randmat_chunk ~seed ~nr ~lo ~hi chunk;
+            chunk)
+        in
+        let hist =
+          P.reduce_range ~chunks:workers 0 nr
+            ~neutral:(Array.make C.modulus 0)
+            ~chunk:(fun lo hi -> C.thresh_hist ~nr m ~lo ~hi)
+            ~combine:C.merge_hist
+        in
+        let threshold = C.thresh_threshold ~hist ~total:(nr * nr) ~p in
+        let mask = Bytes.make (nr * nr) '\000' in
+        P.for_range ~chunks:workers 0 nr (fun lo hi ->
+          C.thresh_mask_rows ~nr m ~threshold mask ~lo ~hi);
+        let candidates =
+          P.reduce_range ~chunks:workers 0 nr ~neutral:[]
+            ~chunk:(fun lo hi -> C.winnow_collect ~nr m mask ~lo ~hi ())
+            ~combine:(fun a b -> a @ b)
+        in
+        let points =
+          C.winnow_select (Array.of_list (List.sort compare candidates)) ~nw
+        in
+        let n = Array.length points in
+        let matrix =
+          par_build ~workers n (fun lo hi ->
+            let mchunk = Array.make ((hi - lo) * n) 0.0 in
+            let vchunk = Array.make (hi - lo) 0.0 in
+            C.outer_chunk points ~lo ~hi mchunk vchunk;
+            mchunk)
+        in
+        let vector =
+          par_build ~workers n (fun lo hi ->
+            let mchunk = Array.make ((hi - lo) * n) 0.0 in
+            let vchunk = Array.make (hi - lo) 0.0 in
+            C.outer_chunk points ~lo ~hi mchunk vchunk;
+            vchunk)
+        in
+        par_build ~workers n (fun lo hi ->
+          let rchunk = Array.make (hi - lo) 0.0 in
+          for i = lo to hi - 1 do
+            let acc = ref 0.0 in
+            for j = 0 to n - 1 do
+              acc := !acc +. (matrix.((i * n) + j) *. vector.(j))
+            done;
+            rchunk.(i - lo) <- !acc
+          done;
+          rchunk))
+    in
+    B.validate_float "chain/functional"
+      ~expected:(C.checksum_float expected)
+      ~actual:(C.checksum_float result);
+    B.finish_phases ph)

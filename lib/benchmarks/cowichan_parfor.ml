@@ -1,0 +1,144 @@
+(* The Cowichan benchmarks on raw shared-memory fork/join — the C++/TBB
+   comparator (paper §5, Table 3: OS/light threads, shared memory, no race
+   protection).  Workers write directly into the shared output arrays; all
+   time is computation, there is no communication phase at all.  This is
+   the fastest expressible version and the baseline the SCOOP/Qs numbers
+   are held against in Fig. 18 / Table 4. *)
+
+module B = Bench_types
+module C = Qs_workloads.Cowichan
+module P = Qs_sched.Parfor
+
+let run ~domains f = Qs_sched.Sched.run ~domains f
+
+let finish ph = B.finish_phases ph
+
+let randmat ~domains ~workers ~nr ~seed =
+  run ~domains (fun () ->
+    let m = Array.make (nr * nr) 0 in
+    let ph = B.start_phases () in
+    B.compute_phase ph (fun () ->
+      P.for_range ~chunks:workers 0 nr (fun lo hi ->
+        C.randmat_rows ~seed ~nr m ~lo ~hi));
+    B.validate_int "randmat/parfor"
+      ~expected:(C.checksum_int (C.randmat ~seed ~nr))
+      ~actual:(C.checksum_int m);
+    finish ph)
+
+let thresh ~domains ~workers ~nr ~p ~seed =
+  let input = C.randmat ~seed ~nr in
+  let expected_threshold, expected_mask = C.thresh ~nr input ~p in
+  run ~domains (fun () ->
+    let mask = Bytes.make (nr * nr) '\000' in
+    let ph = B.start_phases () in
+    let threshold =
+      B.compute_phase ph (fun () ->
+        let hist =
+          P.reduce_range ~chunks:workers 0 nr
+            ~neutral:(Array.make C.modulus 0)
+            ~chunk:(fun lo hi -> C.thresh_hist ~nr input ~lo ~hi)
+            ~combine:C.merge_hist
+        in
+        let threshold = C.thresh_threshold ~hist ~total:(nr * nr) ~p in
+        P.for_range ~chunks:workers 0 nr (fun lo hi ->
+          C.thresh_mask_rows ~nr input ~threshold mask ~lo ~hi);
+        threshold)
+    in
+    B.validate_int "thresh.threshold/parfor" ~expected:expected_threshold
+      ~actual:threshold;
+    B.validate_int "thresh.mask/parfor"
+      ~expected:(C.checksum_mask expected_mask)
+      ~actual:(C.checksum_mask mask);
+    finish ph)
+
+let winnow ~domains ~workers ~nr ~p ~nw ~seed =
+  let input = C.randmat ~seed ~nr in
+  let _, mask = C.thresh ~nr input ~p in
+  let expected = C.winnow ~nr input mask ~nw in
+  run ~domains (fun () ->
+    let ph = B.start_phases () in
+    let points =
+      B.compute_phase ph (fun () ->
+        let candidates =
+          P.reduce_range ~chunks:workers 0 nr ~neutral:[]
+            ~chunk:(fun lo hi -> C.winnow_collect ~nr input mask ~lo ~hi ())
+            ~combine:(fun a b -> a @ b)
+        in
+        let a = Array.of_list candidates in
+        Array.sort compare a;
+        C.winnow_select a ~nw)
+    in
+    B.validate_int "winnow/parfor"
+      ~expected:(C.checksum_points expected)
+      ~actual:(C.checksum_points points);
+    finish ph)
+
+let outer ~domains ~workers ~n ~range =
+  let points = C.synthetic_points ~n ~range in
+  let expected_m, expected_v = C.outer points in
+  run ~domains (fun () ->
+    let matrix = Array.make (n * n) 0.0 and vector = Array.make n 0.0 in
+    let ph = B.start_phases () in
+    B.compute_phase ph (fun () ->
+      P.for_range ~chunks:workers 0 n (fun lo hi ->
+        C.outer_rows points matrix vector ~lo ~hi));
+    B.validate_float "outer/parfor"
+      ~expected:(C.checksum_float expected_m +. C.checksum_float expected_v)
+      ~actual:(C.checksum_float matrix +. C.checksum_float vector);
+    finish ph)
+
+let product ~domains ~workers ~n ~range =
+  let points = C.synthetic_points ~n ~range in
+  let matrix, vector = C.outer points in
+  let expected = C.product ~n matrix vector in
+  run ~domains (fun () ->
+    let result = Array.make n 0.0 in
+    let ph = B.start_phases () in
+    B.compute_phase ph (fun () ->
+      P.for_range ~chunks:workers 0 n (fun lo hi ->
+        C.product_rows ~n matrix vector result ~lo ~hi));
+    B.validate_float "product/parfor"
+      ~expected:(C.checksum_float expected)
+      ~actual:(C.checksum_float result);
+    finish ph)
+
+let chain ~domains ~workers ~nr ~p ~nw ~seed =
+  let expected = C.chain ~seed ~nr ~p ~nw in
+  run ~domains (fun () ->
+    let ph = B.start_phases () in
+    let result =
+      B.compute_phase ph (fun () ->
+        let m = Array.make (nr * nr) 0 in
+        P.for_range ~chunks:workers 0 nr (fun lo hi ->
+          C.randmat_rows ~seed ~nr m ~lo ~hi);
+        let hist =
+          P.reduce_range ~chunks:workers 0 nr
+            ~neutral:(Array.make C.modulus 0)
+            ~chunk:(fun lo hi -> C.thresh_hist ~nr m ~lo ~hi)
+            ~combine:C.merge_hist
+        in
+        let threshold = C.thresh_threshold ~hist ~total:(nr * nr) ~p in
+        let mask = Bytes.make (nr * nr) '\000' in
+        P.for_range ~chunks:workers 0 nr (fun lo hi ->
+          C.thresh_mask_rows ~nr m ~threshold mask ~lo ~hi);
+        let candidates =
+          P.reduce_range ~chunks:workers 0 nr ~neutral:[]
+            ~chunk:(fun lo hi -> C.winnow_collect ~nr m mask ~lo ~hi ())
+            ~combine:(fun a b -> a @ b)
+        in
+        let ca = Array.of_list candidates in
+        Array.sort compare ca;
+        let points = C.winnow_select ca ~nw in
+        let n = Array.length points in
+        let matrix = Array.make (n * n) 0.0 and vector = Array.make n 0.0 in
+        P.for_range ~chunks:workers 0 n (fun lo hi ->
+          C.outer_rows points matrix vector ~lo ~hi);
+        let result = Array.make n 0.0 in
+        P.for_range ~chunks:workers 0 n (fun lo hi ->
+          C.product_rows ~n matrix vector result ~lo ~hi);
+        result)
+    in
+    B.validate_float "chain/parfor"
+      ~expected:(C.checksum_float expected)
+      ~actual:(C.checksum_float result);
+    finish ph)

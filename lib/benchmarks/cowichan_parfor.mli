@@ -1,0 +1,23 @@
+(** The Cowichan parallel benchmarks over raw shared-memory fork/join (the C++/TBB comparator).
+
+    Each function runs one benchmark end to end, validates the result
+    against the sequential reference and returns the timings.
+    @raise Bench_types.Validation_failed on incorrect results. *)
+
+val randmat :
+  domains:int -> workers:int -> nr:int -> seed:int -> Bench_types.timings
+
+val thresh :
+  domains:int -> workers:int -> nr:int -> p:int -> seed:int ->
+  Bench_types.timings
+
+val winnow :
+  domains:int -> workers:int -> nr:int -> p:int -> nw:int -> seed:int ->
+  Bench_types.timings
+
+val outer : domains:int -> workers:int -> n:int -> range:int -> Bench_types.timings
+val product : domains:int -> workers:int -> n:int -> range:int -> Bench_types.timings
+
+val chain :
+  domains:int -> workers:int -> nr:int -> p:int -> nw:int -> seed:int ->
+  Bench_types.timings

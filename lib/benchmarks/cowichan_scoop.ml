@@ -1,0 +1,514 @@
+(* The Cowichan benchmarks on the SCOOP runtime (paper §4.2, Table 1,
+   Fig. 16), parameterized by the optimization configuration.
+
+   Structure per kernel (the paper's idiom, §3.4): input arrays live on a
+   [main] processor; each worker processor pulls its slice from [main]
+   (communication), computes on a private chunk (computation), and the
+   master pulls results back out of the workers (communication).
+
+   The pull is where the configurations diverge:
+   - packaged-query configs (None, QoQ) round-trip one packaged closure
+     per element (Fig. 10a);
+   - client-execution configs (Dynamic) issue one sync per element, all
+     but the first elided dynamically (§3.4.1);
+   - hoisted configs (Static, All) issue the single sync the static pass
+     proves sufficient (the `pull-loop` kernel in [Qs_syncopt.Kernels])
+     and then read directly.
+
+   Every kernel validates its output against the sequential reference. *)
+
+module R = Scoop.Runtime
+module Reg = Scoop.Registration
+module Sh = Scoop.Shared
+module B = Bench_types
+module C = Qs_workloads.Cowichan
+
+type ctx = {
+  rt : R.t;
+  cfg : Scoop.Config.t;
+  main : Scoop.Processor.t;
+  workers : Scoop.Processor.t list;
+}
+
+let with_ctx ~config ~domains ~workers f =
+  R.run ~domains ~config (fun rt ->
+    let main = R.processor rt in
+    let ws = R.processors rt (max 1 workers) in
+    f { rt; cfg = config; main; workers = ws })
+
+(* A worker-owned array: the raw array (written directly by the handler
+   that owns it) plus its [Shared] view for clients. *)
+type 'a owned = {
+  arr : 'a array;
+  shared : 'a array Sh.t;
+}
+
+let own proc arr = { arr; shared = Sh.create proc arr }
+
+(* A worker with a row range [lo, hi) and its primary data chunk. *)
+type 'a chunk = {
+  proc : Scoop.Processor.t;
+  lo : int;
+  hi : int;
+  data : 'a owned;
+}
+
+let rows ch = ch.hi - ch.lo
+
+let make_chunks ctx ~n ~width ~init =
+  List.map2
+    (fun proc (lo, hi) ->
+      { proc; lo; hi; data = own proc (Array.make ((hi - lo) * width) init) })
+    ctx.workers
+    (B.split n (List.length ctx.workers))
+
+(* Log one asynchronous task per (processor, thunk) pair, then wait for all
+   of them; every task is logged before the first wait so the workers run
+   in parallel. *)
+let run_tasks ctx tasks =
+  List.iter
+    (fun (proc, task) ->
+      R.separate ctx.rt proc (fun reg -> Reg.call reg task))
+    tasks;
+  List.iter
+    (fun (proc, _) ->
+      R.separate ctx.rt proc (fun reg -> Reg.query reg (fun () -> ())))
+    tasks
+
+let run_on_chunks ctx chunks task =
+  run_tasks ctx (List.map (fun ch -> (ch.proc, fun () -> task ch)) chunks)
+
+(* Pull [len] elements of a shared array into a local one: the
+   communication primitive the whole of Table 1 is about. *)
+let pull cfg reg shared ~dst ~src_off ~dst_off ~len =
+  if cfg.Scoop.Config.hoisted then begin
+    let src = Sh.read_synced reg shared in
+    Array.blit src src_off dst dst_off len
+  end
+  else
+    for k = 0 to len - 1 do
+      dst.(dst_off + k) <- Sh.get reg shared (fun a -> a.(src_off + k))
+    done
+
+(* Pull a variable-length worker-produced array published through a
+   shared ref cell. *)
+let pull_ref cfg reg shref ~dummy =
+  if cfg.Scoop.Config.hoisted then Array.copy !(Sh.read_synced reg shref)
+  else begin
+    let len = Sh.get reg shref (fun r -> Array.length !r) in
+    let dst = Array.make len dummy in
+    for k = 0 to len - 1 do
+      dst.(k) <- Sh.get reg shref (fun r -> !r.(k))
+    done;
+    dst
+  end
+
+let pull_bytes cfg reg shared ~(dst : Bytes.t) ~dst_off ~len =
+  if cfg.Scoop.Config.hoisted then begin
+    let src = Sh.read_synced reg shared in
+    Bytes.blit src 0 dst dst_off len
+  end
+  else
+    for k = 0 to len - 1 do
+      Bytes.set dst (dst_off + k) (Sh.get reg shared (fun b -> Bytes.get b k))
+    done
+
+(* Master-side collection: [(proc, shared, len, dst_off)] slices into a
+   flat destination. *)
+let collect ctx items ~dst =
+  List.iter
+    (fun (proc, shared, len, dst_off) ->
+      R.separate ctx.rt proc (fun reg ->
+        pull ctx.cfg reg shared ~dst ~src_off:0 ~dst_off ~len))
+    items
+
+let collect_chunks ctx chunks ~dst ~per =
+  collect ctx
+    (List.map (fun ch -> (ch.proc, ch.data.shared, rows ch * per, ch.lo * per)) chunks)
+    ~dst
+
+(* Worker-side distribution: each worker pulls its slice of an array
+   hosted on [main], acting as a client of [main]'s handler. *)
+let distribute_chunks ctx chunks shared ~per =
+  run_on_chunks ctx chunks (fun ch ->
+    R.separate ctx.rt ctx.main (fun reg ->
+      pull ctx.cfg reg shared ~dst:ch.data.arr ~src_off:(ch.lo * per)
+        ~dst_off:0 ~len:(rows ch * per)))
+
+(* Worker-side full-array pull: every worker copies the whole of [shared]
+   into a private destination (points, vectors). *)
+let broadcast ctx targets shared =
+  (* targets : (proc, dst array) list *)
+  run_tasks ctx
+    (List.map
+       (fun (proc, dst) ->
+         ( proc,
+           fun () ->
+             R.separate ctx.rt ctx.main (fun reg ->
+               pull ctx.cfg reg shared ~dst ~src_off:0 ~dst_off:0
+                 ~len:(Array.length dst)) ))
+       targets)
+
+(* -- randmat -------------------------------------------------------------- *)
+
+let randmat ~config ~domains ~workers ~nr ~seed =
+  with_ctx ~config ~domains ~workers (fun ctx ->
+    let chunks = make_chunks ctx ~n:nr ~width:nr ~init:0 in
+    let result = Array.make (nr * nr) 0 in
+    let ph = B.start_phases () in
+    B.compute_phase ph (fun () ->
+      run_on_chunks ctx chunks (fun ch ->
+        C.randmat_chunk ~seed ~nr ~lo:ch.lo ~hi:ch.hi ch.data.arr));
+    B.comm_phase ph (fun () -> collect_chunks ctx chunks ~dst:result ~per:nr);
+    B.validate_int "randmat"
+      ~expected:(C.checksum_int (C.randmat ~seed ~nr))
+      ~actual:(C.checksum_int result);
+    B.finish_phases ph)
+
+(* -- thresh --------------------------------------------------------------- *)
+
+let thresh ~config ~domains ~workers ~nr ~p:percent ~seed =
+  let input = C.randmat ~seed ~nr in
+  let expected_threshold, expected_mask = C.thresh ~nr input ~p:percent in
+  with_ctx ~config ~domains ~workers (fun ctx ->
+    let input_sh = Sh.create ctx.main input in
+    let chunks = make_chunks ctx ~n:nr ~width:nr ~init:0 in
+    let hists = List.map (fun ch -> own ch.proc (Array.make C.modulus 0)) chunks in
+    let masks =
+      List.map
+        (fun ch ->
+          let b = Bytes.make (rows ch * nr) '\000' in
+          (b, Sh.create ch.proc b))
+        chunks
+    in
+    let mask = Bytes.make (nr * nr) '\000' in
+    let ph = B.start_phases () in
+    B.comm_phase ph (fun () -> distribute_chunks ctx chunks input_sh ~per:nr);
+    B.compute_phase ph (fun () ->
+      run_tasks ctx
+        (List.map2
+           (fun ch hist ->
+             ( ch.proc,
+               fun () ->
+                 let h = C.thresh_hist ~nr ch.data.arr ~lo:0 ~hi:(rows ch) in
+                 Array.blit h 0 hist.arr 0 C.modulus ))
+           chunks hists));
+    let merged = Array.make C.modulus 0 in
+    B.comm_phase ph (fun () ->
+      List.iter2
+        (fun ch hist ->
+          let local = Array.make C.modulus 0 in
+          R.separate ctx.rt ch.proc (fun reg ->
+            pull ctx.cfg reg hist.shared ~dst:local ~src_off:0 ~dst_off:0
+              ~len:C.modulus);
+          for v = 0 to C.modulus - 1 do
+            merged.(v) <- merged.(v) + local.(v)
+          done)
+        chunks hists);
+    let threshold =
+      C.thresh_threshold ~hist:merged ~total:(nr * nr) ~p:percent
+    in
+    B.compute_phase ph (fun () ->
+      run_tasks ctx
+        (List.map2
+           (fun ch (mbytes, _) ->
+             ( ch.proc,
+               fun () ->
+                 C.thresh_mask_rows ~nr ch.data.arr ~threshold mbytes ~lo:0
+                   ~hi:(rows ch) ))
+           chunks masks));
+    B.comm_phase ph (fun () ->
+      List.iter2
+        (fun ch (_, msh) ->
+          R.separate ctx.rt ch.proc (fun reg ->
+            pull_bytes ctx.cfg reg msh ~dst:mask ~dst_off:(ch.lo * nr)
+              ~len:(rows ch * nr)))
+        chunks masks);
+    B.validate_int "thresh.threshold" ~expected:expected_threshold
+      ~actual:threshold;
+    B.validate_int "thresh.mask"
+      ~expected:(C.checksum_mask expected_mask)
+      ~actual:(C.checksum_mask mask);
+    B.finish_phases ph)
+
+(* -- winnow --------------------------------------------------------------- *)
+
+let winnow ~config ~domains ~workers ~nr ~p:percent ~nw ~seed =
+  let input = C.randmat ~seed ~nr in
+  let _, mask = C.thresh ~nr input ~p:percent in
+  let expected = C.winnow ~nr input mask ~nw in
+  with_ctx ~config ~domains ~workers (fun ctx ->
+    let input_sh = Sh.create ctx.main input in
+    (* The mask travels as a 0/1 int array so the generic pull applies. *)
+    let mask_ints =
+      Array.init (nr * nr) (fun i -> if Bytes.get mask i = '\001' then 1 else 0)
+    in
+    let mask_sh = Sh.create ctx.main mask_ints in
+    let chunks = make_chunks ctx ~n:nr ~width:nr ~init:0 in
+    let mask_chunks =
+      List.map (fun ch -> own ch.proc (Array.make (rows ch * nr) 0)) chunks
+    in
+    let cands =
+      List.map
+        (fun ch ->
+          let cell = ref [||] in
+          (cell, Sh.create ch.proc cell))
+        chunks
+    in
+    let ph = B.start_phases () in
+    B.comm_phase ph (fun () ->
+      distribute_chunks ctx chunks input_sh ~per:nr;
+      run_tasks ctx
+        (List.map2
+           (fun ch mch ->
+             ( ch.proc,
+               fun () ->
+                 R.separate ctx.rt ctx.main (fun reg ->
+                   pull ctx.cfg reg mask_sh ~dst:mch.arr
+                     ~src_off:(ch.lo * nr) ~dst_off:0 ~len:(rows ch * nr)) ))
+           chunks mask_chunks));
+    B.compute_phase ph (fun () ->
+      run_tasks ctx
+        (List.map2
+           (fun (ch, mch) (cell, _) ->
+             ( ch.proc,
+               fun () ->
+                 let local_mask =
+                   Bytes.init (rows ch * nr) (fun i ->
+                     if mch.arr.(i) = 1 then '\001' else '\000')
+                 in
+                 let cs =
+                   C.winnow_collect ~row0:ch.lo ~nr ch.data.arr local_mask
+                     ~lo:0 ~hi:(rows ch) ()
+                 in
+                 let a = Array.of_list cs in
+                 Array.sort compare a;
+                 cell := a ))
+           (List.combine chunks mask_chunks)
+           cands));
+    let all = ref [] in
+    B.comm_phase ph (fun () ->
+      List.iter2
+        (fun ch (_, csh) ->
+          R.separate ctx.rt ch.proc (fun reg ->
+            all := pull_ref ctx.cfg reg csh ~dummy:(0, 0, 0) :: !all))
+        chunks cands);
+    let points =
+      B.compute_phase ph (fun () ->
+        let merged = Array.concat (List.rev !all) in
+        Array.sort compare merged;
+        C.winnow_select merged ~nw)
+    in
+    B.validate_int "winnow"
+      ~expected:(C.checksum_points expected)
+      ~actual:(C.checksum_points points);
+    B.finish_phases ph)
+
+(* -- outer ---------------------------------------------------------------- *)
+
+(* Points travel as two int arrays (rows and cols) so the generic int pull
+   applies; [assemble_points] rebuilds the tuple array workers compute on. *)
+let split_points points =
+  (Array.map fst points, Array.map snd points)
+
+let outer ~config ~domains ~workers ~n ~range =
+  let points = C.synthetic_points ~n ~range in
+  let expected_m, expected_v = C.outer points in
+  with_ctx ~config ~domains ~workers (fun ctx ->
+    let prs, pcs = split_points points in
+    let prs_sh = Sh.create ctx.main prs and pcs_sh = Sh.create ctx.main pcs in
+    let chunks = make_chunks ctx ~n ~width:n ~init:0.0 in
+    let vecs = List.map (fun ch -> own ch.proc (Array.make (rows ch) 0.0)) chunks in
+    let local_points =
+      List.map (fun ch -> (ch, Array.make n 0, Array.make n 0)) chunks
+    in
+    let matrix = Array.make (n * n) 0.0 and vector = Array.make n 0.0 in
+    let ph = B.start_phases () in
+    B.comm_phase ph (fun () ->
+      broadcast ctx (List.map (fun (ch, r, _) -> (ch.proc, r)) local_points) prs_sh;
+      broadcast ctx (List.map (fun (ch, _, c) -> (ch.proc, c)) local_points) pcs_sh);
+    B.compute_phase ph (fun () ->
+      run_tasks ctx
+        (List.map2
+           (fun (ch, r, c) vec ->
+             ( ch.proc,
+               fun () ->
+                 let pts = Array.map2 (fun a b -> (a, b)) r c in
+                 C.outer_chunk pts ~lo:ch.lo ~hi:ch.hi ch.data.arr vec.arr ))
+           local_points vecs));
+    B.comm_phase ph (fun () ->
+      collect_chunks ctx chunks ~dst:matrix ~per:n;
+      collect ctx
+        (List.map2 (fun ch vec -> (ch.proc, vec.shared, rows ch, ch.lo)) chunks vecs)
+        ~dst:vector);
+    B.validate_float "outer.matrix"
+      ~expected:(C.checksum_float expected_m)
+      ~actual:(C.checksum_float matrix);
+    B.validate_float "outer.vector"
+      ~expected:(C.checksum_float expected_v)
+      ~actual:(C.checksum_float vector);
+    B.finish_phases ph)
+
+(* -- product -------------------------------------------------------------- *)
+
+let product ~config ~domains ~workers ~n ~range =
+  let points = C.synthetic_points ~n ~range in
+  let matrix, vector = C.outer points in
+  let expected = C.product ~n matrix vector in
+  with_ctx ~config ~domains ~workers (fun ctx ->
+    let matrix_sh = Sh.create ctx.main matrix in
+    let vector_sh = Sh.create ctx.main vector in
+    let chunks = make_chunks ctx ~n ~width:n ~init:0.0 in
+    let local_vecs = List.map (fun ch -> (ch, Array.make n 0.0)) chunks in
+    let results = List.map (fun ch -> own ch.proc (Array.make (rows ch) 0.0)) chunks in
+    let result = Array.make n 0.0 in
+    let ph = B.start_phases () in
+    B.comm_phase ph (fun () ->
+      distribute_chunks ctx chunks matrix_sh ~per:n;
+      broadcast ctx (List.map (fun (ch, v) -> (ch.proc, v)) local_vecs) vector_sh);
+    B.compute_phase ph (fun () ->
+      run_tasks ctx
+        (List.map2
+           (fun (ch, vec) res ->
+             ( ch.proc,
+               fun () ->
+                 C.product_chunk ~n ch.data.arr vec ~rows:(rows ch) res.arr ))
+           local_vecs results));
+    B.comm_phase ph (fun () ->
+      collect ctx
+        (List.map2 (fun ch res -> (ch.proc, res.shared, rows ch, ch.lo)) chunks results)
+        ~dst:result);
+    B.validate_float "product"
+      ~expected:(C.checksum_float expected)
+      ~actual:(C.checksum_float result);
+    B.finish_phases ph)
+
+(* -- chain ---------------------------------------------------------------- *)
+
+(* The full pipeline with data staying on the workers between stages — the
+   paper notes the chain "does not suffer from nearly the same
+   communication burden" as its isolated stages because intermediate
+   results never leave the workers. *)
+let chain ~config ~domains ~workers ~nr ~p:percent ~nw ~seed =
+  let expected = C.chain ~seed ~nr ~p:percent ~nw in
+  with_ctx ~config ~domains ~workers (fun ctx ->
+    let ph = B.start_phases () in
+    (* Stage 1: randmat into worker chunks. *)
+    let chunks = make_chunks ctx ~n:nr ~width:nr ~init:0 in
+    B.compute_phase ph (fun () ->
+      run_on_chunks ctx chunks (fun ch ->
+        C.randmat_chunk ~seed ~nr ~lo:ch.lo ~hi:ch.hi ch.data.arr));
+    (* Stage 2: thresh (local hists, merge, local masks). *)
+    let hists = List.map (fun ch -> own ch.proc (Array.make C.modulus 0)) chunks in
+    B.compute_phase ph (fun () ->
+      run_tasks ctx
+        (List.map2
+           (fun ch hist ->
+             ( ch.proc,
+               fun () ->
+                 let h = C.thresh_hist ~nr ch.data.arr ~lo:0 ~hi:(rows ch) in
+                 Array.blit h 0 hist.arr 0 C.modulus ))
+           chunks hists));
+    let merged = Array.make C.modulus 0 in
+    B.comm_phase ph (fun () ->
+      List.iter2
+        (fun ch hist ->
+          let local = Array.make C.modulus 0 in
+          R.separate ctx.rt ch.proc (fun reg ->
+            pull ctx.cfg reg hist.shared ~dst:local ~src_off:0 ~dst_off:0
+              ~len:C.modulus);
+          for v = 0 to C.modulus - 1 do
+            merged.(v) <- merged.(v) + local.(v)
+          done)
+        chunks hists);
+    let threshold =
+      C.thresh_threshold ~hist:merged ~total:(nr * nr) ~p:percent
+    in
+    (* Stage 3: winnow (local candidates, merge, select). *)
+    let cands =
+      List.map
+        (fun ch ->
+          let cell = ref [||] in
+          (cell, Sh.create ch.proc cell))
+        chunks
+    in
+    B.compute_phase ph (fun () ->
+      run_tasks ctx
+        (List.map2
+           (fun ch (cell, _) ->
+             ( ch.proc,
+               fun () ->
+                 let mask = Bytes.make (rows ch * nr) '\000' in
+                 C.thresh_mask_rows ~nr ch.data.arr ~threshold mask ~lo:0
+                   ~hi:(rows ch);
+                 let cs =
+                   C.winnow_collect ~row0:ch.lo ~nr ch.data.arr mask ~lo:0
+                     ~hi:(rows ch) ()
+                 in
+                 let a = Array.of_list cs in
+                 Array.sort compare a;
+                 cell := a ))
+           chunks cands));
+    let all = ref [] in
+    B.comm_phase ph (fun () ->
+      List.iter2
+        (fun ch (_, csh) ->
+          R.separate ctx.rt ch.proc (fun reg ->
+            all := pull_ref ctx.cfg reg csh ~dummy:(0, 0, 0) :: !all))
+        chunks cands);
+    let points =
+      B.compute_phase ph (fun () ->
+        let m = Array.concat (List.rev !all) in
+        Array.sort compare m;
+        C.winnow_select m ~nw)
+    in
+    let n = Array.length points in
+    (* Stage 4: outer over the selected points. *)
+    let prs, pcs = split_points points in
+    let prs_sh = Sh.create ctx.main prs and pcs_sh = Sh.create ctx.main pcs in
+    let ochunks = make_chunks ctx ~n ~width:n ~init:0.0 in
+    let vecs = List.map (fun ch -> own ch.proc (Array.make (rows ch) 0.0)) ochunks in
+    let local_points =
+      List.map (fun ch -> (ch, Array.make n 0, Array.make n 0)) ochunks
+    in
+    B.comm_phase ph (fun () ->
+      broadcast ctx (List.map (fun (ch, r, _) -> (ch.proc, r)) local_points) prs_sh;
+      broadcast ctx (List.map (fun (ch, _, c) -> (ch.proc, c)) local_points) pcs_sh);
+    B.compute_phase ph (fun () ->
+      run_tasks ctx
+        (List.map2
+           (fun (ch, r, c) vec ->
+             ( ch.proc,
+               fun () ->
+                 let pts = Array.map2 (fun a b -> (a, b)) r c in
+                 C.outer_chunk pts ~lo:ch.lo ~hi:ch.hi ch.data.arr vec.arr ))
+           local_points vecs));
+    (* Stage 5: product — gather the vector, broadcast it, multiply the
+       worker-resident matrix rows, and collect the final result. *)
+    let vector = Array.make n 0.0 in
+    B.comm_phase ph (fun () ->
+      collect ctx
+        (List.map2 (fun ch vec -> (ch.proc, vec.shared, rows ch, ch.lo)) ochunks vecs)
+        ~dst:vector);
+    let vector_sh = Sh.create ctx.main vector in
+    let local_vecs = List.map (fun ch -> (ch, Array.make n 0.0)) ochunks in
+    let results = List.map (fun ch -> own ch.proc (Array.make (rows ch) 0.0)) ochunks in
+    let result = Array.make n 0.0 in
+    B.comm_phase ph (fun () ->
+      broadcast ctx (List.map (fun (ch, v) -> (ch.proc, v)) local_vecs) vector_sh);
+    B.compute_phase ph (fun () ->
+      run_tasks ctx
+        (List.map2
+           (fun (ch, vec) res ->
+             ( ch.proc,
+               fun () ->
+                 C.product_chunk ~n ch.data.arr vec ~rows:(rows ch) res.arr ))
+           local_vecs results));
+    B.comm_phase ph (fun () ->
+      collect ctx
+        (List.map2 (fun ch res -> (ch.proc, res.shared, rows ch, ch.lo)) ochunks results)
+        ~dst:result);
+    B.validate_float "chain"
+      ~expected:(C.checksum_float expected)
+      ~actual:(C.checksum_float result);
+    B.finish_phases ph)

@@ -1,0 +1,60 @@
+(** The Cowichan parallel benchmarks on the SCOOP runtime, parameterized
+    by optimization configuration (paper §4.2, Table 1, Fig. 16).
+
+    Each function runs one full benchmark in a fresh runtime, validates
+    the result against the sequential reference and returns the timings
+    with communication attributed separately.
+    @raise Bench_types.Validation_failed on incorrect results. *)
+
+val randmat :
+  config:Scoop.Config.t ->
+  domains:int ->
+  workers:int ->
+  nr:int ->
+  seed:int ->
+  Bench_types.timings
+
+val thresh :
+  config:Scoop.Config.t ->
+  domains:int ->
+  workers:int ->
+  nr:int ->
+  p:int ->
+  seed:int ->
+  Bench_types.timings
+
+val winnow :
+  config:Scoop.Config.t ->
+  domains:int ->
+  workers:int ->
+  nr:int ->
+  p:int ->
+  nw:int ->
+  seed:int ->
+  Bench_types.timings
+
+val outer :
+  config:Scoop.Config.t ->
+  domains:int ->
+  workers:int ->
+  n:int ->
+  range:int ->
+  Bench_types.timings
+
+val product :
+  config:Scoop.Config.t ->
+  domains:int ->
+  workers:int ->
+  n:int ->
+  range:int ->
+  Bench_types.timings
+
+val chain :
+  config:Scoop.Config.t ->
+  domains:int ->
+  workers:int ->
+  nr:int ->
+  p:int ->
+  nw:int ->
+  seed:int ->
+  Bench_types.timings

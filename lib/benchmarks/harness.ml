@@ -1,0 +1,289 @@
+(* Benchmark dispatch: runs every (task × variant) combination at a given
+   scale and aggregates the matrices the paper's tables and figures are
+   built from.  Variants are either SCOOP optimization configurations
+   (Tables 1–2) or language paradigms (Tables 4–5). *)
+
+module B = Bench_types
+
+type scale = {
+  nr : int; (* matrix dimension (paper: 10,000) *)
+  p : int; (* thresh percentage (paper: 1) *)
+  nw : int; (* winnow/outer size (paper: 10,000) *)
+  n : int; (* concurrent workers per role (paper: 32) *)
+  m : int; (* concurrent iterations (paper: 20,000) *)
+  nring : int; (* threadring ring size (shootout: 503) *)
+  nt : int; (* threadring passes (paper: 600,000) *)
+  creatures : int; (* chameneos population *)
+  nc : int; (* chameneos meetings (paper: 5,000,000) *)
+  domains : int;
+  workers : int; (* data-parallel worker count *)
+  reps : int;
+  seed : int;
+}
+
+(* Container-sized defaults: every effect in the paper's tables is
+   overhead-driven and already visible at this scale. *)
+let default =
+  {
+    nr = 220;
+    p = 1;
+    nw = 220;
+    n = 32;
+    m = 800;
+    nring = 64;
+    nt = 20_000;
+    creatures = 8;
+    nc = 5_000;
+    domains = 1;
+    workers = 8;
+    reps = 3;
+    seed = 42;
+  }
+
+let tiny =
+  {
+    nr = 60;
+    p = 2;
+    nw = 40;
+    n = 4;
+    m = 50;
+    nring = 8;
+    nt = 400;
+    creatures = 4;
+    nc = 100;
+    domains = 1;
+    workers = 4;
+    reps = 1;
+    seed = 7;
+  }
+
+(* -- dispatch -------------------------------------------------------------- *)
+
+let scoop_parallel ~config s task =
+  let domains = s.domains and workers = s.workers and seed = s.seed in
+  match task with
+  | "randmat" -> Cowichan_scoop.randmat ~config ~domains ~workers ~nr:s.nr ~seed
+  | "thresh" -> Cowichan_scoop.thresh ~config ~domains ~workers ~nr:s.nr ~p:s.p ~seed
+  | "winnow" ->
+    Cowichan_scoop.winnow ~config ~domains ~workers ~nr:s.nr ~p:s.p ~nw:s.nw ~seed
+  | "outer" -> Cowichan_scoop.outer ~config ~domains ~workers ~n:s.nw ~range:s.nr
+  | "product" -> Cowichan_scoop.product ~config ~domains ~workers ~n:s.nw ~range:s.nr
+  | "chain" ->
+    Cowichan_scoop.chain ~config ~domains ~workers ~nr:s.nr ~p:s.p ~nw:s.nw ~seed
+  | _ -> invalid_arg ("unknown parallel task " ^ task)
+
+let lang_parallel ~lang ?(domains = 0) s task =
+  let domains = if domains = 0 then s.domains else domains in
+  let workers = s.workers and seed = s.seed in
+  match lang with
+  | "qs" -> scoop_parallel ~config:Scoop.Config.all { s with domains } task
+  | "cxx" -> (
+    match task with
+    | "randmat" -> Cowichan_parfor.randmat ~domains ~workers ~nr:s.nr ~seed
+    | "thresh" -> Cowichan_parfor.thresh ~domains ~workers ~nr:s.nr ~p:s.p ~seed
+    | "winnow" -> Cowichan_parfor.winnow ~domains ~workers ~nr:s.nr ~p:s.p ~nw:s.nw ~seed
+    | "outer" -> Cowichan_parfor.outer ~domains ~workers ~n:s.nw ~range:s.nr
+    | "product" -> Cowichan_parfor.product ~domains ~workers ~n:s.nw ~range:s.nr
+    | "chain" -> Cowichan_parfor.chain ~domains ~workers ~nr:s.nr ~p:s.p ~nw:s.nw ~seed
+    | _ -> invalid_arg task)
+  | "go" -> (
+    match task with
+    | "randmat" -> Cowichan_chan.randmat ~domains ~workers ~nr:s.nr ~seed
+    | "thresh" -> Cowichan_chan.thresh ~domains ~workers ~nr:s.nr ~p:s.p ~seed
+    | "winnow" -> Cowichan_chan.winnow ~domains ~workers ~nr:s.nr ~p:s.p ~nw:s.nw ~seed
+    | "outer" -> Cowichan_chan.outer ~domains ~workers ~n:s.nw ~range:s.nr
+    | "product" -> Cowichan_chan.product ~domains ~workers ~n:s.nw ~range:s.nr
+    | "chain" -> Cowichan_chan.chain ~domains ~workers ~nr:s.nr ~p:s.p ~nw:s.nw ~seed
+    | _ -> invalid_arg task)
+  | "haskell" -> (
+    match task with
+    | "randmat" -> Cowichan_functional.randmat ~domains ~workers ~nr:s.nr ~seed
+    | "thresh" -> Cowichan_functional.thresh ~domains ~workers ~nr:s.nr ~p:s.p ~seed
+    | "winnow" ->
+      Cowichan_functional.winnow ~domains ~workers ~nr:s.nr ~p:s.p ~nw:s.nw ~seed
+    | "outer" -> Cowichan_functional.outer ~domains ~workers ~n:s.nw ~range:s.nr
+    | "product" -> Cowichan_functional.product ~domains ~workers ~n:s.nw ~range:s.nr
+    | "chain" ->
+      Cowichan_functional.chain ~domains ~workers ~nr:s.nr ~p:s.p ~nw:s.nw ~seed
+    | _ -> invalid_arg task)
+  | "erlang" -> (
+    match task with
+    | "randmat" -> Cowichan_actors.randmat ~domains ~workers ~nr:s.nr ~seed
+    | "thresh" -> Cowichan_actors.thresh ~domains ~workers ~nr:s.nr ~p:s.p ~seed
+    | "winnow" -> Cowichan_actors.winnow ~domains ~workers ~nr:s.nr ~p:s.p ~nw:s.nw ~seed
+    | "outer" -> Cowichan_actors.outer ~domains ~workers ~n:s.nw ~range:s.nr
+    | "product" -> Cowichan_actors.product ~domains ~workers ~n:s.nw ~range:s.nr
+    | "chain" -> Cowichan_actors.chain ~domains ~workers ~nr:s.nr ~p:s.p ~nw:s.nw ~seed
+    | _ -> invalid_arg task)
+  | _ -> invalid_arg ("unknown language " ^ lang)
+
+let scoop_concurrent ~config s task =
+  let domains = s.domains in
+  match task with
+  | "mutex" -> Conc_scoop.mutex ~config ~domains ~n:s.n ~m:s.m
+  | "prodcons" -> Conc_scoop.prodcons ~config ~domains ~n:s.n ~m:s.m
+  | "condition" -> Conc_scoop.condition ~config ~domains ~n:s.n ~m:s.m
+  | "threadring" -> Conc_scoop.threadring ~config ~domains ~n:s.nring ~nt:s.nt
+  | "chameneos" ->
+    Conc_scoop.chameneos ~config ~domains ~creatures:s.creatures ~nc:s.nc
+  | _ -> invalid_arg ("unknown concurrent task " ^ task)
+
+let lang_concurrent ~lang s task =
+  let domains = s.domains in
+  match lang with
+  | "qs" -> scoop_concurrent ~config:Scoop.Config.all s task
+  | "cxx" -> (
+    match task with
+    | "mutex" -> Conc_locks.mutex ~domains ~n:s.n ~m:s.m
+    | "prodcons" -> Conc_locks.prodcons ~domains ~n:s.n ~m:s.m
+    | "condition" -> Conc_locks.condition ~domains ~n:s.n ~m:s.m
+    | "threadring" -> Conc_locks.threadring ~domains ~n:s.nring ~nt:s.nt
+    | "chameneos" -> Conc_locks.chameneos ~domains ~creatures:s.creatures ~nc:s.nc
+    | _ -> invalid_arg task)
+  | "go" -> (
+    match task with
+    | "mutex" -> Conc_chan.mutex ~domains ~n:s.n ~m:s.m
+    | "prodcons" -> Conc_chan.prodcons ~domains ~n:s.n ~m:s.m
+    | "condition" -> Conc_chan.condition ~domains ~n:s.n ~m:s.m
+    | "threadring" -> Conc_chan.threadring ~domains ~n:s.nring ~nt:s.nt
+    | "chameneos" -> Conc_chan.chameneos ~domains ~creatures:s.creatures ~nc:s.nc
+    | _ -> invalid_arg task)
+  | "haskell" -> (
+    match task with
+    | "mutex" -> Conc_stm.mutex ~domains ~n:s.n ~m:s.m
+    | "prodcons" -> Conc_stm.prodcons ~domains ~n:s.n ~m:s.m
+    | "condition" -> Conc_stm.condition ~domains ~n:s.n ~m:s.m
+    | "threadring" -> Conc_stm.threadring ~domains ~n:s.nring ~nt:s.nt
+    | "chameneos" -> Conc_stm.chameneos ~domains ~creatures:s.creatures ~nc:s.nc
+    | _ -> invalid_arg task)
+  | "erlang" -> (
+    match task with
+    | "mutex" -> Conc_actors.mutex ~domains ~n:s.n ~m:s.m
+    | "prodcons" -> Conc_actors.prodcons ~domains ~n:s.n ~m:s.m
+    | "condition" -> Conc_actors.condition ~domains ~n:s.n ~m:s.m
+    | "threadring" -> Conc_actors.threadring ~domains ~n:s.nring ~nt:s.nt
+    | "chameneos" -> Conc_actors.chameneos ~domains ~creatures:s.creatures ~nc:s.nc
+    | _ -> invalid_arg task)
+  | _ -> invalid_arg ("unknown language " ^ lang)
+
+(* -- measured matrices ----------------------------------------------------- *)
+
+let measure ~reps f = B.repeat ~reps f
+
+(* Table 1 / Fig. 16: per-task communication times across optimization
+   configurations, plus the normalized view. *)
+let optimization_parallel s =
+  List.map
+    (fun task ->
+      let per_config =
+        List.map
+          (fun config ->
+            ( config.Scoop.Config.name,
+              measure ~reps:s.reps (fun () -> scoop_parallel ~config s task) ))
+          Scoop.Config.presets
+      in
+      (task, per_config))
+    Paper_data.parallel_tasks
+
+let normalize_comm per_config =
+  let comms = List.map (fun (_, (t : B.timings)) -> max t.comm 1e-9) per_config in
+  let best = List.fold_left min infinity comms in
+  List.map2 (fun (name, _) c -> (name, c /. best)) per_config comms
+
+(* Table 2 / Fig. 17: per-task total times across configurations. *)
+let optimization_concurrent s =
+  List.map
+    (fun task ->
+      let per_config =
+        List.map
+          (fun config ->
+            ( config.Scoop.Config.name,
+              measure ~reps:s.reps (fun () -> scoop_concurrent ~config s task) ))
+          Scoop.Config.presets
+      in
+      (task, per_config))
+    Paper_data.concurrent_tasks
+
+(* Fig. 18 / Table 4 (measured at this machine's scale): per-language
+   totals and compute times for the parallel tasks. *)
+let language_parallel ?domains s =
+  List.map
+    (fun task ->
+      let per_lang =
+        List.map
+          (fun lang ->
+            (lang, measure ~reps:s.reps (fun () -> lang_parallel ~lang ?domains s task)))
+          Paper_data.languages
+      in
+      (task, per_lang))
+    Paper_data.parallel_tasks
+
+(* Fig. 20 / Table 5 (measured): per-language totals for the concurrent
+   tasks. *)
+let language_concurrent s =
+  List.map
+    (fun task ->
+      let per_lang =
+        List.map
+          (fun lang ->
+            (lang, measure ~reps:s.reps (fun () -> lang_concurrent ~lang s task)))
+          Paper_data.languages
+      in
+      (task, per_lang))
+    Paper_data.concurrent_tasks
+
+(* §4.4: geometric mean of every benchmark's total per configuration. *)
+let optimization_geomeans ~parallel ~concurrent =
+  List.map
+    (fun config ->
+      let name = config.Scoop.Config.name in
+      let totals =
+        List.concat_map
+          (fun (_, per) ->
+            [ (List.assoc name per : B.timings).B.total ])
+          (parallel @ concurrent)
+      in
+      (name, B.geomean totals))
+    Scoop.Config.presets
+
+let language_geomeans results =
+  List.map
+    (fun lang ->
+      let totals =
+        List.map (fun (_, per) -> (List.assoc lang per : B.timings).B.total) results
+      in
+      (lang, B.geomean totals))
+    Paper_data.languages
+
+(* §4.5: the EVE retrofit — eve-base (production-like runtime) vs eve-qs
+   (QoQ + Dynamic retrofitted), both with the EVE handicaps. *)
+let eve_experiment s =
+  let run config =
+    let parallel =
+      List.map
+        (fun task ->
+          (task, measure ~reps:s.reps (fun () -> scoop_parallel ~config s task)))
+        Paper_data.parallel_tasks
+    in
+    let concurrent =
+      List.map
+        (fun task ->
+          (task, measure ~reps:s.reps (fun () -> scoop_concurrent ~config s task)))
+        Paper_data.concurrent_tasks
+    in
+    (parallel, concurrent)
+  in
+  let base_p, base_c = run Scoop.Config.eve_base in
+  let qs_p, qs_c = run Scoop.Config.eve_qs in
+  let speedups base qs =
+    List.map2
+      (fun (task, (b : B.timings)) (_, (q : B.timings)) ->
+        (task, b.B.total /. max q.B.total 1e-9))
+      base qs
+  in
+  let par = speedups base_p qs_p and conc = speedups base_c qs_c in
+  let geo xs = B.geomean (List.map snd xs) in
+  ( par,
+    conc,
+    [ ("parallel", geo par); ("concurrent", geo conc); ("overall", geo (par @ conc)) ]
+  )

@@ -1,0 +1,79 @@
+(** Benchmark dispatch and aggregation for the paper's evaluation.
+
+    [scale] bundles the problem sizes (paper defaults are far beyond a
+    container, see DESIGN.md); {!default} is container-sized, {!tiny} is
+    for tests.  The [optimization_*] runners produce the Table 1/2
+    matrices; the [language_*] runners the Table 4/5 matrices. *)
+
+type scale = {
+  nr : int;
+  p : int;
+  nw : int;
+  n : int;
+  m : int;
+  nring : int;
+  nt : int;
+  creatures : int;
+  nc : int;
+  domains : int;
+  workers : int;
+  reps : int;
+  seed : int;
+}
+
+val default : scale
+val tiny : scale
+
+val scoop_parallel :
+  config:Scoop.Config.t -> scale -> string -> Bench_types.timings
+(** Run one named Cowichan task ("randmat", "thresh", "winnow", "outer",
+    "product", "chain") under a configuration. *)
+
+val scoop_concurrent :
+  config:Scoop.Config.t -> scale -> string -> Bench_types.timings
+(** Run one named coordination task ("mutex", "prodcons", "condition",
+    "threadring", "chameneos") under a configuration. *)
+
+val lang_parallel :
+  lang:string -> ?domains:int -> scale -> string -> Bench_types.timings
+(** Run a Cowichan task under a language paradigm ("cxx", "go", "haskell",
+    "erlang", "qs"). *)
+
+val lang_concurrent : lang:string -> scale -> string -> Bench_types.timings
+
+val optimization_parallel :
+  scale -> (string * (string * Bench_types.timings) list) list
+(** Table 1 / Fig. 16 data: per task, timings for each configuration. *)
+
+val optimization_concurrent :
+  scale -> (string * (string * Bench_types.timings) list) list
+(** Table 2 / Fig. 17 data. *)
+
+val language_parallel :
+  ?domains:int -> scale -> (string * (string * Bench_types.timings) list) list
+(** Fig. 18 / Table 4 data (measured at this machine's scale). *)
+
+val language_concurrent :
+  scale -> (string * (string * Bench_types.timings) list) list
+(** Fig. 20 / Table 5 data. *)
+
+val normalize_comm :
+  (string * Bench_types.timings) list -> (string * float) list
+(** Communication times normalized to the fastest variant (Table 1). *)
+
+val optimization_geomeans :
+  parallel:(string * (string * Bench_types.timings) list) list ->
+  concurrent:(string * (string * Bench_types.timings) list) list ->
+  (string * float) list
+(** §4.4 geometric means per configuration. *)
+
+val language_geomeans :
+  (string * (string * Bench_types.timings) list) list -> (string * float) list
+
+val eve_experiment :
+  scale ->
+  (string * float) list * (string * float) list * (string * float) list
+(** §4.5: per-task EVE/Qs-over-EVE-base speedups (parallel, concurrent)
+    and the grouped geometric means. *)
+
+val measure : reps:int -> (unit -> Bench_types.timings) -> Bench_types.timings

@@ -1,0 +1,156 @@
+(* Reference numbers transcribed from the paper, used by the report
+   printers so every regenerated table shows paper-vs-measured side by
+   side, and by EXPERIMENTS.md.
+
+   Sources: Table 1 (normalized optimization comparison, parallel),
+   Table 2 (optimization times, concurrent), Table 4 (parallel language
+   comparison, total and compute times, 1..32 threads), Table 5
+   (concurrent language comparison), and the geometric means quoted in
+   §4.4 and §5.4. *)
+
+let parallel_tasks = [ "chain"; "outer"; "product"; "randmat"; "thresh"; "winnow" ]
+let concurrent_tasks = [ "chameneos"; "condition"; "mutex"; "prodcons"; "threadring" ]
+let opt_configs = [ "none"; "dynamic"; "static"; "qoq"; "all" ]
+let languages = [ "cxx"; "erlang"; "go"; "haskell"; "qs" ]
+
+(* Table 1: communication time normalized to the fastest configuration. *)
+let table1 : (string * (string * float) list) list =
+  [
+    ( "chain",
+      [ ("none", 27.70); ("dynamic", 1.13); ("static", 1.00); ("qoq", 28.81); ("all", 1.28) ] );
+    ( "outer",
+      [ ("none", 78.95); ("dynamic", 1.45); ("static", 1.00); ("qoq", 80.44); ("all", 1.00) ] );
+    ( "product",
+      [ ("none", 49.99); ("dynamic", 1.33); ("static", 1.00); ("qoq", 51.18); ("all", 1.02) ] );
+    ( "randmat",
+      [ ("none", 345.61); ("dynamic", 3.05); ("static", 1.00); ("qoq", 353.43); ("all", 1.03) ] );
+    ( "thresh",
+      [ ("none", 64.54); ("dynamic", 1.33); ("static", 1.00); ("qoq", 66.08); ("all", 1.05) ] );
+    ( "winnow",
+      [ ("none", 53.14); ("dynamic", 1.35); ("static", 1.21); ("qoq", 54.33); ("all", 1.00) ] );
+  ]
+
+(* Table 2: times in seconds for the optimization configurations on the
+   concurrent benchmarks. *)
+let table2 : (string * (string * float) list) list =
+  [
+    ( "chameneos",
+      [ ("none", 21.41); ("dynamic", 6.58); ("static", 21.58); ("qoq", 16.54); ("all", 4.80) ] );
+    ( "condition",
+      [ ("none", 12.41); ("dynamic", 8.93); ("static", 12.44); ("qoq", 1.78); ("all", 1.50) ] );
+    ( "mutex",
+      [ ("none", 0.44); ("dynamic", 0.45); ("static", 0.44); ("qoq", 0.46); ("all", 0.47) ] );
+    ( "prodcons",
+      [ ("none", 3.72); ("dynamic", 1.88); ("static", 3.71); ("qoq", 1.98); ("all", 1.42) ] );
+    ( "threadring",
+      [ ("none", 17.01); ("dynamic", 5.27); ("static", 17.08); ("qoq", 16.41); ("all", 5.80) ] );
+  ]
+
+(* §4.4: geometric means over all benchmarks per configuration. *)
+let section44_geomeans =
+  [ ("none", 20.70); ("dynamic", 1.99); ("static", 2.24); ("qoq", 16.21); ("all", 1.36) ]
+
+(* §4.5: EVE/Qs retrofit speedups over the production SCOOP runtime. *)
+let eve_speedups =
+  [ ("concurrent", 11.7); ("parallel", 7.7); ("overall", 9.7) ]
+
+(* Table 4: total (T) and, where reported, compute-only (C) times in
+   seconds, per task, language and thread count (1, 2, 4, 8, 16, 32). *)
+type t4_row = {
+  t4_task : string;
+  t4_lang : string;
+  t4_variant : [ `Total | `Compute ];
+  t4_times : float array; (* threads 1, 2, 4, 8, 16, 32 *)
+}
+
+let table4 : t4_row list =
+  let r task lang variant times =
+    { t4_task = task; t4_lang = lang; t4_variant = variant; t4_times = Array.of_list times }
+  in
+  [
+    r "randmat" "cxx" `Total [ 0.44; 0.23; 0.13; 0.08; 0.06; 0.08 ];
+    r "randmat" "erlang" `Total [ 30.93; 18.01; 10.20; 5.77; 4.05; 4.14 ];
+    r "randmat" "erlang" `Compute [ 20.69; 11.26; 5.63; 2.99; 1.73; 1.50 ];
+    r "randmat" "go" `Total [ 0.78; 0.43; 0.24; 0.14; 0.09; 0.08 ];
+    r "randmat" "haskell" `Total [ 0.68; 0.43; 0.36; 0.44; 0.62; 1.03 ];
+    r "randmat" "qs" `Total [ 0.72; 0.43; 0.29; 0.22; 0.21; 0.23 ];
+    r "randmat" "qs" `Compute [ 0.59; 0.30; 0.15; 0.08; 0.05; 0.05 ];
+    r "thresh" "cxx" `Total [ 1.00; 0.66; 0.34; 0.18; 0.12; 0.11 ];
+    r "thresh" "erlang" `Total [ 31.82; 22.35; 17.77; 14.48; 12.88; 11.96 ];
+    r "thresh" "erlang" `Compute [ 19.30; 10.74; 5.97; 2.77; 1.47; 0.89 ];
+    r "thresh" "go" `Total [ 0.95; 0.60; 0.37; 0.22; 0.17; 0.17 ];
+    r "thresh" "haskell" `Total [ 1.56; 0.96; 0.69; 0.55; 0.51; 0.50 ];
+    r "thresh" "qs" `Total [ 3.71; 2.72; 2.28; 2.10; 2.11; 2.15 ];
+    r "thresh" "qs" `Compute [ 1.87; 1.08; 0.54; 0.31; 0.16; 0.09 ];
+    r "winnow" "cxx" `Total [ 2.04; 1.03; 0.53; 0.29; 0.18; 0.15 ];
+    r "winnow" "erlang" `Total [ 31.03; 26.02; 25.04; 24.75; 24.38; 23.95 ];
+    r "winnow" "erlang" `Compute [ 4.06; 2.58; 1.84; 1.46; 1.29; 1.24 ];
+    r "winnow" "go" `Total [ 2.47; 1.29; 0.71; 0.46; 0.32; 0.28 ];
+    r "winnow" "haskell" `Total [ 5.43; 2.77; 1.42; 0.80; 0.48; 0.52 ];
+    r "winnow" "qs" `Total [ 5.16; 3.74; 3.04; 2.69; 2.58; 2.57 ];
+    r "winnow" "qs" `Compute [ 2.83; 1.40; 0.72; 0.36; 0.19; 0.10 ];
+    r "outer" "cxx" `Total [ 1.59; 0.83; 0.42; 0.23; 0.15; 0.14 ];
+    r "outer" "erlang" `Total [ 61.57; 38.21; 21.19; 17.57; 11.67; 8.05 ];
+    r "outer" "erlang" `Compute [ 40.66; 22.54; 10.45; 6.05; 3.12; 2.52 ];
+    r "outer" "go" `Total [ 2.47; 1.44; 0.84; 0.57; 0.60; 0.67 ];
+    r "outer" "haskell" `Total [ 5.49; 2.76; 1.40; 0.74; 0.41; 0.36 ];
+    r "outer" "qs" `Total [ 2.58; 1.62; 1.15; 0.93; 0.90; 0.89 ];
+    r "outer" "qs" `Compute [ 1.87; 0.93; 0.46; 0.24; 0.12; 0.06 ];
+    r "product" "cxx" `Total [ 0.44; 0.23; 0.13; 0.09; 0.08; 0.12 ];
+    r "product" "erlang" `Total [ 15.89; 13.94; 12.66; 12.08; 11.82; 11.33 ];
+    r "product" "erlang" `Compute [ 3.35; 1.95; 0.90; 0.45; 0.24; 0.15 ];
+    r "product" "go" `Total [ 0.76; 0.46; 0.29; 0.19; 0.15; 0.13 ];
+    r "product" "haskell" `Total [ 0.45; 0.25; 0.16; 0.11; 0.11; 0.15 ];
+    r "product" "qs" `Total [ 1.49; 1.33; 1.27; 1.24; 1.28; 1.34 ];
+    r "product" "qs" `Compute [ 0.32; 0.16; 0.08; 0.04; 0.02; 0.01 ];
+    r "chain" "cxx" `Total [ 5.57; 2.76; 1.42; 0.76; 0.43; 0.32 ];
+    r "chain" "erlang" `Total [ 120.59; 69.00; 32.06; 18.48; 13.23; 16.01 ];
+    r "chain" "erlang" `Compute [ 119.68; 68.13; 30.93; 17.75; 12.63; 15.15 ];
+    r "chain" "go" `Total [ 7.39; 4.09; 2.39; 1.79; 1.93; 2.60 ];
+    r "chain" "haskell" `Total [ 13.78; 7.71; 4.62; 3.30; 2.74; 2.94 ];
+    r "chain" "qs" `Total [ 5.60; 2.88; 1.56; 0.97; 0.68; 0.67 ];
+    r "chain" "qs" `Compute [ 5.54; 2.75; 1.40; 0.74; 0.40; 0.25 ];
+  ]
+
+let table4_lookup ~task ~lang ~variant =
+  List.find_opt
+    (fun r -> r.t4_task = task && r.t4_lang = lang && r.t4_variant = variant)
+    table4
+
+(* Table 5: concurrent benchmark times (seconds) per language. *)
+let table5 : (string * (string * float) list) list =
+  [
+    ( "chameneos",
+      [ ("cxx", 0.32); ("erlang", 8.67); ("go", 2.40); ("haskell", 61.97); ("qs", 4.71) ] );
+    ( "condition",
+      [ ("cxx", 15.92); ("erlang", 2.15); ("go", 5.95); ("haskell", 26.05); ("qs", 1.48) ] );
+    ( "mutex",
+      [ ("cxx", 0.14); ("erlang", 6.13); ("go", 0.17); ("haskell", 0.86); ("qs", 0.47) ] );
+    ( "prodcons",
+      [ ("cxx", 0.40); ("erlang", 8.78); ("go", 0.66); ("haskell", 2.99); ("qs", 1.33) ] );
+    ( "threadring",
+      [ ("cxx", 34.13); ("erlang", 3.30); ("go", 13.98); ("haskell", 57.44); ("qs", 5.82) ] );
+  ]
+
+(* §5.2.1 / §5.3 / §5.4 geometric means. *)
+let parallel_total_geomeans =
+  [ ("cxx", 0.32); ("go", 0.57); ("haskell", 0.89); ("qs", 1.35); ("erlang", 18.07) ]
+
+let parallel_compute_geomeans =
+  [ ("qs", 0.29); ("cxx", 0.32); ("go", 0.57); ("haskell", 0.89); ("erlang", 4.32) ]
+
+let concurrent_geomeans =
+  [ ("cxx", 1.57); ("go", 1.82); ("qs", 1.91); ("erlang", 5.01); ("haskell", 12.20) ]
+
+let overall_geomeans =
+  [ ("cxx", 0.71); ("go", 1.02); ("qs", 1.61); ("haskell", 3.30); ("erlang", 9.51) ]
+
+(* Table 3: language characteristics (static). *)
+let table3 =
+  [
+    ("C++/TBB", "possible", "OS", "Imperative", "Shared", "Skeletons/traditional");
+    ("Go", "possible", "light", "Imperative", "Shared", "Goroutines/channels");
+    ("Haskell", "none", "light", "Functional", "STM", "STM/Repa");
+    ("Erlang", "none", "light", "Functional", "Non-shared", "Actors");
+    ("SCOOP/Qs", "none", "light", "O-O", "Non-shared", "Active Objects");
+  ]

@@ -1,0 +1,40 @@
+(** The paper's published measurements, transcribed: Tables 1, 2, 3, 4, 5
+    and the §4.4/§4.5/§5 geometric means.  Used by the report printers
+    (paper-vs-measured) and by the simulator's calibration. *)
+
+val parallel_tasks : string list
+val concurrent_tasks : string list
+val opt_configs : string list
+val languages : string list
+
+val table1 : (string * (string * float) list) list
+(** Normalized parallel communication times per configuration. *)
+
+val table2 : (string * (string * float) list) list
+(** Concurrent benchmark seconds per configuration. *)
+
+val section44_geomeans : (string * float) list
+val eve_speedups : (string * float) list
+
+type t4_row = {
+  t4_task : string;
+  t4_lang : string;
+  t4_variant : [ `Total | `Compute ];
+  t4_times : float array; (** threads 1, 2, 4, 8, 16, 32 *)
+}
+
+val table4 : t4_row list
+
+val table4_lookup :
+  task:string -> lang:string -> variant:[ `Total | `Compute ] -> t4_row option
+
+val table5 : (string * (string * float) list) list
+(** Concurrent benchmark seconds per language. *)
+
+val parallel_total_geomeans : (string * float) list
+val parallel_compute_geomeans : (string * float) list
+val concurrent_geomeans : (string * float) list
+val overall_geomeans : (string * float) list
+
+val table3 : (string * string * string * string * string * string) list
+(** Language / races / threads / paradigm / memory / approach. *)

@@ -1,0 +1,152 @@
+(* Table rendering for the benchmark harness: every regenerated artifact
+   prints the measured matrix next to the paper's reference numbers so the
+   shape comparison is immediate. *)
+
+module B = Bench_types
+
+let hr width = print_endline (String.make width '-')
+
+let heading title =
+  print_newline ();
+  print_endline title;
+  hr (String.length title)
+
+let fmt_float v =
+  if Float.is_integer v && Float.abs v < 1e6 then Printf.sprintf "%.0f." v
+  else if Float.abs v >= 100.0 then Printf.sprintf "%.1f" v
+  else if Float.abs v >= 1.0 then Printf.sprintf "%.2f" v
+  else Printf.sprintf "%.4f" v
+
+(* A labelled matrix: rows of (name, values), one column per [cols] entry.
+   [paper] rows with matching names are interleaved for comparison. *)
+let matrix ~cols ?(paper = []) rows =
+  let col_width = 10 in
+  let name_width = 22 in
+  let print_cells name cells =
+    Printf.printf "%-*s" name_width name;
+    List.iter (fun c -> Printf.printf "%*s" col_width c) cells;
+    print_newline ()
+  in
+  print_cells "" cols;
+  List.iter
+    (fun (name, values) ->
+      print_cells name (List.map fmt_float values);
+      match List.assoc_opt name paper with
+      | Some ref_values ->
+        print_cells "  (paper)" (List.map fmt_float ref_values)
+      | None -> ())
+    rows
+
+(* Rows from the harness's (task * (variant * timings) list) results. *)
+let rows_of ~cols ~value results =
+  List.map
+    (fun (task, per) ->
+      (task, List.map (fun col -> value (List.assoc col per : B.timings)) cols))
+    results
+
+let paper_rows_of ~cols table =
+  List.map
+    (fun (task, per) -> (task, List.map (fun col -> List.assoc col per) cols))
+    table
+
+let table1 results =
+  heading
+    "Table 1 / Fig. 16 — parallel communication time, normalized to the \
+     fastest configuration";
+  let cols = Paper_data.opt_configs in
+  let rows =
+    List.map (fun (task, per) -> (task, List.map snd (Harness.normalize_comm per)))
+      results
+  in
+  matrix ~cols ~paper:(paper_rows_of ~cols Paper_data.table1) rows
+
+let fig16 results =
+  heading "Fig. 16 — absolute communication times (seconds, this machine)";
+  let cols = Paper_data.opt_configs in
+  matrix ~cols (rows_of ~cols ~value:(fun t -> t.B.comm) results)
+
+let table2 results =
+  heading
+    "Table 2 / Fig. 17 — concurrent benchmark times (seconds; paper rows \
+     are at full scale, measured rows at this machine's scale — compare \
+     shapes, not magnitudes)";
+  let cols = Paper_data.opt_configs in
+  matrix ~cols
+    ~paper:(paper_rows_of ~cols Paper_data.table2)
+    (rows_of ~cols ~value:(fun t -> t.B.total) results)
+
+let table3 () =
+  heading "Table 3 — language characteristics (static)";
+  Printf.printf "%-10s %-9s %-7s %-11s %-11s %s\n" "Language" "Races"
+    "Threads" "Paradigm" "Memory" "Approach";
+  List.iter
+    (fun (l, r, t, p, m, a) ->
+      Printf.printf "%-10s %-9s %-7s %-11s %-11s %s\n" l r t p m a)
+    Paper_data.table3
+
+let table4 results =
+  heading
+    "Fig. 18 / Table 4 — parallel tasks per language (seconds; total and \
+     compute-only; paper values at 32 cores)";
+  let cols = Paper_data.languages in
+  let paper_total =
+    List.map
+      (fun task ->
+        ( task,
+          List.map
+            (fun lang ->
+              match Paper_data.table4_lookup ~task ~lang ~variant:`Total with
+              | Some r -> r.Paper_data.t4_times.(5)
+              | None -> nan)
+            cols ))
+      Paper_data.parallel_tasks
+  in
+  print_endline "Total time:";
+  matrix ~cols ~paper:paper_total
+    (rows_of ~cols ~value:(fun t -> t.B.total) results);
+  print_endline "Compute-only time:";
+  matrix ~cols
+    (rows_of ~cols ~value:(fun t -> t.B.compute) results)
+
+let table5 results =
+  heading
+    "Fig. 20 / Table 5 — concurrent tasks per language (seconds; compare \
+     shapes, not magnitudes)";
+  let cols = Paper_data.languages in
+  matrix ~cols
+    ~paper:(paper_rows_of ~cols Paper_data.table5)
+    (rows_of ~cols ~value:(fun t -> t.B.total) results)
+
+let geomeans_44 measured =
+  heading "§4.4 — geometric means per optimization configuration (seconds)";
+  let cols = Paper_data.opt_configs in
+  matrix ~cols
+    ~paper:[ ("geomean", List.map (fun c -> List.assoc c Paper_data.section44_geomeans) cols) ]
+    [ ("geomean", List.map (fun c -> List.assoc c measured) cols) ];
+  let speedup =
+    List.assoc "none" measured /. max (List.assoc "all" measured) 1e-9
+  in
+  Printf.printf
+    "\nnone/all speedup: measured %.1fx   (paper: ~15x, 20.70s -> 1.36s)\n"
+    speedup
+
+let geomeans_langs ~title ~paper measured =
+  heading title;
+  let cols = Paper_data.languages in
+  matrix ~cols
+    ~paper:[ ("geomean", List.map (fun c -> List.assoc c paper) cols) ]
+    [ ("geomean", List.map (fun c -> List.assoc c measured) cols) ]
+
+let eve (par, conc, geos) =
+  heading
+    "§4.5 — EVE retrofit: speedup of EVE/Qs (QoQ + Dynamic) over the \
+     production-like EVE runtime";
+  List.iter
+    (fun (task, sp) -> Printf.printf "%-22s %6.1fx\n" task sp)
+    (par @ conc);
+  print_newline ();
+  List.iter
+    (fun (group, sp) ->
+      let paper = List.assoc group Paper_data.eve_speedups in
+      Printf.printf "%-22s %6.1fx   (paper: %.1fx)\n" group sp paper)
+    geos

@@ -1,0 +1,25 @@
+(** Table rendering: each artifact prints the measured matrix with the
+    paper's reference rows interleaved for shape comparison. *)
+
+val heading : string -> unit
+
+val matrix :
+  cols:string list ->
+  ?paper:(string * float list) list ->
+  (string * float list) list ->
+  unit
+
+val table1 : (string * (string * Bench_types.timings) list) list -> unit
+val fig16 : (string * (string * Bench_types.timings) list) list -> unit
+val table2 : (string * (string * Bench_types.timings) list) list -> unit
+val table3 : unit -> unit
+val table4 : (string * (string * Bench_types.timings) list) list -> unit
+val table5 : (string * (string * Bench_types.timings) list) list -> unit
+val geomeans_44 : (string * float) list -> unit
+
+val geomeans_langs :
+  title:string -> paper:(string * float) list -> (string * float) list -> unit
+
+val eve :
+  (string * float) list * (string * float) list * (string * float) list ->
+  unit

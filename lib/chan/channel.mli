@@ -1,0 +1,38 @@
+(** Go-style channels over fibers (the Go comparator of the paper's §5
+    comparison).
+
+    [capacity 0] (the default) is an unbuffered, rendezvous channel;
+    positive capacities buffer that many elements before senders block. *)
+
+exception Closed
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+
+val send : 'a t -> 'a -> unit
+(** Blocks while the buffer is full (or, unbuffered, until a receiver
+    takes the value).  @raise Closed if the channel is closed. *)
+
+val recv : 'a t -> 'a
+(** Blocks while empty.  @raise Closed once closed and drained. *)
+
+val recv_opt : 'a t -> 'a option
+(** Like {!recv} but [None] once closed and drained. *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking receive. *)
+
+val close : 'a t -> unit
+val is_closed : 'a t -> bool
+
+val go : (unit -> unit) -> unit
+(** Alias for {!Qs_sched.Sched.spawn}. *)
+
+module Wait_group : sig
+  type t
+
+  val create : int -> t
+  val done_ : t -> unit
+  val wait : t -> unit
+end

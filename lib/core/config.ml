@@ -1,0 +1,68 @@
+(* Runtime configurations: the five optimization columns of the paper's §4
+   evaluation plus the EVE retrofit of §4.5.
+
+   The [hoisted] flag does not change the runtime; it tells benchmark code
+   which kernel *shape* to use — the naive shape (a sync before every
+   access, what a straightforward code generator emits) or the hoisted
+   shape (syncs lifted out of loops, the output of the static
+   sync-coalescing pass in [Qs_syncopt]). *)
+
+type t = {
+  name : string;
+  qoq : bool;
+      (* queue-of-queues handler communication (Fig. 4) instead of the
+         original one-lock-per-handler structure (Fig. 2) *)
+  client_query : bool;
+      (* execute queries on the client after a sync round trip (Fig. 10b)
+         instead of packaging them for the handler (Fig. 10a) *)
+  dyn_sync : bool; (* dynamic sync coalescing, §3.4.1 *)
+  hoisted : bool; (* benchmarks use statically sync-coalesced kernels, §3.4.2 *)
+  eve : bool; (* EVE-style handler-lookup and shadow-stack handicaps, §4.5 *)
+}
+
+let none =
+  {
+    name = "none";
+    qoq = false;
+    client_query = false;
+    dyn_sync = false;
+    hoisted = false;
+    eve = false;
+  }
+
+let dynamic = { none with name = "dynamic"; client_query = true; dyn_sync = true }
+let static_ = { none with name = "static"; client_query = true; hoisted = true }
+let qoq = { none with name = "qoq"; qoq = true }
+
+let all =
+  {
+    name = "all";
+    qoq = true;
+    client_query = true;
+    dyn_sync = true;
+    hoisted = true;
+    eve = false;
+  }
+
+(* §4.5: the production-EiffelStudio-like baseline and the EVE/Qs retrofit
+   (QoQ + Dynamic only; no Static, as the paper could not implement it). *)
+let eve_base = { none with name = "eve-base"; eve = true }
+
+let eve_qs =
+  {
+    name = "eve-qs";
+    qoq = true;
+    client_query = true;
+    dyn_sync = true;
+    hoisted = false;
+    eve = true;
+  }
+
+let presets = [ none; dynamic; static_; qoq; all ]
+
+let by_name name =
+  List.find_opt
+    (fun c -> c.name = name)
+    (presets @ [ eve_base; eve_qs ])
+
+let pp ppf t = Format.pp_print_string ppf t.name

@@ -1,0 +1,36 @@
+(** Runtime optimization configurations (paper §4).
+
+    Each preset corresponds to a column of Tables 1–2 / Figs. 16–17:
+
+    - {!none}: the original lock-based SCOOP runtime, packaged queries.
+    - {!dynamic}: + client-side query execution with dynamic sync
+      coalescing (§3.4.1).
+    - {!static_}: + client-side query execution; benchmarks use kernels
+      with syncs hoisted by the static pass (§3.4.2).
+    - {!qoq}: the queue-of-queues communication structure alone (§2.3).
+    - {!all}: every optimization combined (the SCOOP/Qs runtime).
+
+    {!eve_base} and {!eve_qs} model the EVE retrofit experiment (§4.5). *)
+
+type t = {
+  name : string;
+  qoq : bool;
+  client_query : bool;
+  dyn_sync : bool;
+  hoisted : bool;
+  eve : bool;
+}
+
+val none : t
+val dynamic : t
+val static_ : t
+val qoq : t
+val all : t
+val eve_base : t
+val eve_qs : t
+
+val presets : t list
+(** The five columns of the optimization evaluation, in paper order. *)
+
+val by_name : string -> t option
+val pp : Format.formatter -> t -> unit

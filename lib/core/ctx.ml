@@ -1,0 +1,17 @@
+(* Shared runtime context threaded through client-side operations. *)
+
+type t = {
+  config : Config.t;
+  stats : Stats.t;
+  eve : Eve.t option;
+  trace : Trace.t option;
+}
+
+let create ?(trace = false) config =
+  let stats = Stats.create () in
+  {
+    config;
+    stats;
+    eve = (if config.Config.eve then Some (Eve.create stats) else None);
+    trace = (if trace then Some (Trace.create ()) else None);
+  }

@@ -1,0 +1,27 @@
+(* EVE/Qs handicap model (paper §4.5).
+
+   The EVE retrofit inherits two costs from EiffelStudio that the paper
+   calls out: handler IDs live in object headers, so every access to a
+   handler goes through a secondary thread-safe lookup structure; and the
+   shadow-stack GC discipline taxes executed calls (modelled on the
+   processor side).  This module is the lookup structure: a hash table
+   guarded by a spinlock, consulted on every client-side request when the
+   [eve] configuration flag is set. *)
+
+type t = {
+  lock : Qs_queues.Spinlock.t;
+  table : (int, int) Hashtbl.t;
+  stats : Stats.t;
+}
+
+let create stats =
+  { lock = Qs_queues.Spinlock.create (); table = Hashtbl.create 64; stats }
+
+let register t id =
+  Qs_queues.Spinlock.with_lock t.lock (fun () ->
+    Hashtbl.replace t.table id id)
+
+let lookup t id =
+  Atomic.incr t.stats.Stats.eve_lookups;
+  Qs_queues.Spinlock.with_lock t.lock (fun () ->
+    ignore (Hashtbl.find_opt t.table id : int option))

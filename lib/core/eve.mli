@@ -1,0 +1,10 @@
+(** Handler-lookup handicap used by the EVE configurations (paper §4.5):
+    a spinlocked hash table consulted on every client-side request,
+    modelling EiffelStudio's object-header handler IDs. *)
+
+type t
+
+val create : Stats.t -> t
+val register : t -> int -> unit
+val lookup : t -> int -> unit
+(** Charge one thread-safe handler lookup (counted in the stats). *)

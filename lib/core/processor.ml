@@ -1,0 +1,128 @@
+(* SCOOP processors ("handlers"): one fiber per processor executing the
+   main handler loop of Fig. 7.
+
+   A processor owns two alternative communication structures and uses the
+   one selected by the runtime configuration:
+
+   - queue-of-queues mode (Fig. 4): an MPSC queue of private queues.  The
+     outer loop dequeues private queues in registration (FIFO) order; the
+     inner loop executes requests from one private queue until its [End]
+     marker — the run / end rules of the operational semantics.
+
+   - lock-based mode (Fig. 2, the original SCOOP structure used as the
+     `None` baseline): a handler mutex serializing clients plus a single
+     request queue.
+
+   The EVE configuration (§4.5) charges every executed call with a
+   shadow-stack update, modelling the GC discipline that EiffelStudio
+   imposes on the retrofitted runtime. *)
+
+type pq = Request.t Qs_sched.Bqueue.Spsc.t
+
+type t = {
+  id : int;
+  config : Config.t;
+  stats : Stats.t;
+  qoq : pq Qs_sched.Bqueue.Mpsc.t;
+  direct : Request.t Qs_sched.Bqueue.Mpsc.t;
+  lock : Qs_sched.Fiber_mutex.t;
+  reserve : Qs_queues.Spinlock.t;
+  cache : pq Qs_queues.Treiber_stack.t;
+  shadow : int array; (* EVE shadow stack simulation *)
+  mutable shadow_top : int;
+}
+
+let execute t f =
+  if t.config.Config.eve then begin
+    (* Push a frame on the simulated shadow stack, run, pop.  The writes
+       model the per-call root registration that prevented tight-loop
+       optimizations in EVE (paper §4.5). *)
+    let top = t.shadow_top in
+    if top + 2 < Array.length t.shadow then begin
+      t.shadow.(top) <- t.id;
+      t.shadow.(top + 1) <- top;
+      t.shadow_top <- top + 2
+    end;
+    (try f ()
+     with e ->
+       Logs.err (fun m ->
+         m "scoop: processor %d: call raised %s" t.id (Printexc.to_string e)));
+    t.shadow_top <- top
+  end
+  else
+    try f ()
+    with e ->
+      Logs.err (fun m ->
+        m "scoop: processor %d: call raised %s" t.id (Printexc.to_string e))
+
+(* Inner loop (run rule): execute requests from one private queue until the
+   end rule fires. *)
+let rec serve_private_queue t pq =
+  match Qs_sched.Bqueue.Spsc.dequeue pq with
+  | Request.Call f ->
+    execute t f;
+    serve_private_queue t pq
+  | Request.Sync resume ->
+    (* Release half of the wait/release pair: wake the client.  The
+       scheduler's hot slot turns this into a direct handoff, and this
+       handler parks right after (it has no work until the client logs
+       more requests). *)
+    resume ();
+    serve_private_queue t pq
+  | Request.End -> ()
+
+let rec qoq_loop t =
+  match Qs_sched.Bqueue.Mpsc.dequeue t.qoq with
+  | None -> () (* shutdown *)
+  | Some pq ->
+    serve_private_queue t pq;
+    (* The private queue is drained and abandoned by its client: recycle
+       it (paper §3.2: queues are "taken from a cache of queues"). *)
+    Qs_queues.Treiber_stack.push t.cache pq;
+    qoq_loop t
+
+let rec direct_loop t =
+  match Qs_sched.Bqueue.Mpsc.dequeue t.direct with
+  | None -> ()
+  | Some (Request.Call f) ->
+    execute t f;
+    direct_loop t
+  | Some (Request.Sync resume) ->
+    resume ();
+    direct_loop t
+  | Some Request.End -> direct_loop t
+
+let create ~id ~config ~stats =
+  Atomic.incr stats.Stats.processors;
+  let t =
+    {
+      id;
+      config;
+      stats;
+      qoq = Qs_sched.Bqueue.Mpsc.create ();
+      direct = Qs_sched.Bqueue.Mpsc.create ();
+      lock = Qs_sched.Fiber_mutex.create ();
+      reserve = Qs_queues.Spinlock.create ();
+      cache = Qs_queues.Treiber_stack.create ();
+      shadow = (if config.Config.eve then Array.make 256 0 else [||]);
+      shadow_top = 0;
+    }
+  in
+  Qs_sched.Sched.spawn (fun () ->
+    if config.Config.qoq then qoq_loop t else direct_loop t);
+  t
+
+let id t = t.id
+
+let take_private_queue t =
+  match Qs_queues.Treiber_stack.pop t.cache with
+  | Some pq -> pq
+  | None -> Qs_sched.Bqueue.Spsc.create ()
+
+let enqueue_private_queue t pq = Qs_sched.Bqueue.Mpsc.enqueue t.qoq pq
+
+let shutdown t =
+  if t.config.Config.qoq then Qs_sched.Bqueue.Mpsc.close t.qoq
+  else Qs_sched.Bqueue.Mpsc.close t.direct
+
+let compare_by_id a b = Int.compare a.id b.id

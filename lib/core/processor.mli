@@ -1,0 +1,40 @@
+(** SCOOP processors (handlers): one fiber per processor running the
+    handler loop of paper Fig. 7.
+
+    Create processors through {!Runtime.processor}; client-side access goes
+    through {!Separate} blocks and {!Registration} operations — the fields
+    exposed here are for the runtime's own modules and for tests. *)
+
+type pq = Request.t Qs_sched.Bqueue.Spsc.t
+(** A private queue of requests. *)
+
+type t = {
+  id : int;
+  config : Config.t;
+  stats : Stats.t;
+  qoq : pq Qs_sched.Bqueue.Mpsc.t; (** queue-of-queues (qoq mode) *)
+  direct : Request.t Qs_sched.Bqueue.Mpsc.t; (** single request queue (lock mode) *)
+  lock : Qs_sched.Fiber_mutex.t; (** handler lock (lock mode) *)
+  reserve : Qs_queues.Spinlock.t; (** multi-reservation spinlock (§3.3) *)
+  cache : pq Qs_queues.Treiber_stack.t; (** recycled private queues *)
+  shadow : int array;
+  mutable shadow_top : int;
+}
+
+val create : id:int -> config:Config.t -> stats:Stats.t -> t
+(** Create a processor and spawn its handler fiber.  Must run inside a
+    scheduler. *)
+
+val id : t -> int
+
+val take_private_queue : t -> pq
+(** A fresh or recycled private queue for a new registration. *)
+
+val enqueue_private_queue : t -> pq -> unit
+(** Append a private queue to the queue-of-queues (the separate rule). *)
+
+val shutdown : t -> unit
+(** Close the processor's request stream: the handler fiber exits once all
+    pending work is drained.  Clients must not register afterwards. *)
+
+val compare_by_id : t -> t -> int

@@ -1,0 +1,111 @@
+(* Client-side handle on one reserved handler within a separate block.
+
+   A registration is what the compiled code of Fig. 8 calls the private
+   queue pointer [h_p]: the client logs asynchronous calls, queries and
+   sync requests through it.  It also carries the dynamically-tracked
+   synced status of §3.4.1: while [synced] is true the handler is parked
+   having drained everything this client logged, so a repeated sync can be
+   elided and client-side reads of handler data are race-free.
+
+   Registrations are only valid between the separate block's entry and
+   exit; [call]/[query]/[sync] raise once the block has closed. *)
+
+type t = {
+  proc : Processor.t;
+  ctx : Ctx.t;
+  enqueue : Request.t -> unit;
+  mutable synced : bool;
+  mutable closed : bool;
+}
+
+let make ~proc ~ctx ~enqueue =
+  { proc; ctx; enqueue; synced = false; closed = false }
+
+let processor t = t.proc
+let is_synced t = t.synced
+
+let touch t =
+  if t.closed then
+    invalid_arg "Scoop.Registration: used outside its separate block";
+  match t.ctx.Ctx.eve with
+  | Some eve -> Eve.lookup eve (Processor.id t.proc)
+  | None -> ()
+
+let call t f =
+  touch t;
+  Atomic.incr t.ctx.Ctx.stats.Stats.calls;
+  (* An asynchronous call invalidates the synced status: the handler has
+     work again and may be mid-execution during subsequent client reads. *)
+  t.synced <- false;
+  match t.ctx.Ctx.trace with
+  | None -> t.enqueue (Request.Call f)
+  | Some tr ->
+    (* Trace the queueing delay: logged now, executed by the handler
+       later (§7 instrumentation). *)
+    let proc = Processor.id t.proc in
+    Trace.record tr ~proc Trace.Call_logged;
+    let logged = Trace.now tr in
+    t.enqueue
+      (Request.Call
+         (fun () ->
+           Trace.record tr ~proc (Trace.Call_executed (Trace.now tr -. logged));
+           f ()))
+
+let force_sync t =
+  Atomic.incr t.ctx.Ctx.stats.Stats.syncs_sent;
+  (match t.ctx.Ctx.trace with
+  | None ->
+    Qs_sched.Sched.suspend (fun resume -> t.enqueue (Request.Sync resume))
+  | Some tr ->
+    let t0 = Trace.now tr in
+    Qs_sched.Sched.suspend (fun resume -> t.enqueue (Request.Sync resume));
+    Trace.record tr ~proc:(Processor.id t.proc)
+      (Trace.Sync_round_trip (Trace.now tr -. t0)));
+  t.synced <- true
+
+let sync t =
+  touch t;
+  if t.synced && t.ctx.Ctx.config.Config.dyn_sync then begin
+    Atomic.incr t.ctx.Ctx.stats.Stats.syncs_elided;
+    match t.ctx.Ctx.trace with
+    | Some tr -> Trace.record tr ~proc:(Processor.id t.proc) Trace.Sync_elided
+    | None -> ()
+  end
+  else force_sync t
+
+let query t f =
+  touch t;
+  Atomic.incr t.ctx.Ctx.stats.Stats.queries;
+  if t.ctx.Ctx.config.Config.client_query then begin
+    (* Modified query rule (§3.2): synchronize, then run [f] on the client.
+       No packaging, no result transfer, and the OCaml compiler sees the
+       call statically. *)
+    sync t;
+    f ()
+  end
+  else begin
+    (* Original rule (Fig. 10a): package the call, round-trip the result. *)
+    Atomic.incr t.ctx.Ctx.stats.Stats.packaged_queries;
+    let t0 =
+      match t.ctx.Ctx.trace with Some tr -> Trace.now tr | None -> 0.0
+    in
+    let result = Qs_sched.Ivar.create () in
+    t.enqueue (Request.Call (fun () -> Qs_sched.Ivar.fill result (f ())));
+    let v = Qs_sched.Ivar.read result in
+    (match t.ctx.Ctx.trace with
+    | Some tr ->
+      Trace.record tr ~proc:(Processor.id t.proc)
+        (Trace.Query_round_trip (Trace.now tr -. t0))
+    | None -> ());
+    (* The handler has drained everything we logged up to the query. *)
+    t.synced <- true;
+    v
+  end
+
+(* Block exit.  In queue-of-queues mode, append the END marker so the
+   handler moves on to the next private queue (the end rule); in lock mode
+   the caller (Separate) releases the handler lock instead. *)
+let close t =
+  if t.closed then invalid_arg "Scoop.Registration: closed twice";
+  t.closed <- true;
+  if t.ctx.Ctx.config.Config.qoq then t.enqueue Request.End

@@ -1,0 +1,39 @@
+(** Client-side handle on one reserved handler within a separate block
+    (the private queue pointer of paper Fig. 8).
+
+    Obtain registrations with {!Runtime.separate} and friends; they are
+    valid only inside the block's body, and all operations must be invoked
+    by the fiber that entered the block. *)
+
+type t
+
+val call : t -> (unit -> unit) -> unit
+(** Log an asynchronous call on the handler (the call rule).  Returns
+    immediately; the handler executes [f] later, in logging order. *)
+
+val query : t -> (unit -> 'a) -> 'a
+(** Execute a synchronous query.  Depending on the runtime configuration
+    this either packages [f] for the handler and waits for the result
+    (Fig. 10a) or synchronizes with the handler and runs [f] on the client
+    (Fig. 10b).  Either way, on return every previously logged call has
+    been applied — the basis of pre/postcondition reasoning (§2.2). *)
+
+val sync : t -> unit
+(** Wait until the handler has drained every request logged through this
+    registration.  Elided dynamically when the configuration enables
+    sync coalescing and the handler is already synced (§3.4.1).  After
+    [sync] returns the client may read the handler's data directly until
+    it logs the next asynchronous call. *)
+
+val processor : t -> Processor.t
+
+val is_synced : t -> bool
+(** Whether the handler is known to be idle w.r.t. this registration. *)
+
+(**/**)
+
+val make :
+  proc:Processor.t -> ctx:Ctx.t -> enqueue:(Request.t -> unit) -> t
+
+val close : t -> unit
+val force_sync : t -> unit

@@ -1,0 +1,19 @@
+(* Requests logged by clients in private queues (paper §2.3 syntax).
+
+   [Call] carries a packaged application — the OCaml analogue of the
+   libffi-packaged call of Fig. 9 (a heap-allocated closure standing in for
+   the cif + argument block).  [Sync] is the release half of the wait /
+   release pair introduced by the modified query rule of §3.2: the handler
+   resumes the waiting client and, knowing it has no further work until the
+   client logs more, parks.  [End] is the end-of-private-queue marker
+   appended when a separate block closes. *)
+
+type t =
+  | Call of (unit -> unit)
+  | Sync of Qs_sched.Sched.resumer
+  | End
+
+let pp ppf = function
+  | Call _ -> Format.pp_print_string ppf "call"
+  | Sync _ -> Format.pp_print_string ppf "sync"
+  | End -> Format.pp_print_string ppf "end"

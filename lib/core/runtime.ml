@@ -1,0 +1,55 @@
+(* Runtime façade: processor registry, lifecycle, and entry point. *)
+
+type t = {
+  ctx : Ctx.t;
+  procs : Processor.t Qs_queues.Treiber_stack.t;
+  next_id : int Atomic.t;
+}
+
+let create ?(config = Config.all) ?(trace = false) () =
+  {
+    ctx = Ctx.create ~trace config;
+    procs = Qs_queues.Treiber_stack.create ();
+    next_id = Atomic.make 0;
+  }
+
+let config t = t.ctx.Ctx.config
+let stats t = t.ctx.Ctx.stats
+let trace t = t.ctx.Ctx.trace
+
+let processor t =
+  let id = Atomic.fetch_and_add t.next_id 1 in
+  let proc =
+    Processor.create ~id ~config:t.ctx.Ctx.config ~stats:t.ctx.Ctx.stats
+  in
+  (match t.ctx.Ctx.eve with
+  | Some eve -> Eve.register eve id
+  | None -> ());
+  Qs_queues.Treiber_stack.push t.procs proc;
+  proc
+
+let processors t n = List.init n (fun _ -> processor t)
+
+let shutdown t =
+  let rec drain () =
+    match Qs_queues.Treiber_stack.pop t.procs with
+    | Some proc ->
+      Processor.shutdown proc;
+      drain ()
+    | None -> ()
+  in
+  drain ()
+
+let separate t proc body = Separate.with1 t.ctx proc body
+let separate2 t p1 p2 body = Separate.with2 t.ctx p1 p2 body
+let separate_list t procs body = Separate.with_list t.ctx procs body
+let separate_when t proc ~pred body = Separate.with_when t.ctx proc ~pred body
+
+let separate_list_when t procs ~pred body =
+  Separate.with_list_when t.ctx procs ~pred body
+
+let run ?(domains = 1) ?(config = Config.all) ?(trace = false) ?on_stall
+    ?on_counters main =
+  Qs_sched.Sched.run ~domains ?on_stall ?on_counters (fun () ->
+    let t = create ~config ~trace () in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> main t))

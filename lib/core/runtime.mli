@@ -1,0 +1,71 @@
+(** SCOOP/Qs runtime: processor creation, separate blocks, lifecycle.
+
+    Typical use:
+    {[
+      Scoop.Runtime.run (fun rt ->
+        let worker = Scoop.Runtime.processor rt in
+        let counter = Scoop.Shared.create worker 0 in
+        Scoop.Runtime.separate rt worker (fun reg ->
+          Scoop.Shared.apply reg counter (fun c -> incr c_ref);
+          Scoop.Shared.get reg counter (fun c -> c)))
+    ]} *)
+
+type t
+
+val create : ?config:Config.t -> ?trace:bool -> unit -> t
+(** Create a runtime inside an already-running scheduler.  [config]
+    defaults to {!Config.all} (the full SCOOP/Qs runtime); [trace]
+    enables detailed event tracing (see {!Trace}). *)
+
+val run :
+  ?domains:int ->
+  ?config:Config.t ->
+  ?trace:bool ->
+  ?on_stall:[ `Raise | `Warn ] ->
+  ?on_counters:(Qs_sched.Sched.counters -> unit) ->
+  (t -> 'a) ->
+  'a
+(** Start a scheduler, create a runtime, run [main], then shut the
+    processors down.  Any fiber spawned by [main] should be joined before
+    [main] returns.  A deadlocked program raises {!Qs_sched.Sched.Stalled}
+    (see paper §2.5). *)
+
+val processor : t -> Processor.t
+(** Spawn a new processor (handler fiber). *)
+
+val processors : t -> int -> Processor.t list
+
+val separate : t -> Processor.t -> (Registration.t -> 'a) -> 'a
+(** [separate rt h body] is SCOOP's [separate h do body end]. *)
+
+val separate2 :
+  t -> Processor.t -> Processor.t ->
+  (Registration.t -> Registration.t -> 'a) -> 'a
+(** Atomic two-handler reservation (paper §2.4, Fig. 11). *)
+
+val separate_list : t -> Processor.t list -> (Registration.t list -> 'a) -> 'a
+
+val separate_when :
+  t -> Processor.t -> pred:(Registration.t -> bool) -> (Registration.t -> 'a) -> 'a
+(** Separate block with a wait condition (SCOOP's precondition-as-wait
+    semantics): the block body runs only once [pred] holds, evaluated
+    under the block's own registration; until then the reservation is
+    released and retried.  The failed attempts are counted in
+    {!Stats.t.wait_retries}. *)
+
+val separate_list_when :
+  t ->
+  Processor.t list ->
+  pred:(Registration.t list -> bool) ->
+  (Registration.t list -> 'a) ->
+  'a
+
+val shutdown : t -> unit
+(** Close every processor created so far (idempotent; done automatically
+    by {!run}). *)
+
+val config : t -> Config.t
+val stats : t -> Stats.t
+
+val trace : t -> Trace.t option
+(** The event trace, when the runtime was created with [~trace:true]. *)

@@ -1,0 +1,20 @@
+(** SCOOP/Qs: an efficient runtime for the SCOOP object-oriented
+    concurrency model (West, Nanz, Meyer — PPoPP 2015).
+
+    Entry points: {!Runtime.run}, {!Runtime.processor},
+    {!Runtime.separate}, then {!Registration} and {!Shared} operations
+    inside the block. *)
+
+module Config = Config
+module Stats = Stats
+module Request = Request
+module Processor = Processor
+module Registration = Registration
+module Separate = Separate
+module Runtime = Runtime
+module Shared = Shared
+module Eve = Eve
+module Trace = Trace
+module Ctx = Ctx
+
+let run = Runtime.run

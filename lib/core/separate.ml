@@ -1,0 +1,120 @@
+(* Separate blocks: reservation and release of handlers.
+
+   Single reservation (Fig. 8) is the optimized common case: in
+   queue-of-queues mode it is one enqueue of a (possibly recycled) private
+   queue — completely asynchronous, the separate rule of the semantics; in
+   lock-based mode it acquires the handler's lock as the original SCOOP
+   runtime did.
+
+   Multiple reservation (Fig. 11, §3.3) must insert the client's private
+   queues into all handlers atomically, otherwise two clients' insertions
+   could interleave and later observers could see the Fig. 5 inconsistency.
+   Per the paper, a spinlock per handler guards insertion; locks are taken
+   in handler-id order so that reservers cannot deadlock each other. *)
+
+let trace_reserved ctx proc =
+  match ctx.Ctx.trace with
+  | Some tr -> Trace.record tr ~proc:(Processor.id proc) Trace.Reserved
+  | None -> ()
+
+let enter_one ctx proc =
+  Atomic.incr ctx.Ctx.stats.Stats.reservations;
+  trace_reserved ctx proc;
+  if ctx.Ctx.config.Config.qoq then begin
+    let pq = Processor.take_private_queue proc in
+    Processor.enqueue_private_queue proc pq;
+    Registration.make ~proc ~ctx ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq)
+  end
+  else begin
+    Qs_sched.Fiber_mutex.lock proc.Processor.lock;
+    Registration.make ~proc ~ctx
+      ~enqueue:(Qs_sched.Bqueue.Mpsc.enqueue proc.Processor.direct)
+  end
+
+let exit_one ctx reg =
+  Registration.close reg;
+  if not ctx.Ctx.config.Config.qoq then
+    Qs_sched.Fiber_mutex.unlock (Registration.processor reg).Processor.lock
+
+let with1 ctx proc body =
+  let reg = enter_one ctx proc in
+  Fun.protect ~finally:(fun () -> exit_one ctx reg) (fun () -> body reg)
+
+let check_distinct procs =
+  let ids = List.map Processor.id procs in
+  if List.length (List.sort_uniq Int.compare ids) <> List.length ids then
+    invalid_arg "Scoop.Separate: the same processor reserved twice"
+
+let enter_many ctx procs =
+  Atomic.incr ctx.Ctx.stats.Stats.reservations;
+  Atomic.incr ctx.Ctx.stats.Stats.multi_reservations;
+  List.iter (trace_reserved ctx) procs;
+  check_distinct procs;
+  let sorted = List.sort Processor.compare_by_id procs in
+  if ctx.Ctx.config.Config.qoq then begin
+    (* Prepare all private queues first, then insert them while holding
+       every handler's reservation spinlock: the insertions become one
+       atomic event, the generalized separate rule of §2.4. *)
+    let pqs = List.map (fun p -> (p, Processor.take_private_queue p)) procs in
+    List.iter (fun p -> Qs_queues.Spinlock.acquire p.Processor.reserve) sorted;
+    List.iter (fun (p, pq) -> Processor.enqueue_private_queue p pq) pqs;
+    List.iter (fun p -> Qs_queues.Spinlock.release p.Processor.reserve)
+      (List.rev sorted);
+    List.map
+      (fun (p, pq) ->
+        Registration.make ~proc:p ~ctx ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq))
+      pqs
+  end
+  else begin
+    (* Lock mode: take the handler locks in id order (atomic w.r.t. other
+       multi-reservers and single reservers alike). *)
+    List.iter (fun p -> Qs_sched.Fiber_mutex.lock p.Processor.lock) sorted;
+    List.map
+      (fun p ->
+        Registration.make ~proc:p ~ctx
+          ~enqueue:(Qs_sched.Bqueue.Mpsc.enqueue p.Processor.direct))
+      procs
+  end
+
+let exit_many ctx regs =
+  (* endMany: signal END to every reserved handler (§2.4). *)
+  List.iter (fun reg -> exit_one ctx reg) regs
+
+let with_list ctx procs body =
+  match procs with
+  | [] -> body []
+  | [ p ] -> with1 ctx p (fun reg -> body [ reg ])
+  | _ ->
+    let regs = enter_many ctx procs in
+    Fun.protect ~finally:(fun () -> exit_many ctx regs) (fun () -> body regs)
+
+let with2 ctx p1 p2 body =
+  with_list ctx [ p1; p2 ] (fun regs ->
+    match regs with
+    | [ r1; r2 ] -> body r1 r2
+    | _ -> assert false)
+
+(* Wait conditions: SCOOP preconditions on separate objects do not fail,
+   they wait (Nienaltowski's contract semantics, which the paper's SCOOP
+   model inherits).  The runtime re-reserves the handlers and re-evaluates
+   the condition until it holds; condition and body run under the *same*
+   registration, so the condition still holds when the body starts and no
+   other client can interleave between them. *)
+let rec with_list_when ctx procs ~pred body =
+  let outcome =
+    with_list ctx procs (fun regs ->
+      if pred regs then Some (body regs) else None)
+  in
+  match outcome with
+  | Some v -> v
+  | None ->
+    Atomic.incr ctx.Ctx.stats.Stats.wait_retries;
+    (* Release the reservation entirely so suppliers can serve others,
+       then retry after yielding. *)
+    Qs_sched.Sched.yield ();
+    with_list_when ctx procs ~pred body
+
+let with_when ctx proc ~pred body =
+  with_list_when ctx [ proc ]
+    ~pred:(fun regs -> pred (List.hd regs))
+    (fun regs -> body (List.hd regs))

@@ -1,0 +1,36 @@
+(** Separate blocks: reserve handlers, run a body with registrations, and
+    release (paper §2.1, §2.4, §3.2–3.3).
+
+    These functions are the internals behind {!Runtime.separate} and
+    friends, which supply the context. *)
+
+val with1 : Ctx.t -> Processor.t -> (Registration.t -> 'a) -> 'a
+(** Single-handler separate block (the optimized case of Fig. 8). *)
+
+val with2 :
+  Ctx.t -> Processor.t -> Processor.t ->
+  (Registration.t -> Registration.t -> 'a) -> 'a
+(** Two-handler atomic reservation (Fig. 11). *)
+
+val with_list :
+  Ctx.t -> Processor.t list -> (Registration.t list -> 'a) -> 'a
+(** Atomic multi-handler reservation; registrations are returned in the
+    same order as the argument processors.
+    @raise Invalid_argument if a processor appears twice. *)
+
+val with_when :
+  Ctx.t ->
+  Processor.t ->
+  pred:(Registration.t -> bool) ->
+  (Registration.t -> 'a) ->
+  'a
+(** Separate block with a wait condition: reserve, evaluate [pred]; when
+    it fails, release, yield and retry.  [pred] and the body run under the
+    same registration, so the condition still holds when the body starts. *)
+
+val with_list_when :
+  Ctx.t ->
+  Processor.t list ->
+  pred:(Registration.t list -> bool) ->
+  (Registration.t list -> 'a) ->
+  'a

@@ -1,0 +1,90 @@
+(* Runtime instrumentation (the "SCOOP-specific instrumentation" the paper
+   lists as future work in §7).
+
+   Counters are plain atomics bumped on the hot paths; the benchmark
+   harness snapshots them before/after a run to report per-benchmark
+   communication behaviour (e.g. how many syncs the dynamic coalescing
+   elided, which explains Table 1 directly). *)
+
+type t = {
+  processors : int Atomic.t; (* handlers spawned *)
+  reservations : int Atomic.t; (* separate blocks entered *)
+  multi_reservations : int Atomic.t; (* multi-handler separate blocks *)
+  calls : int Atomic.t; (* asynchronous calls enqueued *)
+  queries : int Atomic.t; (* queries issued (either flavour) *)
+  packaged_queries : int Atomic.t; (* round trips via packaged closures *)
+  syncs_sent : int Atomic.t; (* sync round trips actually performed *)
+  syncs_elided : int Atomic.t; (* syncs skipped by dynamic coalescing *)
+  eve_lookups : int Atomic.t; (* simulated handler-table lookups (§4.5) *)
+  wait_retries : int Atomic.t; (* failed wait-condition evaluations *)
+}
+
+let create () =
+  {
+    processors = Atomic.make 0;
+    reservations = Atomic.make 0;
+    multi_reservations = Atomic.make 0;
+    calls = Atomic.make 0;
+    queries = Atomic.make 0;
+    packaged_queries = Atomic.make 0;
+    syncs_sent = Atomic.make 0;
+    syncs_elided = Atomic.make 0;
+    eve_lookups = Atomic.make 0;
+    wait_retries = Atomic.make 0;
+  }
+
+type snapshot = {
+  s_processors : int;
+  s_reservations : int;
+  s_multi_reservations : int;
+  s_calls : int;
+  s_queries : int;
+  s_packaged_queries : int;
+  s_syncs_sent : int;
+  s_syncs_elided : int;
+  s_eve_lookups : int;
+  s_wait_retries : int;
+}
+
+let snapshot t =
+  {
+    s_processors = Atomic.get t.processors;
+    s_reservations = Atomic.get t.reservations;
+    s_multi_reservations = Atomic.get t.multi_reservations;
+    s_calls = Atomic.get t.calls;
+    s_queries = Atomic.get t.queries;
+    s_packaged_queries = Atomic.get t.packaged_queries;
+    s_syncs_sent = Atomic.get t.syncs_sent;
+    s_syncs_elided = Atomic.get t.syncs_elided;
+    s_eve_lookups = Atomic.get t.eve_lookups;
+    s_wait_retries = Atomic.get t.wait_retries;
+  }
+
+let diff later earlier =
+  {
+    s_processors = later.s_processors - earlier.s_processors;
+    s_reservations = later.s_reservations - earlier.s_reservations;
+    s_multi_reservations =
+      later.s_multi_reservations - earlier.s_multi_reservations;
+    s_calls = later.s_calls - earlier.s_calls;
+    s_queries = later.s_queries - earlier.s_queries;
+    s_packaged_queries = later.s_packaged_queries - earlier.s_packaged_queries;
+    s_syncs_sent = later.s_syncs_sent - earlier.s_syncs_sent;
+    s_syncs_elided = later.s_syncs_elided - earlier.s_syncs_elided;
+    s_eve_lookups = later.s_eve_lookups - earlier.s_eve_lookups;
+    s_wait_retries = later.s_wait_retries - earlier.s_wait_retries;
+  }
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf
+    "@[<v>processors:        %d@,\
+     reservations:      %d (multi: %d)@,\
+     async calls:       %d@,\
+     queries:           %d (packaged: %d)@,\
+     syncs sent:        %d@,\
+     syncs elided:      %d@,\
+     eve lookups:       %d@,\
+     wait retries:      %d@]"
+    s.s_processors s.s_reservations s.s_multi_reservations s.s_calls
+    s.s_queries s.s_packaged_queries s.s_syncs_sent s.s_syncs_elided
+    s.s_eve_lookups s.s_wait_retries

@@ -1,0 +1,40 @@
+(** Runtime instrumentation counters (paper §7 "future work": detailed
+    measurement of internal runtime components).
+
+    One record per runtime; all counters are atomics safe to bump from any
+    fiber.  Use {!snapshot} and {!diff} to attribute counts to a region of
+    execution. *)
+
+type t = {
+  processors : int Atomic.t;
+  reservations : int Atomic.t;
+  multi_reservations : int Atomic.t;
+  calls : int Atomic.t;
+  queries : int Atomic.t;
+  packaged_queries : int Atomic.t;
+  syncs_sent : int Atomic.t;
+  syncs_elided : int Atomic.t;
+  eve_lookups : int Atomic.t;
+  wait_retries : int Atomic.t;
+}
+
+val create : unit -> t
+
+type snapshot = {
+  s_processors : int;
+  s_reservations : int;
+  s_multi_reservations : int;
+  s_calls : int;
+  s_queries : int;
+  s_packaged_queries : int;
+  s_syncs_sent : int;
+  s_syncs_elided : int;
+  s_eve_lookups : int;
+  s_wait_retries : int;
+}
+
+val snapshot : t -> snapshot
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] is the per-field difference. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,48 @@
+(** Detailed runtime tracing (paper §7's "SCOOP-specific instrumentation"):
+    timestamped client-side events with queueing and round-trip latencies,
+    collected lock-free and summarized per processor.
+
+    Enable with [Runtime.run ~trace:true]; retrieve via {!Runtime.trace}. *)
+
+type kind =
+  | Reserved
+  | Call_logged
+  | Call_executed of float
+      (** seconds the call waited in the private queue before executing *)
+  | Sync_round_trip of float
+  | Sync_elided
+  | Query_round_trip of float  (** packaged-query log→result time *)
+
+type event = {
+  at : float;  (** seconds since the trace started *)
+  proc : int;
+  kind : kind;
+}
+
+type t
+
+val create : unit -> t
+val now : t -> float
+val record : t -> proc:int -> kind -> unit
+val events : t -> event list
+(** All events, oldest first. *)
+
+type dist = {
+  count : int;
+  mean : float;
+  max : float;
+}
+
+type proc_summary = {
+  sp_proc : int;
+  sp_reservations : int;
+  sp_calls : int;
+  sp_call_latency : dist;
+  sp_sync_round_trip : dist;
+  sp_syncs_elided : int;
+  sp_query_round_trip : dist;
+}
+
+val summarize : t -> proc_summary list
+val pp_summary : Format.formatter -> proc_summary list -> unit
+val pp_dist : Format.formatter -> dist -> unit

@@ -1,0 +1,131 @@
+(* Abstract syntax of the Quicksilver-mini surface language.
+
+   The paper's artifact includes a compiler for a SCOOP language
+   (Quicksilver, Haskell → LLVM).  This library is its miniature: a small
+   concurrent language with handlers (processors owning integer
+   variables) and clients whose statements map one-to-one onto the
+   runtime operations of §3 — separate blocks, asynchronous variable
+   writes (calls), synchronous variable reads (queries).
+
+   A program declares handlers and clients:
+
+     handler account { var balance = 100; }
+
+     client teller {
+       repeat 10 {
+         separate account {
+           let b = account.balance;
+           account.balance := b + 1;
+         }
+       }
+     }
+
+   Control flow (repeat / if) and arithmetic operate on client-local
+   variables only; handler state is reachable solely through reserved
+   registrations, which the static checker enforces — the analogue of
+   SCOOP's separate type system. *)
+
+type handler_name = string
+type var_name = string
+
+type binop = Add | Sub | Mul
+
+type relop = Eq | Ne | Lt | Gt | Le | Ge
+
+type expr =
+  | Int of int
+  | Local of var_name
+  | Read of handler_name * var_name
+      (* h.x — only inside a when-clause of a block reserving h *)
+  | Binop of binop * expr * expr
+
+type cond = Rel of relop * expr * expr
+
+type stmt =
+  | Separate of handler_name list * stmt list
+      (* separate h1, h2 { ... } — atomic multi-reservation *)
+  | Separate_when of handler_name list * cond * stmt list
+      (* separate h1, h2 when c { ... } — precondition as wait condition:
+         the body runs only once c holds, evaluated under the block's own
+         registration (paper §2 / Nienaltowski's contract semantics) *)
+  | Async_set of handler_name * var_name * expr
+      (* h.x := e;  — asynchronous call; e evaluated at logging time *)
+  | Query_read of var_name * handler_name * var_name
+      (* let v = h.x;  — synchronous query *)
+  | Local_set of var_name * expr (* local v = e;  /  v := e; *)
+  | Repeat of int * stmt list
+  | If of cond * stmt list * stmt list
+  | Print of expr
+
+type handler_decl = {
+  h_name : handler_name;
+  h_vars : (var_name * int) list; (* initial values *)
+}
+
+type client_decl = {
+  c_name : string;
+  c_body : stmt list;
+}
+
+type program = {
+  handlers : handler_decl list;
+  clients : client_decl list;
+}
+
+(* -- pretty printing -------------------------------------------------------- *)
+
+let string_of_binop = function Add -> "+" | Sub -> "-" | Mul -> "*"
+
+let string_of_relop = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+
+let rec pp_expr ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Local v -> Format.pp_print_string ppf v
+  | Read (h, x) -> Format.fprintf ppf "%s.%s" h x
+  | Binop (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (string_of_binop op) pp_expr b
+
+let pp_cond ppf (Rel (op, a, b)) =
+  Format.fprintf ppf "%a %s %a" pp_expr a (string_of_relop op) pp_expr b
+
+let rec pp_stmt ppf = function
+  | Separate (hs, body) ->
+    Format.fprintf ppf "@[<v2>separate %s {%a@]@,}"
+      (String.concat ", " hs) pp_body body
+  | Separate_when (hs, c, body) ->
+    Format.fprintf ppf "@[<v2>separate %s when %a {%a@]@,}"
+      (String.concat ", " hs) pp_cond c pp_body body
+  | Async_set (h, x, e) -> Format.fprintf ppf "%s.%s := %a;" h x pp_expr e
+  | Query_read (v, h, x) -> Format.fprintf ppf "let %s = %s.%s;" v h x
+  | Local_set (v, e) -> Format.fprintf ppf "local %s = %a;" v pp_expr e
+  | Repeat (n, body) ->
+    Format.fprintf ppf "@[<v2>repeat %d {%a@]@,}" n pp_body body
+  | If (c, t, []) ->
+    Format.fprintf ppf "@[<v2>if %a {%a@]@,}" pp_cond c pp_body t
+  | If (c, t, e) ->
+    Format.fprintf ppf "@[<v2>if %a {%a@]@,} else {%a@,}" pp_cond c pp_body t
+      pp_body e
+  | Print e -> Format.fprintf ppf "print %a;" pp_expr e
+
+and pp_body ppf body =
+  List.iter (fun s -> Format.fprintf ppf "@,%a" pp_stmt s) body
+
+let pp_program ppf p =
+  List.iter
+    (fun h ->
+      Format.fprintf ppf "@[<v2>handler %s {" h.h_name;
+      List.iter
+        (fun (v, init) -> Format.fprintf ppf "@,var %s = %d;" v init)
+        h.h_vars;
+      Format.fprintf ppf "@]@,}@,")
+    p.handlers;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "@[<v2>client %s {%a@]@,}@," c.c_name pp_body c.c_body)
+    p.clients

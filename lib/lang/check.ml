@@ -1,0 +1,120 @@
+(* Static checks — the analogue of SCOOP's separate type system (§2.1):
+   "methods may only be called on a separate object if it is protected by
+   a separate block".
+
+   - every handler named in a separate block, asynchronous write or query
+     must be declared;
+   - handler variables may only be touched inside a block reserving their
+     handler (reservations nest);
+   - a separate block must not re-reserve a handler already reserved in
+     scope (nested re-reservation of the same handler can only deadlock,
+     §2.5);
+   - local variables must be bound (by [local] or [let]) before use;
+   - handler variable names must exist on the handler. *)
+
+type error = {
+  client : string;
+  message : string;
+}
+
+exception Check_error of error
+
+let fail client fmt =
+  Format.kasprintf (fun message -> raise (Check_error { client; message })) fmt
+
+let check_program (p : Ast.program) =
+  let handler_vars =
+    List.map (fun h -> (h.Ast.h_name, List.map fst h.Ast.h_vars)) p.Ast.handlers
+  in
+  let dup_handlers =
+    List.length (List.sort_uniq compare (List.map fst handler_vars))
+    <> List.length handler_vars
+  in
+  if dup_handlers then
+    raise (Check_error { client = "<program>"; message = "duplicate handler name" });
+  let check_client (c : Ast.client_decl) =
+    let fail fmt = fail c.Ast.c_name fmt in
+    let check_handler_var h x =
+      match List.assoc_opt h handler_vars with
+      | None -> fail "unknown handler %s" h
+      | Some vars ->
+        if not (List.mem x vars) then fail "handler %s has no variable %s" h x
+    in
+    (* [reads]: handlers whose variables the expression may read — only
+       non-empty inside a when-clause, where the reads are evaluated under
+       the block's own registration. *)
+    let rec check_expr ?(reads = []) locals = function
+      | Ast.Int _ -> ()
+      | Ast.Local v ->
+        if not (List.mem v locals) then fail "unbound local variable %s" v
+      | Ast.Read (h, x) ->
+        if not (List.mem h reads) then
+          fail
+            "handler read %s.%s is only allowed in the when-clause of a \
+             block reserving %s"
+            h x h;
+        check_handler_var h x
+      | Ast.Binop (_, a, b) ->
+        check_expr ~reads locals a;
+        check_expr ~reads locals b
+    in
+    let check_cond ?reads locals (Ast.Rel (_, a, b)) =
+      check_expr ?reads locals a;
+      check_expr ?reads locals b
+    in
+    (* [reserved]: handlers reserved by enclosing blocks; [locals]: bound
+       local variables.  Returns the locals bound after the statements
+       (bindings are sequential and scoped to the client). *)
+    let rec check_stmts reserved locals stmts =
+      List.fold_left (check_stmt reserved) locals stmts
+    and check_reservation reserved hs =
+      List.iter
+        (fun h ->
+          if not (List.mem_assoc h handler_vars) then fail "unknown handler %s" h;
+          if List.mem h reserved then
+            fail "handler %s is already reserved by an enclosing block" h)
+        hs;
+      let dups = List.length (List.sort_uniq compare hs) <> List.length hs in
+      if dups then fail "the same handler appears twice in one separate block"
+    and check_stmt reserved locals = function
+      | Ast.Separate (hs, body) ->
+        check_reservation reserved hs;
+        ignore (check_stmts (hs @ reserved) locals body : string list);
+        locals
+      | Ast.Separate_when (hs, c, body) ->
+        check_reservation reserved hs;
+        check_cond ~reads:hs locals c;
+        ignore (check_stmts (hs @ reserved) locals body : string list);
+        locals
+      | Ast.Async_set (h, x, e) ->
+        if not (List.mem h reserved) then
+          fail "write to %s.%s outside a separate block reserving %s" h x h;
+        check_handler_var h x;
+        check_expr locals e;
+        locals
+      | Ast.Query_read (v, h, x) ->
+        if not (List.mem h reserved) then
+          fail "read of %s.%s outside a separate block reserving %s" h x h;
+        check_handler_var h x;
+        v :: locals
+      | Ast.Local_set (v, e) ->
+        check_expr locals e;
+        v :: locals
+      | Ast.Repeat (n, body) ->
+        if n < 0 then fail "repeat count must be non-negative";
+        (* Bindings made inside a loop body are in scope on the next
+           iteration, so thread them through once. *)
+        check_stmts reserved locals body
+      | Ast.If (c, t, e) ->
+        check_cond locals c;
+        ignore (check_stmts reserved locals t : string list);
+        ignore (check_stmts reserved locals e : string list);
+        (* Conservatively, only bindings made before the if survive. *)
+        locals
+      | Ast.Print e ->
+        check_expr locals e;
+        locals
+    in
+    ignore (check_stmts [] [] c.Ast.c_body : string list)
+  in
+  List.iter check_client p.Ast.clients

@@ -1,0 +1,14 @@
+(** Static checking — the analogue of SCOOP's separate type system:
+    handler state is only reachable through a separate block reserving
+    its handler; when-clause reads only over that block's handlers;
+    locals bound before use; no nested re-reservation. *)
+
+type error = {
+  client : string;
+  message : string;
+}
+
+exception Check_error of error
+
+val check_program : Ast.program -> unit
+(** @raise Check_error on the first violation. *)

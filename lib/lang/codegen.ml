@@ -1,0 +1,151 @@
+(* Naive code generation into the sync-coalescing IR (§3.4.3: "a naive
+   code generator will produce a sync before every array read") and the
+   end-to-end optimization report.
+
+   A client's body is lowered to a CFG of [Qs_syncopt.Ir] instructions:
+
+     let v = h.x;   ->  Sync h; Read h     (client-side query, Fig. 10b)
+     h.x := e;      ->  Async h            (enqueue of a packaged call)
+     local/print    ->  Local
+     repeat n       ->  a loop: body block with a back edge
+     if             ->  a diamond
+
+   Separate block boundaries contribute an [Async h] at entry (the
+   reservation enqueue, which invalidates nothing but involves the
+   handler) — conservatively modelled as [Local] since the private queue
+   is fresh — and an [Async h] for the END marker at exit, which is what
+   actually invalidates the synced state.
+
+   [optimize] runs the static pass (Figs. 12–13) on the generated CFG
+   and reports which syncs it removes: the same decision procedure the
+   Static benchmark configuration relies on, now reachable from surface
+   programs. *)
+
+type lowering = {
+  cfg : Qs_syncopt.Cfg.t;
+  sync_count : int; (* syncs the naive generator emitted *)
+}
+
+let lower_client (c : Ast.client_decl) =
+  (* First pass: build a block list with explicit successor cells, then
+     freeze through the Cfg builder (which wants succ ids at add time —
+     so we do our own numbering and emit in order). *)
+  let blocks : (Qs_syncopt.Ir.inst list * int list ref) list ref = ref [] in
+  let fresh_block insts =
+    let cell = ref [] in
+    blocks := !blocks @ [ (insts, cell) ];
+    (List.length !blocks - 1, cell)
+  in
+  let syncs = ref 0 in
+  (* Lower [stmts] starting in a fresh block; returns (entry block id,
+     exit cell to patch with the continuation). *)
+  let lower_seq stmts =
+    let rec go acc stmts =
+      match stmts with
+      | [] ->
+        let id, cell = fresh_block (List.rev acc) in
+        (id, [ (id, cell) ])
+      | Ast.Separate (hs, body) :: rest ->
+        (* Close the current straight-line block, lower the body, then
+           the END markers (async on each handler), then continue. *)
+        let before_id, before_cell = fresh_block (List.rev acc) in
+        let body_entry, body_exits = go [] body in
+        before_cell := [ body_entry ];
+        let ends = List.map (fun h -> Qs_syncopt.Ir.Async h) hs in
+        let rest_entry, rest_exits = go (List.rev ends) rest in
+        List.iter (fun (_, cell) -> cell := [ rest_entry ]) body_exits;
+        (before_id, rest_exits)
+      | Ast.Separate_when (hs, Ast.Rel (_, l, r), body) :: rest ->
+        (* A wait condition is a retry loop: each attempt syncs and reads
+           every handler the condition mentions; a failed attempt
+           releases the reservation (an END, i.e. async, per handler) and
+           loops. *)
+        let before_id, before_cell = fresh_block (List.rev acc) in
+        let reads_of e =
+          let rec collect acc = function
+            | Ast.Read (h, _) -> h :: acc
+            | Ast.Binop (_, a, b) -> collect (collect acc a) b
+            | Ast.Int _ | Ast.Local _ -> acc
+          in
+          collect [] e
+        in
+        let cond_handlers = List.sort_uniq compare (reads_of l @ reads_of r) in
+        let attempt =
+          List.concat_map
+            (fun h ->
+              incr syncs;
+              [ Qs_syncopt.Ir.Sync h; Qs_syncopt.Ir.Read h ])
+            cond_handlers
+        in
+        let attempt_id, attempt_cell = fresh_block attempt in
+        before_cell := [ attempt_id ];
+        let release_id, release_cell =
+          fresh_block (List.map (fun h -> Qs_syncopt.Ir.Async h) hs)
+        in
+        release_cell := [ attempt_id ];
+        let body_entry, body_exits = go [] body in
+        attempt_cell := [ body_entry; release_id ];
+        let ends = List.map (fun h -> Qs_syncopt.Ir.Async h) hs in
+        let rest_entry, rest_exits = go (List.rev ends) rest in
+        List.iter (fun (_, cell) -> cell := [ rest_entry ]) body_exits;
+        (before_id, rest_exits)
+      | Ast.Async_set (h, _, _) :: rest -> go (Qs_syncopt.Ir.Async h :: acc) rest
+      | Ast.Query_read (_, h, _) :: rest ->
+        incr syncs;
+        go (Qs_syncopt.Ir.Read h :: Qs_syncopt.Ir.Sync h :: acc) rest
+      | (Ast.Local_set _ | Ast.Print _) :: rest ->
+        go (Qs_syncopt.Ir.Local :: acc) rest
+      | Ast.Repeat (_, body) :: rest ->
+        (* header -> body -> header; header -> rest *)
+        let header_id, header_cell = fresh_block (List.rev acc) in
+        let body_entry, body_exits = go [] body in
+        let rest_entry, rest_exits = go [] rest in
+        header_cell := [ body_entry; rest_entry ];
+        List.iter (fun (_, cell) -> cell := [ header_id ]) body_exits;
+        (header_id, rest_exits)
+      | Ast.If (_, then_, else_) :: rest ->
+        let cond_id, cond_cell = fresh_block (List.rev acc) in
+        let then_entry, then_exits = go [] then_ in
+        let else_entry, else_exits = go [] else_ in
+        let rest_entry, rest_exits = go [] rest in
+        cond_cell := [ then_entry; else_entry ];
+        List.iter (fun (_, cell) -> cell := [ rest_entry ]) (then_exits @ else_exits);
+        (cond_id, rest_exits)
+    in
+    go [] stmts
+  in
+  let _entry, _exits = lower_seq c.Ast.c_body in
+  (* Emit into the real builder in id order. *)
+  let b = Qs_syncopt.Cfg.builder () in
+  List.iter
+    (fun (insts, cell) ->
+      ignore (Qs_syncopt.Cfg.add_block b ~succs:!cell insts : int))
+    !blocks;
+  { cfg = Qs_syncopt.Cfg.freeze b; sync_count = !syncs }
+
+type optimization_report = {
+  client : string;
+  emitted_syncs : int;
+  removed_syncs : int;
+  report : Qs_syncopt.Pass.report;
+}
+
+let optimize (p : Ast.program) =
+  Check.check_program p;
+  List.map
+    (fun (c : Ast.client_decl) ->
+      let { cfg; sync_count } = lower_client c in
+      let report = Qs_syncopt.Pass.run cfg in
+      {
+        client = c.Ast.c_name;
+        emitted_syncs = sync_count;
+        removed_syncs = List.length report.Qs_syncopt.Pass.removed;
+        report;
+      })
+    p.Ast.clients
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "client %s: naive codegen emitted %d sync(s); the static pass removed \
+     %d@.%a"
+    r.client r.emitted_syncs r.removed_syncs Qs_syncopt.Pass.pp_report r.report

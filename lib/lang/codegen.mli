@@ -1,0 +1,23 @@
+(** Naive code generation into the sync-coalescing IR (a sync before
+    every handler read, §3.4.3) and the end-to-end run of the static
+    pass over surface programs. *)
+
+type lowering = {
+  cfg : Qs_syncopt.Cfg.t;
+  sync_count : int;
+}
+
+val lower_client : Ast.client_decl -> lowering
+
+type optimization_report = {
+  client : string;
+  emitted_syncs : int;
+  removed_syncs : int;
+  report : Qs_syncopt.Pass.report;
+}
+
+val optimize : Ast.program -> optimization_report list
+(** Lower every client and run the pass of Figs. 12–13 on it.
+    @raise Check.Check_error on static errors. *)
+
+val pp_report : Format.formatter -> optimization_report -> unit

@@ -1,0 +1,129 @@
+(* Compilation to the SCOOP/Qs runtime: handlers become processors whose
+   variable store is a shared hash table; clients become fibers; the
+   statements map directly onto the runtime operations of §3:
+
+     separate h1, h2 { ... }  ->  Runtime.separate_list (atomic reservation)
+     h.x := e;                ->  Registration.call  (argument evaluated at
+                                  logging time, like Fig. 9's packaged args)
+     let v = h.x;             ->  Registration.query (Fig. 10)
+
+   [run] executes a checked program and returns each handler's final
+   variable values plus anything the clients printed. *)
+
+module R = Scoop.Runtime
+module Sh = Scoop.Shared
+
+type outcome = {
+  finals : (string * (string * int) list) list;
+      (* per handler, final variable values *)
+  printed : int list; (* every [print] result, in execution order *)
+}
+
+(* [read] resolves handler reads; outside when-clauses the checker has
+   ruled them out and [read] is never consulted. *)
+let eval_expr ?(read = fun h x -> ignore h; ignore x; assert false) locals e =
+  let rec go = function
+    | Ast.Int n -> n
+    | Ast.Local v -> Hashtbl.find locals v
+    | Ast.Read (h, x) -> read h x
+    | Ast.Binop (op, a, b) -> (
+      let x = go a and y = go b in
+      match op with Ast.Add -> x + y | Ast.Sub -> x - y | Ast.Mul -> x * y)
+  in
+  go e
+
+let eval_cond ?read locals (Ast.Rel (op, a, b)) =
+  let x = eval_expr ?read locals a and y = eval_expr ?read locals b in
+  match op with
+  | Ast.Eq -> x = y
+  | Ast.Ne -> x <> y
+  | Ast.Lt -> x < y
+  | Ast.Gt -> x > y
+  | Ast.Le -> x <= y
+  | Ast.Ge -> x >= y
+
+let run ?(domains = 1) ?(config = Scoop.Config.all) (p : Ast.program) =
+  Check.check_program p;
+  let printed = ref [] in
+  let printed_lock = Qs_queues.Spinlock.create () in
+  let finals =
+    R.run ~domains ~config (fun rt ->
+      (* Handlers: one processor each, owning a (name -> value) table. *)
+      let handlers =
+        List.map
+          (fun (h : Ast.handler_decl) ->
+            let proc = R.processor rt in
+            let store : (string, int) Hashtbl.t = Hashtbl.create 8 in
+            List.iter (fun (v, init) -> Hashtbl.replace store v init) h.Ast.h_vars;
+            (h.Ast.h_name, (proc, Sh.create proc store)))
+          p.Ast.handlers
+      in
+      let latch = Qs_sched.Latch.create (List.length p.Ast.clients) in
+      List.iter
+        (fun (c : Ast.client_decl) ->
+          Qs_sched.Sched.spawn (fun () ->
+            let locals : (string, int) Hashtbl.t = Hashtbl.create 8 in
+            (* Registrations currently in scope, innermost first. *)
+            let rec exec regs stmts = List.iter (exec_stmt regs) stmts
+            and reg_for regs h =
+              (* The checker guarantees presence. *)
+              List.assoc h regs
+            and exec_stmt regs = function
+              | Ast.Separate (hs, body) ->
+                let procs = List.map (fun h -> fst (List.assoc h handlers)) hs in
+                R.separate_list rt procs (fun rs ->
+                  exec (List.combine hs rs @ regs) body)
+              | Ast.Separate_when (hs, c, body) ->
+                let procs = List.map (fun h -> fst (List.assoc h handlers)) hs in
+                R.separate_list_when rt procs
+                  ~pred:(fun rs ->
+                    let regs' = List.combine hs rs in
+                    let read h x =
+                      let _, store = List.assoc h handlers in
+                      Sh.get (List.assoc h regs') store (fun tbl ->
+                        Hashtbl.find tbl x)
+                    in
+                    eval_cond ~read locals c)
+                  (fun rs -> exec (List.combine hs rs @ regs) body)
+              | Ast.Async_set (h, x, e) ->
+                let value = eval_expr locals e in
+                let _, store = List.assoc h handlers in
+                Sh.apply (reg_for regs h) store (fun tbl ->
+                  Hashtbl.replace tbl x value)
+              | Ast.Query_read (v, h, x) ->
+                let _, store = List.assoc h handlers in
+                let value =
+                  Sh.get (reg_for regs h) store (fun tbl -> Hashtbl.find tbl x)
+                in
+                Hashtbl.replace locals v value
+              | Ast.Local_set (v, e) ->
+                Hashtbl.replace locals v (eval_expr locals e)
+              | Ast.Repeat (n, body) ->
+                for _ = 1 to n do
+                  exec regs body
+                done
+              | Ast.If (c, t, e) ->
+                if eval_cond locals c then exec regs t else exec regs e
+              | Ast.Print e ->
+                let value = eval_expr locals e in
+                Qs_queues.Spinlock.with_lock printed_lock (fun () ->
+                  printed := value :: !printed)
+            in
+            exec [] c.Ast.c_body;
+            Qs_sched.Latch.count_down latch))
+        p.Ast.clients;
+      Qs_sched.Latch.wait latch;
+      (* Collect final handler states through ordinary queries. *)
+      List.map
+        (fun (name, (proc, store)) ->
+          ( name,
+            R.separate rt proc (fun reg ->
+              Sh.get reg store (fun tbl ->
+                Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+                |> List.sort compare)) ))
+        handlers)
+  in
+  { finals; printed = List.rev !printed }
+
+let parse_and_run ?domains ?config source =
+  run ?domains ?config (Parser.program source)

@@ -1,0 +1,17 @@
+(** Compilation to the SCOOP/Qs runtime: handlers become processors,
+    clients become fibers, statements map onto the runtime operations of
+    paper §3. *)
+
+type outcome = {
+  finals : (string * (string * int) list) list;
+      (** per handler, final variable values (sorted by name) *)
+  printed : int list;  (** every [print] result, in execution order *)
+}
+
+val run :
+  ?domains:int -> ?config:Scoop.Config.t -> Ast.program -> outcome
+(** Check and execute a program.
+    @raise Check.Check_error on static errors. *)
+
+val parse_and_run :
+  ?domains:int -> ?config:Scoop.Config.t -> string -> outcome

@@ -1,0 +1,20 @@
+(** Quicksilver-mini: a small SCOOP surface language.
+
+    The miniature of the paper's Quicksilver compiler: {!Parser} builds
+    the {!Ast}, {!Check} enforces the separate-block discipline (SCOOP's
+    type rule), {!Compile} runs programs on the SCOOP/Qs runtime,
+    {!Codegen} lowers clients to the sync-coalescing IR and runs the
+    static pass of §3.4.2 on them, and {!To_semantics} exports programs
+    to the exhaustive semantics explorer. *)
+
+module Ast = Ast
+module Lexer = Lexer
+module Parser = Parser
+module Check = Check
+module Compile = Compile
+module Codegen = Codegen
+module To_semantics = To_semantics
+
+let parse = Parser.program
+
+let run = Compile.parse_and_run

@@ -1,0 +1,179 @@
+(* Hand-written lexer for the Quicksilver-mini language. *)
+
+type token =
+  | HANDLER
+  | CLIENT
+  | VAR
+  | SEPARATE
+  | REPEAT
+  | IF
+  | ELSE
+  | LET
+  | LOCAL
+  | WHEN
+  | PRINT
+  | IDENT of string
+  | INT of int
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | SEMI
+  | COMMA
+  | DOT
+  | ASSIGN (* := *)
+  | EQUALS (* = *)
+  | PLUS
+  | MINUS
+  | STAR
+  | EQEQ
+  | NEQ
+  | LT
+  | GT
+  | LE
+  | GE
+  | EOF
+
+exception Lex_error of { line : int; message : string }
+
+let keyword = function
+  | "handler" -> Some HANDLER
+  | "client" -> Some CLIENT
+  | "var" -> Some VAR
+  | "separate" -> Some SEPARATE
+  | "repeat" -> Some REPEAT
+  | "if" -> Some IF
+  | "else" -> Some ELSE
+  | "let" -> Some LET
+  | "local" -> Some LOCAL
+  | "when" -> Some WHEN
+  | "print" -> Some PRINT
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Tokenize the whole input; tokens are paired with their line for error
+   reporting. *)
+let tokenize source =
+  let n = String.length source in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  let error message = raise (Lex_error { line = !line; message }) in
+  let rec go i =
+    if i >= n then emit EOF
+    else
+      match source.[i] with
+      | '\n' ->
+        incr line;
+        go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '/' when i + 1 < n && source.[i + 1] = '/' ->
+        (* line comment *)
+        let rec skip j = if j < n && source.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i)
+      | '{' ->
+        emit LBRACE;
+        go (i + 1)
+      | '}' ->
+        emit RBRACE;
+        go (i + 1)
+      | '(' ->
+        emit LPAREN;
+        go (i + 1)
+      | ')' ->
+        emit RPAREN;
+        go (i + 1)
+      | ';' ->
+        emit SEMI;
+        go (i + 1)
+      | ',' ->
+        emit COMMA;
+        go (i + 1)
+      | '.' ->
+        emit DOT;
+        go (i + 1)
+      | '+' ->
+        emit PLUS;
+        go (i + 1)
+      | '-' ->
+        emit MINUS;
+        go (i + 1)
+      | '*' ->
+        emit STAR;
+        go (i + 1)
+      | ':' when i + 1 < n && source.[i + 1] = '=' ->
+        emit ASSIGN;
+        go (i + 2)
+      | '=' when i + 1 < n && source.[i + 1] = '=' ->
+        emit EQEQ;
+        go (i + 2)
+      | '=' ->
+        emit EQUALS;
+        go (i + 1)
+      | '!' when i + 1 < n && source.[i + 1] = '=' ->
+        emit NEQ;
+        go (i + 2)
+      | '<' when i + 1 < n && source.[i + 1] = '=' ->
+        emit LE;
+        go (i + 2)
+      | '<' ->
+        emit LT;
+        go (i + 1)
+      | '>' when i + 1 < n && source.[i + 1] = '=' ->
+        emit GE;
+        go (i + 2)
+      | '>' ->
+        emit GT;
+        go (i + 1)
+      | c when is_digit c ->
+        let rec scan j = if j < n && is_digit source.[j] then scan (j + 1) else j in
+        let j = scan i in
+        emit (INT (int_of_string (String.sub source i (j - i))));
+        go j
+      | c when is_ident_start c ->
+        let rec scan j = if j < n && is_ident_char source.[j] then scan (j + 1) else j in
+        let j = scan i in
+        let word = String.sub source i (j - i) in
+        emit (match keyword word with Some k -> k | None -> IDENT word);
+        go j
+      | c -> error (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0;
+  List.rev !tokens
+
+let describe = function
+  | HANDLER -> "'handler'"
+  | CLIENT -> "'client'"
+  | VAR -> "'var'"
+  | SEPARATE -> "'separate'"
+  | REPEAT -> "'repeat'"
+  | IF -> "'if'"
+  | ELSE -> "'else'"
+  | LET -> "'let'"
+  | LOCAL -> "'local'"
+  | WHEN -> "'when'"
+  | PRINT -> "'print'"
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | ASSIGN -> "':='"
+  | EQUALS -> "'='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | EQEQ -> "'=='"
+  | NEQ -> "'!='"
+  | LT -> "'<'"
+  | GT -> "'>'"
+  | LE -> "'<='"
+  | GE -> "'>='"
+  | EOF -> "end of input"

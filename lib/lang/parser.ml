@@ -1,0 +1,237 @@
+(* Recursive-descent parser for the Quicksilver-mini language. *)
+
+exception Parse_error of { line : int; message : string }
+
+type state = {
+  mutable tokens : (Lexer.token * int) list;
+}
+
+let peek st =
+  match st.tokens with
+  | (tok, line) :: _ -> (tok, line)
+  | [] -> (Lexer.EOF, 0)
+
+let advance st =
+  match st.tokens with
+  | _ :: rest -> st.tokens <- rest
+  | [] -> ()
+
+let fail st message =
+  let _, line = peek st in
+  raise (Parse_error { line; message })
+
+let expect st tok =
+  let got, _ = peek st in
+  if got = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s but found %s" (Lexer.describe tok)
+         (Lexer.describe got))
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT name, _ ->
+    advance st;
+    name
+  | got, _ ->
+    fail st (Printf.sprintf "expected an identifier, found %s" (Lexer.describe got))
+
+let integer st =
+  match peek st with
+  | Lexer.INT n, _ ->
+    advance st;
+    n
+  | Lexer.MINUS, _ ->
+    advance st;
+    (match peek st with
+    | Lexer.INT n, _ ->
+      advance st;
+      -n
+    | got, _ ->
+      fail st (Printf.sprintf "expected an integer, found %s" (Lexer.describe got)))
+  | got, _ ->
+    fail st (Printf.sprintf "expected an integer, found %s" (Lexer.describe got))
+
+(* expr := term (('+' | '-' | '*') term)*   — left associative, no
+   precedence (parenthesize to group; the checker's examples do). *)
+let rec expr st =
+  let lhs = term st in
+  let rec loop acc =
+    match peek st with
+    | Lexer.PLUS, _ ->
+      advance st;
+      loop (Ast.Binop (Ast.Add, acc, term st))
+    | Lexer.MINUS, _ ->
+      advance st;
+      loop (Ast.Binop (Ast.Sub, acc, term st))
+    | Lexer.STAR, _ ->
+      advance st;
+      loop (Ast.Binop (Ast.Mul, acc, term st))
+    | _ -> acc
+  in
+  loop lhs
+
+and term st =
+  match peek st with
+  | Lexer.INT _, _ | Lexer.MINUS, _ -> Ast.Int (integer st)
+  | Lexer.IDENT v, _ -> (
+    advance st;
+    match peek st with
+    | Lexer.DOT, _ ->
+      advance st;
+      Ast.Read (v, ident st)
+    | _ -> Ast.Local v)
+  | Lexer.LPAREN, _ ->
+    advance st;
+    let e = expr st in
+    expect st Lexer.RPAREN;
+    e
+  | got, _ ->
+    fail st (Printf.sprintf "expected an expression, found %s" (Lexer.describe got))
+
+let cond st =
+  let lhs = expr st in
+  let op =
+    match peek st with
+    | Lexer.EQEQ, _ -> Ast.Eq
+    | Lexer.NEQ, _ -> Ast.Ne
+    | Lexer.LT, _ -> Ast.Lt
+    | Lexer.GT, _ -> Ast.Gt
+    | Lexer.LE, _ -> Ast.Le
+    | Lexer.GE, _ -> Ast.Ge
+    | got, _ ->
+      fail st (Printf.sprintf "expected a comparison, found %s" (Lexer.describe got))
+  in
+  advance st;
+  Ast.Rel (op, lhs, expr st)
+
+let rec block st =
+  expect st Lexer.LBRACE;
+  let rec stmts acc =
+    match peek st with
+    | Lexer.RBRACE, _ ->
+      advance st;
+      List.rev acc
+    | _ -> stmts (stmt st :: acc)
+  in
+  stmts []
+
+and stmt st =
+  match peek st with
+  | Lexer.SEPARATE, _ ->
+    advance st;
+    let rec handlers acc =
+      let h = ident st in
+      match peek st with
+      | Lexer.COMMA, _ ->
+        advance st;
+        handlers (h :: acc)
+      | _ -> List.rev (h :: acc)
+    in
+    let hs = handlers [] in
+    (match peek st with
+    | Lexer.WHEN, _ ->
+      advance st;
+      let c = cond st in
+      Ast.Separate_when (hs, c, block st)
+    | _ -> Ast.Separate (hs, block st))
+  | Lexer.REPEAT, _ ->
+    advance st;
+    let n = integer st in
+    Ast.Repeat (n, block st)
+  | Lexer.IF, _ ->
+    advance st;
+    let c = cond st in
+    let then_ = block st in
+    let else_ =
+      match peek st with
+      | Lexer.ELSE, _ ->
+        advance st;
+        block st
+      | _ -> []
+    in
+    Ast.If (c, then_, else_)
+  | Lexer.LET, _ ->
+    advance st;
+    let v = ident st in
+    expect st Lexer.EQUALS;
+    let h = ident st in
+    expect st Lexer.DOT;
+    let x = ident st in
+    expect st Lexer.SEMI;
+    Ast.Query_read (v, h, x)
+  | Lexer.LOCAL, _ ->
+    advance st;
+    let v = ident st in
+    expect st Lexer.EQUALS;
+    let e = expr st in
+    expect st Lexer.SEMI;
+    Ast.Local_set (v, e)
+  | Lexer.PRINT, _ ->
+    advance st;
+    let e = expr st in
+    expect st Lexer.SEMI;
+    Ast.Print e
+  | Lexer.IDENT name, _ -> (
+    advance st;
+    match peek st with
+    | Lexer.DOT, _ ->
+      advance st;
+      let x = ident st in
+      expect st Lexer.ASSIGN;
+      let e = expr st in
+      expect st Lexer.SEMI;
+      Ast.Async_set (name, x, e)
+    | Lexer.ASSIGN, _ ->
+      advance st;
+      let e = expr st in
+      expect st Lexer.SEMI;
+      Ast.Local_set (name, e)
+    | got, _ ->
+      fail st
+        (Printf.sprintf "expected '.' or ':=' after %S, found %s" name
+           (Lexer.describe got)))
+  | got, _ ->
+    fail st (Printf.sprintf "expected a statement, found %s" (Lexer.describe got))
+
+let handler_decl st =
+  expect st Lexer.HANDLER;
+  let name = ident st in
+  expect st Lexer.LBRACE;
+  let rec vars acc =
+    match peek st with
+    | Lexer.VAR, _ ->
+      advance st;
+      let v = ident st in
+      expect st Lexer.EQUALS;
+      let init = integer st in
+      expect st Lexer.SEMI;
+      vars ((v, init) :: acc)
+    | Lexer.RBRACE, _ ->
+      advance st;
+      List.rev acc
+    | got, _ ->
+      fail st
+        (Printf.sprintf "expected 'var' or '}', found %s" (Lexer.describe got))
+  in
+  { Ast.h_name = name; h_vars = vars [] }
+
+let client_decl st =
+  expect st Lexer.CLIENT;
+  let name = ident st in
+  { Ast.c_name = name; c_body = block st }
+
+let program source =
+  let st = { tokens = Lexer.tokenize source } in
+  let rec items handlers clients =
+    match peek st with
+    | Lexer.HANDLER, _ -> items (handler_decl st :: handlers) clients
+    | Lexer.CLIENT, _ -> items handlers (client_decl st :: clients)
+    | Lexer.EOF, _ ->
+      { Ast.handlers = List.rev handlers; clients = List.rev clients }
+    | got, _ ->
+      fail st
+        (Printf.sprintf "expected 'handler' or 'client', found %s"
+           (Lexer.describe got))
+  in
+  items [] []

@@ -1,0 +1,8 @@
+(** Recursive-descent parser for Quicksilver-mini source text. *)
+
+exception Parse_error of { line : int; message : string }
+
+val program : string -> Ast.program
+(** Parse a whole program.
+    @raise Parse_error on syntax errors (with the offending line)
+    @raise Lexer.Lex_error on lexical errors. *)

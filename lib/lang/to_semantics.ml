@@ -1,0 +1,64 @@
+(* Translation into the executable operational semantics, so that surface
+   programs can be exhaustively explored (interleavings, deadlock,
+   guarantee checking) with [Qs_semantics].
+
+   The semantics abstracts data away, so the translation maps statements
+   to named actions:
+     h.x := e     ->  call(h, "<client>:h.x:=")
+     let v = h.x  ->  query(h, "<client>:h.x")
+     local/print  ->  atom
+     repeat n     ->  n-fold unrolling (bounded by [max_unroll])
+   Conditionals cannot be resolved without data; [translate] rejects
+   them.  Handler names are numbered in declaration order starting at
+   100; clients at 1. *)
+
+exception Unsupported of string
+
+let max_unroll = 8
+
+let translate (p : Ast.program) =
+  Check.check_program p;
+  let handler_id h =
+    let rec find i = function
+      | [] -> raise (Unsupported ("unknown handler " ^ h))
+      | (hd : Ast.handler_decl) :: rest ->
+        if hd.Ast.h_name = h then 100 + i else find (i + 1) rest
+    in
+    find 0 p.Ast.handlers
+  in
+  let rec stmt client = function
+    | Ast.Separate (hs, body) ->
+      Qs_semantics.Syntax.Separate
+        (List.map handler_id hs, Qs_semantics.Syntax.seq (stmts client body))
+    | Ast.Async_set (h, x, _) ->
+      Qs_semantics.Syntax.Call
+        (handler_id h, Printf.sprintf "%s:%s.%s:=" client h x)
+    | Ast.Query_read (_, h, x) ->
+      Qs_semantics.Syntax.Query
+        (handler_id h, Printf.sprintf "%s:%s.%s" client h x)
+    | Ast.Local_set (v, _) ->
+      Qs_semantics.Syntax.Atom (Printf.sprintf "%s:local %s" client v)
+    | Ast.Print _ -> Qs_semantics.Syntax.Atom (client ^ ":print")
+    | Ast.Repeat (n, body) ->
+      if n > max_unroll then
+        raise
+          (Unsupported
+             (Printf.sprintf
+                "repeat %d exceeds the exploration unrolling bound (%d)" n
+                max_unroll));
+      Qs_semantics.Syntax.seq
+        (List.concat (List.init n (fun _ -> stmts client body)))
+    | Ast.If _ ->
+      raise (Unsupported "conditionals cannot be explored without data")
+    | Ast.Separate_when _ ->
+      raise (Unsupported "wait conditions cannot be explored without data")
+  and stmts client body = List.map (stmt client) body in
+  Qs_semantics.State.init
+    (List.mapi
+       (fun i (c : Ast.client_decl) ->
+         (i + 1, Qs_semantics.Syntax.seq (stmts c.Ast.c_name c.Ast.c_body)))
+       p.Ast.clients)
+
+(* Convenience: explore a surface program and report deadlock states. *)
+let explore ?(mode = Qs_semantics.Step.qs_client_exec) p =
+  Qs_semantics.Explore.reachable mode (translate p)

@@ -1,0 +1,15 @@
+(** Export surface programs to the executable operational semantics for
+    exhaustive exploration.  Data-dependent control flow (if, wait
+    conditions) cannot be explored and is rejected; [repeat] is unrolled
+    up to {!max_unroll}. *)
+
+exception Unsupported of string
+
+val max_unroll : int
+
+val translate : Ast.program -> Qs_semantics.State.t
+(** @raise Unsupported on conditionals / wait conditions / large repeats
+    @raise Check.Check_error on static errors. *)
+
+val explore :
+  ?mode:Qs_semantics.Step.mode -> Ast.program -> Qs_semantics.Explore.stats

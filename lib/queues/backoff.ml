@@ -1,0 +1,29 @@
+(* Exponential backoff for contended atomic operations.
+
+   Spinning re-reads a contended location as fast as the core allows, which
+   floods the interconnect with cache-line traffic.  Doubling the number of
+   [cpu_relax] pauses between attempts (up to a cap) lets the winner of the
+   race finish its critical section, after which everyone else succeeds on
+   the first retry.  Once saturated we sleep for a microsecond instead: on
+   machines with fewer cores than domains the thread we are waiting for may
+   need the CPU we are spinning on. *)
+
+type t = {
+  mutable step : int;
+  max_step : int;
+}
+
+let default_max_step = 1 lsl 9
+
+let create ?(max_step = default_max_step) () = { step = 1; max_step }
+
+let reset t = t.step <- 1
+
+let once t =
+  if t.step >= t.max_step then Unix.sleepf 1e-6
+  else begin
+    for _ = 1 to t.step do
+      Domain.cpu_relax ()
+    done;
+    t.step <- t.step * 2
+  end

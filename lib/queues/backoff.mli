@@ -1,0 +1,17 @@
+(** Exponential backoff for contended atomic operations.
+
+    A [t] is owned by one spinning thread; it is not itself thread-safe. *)
+
+type t
+
+val create : ?max_step:int -> unit -> t
+(** [create ()] returns a fresh backoff whose pause length starts at one
+    [Domain.cpu_relax] and doubles on every {!once} up to [max_step]
+    (default [512]), after which {!once} sleeps for 1µs per call. *)
+
+val reset : t -> unit
+(** Reset the pause length to its initial value.  Call after the contended
+    operation finally succeeds, before reusing [t]. *)
+
+val once : t -> unit
+(** Pause for the current backoff duration and double it. *)

@@ -1,0 +1,71 @@
+(* Michael–Scott lock-free multiple-producer multiple-consumer queue.
+
+   Used where neither end is single-owner: the scheduler's global injection
+   queue, and as the unsafe-baseline comparator in the queue benchmarks.
+   This is the classic two-pointer linked queue: [tail] may lag by one node
+   and is "helped" forward by whoever notices. *)
+
+type 'a node = {
+  mutable value : 'a option;
+  next : 'a node option Atomic.t;
+}
+
+type 'a t = {
+  head : 'a node Atomic.t; (* dummy node; head.next is the front *)
+  tail : 'a node Atomic.t; (* last or second-to-last node *)
+}
+
+let make_node value = { value; next = Atomic.make None }
+
+let create () =
+  let dummy = make_node None in
+  { head = Atomic.make dummy; tail = Atomic.make dummy }
+
+let push t v =
+  let n = make_node (Some v) in
+  let b = Backoff.create () in
+  let rec loop () =
+    let tail = Atomic.get t.tail in
+    match Atomic.get tail.next with
+    | None ->
+      if Atomic.compare_and_set tail.next None (Some n) then
+        (* Linearization point.  Swinging [tail] is cooperative; failure
+           means someone helped us. *)
+        ignore (Atomic.compare_and_set t.tail tail n : bool)
+      else begin
+        Backoff.once b;
+        loop ()
+      end
+    | Some next ->
+      (* Tail is lagging: help it forward and retry. *)
+      ignore (Atomic.compare_and_set t.tail tail next : bool);
+      loop ()
+  in
+  loop ()
+
+let pop t =
+  let b = Backoff.create () in
+  let rec loop () =
+    let head = Atomic.get t.head in
+    match Atomic.get head.next with
+    | None -> None
+    | Some next ->
+      let tail = Atomic.get t.tail in
+      if head == tail then begin
+        (* Tail lags behind a non-empty queue: help. *)
+        ignore (Atomic.compare_and_set t.tail tail next : bool);
+        loop ()
+      end
+      else if Atomic.compare_and_set t.head head next then begin
+        let v = next.value in
+        next.value <- None;
+        v
+      end
+      else begin
+        Backoff.once b;
+        loop ()
+      end
+  in
+  loop ()
+
+let is_empty t = Atomic.get (Atomic.get t.head).next = None

@@ -1,0 +1,18 @@
+(** Michael–Scott lock-free multiple-producer multiple-consumer FIFO queue.
+
+    Safe for any number of concurrent producers and consumers.  Used for the
+    scheduler's global injection queue and as the generic baseline in the
+    queue micro-benchmarks. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Append one element.  Lock-free. *)
+
+val pop : 'a t -> 'a option
+(** Remove the oldest element, or [None] if the queue was observed empty. *)
+
+val is_empty : 'a t -> bool
+(** Racy emptiness test. *)

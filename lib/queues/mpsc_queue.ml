@@ -1,0 +1,54 @@
+(* Unbounded multiple-producer single-consumer queue (Vyukov's intrusive
+   MPSC design, adapted to a GC'd setting).
+
+   This is the "queue-of-queues" shape of the paper (§3.1): many clients
+   enqueue their private queues, one handler dequeues them.  Producers only
+   need a single atomic exchange on [head]; the consumer walks plain [next]
+   pointers.
+
+   The exchange-then-link protocol has a well-known transient state: after a
+   producer has exchanged [head] but before it has linked [prev.next], the
+   consumer can observe a non-empty queue whose tail has no successor.  In
+   that window {!pop} spins briefly (the producer is between two
+   instructions), which is the standard trade-off of this queue: wait-free
+   producers, mostly-wait-free consumer. *)
+
+type 'a node = {
+  mutable value : 'a option;
+  next : 'a node option Atomic.t;
+}
+
+type 'a t = {
+  head : 'a node Atomic.t; (* producers: last enqueued node *)
+  mutable tail : 'a node;  (* consumer: last dequeued (dummy) node *)
+}
+
+let make_node value = { value; next = Atomic.make None }
+
+let create () =
+  let dummy = make_node None in
+  { head = Atomic.make dummy; tail = dummy }
+
+let push t v =
+  let n = make_node (Some v) in
+  let prev = Atomic.exchange t.head n in
+  Atomic.set prev.next (Some n)
+
+let rec pop t =
+  let tail = t.tail in
+  match Atomic.get tail.next with
+  | Some n ->
+    let v = n.value in
+    n.value <- None;
+    t.tail <- n;
+    v
+  | None ->
+    if Atomic.get t.head == tail then None (* genuinely empty *)
+    else begin
+      (* A producer exchanged [head] but has not linked [next] yet. *)
+      Domain.cpu_relax ();
+      pop t
+    end
+
+let is_empty t =
+  Atomic.get t.tail.next = None && Atomic.get t.head == t.tail

@@ -1,0 +1,23 @@
+(** Unbounded multiple-producer single-consumer FIFO queue
+    (Vyukov exchange-and-link design).
+
+    The backing structure of the SCOOP/Qs queue-of-queues (paper §3.1): any
+    number of clients enqueue, exactly one handler dequeues.  Producers are
+    wait-free (one atomic exchange); the consumer may spin for the length of
+    two producer instructions in a rare transient state.
+
+    Safety contract: {!push} may be called from any number of domains/fibers
+    concurrently; {!pop} and {!is_empty} from at most one. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Append one element.  Wait-free; safe from any producer. *)
+
+val pop : 'a t -> 'a option
+(** Consumer side: remove the oldest element, or [None] if empty. *)
+
+val is_empty : 'a t -> bool
+(** Consumer-side emptiness test. *)

@@ -1,0 +1,24 @@
+(** Test-and-test-and-set spinlock with exponential backoff.
+
+    Suitable only for critical sections of a few memory operations, such as
+    enqueueing a private queue during a multi-reservation (paper §3.3).
+    Not reentrant. *)
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> unit
+(** Spin (with backoff) until the lock is acquired. *)
+
+val try_acquire : t -> bool
+(** One attempt; [true] on success. *)
+
+val release : t -> unit
+(** Release the lock.  Must be called by the current holder. *)
+
+val is_locked : t -> bool
+(** Racy observation, for diagnostics and tests. *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** [with_lock t f] runs [f] under the lock, releasing it on exceptions. *)

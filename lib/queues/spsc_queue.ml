@@ -1,0 +1,57 @@
+(* Unbounded single-producer single-consumer queue.
+
+   This is the "private queue" shape of the paper (§3.1): once a handler has
+   dequeued a private queue from its queue-of-queues, exactly one client
+   enqueues requests and exactly one handler dequeues them.  A linked list
+   with a dummy node needs no CAS at all in this setting: the producer owns
+   [tail], the consumer owns [head], and the only shared edge is the
+   [next] pointer of the producer's last node, which is an [Atomic] so that
+   the node's payload is published to the consumer (release on
+   [Atomic.set], acquire on [Atomic.get]). *)
+
+type 'a node = {
+  mutable value : 'a option;
+  next : 'a node option Atomic.t;
+}
+
+type 'a t = {
+  mutable head : 'a node; (* consumer-owned: last dequeued (dummy) node *)
+  mutable tail : 'a node; (* producer-owned: last enqueued node *)
+  pushed : int Atomic.t;  (* diagnostics *)
+  popped : int Atomic.t;
+}
+
+let make_node value = { value; next = Atomic.make None }
+
+let create () =
+  let dummy = make_node None in
+  { head = dummy; tail = dummy; pushed = Atomic.make 0; popped = Atomic.make 0 }
+
+let push t v =
+  let n = make_node (Some v) in
+  Atomic.set t.tail.next (Some n);
+  t.tail <- n;
+  Atomic.incr t.pushed
+
+let pop t =
+  match Atomic.get t.head.next with
+  | None -> None
+  | Some n ->
+    let v = n.value in
+    (* Drop the reference so the GC can reclaim the payload while [n]
+       lives on as the new dummy node. *)
+    n.value <- None;
+    t.head <- n;
+    Atomic.incr t.popped;
+    v
+
+let peek t =
+  match Atomic.get t.head.next with
+  | None -> None
+  | Some n -> n.value
+
+let is_empty t = Atomic.get t.head.next = None
+
+let length t =
+  (* Racy estimate; exact when producer and consumer are quiescent. *)
+  max 0 (Atomic.get t.pushed - Atomic.get t.popped)

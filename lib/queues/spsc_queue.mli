@@ -1,0 +1,30 @@
+(** Unbounded single-producer single-consumer FIFO queue.
+
+    The backing structure of SCOOP/Qs private queues (paper §3.1): after a
+    handler dequeues a private queue from its queue-of-queues, the
+    communication is single-producer (the client) single-consumer (the
+    handler), so no compare-and-swap is needed on either path.
+
+    Safety contract: at most one domain/fiber calls {!push} concurrently, and
+    at most one calls {!pop}/{!peek} concurrently.  Producer and consumer may
+    run in parallel with each other. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Producer side: append one element.  Never blocks. *)
+
+val pop : 'a t -> 'a option
+(** Consumer side: remove the oldest element, or [None] if empty. *)
+
+val peek : 'a t -> 'a option
+(** Consumer side: the oldest element without removing it. *)
+
+val is_empty : 'a t -> bool
+(** Consumer-side emptiness test ([true] means no element is currently
+    visible to the consumer). *)
+
+val length : 'a t -> int
+(** Racy size estimate, exact when both ends are quiescent. *)

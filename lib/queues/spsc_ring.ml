@@ -1,0 +1,75 @@
+(* Bounded single-producer single-consumer ring buffer.
+
+   An alternative private-queue backing store to the unbounded linked
+   [Spsc_queue]: no allocation per element, cache-friendly sequential
+   slots, but pushes can fail when the ring is full.  The micro-benchmark
+   suite compares the two (the ablation DESIGN.md lists for the
+   private-queue design choice); the runtime itself uses the unbounded
+   queue because SCOOP clients must never block while logging calls.
+
+   Classic Lamport ring with cached indices: the producer keeps a cached
+   copy of the consumer's head (and vice versa) so the hot path touches
+   only one shared atomic. *)
+
+type 'a t = {
+  buffer : 'a option array;
+  mask : int;
+  head : int Atomic.t; (* next slot to pop; written by the consumer *)
+  tail : int Atomic.t; (* next slot to push; written by the producer *)
+  mutable head_cache : int; (* producer's stale view of [head] *)
+  mutable tail_cache : int; (* consumer's stale view of [tail] *)
+}
+
+let create ?(capacity_pow2 = 8) () =
+  if capacity_pow2 < 1 || capacity_pow2 > 30 then
+    invalid_arg "Spsc_ring.create: capacity_pow2 out of range";
+  let size = 1 lsl capacity_pow2 in
+  {
+    buffer = Array.make size None;
+    mask = size - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    head_cache = 0;
+    tail_cache = 0;
+  }
+
+let capacity t = t.mask + 1
+
+let try_push t v =
+  let tail = Atomic.get t.tail in
+  if tail - t.head_cache >= capacity t then begin
+    t.head_cache <- Atomic.get t.head;
+    if tail - t.head_cache >= capacity t then false
+    else begin
+      t.buffer.(tail land t.mask) <- Some v;
+      Atomic.set t.tail (tail + 1);
+      true
+    end
+  end
+  else begin
+    t.buffer.(tail land t.mask) <- Some v;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let pop t =
+  let head = Atomic.get t.head in
+  if head >= t.tail_cache then begin
+    t.tail_cache <- Atomic.get t.tail;
+    if head >= t.tail_cache then None
+    else begin
+      let v = t.buffer.(head land t.mask) in
+      t.buffer.(head land t.mask) <- None;
+      Atomic.set t.head (head + 1);
+      v
+    end
+  end
+  else begin
+    let v = t.buffer.(head land t.mask) in
+    t.buffer.(head land t.mask) <- None;
+    Atomic.set t.head (head + 1);
+    v
+  end
+
+let is_empty t = Atomic.get t.head >= Atomic.get t.tail
+let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)

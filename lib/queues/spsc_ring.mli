@@ -1,0 +1,20 @@
+(** Bounded single-producer single-consumer ring buffer (Lamport queue
+    with cached indices).  The allocation-free alternative to
+    {!Spsc_queue}, compared against it in the micro-benchmark ablation.
+
+    Safety contract: one producer thread ({!try_push}), one consumer
+    thread ({!pop}), which may run in parallel. *)
+
+type 'a t
+
+val create : ?capacity_pow2:int -> unit -> 'a t
+(** Capacity is [2 ^ capacity_pow2] (default [2^8]).
+    @raise Invalid_argument outside [1..30]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when the ring is full. *)
+
+val pop : 'a t -> 'a option
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val capacity : 'a t -> int

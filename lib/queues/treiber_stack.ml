@@ -1,0 +1,40 @@
+(* Treiber lock-free stack.
+
+   Used for the private-queue cache (paper §3.2: a private queue "can either
+   be freshly created or taken from a cache of queues") and as a building
+   block in tests.  A plain immutable list behind a CAS'd atomic head; the
+   head index never recycles nodes (the GC owns reclamation), so the classic
+   ABA problem cannot bite. *)
+
+type 'a t = { head : 'a list Atomic.t }
+
+let create () = { head = Atomic.make [] }
+
+let push t v =
+  let b = Backoff.create () in
+  let rec loop () =
+    let old = Atomic.get t.head in
+    if not (Atomic.compare_and_set t.head old (v :: old)) then begin
+      Backoff.once b;
+      loop ()
+    end
+  in
+  loop ()
+
+let pop t =
+  let b = Backoff.create () in
+  let rec loop () =
+    match Atomic.get t.head with
+    | [] -> None
+    | v :: rest as old ->
+      if Atomic.compare_and_set t.head old rest then Some v
+      else begin
+        Backoff.once b;
+        loop ()
+      end
+  in
+  loop ()
+
+let is_empty t = Atomic.get t.head = []
+
+let length t = List.length (Atomic.get t.head)

@@ -1,0 +1,20 @@
+(** Treiber lock-free stack (LIFO).
+
+    Safe for any number of concurrent pushers and poppers.  Used as the
+    private-queue cache of the SCOOP/Qs runtime (paper §3.2). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Push one element.  Lock-free. *)
+
+val pop : 'a t -> 'a option
+(** Pop the most recently pushed element, or [None] if empty. *)
+
+val is_empty : 'a t -> bool
+(** Racy emptiness test. *)
+
+val length : 'a t -> int
+(** Racy length (walks the current snapshot). *)

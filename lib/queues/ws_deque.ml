@@ -1,0 +1,95 @@
+(* Chase–Lev work-stealing deque.
+
+   One owner pushes and pops at the bottom (LIFO, cache-friendly for the
+   fiber scheduler); any number of thieves steal from the top (FIFO, steals
+   the oldest — typically largest — unit of work).  The buffer is a circular
+   array published through an [Atomic] so the owner can grow it while
+   thieves hold a consistent snapshot.
+
+   The only delicate interleaving is the last-element race between an
+   owner's [pop] and a thief's [steal]; both sides resolve it with a CAS on
+   [top], and OCaml's [Atomic] operations are sequentially consistent, which
+   supplies the fence the original algorithm needs between the [bottom]
+   write and the [top] read. *)
+
+type 'a t = {
+  top : int Atomic.t;    (* next index to steal *)
+  bottom : int Atomic.t; (* next index to push; written only by owner *)
+  buffer : 'a option array Atomic.t;
+}
+
+let create ?(capacity = 64) () =
+  let capacity = max 2 capacity in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buffer = Atomic.make (Array.make capacity None);
+  }
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+let grow t bottom top =
+  let old = Atomic.get t.buffer in
+  let n = Array.length old in
+  let fresh = Array.make (2 * n) None in
+  for i = top to bottom - 1 do
+    fresh.(i mod (2 * n)) <- old.(i mod n)
+  done;
+  Atomic.set t.buffer fresh
+
+let push t v =
+  let bottom = Atomic.get t.bottom in
+  let top = Atomic.get t.top in
+  let buf = Atomic.get t.buffer in
+  let buf =
+    if bottom - top >= Array.length buf - 1 then begin
+      grow t bottom top;
+      Atomic.get t.buffer
+    end
+    else buf
+  in
+  buf.(bottom mod Array.length buf) <- Some v;
+  Atomic.set t.bottom (bottom + 1)
+
+let pop t =
+  let bottom = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom bottom;
+  let top = Atomic.get t.top in
+  if bottom < top then begin
+    (* Empty: restore bottom. *)
+    Atomic.set t.bottom top;
+    None
+  end
+  else begin
+    let buf = Atomic.get t.buffer in
+    let i = bottom mod Array.length buf in
+    let v = buf.(i) in
+    if bottom > top then begin
+      buf.(i) <- None;
+      v
+    end
+    else begin
+      (* Last element: race with thieves via CAS on top. *)
+      let won = Atomic.compare_and_set t.top top (top + 1) in
+      Atomic.set t.bottom (top + 1);
+      if won then begin
+        buf.(i) <- None;
+        v
+      end
+      else None
+    end
+  end
+
+let rec steal t =
+  let top = Atomic.get t.top in
+  let bottom = Atomic.get t.bottom in
+  if top >= bottom then None
+  else begin
+    let buf = Atomic.get t.buffer in
+    let v = buf.(top mod Array.length buf) in
+    if Atomic.compare_and_set t.top top (top + 1) then v
+    else begin
+      Domain.cpu_relax ();
+      steal t
+    end
+  end

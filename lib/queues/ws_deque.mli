@@ -1,0 +1,25 @@
+(** Chase–Lev work-stealing deque.
+
+    Safety contract: {!push} and {!pop} must only be called by the single
+    owner (one scheduler worker); {!steal} may be called by any number of
+    thieves concurrently.  The owner works LIFO at the bottom; thieves take
+    the oldest element at the top.  The buffer grows automatically. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] makes an empty deque with the given initial capacity
+    (default 64, minimum 2). *)
+
+val push : 'a t -> 'a -> unit
+(** Owner: push at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner: pop the most recently pushed element, or [None] if empty. *)
+
+val steal : 'a t -> 'a option
+(** Thief: remove the oldest element, or [None] if the deque was observed
+    empty.  Lock-free. *)
+
+val size : 'a t -> int
+(** Racy size estimate. *)

@@ -1,0 +1,140 @@
+(* Socket-backed message queue — the paper's second piece of future work
+   (§7): "we plan to further explore the utility of the private queue
+   design, in particular the usage of sockets as the underlying
+   implementation".
+
+   This module is that exploration: a FIFO queue with the same interface
+   shape as the runtime's private queues, but whose transport is a Unix
+   socket pair carrying length-prefixed marshalled messages — the exact
+   mechanics a distributed SCOOP would need, exercised inside one
+   process.  The cost question it answers is measured by the
+   `transport:*` ablations in the micro-benchmark suite: serialization +
+   syscalls versus the in-memory SPSC queue.
+
+   Messages must be marshal-safe values (no closures — a distributed
+   runtime ships commands, not code; captured mutable state would be
+   silently copied).  Both socket ends are non-blocking: a would-block
+   write or read yields the fiber instead of stalling the domain, so the
+   queue composes with the scheduler like every other primitive. *)
+
+exception Closed
+
+type 'a t = {
+  read_fd : Unix.file_descr;
+  write_fd : Unix.file_descr;
+  write_lock : Qs_sched.Fiber_mutex.t; (* frames from producers must not interleave *)
+  mutable read_buffer : Bytes.t; (* accumulated unparsed input *)
+  mutable read_len : int;
+  mutable write_closed : bool;
+  mutable eof : bool;
+}
+
+let create () =
+  let read_fd, write_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock read_fd;
+  Unix.set_nonblock write_fd;
+  {
+    read_fd;
+    write_fd;
+    write_lock = Qs_sched.Fiber_mutex.create ();
+    read_buffer = Bytes.create 4096;
+    read_len = 0;
+    write_closed = false;
+    eof = false;
+  }
+
+let frame_header_size = 8
+
+let encode v =
+  let payload = Marshal.to_bytes v [] in
+  let frame = Bytes.create (frame_header_size + Bytes.length payload) in
+  Bytes.set_int64_le frame 0 (Int64.of_int (Bytes.length payload));
+  Bytes.blit payload 0 frame frame_header_size (Bytes.length payload);
+  frame
+
+(* Write the whole frame, yielding on would-block and partial writes. *)
+let write_all t frame =
+  let len = Bytes.length frame in
+  let rec go off =
+    if off < len then begin
+      match Unix.write t.write_fd frame off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Qs_sched.Sched.yield ();
+        go off
+      | exception Unix.Unix_error (Unix.EPIPE, _, _) -> raise Closed
+    end
+  in
+  go 0
+
+let enqueue t v =
+  if t.write_closed then raise Closed;
+  let frame = encode v in
+  (* Producers serialize frame writes so frames cannot interleave. *)
+  Qs_sched.Fiber_mutex.with_lock t.write_lock (fun () -> write_all t frame)
+
+let grow_buffer t needed =
+  if needed > Bytes.length t.read_buffer then begin
+    let bigger = Bytes.create (max needed (2 * Bytes.length t.read_buffer)) in
+    Bytes.blit t.read_buffer 0 bigger 0 t.read_len;
+    t.read_buffer <- bigger
+  end
+
+(* Pull more bytes from the socket into the buffer; false at EOF. *)
+let fill t =
+  grow_buffer t (t.read_len + 4096);
+  match
+    Unix.read t.read_fd t.read_buffer t.read_len
+      (Bytes.length t.read_buffer - t.read_len)
+  with
+  | 0 ->
+    t.eof <- true;
+    false
+  | n ->
+    t.read_len <- t.read_len + n;
+    true
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    Qs_sched.Sched.yield ();
+    true
+
+let take_frame t =
+  if t.read_len < frame_header_size then None
+  else begin
+    let payload_len = Int64.to_int (Bytes.get_int64_le t.read_buffer 0) in
+    let total = frame_header_size + payload_len in
+    if t.read_len < total then begin
+      grow_buffer t total;
+      None
+    end
+    else begin
+      let v =
+        Marshal.from_bytes (Bytes.sub t.read_buffer frame_header_size payload_len) 0
+      in
+      Bytes.blit t.read_buffer total t.read_buffer 0 (t.read_len - total);
+      t.read_len <- t.read_len - total;
+      Some v
+    end
+  end
+
+(* Single consumer: dequeue the next message, [None] once the write side
+   is closed and everything has been drained. *)
+let rec dequeue t =
+  match take_frame t with
+  | Some v -> Some v
+  | None ->
+    if t.eof then None
+    else if fill t then dequeue t
+    else if t.read_len > 0 then dequeue t (* parse what remains *)
+    else None
+
+let close_writer t =
+  if not t.write_closed then begin
+    t.write_closed <- true;
+    (try Unix.shutdown t.write_fd Unix.SHUTDOWN_SEND
+     with Unix.Unix_error _ -> ())
+  end
+
+let destroy t =
+  close_writer t;
+  (try Unix.close t.write_fd with Unix.Unix_error _ -> ());
+  try Unix.close t.read_fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,28 @@
+(** Socket-backed FIFO message queue: the paper's §7 exploration of
+    "sockets as the underlying implementation" of private queues, inside
+    one process.  Messages travel as length-prefixed marshalled frames
+    over a non-blocking Unix socket pair; would-block conditions yield
+    the fiber.
+
+    Messages must be marshal-safe (no closures).  Multiple producer
+    fibers may {!enqueue} (frames are serialized); exactly one consumer
+    fiber may {!dequeue}. *)
+
+exception Closed
+
+type 'a t
+
+val create : unit -> 'a t
+
+val enqueue : 'a t -> 'a -> unit
+(** Send one message.  @raise Closed after {!close_writer}. *)
+
+val dequeue : 'a t -> 'a option
+(** Receive the next message, yielding while none is available; [None]
+    once the writer has closed and the stream is drained. *)
+
+val close_writer : 'a t -> unit
+(** Signal end-of-stream to the consumer. *)
+
+val destroy : 'a t -> unit
+(** Close both file descriptors. *)

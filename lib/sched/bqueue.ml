@@ -1,0 +1,99 @@
+(* Blocking single-consumer queues: the runtime's communication channels.
+
+   [Spsc] is a private queue (client -> handler request stream); [Mpsc] is
+   both the queue-of-queues (clients enqueue private queues, Fig. 4) and
+   the single request queue of the lock-based baseline runtime (Fig. 2).
+
+   Blocking parks the consumer *fiber* via [Sched.suspend]; producers wake
+   it through a one-slot waiter exchanged atomically, so the wake-up is a
+   single CAS on the fast path.  When the woken consumer is resumed by a
+   producer running on the same worker, the scheduler's hot slot makes the
+   switch a direct handoff (paper §3.2). *)
+
+module Waiter = struct
+  type t = Sched.resumer option Atomic.t
+
+  let create () = Atomic.make None
+
+  let wake w =
+    match Atomic.exchange w None with
+    | Some resume -> resume ()
+    | None -> ()
+
+  (* Park the (single) consumer until woken.  [ready] re-checks the queue
+     after the resumer is published, closing the race with a producer that
+     pushed before seeing the waiter. *)
+  let park w ~ready =
+    Sched.suspend (fun resume ->
+      Atomic.set w (Some resume);
+      if ready () then wake w)
+end
+
+module Spsc = struct
+  type 'a t = {
+    q : 'a Qs_queues.Spsc_queue.t;
+    waiter : Waiter.t;
+  }
+
+  let create () = { q = Qs_queues.Spsc_queue.create (); waiter = Waiter.create () }
+
+  let enqueue t v =
+    Qs_queues.Spsc_queue.push t.q v;
+    Waiter.wake t.waiter
+
+  let rec dequeue t =
+    match Qs_queues.Spsc_queue.pop t.q with
+    | Some v -> v
+    | None ->
+      Waiter.park t.waiter ~ready:(fun () ->
+        not (Qs_queues.Spsc_queue.is_empty t.q));
+      dequeue t
+
+  let is_empty t = Qs_queues.Spsc_queue.is_empty t.q
+  let length t = Qs_queues.Spsc_queue.length t.q
+end
+
+module Mpsc = struct
+  type 'a t = {
+    q : 'a Qs_queues.Mpsc_queue.t;
+    waiter : Waiter.t;
+    closed : bool Atomic.t;
+  }
+
+  let create () =
+    {
+      q = Qs_queues.Mpsc_queue.create ();
+      waiter = Waiter.create ();
+      closed = Atomic.make false;
+    }
+
+  let enqueue t v =
+    Qs_queues.Mpsc_queue.push t.q v;
+    Waiter.wake t.waiter
+
+  let close t =
+    Atomic.set t.closed true;
+    Waiter.wake t.waiter
+
+  let is_closed t = Atomic.get t.closed
+
+  (* [None] means closed *and* drained: a close does not discard pending
+     requests, matching the handler loop of Fig. 7 where `false` from the
+     outer dequeue means "no more work", not "momentarily empty". *)
+  let rec dequeue t =
+    match Qs_queues.Mpsc_queue.pop t.q with
+    | Some v -> Some v
+    | None ->
+      if Atomic.get t.closed then
+        (* Re-check: a producer may have raced the close. *)
+        match Qs_queues.Mpsc_queue.pop t.q with
+        | Some v -> Some v
+        | None -> None
+      else begin
+        Waiter.park t.waiter ~ready:(fun () ->
+          Atomic.get t.closed || not (Qs_queues.Mpsc_queue.is_empty t.q));
+        dequeue t
+      end
+
+  let is_empty t = Qs_queues.Mpsc_queue.is_empty t.q
+end

@@ -1,0 +1,35 @@
+(** Blocking single-consumer queues used as the runtime's communication
+    channels.  Blocking parks the consumer fiber, never the domain. *)
+
+module Spsc : sig
+  (** A private queue: one client enqueues, one handler dequeues. *)
+
+  type 'a t
+
+  val create : unit -> 'a t
+  val enqueue : 'a t -> 'a -> unit
+
+  val dequeue : 'a t -> 'a
+  (** Blocks the calling fiber until an element is available. *)
+
+  val is_empty : 'a t -> bool
+  val length : 'a t -> int
+end
+
+module Mpsc : sig
+  (** A queue-of-queues / baseline request queue: many clients enqueue, one
+      handler dequeues; closable for shutdown. *)
+
+  type 'a t
+
+  val create : unit -> 'a t
+  val enqueue : 'a t -> 'a -> unit
+
+  val dequeue : 'a t -> 'a option
+  (** Blocks until an element is available; [None] once the queue is closed
+      {e and} drained. *)
+
+  val close : 'a t -> unit
+  val is_closed : 'a t -> bool
+  val is_empty : 'a t -> bool
+end

@@ -1,0 +1,14 @@
+(** Condition variable for fibers, used with {!Fiber_mutex}.
+
+    Discipline: call {!wait}, {!signal} and {!broadcast} only while holding
+    the associated mutex.  {!wait} releases the mutex while parked and
+    reacquires it before returning.  As with POSIX condition variables,
+    re-check the predicate in a loop around {!wait}. *)
+
+type t
+
+val create : unit -> t
+
+val wait : t -> Fiber_mutex.t -> unit
+val signal : t -> unit
+val broadcast : t -> unit

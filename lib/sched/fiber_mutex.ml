@@ -1,0 +1,67 @@
+(* Blocking mutex for fibers.
+
+   Unlike a [Stdlib.Mutex], blocking here parks the fiber, not the domain.
+   Used by the C++-style comparator benchmarks (coarse locking) and by
+   [Fiber_cond].
+
+   Ownership hand-off: [unlock] transfers the lock directly to the oldest
+   waiter, so a stream of contenders is served FIFO and cannot starve. *)
+
+type state =
+  | Unlocked
+  | Locked of Sched.resumer list (* waiters, newest first *)
+
+type t = { state : state Atomic.t }
+
+let create () = { state = Atomic.make Unlocked }
+
+let try_lock t = Atomic.compare_and_set t.state Unlocked (Locked [])
+
+let lock t =
+  if not (try_lock t) then
+    Sched.suspend (fun resume ->
+      let rec subscribe () =
+        match Atomic.get t.state with
+        | Unlocked ->
+          (* Freed while we were suspending: acquire and wake ourselves. *)
+          if Atomic.compare_and_set t.state Unlocked (Locked []) then
+            resume ()
+          else subscribe ()
+        | Locked waiters as old ->
+          if
+            not
+              (Atomic.compare_and_set t.state old (Locked (resume :: waiters)))
+          then subscribe ()
+      in
+      subscribe ())
+
+(* Remove the oldest waiter (the list is newest-first). *)
+let split_oldest waiters =
+  match List.rev waiters with
+  | [] -> assert false
+  | oldest :: rest -> (oldest, List.rev rest)
+
+let unlock t =
+  let rec loop () =
+    match Atomic.get t.state with
+    | Unlocked -> invalid_arg "Fiber_mutex.unlock: not locked"
+    | Locked [] as old ->
+      if not (Atomic.compare_and_set t.state old Unlocked) then loop ()
+    | Locked waiters as old ->
+      let oldest, rest = split_oldest waiters in
+      if Atomic.compare_and_set t.state old (Locked rest) then
+        (* Ownership passes to [oldest]; the state stays [Locked]. *)
+        oldest ()
+      else loop ()
+  in
+  loop ()
+
+let with_lock t f =
+  lock t;
+  match f () with
+  | v ->
+    unlock t;
+    v
+  | exception e ->
+    unlock t;
+    raise e

@@ -1,0 +1,20 @@
+(** Mutex that blocks fibers, not domains.
+
+    FIFO hand-off: {!unlock} passes ownership directly to the oldest waiting
+    fiber.  Not reentrant. *)
+
+type t
+
+val create : unit -> t
+
+val lock : t -> unit
+(** Acquire, parking the current fiber while contended. *)
+
+val try_lock : t -> bool
+
+val unlock : t -> unit
+(** Release or hand off.
+    @raise Invalid_argument if the mutex is not locked. *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Run under the lock, releasing on exceptions. *)

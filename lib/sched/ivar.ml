@@ -1,0 +1,64 @@
+(* Write-once synchronization variable for fibers.
+
+   Used for packaged queries in the lock-based baseline runtime (the client
+   blocks on the result the handler will produce, Fig. 10a of the paper) and
+   as a general fork/join primitive in tests and benchmarks.
+
+   The state is a single atomic: either [Full v], or [Empty waiters] where
+   [waiters] are the resumers of blocked readers.  Both transitions are CAS
+   loops over immutable values. *)
+
+type 'a state =
+  | Empty of Sched.resumer list
+  | Full of 'a
+
+type 'a t = { state : 'a state Atomic.t }
+
+let create () = { state = Atomic.make (Empty []) }
+
+let create_full v = { state = Atomic.make (Full v) }
+
+let try_fill t v =
+  let rec loop () =
+    match Atomic.get t.state with
+    | Full _ -> false
+    | Empty waiters as old ->
+      if Atomic.compare_and_set t.state old (Full v) then begin
+        (* FIFO wake-up: waiters accumulated head-first. *)
+        List.iter (fun resume -> resume ()) (List.rev waiters);
+        true
+      end
+      else loop ()
+  in
+  loop ()
+
+let fill t v =
+  if not (try_fill t v) then invalid_arg "Ivar.fill: already filled"
+
+let peek t =
+  match Atomic.get t.state with
+  | Full v -> Some v
+  | Empty _ -> None
+
+let is_filled t = peek t <> None
+
+let read t =
+  match Atomic.get t.state with
+  | Full v -> v
+  | Empty _ ->
+    Sched.suspend (fun resume ->
+      let rec subscribe () =
+        match Atomic.get t.state with
+        | Full _ ->
+          (* Filled between our first check and suspension. *)
+          resume ()
+        | Empty waiters as old ->
+          if
+            not
+              (Atomic.compare_and_set t.state old (Empty (resume :: waiters)))
+          then subscribe ()
+      in
+      subscribe ());
+    (match Atomic.get t.state with
+    | Full v -> v
+    | Empty _ -> assert false)

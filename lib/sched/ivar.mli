@@ -1,0 +1,24 @@
+(** Write-once synchronization variable ("future") for fibers.
+
+    Any number of fibers may {!read}; the first {!fill} wakes them all.
+    Safe across domains. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val create_full : 'a -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** Set the value and wake all readers.
+    @raise Invalid_argument if already filled. *)
+
+val try_fill : 'a t -> 'a -> bool
+(** Like {!fill} but returns [false] instead of raising. *)
+
+val read : 'a t -> 'a
+(** Return the value, blocking the current fiber until filled. *)
+
+val peek : 'a t -> 'a option
+(** The value if already present; never blocks. *)
+
+val is_filled : 'a t -> bool

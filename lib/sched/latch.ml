@@ -1,0 +1,47 @@
+(* Countdown latch: fork/join barrier for fibers.
+
+   [Parfor] and the benchmark drivers use it to wait for a batch of worker
+   fibers.  Same CAS-over-immutable-state pattern as [Ivar]. *)
+
+type state = {
+  remaining : int;
+  waiters : Sched.resumer list;
+}
+
+type t = { state : state Atomic.t }
+
+let create n =
+  if n < 0 then invalid_arg "Latch.create: negative count";
+  { state = Atomic.make { remaining = n; waiters = [] } }
+
+let count t = (Atomic.get t.state).remaining
+
+let count_down t =
+  let rec loop () =
+    let old = Atomic.get t.state in
+    if old.remaining <= 0 then invalid_arg "Latch.count_down: already at zero"
+    else begin
+      let next = { old with remaining = old.remaining - 1 } in
+      if Atomic.compare_and_set t.state old next then begin
+        if next.remaining = 0 then
+          List.iter (fun resume -> resume ()) (List.rev old.waiters)
+      end
+      else loop ()
+    end
+  in
+  loop ()
+
+let wait t =
+  if (Atomic.get t.state).remaining > 0 then begin
+    Sched.suspend (fun resume ->
+      let rec subscribe () =
+        let old = Atomic.get t.state in
+        if old.remaining = 0 then resume ()
+        else if
+          not
+            (Atomic.compare_and_set t.state old
+               { old with waiters = resume :: old.waiters })
+        then subscribe ()
+      in
+      subscribe ())
+  end

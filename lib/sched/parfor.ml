@@ -1,0 +1,60 @@
+(* Fork/join data parallelism over raw shared memory.
+
+   This is the C++/TBB-style comparator of the paper's language comparison
+   (§5, Table 3: shared memory, no race protection): a range is split into
+   chunks, each chunk runs as a fiber touching the shared arrays directly,
+   and the caller joins on a latch.  No copying, no handler indirection —
+   the fastest thing our scheduler can express, and therefore the baseline
+   the SCOOP/Qs numbers are compared against. *)
+
+let default_chunks () = 4 * Sched.num_workers (Sched.scheduler ())
+
+let for_range ?chunks lo hi body =
+  if hi > lo then begin
+    let n = hi - lo in
+    let chunks = max 1 (min n (Option.value chunks ~default:(default_chunks ()))) in
+    if chunks = 1 then body lo hi
+    else begin
+      let latch = Latch.create chunks in
+      let base = n / chunks and extra = n mod chunks in
+      let start = ref lo in
+      for c = 0 to chunks - 1 do
+        let size = base + if c < extra then 1 else 0 in
+        let b = !start in
+        let e = b + size in
+        start := e;
+        Sched.spawn (fun () ->
+          Fun.protect ~finally:(fun () -> Latch.count_down latch) (fun () ->
+            body b e))
+      done;
+      Latch.wait latch
+    end
+  end
+
+let for_each ?chunks n body =
+  for_range ?chunks 0 n (fun b e ->
+    for i = b to e - 1 do
+      body i
+    done)
+
+let reduce_range ?chunks lo hi ~neutral ~chunk ~combine =
+  if hi <= lo then neutral
+  else begin
+    let n = hi - lo in
+    let chunks = max 1 (min n (Option.value chunks ~default:(default_chunks ()))) in
+    let results = Array.make chunks neutral in
+    let latch = Latch.create chunks in
+    let base = n / chunks and extra = n mod chunks in
+    let start = ref lo in
+    for c = 0 to chunks - 1 do
+      let size = base + if c < extra then 1 else 0 in
+      let b = !start in
+      let e = b + size in
+      start := e;
+      Sched.spawn (fun () ->
+        Fun.protect ~finally:(fun () -> Latch.count_down latch) (fun () ->
+          results.(c) <- chunk b e))
+    done;
+    Latch.wait latch;
+    Array.fold_left combine neutral results
+  end

@@ -1,0 +1,25 @@
+(** Fork/join data parallelism over shared memory (the C++/TBB-style
+    comparator of the paper's language comparison, §5).
+
+    All functions must be called from inside a running scheduler; they block
+    the calling fiber until every chunk has finished.  [chunks] defaults to
+    four per scheduler worker. *)
+
+val for_range : ?chunks:int -> int -> int -> (int -> int -> unit) -> unit
+(** [for_range lo hi body] runs [body b e] on disjoint subranges covering
+    [\[lo, hi)] in parallel. *)
+
+val for_each : ?chunks:int -> int -> (int -> unit) -> unit
+(** [for_each n body] runs [body i] for [0 <= i < n] in parallel chunks. *)
+
+val reduce_range :
+  ?chunks:int ->
+  int ->
+  int ->
+  neutral:'a ->
+  chunk:(int -> int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  'a
+(** Parallel map-reduce over a range: [chunk b e] computes a partial result
+    per subrange; partial results are folded with [combine], starting from
+    [neutral].  [combine] must be associative with [neutral] as identity. *)

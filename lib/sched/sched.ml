@@ -1,0 +1,388 @@
+(* Work-stealing fiber scheduler over OCaml 5 domains.
+
+   This is the bottom two layers of the SCOOP/Qs runtime (paper §3): "task
+   switching" is provided by effect handlers (one-shot continuations), and
+   "lightweight threads" are fibers multiplexed over a fixed set of domains.
+   SCOOP handlers, actors, goroutine-style workers and STM transactions in
+   the sibling libraries are all fibers of this scheduler.
+
+   Scheduling structure per worker:
+   - a [hot] slot, one fiber deep: a fiber resumed by the currently running
+     fiber is placed here and runs next on this worker.  This implements the
+     paper's direct client/handler handoff ("control passes directly from
+     the handler to the client, ... avoiding the global scheduler").
+   - a Chase–Lev deque for local work (LIFO for the owner, stolen FIFO).
+   - a global MPMC injection queue used by [yield] (round-robin fairness)
+     and by overflow/remote scheduling.
+
+   Idle workers spin briefly, steal, then sleep on a condition variable.
+   The last worker to go idle while live fibers remain has found a global
+   stall: every wake-up in this system comes from another fiber, so
+   all-idle + live>0 is a genuine deadlock (this is how the runtime-level
+   deadlock tests for paper §2.5 observe deadlocks instead of hanging). *)
+
+exception Stalled of int
+(** Raised out of {!run} when all workers are idle but fibers remain
+    suspended; the payload is the number of stuck fibers. *)
+
+type resumer = unit -> unit
+
+type task = unit -> unit
+
+type worker = {
+  wid : int;
+  deque : task Qs_queues.Ws_deque.t;
+  mutable hot : task option;
+  mutable tick : int;
+  mutable steal_seed : int;
+  (* per-worker plain counters, aggregated after the run *)
+  mutable n_executed : int;
+  mutable n_handoffs : int;
+  mutable n_steals : int;
+  mutable n_parks : int;
+}
+
+(* Scheduling counters — the "SCOOP-specific instrumentation" of paper §7
+   at the scheduler layer.  [handoffs] counts hot-slot direct transfers
+   (the §3.2 optimization), [parks] counts worker sleeps: together they
+   quantify the context-switch claims of §4.3. *)
+type counters = {
+  c_executed : int; (* fiber dispatches *)
+  c_handoffs : int; (* direct handoffs through the hot slot *)
+  c_steals : int; (* successful steals *)
+  c_parks : int; (* worker park episodes *)
+}
+
+type t = {
+  workers : worker array;
+  inject : task Qs_queues.Mpmc_queue.t;
+  live : int Atomic.t; (* spawned but not yet completed fibers *)
+  idle_hint : int Atomic.t;
+  idle_mutex : Mutex.t;
+  idle_cond : Condition.t;
+  mutable idlers : int;
+  mutable stalled : bool;
+  mutable stop : bool;
+  first_exn : exn option Atomic.t;
+  on_stall : [ `Raise | `Warn ];
+}
+
+type _ Effect.t +=
+  | Suspend : (resumer -> unit) -> unit Effect.t
+  | Yield : unit Effect.t
+
+(* The scheduler owning the current domain, if any. *)
+let current : (t * worker) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let get_worker () = Domain.DLS.get current
+
+let num_workers t = Array.length t.workers
+
+let wake_idlers t =
+  if Atomic.get t.idle_hint > 0 then begin
+    Mutex.lock t.idle_mutex;
+    Condition.broadcast t.idle_cond;
+    Mutex.unlock t.idle_mutex
+  end
+
+let push_global t task =
+  Qs_queues.Mpmc_queue.push t.inject task;
+  wake_idlers t
+
+(* Schedule [task] for execution: hot slot if the caller is a worker of [t]
+   and the slot is free, else the caller's deque, else the global queue. *)
+let schedule t task =
+  match get_worker () with
+  | Some (t', w) when t' == t ->
+    if w.hot = None then begin
+      w.n_handoffs <- w.n_handoffs + 1;
+      w.hot <- Some task
+    end
+    else begin
+      Qs_queues.Ws_deque.push w.deque task;
+      wake_idlers t
+    end
+  | Some _ | None -> push_global t task
+
+(* Like [schedule] but never uses the hot slot: used by [spawn] so a parent
+   that spawns many fibers does not serialize behind each child. *)
+let schedule_cold t task =
+  match get_worker () with
+  | Some (t', w) when t' == t ->
+    Qs_queues.Ws_deque.push w.deque task;
+    wake_idlers t
+  | Some _ | None -> push_global t task
+
+let record_exn t e =
+  ignore (Atomic.compare_and_set t.first_exn None (Some e) : bool);
+  Logs.err (fun m ->
+    m "sched: fiber died with exception: %s" (Printexc.to_string e))
+
+let fiber_done t =
+  if Atomic.fetch_and_add t.live (-1) = 1 then begin
+    (* Last fiber finished: release every sleeping worker so they can
+       observe termination. *)
+    Mutex.lock t.idle_mutex;
+    t.stop <- true;
+    Condition.broadcast t.idle_cond;
+    Mutex.unlock t.idle_mutex
+  end
+
+(* Run a fresh fiber body under the effect handler.  Continuations resumed
+   later re-enter this handler automatically. *)
+let exec t (body : unit -> unit) =
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc = (fun () -> fiber_done t);
+      exnc =
+        (fun e ->
+          record_exn t e;
+          fiber_done t);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let resumed = Atomic.make false in
+                let resume () =
+                  if Atomic.compare_and_set resumed false true then
+                    schedule t (fun () -> continue k ())
+                in
+                register resume)
+          | Yield ->
+            Some (fun (k : (a, unit) continuation) ->
+              push_global t (fun () -> continue k ()))
+          | _ -> None);
+    }
+
+let spawn_on t body =
+  Atomic.incr t.live;
+  schedule_cold t (fun () -> exec t body)
+
+let spawn body =
+  match get_worker () with
+  | Some (t, _) -> spawn_on t body
+  | None -> invalid_arg "Sched.spawn: not running inside a scheduler"
+
+let suspend register = Effect.perform (Suspend register)
+
+let yield () = Effect.perform Yield
+
+(* -- Worker loop ---------------------------------------------------------- *)
+
+let take_hot w =
+  match w.hot with
+  | Some _ as task ->
+    w.hot <- None;
+    task
+  | None -> None
+
+let try_steal t w =
+  let n = Array.length t.workers in
+  if n <= 1 then None
+  else begin
+    (* xorshift for victim selection; any distribution works, we only need
+       to avoid all thieves hammering worker 0. *)
+    let s = w.steal_seed in
+    let s = s lxor (s lsl 13) in
+    let s = s lxor (s lsr 7) in
+    let s = s lxor (s lsl 17) in
+    w.steal_seed <- s;
+    let start = abs s mod n in
+    let rec loop i =
+      if i = n then None
+      else
+        let v = t.workers.((start + i) mod n) in
+        if v.wid = w.wid then loop (i + 1)
+        else
+          match Qs_queues.Ws_deque.steal v.deque with
+          | Some _ as task ->
+            w.n_steals <- w.n_steals + 1;
+            task
+          | None -> loop (i + 1)
+    in
+    loop 0
+  end
+
+(* Every [global_check_period] dispatches, look at the global queue before
+   the local deque so that yielded fibers are not starved by a busy local
+   supply (needed by retry loops, e.g. the `condition` benchmark). *)
+let global_check_period = 17
+
+let next_task t w =
+  w.tick <- w.tick + 1;
+  let from_global () = Qs_queues.Mpmc_queue.pop t.inject in
+  match take_hot w with
+  | Some _ as task -> task
+  | None ->
+    let first, second =
+      if w.tick mod global_check_period = 0 then
+        (from_global, fun () -> Qs_queues.Ws_deque.pop w.deque)
+      else ((fun () -> Qs_queues.Ws_deque.pop w.deque), from_global)
+    in
+    (match first () with
+    | Some _ as task -> task
+    | None -> (
+      match second () with
+      | Some _ as task -> task
+      | None -> try_steal t w))
+
+let any_work t =
+  (not (Qs_queues.Mpmc_queue.is_empty t.inject))
+  || Array.exists
+       (fun w -> w.hot <> None || Qs_queues.Ws_deque.size w.deque > 0)
+       t.workers
+
+(* Sleep until work arrives, [stop] is set, or a stall is detected.  Returns
+   [false] iff the worker should exit. *)
+let park t =
+  Mutex.lock t.idle_mutex;
+  if t.stop then begin
+    Mutex.unlock t.idle_mutex;
+    false
+  end
+  else begin
+    t.idlers <- t.idlers + 1;
+    Atomic.incr t.idle_hint;
+    (* Re-check after advertising idleness: a concurrent [push_global] that
+       missed our hint must be visible to us now. *)
+    if any_work t then begin
+      t.idlers <- t.idlers - 1;
+      Atomic.decr t.idle_hint;
+      Mutex.unlock t.idle_mutex;
+      true
+    end
+    else if t.idlers = Array.length t.workers && Atomic.get t.live > 0 then begin
+      (* Global stall: every runnable source is empty, all workers idle,
+         yet fibers remain suspended.  No external event can wake them. *)
+      t.stalled <- true;
+      t.stop <- true;
+      Condition.broadcast t.idle_cond;
+      t.idlers <- t.idlers - 1;
+      Atomic.decr t.idle_hint;
+      Mutex.unlock t.idle_mutex;
+      false
+    end
+    else begin
+      while (not t.stop) && not (any_work t) do
+        Condition.wait t.idle_cond t.idle_mutex
+      done;
+      t.idlers <- t.idlers - 1;
+      Atomic.decr t.idle_hint;
+      let continue_ = not t.stop in
+      Mutex.unlock t.idle_mutex;
+      continue_
+    end
+  end
+
+let worker_loop t w =
+  Domain.DLS.set current (Some (t, w));
+  let spins = ref 0 in
+  let rec loop () =
+    if t.stop then ()
+    else
+      match next_task t w with
+      | Some task ->
+        spins := 0;
+        w.n_executed <- w.n_executed + 1;
+        task ();
+        loop ()
+      | None ->
+        incr spins;
+        if !spins < 64 then begin
+          Domain.cpu_relax ();
+          loop ()
+        end
+        else begin
+          spins := 0;
+          w.n_parks <- w.n_parks + 1;
+          if park t then loop ()
+        end
+  in
+  loop ();
+  Domain.DLS.set current None
+
+let make ?(domains = 1) ~on_stall () =
+  let domains = max 1 domains in
+  {
+    workers =
+      Array.init domains (fun wid ->
+        {
+          wid;
+          deque = Qs_queues.Ws_deque.create ();
+          hot = None;
+          tick = 0;
+          steal_seed = (wid * 0x9E3779B9) + 0x5DEECE66D;
+          n_executed = 0;
+          n_handoffs = 0;
+          n_steals = 0;
+          n_parks = 0;
+        });
+    inject = Qs_queues.Mpmc_queue.create ();
+    live = Atomic.make 0;
+    idle_hint = Atomic.make 0;
+    idle_mutex = Mutex.create ();
+    idle_cond = Condition.create ();
+    idlers = 0;
+    stalled = false;
+    stop = false;
+    first_exn = Atomic.make None;
+    on_stall;
+  }
+
+let aggregate_counters t =
+  Array.fold_left
+    (fun acc w ->
+      {
+        c_executed = acc.c_executed + w.n_executed;
+        c_handoffs = acc.c_handoffs + w.n_handoffs;
+        c_steals = acc.c_steals + w.n_steals;
+        c_parks = acc.c_parks + w.n_parks;
+      })
+    { c_executed = 0; c_handoffs = 0; c_steals = 0; c_parks = 0 }
+    t.workers
+
+let run ?(domains = 1) ?(on_stall = `Raise) ?on_counters main =
+  if get_worker () <> None then
+    invalid_arg "Sched.run: already inside a scheduler (nested run)";
+  let t = make ~domains ~on_stall () in
+  let result = ref None in
+  Atomic.incr t.live;
+  push_global t (fun () ->
+    exec t (fun () -> result := Some (main ())));
+  let others =
+    Array.init
+      (Array.length t.workers - 1)
+      (fun i -> Domain.spawn (fun () -> worker_loop t t.workers.(i + 1)))
+  in
+  worker_loop t t.workers.(0);
+  Array.iter Domain.join others;
+  (match on_counters with
+  | Some f -> f (aggregate_counters t)
+  | None -> ());
+  if t.stalled then begin
+    let stuck = Atomic.get t.live in
+    match t.on_stall with
+    | `Raise -> raise (Stalled stuck)
+    | `Warn ->
+      Logs.warn (fun m -> m "sched: stalled with %d stuck fibers" stuck)
+  end;
+  (match Atomic.get t.first_exn with Some e -> raise e | None -> ());
+  match !result with
+  | Some v -> v
+  | None -> failwith "Sched.run: main fiber did not complete"
+
+let self () =
+  match get_worker () with
+  | Some (_, w) -> w.wid
+  | None -> invalid_arg "Sched.self: not running inside a scheduler"
+
+let scheduler () =
+  match get_worker () with
+  | Some (t, _) -> t
+  | None -> invalid_arg "Sched.scheduler: not running inside a scheduler"
+
+let live t = Atomic.get t.live

@@ -1,0 +1,72 @@
+(** Work-stealing fiber scheduler over OCaml 5 domains.
+
+    The bottom two layers of the SCOOP/Qs runtime (paper §3): effect-handler
+    task switching and lightweight threads.  All concurrency substrates in
+    this repository (SCOOP processors, actors, channels, STM, parallel-for)
+    run their units of work as fibers of this scheduler.
+
+    A fiber is an ordinary OCaml function; it runs cooperatively and leaves
+    the CPU by returning, {!yield}ing, or {!suspend}ing until some other
+    fiber invokes its resumer. *)
+
+exception Stalled of int
+(** Raised by {!run} (with [~on_stall:`Raise], the default) when all workers
+    went idle while fibers remained suspended — i.e. the program deadlocked.
+    The payload is the number of stuck fibers. *)
+
+type t
+(** A scheduler instance. *)
+
+type resumer = unit -> unit
+(** One-shot wake-up token for a suspended fiber.  Invoking it more than
+    once is harmless (subsequent calls are ignored); invoking it from any
+    fiber or domain is allowed. *)
+
+type counters = {
+  c_executed : int; (** fiber dispatches *)
+  c_handoffs : int; (** direct handoffs through the hot slot (paper §3.2) *)
+  c_steals : int; (** successful work steals *)
+  c_parks : int; (** worker park (sleep) episodes *)
+}
+(** Scheduling counters, aggregated over all workers at the end of a run —
+    the context-switch instrumentation the paper's §4.3 discussion calls
+    for. *)
+
+val run :
+  ?domains:int ->
+  ?on_stall:[ `Raise | `Warn ] ->
+  ?on_counters:(counters -> unit) ->
+  (unit -> 'a) ->
+  'a
+(** [run main] executes [main] as the first fiber of a fresh scheduler using
+    [domains] workers (default 1) and returns its result once {e all} fibers
+    have completed.  If a fiber raises, the first such exception is re-raised
+    after termination.  [on_counters] receives the aggregated scheduling
+    counters just before [run] returns.  Nested [run]s on the same domain
+    are not allowed. *)
+
+val spawn : (unit -> unit) -> unit
+(** Create a new fiber.  Must be called from inside a running scheduler. *)
+
+val suspend : (resumer -> unit) -> unit
+(** [suspend register] blocks the current fiber and calls [register resume]
+    from the scheduler context; the fiber continues when [resume] is
+    invoked.  [register] runs after the fiber is fully suspended, so a
+    resume that races with suspension is never lost. *)
+
+val yield : unit -> unit
+(** Reschedule the current fiber at the back of the global run queue,
+    letting every other runnable fiber go first. *)
+
+val self : unit -> int
+(** Index of the worker executing the current fiber. *)
+
+val scheduler : unit -> t
+(** The scheduler executing the current fiber. *)
+
+val spawn_on : t -> (unit -> unit) -> unit
+(** Like {!spawn} but targets an explicit scheduler; usable from outside. *)
+
+val num_workers : t -> int
+val live : t -> int
+(** Number of fibers spawned but not yet completed (racy). *)

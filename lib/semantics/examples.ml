@@ -1,0 +1,144 @@
+(* The paper's example programs, as inputs to the explorer.
+
+   Conventions: client handlers get small ids (1, 2), passive data handlers
+   get ids from 10. *)
+
+open Syntax
+
+let x = 10
+let y = 11
+
+(* Fig. 1: two clients share handler x; thread 1 logs foo and bar around a
+   local computation, thread 2 logs bar' and queries baz.  The paper states
+   there are exactly two possible interleavings of the actions on x:
+     foo bar1 bar2 baz   or   bar2 baz foo bar1. *)
+let fig1 =
+  State.init
+    [
+      ( 1,
+        Separate
+          ( [ x ],
+            seq [ Call (x, "foo"); Atom "long_comp"; Call (x, "bar1") ] ) );
+      ( 2,
+        Separate
+          ( [ x ],
+            seq [ Call (x, "bar2"); Atom "short_comp"; Query (x, "baz") ] ) );
+    ]
+
+let fig1_orders =
+  [
+    [ "bar2"; "baz"; "foo"; "bar1" ];
+    [ "foo"; "bar1"; "bar2"; "baz" ];
+  ]
+
+(* Fig. 5: multiple reservations.  Two clients each reserve x and y
+   together and set both to their colour; any observer reserving both must
+   see equal colours.  In the semantics we verify the stronger structural
+   property behind it: the service order of registrations is identical on
+   x and y. *)
+let fig5 =
+  State.init
+    [
+      (1, Separate ([ x; y ], seq [ Call (x, "set_red"); Call (y, "set_red") ]));
+      (2, Separate ([ x; y ], seq [ Call (x, "set_blue"); Call (y, "set_blue") ]));
+    ]
+
+(* The same program written with nested (non-atomic) reservations, which
+   the paper warns may expose the enqueue race. *)
+let fig5_nested =
+  State.init
+    [
+      ( 1,
+        Separate
+          ( [ x ],
+            Separate ([ y ], seq [ Call (x, "set_red"); Call (y, "set_red") ])
+          ) );
+      ( 2,
+        Separate
+          ( [ x ],
+            Separate ([ y ], seq [ Call (x, "set_blue"); Call (y, "set_blue") ])
+          ) );
+    ]
+
+(* Fig. 6: inconsistent nested reservation order.  Without queries this
+   cannot deadlock under SCOOP/Qs (reservation is non-blocking), but does
+   deadlock under the original lock-based semantics. *)
+let fig6 =
+  State.init
+    [
+      ( 1,
+        Separate
+          ([ x ], Separate ([ y ], seq [ Call (x, "foo"); Call (y, "bar") ]))
+      );
+      ( 2,
+        Separate
+          ([ y ], Separate ([ x ], seq [ Call (x, "foo"); Call (y, "bar") ]))
+      );
+    ]
+
+(* Fig. 6 with queries added to the innermost blocks (§2.5): now SCOOP/Qs
+   can deadlock too.  For the wait cycle to close, each client must query
+   the handler it reserved in its *inner* block (client 1 reserves y inside
+   and queries it; client 2 reserves x inside and queries it): client 1's
+   release marker can then sit behind client 2's unfinished registration
+   and vice versa.  With the queries on the outer handlers the reservation
+   program order makes the cyclic queue configuration unreachable — a fact
+   the explorer verifies (see [fig6_queries_outer] in the tests). *)
+let fig6_queries =
+  State.init
+    [
+      ( 1,
+        Separate
+          ( [ x ],
+            Separate
+              ( [ y ],
+                seq [ Call (x, "foo"); Call (y, "bar"); Query (y, "qy") ] ) )
+      );
+      ( 2,
+        Separate
+          ( [ y ],
+            Separate
+              ( [ x ],
+                seq [ Call (x, "foo"); Call (y, "bar"); Query (x, "qx") ] ) )
+      );
+    ]
+
+(* The variant where each client queries its outer handler: provably
+   deadlock-free under SCOOP/Qs despite the inconsistent nesting order. *)
+let fig6_queries_outer =
+  State.init
+    [
+      ( 1,
+        Separate
+          ( [ x ],
+            Separate
+              ( [ y ],
+                seq [ Call (x, "foo"); Call (y, "bar"); Query (x, "qx") ] ) )
+      );
+      ( 2,
+        Separate
+          ( [ y ],
+            Separate
+              ( [ x ],
+                seq [ Call (x, "foo"); Call (y, "bar"); Query (y, "qy") ] ) )
+      );
+    ]
+
+(* State predicate for the Fig. 5 consistency property: some observer
+   could see different colours iff the registration orders of clients 1
+   and 2 differ between x's and y's request queues. *)
+let registration_order st h =
+  List.filter_map
+    (fun (pq : State.pqueue) ->
+      if pq.State.client = 1 || pq.State.client = 2 then Some pq.State.client
+      else None)
+    (State.handler st h).State.rq
+
+let fig5_mismatch st =
+  let ox = registration_order st x and oy = registration_order st y in
+  List.length ox = 2 && List.length oy = 2 && ox <> oy
+
+(* Service order of registrations on a handler, for the Fig. 5 check. *)
+let service_order h = function
+  | Step.EndServed { handler; client } when handler = h -> Some client
+  | _ -> None

@@ -1,0 +1,26 @@
+(** The paper's example programs (Figs. 1, 5, 6) as explorer inputs. *)
+
+val x : Syntax.hid
+val y : Syntax.hid
+
+val fig1 : State.t
+val fig1_orders : Syntax.action list list
+(** The two interleavings of actions on [x] the paper predicts. *)
+
+val fig5 : State.t
+val fig5_nested : State.t
+val fig6 : State.t
+
+val fig6_queries : State.t
+(** Fig. 6 with a query on each client's inner handler: deadlock is
+    reachable under SCOOP/Qs (§2.5). *)
+
+val fig6_queries_outer : State.t
+(** Fig. 6 with a query on each client's outer handler: deadlock-free. *)
+
+val fig5_mismatch : State.t -> bool
+(** Reachable-state witness that Fig. 5's consistency can be violated
+    (only with nested, non-atomic reservations). *)
+
+val service_order : Syntax.hid -> Step.label -> Syntax.hid option
+(** Projection: order in which registrations complete on a handler. *)

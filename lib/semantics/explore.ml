@@ -1,0 +1,132 @@
+(* Bounded exhaustive exploration of the semantics' state space.
+
+   [reachable] does a BFS over distinct states (structural equality) — used
+   for deadlock detection and state counting.  [runs] does a DFS
+   enumerating complete executions with their label sequences — used for
+   checking the reasoning guarantees and for counting distinct observable
+   interleavings (e.g. the two orders of Fig. 1). *)
+
+type stats = {
+  states : int;
+  terminals : State.t list;
+  deadlocks : State.t list;
+  truncated : bool;
+}
+
+let reachable ?(max_states = 200_000) mode init =
+  let visited : (State.t, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let terminals = ref [] in
+  let deadlocks = ref [] in
+  let truncated = ref false in
+  Hashtbl.replace visited init ();
+  Queue.push init queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    match Step.steps mode s with
+    | [] ->
+      if State.is_terminal s then terminals := s :: !terminals
+      else deadlocks := s :: !deadlocks
+    | succs ->
+      List.iter
+        (fun (_, s') ->
+          if not (Hashtbl.mem visited s') then
+            if Hashtbl.length visited >= max_states then truncated := true
+            else begin
+              Hashtbl.replace visited s' ();
+              Queue.push s' queue
+            end)
+        succs
+  done;
+  {
+    states = Hashtbl.length visited;
+    terminals = !terminals;
+    deadlocks = !deadlocks;
+    truncated = !truncated;
+  }
+
+type run = {
+  labels : Step.label list;
+  final : State.t;
+  deadlocked : bool;
+}
+
+exception Limit_reached
+
+(* Depth-first enumeration of complete runs.  [max_runs] bounds the number
+   of runs collected; [max_depth] cuts off pathological depth (and marks
+   the result truncated). *)
+let runs ?(max_runs = 100_000) ?(max_depth = 10_000) mode init =
+  let collected = ref [] in
+  let count = ref 0 in
+  let truncated = ref false in
+  let emit r =
+    collected := r :: !collected;
+    incr count;
+    if !count >= max_runs then raise Limit_reached
+  in
+  let rec go state acc depth =
+    if depth > max_depth then truncated := true
+    else
+      match Step.steps mode state with
+      | [] ->
+        emit
+          {
+            labels = List.rev acc;
+            final = state;
+            deadlocked = not (State.is_terminal state);
+          }
+      | succs ->
+        List.iter (fun (lbl, s') -> go s' (lbl :: acc) (depth + 1)) succs
+  in
+  (try go init [] 0 with Limit_reached -> truncated := true);
+  (List.rev !collected, !truncated)
+
+(* Distinct projections of complete (non-deadlocked) runs through [filter],
+   e.g. "the actions executed on handler x, in order". *)
+let observable_traces ?max_runs ?max_depth mode init ~filter =
+  let all, truncated = runs ?max_runs ?max_depth mode init in
+  let traces =
+    all
+    |> List.filter (fun r -> not r.deadlocked)
+    |> List.map (fun r -> List.filter_map filter r.labels)
+    |> List.sort_uniq compare
+  in
+  (traces, truncated)
+
+(* Projection: actions executed on handler [x] (by the handler or by a
+   synced client running a query body). *)
+let on_handler x = function
+  | Step.Executed { handler; action; _ } when handler = x -> Some action
+  | _ -> None
+
+(* BFS search for a reachable state satisfying [pred]. *)
+let find_state ?(max_states = 200_000) mode init ~pred =
+  let visited : (State.t, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let found = ref None in
+  Hashtbl.replace visited init ();
+  Queue.push init queue;
+  (try
+     while not (Queue.is_empty queue) do
+       let s = Queue.pop queue in
+       if pred s then begin
+         found := Some s;
+         raise Exit
+       end;
+       List.iter
+         (fun (_, s') ->
+           if
+             (not (Hashtbl.mem visited s'))
+             && Hashtbl.length visited < max_states
+           then begin
+             Hashtbl.replace visited s' ();
+             Queue.push s' queue
+           end)
+         (Step.steps mode s)
+     done
+   with Exit -> ());
+  !found
+
+let exists_state ?max_states mode init ~pred =
+  find_state ?max_states mode init ~pred <> None

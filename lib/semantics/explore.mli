@@ -1,0 +1,49 @@
+(** Bounded exhaustive exploration of the semantics. *)
+
+type stats = {
+  states : int;
+  terminals : State.t list;
+  deadlocks : State.t list; (** stuck states that are not terminal (§2.5) *)
+  truncated : bool;
+}
+
+val reachable : ?max_states:int -> Step.mode -> State.t -> stats
+(** BFS over all distinct reachable states. *)
+
+type run = {
+  labels : Step.label list;
+  final : State.t;
+  deadlocked : bool;
+}
+
+val runs :
+  ?max_runs:int ->
+  ?max_depth:int ->
+  Step.mode ->
+  State.t ->
+  run list * bool
+(** DFS enumeration of complete executions; the boolean reports
+    truncation. *)
+
+val observable_traces :
+  ?max_runs:int ->
+  ?max_depth:int ->
+  Step.mode ->
+  State.t ->
+  filter:(Step.label -> 'a option) ->
+  'a list list * bool
+(** Distinct per-run projections of non-deadlocked complete runs. *)
+
+val on_handler : Syntax.hid -> Step.label -> Syntax.action option
+(** Projection selecting the actions executed on one handler. *)
+
+val find_state :
+  ?max_states:int ->
+  Step.mode ->
+  State.t ->
+  pred:(State.t -> bool) ->
+  State.t option
+(** BFS for a reachable state satisfying [pred]. *)
+
+val exists_state :
+  ?max_states:int -> Step.mode -> State.t -> pred:(State.t -> bool) -> bool

@@ -1,0 +1,142 @@
+(* Checkers for the SCOOP reasoning guarantees (paper §2.2) over complete
+   runs produced by [Explore.runs].
+
+   Guarantee 1 (local instructions are immediate and synchronous) holds by
+   construction of the semantics; what must be verified on executions is
+   Guarantee 2, which we split into two machine-checkable properties of a
+   run's label sequence:
+
+   - ORDER: for every client/handler pair, the actions executed on the
+     handler on behalf of the client form exactly the sequence the client
+     logged (same actions, same order).
+
+   - NON-INTERLEAVING: on every handler, the executions between two
+     consecutive end-of-registration events all belong to a single client
+     (a handler serves one private queue at a time). *)
+
+type violation = {
+  reason : string;
+  at : int; (* index in the label list *)
+}
+
+let pp_violation ppf v = Format.fprintf ppf "at label %d: %s" v.at v.reason
+
+let check_run (labels : Step.label list) =
+  let logged : (Syntax.hid * Syntax.hid, Syntax.action Queue.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let serving : (Syntax.hid, Syntax.hid) Hashtbl.t = Hashtbl.create 16 in
+  let error = ref None in
+  let fail at reason = if !error = None then error := Some { reason; at } in
+  let logged_queue key =
+    match Hashtbl.find_opt logged key with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.replace logged key q;
+      q
+  in
+  List.iteri
+    (fun at label ->
+      match label with
+      | Step.Logged { client; target; action } ->
+        Queue.push action (logged_queue (client, target))
+      | Step.Executed { handler; client = Some client; action } -> (
+        (match Hashtbl.find_opt serving handler with
+        | Some c when c <> client ->
+          fail at
+            (Printf.sprintf
+               "handler %d interleaved client %d into client %d's registration"
+               handler client c)
+        | _ -> Hashtbl.replace serving handler client);
+        let q = logged_queue (client, handler) in
+        match Queue.take_opt q with
+        | None ->
+          fail at
+            (Printf.sprintf "handler %d executed unlogged action %s" handler
+               action)
+        | Some expected when expected <> action ->
+          fail at
+            (Printf.sprintf
+               "handler %d executed %s but client %d logged %s first" handler
+               action client expected)
+        | Some _ -> ())
+      | Step.EndServed { handler; client } -> (
+        match Hashtbl.find_opt serving handler with
+        | Some c when c <> client ->
+          fail at
+            (Printf.sprintf
+               "handler %d closed registration of %d while serving %d" handler
+               client c)
+        | _ -> Hashtbl.remove serving handler)
+      | Step.Executed { client = None; _ }
+      | Step.Reserved _ | Step.Synced _ | Step.Stepped ->
+        ())
+    labels;
+  match !error with
+  | Some v -> Error v
+  | None -> Ok ()
+
+(* FIFO service: a handler serves registrations in the order they were
+   inserted into its queue of queues ("they are inserted and removed in
+   first-in-first-out order", §2.3).  On a run's labels: per handler, the
+   sequence of EndServed clients must be a prefix-wise match of the
+   sequence of Reserved clients. *)
+let check_fifo_service (labels : Step.label list) =
+  let pending : (Syntax.hid, Syntax.hid Queue.t) Hashtbl.t = Hashtbl.create 16 in
+  let queue_for h =
+    match Hashtbl.find_opt pending h with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.replace pending h q;
+      q
+  in
+  let error = ref None in
+  List.iteri
+    (fun at label ->
+      if !error = None then
+        match label with
+        | Step.Reserved { client; targets } ->
+          List.iter (fun h -> Queue.push client (queue_for h)) targets
+        | Step.EndServed { handler; client } -> (
+          match Queue.take_opt (queue_for handler) with
+          | Some expected when expected = client -> ()
+          | Some expected ->
+            error :=
+              Some
+                {
+                  reason =
+                    Printf.sprintf
+                      "handler %d finished client %d before client %d, \
+                       violating FIFO registration order"
+                      handler client expected;
+                  at;
+                }
+          | None ->
+            error :=
+              Some
+                {
+                  reason =
+                    Printf.sprintf
+                      "handler %d finished a registration of client %d that \
+                       was never made" handler client;
+                  at;
+                })
+        | _ -> ())
+    labels;
+  match !error with Some v -> Error v | None -> Ok ()
+
+(* Check every complete run of a program (bounded); returns the first
+   violating run if any. *)
+let check_program ?max_runs ?max_depth mode init =
+  let all, truncated = Explore.runs ?max_runs ?max_depth mode init in
+  let violation =
+    List.find_map
+      (fun (r : Explore.run) ->
+        match check_run r.labels with
+        | Ok () -> None
+        | Error v -> Some (r, v))
+      all
+  in
+  (violation, List.length all, truncated)

@@ -1,0 +1,27 @@
+(** Machine-checkable formulations of the SCOOP reasoning guarantees
+    (paper §2.2) over explored runs. *)
+
+type violation = {
+  reason : string;
+  at : int;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_run : Step.label list -> (unit, violation) result
+(** Check guarantee 2 (per-client ordering and non-interleaving of
+    registrations) on one run's labels. *)
+
+val check_fifo_service : Step.label list -> (unit, violation) result
+(** Check the queue-of-queues FIFO property (§2.3): each handler completes
+    registrations in the order they were inserted. *)
+
+val check_program :
+  ?max_runs:int ->
+  ?max_depth:int ->
+  Step.mode ->
+  State.t ->
+  (Explore.run * violation) option * int * bool
+(** Check every complete run of a program.  Returns the first violating
+    run (if any), the number of runs examined, and whether exploration was
+    truncated. *)

@@ -1,0 +1,98 @@
+(* Configurations of the operational semantics.
+
+   A handler is the triple (h, q_h, s) of Fig. 3: identity, request queue
+   (a queue of client-tagged private queues) and current program.  The
+   [locked_by] field exists only for the lock-based variant of the original
+   SCOOP semantics (Fig. 2), where a client owns the whole handler for the
+   duration of its separate block.
+
+   States are immutable; structural equality and hashing make them directly
+   usable as keys during state-space exploration. *)
+
+type pqueue = {
+  client : Syntax.hid;
+  items : Syntax.stmt list; (* FIFO: head executes first *)
+}
+
+type handler = {
+  id : Syntax.hid;
+  rq : pqueue list; (* queue of queues: head is being served *)
+  prog : Syntax.stmt;
+  locked_by : Syntax.hid option; (* lock-based semantics only *)
+}
+
+type t = handler list (* sorted by id *)
+
+let handler t id = List.find (fun h -> h.id = id) t
+
+let mem t id = List.exists (fun h -> h.id = id) t
+
+let update t h' = List.map (fun h -> if h.id = h'.id then h' else h) t
+
+(* Initial state: the given root programs, plus passive handlers for every
+   id mentioned only as a target. *)
+let init roots =
+  let mentioned =
+    List.concat_map (fun (id, s) -> id :: Syntax.handlers_of s) roots
+    |> List.sort_uniq Int.compare
+  in
+  List.map
+    (fun id ->
+      let prog =
+        match List.assoc_opt id roots with Some s -> s | None -> Syntax.Skip
+      in
+      { id; rq = []; prog; locked_by = None })
+    mentioned
+
+(* Append an empty private queue for [client] at the end of [target]'s
+   request queue (the separate rule). *)
+let reserve t ~client ~target =
+  let h = handler t target in
+  update t { h with rq = h.rq @ [ { client; items = [] } ] }
+
+(* Append [item] to the *last* private queue of [client] in [target]'s
+   request queue — the paper is explicit that lookup and update act on the
+   last occurrence, which is the one the client is currently using. *)
+let log t ~client ~target item =
+  let h = handler t target in
+  let rec add_last = function
+    | [] -> invalid_arg "State.log: client not registered"
+    | [ pq ] when pq.client = client -> [ { pq with items = pq.items @ [ item ] } ]
+    | pq :: rest ->
+      if List.exists (fun p -> p.client = client) rest then pq :: add_last rest
+      else if pq.client = client then
+        { pq with items = pq.items @ [ item ] } :: rest
+      else invalid_arg "State.log: client not registered"
+  in
+  update t { h with rq = add_last h.rq }
+
+let log_many t ~client ~target items =
+  List.fold_left (fun t item -> log t ~client ~target item) t items
+
+let is_idle h = h.prog = Syntax.Skip
+
+let is_terminal t =
+  List.for_all (fun h -> is_idle h && h.rq = [] && h.locked_by = None) t
+
+let pp_pqueue ppf pq =
+  Format.fprintf ppf "%d:[%a]" pq.client
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Syntax.pp)
+    pq.items
+
+let pp_handler ppf h =
+  Format.fprintf ppf "@[<h>(%d, {%a}%s, %a)@]" h.id
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ")
+       pp_pqueue)
+    h.rq
+    (match h.locked_by with
+    | Some c -> Printf.sprintf " locked-by:%d" c
+    | None -> "")
+    Syntax.pp h.prog
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_handler)
+    t

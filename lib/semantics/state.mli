@@ -1,0 +1,42 @@
+(** Configurations of the operational semantics (the parallel compositions
+    of handler triples of paper Fig. 3).  Immutable; structural equality
+    identifies states during exploration. *)
+
+type pqueue = {
+  client : Syntax.hid;
+  items : Syntax.stmt list;
+}
+
+type handler = {
+  id : Syntax.hid;
+  rq : pqueue list;
+  prog : Syntax.stmt;
+  locked_by : Syntax.hid option;
+}
+
+type t = handler list
+
+val init : (Syntax.hid * Syntax.stmt) list -> t
+(** Build an initial state from root programs; handlers mentioned only as
+    targets are created idle. *)
+
+val handler : t -> Syntax.hid -> handler
+val mem : t -> Syntax.hid -> bool
+val update : t -> handler -> t
+
+val reserve : t -> client:Syntax.hid -> target:Syntax.hid -> t
+(** Append an empty private queue for [client] on [target] (separate rule). *)
+
+val log : t -> client:Syntax.hid -> target:Syntax.hid -> Syntax.stmt -> t
+(** Append one request to [client]'s most recent private queue on
+    [target] (call / query rules).
+    @raise Invalid_argument if the client is not registered. *)
+
+val log_many :
+  t -> client:Syntax.hid -> target:Syntax.hid -> Syntax.stmt list -> t
+
+val is_idle : handler -> bool
+val is_terminal : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val pp_handler : Format.formatter -> handler -> unit

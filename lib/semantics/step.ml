@@ -1,0 +1,220 @@
+(* Small-step transition relation: the inference rules of Fig. 3, the
+   generalized separate rule of §2.4, the modified query rule of §3.2, and
+   (for contrast) the lock-based separate rule of the original SCOOP
+   semantics.
+
+   Two administrative simplifications, both observational equivalences that
+   shrink the state space:
+   - seq/seqSkip normalization is applied eagerly ([norm]), so [skip; s]
+     never occupies a step of its own;
+   - the run rule executes an [Atom] queue item immediately instead of
+     first moving it into the program slot (the intermediate state has no
+     other enabled interaction with it), and the end rule fires together
+     with popping the [End] marker. *)
+
+type mode = {
+  lock_based : bool;
+      (* original SCOOP: a separate block owns the handler exclusively *)
+  client_exec : bool; (* §3.2 modified query rule *)
+}
+
+(* The published SCOOP/Qs semantics (Fig. 3). *)
+let qs = { lock_based = false; client_exec = false }
+
+(* SCOOP/Qs with the optimized query rule (§3.2). *)
+let qs_client_exec = { lock_based = false; client_exec = true }
+
+(* The original lock-based SCOOP semantics (Fig. 2). *)
+let original = { lock_based = true; client_exec = false }
+
+type label =
+  | Reserved of { client : Syntax.hid; targets : Syntax.hid list }
+  | Logged of { client : Syntax.hid; target : Syntax.hid; action : Syntax.action }
+  | Executed of {
+      handler : Syntax.hid;
+      client : Syntax.hid option; (* None: the handler's own program *)
+      action : Syntax.action;
+    }
+  | Synced of { client : Syntax.hid; target : Syntax.hid }
+  | EndServed of { handler : Syntax.hid; client : Syntax.hid }
+  | Stepped (* administrative transition *)
+
+let pp_label ppf = function
+  | Reserved { client; targets } ->
+    Format.fprintf ppf "reserve(%d -> %a)" client
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Format.pp_print_int)
+      targets
+  | Logged { client; target; action } ->
+    Format.fprintf ppf "log(%d -> %d: %s)" client target action
+  | Executed { handler; client; action } ->
+    Format.fprintf ppf "exec(%d%s: %s)" handler
+      (match client with Some c -> Printf.sprintf " for %d" c | None -> "")
+      action
+  | Synced { client; target } -> Format.fprintf ppf "sync(%d <-> %d)" client target
+  | EndServed { handler; client } ->
+    Format.fprintf ppf "end(%d of %d)" handler client
+  | Stepped -> Format.pp_print_string ppf "tau"
+
+let rec norm s =
+  match s with
+  | Syntax.Seq (s1, s2) -> (
+    match norm s1 with
+    | Syntax.Skip -> norm s2
+    | s1' -> Syntax.Seq (s1', s2))
+  | s -> s
+
+(* Decompose a (normalized, non-Skip) statement into its leftmost redex and
+   the context that rebuilds the program from the redex's residue. *)
+let rec redex s =
+  match norm s with
+  | Syntax.Seq (s1, s2) ->
+    let r, ctx = redex s1 in
+    (r, fun r' -> Syntax.Seq (ctx r', s2))
+  | s -> (s, fun r' -> r')
+
+let set_prog state (h : State.handler) prog =
+  State.update state { h with prog = norm prog }
+
+(* Steps available to handler [h]'s own program. *)
+let program_steps mode state (h : State.handler) =
+  match norm h.prog with
+  | Syntax.Skip -> []
+  | p -> (
+    let r, ctx = redex p in
+    match r with
+    | Syntax.Atom a ->
+      [
+        ( Executed { handler = h.id; client = None; action = a },
+          set_prog state h (ctx Syntax.Skip) );
+      ]
+    | Syntax.QueryExec (x, a) ->
+      (* Query body runs on the client; it reads the (synced) target, so
+         the action is attributed to the target handler. *)
+      [
+        ( Executed { handler = x; client = Some h.id; action = a },
+          set_prog state h (ctx Syntax.Skip) );
+      ]
+    | Syntax.Separate (xs, s) ->
+      if List.mem h.id xs then
+        invalid_arg "Step: a handler cannot reserve itself";
+      let free x = (State.handler state x).locked_by = None in
+      if mode.lock_based && not (List.for_all free xs) then []
+      else begin
+        let state' =
+          List.fold_left
+            (fun st x ->
+              let st = State.reserve st ~client:h.id ~target:x in
+              if mode.lock_based then
+                let hx = State.handler st x in
+                State.update st { hx with locked_by = Some h.id }
+              else st)
+            state xs
+        in
+        let ends = Syntax.seq (List.map (fun x -> Syntax.CallEnd x) xs) in
+        [
+          ( Reserved { client = h.id; targets = xs },
+            set_prog state' (State.handler state' h.id)
+              (ctx (Syntax.Seq (s, ends))) );
+        ]
+      end
+    | Syntax.Call (x, a) ->
+      let state' = State.log state ~client:h.id ~target:x (Syntax.Atom a) in
+      [
+        ( Logged { client = h.id; target = x; action = a },
+          set_prog state' (State.handler state' h.id) (ctx Syntax.Skip) );
+      ]
+    | Syntax.CallEnd x ->
+      let state' = State.log state ~client:h.id ~target:x Syntax.End in
+      let state' =
+        if mode.lock_based then
+          let hx = State.handler state' x in
+          if hx.locked_by = Some h.id then
+            State.update state' { hx with locked_by = None }
+          else state'
+        else state'
+      in
+      [ (Stepped, set_prog state' (State.handler state' h.id) (ctx Syntax.Skip)) ]
+    | Syntax.Query (x, a) ->
+      if mode.client_exec then begin
+        (* Modified rule (§3.2): only the release marker is logged; the
+           body executes on the client after synchronization. *)
+        let state' =
+          State.log state ~client:h.id ~target:x (Syntax.Release h.id)
+        in
+        [
+          ( Logged { client = h.id; target = x; action = a },
+            set_prog state' (State.handler state' h.id)
+              (ctx (Syntax.Seq (Syntax.Wait x, Syntax.QueryExec (x, a)))) );
+        ]
+      end
+      else begin
+        (* Original rule: log the body and the release marker. *)
+        let state' =
+          State.log_many state ~client:h.id ~target:x
+            [ Syntax.Atom a; Syntax.Release h.id ]
+        in
+        [
+          ( Logged { client = h.id; target = x; action = a },
+            set_prog state' (State.handler state' h.id) (ctx (Syntax.Wait x)) );
+        ]
+      end
+    | Syntax.Wait _ | Syntax.Release _ -> [] (* joint sync rule only *)
+    | Syntax.End -> assert false (* queue item, never a program *)
+    | Syntax.Skip | Syntax.Seq _ -> assert false (* excluded by norm/redex *))
+
+(* The run and end rules: an idle handler serves the head private queue. *)
+let service_steps state (h : State.handler) =
+  if norm h.prog <> Syntax.Skip then []
+  else
+    match h.rq with
+    | [] -> []
+    | pq :: rest_rq -> (
+      match pq.State.items with
+      | [] -> [] (* client still logging; nothing to run yet *)
+      | Syntax.Atom a :: rest ->
+        [
+          ( Executed { handler = h.id; client = Some pq.State.client; action = a },
+            State.update state
+              { h with rq = { pq with State.items = rest } :: rest_rq } );
+        ]
+      | Syntax.Release c :: rest ->
+        [
+          ( Stepped,
+            State.update state
+              {
+                h with
+                prog = Syntax.Release c;
+                rq = { pq with State.items = rest } :: rest_rq;
+              } );
+        ]
+      | Syntax.End :: rest ->
+        assert (rest = []);
+        [
+          ( EndServed { handler = h.id; client = pq.State.client },
+            State.update state { h with rq = rest_rq } );
+        ]
+      | _ -> assert false)
+
+(* The sync rule: wait x (client) meets release h (handler). *)
+let sync_steps state (h : State.handler) =
+  match norm h.prog with
+  | Syntax.Skip -> []
+  | p -> (
+    let r, ctx = redex p in
+    match r with
+    | Syntax.Wait x ->
+      let hx = State.handler state x in
+      if norm hx.prog = Syntax.Release h.id then
+        let state' = set_prog state h (ctx Syntax.Skip) in
+        let state' = set_prog state' (State.handler state' x) Syntax.Skip in
+        [ (Synced { client = h.id; target = x }, state') ]
+      else []
+    | _ -> [])
+
+let steps mode state =
+  List.concat_map
+    (fun h ->
+      program_steps mode state h @ service_steps state h @ sync_steps state h)
+    state

@@ -1,0 +1,43 @@
+(** Small-step transition relation of the SCOOP semantics family.
+
+    [mode] selects the rule set:
+    - {!qs}: the SCOOP/Qs rules exactly as published (Fig. 3 + §2.4);
+    - {!qs_client_exec}: with the modified query rule of §3.2 (the query
+      body runs on the client after synchronization);
+    - {!original}: the lock-based original SCOOP semantics, where a
+      separate block owns its handlers exclusively (Fig. 2) — used to
+      reproduce the §2.5 deadlock comparison. *)
+
+type mode = {
+  lock_based : bool;
+  client_exec : bool;
+}
+
+val qs : mode
+val qs_client_exec : mode
+val original : mode
+
+type label =
+  | Reserved of { client : Syntax.hid; targets : Syntax.hid list }
+  | Logged of {
+      client : Syntax.hid;
+      target : Syntax.hid;
+      action : Syntax.action;
+    }
+  | Executed of {
+      handler : Syntax.hid;
+      client : Syntax.hid option;
+      action : Syntax.action;
+    }
+  | Synced of { client : Syntax.hid; target : Syntax.hid }
+  | EndServed of { handler : Syntax.hid; client : Syntax.hid }
+  | Stepped
+
+val pp_label : Format.formatter -> label -> unit
+
+val steps : mode -> State.t -> (label * State.t) list
+(** All transitions enabled in a state.  An empty result on a
+    non-{!State.is_terminal} state is a deadlock. *)
+
+val norm : Syntax.stmt -> Syntax.stmt
+(** Eager seq/seqSkip normalization (exposed for tests). *)

@@ -1,0 +1,61 @@
+(* Abstract syntax of the SCOOP/Qs operational semantics (paper §2.3).
+
+   s ::= separate x s | call(x, f) | query(x, f)
+       | wait h | release h | end | skip
+
+   plus [Atom], which models a local primitive instruction (assignment,
+   local computation) carrying an observable action name, and [QueryExec],
+   an internal form produced by the modified query rule of §3.2 (the query
+   body runs on the client after synchronization).  [CallEnd] is the
+   [call(x, end)] the separate rule appends at the end of a block. *)
+
+type hid = int
+(** Handler identity. *)
+
+type action = string
+(** Observable action name, recorded in traces. *)
+
+type stmt =
+  | Skip
+  | End (* end-of-private-queue marker, as a queue item *)
+  | Atom of action (* local instruction *)
+  | Separate of hid list * stmt (* generalized separate block (§2.4) *)
+  | Call of hid * action (* asynchronous call on a handler *)
+  | CallEnd of hid (* call(x, end): close registration on x *)
+  | Query of hid * action (* synchronous query on a handler *)
+  | Wait of hid
+  | Release of hid
+  | QueryExec of hid * action (* internal: client-side query body (§3.2) *)
+  | Seq of stmt * stmt
+
+let rec seq = function
+  | [] -> Skip
+  | [ s ] -> s
+  | s :: rest -> Seq (s, seq rest)
+
+(* Handlers mentioned anywhere in a statement. *)
+let rec handlers_of = function
+  | Skip | End | Atom _ -> []
+  | Separate (xs, s) -> xs @ handlers_of s
+  | Call (x, _) | CallEnd x | Query (x, _) | Wait x | Release x
+  | QueryExec (x, _) ->
+    [ x ]
+  | Seq (a, b) -> handlers_of a @ handlers_of b
+
+let rec pp ppf = function
+  | Skip -> Format.pp_print_string ppf "skip"
+  | End -> Format.pp_print_string ppf "end"
+  | Atom a -> Format.fprintf ppf "atom(%s)" a
+  | Separate (xs, s) ->
+    Format.fprintf ppf "separate %a {%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Format.pp_print_int)
+      xs pp s
+  | Call (x, a) -> Format.fprintf ppf "call(%d,%s)" x a
+  | CallEnd x -> Format.fprintf ppf "call(%d,end)" x
+  | Query (x, a) -> Format.fprintf ppf "query(%d,%s)" x a
+  | Wait x -> Format.fprintf ppf "wait %d" x
+  | Release x -> Format.fprintf ppf "release %d" x
+  | QueryExec (x, a) -> Format.fprintf ppf "qexec(%d,%s)" x a
+  | Seq (a, b) -> Format.fprintf ppf "%a; %a" pp a pp b

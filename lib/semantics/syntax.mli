@@ -1,0 +1,29 @@
+(** Abstract syntax of the SCOOP/Qs operational semantics (paper §2.3).
+
+    Programs are written with [Separate], [Call], [Query] and [Atom]; the
+    remaining constructors ([Wait], [Release], [End], [CallEnd],
+    [QueryExec]) are runtime forms produced by the rules. *)
+
+type hid = int
+type action = string
+
+type stmt =
+  | Skip
+  | End
+  | Atom of action
+  | Separate of hid list * stmt
+  | Call of hid * action
+  | CallEnd of hid
+  | Query of hid * action
+  | Wait of hid
+  | Release of hid
+  | QueryExec of hid * action
+  | Seq of stmt * stmt
+
+val seq : stmt list -> stmt
+(** Right-nested sequence; [seq [] = Skip]. *)
+
+val handlers_of : stmt -> hid list
+(** All handler ids mentioned (with duplicates). *)
+
+val pp : Format.formatter -> stmt -> unit

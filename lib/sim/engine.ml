@@ -1,0 +1,55 @@
+(* Discrete-event core of the scalability simulator.
+
+   A benchmark execution is modelled as a sequence of phases separated by
+   barriers: a [Parallel] phase is a bag of independent tasks scheduled
+   onto [cores] workers (events are task completions; the next task starts
+   on the earliest-free core, i.e. greedy list scheduling), and a [Serial]
+   phase runs on a single core while the others idle — the sequential
+   assembly/communication sections that limit speedup in Fig. 19. *)
+
+type phase =
+  | Parallel of float array (* independent task durations, seconds *)
+  | Serial of float
+
+(* Earliest-free-core greedy schedule of one task bag; returns the phase
+   makespan.  A tiny binary heap keyed on core-free time. *)
+let schedule_bag ~cores durations =
+  let cores = max 1 cores in
+  let heap = Array.make cores 0.0 in
+  (* [heap] is a min-heap on free times. *)
+  let swap i j =
+    let t = heap.(i) in
+    heap.(i) <- heap.(j);
+    heap.(j) <- t
+  in
+  let rec sift_down i n =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < n && heap.(l) < heap.(!smallest) then smallest := l;
+    if r < n && heap.(r) < heap.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      swap i !smallest;
+      sift_down !smallest n
+    end
+  in
+  Array.iter
+    (fun d ->
+      (* Pop the earliest-free core, run the task, push back. *)
+      heap.(0) <- heap.(0) +. d;
+      sift_down 0 cores)
+    durations;
+  Array.fold_left max 0.0 heap
+
+let makespan ~cores phases =
+  List.fold_left
+    (fun t phase ->
+      match phase with
+      | Serial d -> t +. d
+      | Parallel durations -> t +. schedule_bag ~cores durations)
+    0.0 phases
+
+(* Convenience: split an amount of perfectly divisible work into one task
+   per chunk, plus a fixed per-task overhead. *)
+let even_tasks ~chunks ~work ~per_task_overhead =
+  let chunks = max 1 chunks in
+  Array.make chunks ((work /. float_of_int chunks) +. per_task_overhead)

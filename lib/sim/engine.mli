@@ -1,0 +1,15 @@
+(** Discrete-event scalability simulator: phases of independent task bags
+    (greedy list scheduling over a core pool) separated by barriers, plus
+    serial sections. *)
+
+type phase =
+  | Parallel of float array (** independent task durations (seconds) *)
+  | Serial of float
+
+val makespan : cores:int -> phase list -> float
+
+val schedule_bag : cores:int -> float array -> float
+(** Makespan of one task bag under earliest-free-core scheduling. *)
+
+val even_tasks :
+  chunks:int -> work:float -> per_task_overhead:float -> float array

@@ -1,0 +1,44 @@
+(** Calibrated scalability model for the paper's 32-core testbed.
+
+    Fitted per (task, language, total/compute) from Table 4 at 1, 8 and
+    32 threads; predictions at other core counts come from the
+    discrete-event engine and regenerate the shapes of Figs. 18–19. *)
+
+type fitted = {
+  w : float; (** parallelizable work (s) *)
+  s : float; (** serial section (s) *)
+  k : float; (** contention per core (s) *)
+}
+
+val fit : t1:float -> t8:float -> t32:float -> fitted
+val time : fitted -> cores:int -> float
+val phases_of : fitted -> cores:int -> Engine.phase list
+
+type series = {
+  task : string;
+  lang : string;
+  variant : [ `Total | `Compute ];
+  fitted : fitted;
+}
+
+val variants : [ `Total | `Compute ] list
+val calibrate : Qs_benchmarks.Paper_data.t4_row list -> series list
+
+val find :
+  ?variant:[ `Total | `Compute ] -> task:string -> lang:string -> unit ->
+  series option
+
+val predict :
+  ?variant:[ `Total | `Compute ] ->
+  task:string -> lang:string -> cores:int -> unit ->
+  float option
+
+val speedups :
+  ?variant:[ `Total | `Compute ] ->
+  task:string -> lang:string -> cores:int list -> unit ->
+  (int * float) list option
+(** Fig. 19: [(cores, t1/tp)] pairs. *)
+
+val paper_ops : string -> float
+val concurrent_op_cost : task:string -> lang:string -> float option
+val predict_concurrent : task:string -> lang:string -> ops:int -> float option

@@ -1,0 +1,40 @@
+(** Software transactional memory (TL2-style) with Haskell-like
+    [retry]/[or_else] composition, over scheduler fibers.
+
+    The STM-based comparator of the paper's language comparison (§5).
+
+    {[
+      let balance = Stm.make 0 in
+      Stm.atomically (fun tx ->
+        let b = Stm.read tx balance in
+        if b < amount then Stm.retry tx
+        else Stm.write tx balance (b - amount))
+    ]} *)
+
+type tx
+
+exception Stm_failure of string
+
+val atomically : (tx -> 'a) -> 'a
+(** Run a transaction to successful commit, re-executing on conflicts.
+    A [retry] parks the fiber until one of the tvars read so far is
+    written by another transaction.  Side effects in the body may run
+    multiple times — keep bodies pure apart from tvar operations. *)
+
+val read : tx -> 'a Tvar.t -> 'a
+val write : tx -> 'a Tvar.t -> 'a -> unit
+
+val retry : tx -> 'a
+(** Abandon this attempt and block until the read set changes. *)
+
+val or_else : (tx -> 'a) -> (tx -> 'a) -> tx -> 'a
+(** [or_else f g] tries [f]; if it retries, rolls back its writes and
+    tries [g]. *)
+
+(** Non-composable conveniences (each runs its own transaction): *)
+
+val make : 'a -> 'a Tvar.t
+val get : 'a Tvar.t -> 'a
+val set : 'a Tvar.t -> 'a -> unit
+val update : 'a Tvar.t -> ('a -> 'a) -> unit
+val modify_return : 'a Tvar.t -> ('a -> 'a * 'b) -> 'b

@@ -1,0 +1,23 @@
+(** Transactional variables for {!Stm}.  Access them only through
+    {!Stm.read} / {!Stm.write} inside {!Stm.atomically}; the remaining
+    operations are the commit machinery, exposed for Stm and tests. *)
+
+type 'a t = {
+  id : int;
+  mutable value : 'a;
+  vlock : int Atomic.t;
+  waiters : Qs_sched.Sched.resumer list Atomic.t;
+}
+
+val make : 'a -> 'a t
+
+(**/**)
+
+val is_locked : int -> bool
+val version_of : int -> int
+val word : 'a t -> int
+val try_lock : 'a t -> bool
+val unlock_with : 'a t -> int -> unit
+val unlock_restore : 'a t -> unit
+val subscribe : 'a t -> Qs_sched.Sched.resumer -> unit
+val wake_all : 'a t -> unit

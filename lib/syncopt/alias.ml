@@ -1,0 +1,34 @@
+(* May-alias information over handler variables.
+
+   The paper's pass must treat two handler variables that may point to the
+   same handler as one for invalidation purposes (Fig. 15: an asynchronous
+   call on [i_p] kills the synced status of [h_p] when they may alias).
+   We keep the relation as a symmetric set of pairs; [closure_of] returns a
+   variable's may-alias set including itself.
+
+   The relation is deliberately *not* forced transitive: may-alias is not
+   an equivalence relation (a may alias b and b may alias c without a and
+   c ever aliasing). *)
+
+module Pair_set = Set.Make (struct
+  type t = Ir.hvar * Ir.hvar
+
+  let compare = compare
+end)
+
+type t = Pair_set.t
+
+let norm (a, b) = if a <= b then (a, b) else (b, a)
+
+let empty = Pair_set.empty
+
+let may_alias_pairs pairs =
+  List.fold_left (fun s p -> Pair_set.add (norm p) s) Pair_set.empty pairs
+
+let may_alias t a b = a = b || Pair_set.mem (norm (a, b)) t
+
+let closure_of t h =
+  Pair_set.fold
+    (fun (a, b) acc ->
+      if a = h then b :: acc else if b = h then a :: acc else acc)
+    t [ h ]

@@ -1,0 +1,15 @@
+(** May-alias relation over handler variables (paper Fig. 15). *)
+
+type t
+
+val empty : t
+(** No two distinct variables may alias. *)
+
+val may_alias_pairs : (Ir.hvar * Ir.hvar) list -> t
+(** Build from symmetric pairs. *)
+
+val may_alias : t -> Ir.hvar -> Ir.hvar -> bool
+(** Reflexive; symmetric; not necessarily transitive. *)
+
+val closure_of : t -> Ir.hvar -> Ir.hvar list
+(** The variable together with everything it may alias. *)

@@ -1,0 +1,107 @@
+(* Control-flow graphs of straight-line blocks, as the pass sees them
+   (paper Fig. 12 traverses "a function's basic blocks").
+
+   Graphs are built with a tiny builder API and then frozen; predecessor
+   lists are derived from successor lists at freeze time. *)
+
+type block = {
+  id : int;
+  insts : Ir.inst list;
+  succs : int list;
+  preds : int list;
+}
+
+type t = {
+  blocks : block array;
+  entry : int;
+  alias : Alias.t;
+}
+
+type builder = {
+  mutable acc : (int * Ir.inst list * int list) list;
+  mutable next : int;
+}
+
+let builder () = { acc = []; next = 0 }
+
+let add_block b ?(succs = []) insts =
+  let id = b.next in
+  b.next <- id + 1;
+  b.acc <- (id, insts, succs) :: b.acc;
+  id
+
+let freeze ?(alias = Alias.empty) ?(entry = 0) b =
+  let n = b.next in
+  let blocks =
+    Array.make n { id = 0; insts = []; succs = []; preds = [] }
+  in
+  List.iter
+    (fun (id, insts, succs) ->
+      List.iter
+        (fun s ->
+          if s < 0 || s >= n then
+            invalid_arg
+              (Printf.sprintf "Cfg.freeze: block %d has unknown successor %d"
+                 id s))
+        succs;
+      blocks.(id) <- { id; insts; succs; preds = [] })
+    b.acc;
+  let preds = Array.make n [] in
+  Array.iter
+    (fun blk -> List.iter (fun s -> preds.(s) <- blk.id :: preds.(s)) blk.succs)
+    blocks;
+  Array.iteri
+    (fun i blk -> blocks.(i) <- { blk with preds = List.rev preds.(i) })
+    blocks;
+  if entry < 0 || entry >= n then invalid_arg "Cfg.freeze: bad entry";
+  { blocks; entry; alias }
+
+let block t id = t.blocks.(id)
+let num_blocks t = Array.length t.blocks
+
+let hvars t =
+  Array.to_list t.blocks
+  |> List.concat_map (fun b -> List.filter_map Ir.hvar_of b.insts)
+  |> List.sort_uniq compare
+
+(* Rebuild with transformed instruction lists (same shape). *)
+let map_insts t f =
+  {
+    t with
+    blocks = Array.map (fun b -> { b with insts = f b.id b.insts }) t.blocks;
+  }
+
+(* All paths from the entry with at most [max_visits] traversals of each
+   block (loops unrolled that many times); used by the soundness checker
+   and the tests. *)
+let paths ?(max_visits = 2) t =
+  let n = num_blocks t in
+  let result = ref [] in
+  let visits = Array.make n 0 in
+  let rec go id acc =
+    if visits.(id) < max_visits then begin
+      visits.(id) <- visits.(id) + 1;
+      let acc = id :: acc in
+      (match (block t id).succs with
+      | [] -> result := List.rev acc :: !result
+      | succs -> List.iter (fun s -> go s acc) succs);
+      visits.(id) <- visits.(id) - 1
+    end
+    else result := List.rev acc :: !result
+    (* path truncated at the unroll bound: still a valid prefix *)
+  in
+  go t.entry [];
+  !result
+
+let pp ppf t =
+  Array.iter
+    (fun b ->
+      Format.fprintf ppf "@[<v2>B%d -> [%a]:@,%a@]@."
+        b.id
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        b.succs
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut Ir.pp_inst)
+        b.insts)
+    t.blocks

@@ -1,0 +1,40 @@
+(** Control-flow graphs for the sync-coalescing pass. *)
+
+type block = {
+  id : int;
+  insts : Ir.inst list;
+  succs : int list;
+  preds : int list;
+}
+
+type t = {
+  blocks : block array;
+  entry : int;
+  alias : Alias.t;
+}
+
+type builder
+
+val builder : unit -> builder
+
+val add_block : builder -> ?succs:int list -> Ir.inst list -> int
+(** Add a block with explicit successor ids (blocks may be referenced
+    before being added); returns the new block's id (sequential from 0). *)
+
+val freeze : ?alias:Alias.t -> ?entry:int -> builder -> t
+(** Validate and freeze, computing predecessors.
+    @raise Invalid_argument on dangling successors. *)
+
+val block : t -> int -> block
+val num_blocks : t -> int
+
+val hvars : t -> Ir.hvar list
+(** All handler variables mentioned, sorted. *)
+
+val map_insts : t -> (int -> Ir.inst list -> Ir.inst list) -> t
+
+val paths : ?max_visits:int -> t -> int list list
+(** Entry paths with loops unrolled up to [max_visits] times per block
+    (truncated paths are included as prefixes). *)
+
+val pp : Format.formatter -> t -> unit

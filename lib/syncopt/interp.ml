@@ -1,0 +1,97 @@
+(* Dynamic soundness checker for the sync-coalescing pass.
+
+   The pass may only delete a [Sync h] if, at that point, the handler [h]
+   denotes is synchronized on *every* execution.  We check this directly:
+   take a concrete assignment of handler variables to handler identities
+   (consistent with the may-alias relation: variables that are not
+   may-aliased must denote distinct handlers), walk every (loop-bounded)
+   path of the original CFG tracking the set of dynamically synchronized
+   handler identities — treating side-effecting external calls
+   adversarially, as if they enqueued asynchronous calls on every handler —
+   and assert that each removal site finds its handler synced.
+
+   The property-based tests drive this with random CFGs, random alias
+   relations and random consistent assignments. *)
+
+type env = (Ir.hvar * int) list
+(** Concrete handler identity for each handler variable. *)
+
+let lookup env h =
+  match List.assoc_opt h env with
+  | Some id -> id
+  | None -> invalid_arg ("Interp: unbound handler variable " ^ h)
+
+(* An assignment is consistent when equal identities imply may-alias. *)
+let env_consistent (alias : Alias.t) (env : env) =
+  List.for_all
+    (fun (a, ia) ->
+      List.for_all
+        (fun (b, ib) -> a = b || ia <> ib || Alias.may_alias alias a b)
+        env)
+    env
+
+module Iset = Set.Make (Int)
+
+let check_removals ?(max_visits = 3) (cfg : Cfg.t) (report : Pass.report)
+    ~(env : env) =
+  if not (env_consistent cfg.Cfg.alias env) then
+    invalid_arg "Interp.check_removals: assignment inconsistent with aliasing";
+  let removed_at =
+    List.map (fun (r : Pass.removal) -> (r.Pass.block, r.Pass.index)) report.Pass.removed
+  in
+  let is_removed b i = List.mem (b, i) removed_at in
+  let error = ref None in
+  let fail msg = if !error = None then error := Some msg in
+  let walk_path path =
+    let synced = ref Iset.empty in
+    List.iter
+      (fun bid ->
+        List.iteri
+          (fun i inst ->
+            (match inst with
+            | Ir.Sync h when is_removed bid i ->
+              if not (Iset.mem (lookup env h) !synced) then
+                fail
+                  (Printf.sprintf
+                     "unsound removal: B%d[%d] %s.sync() removed but handler \
+                      %d not synced on some path"
+                     bid i h (lookup env h))
+            | _ -> ());
+            match inst with
+            | Ir.Sync h -> synced := Iset.add (lookup env h) !synced
+            | Ir.Async h -> synced := Iset.remove (lookup env h) !synced
+            | Ir.Call_ext { readonly = false } ->
+              (* Adversarial: the callee may log asynchronous calls on
+                 every handler in the sync-set. *)
+              synced := Iset.empty
+            | Ir.Call_ext { readonly = true } | Ir.Read _ | Ir.Local -> ())
+          (Cfg.block cfg bid).Cfg.insts)
+      path
+  in
+  List.iter walk_path (Cfg.paths ~max_visits cfg);
+  match !error with Some msg -> Error msg | None -> Ok ()
+
+(* Count the dynamic syncs a path-sensitive execution of [cfg] performs,
+   with and without dynamic coalescing — used to cross-check the benchmark
+   model (Static removes strictly more syncs on regular kernels). *)
+let count_syncs ?(max_visits = 3) (cfg : Cfg.t) ~dyn =
+  let total = ref 0 in
+  List.iter
+    (fun path ->
+      let synced = ref Iset.empty in
+      List.iter
+        (fun bid ->
+          List.iter
+            (fun inst ->
+              match inst with
+              | Ir.Sync h ->
+                let id = Hashtbl.hash h in
+                if not (dyn && Iset.mem id !synced) then incr total;
+                synced := Iset.add id !synced
+              | Ir.Async h -> synced := Iset.remove (Hashtbl.hash h) !synced
+              | Ir.Call_ext { readonly = false } -> synced := Iset.empty
+              | _ -> ())
+            (Cfg.block cfg bid).Cfg.insts)
+        path)
+    (Cfg.paths ~max_visits cfg);
+  !total

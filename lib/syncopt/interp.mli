@@ -1,0 +1,18 @@
+(** Dynamic soundness checking of the sync-coalescing pass: every removed
+    sync must find its handler already synchronized on every bounded path,
+    for every variable-to-handler assignment consistent with aliasing. *)
+
+type env = (Ir.hvar * int) list
+
+val env_consistent : Alias.t -> env -> bool
+(** Equal handler identities are only allowed for may-aliased variables. *)
+
+val check_removals :
+  ?max_visits:int -> Cfg.t -> Pass.report -> env:env -> (unit, string) result
+(** Walk all loop-bounded paths of the {e original} CFG and verify each
+    removal site.  [cfg] must be the graph the report was computed from.
+    @raise Invalid_argument on an inconsistent assignment. *)
+
+val count_syncs : ?max_visits:int -> Cfg.t -> dyn:bool -> int
+(** Total syncs executed over all bounded paths, optionally with dynamic
+    coalescing (used to compare Static vs Dynamic elision counts). *)

@@ -1,0 +1,32 @@
+(* Instruction set for the sync-coalescing analysis (paper §3.4.2).
+
+   The pass operates on the generated code's view of SCOOP operations, not
+   on source programs: what matters per instruction is only how it affects
+   the set of handlers known to be synchronized (Fig. 13).  [Read] marks a
+   client-side access to handler data — the naive code generator emits a
+   [Sync] immediately before each one (Fig. 14a); it does not itself change
+   the sync-set but lets tests assert that accesses stay protected. *)
+
+type hvar = string
+(** A handler-typed variable in the generated code (e.g. ["h_p"]). *)
+
+type inst =
+  | Sync of hvar (* h_p.sync(): adds h_p to the sync-set *)
+  | Async of hvar (* h_p.enqueue(...): invalidates h_p and any alias *)
+  | Read of hvar (* client-side read of h_p's data (requires synced) *)
+  | Local (* pure local computation: no effect *)
+  | Call_ext of { readonly : bool }
+      (* arbitrary call: clears the sync-set unless LLVM-style
+         readonly/readnone flags apply *)
+
+let pp_inst ppf = function
+  | Sync h -> Format.fprintf ppf "%s.sync()" h
+  | Async h -> Format.fprintf ppf "%s.enqueue(...)" h
+  | Read h -> Format.fprintf ppf "read %s" h
+  | Local -> Format.pp_print_string ppf "local"
+  | Call_ext { readonly } ->
+    Format.fprintf ppf "call_ext%s" (if readonly then " readonly" else "")
+
+let hvar_of = function
+  | Sync h | Async h | Read h -> Some h
+  | Local | Call_ext _ -> None

@@ -1,0 +1,13 @@
+(** Instruction set of the sync-coalescing pass (paper §3.4.2, Fig. 13). *)
+
+type hvar = string
+
+type inst =
+  | Sync of hvar
+  | Async of hvar
+  | Read of hvar
+  | Local
+  | Call_ext of { readonly : bool }
+
+val pp_inst : Format.formatter -> inst -> unit
+val hvar_of : inst -> hvar option

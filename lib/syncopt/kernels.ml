@@ -1,0 +1,119 @@
+(* CFG encodings of the paper's figures and of the Cowichan benchmark
+   kernels' communication skeletons.
+
+   These tie the Static benchmark configuration to the actual pass: the
+   tests assert that running [Pass.run] on the naive kernel shapes removes
+   exactly the in-loop syncs, which is the transformation the hoisted
+   kernels in [qs_benchmarks] apply by hand. *)
+
+open Ir
+
+(* Fig. 14a: a simple loop, rotated so the first iteration's sync sits in
+   the entry block.
+     B0: h_p.sync(); x[i] := a[i]      -> B1 | B2
+     B1: h_p.sync(); x[i] := a[i]      -> B1 | B2   (loop)
+     B2: h_p.sync()
+   Expected (Fig. 14b): the syncs of B1 and B2 are removed. *)
+let fig14 () =
+  let b = Cfg.builder () in
+  let _b0 = Cfg.add_block b ~succs:[ 1; 2 ] [ Sync "h_p"; Read "h_p" ] in
+  let _b1 = Cfg.add_block b ~succs:[ 1; 2 ] [ Sync "h_p"; Read "h_p" ] in
+  let _b2 = Cfg.add_block b [ Sync "h_p" ] in
+  Cfg.freeze b
+
+(* Fig. 15a: the same loop with an asynchronous call on i_p in the body,
+   where h_p and i_p may be aliased.  Expected (Fig. 15b): no sync can be
+   removed. *)
+let fig15 () =
+  let b = Cfg.builder () in
+  let _b0 = Cfg.add_block b ~succs:[ 1; 2 ] [ Sync "h_p"; Read "h_p" ] in
+  let _b1 =
+    Cfg.add_block b ~succs:[ 1; 2 ] [ Sync "h_p"; Read "h_p"; Async "i_p" ]
+  in
+  let _b2 = Cfg.add_block b [ Sync "h_p" ] in
+  Cfg.freeze ~alias:(Alias.may_alias_pairs [ ("h_p", "i_p") ]) b
+
+(* Fig. 15 with alias information refined away ("if more aliasing
+   information is given to the compiler... h_p can be added to the
+   sync-set"): the loop syncs become removable again. *)
+let fig15_refined () =
+  let b = Cfg.builder () in
+  let _b0 = Cfg.add_block b ~succs:[ 1; 2 ] [ Sync "h_p"; Read "h_p" ] in
+  let _b1 =
+    Cfg.add_block b ~succs:[ 1; 2 ] [ Sync "h_p"; Read "h_p"; Async "i_p" ]
+  in
+  let _b2 = Cfg.add_block b [ Sync "h_p" ] in
+  Cfg.freeze b
+
+(* The communication skeleton of the data-distribution phase shared by the
+   Cowichan kernels (thresh, winnow, outer, product): a client pulls a
+   whole array out of a handler in a tight loop — naive codegen syncs
+   before every element read.
+     B0: sync w; read w            (first element)
+     B1: sync w; read w; local     (loop)
+     B2: local                     (compute on the local copy)
+   The pass removes the B1 sync: exactly the "lift the sync right out of
+   the loop body" effect §3.4.3 describes. *)
+let pull_loop () =
+  let b = Cfg.builder () in
+  let _b0 = Cfg.add_block b ~succs:[ 1; 2 ] [ Sync "w"; Read "w" ] in
+  let _b1 = Cfg.add_block b ~succs:[ 1; 2 ] [ Sync "w"; Read "w"; Local ] in
+  let _b2 = Cfg.add_block b [ Local ] in
+  Cfg.freeze b
+
+(* A pull loop followed by a push loop on a different, non-aliased result
+   handler: reads from [w] stay coalesced even though [r] is enqueued into
+   (compare Fig. 15: only may-aliasing kills the set). *)
+let pull_then_push () =
+  let b = Cfg.builder () in
+  let _b0 = Cfg.add_block b ~succs:[ 1; 2 ] [ Sync "w"; Read "w" ] in
+  let _b1 =
+    Cfg.add_block b ~succs:[ 1; 2 ] [ Sync "w"; Read "w"; Async "r" ]
+  in
+  let _b2 = Cfg.add_block b [ Sync "w"; Read "w" ] in
+  Cfg.freeze b
+
+(* An irregular coordination skeleton (the concurrent benchmarks §4.1.2):
+   each iteration makes an external side-effecting call between the sync
+   and the next iteration, so the static pass can remove nothing — this is
+   why the paper finds Static ineffective on the concurrent workloads
+   ("because the workloads are irregular, the Static sync-coalescing is
+   not as effective"). *)
+let irregular_loop () =
+  let b = Cfg.builder () in
+  let _b0 =
+    Cfg.add_block b ~succs:[ 1; 2 ]
+      [ Sync "res"; Read "res"; Call_ext { readonly = false } ]
+  in
+  let _b1 =
+    Cfg.add_block b ~succs:[ 1; 2 ]
+      [ Sync "res"; Read "res"; Call_ext { readonly = false } ]
+  in
+  let _b2 = Cfg.add_block b [ Local ] in
+  Cfg.freeze b
+
+(* Same loop where the intervening call carries LLVM's readonly flag: the
+   mitigation mentioned at the end of §3.4.2 restores the coalescing. *)
+let irregular_loop_readonly () =
+  let b = Cfg.builder () in
+  let _b0 =
+    Cfg.add_block b ~succs:[ 1; 2 ]
+      [ Sync "res"; Read "res"; Call_ext { readonly = true } ]
+  in
+  let _b1 =
+    Cfg.add_block b ~succs:[ 1; 2 ]
+      [ Sync "res"; Read "res"; Call_ext { readonly = true } ]
+  in
+  let _b2 = Cfg.add_block b [ Local ] in
+  Cfg.freeze b
+
+let all =
+  [
+    ("fig14", fig14);
+    ("fig15", fig15);
+    ("fig15-refined", fig15_refined);
+    ("pull-loop", pull_loop);
+    ("pull-then-push", pull_then_push);
+    ("irregular", irregular_loop);
+    ("irregular-readonly", irregular_loop_readonly);
+  ]

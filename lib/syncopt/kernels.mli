@@ -1,0 +1,14 @@
+(** CFG encodings of the paper's Figs. 14–15 and of the benchmark kernels'
+    communication skeletons, used by tests and by the [qs syncopt]
+    command-line tool. *)
+
+val fig14 : unit -> Cfg.t
+val fig15 : unit -> Cfg.t
+val fig15_refined : unit -> Cfg.t
+val pull_loop : unit -> Cfg.t
+val pull_then_push : unit -> Cfg.t
+val irregular_loop : unit -> Cfg.t
+val irregular_loop_readonly : unit -> Cfg.t
+
+val all : (string * (unit -> Cfg.t)) list
+(** Named kernels, for the CLI. *)

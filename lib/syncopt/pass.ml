@@ -1,0 +1,49 @@
+(* The sync-coalescing transformation (paper §3.4.2–3.4.3): remove every
+   [Sync h] whose handler is already in the sync-set at that point.
+
+   The pass only deletes provably redundant operations, so the dynamic
+   sync state of the transformed program is identical to the original's at
+   every remaining instruction — which is why a single analyze+rewrite
+   round suffices. *)
+
+type removal = {
+  block : int;
+  index : int; (* instruction index within the original block *)
+  hvar : Ir.hvar;
+}
+
+type report = {
+  cfg : Cfg.t; (* transformed graph *)
+  removed : removal list;
+  kept_syncs : int;
+}
+
+let run (cfg : Cfg.t) =
+  let res = Syncset.analyze cfg in
+  let removed = ref [] in
+  let kept = ref 0 in
+  let rewrite id insts =
+    let sets = Syncset.per_inst cfg.Cfg.alias res.Syncset.in_sets.(id) insts in
+    List.concat
+      (List.mapi
+         (fun index (inst, before) ->
+           match inst with
+           | Ir.Sync h when Syncset.Vset.mem h before ->
+             removed := { block = id; index; hvar = h } :: !removed;
+             []
+           | Ir.Sync _ ->
+             incr kept;
+             [ inst ]
+           | _ -> [ inst ])
+         (List.combine insts sets))
+  in
+  let cfg' = Cfg.map_insts cfg rewrite in
+  { cfg = cfg'; removed = List.rev !removed; kept_syncs = !kept }
+
+let pp_report ppf r =
+  Format.fprintf ppf "removed %d sync(s), kept %d:@." (List.length r.removed)
+    r.kept_syncs;
+  List.iter
+    (fun rm ->
+      Format.fprintf ppf "  - B%d[%d]: %s.sync()@." rm.block rm.index rm.hvar)
+    r.removed

@@ -1,0 +1,17 @@
+(** The sync-coalescing transformation: delete [Sync] instructions whose
+    handler is provably already synchronized (paper §3.4.2). *)
+
+type removal = {
+  block : int;
+  index : int;
+  hvar : Ir.hvar;
+}
+
+type report = {
+  cfg : Cfg.t;
+  removed : removal list;
+  kept_syncs : int;
+}
+
+val run : Cfg.t -> report
+val pp_report : Format.formatter -> report -> unit

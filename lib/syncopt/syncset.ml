@@ -1,0 +1,86 @@
+(* The sync-set dataflow analysis (paper Figs. 12–13).
+
+   A forward must-analysis: a handler variable is in a block's entry
+   sync-set iff on *every* path reaching the block the handler has been
+   synchronized and not invalidated since.  The transfer function is
+   exactly UpdateSync (Fig. 13):
+
+     sync h     ->  synced ∪ {h}
+     async h    ->  synced − may-aliases(h)
+     side       ->  ∅              (arbitrary call without readonly flags)
+     otherwise  ->  synced
+
+   Meet is set intersection over predecessors (Fig. 12's [common]).  As a
+   must-analysis it is solved optimistically: every non-entry block starts
+   at ⊤ (all handler variables) and the worklist shrinks sets until the
+   greatest fixpoint — required for the loop case of Fig. 14, where B2's
+   own back edge must not pessimistically kill the set. *)
+
+module Vset = Set.Make (String)
+
+type result = {
+  in_sets : Vset.t array;
+  out_sets : Vset.t array;
+}
+
+let transfer_inst alias synced (inst : Ir.inst) =
+  match inst with
+  | Ir.Sync h -> Vset.add h synced
+  | Ir.Async h ->
+    List.fold_left (fun s v -> Vset.remove v s) synced (Alias.closure_of alias h)
+  | Ir.Call_ext { readonly } -> if readonly then synced else Vset.empty
+  | Ir.Read _ | Ir.Local -> synced
+
+let transfer_block alias synced insts =
+  List.fold_left (transfer_inst alias) synced insts
+
+let analyze (cfg : Cfg.t) =
+  let n = Cfg.num_blocks cfg in
+  let top = Vset.of_list (Cfg.hvars cfg) in
+  let in_sets = Array.make n top in
+  let out_sets = Array.make n top in
+  in_sets.(cfg.Cfg.entry) <- Vset.empty;
+  let changed = Queue.create () in
+  let queued = Array.make n false in
+  let enqueue id =
+    if not queued.(id) then begin
+      queued.(id) <- true;
+      Queue.push id changed
+    end
+  in
+  for id = 0 to n - 1 do
+    enqueue id
+  done;
+  while not (Queue.is_empty changed) do
+    let id = Queue.pop changed in
+    queued.(id) <- false;
+    let b = Cfg.block cfg id in
+    let input =
+      if id = cfg.Cfg.entry then Vset.empty
+        (* the entry's sync-set is empty even if loops return to it *)
+      else
+        match b.Cfg.preds with
+        | [] -> Vset.empty (* unreachable block: be conservative *)
+        | p :: rest ->
+          List.fold_left
+            (fun acc q -> Vset.inter acc out_sets.(q))
+            out_sets.(p) rest
+    in
+    let output = transfer_block cfg.Cfg.alias input b.Cfg.insts in
+    if not (Vset.equal input in_sets.(id) && Vset.equal output out_sets.(id))
+    then begin
+      in_sets.(id) <- input;
+      out_sets.(id) <- output;
+      List.iter enqueue b.Cfg.succs
+    end
+  done;
+  { in_sets; out_sets }
+
+(* Per-instruction sync-sets within a block, given its entry set: the set
+   *before* each instruction.  Used by the elision pass and by tests. *)
+let per_inst alias entry insts =
+  let rec go synced = function
+    | [] -> []
+    | inst :: rest -> synced :: go (transfer_inst alias synced inst) rest
+  in
+  go entry insts

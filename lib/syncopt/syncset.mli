@@ -1,0 +1,21 @@
+(** Sync-set dataflow analysis (paper Figs. 12–13): for every program
+    point, the set of handler variables guaranteed to be synchronized on
+    every path reaching it. *)
+
+module Vset : Set.S with type elt = string
+
+type result = {
+  in_sets : Vset.t array; (** sync-set at each block's entry *)
+  out_sets : Vset.t array; (** sync-set at each block's exit *)
+}
+
+val analyze : Cfg.t -> result
+
+val transfer_inst : Alias.t -> Vset.t -> Ir.inst -> Vset.t
+(** UpdateSync for a single instruction (Fig. 13). *)
+
+val transfer_block : Alias.t -> Vset.t -> Ir.inst list -> Vset.t
+
+val per_inst : Alias.t -> Vset.t -> Ir.inst list -> Vset.t list
+(** The sync-set immediately before each instruction of a block, given the
+    block's entry set. *)

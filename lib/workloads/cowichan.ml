@@ -1,0 +1,222 @@
+(* The Cowichan problems (paper §4.1.1), in chunked form.
+
+   Every kernel is expressed as row-range functions so that each paradigm
+   implementation (SCOOP, parallel-for, channels, actors, STM/functional)
+   contains only its coordination and data-distribution logic; the
+   numerical work is shared and identical, and the sequential reference is
+   simply the single-chunk composition.
+
+   Matrices are flat row-major [int array]s ([nr] rows × [nc] columns);
+   the outer/product stage uses [float array]s.  Values are in [0, 100)
+   so that thresh can use a fixed-size histogram. *)
+
+let modulus = 100
+
+(* -- randmat -------------------------------------------------------------- *)
+
+(* Fill rows [lo, hi) of an nr×nr matrix with deterministic random values. *)
+let randmat_rows ~seed ~nr dst ~lo ~hi =
+  for row = lo to hi - 1 do
+    Lcg.fill_row ~seed ~row ~modulus dst ~off:(row * nr) ~len:nr
+  done
+
+let randmat ~seed ~nr =
+  let m = Array.make (nr * nr) 0 in
+  randmat_rows ~seed ~nr m ~lo:0 ~hi:nr;
+  m
+
+(* Chunk-local variant: rows [lo, hi) written at offset 0 of [dst] (a
+   worker's private array). *)
+let randmat_chunk ~seed ~nr ~lo ~hi dst =
+  for row = lo to hi - 1 do
+    Lcg.fill_row ~seed ~row ~modulus dst ~off:((row - lo) * nr) ~len:nr
+  done
+
+(* -- thresh --------------------------------------------------------------- *)
+
+(* Histogram of the values in rows [lo, hi). *)
+let thresh_hist ~nr (m : int array) ~lo ~hi =
+  let hist = Array.make modulus 0 in
+  for i = lo * nr to (hi * nr) - 1 do
+    hist.(m.(i)) <- hist.(m.(i)) + 1
+  done;
+  hist
+
+let merge_hist a b = Array.map2 ( + ) a b
+
+(* Smallest threshold value such that keeping [v >= threshold] keeps at
+   most the top p percent (matching the usual Cowichan formulation). *)
+let thresh_threshold ~hist ~total ~p =
+  let target = total * p / 100 in
+  let rec go v count =
+    if v < 0 then 0
+    else
+      let count = count + hist.(v) in
+      if count > target then v + 1 else go (v - 1) count
+  in
+  (* Keep at least something: if even the maximum value alone exceeds the
+     target, the threshold sits above it and we lower it to the max. *)
+  let t = go (modulus - 1) 0 in
+  if t >= modulus then modulus - 1 else t
+
+let thresh_mask_rows ~nr (m : int array) ~threshold (mask : Bytes.t) ~lo ~hi =
+  for i = lo * nr to (hi * nr) - 1 do
+    Bytes.unsafe_set mask i (if m.(i) >= threshold then '\001' else '\000')
+  done
+
+let thresh ~nr (m : int array) ~p =
+  let hist = thresh_hist ~nr m ~lo:0 ~hi:nr in
+  let threshold = thresh_threshold ~hist ~total:(nr * nr) ~p in
+  let mask = Bytes.make (nr * nr) '\000' in
+  thresh_mask_rows ~nr m ~threshold mask ~lo:0 ~hi:nr;
+  (threshold, mask)
+
+(* -- winnow --------------------------------------------------------------- *)
+
+(* Weighted points from the masked rows [lo, hi): (value, row, col).
+   [row0] shifts the reported row index, for workers holding a chunk whose
+   local row 0 is global row [row0]. *)
+let winnow_collect ?(row0 = 0) ~nr (m : int array) (mask : Bytes.t) ~lo ~hi ()
+    =
+  let acc = ref [] in
+  for row = hi - 1 downto lo do
+    for col = nr - 1 downto 0 do
+      let i = (row * nr) + col in
+      if Bytes.unsafe_get mask i = '\001' then
+        acc := (m.(i), row0 + row, col) :: !acc
+    done
+  done;
+  !acc
+
+(* Evenly-spaced selection of [nw] points from the sorted candidates. *)
+let winnow_select sorted ~nw =
+  let n = Array.length sorted in
+  if n = 0 then [||]
+  else begin
+    let nw = min nw n in
+    let chunk = n / nw in
+    Array.init nw (fun k ->
+      let _, row, col = sorted.(k * chunk) in
+      (row, col))
+  end
+
+let winnow ~nr m mask ~nw =
+  let candidates = Array.of_list (winnow_collect ~nr m mask ~lo:0 ~hi:nr ()) in
+  Array.sort compare candidates;
+  winnow_select candidates ~nw
+
+(* -- outer ---------------------------------------------------------------- *)
+
+let distance (r1, c1) (r2, c2) =
+  let dr = float_of_int (r1 - r2) and dc = float_of_int (c1 - c2) in
+  sqrt ((dr *. dr) +. (dc *. dc))
+
+(* Rows [lo, hi) of the outer matrix, plus the matching vector slice
+   (written in place). *)
+let outer_rows (points : (int * int) array) (matrix : float array)
+    (vector : float array) ~lo ~hi =
+  let n = Array.length points in
+  for i = lo to hi - 1 do
+    let pi = points.(i) in
+    let max_dist = ref 0.0 in
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let d = distance pi points.(j) in
+        if d > !max_dist then max_dist := d;
+        matrix.((i * n) + j) <- d
+      end
+    done;
+    matrix.((i * n) + i) <- float_of_int n *. !max_dist;
+    vector.(i) <- distance pi (0, 0)
+  done
+
+let outer points =
+  let n = Array.length points in
+  let matrix = Array.make (n * n) 0.0 and vector = Array.make n 0.0 in
+  outer_rows points matrix vector ~lo:0 ~hi:n;
+  (matrix, vector)
+
+(* Chunk-local variant: matrix rows [lo, hi) at offset 0 of [mchunk],
+   vector entries [lo, hi) at offset 0 of [vchunk]. *)
+let outer_chunk (points : (int * int) array) ~lo ~hi (mchunk : float array)
+    (vchunk : float array) =
+  let n = Array.length points in
+  for i = lo to hi - 1 do
+    let pi = points.(i) in
+    let max_dist = ref 0.0 in
+    let base = (i - lo) * n in
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let d = distance pi points.(j) in
+        if d > !max_dist then max_dist := d;
+        mchunk.(base + j) <- d
+      end
+    done;
+    mchunk.(base + i) <- float_of_int n *. !max_dist;
+    vchunk.(i - lo) <- distance pi (0, 0)
+  done
+
+(* -- product -------------------------------------------------------------- *)
+
+let product_rows ~n (matrix : float array) (vector : float array)
+    (result : float array) ~lo ~hi =
+  for i = lo to hi - 1 do
+    let acc = ref 0.0 in
+    for j = 0 to n - 1 do
+      acc := !acc +. (matrix.((i * n) + j) *. vector.(j))
+    done;
+    result.(i) <- !acc
+  done
+
+let product ~n matrix vector =
+  let result = Array.make n 0.0 in
+  product_rows ~n matrix vector result ~lo:0 ~hi:n;
+  result
+
+(* Chunk-local variant: [mchunk] holds [rows] matrix rows; results land at
+   offset 0 of [rchunk]. *)
+let product_chunk ~n (mchunk : float array) (vector : float array) ~rows
+    (rchunk : float array) =
+  for r = 0 to rows - 1 do
+    let acc = ref 0.0 in
+    for j = 0 to n - 1 do
+      acc := !acc +. (mchunk.((r * n) + j) *. vector.(j))
+    done;
+    rchunk.(r) <- !acc
+  done
+
+(* Deterministic synthetic point set for standalone outer/product runs. *)
+let synthetic_points ~n ~range =
+  let state = ref (Lcg.next 42) in
+  Array.init n (fun _ ->
+    let r = !state mod range in
+    state := Lcg.next !state;
+    let c = !state mod range in
+    state := Lcg.next !state;
+    (r, c))
+
+(* -- chain ---------------------------------------------------------------- *)
+
+(* The sequential composition of the whole pipeline (paper: "these
+   benchmarks can be sequentially composed together ... to form a chain"). *)
+let chain ~seed ~nr ~p ~nw =
+  let m = randmat ~seed ~nr in
+  let _, mask = thresh ~nr m ~p in
+  let points = winnow ~nr m mask ~nw in
+  let matrix, vector = outer points in
+  let n = Array.length points in
+  product ~n matrix vector
+
+(* -- checksums for cross-implementation validation ------------------------ *)
+
+let checksum_int (m : int array) = Array.fold_left ( + ) 0 m
+
+let checksum_mask (mask : Bytes.t) =
+  let acc = ref 0 in
+  Bytes.iter (fun c -> if c = '\001' then incr acc) mask;
+  !acc
+
+let checksum_points (points : (int * int) array) =
+  Array.fold_left (fun acc (r, c) -> acc + (31 * r) + c) 0 points
+
+let checksum_float (v : float array) = Array.fold_left ( +. ) 0.0 v

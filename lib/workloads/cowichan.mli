@@ -1,0 +1,81 @@
+(** The Cowichan problems (paper §4.1.1) in chunked form: every kernel is
+    exposed as row-range functions so paradigm implementations share the
+    numerical work and differ only in coordination.  Matrices are flat
+    row-major arrays; values lie in [\[0, modulus)]. *)
+
+val modulus : int
+
+(** {2 randmat} *)
+
+val randmat_rows : seed:int -> nr:int -> int array -> lo:int -> hi:int -> unit
+val randmat : seed:int -> nr:int -> int array
+
+val randmat_chunk : seed:int -> nr:int -> lo:int -> hi:int -> int array -> unit
+(** Rows [lo, hi) written at offset 0 of a worker-local chunk. *)
+
+(** {2 thresh} *)
+
+val thresh_hist : nr:int -> int array -> lo:int -> hi:int -> int array
+val merge_hist : int array -> int array -> int array
+val thresh_threshold : hist:int array -> total:int -> p:int -> int
+
+val thresh_mask_rows :
+  nr:int -> int array -> threshold:int -> Bytes.t -> lo:int -> hi:int -> unit
+
+val thresh : nr:int -> int array -> p:int -> int * Bytes.t
+(** Returns [(threshold, mask)]. *)
+
+(** {2 winnow} *)
+
+val winnow_collect :
+  ?row0:int ->
+  nr:int ->
+  int array ->
+  Bytes.t ->
+  lo:int ->
+  hi:int ->
+  unit ->
+  (int * int * int) list
+(** [row0] shifts reported row indices for chunk-local inputs. *)
+
+val winnow_select : (int * int * int) array -> nw:int -> (int * int) array
+val winnow : nr:int -> int array -> Bytes.t -> nw:int -> (int * int) array
+
+(** {2 outer} *)
+
+val distance : int * int -> int * int -> float
+
+val outer_rows :
+  (int * int) array -> float array -> float array -> lo:int -> hi:int -> unit
+
+val outer : (int * int) array -> float array * float array
+
+val outer_chunk :
+  (int * int) array -> lo:int -> hi:int -> float array -> float array -> unit
+(** Matrix rows and vector entries [lo, hi) written at offset 0 of the
+    worker-local chunks. *)
+
+(** {2 product} *)
+
+val product_rows :
+  n:int -> float array -> float array -> float array -> lo:int -> hi:int -> unit
+
+val product : n:int -> float array -> float array -> float array
+
+val product_chunk :
+  n:int -> float array -> float array -> rows:int -> float array -> unit
+
+val synthetic_points : n:int -> range:int -> (int * int) array
+(** Deterministic point set for standalone outer/product runs. *)
+
+(** {2 chain} *)
+
+val chain : seed:int -> nr:int -> p:int -> nw:int -> float array
+(** randmat → thresh → winnow → outer → product, sequentially. *)
+
+(** {2 Checksums} (cross-implementation validation) *)
+
+val checksum_int : int array -> int
+val checksum_mask : Bytes.t -> int
+val checksum_points : (int * int) array -> int
+val checksum_float : float array -> float

@@ -1,0 +1,93 @@
+(* List-based variants of the Cowichan kernels, modelling Erlang's data
+   representation (paper §5.2.1: Erlang is "forced to use linked lists to
+   represent matrices", which the paper identifies as a principal reason
+   for its unfavourable results).  The Erlang-style actor benchmarks
+   compute with these, paying one cons cell per element and losing cache
+   locality, while still producing results identical to the array
+   kernels. *)
+
+(* Rows [lo, hi) as a flat list, row-major. *)
+let randmat_chunk ~seed ~nr ~lo ~hi =
+  let rec row_values state k acc =
+    if k = 0 then acc
+    else row_values (Lcg.next state) (k - 1) ((state mod Cowichan.modulus) :: acc)
+  in
+  let rec rows row acc =
+    if row < lo then acc
+    else
+      let state0 = Lcg.next (Lcg.row_seed ~seed ~row) in
+      (* Build the row forwards by collecting backwards from the stream. *)
+      let values = List.rev (row_values state0 nr []) in
+      rows (row - 1) (values @ acc)
+  in
+  rows (hi - 1) []
+
+let hist values =
+  let h = Array.make Cowichan.modulus 0 in
+  List.iter (fun v -> h.(v) <- h.(v) + 1) values;
+  h
+
+let mask ~threshold values = List.map (fun v -> if v >= threshold then 1 else 0) values
+
+(* Weighted points of a chunk whose local row 0 is global row [row0]. *)
+let collect ~nr ~row0 values mask =
+  let rec go i vs ms acc =
+    match (vs, ms) with
+    | [], [] -> List.rev acc
+    | v :: vs, m :: ms ->
+      let acc =
+        if m = 1 then (v, row0 + (i / nr), i mod nr) :: acc else acc
+      in
+      go (i + 1) vs ms acc
+    | _ -> invalid_arg "Cowichan_lists.collect: length mismatch"
+  in
+  go 0 values mask []
+
+(* Outer rows [lo, hi) as a flat list plus the vector slice. *)
+let outer_chunk points ~lo ~hi =
+  let n = Array.length points in
+  let rec build i macc vacc =
+    if i < lo then (macc, vacc)
+    else begin
+      let pi = points.(i) in
+      let max_dist = ref 0.0 in
+      let rec row j acc =
+        if j < 0 then acc
+        else
+          let d =
+            if i = j then 0.0
+            else begin
+              let d = Cowichan.distance pi points.(j) in
+              if d > !max_dist then max_dist := d;
+              d
+            end
+          in
+          row (j - 1) (d :: acc)
+      in
+      let r = row (n - 1) [] in
+      (* Patch the diagonal (computed after the max is known). *)
+      let r =
+        List.mapi (fun j d -> if j = i then float_of_int n *. !max_dist else d) r
+      in
+      build (i - 1) (r @ macc) (Cowichan.distance pi (0, 0) :: vacc)
+    end
+  in
+  build (hi - 1) [] []
+
+let product_chunk ~n mrows vector =
+  (* [mrows]: flat list of rows; [vector]: float array. *)
+  let rec go rows acc =
+    match rows with
+    | [] -> List.rev acc
+    | _ ->
+      let rec dot j rows acc =
+        if j = n then (acc, rows)
+        else
+          match rows with
+          | x :: rest -> dot (j + 1) rest (acc +. (x *. vector.(j)))
+          | [] -> invalid_arg "Cowichan_lists.product_chunk: short row"
+      in
+      let value, rest = dot 0 rows 0.0 in
+      go rest (value :: acc)
+  in
+  go mrows []

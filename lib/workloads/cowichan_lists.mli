@@ -1,0 +1,17 @@
+(** List-based Cowichan kernels modelling Erlang's linked-list data
+    representation (paper §5.2.1).  Results match the array kernels. *)
+
+val randmat_chunk : seed:int -> nr:int -> lo:int -> hi:int -> int list
+(** Rows [lo, hi), row-major flat list. *)
+
+val hist : int list -> int array
+val mask : threshold:int -> int list -> int list
+
+val collect :
+  nr:int -> row0:int -> int list -> int list -> (int * int * int) list
+
+val outer_chunk :
+  (int * int) array -> lo:int -> hi:int -> float list * float list
+(** Matrix rows [lo, hi) (flat) and the matching vector slice. *)
+
+val product_chunk : n:int -> float list -> float array -> float list

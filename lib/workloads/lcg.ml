@@ -1,0 +1,23 @@
+(* Deterministic linear congruential generator.
+
+   The Cowichan randmat benchmark requires a deterministic matrix given a
+   seed, independent of how rows are distributed over workers; like the
+   paper's implementations we derive an independent LCG stream per row so
+   any worker can produce its rows without sharing generator state. *)
+
+let a = 1664525
+let c = 1013904223
+let mask = 0xFFFFFFFF (* modulus 2^32 *)
+
+let next state = ((a * state) + c) land mask
+
+(* Scramble the row index so adjacent rows do not produce correlated
+   streams. *)
+let row_seed ~seed ~row = (seed + (row * 0x9E3779B9)) land mask
+
+let fill_row ~seed ~row ~modulus dst ~off ~len =
+  let state = ref (next (row_seed ~seed ~row)) in
+  for k = 0 to len - 1 do
+    dst.(off + k) <- !state mod modulus;
+    state := next !state
+  done

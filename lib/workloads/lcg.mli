@@ -1,0 +1,10 @@
+(** Deterministic LCG with independent per-row streams, so distributed
+    workers generate identical matrices regardless of chunking. *)
+
+val next : int -> int
+val row_seed : seed:int -> row:int -> int
+
+val fill_row :
+  seed:int -> row:int -> modulus:int -> int array -> off:int -> len:int -> unit
+(** Fill [dst.(off .. off+len-1)] with row [row]'s stream, values in
+    [\[0, modulus)]. *)

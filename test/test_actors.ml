@@ -1,0 +1,191 @@
+(* Tests for the Erlang-style actor substrate: mailbox FIFO per sender,
+   copy-on-send isolation, request/reply servers, lifecycle. *)
+
+module A = Qs_actors.Actor
+module Sched = Qs_sched.Sched
+module Latch = Qs_sched.Latch
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_fifo_single_sender () =
+  let received =
+    Sched.run (fun () ->
+      let log = ref [] in
+      let actor =
+        A.spawn (fun self ->
+          for _ = 1 to 50 do
+            log := A.receive self :: !log
+          done)
+      in
+      for i = 1 to 50 do
+        A.send actor i
+      done;
+      A.join actor;
+      List.rev !log)
+  in
+  Alcotest.(check (list int)) "fifo order" (List.init 50 (fun i -> i + 1)) received
+
+let test_copy_on_send () =
+  Sched.run (fun () ->
+    let observed = ref [||] in
+    let actor =
+      A.spawn ~copy:Array.copy (fun self -> observed := A.receive self)
+    in
+    let payload = [| 1; 2; 3 |] in
+    A.send actor payload;
+    (* Mutating the sender's array after the send must not affect the
+       receiver: the message was copied in its entirety. *)
+    payload.(0) <- 99;
+    A.join actor;
+    check_int "receiver kept the copy" 1 !observed.(0))
+
+let test_identity_copy_shares () =
+  Sched.run (fun () ->
+    let observed = ref [||] in
+    let actor = A.spawn (fun self -> observed := A.receive self) in
+    let payload = [| 1 |] in
+    A.send actor payload;
+    A.join actor;
+    check_bool "identity copy shares" true (!observed == payload))
+
+let test_request_reply_server () =
+  let total =
+    Sched.run ~domains:2 (fun () ->
+      let server =
+        A.spawn (fun self ->
+          for _ = 1 to 100 do
+            let x, (reply : int A.t) = A.receive self in
+            A.send reply (x * 2)
+          done)
+      in
+      let acc = Atomic.make 0 in
+      let latch = Latch.create 4 in
+      for _ = 1 to 4 do
+        ignore
+          (A.spawn (fun (self : int A.t) ->
+             for i = 1 to 25 do
+               A.send server (i, self);
+               ignore (Atomic.fetch_and_add acc (A.receive self) : int)
+             done;
+             Latch.count_down latch)
+            : int A.t)
+      done;
+      Latch.wait latch;
+      A.join server;
+      Atomic.get acc)
+  in
+  check_int "all replies" (4 * 2 * (25 * 26 / 2)) total
+
+let test_try_receive () =
+  Sched.run (fun () ->
+    let first = ref (Some 0) and second = ref None in
+    let ready = Qs_sched.Ivar.create () in
+    let actor =
+      A.spawn (fun self ->
+        first := A.try_receive self;
+        Qs_sched.Ivar.fill ready ();
+        let rec poll () =
+          match A.try_receive self with
+          | Some v -> second := Some v
+          | None ->
+            Sched.yield ();
+            poll ()
+        in
+        poll ())
+    in
+    Qs_sched.Ivar.read ready;
+    check_bool "initially empty" true (!first = None);
+    A.send actor 5;
+    A.join actor;
+    check_bool "then present" true (!second = Some 5))
+
+let test_stop_closes_mailbox () =
+  Sched.run (fun () ->
+    let failed = ref false in
+    let actor =
+      A.spawn (fun self ->
+        (try ignore (A.receive self : int) with Failure _ -> failed := true))
+    in
+    A.stop actor;
+    A.join actor;
+    check_bool "receive fails after stop" true !failed)
+
+let test_ring_of_actors () =
+  (* Token around a ring: exercises actor-to-actor sends. *)
+  let n = 10 and hops = 1_000 in
+  let winner =
+    Sched.run (fun () ->
+      let result = ref (-1) in
+      let cells : int A.t option array = Array.make n None in
+      let latch = Latch.create n in
+      for i = 0 to n - 1 do
+        cells.(i) <-
+          Some
+            (A.spawn (fun self ->
+               let rec serve () =
+                 let k = A.receive self in
+                 if k = 0 then begin
+                   result := i;
+                   A.send (Option.get cells.((i + 1) mod n)) (-1)
+                 end
+                 else if k < 0 then A.send (Option.get cells.((i + 1) mod n)) (-1)
+                 else begin
+                   A.send (Option.get cells.((i + 1) mod n)) (k - 1);
+                   serve ()
+                 end
+               in
+               serve ();
+               Latch.count_down latch))
+      done;
+      A.send (Option.get cells.(0)) hops;
+      Latch.wait latch;
+      !result)
+  in
+  check_int "token lands where expected" (hops mod n) winner
+
+let prop_sum_across_actors =
+  QCheck2.Test.make ~count:30 ~name:"fan-in preserves every message"
+    QCheck2.Gen.(pair (int_range 1 6) (int_range 0 50))
+    (fun (senders, per) ->
+      let total =
+        Sched.run ~domains:2 (fun () ->
+          let acc = ref 0 in
+          let sink =
+            A.spawn (fun self ->
+              for _ = 1 to senders * per do
+                acc := !acc + A.receive self
+              done)
+          in
+          for _ = 1 to senders do
+            ignore
+              (A.spawn (fun _ ->
+                 for i = 1 to per do
+                   A.send sink i
+                 done)
+                : int A.t)
+          done;
+          A.join sink;
+          !acc)
+      in
+      total = senders * (per * (per + 1) / 2))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "qs_actors"
+    [
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo single sender" `Quick test_fifo_single_sender;
+          Alcotest.test_case "copy on send" `Quick test_copy_on_send;
+          Alcotest.test_case "identity copy shares" `Quick test_identity_copy_shares;
+          Alcotest.test_case "try_receive" `Quick test_try_receive;
+          Alcotest.test_case "stop closes mailbox" `Quick test_stop_closes_mailbox;
+        ] );
+      ( "patterns",
+        [
+          Alcotest.test_case "request/reply server" `Quick test_request_reply_server;
+          Alcotest.test_case "actor ring" `Quick test_ring_of_actors;
+        ] );
+      ("properties", [ qc prop_sum_across_actors ]);
+    ]

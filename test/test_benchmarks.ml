@@ -1,0 +1,190 @@
+(* Integration tests: every benchmark of the paper's evaluation runs at a
+   tiny scale, for every optimization configuration and every comparator
+   paradigm.  Each benchmark validates its own output against the
+   sequential reference internally (raising [Validation_failed] on any
+   mismatch), so these tests assert end-to-end correctness of the whole
+   stack — runtime, substrates, kernels — not just that nothing crashes. *)
+
+module H = Qs_benchmarks.Harness
+module B = Qs_benchmarks.Bench_types
+module PD = Qs_benchmarks.Paper_data
+
+let s = { H.tiny with H.reps = 1 }
+
+let timings : B.timings Alcotest.testable =
+  Alcotest.testable
+    (fun ppf t -> Format.fprintf ppf "{total=%f}" t.B.total)
+    (fun a b -> a = b)
+
+let _ = timings
+
+let check_positive name (t : B.timings) =
+  Alcotest.(check bool) (name ^ " total positive") true (t.B.total > 0.0);
+  Alcotest.(check bool)
+    (name ^ " parts within total")
+    true
+    (t.B.compute >= 0.0 && t.B.comm >= 0.0)
+
+(* One test per (task, config) for the SCOOP benchmarks. *)
+let scoop_parallel_cases =
+  List.concat_map
+    (fun task ->
+      List.map
+        (fun config ->
+          Alcotest.test_case
+            (Printf.sprintf "%s [%s]" task config.Scoop.Config.name)
+            `Quick
+            (fun () -> check_positive task (H.scoop_parallel ~config s task)))
+        Scoop.Config.presets)
+    PD.parallel_tasks
+
+let scoop_concurrent_cases =
+  List.concat_map
+    (fun task ->
+      List.map
+        (fun config ->
+          Alcotest.test_case
+            (Printf.sprintf "%s [%s]" task config.Scoop.Config.name)
+            `Quick
+            (fun () -> check_positive task (H.scoop_concurrent ~config s task)))
+        Scoop.Config.presets)
+    PD.concurrent_tasks
+
+let lang_parallel_cases =
+  List.concat_map
+    (fun task ->
+      List.map
+        (fun lang ->
+          Alcotest.test_case (Printf.sprintf "%s [%s]" task lang) `Quick
+            (fun () -> check_positive task (H.lang_parallel ~lang s task)))
+        PD.languages)
+    PD.parallel_tasks
+
+let lang_concurrent_cases =
+  List.concat_map
+    (fun task ->
+      List.map
+        (fun lang ->
+          Alcotest.test_case (Printf.sprintf "%s [%s]" task lang) `Quick
+            (fun () -> check_positive task (H.lang_concurrent ~lang s task)))
+        PD.languages)
+    PD.concurrent_tasks
+
+(* Multi-domain runs of a representative subset. *)
+let multidomain_cases =
+  [
+    Alcotest.test_case "scoop chain, 3 domains" `Quick (fun () ->
+      check_positive "chain"
+        (H.scoop_parallel ~config:Scoop.Config.all { s with H.domains = 3 } "chain"));
+    Alcotest.test_case "scoop prodcons, 3 domains" `Quick (fun () ->
+      check_positive "prodcons"
+        (H.scoop_concurrent ~config:Scoop.Config.all { s with H.domains = 3 }
+           "prodcons"));
+    Alcotest.test_case "erlang chain, 2 domains" `Quick (fun () ->
+      check_positive "chain"
+        (H.lang_parallel ~lang:"erlang" { s with H.domains = 2 } "chain"));
+    Alcotest.test_case "stm condition, 2 domains" `Quick (fun () ->
+      check_positive "condition"
+        (H.lang_concurrent ~lang:"haskell" { s with H.domains = 2 } "condition"));
+  ]
+
+(* EVE configurations execute correctly too. *)
+let eve_cases =
+  List.map
+    (fun config ->
+      Alcotest.test_case config.Scoop.Config.name `Quick (fun () ->
+        check_positive "thresh" (H.scoop_parallel ~config s "thresh");
+        check_positive "mutex" (H.scoop_concurrent ~config s "mutex")))
+    [ Scoop.Config.eve_base; Scoop.Config.eve_qs ]
+
+(* -- harness arithmetic --------------------------------------------------------- *)
+
+let test_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (B.geomean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "singleton" 3.0 (B.geomean [ 3.0 ])
+
+let test_median () =
+  Alcotest.(check (float 1e-9)) "odd" 2.0 (B.median [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "even upper" 3.0 (B.median [ 1.0; 2.0; 3.0; 4.0 ])
+
+let test_split_edges () =
+  Alcotest.(check (list (pair int int))) "n < parts" [ (0, 1); (1, 2) ] (B.split 2 5);
+  Alcotest.(check (list (pair int int))) "zero" [] (B.split 0 4);
+  Alcotest.(check (list (pair int int))) "exact" [ (0, 2); (2, 4) ] (B.split 4 2)
+
+let test_normalize_comm () =
+  let mk comm = { B.total = comm; compute = 0.0; comm } in
+  let per = [ ("a", mk 0.2); ("b", mk 0.1); ("c", mk 0.4) ] in
+  let norm = H.normalize_comm per in
+  Alcotest.(check (float 1e-6)) "best is 1" 1.0 (List.assoc "b" norm);
+  Alcotest.(check (float 1e-6)) "a is 2x" 2.0 (List.assoc "a" norm);
+  Alcotest.(check (float 1e-6)) "c is 4x" 4.0 (List.assoc "c" norm)
+
+let test_validate_helpers () =
+  B.validate_int "ok" ~expected:3 ~actual:3;
+  Alcotest.check_raises "mismatch raises"
+    (B.Validation_failed "x: expected 3, got 4") (fun () ->
+      B.validate_int "x" ~expected:3 ~actual:4);
+  B.validate_float "close" ~expected:1.0 ~actual:(1.0 +. 1e-9)
+
+let test_paper_data_complete () =
+  (* Every (task, config/lang) cell the report prints must exist. *)
+  List.iter
+    (fun (task, per) ->
+      Alcotest.(check int) task 5 (List.length per);
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) (task ^ "/" ^ c) true (List.mem_assoc c per))
+        PD.opt_configs)
+    PD.table1;
+  List.iter
+    (fun (task, per) ->
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) (task ^ "/" ^ l) true (List.mem_assoc l per))
+        PD.languages)
+    PD.table5;
+  (* Table 4 has total rows for every language and task. *)
+  List.iter
+    (fun task ->
+      List.iter
+        (fun lang ->
+          Alcotest.(check bool)
+            (task ^ "/" ^ lang)
+            true
+            (PD.table4_lookup ~task ~lang ~variant:`Total <> None))
+        PD.languages)
+    PD.parallel_tasks
+
+(* The paper's own headline claims hold in its reference data (sanity of
+   our transcription). *)
+let test_paper_claims () =
+  let geo = PD.section44_geomeans in
+  let speedup = List.assoc "none" geo /. List.assoc "all" geo in
+  Alcotest.(check bool) "~15x claim (§4.4)" true (speedup > 14.0 && speedup < 16.0);
+  (* SCOOP/Qs is the best-performing safe language overall (§5.4). *)
+  let overall = PD.overall_geomeans in
+  let qs = List.assoc "qs" overall in
+  Alcotest.(check bool) "qs beats haskell and erlang" true
+    (qs < List.assoc "haskell" overall && qs < List.assoc "erlang" overall)
+
+let () =
+  Alcotest.run "qs_benchmarks"
+    [
+      ("scoop parallel", scoop_parallel_cases);
+      ("scoop concurrent", scoop_concurrent_cases);
+      ("languages parallel", lang_parallel_cases);
+      ("languages concurrent", lang_concurrent_cases);
+      ("multi-domain", multidomain_cases);
+      ("eve", eve_cases);
+      ( "harness",
+        [
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "median" `Quick test_median;
+          Alcotest.test_case "split edges" `Quick test_split_edges;
+          Alcotest.test_case "normalize_comm" `Quick test_normalize_comm;
+          Alcotest.test_case "validate helpers" `Quick test_validate_helpers;
+          Alcotest.test_case "paper data complete" `Quick test_paper_data_complete;
+          Alcotest.test_case "paper claims" `Quick test_paper_claims;
+        ] );
+    ]

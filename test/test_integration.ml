@@ -1,0 +1,234 @@
+(* Cross-validation of the runtime against the executable semantics: the
+   same random program runs on both, and the order of actions the real
+   runtime executes on a handler must be one of the orders the exhaustive
+   semantics explorer admits.  This ties the implementation (lib/core) to
+   the model (lib/semantics) — the strongest form of "the runtime
+   implements Fig. 3" we can test.
+
+   Also: failure injection (a raising call must not take the processor
+   down) and example-level smoke runs. *)
+
+module R = Scoop.Runtime
+module Reg = Scoop.Registration
+module Sh = Scoop.Shared
+module S = Qs_sched.Sched
+module Sem = Qs_semantics
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A client program: a list of tagged operations on the single shared
+   handler. *)
+type op = Call of string | Query of string
+
+let ops_gen client =
+  let open QCheck2.Gen in
+  let fresh =
+    let c = ref 0 in
+    fun kind ->
+      incr c;
+      Printf.sprintf "%s%d_%d" kind client !c
+  in
+  list_size (int_range 1 4)
+    (oneof
+       [
+         map (fun () -> Call (fresh "c")) unit;
+         map (fun () -> Query (fresh "q")) unit;
+       ])
+
+let program_gen = QCheck2.Gen.(pair (ops_gen 1) (ops_gen 2))
+
+let print_program (a, b) =
+  let s ops =
+    String.concat ";"
+      (List.map (function Call t -> t | Query t -> "?" ^ t) ops)
+  in
+  Printf.sprintf "client1=[%s] client2=[%s]" (s a) (s b)
+
+(* The semantics side: explore all orders of actions executed on x. *)
+let semantic_orders mode (ops1, ops2) =
+  let x = 10 in
+  let block ops =
+    Sem.Syntax.Separate
+      ( [ x ],
+        Sem.Syntax.seq
+          (List.map
+             (function
+               | Call tag -> Sem.Syntax.Call (x, tag)
+               | Query tag -> Sem.Syntax.Query (x, tag))
+             ops) )
+  in
+  let init = Sem.State.init [ (1, block ops1); (2, block ops2) ] in
+  let traces, truncated =
+    Sem.Explore.observable_traces ~max_runs:200_000 mode init
+      ~filter:(Sem.Explore.on_handler x)
+  in
+  (traces, truncated)
+
+(* The runtime side: execute the same program and observe the actual
+   order of actions on the handler. *)
+let runtime_order config (ops1, ops2) =
+  R.run ~domains:2 ~config (fun rt ->
+    let h = R.processor rt in
+    let log = Sh.create h (ref []) in
+    let latch = Qs_sched.Latch.create 2 in
+    let client ops =
+      S.spawn (fun () ->
+        R.separate rt h (fun reg ->
+          List.iter
+            (function
+              | Call tag -> Sh.apply reg log (fun l -> l := tag :: !l)
+              | Query tag ->
+                (* The query's observable effect on x: record its tag
+                   while the handler is synced w.r.t. this client. *)
+                Sh.get reg log (fun l -> l := tag :: !l))
+            ops);
+        Qs_sched.Latch.count_down latch)
+    in
+    client ops1;
+    client ops2;
+    Qs_sched.Latch.wait latch;
+    R.separate rt h (fun reg -> Sh.get reg log (fun l -> List.rev !l)))
+
+let mode_of_config config =
+  if not config.Scoop.Config.qoq then Sem.Step.original
+  else if config.Scoop.Config.client_query then Sem.Step.qs_client_exec
+  else Sem.Step.qs
+
+let prop_runtime_within_semantics config =
+  QCheck2.Test.make ~count:25
+    ~name:
+      (Printf.sprintf "runtime orders are semantically admissible [%s]"
+         config.Scoop.Config.name)
+    ~print:print_program program_gen
+    (fun program ->
+      let traces, truncated = semantic_orders (mode_of_config config) program in
+      let observed = runtime_order config program in
+      (* If exploration was truncated we cannot decide membership; the
+         generator keeps programs small enough that it never is. *)
+      QCheck2.assume (not truncated);
+      List.mem observed traces)
+
+(* Repeat each runtime execution several times to catch different real
+   interleavings. *)
+let prop_runtime_within_semantics_repeated config =
+  QCheck2.Test.make ~count:8
+    ~name:
+      (Printf.sprintf "repeated runs stay admissible [%s]"
+         config.Scoop.Config.name)
+    ~print:print_program program_gen
+    (fun program ->
+      let traces, truncated = semantic_orders (mode_of_config config) program in
+      QCheck2.assume (not truncated);
+      List.for_all
+        (fun _ -> List.mem (runtime_order config program) traces)
+        (List.init 5 Fun.id))
+
+(* -- failure injection ----------------------------------------------------------- *)
+
+let test_raising_call_does_not_kill_processor () =
+  R.run (fun rt ->
+    let h = R.processor rt in
+    let cell = Sh.create h (ref 0) in
+    R.separate rt h (fun reg ->
+      Reg.call reg (fun () -> failwith "injected fault");
+      Sh.apply reg cell incr;
+      (* The processor must survive the fault and keep serving. *)
+      check_int "subsequent calls execute" 1 (Sh.get reg cell (fun r -> !r)));
+    (* And later registrations work too. *)
+    R.separate rt h (fun reg ->
+      Sh.apply reg cell incr;
+      check_int "next registration fine" 2 (Sh.get reg cell (fun r -> !r))))
+
+let test_raising_call_other_clients_unaffected () =
+  R.run ~domains:2 (fun rt ->
+    let h = R.processor rt in
+    let cell = Sh.create h (ref 0) in
+    let latch = Qs_sched.Latch.create 4 in
+    for i = 0 to 3 do
+      S.spawn (fun () ->
+        for _ = 1 to 25 do
+          R.separate rt h (fun reg ->
+            if i = 0 then Reg.call reg (fun () -> failwith "chaos");
+            Sh.apply reg cell incr)
+        done;
+        Qs_sched.Latch.count_down latch)
+    done;
+    Qs_sched.Latch.wait latch;
+    let total = R.separate rt h (fun reg -> Sh.get reg cell (fun r -> !r)) in
+    check_int "all increments survive the chaos client" 100 total)
+
+(* -- scheduler counters ------------------------------------------------------------ *)
+
+let test_counters_reported () =
+  let captured = ref None in
+  S.run ~on_counters:(fun c -> captured := Some c) (fun () ->
+    let l = Qs_sched.Latch.create 10 in
+    for _ = 1 to 10 do
+      S.spawn (fun () -> Qs_sched.Latch.count_down l)
+    done;
+    Qs_sched.Latch.wait l);
+  match !captured with
+  | Some c ->
+    check_bool "dispatches counted" true (c.S.c_executed >= 10);
+    check_bool "non-negative" true (c.S.c_handoffs >= 0 && c.S.c_parks >= 0)
+  | None -> Alcotest.fail "on_counters not invoked"
+
+let test_qoq_fewer_dispatches_than_lock () =
+  (* The §4.3 claim, as a test: with contending clients, a query round
+     costs strictly fewer fiber dispatches under the queue-of-queues
+     runtime (reserve without blocking, one switch per query) than under
+     the lock-based one (wait for the handler lock as well). *)
+  let dispatches config =
+    let captured = ref 0 in
+    R.run ~config
+      ~on_counters:(fun c -> captured := c.S.c_executed)
+      (fun rt ->
+        let h = R.processor rt in
+        let cell = Sh.create h (ref 0) in
+        let clients = 6 and rounds = 100 in
+        let latch = Qs_sched.Latch.create clients in
+        for _ = 1 to clients do
+          S.spawn (fun () ->
+            for _ = 1 to rounds do
+              R.separate rt h (fun reg ->
+                Sh.apply reg cell incr;
+                ignore (Sh.get reg cell (fun r -> !r) : int))
+            done;
+            Qs_sched.Latch.count_down latch)
+        done;
+        Qs_sched.Latch.wait latch);
+    !captured
+  in
+  let lock_based = dispatches Scoop.Config.none in
+  let qoq = dispatches Scoop.Config.all in
+  check_bool
+    (Printf.sprintf "qoq (%d) < lock-based (%d)" qoq lock_based)
+    true (qoq < lock_based)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "integration"
+    [
+      ( "runtime vs semantics",
+        List.map
+          (fun c -> qc (prop_runtime_within_semantics c))
+          Scoop.Config.presets
+        @ [
+            qc (prop_runtime_within_semantics_repeated Scoop.Config.all);
+            qc (prop_runtime_within_semantics_repeated Scoop.Config.none);
+          ] );
+      ( "failure injection",
+        [
+          Alcotest.test_case "raising call: processor survives" `Quick
+            test_raising_call_does_not_kill_processor;
+          Alcotest.test_case "raising call: others unaffected" `Quick
+            test_raising_call_other_clients_unaffected;
+        ] );
+      ( "scheduler counters",
+        [
+          Alcotest.test_case "reported" `Quick test_counters_reported;
+          Alcotest.test_case "qoq needs fewer dispatches (§4.3)" `Quick
+            test_qoq_fewer_dispatches_than_lock;
+        ] );
+    ]

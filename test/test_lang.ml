@@ -1,0 +1,390 @@
+(* Tests for the Quicksilver-mini surface language: lexing, parsing,
+   static checking (the separate-block discipline), compilation to the
+   runtime, naive code generation + the static pass, and export to the
+   semantics explorer. *)
+
+module L = Qs_lang.Lang
+module Ast = Qs_lang.Ast
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let parse = L.parse
+
+let run ?config src = L.Compile.run ?config (parse src)
+
+let final src handler var =
+  let out = run src in
+  List.assoc var (List.assoc handler out.Qs_lang.Compile.finals)
+
+(* -- parsing ------------------------------------------------------------------ *)
+
+let test_parse_roundtrip () =
+  let src =
+    "handler h { var x = 1; var y = 2; } client c { separate h { let a = \
+     h.x; h.y := a + 3; } }"
+  in
+  let p = parse src in
+  check_int "one handler" 1 (List.length p.Ast.handlers);
+  check_int "two vars" 2 (List.length (List.hd p.Ast.handlers).Ast.h_vars);
+  check_int "one client" 1 (List.length p.Ast.clients);
+  (* Pretty-print and re-parse: fixed point. *)
+  let printed = Format.asprintf "%a" Ast.pp_program p in
+  let p2 = parse printed in
+  check_bool "roundtrip" true (p = p2)
+
+let test_parse_comments_and_negatives () =
+  let p =
+    parse
+      "// a comment\nhandler h { var x = -5; }\nclient c { local v = 0 - 3; \
+       print v; }"
+  in
+  check_bool "negative initial" true
+    ((List.hd p.Ast.handlers).Ast.h_vars = [ ("x", -5) ])
+
+let test_parse_if_else_and_relops () =
+  let p =
+    parse
+      "handler h { var x = 0; } client c { local v = 1; if v >= 1 { h := 2; } \
+       else { v := 3; } }"
+  in
+  ignore p
+
+let test_parse_error_reports_line () =
+  match parse "handler h {\n var x = ; }" with
+  | exception Qs_lang.Parser.Parse_error { line; _ } -> check_int "line" 2 line
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_lex_error () =
+  match parse "handler h { var x = 1; } client c { # }" with
+  | exception Qs_lang.Lexer.Lex_error { message; _ } ->
+    check_bool "has a message" true (String.length message > 0)
+  | _ -> Alcotest.fail "expected lex error"
+
+(* -- static checks -------------------------------------------------------------- *)
+
+let contains message fragment =
+  let n = String.length fragment and m = String.length message in
+  let rec go i =
+    i + n <= m && (String.sub message i n = fragment || go (i + 1))
+  in
+  go 0
+
+let rejects src fragment =
+  match L.Compile.run (parse src) with
+  | exception Qs_lang.Check.Check_error { message; _ } ->
+    check_bool
+      (Printf.sprintf "mentions %S in %S" fragment message)
+      true
+      (contains message fragment)
+  | _ -> Alcotest.failf "expected a check error for %s" src
+
+let test_check_unreserved_write () =
+  rejects "handler h { var x = 0; } client c { h.x := 1; }" "outside a separate"
+
+let test_check_unreserved_read () =
+  rejects "handler h { var x = 0; } client c { let v = h.x; }"
+    "outside a separate"
+
+let test_check_unknown_handler () =
+  rejects "handler h { var x = 0; } client c { separate g { } }" "unknown handler"
+
+let test_check_unknown_var () =
+  rejects "handler h { var x = 0; } client c { separate h { h.y := 1; } }"
+    "no variable"
+
+let test_check_unbound_local () =
+  rejects "handler h { var x = 0; } client c { print v; }" "unbound local"
+
+let test_check_rereservation () =
+  rejects
+    "handler h { var x = 0; } client c { separate h { separate h { } } }"
+    "already reserved"
+
+let test_check_wrong_scope_after_block () =
+  rejects
+    "handler h { var x = 0; } client c { separate h { } h.x := 1; }"
+    "outside a separate"
+
+(* -- compilation ------------------------------------------------------------------ *)
+
+let test_run_sequential_client () =
+  check_int "increments accumulate" 15
+    (final
+       "handler h { var x = 0; } client c { repeat 15 { separate h { let v = \
+        h.x; h.x := v + 1; } } }"
+       "h" "x")
+
+let test_run_two_clients_race_free () =
+  (* Each round reads and writes inside one registration, so increments
+     cannot be lost. *)
+  check_int "no lost updates" 40
+    (final
+       "handler h { var x = 0; } client a { repeat 20 { separate h { let v = \
+        h.x; h.x := v + 1; } } } client b { repeat 20 { separate h { let v = \
+        h.x; h.x := v + 1; } } }"
+       "h" "x")
+
+let test_run_multi_reservation_invariant () =
+  let out =
+    run
+      "handler a { var x = 50; } handler b { var x = 50; } client mover { \
+       repeat 10 { separate a, b { let va = a.x; let vb = b.x; a.x := va - \
+       1; b.x := vb + 1; } } }"
+  in
+  let va = List.assoc "x" (List.assoc "a" out.Qs_lang.Compile.finals) in
+  let vb = List.assoc "x" (List.assoc "b" out.Qs_lang.Compile.finals) in
+  check_int "a drained" 40 va;
+  check_int "b filled" 60 vb
+
+let test_run_if_print () =
+  let out =
+    run
+      "handler h { var x = 9; } client c { separate h { let v = h.x; if v > \
+       5 { print v * 2; } else { print 0; } } }"
+  in
+  check_bool "printed 18" true (out.Qs_lang.Compile.printed = [ 18 ])
+
+let test_run_under_every_config () =
+  List.iter
+    (fun config ->
+      check_int config.Scoop.Config.name 10
+        ((L.Compile.run ~config
+            (parse
+               "handler h { var x = 0; } client c { repeat 10 { separate h { \
+                let v = h.x; h.x := v + 1; } } }"))
+           .Qs_lang.Compile.finals
+        |> List.assoc "h" |> List.assoc "x"))
+    Scoop.Config.presets
+
+(* -- wait conditions ------------------------------------------------------------------ *)
+
+let optimize_counts src =
+  match L.Codegen.optimize (parse src) with
+  | [ r ] -> (r.L.Codegen.emitted_syncs, r.L.Codegen.removed_syncs)
+  | rs -> Alcotest.failf "expected one client, got %d" (List.length rs)
+
+let test_when_producer_consumer () =
+  let out =
+    L.Compile.run ~domains:2
+      (parse
+         "handler b { var count = 0; var seen = 0; } client p { repeat 20 { \
+          separate b when b.count < 3 { let c = b.count; b.count := c + 1; } \
+          } } client q { repeat 20 { separate b when b.count > 0 { let c = \
+          b.count; let s = b.seen; b.count := c - 1; b.seen := s + 1; } } }")
+  in
+  let vars = List.assoc "b" out.Qs_lang.Compile.finals in
+  check_int "drained" 0 (List.assoc "count" vars);
+  check_int "every item seen" 20 (List.assoc "seen" vars)
+
+let test_when_condition_holds_at_body () =
+  (* The condition and the body share one registration, so the stock can
+     never go negative even with competing takers. *)
+  let out =
+    L.Compile.run ~domains:2
+      (parse
+         "handler s { var stock = 30; var neg = 0; } client a { repeat 15 { \
+          separate s when s.stock > 0 { let v = s.stock; s.stock := v - 1; \
+          if v < 1 { s.neg := 1; } } } } client b { repeat 15 { separate s \
+          when s.stock > 0 { let v = s.stock; s.stock := v - 1; if v < 1 { \
+          s.neg := 1; } } } }")
+  in
+  let vars = List.assoc "s" out.Qs_lang.Compile.finals in
+  check_int "stock exactly drained" 0 (List.assoc "stock" vars);
+  check_int "never negative" 0 (List.assoc "neg" vars)
+
+let test_when_read_outside_clause_rejected () =
+  rejects
+    "handler h { var x = 0; } client c { separate h { local v = h.x + 1; } }"
+    "only allowed in the when-clause"
+
+let test_when_read_of_unreserved_rejected () =
+  rejects
+    "handler h { var x = 0; } handler g { var y = 0; } client c { separate \
+     h when g.y > 0 { } }"
+    "only allowed in the when-clause"
+
+let test_when_pretty_roundtrip () =
+  let src =
+    "handler h { var x = 0; } client c { separate h when h.x == 0 { h.x := \
+     1; } }"
+  in
+  let p = parse src in
+  let printed = Format.asprintf "%a" Ast.pp_program p in
+  check_bool "roundtrip" true (parse printed = p)
+
+let test_when_codegen_has_retry_loop () =
+  (* The lowered wait condition forms a loop whose attempt block re-syncs,
+     so the pass must keep that sync (each retry re-reserves). *)
+  let emitted, removed =
+    optimize_counts
+      "handler h { var x = 0; } client c { separate h when h.x > 0 { let v \
+       = h.x; } }"
+  in
+  check_int "emitted (when + body)" 2 emitted;
+  (* The body read's sync IS removable: the successful attempt reaches the
+     body with h synced and nothing intervening. *)
+  check_int "body sync removed" 1 removed
+
+(* -- codegen + static pass ---------------------------------------------------------- *)
+
+let test_codegen_pull_loop () =
+  (* The surface-level Fig. 14: reads in a loop; only the first sync
+     survives. *)
+  let emitted, removed =
+    optimize_counts
+      "handler s { var cell = 7; } client r { separate s { let first = \
+       s.cell; repeat 6 { let v = s.cell; } let last = s.cell; } }"
+  in
+  check_int "emitted" 3 emitted;
+  check_int "removed" 2 removed
+
+let test_codegen_async_invalidates () =
+  (* A write between two reads forces the second sync to stay. *)
+  let emitted, removed =
+    optimize_counts
+      "handler s { var cell = 0; } client r { separate s { let a = s.cell; \
+       s.cell := a + 1; let b = s.cell; } }"
+  in
+  check_int "emitted" 2 emitted;
+  check_int "removed" 0 removed
+
+let test_codegen_consecutive_reads_coalesce () =
+  let emitted, removed =
+    optimize_counts
+      "handler s { var cell = 0; } client r { separate s { let a = s.cell; \
+       let b = s.cell; let c = s.cell; } }"
+  in
+  check_int "emitted" 3 emitted;
+  check_int "removed" 2 removed
+
+let test_codegen_block_end_invalidates () =
+  (* The END marker at block exit is an async: a read in a later block
+     must re-sync. *)
+  let emitted, removed =
+    optimize_counts
+      "handler s { var cell = 0; } client r { separate s { let a = s.cell; } \
+       separate s { let b = s.cell; } }"
+  in
+  check_int "emitted" 2 emitted;
+  check_int "removed" 0 removed
+
+(* -- semantics export ---------------------------------------------------------------- *)
+
+let test_semantics_export_no_deadlock () =
+  let stats =
+    L.To_semantics.explore
+      (parse
+         "handler a { var x = 0; } handler b { var x = 0; } client c1 { \
+          separate a { a.x := 1; } separate b { b.x := 1; } } client c2 { \
+          separate b { b.x := 2; } separate a { a.x := 2; } }")
+  in
+  check_int "no deadlocks" 0 (List.length stats.Qs_semantics.Explore.deadlocks);
+  check_bool "explored" true (stats.Qs_semantics.Explore.states > 10)
+
+let test_semantics_export_rejects_if () =
+  match
+    L.To_semantics.translate
+      (parse
+         "handler h { var x = 0; } client c { local v = 1; if v > 0 { } }")
+  with
+  | exception L.To_semantics.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported"
+
+let test_semantics_guarantee_on_surface_program () =
+  let init =
+    L.To_semantics.translate
+      (parse
+         "handler h { var x = 0; } client c1 { separate h { h.x := 1; let v \
+          = h.x; h.x := 2; } } client c2 { separate h { h.x := 3; let w = \
+          h.x; } }")
+  in
+  let violation, runs, _ =
+    Qs_semantics.Guarantees.check_program Qs_semantics.Step.qs_client_exec init
+  in
+  check_bool "guarantee 2 holds" true (violation = None);
+  check_bool "explored runs" true (runs > 10)
+
+(* -- property: the language's counter programs are exact ------------------------------ *)
+
+let prop_counter_exact =
+  QCheck2.Test.make ~count:20 ~name:"n clients x k increments are exact"
+    QCheck2.Gen.(pair (int_range 1 4) (int_range 1 10))
+    (fun (clients, k) ->
+      let client i =
+        Printf.sprintf
+          "client c%d { repeat %d { separate h { let v = h.x; h.x := v + 1; } } }"
+          i k
+      in
+      let src =
+        "handler h { var x = 0; }\n"
+        ^ String.concat "\n" (List.init clients client)
+      in
+      let out = L.Compile.run ~domains:2 (parse src) in
+      List.assoc "x" (List.assoc "h" out.Qs_lang.Compile.finals) = clients * k)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "qs_lang"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "comments, negatives" `Quick
+            test_parse_comments_and_negatives;
+          Alcotest.test_case "if/else, relops" `Quick test_parse_if_else_and_relops;
+          Alcotest.test_case "error line" `Quick test_parse_error_reports_line;
+          Alcotest.test_case "lex error" `Quick test_lex_error;
+        ] );
+      ( "checking",
+        [
+          Alcotest.test_case "unreserved write" `Quick test_check_unreserved_write;
+          Alcotest.test_case "unreserved read" `Quick test_check_unreserved_read;
+          Alcotest.test_case "unknown handler" `Quick test_check_unknown_handler;
+          Alcotest.test_case "unknown var" `Quick test_check_unknown_var;
+          Alcotest.test_case "unbound local" `Quick test_check_unbound_local;
+          Alcotest.test_case "re-reservation" `Quick test_check_rereservation;
+          Alcotest.test_case "scope ends with block" `Quick
+            test_check_wrong_scope_after_block;
+        ] );
+      ( "compilation",
+        [
+          Alcotest.test_case "sequential client" `Quick test_run_sequential_client;
+          Alcotest.test_case "two clients, race free" `Quick
+            test_run_two_clients_race_free;
+          Alcotest.test_case "multi-reservation invariant" `Quick
+            test_run_multi_reservation_invariant;
+          Alcotest.test_case "if/print" `Quick test_run_if_print;
+          Alcotest.test_case "every config" `Quick test_run_under_every_config;
+        ] );
+      ( "wait conditions",
+        [
+          Alcotest.test_case "producer/consumer" `Quick test_when_producer_consumer;
+          Alcotest.test_case "condition holds at body" `Quick
+            test_when_condition_holds_at_body;
+          Alcotest.test_case "read outside clause" `Quick
+            test_when_read_outside_clause_rejected;
+          Alcotest.test_case "read of unreserved" `Quick
+            test_when_read_of_unreserved_rejected;
+          Alcotest.test_case "pretty roundtrip" `Quick test_when_pretty_roundtrip;
+          Alcotest.test_case "codegen retry loop" `Quick
+            test_when_codegen_has_retry_loop;
+        ] );
+      ( "codegen",
+        [
+          Alcotest.test_case "pull loop (Fig. 14)" `Quick test_codegen_pull_loop;
+          Alcotest.test_case "async invalidates" `Quick test_codegen_async_invalidates;
+          Alcotest.test_case "consecutive reads" `Quick
+            test_codegen_consecutive_reads_coalesce;
+          Alcotest.test_case "block end invalidates" `Quick
+            test_codegen_block_end_invalidates;
+        ] );
+      ( "semantics export",
+        [
+          Alcotest.test_case "explore" `Quick test_semantics_export_no_deadlock;
+          Alcotest.test_case "rejects if" `Quick test_semantics_export_rejects_if;
+          Alcotest.test_case "guarantee on surface program" `Quick
+            test_semantics_guarantee_on_surface_program;
+        ] );
+      ("properties", [ qc prop_counter_exact ]);
+    ]

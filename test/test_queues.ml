@@ -1,0 +1,404 @@
+(* Unit and property tests for the lock-free building blocks.
+
+   Concurrency tests run real domains; on any machine they exercise the
+   atomics under OS preemption.  Property tests check the sequential
+   FIFO/LIFO semantics against a reference model. *)
+
+module Q = Qs_queues
+
+let check_list = Alcotest.(check (list int))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -- sequential semantics -------------------------------------------------- *)
+
+let drain pop =
+  let rec go acc = match pop () with Some v -> go (v :: acc) | None -> List.rev acc in
+  go []
+
+let test_spsc_fifo () =
+  let q = Q.Spsc_queue.create () in
+  check_bool "empty" true (Q.Spsc_queue.is_empty q);
+  for i = 1 to 100 do
+    Q.Spsc_queue.push q i
+  done;
+  check_int "length" 100 (Q.Spsc_queue.length q);
+  check_list "fifo" (List.init 100 (fun i -> i + 1))
+    (drain (fun () -> Q.Spsc_queue.pop q));
+  check_bool "drained" true (Q.Spsc_queue.is_empty q)
+
+let test_spsc_peek () =
+  let q = Q.Spsc_queue.create () in
+  Alcotest.(check (option int)) "peek empty" None (Q.Spsc_queue.peek q);
+  Q.Spsc_queue.push q 7;
+  Alcotest.(check (option int)) "peek" (Some 7) (Q.Spsc_queue.peek q);
+  Alcotest.(check (option int)) "pop" (Some 7) (Q.Spsc_queue.pop q);
+  Alcotest.(check (option int)) "empty again" None (Q.Spsc_queue.pop q)
+
+let test_mpsc_fifo () =
+  let q = Q.Mpsc_queue.create () in
+  check_bool "empty" true (Q.Mpsc_queue.is_empty q);
+  for i = 1 to 100 do
+    Q.Mpsc_queue.push q i
+  done;
+  check_list "fifo" (List.init 100 (fun i -> i + 1))
+    (drain (fun () -> Q.Mpsc_queue.pop q))
+
+let test_mpmc_fifo () =
+  let q = Q.Mpmc_queue.create () in
+  for i = 1 to 100 do
+    Q.Mpmc_queue.push q i
+  done;
+  check_list "fifo" (List.init 100 (fun i -> i + 1))
+    (drain (fun () -> Q.Mpmc_queue.pop q))
+
+let test_treiber_lifo () =
+  let s = Q.Treiber_stack.create () in
+  for i = 1 to 50 do
+    Q.Treiber_stack.push s i
+  done;
+  check_int "length" 50 (Q.Treiber_stack.length s);
+  check_list "lifo" (List.init 50 (fun i -> 50 - i))
+    (drain (fun () -> Q.Treiber_stack.pop s))
+
+let test_ws_deque_owner () =
+  let d = Q.Ws_deque.create ~capacity:4 () in
+  for i = 1 to 100 do
+    Q.Ws_deque.push d i
+  done;
+  (* grows past the initial capacity *)
+  check_int "size" 100 (Q.Ws_deque.size d);
+  check_list "owner lifo" (List.init 100 (fun i -> 100 - i))
+    (drain (fun () -> Q.Ws_deque.pop d))
+
+let test_ws_deque_steal_order () =
+  let d = Q.Ws_deque.create () in
+  List.iter (Q.Ws_deque.push d) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "steals oldest" (Some 1) (Q.Ws_deque.steal d);
+  Alcotest.(check (option int)) "owner newest" (Some 3) (Q.Ws_deque.pop d);
+  Alcotest.(check (option int)) "remaining" (Some 2) (Q.Ws_deque.pop d);
+  Alcotest.(check (option int)) "empty owner" None (Q.Ws_deque.pop d);
+  Alcotest.(check (option int)) "empty thief" None (Q.Ws_deque.steal d)
+
+let test_spinlock () =
+  let l = Q.Spinlock.create () in
+  check_bool "initially free" false (Q.Spinlock.is_locked l);
+  Q.Spinlock.acquire l;
+  check_bool "held" true (Q.Spinlock.is_locked l);
+  check_bool "try fails" false (Q.Spinlock.try_acquire l);
+  Q.Spinlock.release l;
+  check_bool "try succeeds" true (Q.Spinlock.try_acquire l);
+  Q.Spinlock.release l;
+  let v = Q.Spinlock.with_lock l (fun () -> 42) in
+  check_int "with_lock result" 42 v;
+  check_bool "released after with_lock" false (Q.Spinlock.is_locked l);
+  (try Q.Spinlock.with_lock l (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check_bool "released after exception" false (Q.Spinlock.is_locked l)
+
+(* -- model-based property tests -------------------------------------------- *)
+
+type op = Push of int | Pop
+
+let op_gen =
+  QCheck2.Gen.(
+    oneof [ map (fun i -> Push i) small_int; return Pop ])
+
+let print_ops ops =
+  String.concat ";"
+    (List.map (function Push i -> Printf.sprintf "push %d" i | Pop -> "pop") ops)
+
+let model_fifo ops =
+  let q = Queue.create () in
+  List.filter_map
+    (function
+      | Push v ->
+        Queue.push v q;
+        None
+      | Pop -> Some (Queue.take_opt q))
+    ops
+
+let model_lifo ops =
+  let s = ref [] in
+  List.filter_map
+    (function
+      | Push v ->
+        s := v :: !s;
+        None
+      | Pop -> (
+        match !s with
+        | [] -> Some None
+        | v :: rest ->
+          s := rest;
+          Some (Some v)))
+    ops
+
+let fifo_agrees name create push pop =
+  QCheck2.Test.make ~count:300 ~name
+    ~print:print_ops
+    QCheck2.Gen.(list_size (int_bound 40) op_gen)
+    (fun ops ->
+      let q = create () in
+      let actual =
+        List.filter_map
+          (function
+            | Push v ->
+              push q v;
+              None
+            | Pop -> Some (pop q))
+          ops
+      in
+      actual = model_fifo ops)
+
+let prop_spsc =
+  fifo_agrees "spsc agrees with FIFO model" Q.Spsc_queue.create
+    Q.Spsc_queue.push Q.Spsc_queue.pop
+
+let prop_mpsc =
+  fifo_agrees "mpsc agrees with FIFO model" Q.Mpsc_queue.create
+    Q.Mpsc_queue.push Q.Mpsc_queue.pop
+
+let prop_mpmc =
+  fifo_agrees "mpmc agrees with FIFO model" Q.Mpmc_queue.create
+    Q.Mpmc_queue.push Q.Mpmc_queue.pop
+
+let prop_treiber =
+  QCheck2.Test.make ~count:300 ~name:"treiber agrees with LIFO model"
+    ~print:print_ops
+    QCheck2.Gen.(list_size (int_bound 40) op_gen)
+    (fun ops ->
+      let s = Q.Treiber_stack.create () in
+      let actual =
+        List.filter_map
+          (function
+            | Push v ->
+              Q.Treiber_stack.push s v;
+              None
+            | Pop -> Some (Q.Treiber_stack.pop s))
+          ops
+      in
+      actual = model_lifo ops)
+
+(* -- cross-domain stress ---------------------------------------------------- *)
+
+let sum_to n = n * (n + 1) / 2
+
+let test_mpsc_producers () =
+  let q = Q.Mpsc_queue.create () in
+  let producers = 4 and per = 2_000 in
+  let domains =
+    List.init producers (fun p ->
+      Domain.spawn (fun () ->
+        for i = 1 to per do
+          Q.Mpsc_queue.push q ((p * per) + i)
+        done))
+  in
+  let seen = ref 0 and sum = ref 0 in
+  while !seen < producers * per do
+    match Q.Mpsc_queue.pop q with
+    | Some v ->
+      incr seen;
+      sum := !sum + v
+    | None -> Domain.cpu_relax ()
+  done;
+  List.iter Domain.join domains;
+  check_int "all received" (sum_to (producers * per)) !sum
+
+let test_mpmc_stress () =
+  let q = Q.Mpmc_queue.create () in
+  let producers = 3 and consumers = 3 and per = 2_000 in
+  let total = producers * per in
+  let consumed = Atomic.make 0 and sum = Atomic.make 0 in
+  let ps =
+    List.init producers (fun p ->
+      Domain.spawn (fun () ->
+        for i = 1 to per do
+          Q.Mpmc_queue.push q ((p * per) + i)
+        done))
+  in
+  let cs =
+    List.init consumers (fun _ ->
+      Domain.spawn (fun () ->
+        let continue_ = ref true in
+        while !continue_ do
+          match Q.Mpmc_queue.pop q with
+          | Some v ->
+            ignore (Atomic.fetch_and_add sum v : int);
+            if Atomic.fetch_and_add consumed 1 + 1 >= total then
+              continue_ := false
+          | None ->
+            if Atomic.get consumed >= total then continue_ := false
+            else Domain.cpu_relax ()
+        done))
+  in
+  List.iter Domain.join ps;
+  List.iter Domain.join cs;
+  check_int "sum preserved" (sum_to total) (Atomic.get sum)
+
+let test_spsc_parallel () =
+  let q = Q.Spsc_queue.create () in
+  let n = 50_000 in
+  let producer =
+    Domain.spawn (fun () ->
+      for i = 1 to n do
+        Q.Spsc_queue.push q i
+      done)
+  in
+  let sum = ref 0 and seen = ref 0 in
+  while !seen < n do
+    match Q.Spsc_queue.pop q with
+    | Some v ->
+      (* FIFO means values arrive in exactly increasing order. *)
+      assert (v = !seen + 1);
+      incr seen;
+      sum := !sum + v
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  check_int "ordered sum" (sum_to n) !sum
+
+let test_ws_deque_thieves () =
+  let d = Q.Ws_deque.create () in
+  let n = 20_000 in
+  let stolen = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let thieves =
+    List.init 2 (fun _ ->
+      Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          match Q.Ws_deque.steal d with
+          | Some v -> ignore (Atomic.fetch_and_add stolen v : int)
+          | None -> Domain.cpu_relax ()
+        done))
+  in
+  (* Owner: push everything while the thieves raid, then drain the rest. *)
+  let own = ref 0 in
+  for i = 1 to n do
+    Q.Ws_deque.push d i
+  done;
+  let rec drain () =
+    match Q.Ws_deque.pop d with
+    | Some v ->
+      own := !own + v;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  List.iter Domain.join thieves;
+  (* A steal may still be completing when the owner sees empty; drain the
+     remainder after the thieves stopped. *)
+  drain ();
+  check_int "every element taken exactly once" (sum_to n)
+    (!own + Atomic.get stolen)
+
+let test_ring_basic () =
+  let r = Q.Spsc_ring.create ~capacity_pow2:2 () in
+  check_int "capacity" 4 (Q.Spsc_ring.capacity r);
+  check_bool "empty" true (Q.Spsc_ring.is_empty r);
+  for i = 1 to 4 do
+    check_bool "push" true (Q.Spsc_ring.try_push r i)
+  done;
+  check_bool "full" false (Q.Spsc_ring.try_push r 5);
+  check_int "length" 4 (Q.Spsc_ring.length r);
+  check_list "fifo" [ 1; 2; 3; 4 ] (drain (fun () -> Q.Spsc_ring.pop r));
+  (* wraps around *)
+  for i = 5 to 7 do
+    check_bool "push after wrap" true (Q.Spsc_ring.try_push r i)
+  done;
+  check_list "wrapped fifo" [ 5; 6; 7 ] (drain (fun () -> Q.Spsc_ring.pop r))
+
+let test_ring_capacity_validation () =
+  Alcotest.check_raises "zero"
+    (Invalid_argument "Spsc_ring.create: capacity_pow2 out of range")
+    (fun () -> ignore (Q.Spsc_ring.create ~capacity_pow2:0 () : int Q.Spsc_ring.t))
+
+let test_ring_parallel () =
+  let r = Q.Spsc_ring.create ~capacity_pow2:4 () in
+  let n = 5_000 in
+  let producer =
+    Domain.spawn (fun () ->
+      let backoff = Q.Backoff.create () in
+      for i = 1 to n do
+        while not (Q.Spsc_ring.try_push r i) do
+          Q.Backoff.once backoff
+        done;
+        Q.Backoff.reset backoff
+      done)
+  in
+  let seen = ref 0 and sum = ref 0 in
+  while !seen < n do
+    match Q.Spsc_ring.pop r with
+    | Some v ->
+      assert (v = !seen + 1);
+      incr seen;
+      sum := !sum + v
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  check_int "ordered sum through bounded ring" (sum_to n) !sum
+
+let prop_ring_model =
+  QCheck2.Test.make ~count:300 ~name:"ring agrees with bounded FIFO model"
+    ~print:print_ops
+    QCheck2.Gen.(list_size (int_bound 40) op_gen)
+    (fun ops ->
+      let r = Q.Spsc_ring.create ~capacity_pow2:2 () in
+      let model = Queue.create () in
+      List.for_all
+        (function
+          | Push v ->
+            let accepted = Q.Spsc_ring.try_push r v in
+            let model_accepts = Queue.length model < 4 in
+            if model_accepts then Queue.push v model;
+            accepted = model_accepts
+          | Pop -> Q.Spsc_ring.pop r = Queue.take_opt model)
+        ops)
+
+let test_spinlock_mutual_exclusion () =
+  let l = Q.Spinlock.create () in
+  let counter = ref 0 in
+  let n = 4 and per = 10_000 in
+  let ds =
+    List.init n (fun _ ->
+      Domain.spawn (fun () ->
+        for _ = 1 to per do
+          Q.Spinlock.acquire l;
+          counter := !counter + 1;
+          Q.Spinlock.release l
+        done))
+  in
+  List.iter Domain.join ds;
+  check_int "no lost updates" (n * per) !counter
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "qs_queues"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "spsc fifo" `Quick test_spsc_fifo;
+          Alcotest.test_case "spsc peek" `Quick test_spsc_peek;
+          Alcotest.test_case "mpsc fifo" `Quick test_mpsc_fifo;
+          Alcotest.test_case "mpmc fifo" `Quick test_mpmc_fifo;
+          Alcotest.test_case "treiber lifo" `Quick test_treiber_lifo;
+          Alcotest.test_case "ws_deque owner" `Quick test_ws_deque_owner;
+          Alcotest.test_case "ws_deque steal order" `Quick test_ws_deque_steal_order;
+          Alcotest.test_case "spinlock" `Quick test_spinlock;
+          Alcotest.test_case "ring basic" `Quick test_ring_basic;
+          Alcotest.test_case "ring capacity validation" `Quick
+            test_ring_capacity_validation;
+        ] );
+      ( "properties",
+        [ qc prop_spsc; qc prop_mpsc; qc prop_mpmc; qc prop_treiber; qc prop_ring_model ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "mpsc 4 producers" `Quick test_mpsc_producers;
+          Alcotest.test_case "mpmc 3x3 stress" `Quick test_mpmc_stress;
+          Alcotest.test_case "spsc pipeline order" `Quick test_spsc_parallel;
+          Alcotest.test_case "ws_deque 2 thieves" `Quick test_ws_deque_thieves;
+          Alcotest.test_case "ring pipeline order" `Quick test_ring_parallel;
+          Alcotest.test_case "spinlock mutual exclusion" `Quick
+            test_spinlock_mutual_exclusion;
+        ] );
+    ]

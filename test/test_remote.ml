@@ -1,0 +1,189 @@
+(* Tests for the socket-backed message queue (the §7 transport
+   exploration): framing, FIFO order, partial reads/writes on messages
+   larger than the socket buffer, multiple producers, close semantics. *)
+
+module Sq = Qs_remote.Socket_queue
+module S = Qs_sched.Sched
+module Latch = Qs_sched.Latch
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let with_queue f =
+  S.run (fun () ->
+    let q = Sq.create () in
+    Fun.protect ~finally:(fun () -> Sq.destroy q) (fun () -> f q))
+
+let test_fifo () =
+  with_queue (fun q ->
+    let received = ref [] in
+    S.spawn (fun () ->
+      for i = 1 to 100 do
+        Sq.enqueue q i
+      done;
+      Sq.close_writer q);
+    let rec drain () =
+      match Sq.dequeue q with
+      | Some v ->
+        received := v :: !received;
+        drain ()
+      | None -> ()
+    in
+    drain ();
+    Alcotest.(check (list int)) "fifo through the socket"
+      (List.init 100 (fun i -> i + 1))
+      (List.rev !received))
+
+let test_structured_messages () =
+  with_queue (fun q ->
+    S.spawn (fun () ->
+      Sq.enqueue q (`Row (3, [| 1.5; 2.5 |]));
+      Sq.enqueue q (`Done "worker-7");
+      Sq.close_writer q);
+    (match Sq.dequeue q with
+    | Some (`Row (i, a)) ->
+      check_int "row index" 3 i;
+      check_bool "payload intact" true (a = [| 1.5; 2.5 |])
+    | _ -> Alcotest.fail "expected Row");
+    (match Sq.dequeue q with
+    | Some (`Done who) -> Alcotest.(check string) "who" "worker-7" who
+    | _ -> Alcotest.fail "expected Done");
+    check_bool "drained" true (Sq.dequeue q = None))
+
+let test_large_messages () =
+  (* Bigger than any default socket buffer: exercises partial writes on
+     the producer and reassembly on the consumer. *)
+  with_queue (fun q ->
+    let big = Array.init 200_000 (fun i -> i) in
+    S.spawn (fun () ->
+      Sq.enqueue q big;
+      Sq.enqueue q (Array.map (fun x -> -x) big);
+      Sq.close_writer q);
+    (match Sq.dequeue q with
+    | Some a -> check_bool "first intact" true (a = big)
+    | None -> Alcotest.fail "missing first");
+    (match Sq.dequeue q with
+    | Some a -> check_bool "second intact" true (a.(7) = -7)
+    | None -> Alcotest.fail "missing second"))
+
+let test_copy_semantics () =
+  (* Marshalling copies: mutating the sender's array after enqueue must
+     not affect the received message — the "expanded class" copying the
+     transport gives for free. *)
+  with_queue (fun q ->
+    let payload = [| 1; 2; 3 |] in
+    S.spawn (fun () ->
+      Sq.enqueue q payload;
+      payload.(0) <- 99;
+      Sq.close_writer q);
+    match Sq.dequeue q with
+    | Some a -> check_int "receiver kept the copy" 1 a.(0)
+    | None -> Alcotest.fail "missing message")
+
+let test_multiple_producers () =
+  with_queue (fun q ->
+    let producers = 4 and per = 200 in
+    let latch = Latch.create producers in
+    for p = 1 to producers do
+      S.spawn (fun () ->
+        for i = 1 to per do
+          Sq.enqueue q ((p * 1000) + i)
+        done;
+        Latch.count_down latch)
+    done;
+    S.spawn (fun () ->
+      Latch.wait latch;
+      Sq.close_writer q);
+    let count = ref 0 and sum = ref 0 in
+    let rec drain () =
+      match Sq.dequeue q with
+      | Some v ->
+        incr count;
+        sum := !sum + v;
+        drain ()
+      | None -> ()
+    in
+    drain ();
+    check_int "all frames arrived" (producers * per) !count;
+    let expected =
+      List.fold_left ( + ) 0
+        (List.concat_map
+           (fun p -> List.init per (fun i -> (p * 1000) + i + 1))
+           [ 1; 2; 3; 4 ])
+    in
+    check_int "no frame corruption" expected !sum)
+
+let test_enqueue_after_close () =
+  with_queue (fun q ->
+    Sq.enqueue q 1;
+    Sq.close_writer q;
+    check_bool "raises" true
+      (try
+         Sq.enqueue q 2;
+         false
+       with Sq.Closed -> true);
+    check_bool "pending delivered" true (Sq.dequeue q = Some 1);
+    check_bool "then eof" true (Sq.dequeue q = None))
+
+let test_ping_pong () =
+  (* Two socket queues as a bidirectional channel between fibers. *)
+  with_queue (fun there ->
+    let back = Sq.create () in
+    Fun.protect ~finally:(fun () -> Sq.destroy back) (fun () ->
+      S.spawn (fun () ->
+        let rec serve () =
+          match Sq.dequeue there with
+          | Some v ->
+            Sq.enqueue back (v * 2);
+            serve ()
+          | None -> Sq.close_writer back
+        in
+        serve ());
+      for i = 1 to 50 do
+        Sq.enqueue there i
+      done;
+      Sq.close_writer there;
+      let acc = ref 0 in
+      let rec drain () =
+        match Sq.dequeue back with
+        | Some v ->
+          acc := !acc + v;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      check_int "round trips" (2 * (50 * 51 / 2)) !acc))
+
+let prop_any_payload =
+  QCheck2.Test.make ~count:50 ~name:"arbitrary int lists survive the socket"
+    QCheck2.Gen.(list (list small_int))
+    (fun messages ->
+      S.run (fun () ->
+        let q = Sq.create () in
+        Fun.protect ~finally:(fun () -> Sq.destroy q) (fun () ->
+          S.spawn (fun () ->
+            List.iter (Sq.enqueue q) messages;
+            Sq.close_writer q);
+          let rec drain acc =
+            match Sq.dequeue q with
+            | Some v -> drain (v :: acc)
+            | None -> List.rev acc
+          in
+          drain [] = messages)))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "qs_remote"
+    [
+      ( "socket queue",
+        [
+          Alcotest.test_case "fifo" `Quick test_fifo;
+          Alcotest.test_case "structured messages" `Quick test_structured_messages;
+          Alcotest.test_case "large messages" `Quick test_large_messages;
+          Alcotest.test_case "copy semantics" `Quick test_copy_semantics;
+          Alcotest.test_case "multiple producers" `Quick test_multiple_producers;
+          Alcotest.test_case "enqueue after close" `Quick test_enqueue_after_close;
+          Alcotest.test_case "ping pong" `Quick test_ping_pong;
+        ] );
+      ("properties", [ qc prop_any_payload ]);
+    ]

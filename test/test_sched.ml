@@ -1,0 +1,468 @@
+(* Tests for the fiber scheduler and its synchronization primitives. *)
+
+module S = Qs_sched.Sched
+module Ivar = Qs_sched.Ivar
+module Latch = Qs_sched.Latch
+module Mutex = Qs_sched.Fiber_mutex
+module Cond = Qs_sched.Fiber_cond
+module Parfor = Qs_sched.Parfor
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -- core scheduler --------------------------------------------------------- *)
+
+let test_run_returns_value () =
+  check_int "value" 42 (S.run (fun () -> 42))
+
+let test_run_waits_for_spawned () =
+  let hit = ref 0 in
+  S.run (fun () ->
+    for _ = 1 to 100 do
+      S.spawn (fun () -> incr hit)
+    done);
+  check_int "all fibers ran" 100 !hit
+
+let test_nested_spawn () =
+  let hit = Atomic.make 0 in
+  S.run ~domains:2 (fun () ->
+    for _ = 1 to 10 do
+      S.spawn (fun () ->
+        Atomic.incr hit;
+        for _ = 1 to 10 do
+          S.spawn (fun () -> Atomic.incr hit)
+        done)
+    done);
+  check_int "nested fibers" 110 (Atomic.get hit)
+
+let test_yield_interleaves () =
+  let log = ref [] in
+  S.run (fun () ->
+    S.spawn (fun () ->
+      log := `A1 :: !log;
+      S.yield ();
+      log := `A2 :: !log);
+    S.spawn (fun () ->
+      log := `B1 :: !log;
+      S.yield ();
+      log := `B2 :: !log));
+  (* Yield sends fibers to the back of the global queue, so the two
+     halves interleave rather than run back to back. *)
+  check_bool "interleaved" true
+    (match List.rev !log with
+    | [ `A1; `B1; `A2; `B2 ] | [ `B1; `A1; `B2; `A2 ] -> true
+    | _ -> false)
+
+let test_suspend_resume () =
+  let resumer = ref None in
+  let result = ref 0 in
+  S.run (fun () ->
+    S.spawn (fun () ->
+      S.suspend (fun resume -> resumer := Some resume);
+      result := 1);
+    S.spawn (fun () ->
+      while !resumer = None do
+        S.yield ()
+      done;
+      (Option.get !resumer) ()));
+  check_int "resumed" 1 !result
+
+let test_resume_idempotent () =
+  S.run (fun () ->
+    let r = ref None in
+    S.spawn (fun () -> S.suspend (fun resume -> r := Some resume));
+    S.spawn (fun () ->
+      while !r = None do
+        S.yield ()
+      done;
+      let resume = Option.get !r in
+      resume ();
+      resume ();
+      resume ()))
+
+let test_stall_detection () =
+  Alcotest.check_raises "deadlock raises" (S.Stalled 1) (fun () ->
+    S.run (fun () -> S.suspend (fun _ -> ())))
+
+let test_stall_counts_fibers () =
+  (try S.run (fun () ->
+     S.spawn (fun () -> S.suspend (fun _ -> ()));
+     S.spawn (fun () -> S.suspend (fun _ -> ())))
+   with S.Stalled n -> check_int "two stuck" 2 n)
+
+let test_exception_propagates () =
+  Alcotest.check_raises "fiber exception" (Failure "boom") (fun () ->
+    S.run (fun () -> failwith "boom"))
+
+let test_spawned_exception_propagates () =
+  Alcotest.check_raises "spawned exception" (Failure "child") (fun () ->
+    S.run (fun () -> S.spawn (fun () -> failwith "child")))
+
+let test_nested_run_rejected () =
+  S.run (fun () ->
+    check_bool "nested run raises" true
+      (try
+         ignore (S.run (fun () -> 0) : int);
+         false
+       with Invalid_argument _ -> true))
+
+let test_multi_domain_sum () =
+  let n = 1000 in
+  let acc = Atomic.make 0 in
+  S.run ~domains:4 (fun () ->
+    let latch = Latch.create n in
+    for i = 1 to n do
+      S.spawn (fun () ->
+        ignore (Atomic.fetch_and_add acc i : int);
+        Latch.count_down latch)
+    done;
+    Latch.wait latch);
+  check_int "sum" (n * (n + 1) / 2) (Atomic.get acc)
+
+(* -- ivar -------------------------------------------------------------------- *)
+
+let test_ivar_basic () =
+  let v =
+    S.run (fun () ->
+      let iv = Ivar.create () in
+      check_bool "not filled" false (Ivar.is_filled iv);
+      S.spawn (fun () -> Ivar.fill iv 7);
+      Ivar.read iv)
+  in
+  check_int "ivar value" 7 v
+
+let test_ivar_many_readers () =
+  let total =
+    S.run ~domains:2 (fun () ->
+      let iv = Ivar.create () in
+      let acc = Atomic.make 0 in
+      let latch = Latch.create 10 in
+      for _ = 1 to 10 do
+        S.spawn (fun () ->
+          ignore (Atomic.fetch_and_add acc (Ivar.read iv) : int);
+          Latch.count_down latch)
+      done;
+      S.spawn (fun () -> Ivar.fill iv 5);
+      Latch.wait latch;
+      Atomic.get acc)
+  in
+  check_int "all readers woke" 50 total
+
+let test_ivar_double_fill () =
+  S.run (fun () ->
+    let iv = Ivar.create () in
+    Ivar.fill iv 1;
+    check_bool "try_fill fails" false (Ivar.try_fill iv 2);
+    Alcotest.check_raises "fill raises"
+      (Invalid_argument "Ivar.fill: already filled") (fun () -> Ivar.fill iv 3);
+    check_int "value unchanged" 1 (Ivar.read iv))
+
+let test_ivar_peek () =
+  S.run (fun () ->
+    let iv = Ivar.create_full 9 in
+    Alcotest.(check (option int)) "peek" (Some 9) (Ivar.peek iv))
+
+(* -- latch -------------------------------------------------------------------- *)
+
+let test_latch_zero () = S.run (fun () -> Latch.wait (Latch.create 0))
+
+let test_latch_underflow () =
+  S.run (fun () ->
+    let l = Latch.create 1 in
+    Latch.count_down l;
+    Alcotest.check_raises "underflow"
+      (Invalid_argument "Latch.count_down: already at zero") (fun () ->
+        Latch.count_down l))
+
+let test_latch_negative () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Latch.create: negative count") (fun () ->
+      ignore (Latch.create (-1) : Latch.t))
+
+(* -- fiber mutex / condition --------------------------------------------------- *)
+
+let test_mutex_mutual_exclusion () =
+  let counter = ref 0 in
+  S.run ~domains:4 (fun () ->
+    let m = Mutex.create () in
+    let latch = Latch.create 8 in
+    for _ = 1 to 8 do
+      S.spawn (fun () ->
+        for _ = 1 to 5_000 do
+          Mutex.lock m;
+          counter := !counter + 1;
+          Mutex.unlock m
+        done;
+        Latch.count_down latch)
+    done;
+    Latch.wait latch);
+  check_int "no lost updates" 40_000 !counter
+
+let test_mutex_trylock () =
+  S.run (fun () ->
+    let m = Mutex.create () in
+    check_bool "first" true (Mutex.try_lock m);
+    check_bool "second" false (Mutex.try_lock m);
+    Mutex.unlock m;
+    check_bool "after unlock" true (Mutex.try_lock m);
+    Mutex.unlock m)
+
+let test_mutex_unlock_unlocked () =
+  S.run (fun () ->
+    let m = Mutex.create () in
+    Alcotest.check_raises "unlock raises"
+      (Invalid_argument "Fiber_mutex.unlock: not locked") (fun () ->
+        Mutex.unlock m))
+
+let test_with_lock_releases_on_exn () =
+  S.run (fun () ->
+    let m = Mutex.create () in
+    (try Mutex.with_lock m (fun () -> failwith "x") with Failure _ -> ());
+    check_bool "released" true (Mutex.try_lock m);
+    Mutex.unlock m)
+
+let test_cond_parity () =
+  let final =
+    S.run ~domains:2 (fun () ->
+      let m = Mutex.create () in
+      let c = Cond.create () in
+      let x = ref 0 in
+      let latch = Latch.create 4 in
+      for w = 0 to 3 do
+        S.spawn (fun () ->
+          let parity = w mod 2 in
+          for _ = 1 to 250 do
+            Mutex.lock m;
+            while !x mod 2 <> parity do
+              Cond.wait c m
+            done;
+            incr x;
+            Cond.broadcast c;
+            Mutex.unlock m
+          done;
+          Latch.count_down latch)
+      done;
+      Latch.wait latch;
+      !x)
+  in
+  check_int "alternating increments" 1000 final
+
+let test_cond_signal_wakes_one () =
+  S.run (fun () ->
+    let m = Mutex.create () in
+    let c = Cond.create () in
+    let woken = ref 0 in
+    let ready = ref 0 in
+    for _ = 1 to 3 do
+      S.spawn (fun () ->
+        Mutex.lock m;
+        incr ready;
+        Cond.wait c m;
+        incr woken;
+        Mutex.unlock m)
+    done;
+    (* Let the three waiters park. *)
+    while !ready < 3 do
+      S.yield ()
+    done;
+    Mutex.lock m;
+    Cond.signal c;
+    Mutex.unlock m;
+    S.yield ();
+    S.yield ();
+    check_int "exactly one woken" 1 !woken;
+    Mutex.lock m;
+    Cond.broadcast c;
+    Mutex.unlock m)
+
+(* -- parfor --------------------------------------------------------------------- *)
+
+let test_parfor_covers_range () =
+  let n = 1000 in
+  let hits = Array.make n 0 in
+  S.run ~domains:2 (fun () ->
+    Parfor.for_each n (fun i -> hits.(i) <- hits.(i) + 1));
+  check_bool "each index exactly once" true (Array.for_all (( = ) 1) hits)
+
+let test_parfor_empty () =
+  S.run (fun () -> Parfor.for_range 5 5 (fun _ _ -> Alcotest.fail "called"))
+
+let test_parfor_reduce () =
+  let n = 10_000 in
+  let total =
+    S.run ~domains:2 (fun () ->
+      Parfor.reduce_range 0 n ~neutral:0
+        ~chunk:(fun lo hi ->
+          let acc = ref 0 in
+          for i = lo to hi - 1 do
+            acc := !acc + i
+          done;
+          !acc)
+        ~combine:( + ))
+  in
+  check_int "reduce sum" (n * (n - 1) / 2) total
+
+let test_parfor_single_chunk () =
+  let calls = ref 0 in
+  S.run (fun () ->
+    Parfor.for_range ~chunks:1 0 10 (fun lo hi ->
+      incr calls;
+      check_int "lo" 0 lo;
+      check_int "hi" 10 hi));
+  check_int "one chunk" 1 !calls
+
+(* -- blocking queues ---------------------------------------------------------------- *)
+
+module Bq = Qs_sched.Bqueue
+
+let test_bqueue_spsc_blocks () =
+  let received =
+    S.run (fun () ->
+      let q = Bq.Spsc.create () in
+      let log = ref [] in
+      S.spawn (fun () ->
+        (* Consumer parks on the empty queue. *)
+        for _ = 1 to 5 do
+          log := Bq.Spsc.dequeue q :: !log
+        done);
+      S.spawn (fun () ->
+        for i = 1 to 5 do
+          Bq.Spsc.enqueue q i;
+          S.yield ()
+        done);
+      S.yield ();
+      log)
+  in
+  Alcotest.(check (list int)) "fifo through parking" [ 1; 2; 3; 4; 5 ]
+    (List.rev !received)
+
+let test_bqueue_mpsc_close_drains () =
+  S.run (fun () ->
+    let q = Bq.Mpsc.create () in
+    Bq.Mpsc.enqueue q 1;
+    Bq.Mpsc.enqueue q 2;
+    Bq.Mpsc.close q;
+    check_bool "closed" true (Bq.Mpsc.is_closed q);
+    Alcotest.(check (option int)) "first" (Some 1) (Bq.Mpsc.dequeue q);
+    Alcotest.(check (option int)) "second" (Some 2) (Bq.Mpsc.dequeue q);
+    Alcotest.(check (option int)) "drained" None (Bq.Mpsc.dequeue q))
+
+let test_bqueue_mpsc_close_wakes_consumer () =
+  let result =
+    S.run (fun () ->
+      let q : int Bq.Mpsc.t = Bq.Mpsc.create () in
+      let got = ref (Some 99) in
+      S.spawn (fun () -> got := Bq.Mpsc.dequeue q);
+      S.spawn (fun () ->
+        S.yield ();
+        Bq.Mpsc.close q);
+      got)
+  in
+  Alcotest.(check (option int)) "woken with None" None !result
+
+let test_bqueue_mpsc_many_producers () =
+  let total =
+    S.run ~domains:3 (fun () ->
+      let q = Bq.Mpsc.create () in
+      let producers = 5 and per = 500 in
+      let latch = Latch.create producers in
+      for _ = 1 to producers do
+        S.spawn (fun () ->
+          for i = 1 to per do
+            Bq.Mpsc.enqueue q i
+          done;
+          Latch.count_down latch)
+      done;
+      let acc = ref 0 in
+      for _ = 1 to producers * per do
+        match Bq.Mpsc.dequeue q with
+        | Some v -> acc := !acc + v
+        | None -> Alcotest.fail "unexpected close"
+      done;
+      Latch.wait latch;
+      !acc)
+  in
+  check_int "every message delivered" (5 * (500 * 501 / 2)) total
+
+(* -- property tests --------------------------------------------------------------- *)
+
+let prop_parfor_partition =
+  QCheck2.Test.make ~count:200 ~name:"split partitions the range"
+    QCheck2.Gen.(pair (int_bound 500) (int_range 1 32))
+    (fun (n, parts) ->
+      let ranges = Qs_benchmarks.Bench_types.split n parts in
+      let covered = List.concat_map (fun (lo, hi) -> List.init (hi - lo) (fun k -> lo + k)) ranges in
+      covered = List.init n Fun.id)
+
+let prop_spawn_all_run =
+  QCheck2.Test.make ~count:50 ~name:"every spawned fiber completes"
+    QCheck2.Gen.(int_range 0 200)
+    (fun n ->
+      let hits = Atomic.make 0 in
+      S.run ~domains:2 (fun () ->
+        for _ = 1 to n do
+          S.spawn (fun () -> Atomic.incr hits)
+        done);
+      Atomic.get hits = n)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "qs_sched"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "run returns value" `Quick test_run_returns_value;
+          Alcotest.test_case "run waits for spawned" `Quick test_run_waits_for_spawned;
+          Alcotest.test_case "nested spawn" `Quick test_nested_spawn;
+          Alcotest.test_case "yield interleaves" `Quick test_yield_interleaves;
+          Alcotest.test_case "suspend/resume" `Quick test_suspend_resume;
+          Alcotest.test_case "resume idempotent" `Quick test_resume_idempotent;
+          Alcotest.test_case "stall detection" `Quick test_stall_detection;
+          Alcotest.test_case "stall counts fibers" `Quick test_stall_counts_fibers;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "spawned exception propagates" `Quick
+            test_spawned_exception_propagates;
+          Alcotest.test_case "multi-domain sum" `Quick test_multi_domain_sum;
+          Alcotest.test_case "nested run rejected" `Quick test_nested_run_rejected;
+        ] );
+      ( "ivar",
+        [
+          Alcotest.test_case "basic" `Quick test_ivar_basic;
+          Alcotest.test_case "many readers" `Quick test_ivar_many_readers;
+          Alcotest.test_case "double fill" `Quick test_ivar_double_fill;
+          Alcotest.test_case "peek" `Quick test_ivar_peek;
+        ] );
+      ( "latch",
+        [
+          Alcotest.test_case "zero count" `Quick test_latch_zero;
+          Alcotest.test_case "underflow" `Quick test_latch_underflow;
+          Alcotest.test_case "negative" `Quick test_latch_negative;
+        ] );
+      ( "mutex/cond",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick test_mutex_mutual_exclusion;
+          Alcotest.test_case "trylock" `Quick test_mutex_trylock;
+          Alcotest.test_case "unlock unlocked" `Quick test_mutex_unlock_unlocked;
+          Alcotest.test_case "with_lock releases on exn" `Quick
+            test_with_lock_releases_on_exn;
+          Alcotest.test_case "condition parity" `Quick test_cond_parity;
+          Alcotest.test_case "signal wakes one" `Quick test_cond_signal_wakes_one;
+        ] );
+      ( "blocking queues",
+        [
+          Alcotest.test_case "spsc parks and wakes" `Quick test_bqueue_spsc_blocks;
+          Alcotest.test_case "mpsc close drains" `Quick test_bqueue_mpsc_close_drains;
+          Alcotest.test_case "mpsc close wakes" `Quick
+            test_bqueue_mpsc_close_wakes_consumer;
+          Alcotest.test_case "mpsc many producers" `Quick
+            test_bqueue_mpsc_many_producers;
+        ] );
+      ( "parfor",
+        [
+          Alcotest.test_case "covers range" `Quick test_parfor_covers_range;
+          Alcotest.test_case "empty range" `Quick test_parfor_empty;
+          Alcotest.test_case "reduce" `Quick test_parfor_reduce;
+          Alcotest.test_case "single chunk" `Quick test_parfor_single_chunk;
+        ] );
+      ("properties", [ qc prop_parfor_partition; qc prop_spawn_all_run ]);
+    ]

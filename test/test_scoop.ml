@@ -1,0 +1,563 @@
+(* Tests for the SCOOP/Qs runtime: the reasoning guarantees of paper §2.2
+   under every optimization configuration, multi-reservation atomicity,
+   deadlock detection, instrumentation, and API contracts. *)
+
+module R = Scoop.Runtime
+module Reg = Scoop.Registration
+module Sh = Scoop.Shared
+module Cfg = Scoop.Config
+module S = Qs_sched.Sched
+module Latch = Qs_sched.Latch
+module Ivar = Qs_sched.Ivar
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let all_configs = Cfg.presets @ [ Cfg.eve_base; Cfg.eve_qs ]
+
+(* Run one test body under every configuration. *)
+let per_config name body =
+  List.map
+    (fun config ->
+      Alcotest.test_case
+        (Printf.sprintf "%s [%s]" name config.Cfg.name)
+        `Quick
+        (fun () -> body config))
+    all_configs
+
+(* -- guarantee 2: per-client order, no interleaving ------------------------- *)
+
+let test_order_single_client config =
+  let log =
+    R.run ~config (fun rt ->
+      let h = R.processor rt in
+      let log = Sh.create h (ref []) in
+      R.separate rt h (fun reg ->
+        for i = 1 to 50 do
+          Sh.apply reg log (fun l -> l := i :: !l)
+        done;
+        Sh.get reg log (fun l -> List.rev !l)))
+  in
+  Alcotest.(check (list int)) "logged order" (List.init 50 (fun i -> i + 1)) log
+
+(* Several clients log tagged calls; the handler's execution log must show
+   each client's calls in order and contiguous per registration. *)
+let test_no_interleaving config =
+  let clients = 6 and per = 40 in
+  let log =
+    R.run ~domains:2 ~config (fun rt ->
+      let h = R.processor rt in
+      let log = Sh.create h (ref []) in
+      let latch = Latch.create clients in
+      for c = 0 to clients - 1 do
+        S.spawn (fun () ->
+          R.separate rt h (fun reg ->
+            for i = 0 to per - 1 do
+              Sh.apply reg log (fun l -> l := (c, i) :: !l)
+            done);
+          Latch.count_down latch)
+      done;
+      Latch.wait latch;
+      R.separate rt h (fun reg -> Sh.get reg log (fun l -> List.rev !l)))
+  in
+  check_int "all calls executed" (clients * per) (List.length log);
+  (* Contiguity: the log must decompose into runs of [per] entries, each
+     run from a single client counting 0..per-1. *)
+  let rec segments = function
+    | [] -> ()
+    | (c, 0) :: _ as l ->
+      let seg = List.filteri (fun i _ -> i < per) l in
+      let rest = List.filteri (fun i _ -> i >= per) l in
+      List.iteri
+        (fun i (c', i') ->
+          check_int "client id stable" c c';
+          check_int "in order" i i')
+        seg;
+      segments rest
+    | (c, i) :: _ ->
+      Alcotest.failf "registration starts mid-sequence: client %d at %d" c i
+  in
+  segments log
+
+let test_query_sees_preceding_calls config =
+  R.run ~config (fun rt ->
+    let h = R.processor rt in
+    let counter = Sh.create h (ref 0) in
+    R.separate rt h (fun reg ->
+      for expect = 1 to 20 do
+        Sh.apply reg counter incr;
+        check_int "query linearizes after calls" expect
+          (Sh.get reg counter (fun r -> !r))
+      done))
+
+let test_read_synced config =
+  R.run ~config (fun rt ->
+    let h = R.processor rt in
+    let arr = Sh.create h (Array.make 64 0) in
+    R.separate rt h (fun reg ->
+      for i = 0 to 63 do
+        Sh.apply reg arr (fun a -> a.(i) <- i)
+      done;
+      let data = Sh.read_synced reg arr in
+      check_int "synced data visible" (63 * 64 / 2) (Array.fold_left ( + ) 0 data);
+      check_bool "registration synced" true (Reg.is_synced reg);
+      (* An asynchronous call invalidates the synced status. *)
+      Sh.apply reg arr (fun a -> a.(0) <- 100);
+      check_bool "async invalidates" false (Reg.is_synced reg)))
+
+(* -- multi-reservation (Fig. 5) ---------------------------------------------- *)
+
+let test_multi_reservation_consistency config =
+  let mismatches =
+    R.run ~domains:2 ~config (fun rt ->
+      let hx = R.processor rt and hy = R.processor rt in
+      let x = Sh.create hx (ref 0) and y = Sh.create hy (ref 0) in
+      let writers = 4 and rounds = 60 in
+      let latch = Latch.create (writers + 1) in
+      for c = 1 to writers do
+        S.spawn (fun () ->
+          for _ = 1 to rounds do
+            R.separate2 rt hx hy (fun rx ry ->
+              Sh.apply rx x (fun r -> r := c);
+              Sh.apply ry y (fun r -> r := c))
+          done;
+          Latch.count_down latch)
+      done;
+      let bad = ref 0 in
+      S.spawn (fun () ->
+        for _ = 1 to 100 do
+          R.separate2 rt hx hy (fun rx ry ->
+            let vx = Sh.get rx x (fun r -> !r) in
+            let vy = Sh.get ry y (fun r -> !r) in
+            if vx <> vy then incr bad)
+        done;
+        Latch.count_down latch);
+      Latch.wait latch;
+      !bad)
+  in
+  check_int "colours always equal" 0 mismatches
+
+let test_separate_list_order config =
+  R.run ~config (fun rt ->
+    let procs = R.processors rt 4 in
+    R.separate_list rt procs (fun regs ->
+      check_int "one registration per processor" 4 (List.length regs);
+      List.iter2
+        (fun p reg ->
+          check_bool "same order as argument" true (Reg.processor reg == p))
+        procs regs))
+
+let test_separate_list_duplicate config =
+  R.run ~config (fun rt ->
+    let p = R.processor rt in
+    let q = R.processor rt in
+    Alcotest.check_raises "duplicate rejected"
+      (Invalid_argument "Scoop.Separate: the same processor reserved twice")
+      (fun () -> R.separate_list rt [ p; q; p ] (fun _ -> ())))
+
+let test_separate_list_empty config =
+  R.run ~config (fun rt ->
+    check_int "empty reservation" 7 (R.separate_list rt [] (fun _ -> 7)))
+
+(* -- deadlock (Fig. 6 with queries, §2.5) ------------------------------------ *)
+
+let test_fig6_query_deadlock config =
+  (* Force the cyclic queue configuration with ivar sequencing: client 1
+     reserves x first, client 2 reserves y before client 1's inner block
+     reserves it, and each queries its inner handler. *)
+  let deadlocked =
+    try
+      R.run ~domains:1 ~config (fun rt ->
+        let hx = R.processor rt and hy = R.processor rt in
+        let a = Ivar.create () and b = Ivar.create () in
+        let latch = Latch.create 2 in
+        S.spawn (fun () ->
+          R.separate rt hx (fun _rx ->
+            Ivar.fill a ();
+            Ivar.read b;
+            R.separate rt hy (fun ry -> ignore (Reg.query ry (fun () -> 1))));
+          Latch.count_down latch);
+        S.spawn (fun () ->
+          Ivar.read a;
+          R.separate rt hy (fun _ry ->
+            Ivar.fill b ();
+            R.separate rt hx (fun rx -> ignore (Reg.query rx (fun () -> 2))));
+          Latch.count_down latch);
+        Latch.wait latch);
+      false
+    with S.Stalled _ -> true
+  in
+  check_bool "deadlock detected" true deadlocked
+
+(* -- lifecycle and contracts -------------------------------------------------- *)
+
+let test_registration_after_close config =
+  R.run ~config (fun rt ->
+    let h = R.processor rt in
+    let escaped = ref None in
+    R.separate rt h (fun reg -> escaped := Some reg);
+    Alcotest.check_raises "escaped registration rejected"
+      (Invalid_argument "Scoop.Registration: used outside its separate block")
+      (fun () -> Reg.call (Option.get !escaped) (fun () -> ())))
+
+let test_shared_wrong_block config =
+  R.run ~config (fun rt ->
+    let h1 = R.processor rt and h2 = R.processor rt in
+    let obj = Sh.create h1 (ref 0) in
+    R.separate rt h2 (fun reg ->
+      let raised =
+        try
+          Sh.apply reg obj incr;
+          false
+        with Invalid_argument _ -> true
+      in
+      check_bool "ownership violation raises" true raised))
+
+let test_handler_as_client config =
+  (* A handler executing a call can itself open separate blocks (the
+     threadring pattern). *)
+  let v =
+    R.run ~config (fun rt ->
+      let h1 = R.processor rt and h2 = R.processor rt in
+      let cell = Sh.create h2 (ref 0) in
+      let done_ = Ivar.create () in
+      R.separate rt h1 (fun reg ->
+        Reg.call reg (fun () ->
+          R.separate rt h2 (fun reg2 ->
+            Sh.apply reg2 cell (fun r -> r := 41);
+            Ivar.fill done_ (Sh.get reg2 cell (fun r -> !r + 1)))));
+      Ivar.read done_)
+  in
+  check_int "nested handler client" 42 v
+
+let test_sequential_blocks config =
+  R.run ~config (fun rt ->
+    let h = R.processor rt in
+    let total = ref 0 in
+    for _ = 1 to 100 do
+      R.separate rt h (fun reg -> total := Reg.query reg (fun () -> !total + 1))
+    done;
+    check_int "hundred blocks" 100 !total)
+
+(* -- instrumentation ----------------------------------------------------------- *)
+
+let test_stats_queries () =
+  let snap config =
+    R.run ~config (fun rt ->
+      let h = R.processor rt in
+      let x = Sh.create h (ref 5) in
+      R.separate rt h (fun reg ->
+        for _ = 1 to 10 do
+          ignore (Sh.get reg x (fun r -> !r) : int)
+        done);
+      Scoop.Stats.snapshot (R.stats rt))
+  in
+  let none = snap Cfg.none in
+  check_int "none: packaged" 10 none.Scoop.Stats.s_packaged_queries;
+  check_int "none: no syncs" 0 none.Scoop.Stats.s_syncs_sent;
+  let dyn = snap Cfg.dynamic in
+  check_int "dynamic: one sync" 1 dyn.Scoop.Stats.s_syncs_sent;
+  check_int "dynamic: nine elided" 9 dyn.Scoop.Stats.s_syncs_elided;
+  check_int "dynamic: none packaged" 0 dyn.Scoop.Stats.s_packaged_queries;
+  let st = snap Cfg.static_ in
+  check_int "static: ten syncs (no dynamic elision)" 10
+    st.Scoop.Stats.s_syncs_sent
+
+let test_stats_eve_lookups () =
+  let s =
+    R.run ~config:Cfg.eve_qs (fun rt ->
+      let h = R.processor rt in
+      let x = Sh.create h (ref 0) in
+      R.separate rt h (fun reg ->
+        for _ = 1 to 5 do
+          Sh.apply reg x incr
+        done);
+      Scoop.Stats.snapshot (R.stats rt))
+  in
+  check_bool "eve lookups charged" true (s.Scoop.Stats.s_eve_lookups >= 5)
+
+let test_stats_reservations () =
+  let s =
+    R.run (fun rt ->
+      let ps = R.processors rt 3 in
+      R.separate_list rt ps (fun _ -> ());
+      R.separate rt (List.hd ps) (fun _ -> ());
+      Scoop.Stats.snapshot (R.stats rt))
+  in
+  check_int "processors" 3 s.Scoop.Stats.s_processors;
+  check_int "reservations" 2 s.Scoop.Stats.s_reservations;
+  check_int "multi reservations" 1 s.Scoop.Stats.s_multi_reservations
+
+(* -- wait conditions (precondition-as-wait semantics) -------------------------- *)
+
+let test_wait_condition_basic config =
+  R.run ~domains:2 ~config (fun rt ->
+    let h = R.processor rt in
+    let flag = Sh.create h (ref false) in
+    let got = ref 0 in
+    let latch = Latch.create 2 in
+    S.spawn (fun () ->
+      got :=
+        R.separate_when rt h
+          ~pred:(fun reg -> Sh.get reg flag (fun r -> !r))
+          (fun reg -> Reg.query reg (fun () -> 99));
+      Latch.count_down latch);
+    S.spawn (fun () ->
+      (* Give the waiter a chance to fail at least once, then enable. *)
+      S.yield ();
+      R.separate rt h (fun reg -> Sh.apply reg flag (fun r -> r := true));
+      Latch.count_down latch);
+    Latch.wait latch;
+    check_int "body ran after condition" 99 !got)
+
+let test_wait_condition_atomic_with_body config =
+  (* The classic check-then-act race: with [separate_when] the condition
+     and the decrement run under one registration, so the counter can
+     never go negative even with many competing takers. *)
+  let negative =
+    R.run ~domains:2 ~config (fun rt ->
+      let h = R.processor rt in
+      let stock = Sh.create h (ref 20) in
+      let takers = 8 in
+      let latch = Latch.create takers in
+      let negative = Atomic.make false in
+      for _ = 1 to takers do
+        S.spawn (fun () ->
+          for _ = 1 to 5 do
+            R.separate_when rt h
+              ~pred:(fun reg -> Sh.get reg stock (fun r -> !r > 0))
+              (fun reg ->
+                Sh.apply reg stock (fun r ->
+                  decr r;
+                  if !r < 0 then Atomic.set negative true))
+          done;
+          Latch.count_down latch)
+      done;
+      (* Keep restocking so everyone finishes. *)
+      S.spawn (fun () ->
+        for _ = 1 to 40 do
+          R.separate rt h (fun reg -> Sh.apply reg stock (fun r -> r := !r + 1));
+          S.yield ()
+        done);
+      Latch.wait latch;
+      Atomic.get negative)
+  in
+  check_bool "stock never negative" false negative
+
+let test_wait_condition_multi config =
+  (* Wait on a joint condition over two handlers. *)
+  R.run ~domains:2 ~config (fun rt ->
+    let ha = R.processor rt and hb = R.processor rt in
+    let a = Sh.create ha (ref 0) and b = Sh.create hb (ref 0) in
+    let latch = Latch.create 2 in
+    let sum = ref 0 in
+    S.spawn (fun () ->
+      sum :=
+        R.separate_list_when rt [ ha; hb ]
+          ~pred:(fun regs ->
+            match regs with
+            | [ ra; rb ] ->
+              Sh.get ra a (fun r -> !r) + Sh.get rb b (fun r -> !r) >= 10
+            | _ -> assert false)
+          (fun regs ->
+            match regs with
+            | [ ra; rb ] -> Sh.get ra a (fun r -> !r) + Sh.get rb b (fun r -> !r)
+            | _ -> assert false);
+      Latch.count_down latch);
+    S.spawn (fun () ->
+      for _ = 1 to 5 do
+        R.separate rt ha (fun reg -> Sh.apply reg a incr);
+        R.separate rt hb (fun reg -> Sh.apply reg b incr);
+        S.yield ()
+      done;
+      Latch.count_down latch);
+    Latch.wait latch;
+    check_bool "condition held at body" true (!sum >= 10))
+
+let test_wait_retries_counted () =
+  let retries =
+    R.run (fun rt ->
+      let h = R.processor rt in
+      let flag = Sh.create h (ref false) in
+      S.spawn (fun () ->
+        for _ = 1 to 3 do
+          S.yield ()
+        done;
+        R.separate rt h (fun reg -> Sh.apply reg flag (fun r -> r := true)));
+      ignore
+        (R.separate_when rt h
+           ~pred:(fun reg -> Sh.get reg flag (fun r -> !r))
+           (fun _ -> ()));
+      (Scoop.Stats.snapshot (R.stats rt)).Scoop.Stats.s_wait_retries)
+  in
+  check_bool "retries recorded" true (retries >= 1)
+
+(* -- tracing (§7 instrumentation) ------------------------------------------------ *)
+
+let test_trace_disabled_by_default () =
+  R.run (fun rt -> check_bool "no trace" true (R.trace rt = None))
+
+let test_trace_records_operations () =
+  let summaries =
+    R.run ~trace:true ~config:Cfg.all (fun rt ->
+      let h = R.processor rt in
+      let cell = Sh.create h (ref 0) in
+      R.separate rt h (fun reg ->
+        for _ = 1 to 10 do
+          Sh.apply reg cell incr
+        done;
+        for _ = 1 to 5 do
+          ignore (Sh.get reg cell (fun r -> !r) : int)
+        done);
+      Scoop.Trace.summarize (Option.get (R.trace rt)))
+  in
+  match summaries with
+  | [ s ] ->
+    check_int "reservations" 1 s.Scoop.Trace.sp_reservations;
+    check_int "calls" 10 s.Scoop.Trace.sp_calls;
+    check_int "every call's latency recorded" 10
+      s.Scoop.Trace.sp_call_latency.Scoop.Trace.count;
+    check_bool "latencies non-negative" true
+      (s.Scoop.Trace.sp_call_latency.Scoop.Trace.mean >= 0.0);
+    (* With dynamic coalescing: first query syncs, four elided. *)
+    check_int "one sync" 1 s.Scoop.Trace.sp_sync_round_trip.Scoop.Trace.count;
+    check_int "four elided" 4 s.Scoop.Trace.sp_syncs_elided
+  | l -> Alcotest.failf "expected one processor summary, got %d" (List.length l)
+
+let test_trace_packaged_queries () =
+  let summaries =
+    R.run ~trace:true ~config:Cfg.none (fun rt ->
+      let h = R.processor rt in
+      let cell = Sh.create h (ref 3) in
+      R.separate rt h (fun reg ->
+        for _ = 1 to 7 do
+          ignore (Sh.get reg cell (fun r -> !r) : int)
+        done);
+      Scoop.Trace.summarize (Option.get (R.trace rt)))
+  in
+  match summaries with
+  | [ s ] ->
+    check_int "query round trips" 7
+      s.Scoop.Trace.sp_query_round_trip.Scoop.Trace.count;
+    check_int "no syncs" 0 s.Scoop.Trace.sp_sync_round_trip.Scoop.Trace.count
+  | _ -> Alcotest.fail "expected one processor summary"
+
+let test_trace_event_order () =
+  R.run ~trace:true (fun rt ->
+    let h = R.processor rt in
+    let cell = Sh.create h (ref 0) in
+    R.separate rt h (fun reg ->
+      Sh.apply reg cell incr;
+      ignore (Sh.get reg cell (fun r -> !r) : int));
+    let tr = Option.get (R.trace rt) in
+    let events = Scoop.Trace.events tr in
+    check_bool "timestamps monotone" true
+      (let rec mono = function
+         | a :: (b :: _ as rest) ->
+           a.Scoop.Trace.at <= b.Scoop.Trace.at && mono rest
+         | _ -> true
+       in
+       mono events);
+    check_bool "reserved first" true
+      (match events with
+      | e :: _ -> e.Scoop.Trace.kind = Scoop.Trace.Reserved
+      | [] -> false))
+
+let test_config_by_name () =
+  List.iter
+    (fun c ->
+      match Cfg.by_name c.Cfg.name with
+      | Some found -> check_bool c.Cfg.name true (found = c)
+      | None -> Alcotest.failf "missing preset %s" c.Cfg.name)
+    all_configs;
+  check_bool "unknown" true (Cfg.by_name "bogus" = None)
+
+(* -- property: random programs match the sequential model ---------------------- *)
+
+type op = Add of int | Query
+
+let op_gen =
+  QCheck2.Gen.(oneof [ map (fun i -> Add (1 + (i mod 9))) small_int; return Query ])
+
+let prog_gen = QCheck2.Gen.(list_size (int_bound 6) (list_size (int_bound 15) op_gen))
+
+let prop_random_programs config =
+  QCheck2.Test.make ~count:30
+    ~name:(Printf.sprintf "random client programs [%s]" config.Cfg.name)
+    prog_gen
+    (fun clients ->
+      let expected =
+        List.fold_left
+          (fun acc ops ->
+            acc
+            + List.fold_left (fun a -> function Add n -> a + n | Query -> a) 0 ops)
+          0 clients
+      in
+      let monotone = ref true in
+      let final =
+        R.run ~domains:2 ~config (fun rt ->
+          let h = R.processor rt in
+          let counter = Sh.create h (ref 0) in
+          let latch = Latch.create (List.length clients) in
+          List.iter
+            (fun ops ->
+              S.spawn (fun () ->
+                R.separate rt h (fun reg ->
+                  let last = ref (-1) in
+                  List.iter
+                    (function
+                      | Add n -> Sh.apply reg counter (fun r -> r := !r + n)
+                      | Query ->
+                        let v = Sh.get reg counter (fun r -> !r) in
+                        (* Within one registration the counter can only
+                           grow (other clients cannot interleave). *)
+                        if v < !last then monotone := false;
+                        last := v)
+                    ops);
+                Latch.count_down latch))
+            clients;
+          Latch.wait latch;
+          R.separate rt h (fun reg -> Sh.get reg counter (fun r -> !r)))
+      in
+      final = expected && !monotone)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "scoop"
+    [
+      ("order", per_config "single client order" test_order_single_client);
+      ("interleaving", per_config "no interleaving" test_no_interleaving);
+      ("queries", per_config "query linearization" test_query_sees_preceding_calls);
+      ("read_synced", per_config "read_synced" test_read_synced);
+      ( "multi-reservation",
+        per_config "fig5 consistency" test_multi_reservation_consistency
+        @ per_config "list order" test_separate_list_order
+        @ per_config "duplicate" test_separate_list_duplicate
+        @ per_config "empty" test_separate_list_empty );
+      ("deadlock", per_config "fig6 with queries" test_fig6_query_deadlock);
+      ( "wait conditions",
+        per_config "basic" test_wait_condition_basic
+        @ per_config "atomic with body" test_wait_condition_atomic_with_body
+        @ per_config "multi-handler" test_wait_condition_multi
+        @ [ Alcotest.test_case "retries counted" `Quick test_wait_retries_counted ] );
+      ( "contracts",
+        per_config "registration after close" test_registration_after_close
+        @ per_config "shared ownership" test_shared_wrong_block
+        @ per_config "handler as client" test_handler_as_client
+        @ per_config "sequential blocks" test_sequential_blocks );
+      ( "instrumentation",
+        [
+          Alcotest.test_case "query accounting" `Quick test_stats_queries;
+          Alcotest.test_case "eve lookups" `Quick test_stats_eve_lookups;
+          Alcotest.test_case "reservations" `Quick test_stats_reservations;
+          Alcotest.test_case "config lookup" `Quick test_config_by_name;
+          Alcotest.test_case "trace disabled by default" `Quick
+            test_trace_disabled_by_default;
+          Alcotest.test_case "trace records operations" `Quick
+            test_trace_records_operations;
+          Alcotest.test_case "trace packaged queries" `Quick
+            test_trace_packaged_queries;
+          Alcotest.test_case "trace event order" `Quick test_trace_event_order;
+        ] );
+      ("properties", List.map (fun c -> qc (prop_random_programs c)) Cfg.presets);
+    ]

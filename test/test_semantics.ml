@@ -1,0 +1,399 @@
+(* Tests for the executable operational semantics: the individual rules of
+   Fig. 3, the paper's example programs (Figs. 1, 5, 6), the reasoning
+   guarantees over exhaustively explored runs, and property tests over
+   random programs. *)
+
+open Qs_semantics
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -- normalization and single rules ------------------------------------------ *)
+
+let test_norm () =
+  let open Syntax in
+  check_bool "skip;s" true (Step.norm (Seq (Skip, Atom "a")) = Atom "a");
+  check_bool "nested skips" true
+    (Step.norm (Seq (Seq (Skip, Skip), Seq (Skip, Atom "a"))) = Atom "a");
+  check_bool "preserved" true
+    (Step.norm (Seq (Atom "a", Atom "b")) = Seq (Atom "a", Atom "b"))
+
+let test_separate_rule () =
+  let open Syntax in
+  let st = State.init [ (1, Separate ([ 10 ], Call (10, "f"))) ] in
+  match Step.steps Step.qs st with
+  | [ (Step.Reserved { client = 1; targets = [ 10 ] }, st') ] ->
+    let h10 = State.handler st' 10 in
+    check_int "one private queue" 1 (List.length h10.State.rq);
+    check_int "tagged by client" 1 (List.hd h10.State.rq).State.client
+  | _ -> Alcotest.fail "expected exactly the separate step"
+
+let test_call_appends_to_last_pq () =
+  (* A client with two registrations on the same handler logs into the
+     most recent one ("lookup and updating work on the last occurrence"). *)
+  let st =
+    State.init [ (1, Syntax.Skip); (10, Syntax.Skip) ]
+  in
+  let st = State.reserve st ~client:1 ~target:10 in
+  let st = State.log st ~client:1 ~target:10 (Syntax.Atom "first") in
+  let st = State.reserve st ~client:1 ~target:10 in
+  let st = State.log st ~client:1 ~target:10 (Syntax.Atom "second") in
+  let h = State.handler st 10 in
+  (match h.State.rq with
+  | [ pq1; pq2 ] ->
+    check_bool "older pq keeps first" true (pq1.State.items = [ Syntax.Atom "first" ]);
+    check_bool "newer pq gets second" true (pq2.State.items = [ Syntax.Atom "second" ])
+  | _ -> Alcotest.fail "expected two private queues");
+  Alcotest.check_raises "unregistered client"
+    (Invalid_argument "State.log: client not registered") (fun () ->
+      ignore (State.log st ~client:9 ~target:10 Syntax.End : State.t))
+
+let test_query_rule_original_vs_client_exec () =
+  let open Syntax in
+  let prog () =
+    let st = State.init [ (1, Separate ([ 10 ], Query (10, "q"))) ] in
+    match Step.steps Step.qs st with
+    | [ (_, st') ] -> st'
+    | _ -> Alcotest.fail "separate step"
+  in
+  (* Original rule: body + release are both logged. *)
+  let st = prog () in
+  let stepped =
+    List.find_map
+      (fun (l, s) -> match l with Step.Logged _ -> Some s | _ -> None)
+      (Step.steps Step.qs st)
+  in
+  (match stepped with
+  | Some st' ->
+    let pq = List.hd (State.handler st' 10).State.rq in
+    check_int "two items logged" 2 (List.length pq.State.items)
+  | None -> Alcotest.fail "query step");
+  (* Modified rule (§3.2): only the release marker is logged. *)
+  let st = prog () in
+  let stepped =
+    List.find_map
+      (fun (l, s) -> match l with Step.Logged _ -> Some s | _ -> None)
+      (Step.steps Step.qs_client_exec st)
+  in
+  match stepped with
+  | Some st' ->
+    let pq = List.hd (State.handler st' 10).State.rq in
+    check_int "only release logged" 1 (List.length pq.State.items)
+  | None -> Alcotest.fail "query step (client exec)"
+
+let test_self_reservation_rejected () =
+  let st = State.init [ (1, Syntax.Separate ([ 1 ], Syntax.Skip)) ] in
+  Alcotest.check_raises "self reservation"
+    (Invalid_argument "Step: a handler cannot reserve itself") (fun () ->
+      ignore (Step.steps Step.qs st))
+
+let test_lock_mode_blocks () =
+  let open Syntax in
+  (* Two clients want the same handler; under the lock-based semantics the
+     second separate cannot fire while the first holds the handler. *)
+  let st =
+    State.init
+      [
+        (1, Separate ([ 10 ], Call (10, "a")));
+        (2, Separate ([ 10 ], Call (10, "b")));
+      ]
+  in
+  (* Fire client 1's separate. *)
+  let st1 =
+    List.find_map
+      (fun (l, s) ->
+        match l with
+        | Step.Reserved { client = 1; _ } -> Some s
+        | _ -> None)
+      (Step.steps Step.original st)
+    |> Option.get
+  in
+  let client2_can_reserve =
+    List.exists
+      (fun (l, _) ->
+        match l with Step.Reserved { client = 2; _ } -> true | _ -> false)
+      (Step.steps Step.original st1)
+  in
+  check_bool "client 2 blocked under locks" false client2_can_reserve;
+  (* Under SCOOP/Qs the same state lets both proceed. *)
+  let st1q =
+    List.find_map
+      (fun (l, s) ->
+        match l with
+        | Step.Reserved { client = 1; _ } -> Some s
+        | _ -> None)
+      (Step.steps Step.qs st)
+    |> Option.get
+  in
+  let client2_can_reserve_qs =
+    List.exists
+      (fun (l, _) ->
+        match l with Step.Reserved { client = 2; _ } -> true | _ -> false)
+      (Step.steps Step.qs st1q)
+  in
+  check_bool "client 2 free under qs" true client2_can_reserve_qs
+
+(* -- paper examples ------------------------------------------------------------ *)
+
+let test_fig1_two_interleavings mode () =
+  let traces, truncated =
+    Explore.observable_traces mode Examples.fig1
+      ~filter:(Explore.on_handler Examples.x)
+  in
+  check_bool "not truncated" false truncated;
+  check_bool "exactly the paper's two orders" true
+    (List.sort compare traces = List.sort compare Examples.fig1_orders)
+
+let test_fig1_guarantee mode () =
+  let violation, runs, _ = Guarantees.check_program mode Examples.fig1 in
+  check_bool "guarantee 2 holds" true (violation = None);
+  check_bool "nontrivial exploration" true (runs > 100)
+
+let test_fig5_atomic_consistent () =
+  check_bool "no mismatched registration orders" false
+    (Explore.exists_state Step.qs Examples.fig5 ~pred:Examples.fig5_mismatch)
+
+let test_fig5_nested_race () =
+  check_bool "nested reservation exposes the race" true
+    (Explore.exists_state Step.qs Examples.fig5_nested
+       ~pred:Examples.fig5_mismatch)
+
+let deadlock_count mode prog =
+  List.length (Explore.reachable mode prog).Explore.deadlocks
+
+let test_fig6_qs_no_deadlock () =
+  check_int "qs: no deadlock" 0 (deadlock_count Step.qs Examples.fig6)
+
+let test_fig6_original_deadlocks () =
+  check_bool "original semantics deadlocks" true
+    (deadlock_count Step.original Examples.fig6 > 0)
+
+let test_fig6_queries_deadlock () =
+  check_bool "qs + inner queries deadlocks" true
+    (deadlock_count Step.qs Examples.fig6_queries > 0)
+
+let test_fig6_queries_outer_safe () =
+  check_int "qs + outer queries deadlock-free" 0
+    (deadlock_count Step.qs Examples.fig6_queries_outer)
+
+let test_fig6_queries_client_exec () =
+  (* The optimized query rule preserves the deadlock behaviour. *)
+  check_bool "client-exec rule deadlocks too" true
+    (deadlock_count Step.qs_client_exec Examples.fig6_queries > 0);
+  check_int "client-exec outer variant safe" 0
+    (deadlock_count Step.qs_client_exec Examples.fig6_queries_outer)
+
+(* -- equivalence of the two query rules ----------------------------------------- *)
+
+let test_query_rules_equivalent () =
+  (* §3.2 argues the modified rule "does not change the execution
+     behaviour": same observable traces on the paper's example. *)
+  let project mode =
+    fst
+      (Explore.observable_traces mode Examples.fig1
+         ~filter:(Explore.on_handler Examples.x))
+    |> List.sort compare
+  in
+  check_bool "same observable orders" true
+    (project Step.qs = project Step.qs_client_exec)
+
+(* -- random programs -------------------------------------------------------------- *)
+
+(* Small random programs: 2 clients (ids 1, 2), handlers 10 and 11, bodies
+   of calls/atoms/queries with optional one-level nesting. *)
+let gen_program =
+  let open QCheck2.Gen in
+  let fresh =
+    let c = ref 0 in
+    fun prefix ->
+      incr c;
+      Printf.sprintf "%s%d" prefix !c
+  in
+  (* Leaves only target handlers reserved by an enclosing block. *)
+  let leaf ~queries ~targets client =
+    let handler = oneofl targets in
+    let base =
+      [
+        map (fun h -> Syntax.Call (h, fresh (Printf.sprintf "c%d_" client))) handler;
+        return (Syntax.Atom (fresh (Printf.sprintf "l%d_" client)));
+      ]
+    in
+    if queries then
+      oneof
+        (map (fun h -> Syntax.Query (h, fresh (Printf.sprintf "q%d_" client))) handler
+        :: base)
+    else oneof base
+  in
+  let body ~queries ~targets client =
+    list_size (int_range 1 4) (leaf ~queries ~targets client)
+  in
+  let block ~queries client =
+    let* outer = oneofl [ 10; 11 ] in
+    let* stmts = body ~queries ~targets:[ outer ] client in
+    let* nest = bool in
+    if nest then
+      let inner = if outer = 10 then 11 else 10 in
+      let* inner_stmts = body ~queries ~targets:[ outer; inner ] client in
+      return
+        (Syntax.Separate
+           ( [ outer ],
+             Syntax.seq (stmts @ [ Syntax.Separate ([ inner ], Syntax.seq inner_stmts) ])
+           ))
+    else return (Syntax.Separate ([ outer ], Syntax.seq stmts))
+  in
+  let* queries = QCheck2.Gen.bool in
+  let* b1 = block ~queries 1 in
+  let* b2 = block ~queries 2 in
+  return (queries, State.init [ (1, b1); (2, b2) ])
+
+let print_program (queries, st) =
+  Format.asprintf "queries=%b@.%a" queries State.pp st
+
+let prop_guarantee_all_modes mode name =
+  QCheck2.Test.make ~count:60 ~name ~print:print_program gen_program
+    (fun (_, program) ->
+      let violation, _, _ =
+        Guarantees.check_program ~max_runs:2_000 ~max_depth:400 mode program
+      in
+      violation = None)
+
+let prop_no_deadlock_without_queries =
+  QCheck2.Test.make ~count:60
+    ~name:"qs: programs without queries never deadlock (§2.5)"
+    ~print:print_program gen_program
+    (fun (queries, program) ->
+      queries
+      ||
+      let stats = Explore.reachable ~max_states:50_000 Step.qs program in
+      stats.Explore.deadlocks = [])
+
+let prop_fifo_service =
+  QCheck2.Test.make ~count:60
+    ~name:"handlers serve registrations in FIFO order (§2.3)"
+    ~print:print_program gen_program
+    (fun (_, program) ->
+      let runs, _ = Explore.runs ~max_runs:2_000 ~max_depth:400 Step.qs program in
+      List.for_all
+        (fun (r : Explore.run) ->
+          match Guarantees.check_fifo_service r.Explore.labels with
+          | Ok () -> true
+          | Error _ -> false)
+        runs)
+
+let test_fifo_service_on_fig1 () =
+  let runs, _ = Explore.runs Step.qs Examples.fig1 in
+  check_bool "all runs FIFO" true
+    (List.for_all
+       (fun (r : Explore.run) ->
+         Guarantees.check_fifo_service r.Explore.labels = Ok ())
+       runs)
+
+let test_fifo_checker_catches_violation () =
+  (* A fabricated out-of-order service must be flagged. *)
+  let labels =
+    [
+      Step.Reserved { client = 1; targets = [ 10 ] };
+      Step.Reserved { client = 2; targets = [ 10 ] };
+      Step.EndServed { handler = 10; client = 2 };
+    ]
+  in
+  check_bool "violation detected" true
+    (match Guarantees.check_fifo_service labels with
+    | Error _ -> true
+    | Ok () -> false)
+
+let prop_all_calls_execute =
+  QCheck2.Test.make ~count:40
+    ~name:"every logged call is eventually executed in terminal runs"
+    ~print:print_program gen_program
+    (fun (_, program) ->
+      let runs, _ = Explore.runs ~max_runs:500 ~max_depth:400 Step.qs program in
+      List.for_all
+        (fun (r : Explore.run) ->
+          r.Explore.deadlocked
+          ||
+          let logged =
+            List.filter
+              (function Step.Logged _ -> true | _ -> false)
+              r.Explore.labels
+          in
+          let executed =
+            List.filter
+              (function
+                | Step.Executed { client = Some _; _ } -> true
+                | _ -> false)
+              r.Explore.labels
+          in
+          List.length logged = List.length executed)
+        runs)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "qs_semantics"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "seq normalization" `Quick test_norm;
+          Alcotest.test_case "separate rule" `Quick test_separate_rule;
+          Alcotest.test_case "call targets last pq" `Quick
+            test_call_appends_to_last_pq;
+          Alcotest.test_case "query rules" `Quick
+            test_query_rule_original_vs_client_exec;
+          Alcotest.test_case "self reservation" `Quick
+            test_self_reservation_rejected;
+          Alcotest.test_case "lock mode blocks" `Quick test_lock_mode_blocks;
+        ] );
+      ( "fig1",
+        [
+          Alcotest.test_case "two interleavings (qs)" `Quick
+            (test_fig1_two_interleavings Step.qs);
+          Alcotest.test_case "two interleavings (client-exec)" `Quick
+            (test_fig1_two_interleavings Step.qs_client_exec);
+          Alcotest.test_case "two interleavings (original)" `Quick
+            (test_fig1_two_interleavings Step.original);
+          Alcotest.test_case "guarantee 2 (qs)" `Quick
+            (test_fig1_guarantee Step.qs);
+          Alcotest.test_case "guarantee 2 (original)" `Quick
+            (test_fig1_guarantee Step.original);
+          Alcotest.test_case "query rules equivalent" `Quick
+            test_query_rules_equivalent;
+        ] );
+      ( "fig5",
+        [
+          Alcotest.test_case "atomic reservation consistent" `Quick
+            test_fig5_atomic_consistent;
+          Alcotest.test_case "nested reservation races" `Quick
+            test_fig5_nested_race;
+        ] );
+      ( "fig6",
+        [
+          Alcotest.test_case "qs deadlock-free" `Quick test_fig6_qs_no_deadlock;
+          Alcotest.test_case "original deadlocks" `Quick
+            test_fig6_original_deadlocks;
+          Alcotest.test_case "inner queries deadlock" `Quick
+            test_fig6_queries_deadlock;
+          Alcotest.test_case "outer queries safe" `Quick
+            test_fig6_queries_outer_safe;
+          Alcotest.test_case "client-exec variant" `Quick
+            test_fig6_queries_client_exec;
+        ] );
+      ( "properties",
+        [
+          qc (prop_guarantee_all_modes Step.qs "guarantee 2 on random programs (qs)");
+          qc
+            (prop_guarantee_all_modes Step.qs_client_exec
+               "guarantee 2 on random programs (client-exec)");
+          qc
+            (prop_guarantee_all_modes Step.original
+               "guarantee 2 on random programs (original)");
+          qc prop_no_deadlock_without_queries;
+          qc prop_all_calls_execute;
+          qc prop_fifo_service;
+        ] );
+      ( "fifo service",
+        [
+          Alcotest.test_case "fig1 runs" `Quick test_fifo_service_on_fig1;
+          Alcotest.test_case "checker catches violation" `Quick
+            test_fifo_checker_catches_violation;
+        ] );
+    ]

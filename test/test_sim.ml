@@ -1,0 +1,244 @@
+(* Tests for the scalability simulator: the discrete-event engine's
+   scheduling properties, the calibration fit, held-out accuracy against
+   the paper's Table 4, and the qualitative Fig. 19 shapes the paper
+   reports. *)
+
+module E = Qs_sim.Engine
+module M = Qs_sim.Model
+module PD = Qs_benchmarks.Paper_data
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* -- engine ---------------------------------------------------------------------- *)
+
+let test_serial_adds () =
+  check_float "serial sum" 3.0
+    (E.makespan ~cores:4 [ E.Serial 1.0; E.Serial 2.0 ])
+
+let test_parallel_perfect_split () =
+  check_float "4 tasks on 4 cores" 1.0
+    (E.makespan ~cores:4 [ E.Parallel [| 1.0; 1.0; 1.0; 1.0 |] ])
+
+let test_parallel_oversubscribed () =
+  (* 5 unit tasks on 2 cores: greedy list scheduling gives 3. *)
+  check_float "list scheduling" 3.0
+    (E.makespan ~cores:2 [ E.Parallel [| 1.0; 1.0; 1.0; 1.0; 1.0 |] ])
+
+let test_parallel_imbalanced () =
+  (* The long task dominates regardless of cores. *)
+  check_float "critical path" 10.0
+    (E.makespan ~cores:8 [ E.Parallel [| 10.0; 1.0; 1.0 |] ])
+
+let test_even_tasks () =
+  let tasks = E.even_tasks ~chunks:4 ~work:8.0 ~per_task_overhead:0.5 in
+  Alcotest.(check int) "count" 4 (Array.length tasks);
+  check_float "each" 2.5 tasks.(0)
+
+let test_empty_phases () =
+  check_float "no phases" 0.0 (E.makespan ~cores:4 []);
+  check_float "empty bag" 0.0 (E.makespan ~cores:4 [ E.Parallel [||] ])
+
+let test_cores_clamped () =
+  (* cores < 1 behaves as a single core rather than crashing. *)
+  check_float "zero cores" 3.0
+    (E.makespan ~cores:0 [ E.Parallel [| 1.0; 2.0 |] ])
+
+let test_unknown_series () =
+  check_bool "unknown lang" true (M.find ~task:"randmat" ~lang:"rust" () = None);
+  check_bool "predict none" true
+    (M.predict ~task:"randmat" ~lang:"rust" ~cores:4 () = None);
+  check_bool "concurrent none" true
+    (M.concurrent_op_cost ~task:"mutex" ~lang:"rust" = None)
+
+let prop_makespan_monotone_in_cores =
+  QCheck2.Test.make ~count:200 ~name:"more cores never hurt a task bag"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 20) (map float_of_int (int_range 1 100)))
+        (int_range 1 16))
+    (fun (durations, cores) ->
+      let bag = Array.of_list durations in
+      E.schedule_bag ~cores:(cores + 1) bag <= E.schedule_bag ~cores bag +. 1e-9)
+
+let prop_makespan_bounds =
+  QCheck2.Test.make ~count:200 ~name:"makespan between work/p and work"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 20) (map float_of_int (int_range 1 100)))
+        (int_range 1 16))
+    (fun (durations, cores) ->
+      let bag = Array.of_list durations in
+      let total = List.fold_left ( +. ) 0.0 durations in
+      let longest = List.fold_left max 0.0 durations in
+      let ms = E.schedule_bag ~cores bag in
+      ms >= (total /. float_of_int cores) -. 1e-9
+      && ms >= longest -. 1e-9
+      && ms <= total +. 1e-9)
+
+(* -- calibration fit ---------------------------------------------------------------- *)
+
+let test_fit_exact_at_anchors () =
+  (* Perfect W/p + S + K·p data is recovered exactly. *)
+  let w = 10.0 and s = 0.5 and k = 0.01 in
+  let t p = (w /. p) +. s +. (k *. p) in
+  let f = M.fit ~t1:(t 1.0) ~t8:(t 8.0) ~t32:(t 32.0) in
+  Alcotest.(check (float 1e-6)) "w" w f.M.w;
+  Alcotest.(check (float 1e-6)) "s" s f.M.s;
+  Alcotest.(check (float 1e-6)) "k" k f.M.k
+
+let test_fit_nonnegative () =
+  (* Noisy/degenerate data still yields a usable non-negative model. *)
+  let f = M.fit ~t1:1.0 ~t8:1.2 ~t32:0.9 in
+  check_bool "components clamped" true (f.M.w >= 0.0 && f.M.s >= 0.0 && f.M.k >= 0.0)
+
+(* Held-out accuracy: the model is fitted at 1, 8, 32 threads; its
+   predictions at 2, 4 and 16 must match the paper within 30% (or 0.05s
+   absolute for the sub-tenth-of-a-second measurements, where the paper's
+   own numbers carry that much noise).  Most cells are within a few
+   percent — see bench/main.exe fig19. *)
+let test_held_out_accuracy () =
+  let rel_err a b =
+    if abs_float (a -. b) <= 0.05 then 0.0
+    else abs_float (a -. b) /. max b 1e-9
+  in
+  List.iter
+    (fun (r : PD.t4_row) ->
+      (* Series whose own measurements turn back up between 16 and 32
+         threads (heavy contention, e.g. Erlang's chain) are not of the
+         model's W/p + S + K·p shape; only a loose bound is meaningful. *)
+      let tolerance =
+        if r.PD.t4_times.(5) > r.PD.t4_times.(4) then 0.50 else 0.30
+      in
+      match M.find ~variant:r.PD.t4_variant ~task:r.PD.t4_task ~lang:r.PD.t4_lang () with
+      | None -> Alcotest.failf "missing series %s/%s" r.PD.t4_task r.PD.t4_lang
+      | Some series ->
+        List.iter
+          (fun (idx, cores) ->
+            let predicted = M.time series.M.fitted ~cores in
+            let actual = r.PD.t4_times.(idx) in
+            if rel_err predicted actual > tolerance then
+              Alcotest.failf "%s/%s at %d cores: predicted %.2f, paper %.2f"
+                r.PD.t4_task r.PD.t4_lang cores predicted actual)
+          [ (1, 2); (2, 4); (4, 16) ])
+    PD.table4
+
+(* -- the Fig. 19 shapes the paper describes ------------------------------------------ *)
+
+let speedup_at task lang cores =
+  match M.speedups ~task ~lang ~cores:[ cores ] () with
+  | Some [ (_, s) ] -> s
+  | _ -> Alcotest.failf "no curve for %s/%s" task lang
+
+let test_haskell_randmat_degrades () =
+  (* "the concatenation is sequential, putting a limit on the maximum
+     speedup" — Haskell's randmat peaks early and degrades at 32. *)
+  let peak =
+    List.fold_left
+      (fun acc c -> max acc (speedup_at "randmat" "haskell" c))
+      0.0 [ 2; 4; 8 ]
+  in
+  check_bool "peaks below 2.5x" true (peak < 2.5);
+  check_bool "degrades at 32" true (speedup_at "randmat" "haskell" 32 < peak)
+
+let test_go_chain_degrades_past_8 () =
+  (* "Go is the exception... performance decreases past 8 cores." *)
+  let s8 = speedup_at "chain" "go" 8 in
+  let s32 = speedup_at "chain" "go" 32 in
+  check_bool "8-core speedup decent" true (s8 > 3.0);
+  check_bool "degrades at 32" true (s32 < s8)
+
+let test_erlang_winnow_caps () =
+  (* "the inability for the Erlang version of winnow to speedup past
+     about 2-3x." *)
+  check_bool "winnow/erlang caps below 3x" true
+    (speedup_at "winnow" "erlang" 32 < 3.0)
+
+let test_most_languages_speed_up_on_chain () =
+  (* "on chain, most languages manage to achieve a speedup of at least
+     5x" — true of cxx, qs, erlang and haskell approaches it; Go is the
+     exception. *)
+  check_bool "cxx" true (speedup_at "chain" "cxx" 32 >= 5.0);
+  check_bool "qs" true (speedup_at "chain" "qs" 32 >= 5.0);
+  check_bool "erlang" true (speedup_at "chain" "erlang" 32 >= 5.0)
+
+let test_qs_compute_scales_but_total_saturates () =
+  (* Fig. 19's Qs story: compute-only is near-linear, total saturates on
+     the communication-bound kernels. *)
+  let total = speedup_at "product" "qs" 32 in
+  let compute =
+    match M.speedups ~variant:`Compute ~task:"product" ~lang:"qs" ~cores:[ 32 ] () with
+    | Some [ (_, s) ] -> s
+    | _ -> Alcotest.fail "missing compute curve"
+  in
+  check_bool "total saturates" true (total < 2.0);
+  check_bool "compute near-linear" true (compute > 15.0)
+
+let test_simulated_table5_matches () =
+  (* At the paper's operation counts the concurrent model reproduces
+     Table 5 by construction; at other counts it scales linearly. *)
+  List.iter
+    (fun (task, per) ->
+      List.iter
+        (fun (lang, seconds) ->
+          match
+            M.predict_concurrent ~task ~lang
+              ~ops:(int_of_float (M.paper_ops task))
+          with
+          | Some t -> Alcotest.(check (float 0.01)) (task ^ "/" ^ lang) seconds t
+          | None -> Alcotest.failf "missing %s/%s" task lang)
+        per)
+    PD.table5
+
+let test_speedup_at_one_core_is_one () =
+  List.iter
+    (fun task ->
+      List.iter
+        (fun lang ->
+          Alcotest.(check (float 1e-9))
+            (task ^ "/" ^ lang)
+            1.0
+            (speedup_at task lang 1))
+        PD.languages)
+    PD.parallel_tasks
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "qs_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "serial adds" `Quick test_serial_adds;
+          Alcotest.test_case "perfect split" `Quick test_parallel_perfect_split;
+          Alcotest.test_case "oversubscribed" `Quick test_parallel_oversubscribed;
+          Alcotest.test_case "imbalanced" `Quick test_parallel_imbalanced;
+          Alcotest.test_case "empty phases" `Quick test_empty_phases;
+          Alcotest.test_case "cores clamped" `Quick test_cores_clamped;
+          Alcotest.test_case "unknown series" `Quick test_unknown_series;
+          Alcotest.test_case "even tasks" `Quick test_even_tasks;
+        ] );
+      ( "fit",
+        [
+          Alcotest.test_case "exact at anchors" `Quick test_fit_exact_at_anchors;
+          Alcotest.test_case "non-negative" `Quick test_fit_nonnegative;
+          Alcotest.test_case "held-out accuracy" `Quick test_held_out_accuracy;
+        ] );
+      ( "fig19 shapes",
+        [
+          Alcotest.test_case "haskell randmat degrades" `Quick
+            test_haskell_randmat_degrades;
+          Alcotest.test_case "go chain degrades past 8" `Quick
+            test_go_chain_degrades_past_8;
+          Alcotest.test_case "erlang winnow caps" `Quick test_erlang_winnow_caps;
+          Alcotest.test_case "chain speeds up" `Quick
+            test_most_languages_speed_up_on_chain;
+          Alcotest.test_case "qs compute vs total" `Quick
+            test_qs_compute_scales_but_total_saturates;
+          Alcotest.test_case "unit speedup at 1 core" `Quick
+            test_speedup_at_one_core_is_one;
+          Alcotest.test_case "table5 reproduction" `Quick
+            test_simulated_table5_matches;
+        ] );
+      ( "properties",
+        [ qc prop_makespan_monotone_in_cores; qc prop_makespan_bounds ] );
+    ]

@@ -1,0 +1,278 @@
+(* Tests for the TL2-style STM: atomicity, isolation under contention,
+   retry/or_else blocking semantics, and exactness of concurrent counters. *)
+
+module S = Qs_stm.Stm
+module Sched = Qs_sched.Sched
+module Latch = Qs_sched.Latch
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_read_write () =
+  Sched.run (fun () ->
+    let v = S.make 1 in
+    check_int "initial" 1 (S.get v);
+    S.set v 5;
+    check_int "after set" 5 (S.get v);
+    S.update v (( * ) 3);
+    check_int "after update" 15 (S.get v))
+
+let test_multi_var_atomicity () =
+  Sched.run (fun () ->
+    let a = S.make 10 and b = S.make 0 in
+    S.atomically (fun tx ->
+      let x = S.read tx a in
+      S.write tx a 0;
+      S.write tx b x);
+    check_int "a drained" 0 (S.get a);
+    check_int "b received" 10 (S.get b))
+
+let test_write_then_read_own () =
+  Sched.run (fun () ->
+    let v = S.make 1 in
+    let seen =
+      S.atomically (fun tx ->
+        S.write tx v 42;
+        S.read tx v)
+    in
+    check_int "reads own write" 42 seen)
+
+let test_counter_isolation () =
+  let n = 8 and per = 2_000 in
+  let final =
+    Sched.run ~domains:4 (fun () ->
+      let v = S.make 0 in
+      let latch = Latch.create n in
+      for _ = 1 to n do
+        Sched.spawn (fun () ->
+          for _ = 1 to per do
+            S.update v succ
+          done;
+          Latch.count_down latch)
+      done;
+      Latch.wait latch;
+      S.get v)
+  in
+  check_int "no lost updates" (n * per) final
+
+let test_invariant_transfers () =
+  (* Concurrent transfers between accounts preserve the total, and every
+     read-only snapshot observes the invariant. *)
+  let accounts = 4 and movers = 4 and rounds = 1_000 in
+  let ok =
+    Sched.run ~domains:4 (fun () ->
+      let balances = Array.init accounts (fun _ -> S.make 100) in
+      let latch = Latch.create movers in
+      let violations = Atomic.make 0 in
+      for m = 0 to movers - 1 do
+        Sched.spawn (fun () ->
+          let state = ref (m + 1) in
+          let rand k =
+            state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+            !state mod k
+          in
+          for _ = 1 to rounds do
+            let i = rand accounts in
+            let j = (i + 1 + rand (accounts - 1)) mod accounts in
+            S.atomically (fun tx ->
+              let bi = S.read tx balances.(i) in
+              let bj = S.read tx balances.(j) in
+              S.write tx balances.(i) (bi - 1);
+              S.write tx balances.(j) (bj + 1));
+            let total =
+              S.atomically (fun tx ->
+                Array.fold_left (fun acc v -> acc + S.read tx v) 0 balances)
+            in
+            if total <> accounts * 100 then Atomic.incr violations
+          done;
+          Latch.count_down latch)
+      done;
+      Latch.wait latch;
+      Atomic.get violations = 0
+      && Array.fold_left (fun acc v -> acc + S.get v) 0 balances = accounts * 100)
+  in
+  check_bool "money conserved; snapshots consistent" true ok
+
+let test_retry_blocks_until_write () =
+  let got =
+    Sched.run (fun () ->
+      let v = S.make 0 in
+      let result = ref (-1) in
+      Sched.spawn (fun () ->
+        result :=
+          S.atomically (fun tx ->
+            let x = S.read tx v in
+            if x = 0 then S.retry tx else x));
+      Sched.spawn (fun () -> S.set v 9);
+      (* run returns when both fibers completed *)
+      result)
+  in
+  check_int "woken with the written value" 9 !got
+
+let test_retry_empty_readset_fails () =
+  Sched.run (fun () ->
+    check_bool "raises" true
+      (try
+         ignore (S.atomically (fun tx -> S.retry tx) : int);
+         false
+       with S.Stm_failure _ -> true))
+
+let take v tx =
+  match S.read tx v with
+  | Some x ->
+    S.write tx v None;
+    x
+  | None -> S.retry tx
+
+let test_or_else () =
+  Sched.run (fun () ->
+    let a = S.make None and b = S.make (Some 3) in
+    let got = S.atomically (S.or_else (take a) (take b)) in
+    check_int "second alternative" 3 got;
+    check_bool "a untouched" true (S.get a = None);
+    check_bool "b consumed" true (S.get b = None))
+
+let test_or_else_first_wins () =
+  Sched.run (fun () ->
+    let a = S.make (Some 1) and b = S.make (Some 2) in
+    check_int "first alternative" 1 (S.atomically (S.or_else (take a) (take b)));
+    check_bool "b untouched" true (S.get b = Some 2))
+
+let test_modify_return () =
+  Sched.run (fun () ->
+    let v = S.make 10 in
+    let old = S.modify_return v (fun x -> (x + 1, x)) in
+    check_int "returns old" 10 old;
+    check_int "stores new" 11 (S.get v))
+
+(* Producer/consumer handoff built from retry: the consumer receives every
+   value in order. *)
+let test_retry_handoff () =
+  let n = 500 in
+  let consumed =
+    Sched.run ~domains:2 (fun () ->
+      let slot = S.make None in
+      let count = ref 0 in
+      let latch = Latch.create 2 in
+      Sched.spawn (fun () ->
+        for i = 1 to n do
+          S.atomically (fun tx ->
+            match S.read tx slot with
+            | None -> S.write tx slot (Some i)
+            | Some _ -> S.retry tx)
+        done;
+        Latch.count_down latch);
+      Sched.spawn (fun () ->
+        for expect = 1 to n do
+          let got = S.atomically (take slot) in
+          if got = expect then incr count
+        done;
+        Latch.count_down latch);
+      Latch.wait latch;
+      !count)
+  in
+  check_int "ordered handoff" n consumed
+
+let test_no_write_skew () =
+  (* Write skew: two transactions each read {x, y} and write one of them,
+     trying to break the invariant x + y <= 1.  A serializable STM (TL2
+     validates the whole read set at commit) must abort one of them. *)
+  let violations =
+    Sched.run ~domains:2 (fun () ->
+      let x = S.make 0 and y = S.make 0 in
+      let bad = ref 0 in
+      for _ = 1 to 300 do
+        S.set x 0;
+        S.set y 0;
+        let latch = Latch.create 2 in
+        let attempt mine =
+          Sched.spawn (fun () ->
+            S.atomically (fun tx ->
+              let vx = S.read tx x and vy = S.read tx y in
+              if vx + vy = 0 then S.write tx mine 1);
+            Latch.count_down latch)
+        in
+        attempt x;
+        attempt y;
+        Latch.wait latch;
+        if S.get x + S.get y > 1 then incr bad
+      done;
+      !bad)
+  in
+  check_int "no write skew" 0 violations
+
+let test_read_only_snapshot_consistent () =
+  (* A read-only transaction sees a consistent snapshot even while a
+     writer flips two tvars together. *)
+  let torn =
+    Sched.run ~domains:2 (fun () ->
+      let a = S.make 0 and b = S.make 0 in
+      let stop = Atomic.make false in
+      let torn = ref 0 in
+      Sched.spawn (fun () ->
+        for i = 1 to 2_000 do
+          S.atomically (fun tx ->
+            S.write tx a i;
+            S.write tx b (-i))
+        done;
+        Atomic.set stop true);
+      while not (Atomic.get stop) do
+        let va, vb =
+          S.atomically (fun tx -> (S.read tx a, S.read tx b))
+        in
+        if va + vb <> 0 then incr torn;
+        Sched.yield ()
+      done;
+      !torn)
+  in
+  check_int "no torn snapshots" 0 torn
+
+let prop_concurrent_sum =
+  QCheck2.Test.make ~count:25 ~name:"counter sums are exact"
+    QCheck2.Gen.(pair (int_range 1 6) (int_range 1 300))
+    (fun (n, per) ->
+      let final =
+        Sched.run ~domains:2 (fun () ->
+          let v = S.make 0 in
+          let latch = Latch.create n in
+          for _ = 1 to n do
+            Sched.spawn (fun () ->
+              for _ = 1 to per do
+                S.update v succ
+              done;
+              Latch.count_down latch)
+          done;
+          Latch.wait latch;
+          S.get v)
+      in
+      final = n * per)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "qs_stm"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "read/write" `Quick test_read_write;
+          Alcotest.test_case "multi-var atomicity" `Quick test_multi_var_atomicity;
+          Alcotest.test_case "read own write" `Quick test_write_then_read_own;
+          Alcotest.test_case "modify_return" `Quick test_modify_return;
+        ] );
+      ( "isolation",
+        [
+          Alcotest.test_case "counter under contention" `Quick test_counter_isolation;
+          Alcotest.test_case "transfer invariant" `Quick test_invariant_transfers;
+          Alcotest.test_case "no write skew" `Quick test_no_write_skew;
+          Alcotest.test_case "read-only snapshots" `Quick
+            test_read_only_snapshot_consistent;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "blocks until write" `Quick test_retry_blocks_until_write;
+          Alcotest.test_case "empty read set" `Quick test_retry_empty_readset_fails;
+          Alcotest.test_case "handoff" `Quick test_retry_handoff;
+          Alcotest.test_case "or_else falls through" `Quick test_or_else;
+          Alcotest.test_case "or_else first wins" `Quick test_or_else_first_wins;
+        ] );
+      ("properties", [ qc prop_concurrent_sum ]);
+    ]

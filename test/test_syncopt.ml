@@ -1,0 +1,321 @@
+(* Tests for the static sync-coalescing pass: the UpdateSync transfer
+   function (Fig. 13), the worklist dataflow (Fig. 12), the elision on the
+   paper's examples (Figs. 14–15) and on the benchmark kernels, and a
+   property-based dynamic soundness check of every removal. *)
+
+open Qs_syncopt
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -- transfer function (Fig. 13) ---------------------------------------------- *)
+
+let vset l = Syncset.Vset.of_list l
+let elements s = Syncset.Vset.elements s
+
+let test_transfer_sync () =
+  let out = Syncset.transfer_inst Alias.empty (vset []) (Ir.Sync "h") in
+  Alcotest.(check (list string)) "sync adds" [ "h" ] (elements out)
+
+let test_transfer_async () =
+  let out = Syncset.transfer_inst Alias.empty (vset [ "h"; "i" ]) (Ir.Async "h") in
+  Alcotest.(check (list string)) "async removes target" [ "i" ] (elements out)
+
+let test_transfer_async_alias () =
+  let alias = Alias.may_alias_pairs [ ("h", "i") ] in
+  let out = Syncset.transfer_inst alias (vset [ "h"; "i"; "j" ]) (Ir.Async "h") in
+  Alcotest.(check (list string)) "async removes aliases too" [ "j" ] (elements out)
+
+let test_transfer_side_effects () =
+  let out =
+    Syncset.transfer_inst Alias.empty (vset [ "h"; "i" ])
+      (Ir.Call_ext { readonly = false })
+  in
+  Alcotest.(check (list string)) "side effects clear" [] (elements out)
+
+let test_transfer_readonly () =
+  let out =
+    Syncset.transfer_inst Alias.empty (vset [ "h" ])
+      (Ir.Call_ext { readonly = true })
+  in
+  Alcotest.(check (list string)) "readonly preserves" [ "h" ] (elements out)
+
+let test_transfer_neutral () =
+  let s = vset [ "h" ] in
+  Alcotest.(check (list string)) "read preserves" [ "h" ]
+    (elements (Syncset.transfer_inst Alias.empty s (Ir.Read "h")));
+  Alcotest.(check (list string)) "local preserves" [ "h" ]
+    (elements (Syncset.transfer_inst Alias.empty s Ir.Local))
+
+(* -- alias relation ------------------------------------------------------------- *)
+
+let test_alias () =
+  let a = Alias.may_alias_pairs [ ("x", "y"); ("y", "z") ] in
+  check_bool "reflexive" true (Alias.may_alias a "x" "x");
+  check_bool "symmetric" true (Alias.may_alias a "y" "x");
+  check_bool "pair" true (Alias.may_alias a "y" "z");
+  check_bool "not transitive" false (Alias.may_alias a "x" "z");
+  Alcotest.(check (list string))
+    "closure" [ "x"; "y"; "z" ]
+    (List.sort compare (Alias.closure_of a "y"))
+
+(* -- the paper's figures ---------------------------------------------------------- *)
+
+let removals_of cfg =
+  let r = Pass.run cfg in
+  List.map (fun (rm : Pass.removal) -> (rm.Pass.block, rm.Pass.index)) r.Pass.removed
+
+let test_fig14 () =
+  (* Fig. 14b: the syncs of B1 (the loop body) and B2 (the exit) are
+     removed; only the entry's stays. *)
+  Alcotest.(check (list (pair int int)))
+    "loop and exit syncs removed"
+    [ (1, 0); (2, 0) ]
+    (removals_of (Kernels.fig14 ()))
+
+let test_fig15 () =
+  (* Fig. 15b: possible aliasing of h_p and i_p blocks every removal. *)
+  Alcotest.(check (list (pair int int))) "no coalescing" []
+    (removals_of (Kernels.fig15 ()))
+
+let test_fig15_refined () =
+  Alcotest.(check (list (pair int int)))
+    "alias refinement restores coalescing"
+    [ (1, 0); (2, 0) ]
+    (removals_of (Kernels.fig15_refined ()))
+
+let test_kernels_expected_counts () =
+  let expected =
+    [
+      ("fig14", 2); ("fig15", 0); ("fig15-refined", 2); ("pull-loop", 1);
+      ("pull-then-push", 2); ("irregular", 0); ("irregular-readonly", 1);
+    ]
+  in
+  List.iter
+    (fun (name, k) ->
+      let r = Pass.run (k ()) in
+      check_int name (List.assoc name expected) (List.length r.Pass.removed))
+    Kernels.all
+
+let test_in_sets_fig14 () =
+  let cfg = Kernels.fig14 () in
+  let res = Syncset.analyze cfg in
+  Alcotest.(check (list string)) "entry starts empty" []
+    (elements res.Syncset.in_sets.(0));
+  Alcotest.(check (list string)) "loop body sees {h_p}" [ "h_p" ]
+    (elements res.Syncset.in_sets.(1));
+  Alcotest.(check (list string)) "exit sees {h_p}" [ "h_p" ]
+    (elements res.Syncset.in_sets.(2))
+
+(* -- CFG machinery ------------------------------------------------------------------ *)
+
+let test_cfg_dangling_successor () =
+  let b = Cfg.builder () in
+  let _ = Cfg.add_block b ~succs:[ 5 ] [] in
+  Alcotest.check_raises "dangling successor"
+    (Invalid_argument "Cfg.freeze: block 0 has unknown successor 5") (fun () ->
+      ignore (Cfg.freeze b : Cfg.t))
+
+let test_cfg_preds () =
+  let b = Cfg.builder () in
+  let b0 = Cfg.add_block b ~succs:[ 1; 2 ] [] in
+  let b1 = Cfg.add_block b ~succs:[ 2 ] [] in
+  let b2 = Cfg.add_block b [] in
+  let cfg = Cfg.freeze b in
+  Alcotest.(check (list int)) "preds of exit" [ b0; b1 ] (Cfg.block cfg b2).Cfg.preds;
+  Alcotest.(check (list int)) "preds of entry" [] (Cfg.block cfg b0).Cfg.preds;
+  Alcotest.(check (list int)) "preds of middle" [ b0 ] (Cfg.block cfg b1).Cfg.preds
+
+let test_paths_bounded () =
+  let cfg = Kernels.fig14 () in
+  let paths = Cfg.paths ~max_visits:2 cfg in
+  check_bool "at least entry->exit and one unrolled loop" true
+    (List.length paths >= 2);
+  List.iter
+    (fun p ->
+      let visits = Hashtbl.create 8 in
+      List.iter
+        (fun b ->
+          Hashtbl.replace visits b (1 + Option.value ~default:0 (Hashtbl.find_opt visits b)))
+        p;
+      Hashtbl.iter (fun _ n -> check_bool "visit bound" true (n <= 2)) visits)
+    paths
+
+let test_pass_idempotent () =
+  List.iter
+    (fun (name, k) ->
+      let first = Pass.run (k ()) in
+      let second = Pass.run first.Pass.cfg in
+      check_int (name ^ " second pass removes nothing") 0
+        (List.length second.Pass.removed))
+    Kernels.all
+
+let test_count_syncs () =
+  let cfg = Kernels.fig14 () in
+  let static_none = Interp.count_syncs cfg ~dyn:false in
+  let with_dyn = Interp.count_syncs cfg ~dyn:true in
+  check_bool "dynamic elides" true (with_dyn < static_none);
+  let transformed = (Pass.run cfg).Pass.cfg in
+  let after_static = Interp.count_syncs transformed ~dyn:false in
+  check_bool "static elides" true (after_static < static_none);
+  check_bool "static at least as good as dynamic on fig14" true
+    (after_static <= with_dyn)
+
+(* -- soundness: paper examples -------------------------------------------------------- *)
+
+let test_soundness_fig14 () =
+  let cfg = Kernels.fig14 () in
+  let r = Pass.run cfg in
+  (match Interp.check_removals cfg r ~env:[ ("h_p", 1) ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e)
+
+let test_soundness_inconsistent_env () =
+  let cfg = Kernels.fig15 () in
+  let r = Pass.run cfg in
+  check_bool "distinct ids fine" true
+    (Interp.env_consistent (Kernels.fig15 ()).Cfg.alias
+       [ ("h_p", 1); ("i_p", 2) ]);
+  (* h_p and i_p may alias, so mapping them to one handler is allowed. *)
+  (match Interp.check_removals cfg r ~env:[ ("h_p", 1); ("i_p", 1) ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Distinct variables that never alias must denote distinct handlers. *)
+  let cfg2 = Kernels.pull_then_push () in
+  let r2 = Pass.run cfg2 in
+  check_bool "inconsistent env rejected" true
+    (try
+       ignore (Interp.check_removals cfg2 r2 ~env:[ ("w", 1); ("r", 1) ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* A deliberately unsound "pass" is caught by the checker. *)
+let test_checker_catches_unsound () =
+  let cfg = Kernels.irregular_loop () in
+  let bogus : Pass.report =
+    { cfg; removed = [ { Pass.block = 1; index = 0; hvar = "res" } ]; kept_syncs = 0 }
+  in
+  check_bool "unsound removal flagged" true
+    (match Interp.check_removals cfg bogus ~env:[ ("res", 1) ] with
+    | Error _ -> true
+    | Ok () -> false)
+
+(* -- random CFG soundness --------------------------------------------------------------- *)
+
+let vars = [ "a"; "b"; "c" ]
+
+let gen_inst =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun v -> Ir.Sync v) (oneofl vars);
+        map (fun v -> Ir.Async v) (oneofl vars);
+        map (fun v -> Ir.Read v) (oneofl vars);
+        return Ir.Local;
+        map (fun ro -> Ir.Call_ext { readonly = ro }) bool;
+      ])
+
+let gen_cfg =
+  let open QCheck2.Gen in
+  let* nblocks = int_range 1 5 in
+  let* insts = list_repeat nblocks (list_size (int_bound 5) gen_inst) in
+  let* succs =
+    list_repeat nblocks (list_size (int_bound 2) (int_bound (nblocks - 1)))
+  in
+  let* alias_ab = bool in
+  let* alias_bc = bool in
+  let alias =
+    Alias.may_alias_pairs
+      ((if alias_ab then [ ("a", "b") ] else [])
+      @ if alias_bc then [ ("b", "c") ] else [])
+  in
+  let b = Cfg.builder () in
+  List.iter2 (fun il sl -> ignore (Cfg.add_block b ~succs:sl il : int)) insts succs;
+  return ((alias_ab, alias_bc), Cfg.freeze ~alias b)
+
+let print_cfg (_, cfg) = Format.asprintf "%a" Cfg.pp cfg
+
+let prop_pass_sound =
+  QCheck2.Test.make ~count:300 ~name:"pass removals are dynamically sound"
+    ~print:print_cfg gen_cfg
+    (fun ((alias_ab, alias_bc), cfg) ->
+      let report = Pass.run cfg in
+      (* Try both the all-distinct assignment and assignments merging the
+         aliased pairs. *)
+      let envs =
+        [ ("a", 1); ("b", 2); ("c", 3) ]
+        :: (if alias_ab then [ [ ("a", 1); ("b", 1); ("c", 3) ] ] else [])
+        @ if alias_bc then [ [ ("a", 1); ("b", 2); ("c", 2) ] ] else []
+      in
+      List.for_all
+        (fun env ->
+          match Interp.check_removals ~max_visits:3 cfg report ~env with
+          | Ok () -> true
+          | Error _ -> false)
+        envs)
+
+let prop_pass_idempotent =
+  QCheck2.Test.make ~count:200 ~name:"pass is idempotent" ~print:print_cfg
+    gen_cfg
+    (fun (_, cfg) ->
+      let first = Pass.run cfg in
+      let second = Pass.run first.Pass.cfg in
+      second.Pass.removed = [])
+
+let prop_pass_only_removes_syncs =
+  QCheck2.Test.make ~count:200 ~name:"pass only deletes Sync instructions"
+    ~print:print_cfg gen_cfg
+    (fun (_, cfg) ->
+      let r = Pass.run cfg in
+      let count_non_sync c =
+        let total = ref 0 in
+        for i = 0 to Cfg.num_blocks c - 1 do
+          List.iter
+            (function Ir.Sync _ -> () | _ -> incr total)
+            (Cfg.block c i).Cfg.insts
+        done;
+        !total
+      in
+      count_non_sync cfg = count_non_sync r.Pass.cfg)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "qs_syncopt"
+    [
+      ( "transfer",
+        [
+          Alcotest.test_case "sync" `Quick test_transfer_sync;
+          Alcotest.test_case "async" `Quick test_transfer_async;
+          Alcotest.test_case "async+alias" `Quick test_transfer_async_alias;
+          Alcotest.test_case "side effects" `Quick test_transfer_side_effects;
+          Alcotest.test_case "readonly" `Quick test_transfer_readonly;
+          Alcotest.test_case "neutral" `Quick test_transfer_neutral;
+        ] );
+      ("alias", [ Alcotest.test_case "relation" `Quick test_alias ]);
+      ( "figures",
+        [
+          Alcotest.test_case "fig14 removals" `Quick test_fig14;
+          Alcotest.test_case "fig15 blocked by alias" `Quick test_fig15;
+          Alcotest.test_case "fig15 refined" `Quick test_fig15_refined;
+          Alcotest.test_case "kernel removal counts" `Quick
+            test_kernels_expected_counts;
+          Alcotest.test_case "fig14 in-sets" `Quick test_in_sets_fig14;
+        ] );
+      ( "cfg",
+        [
+          Alcotest.test_case "dangling successor" `Quick test_cfg_dangling_successor;
+          Alcotest.test_case "predecessors" `Quick test_cfg_preds;
+          Alcotest.test_case "bounded paths" `Quick test_paths_bounded;
+          Alcotest.test_case "idempotent" `Quick test_pass_idempotent;
+          Alcotest.test_case "count_syncs" `Quick test_count_syncs;
+        ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "fig14" `Quick test_soundness_fig14;
+          Alcotest.test_case "aliased env" `Quick test_soundness_inconsistent_env;
+          Alcotest.test_case "checker catches unsound" `Quick
+            test_checker_catches_unsound;
+        ] );
+      ( "properties",
+        [ qc prop_pass_sound; qc prop_pass_idempotent; qc prop_pass_only_removes_syncs ] );
+    ]

@@ -1,0 +1,236 @@
+(* Tests for the Cowichan kernels: chunked forms agree with the sequential
+   references for every split, the list-based (Erlang-style) kernels agree
+   with the array kernels, and the kernels' structural invariants hold. *)
+
+module C = Qs_workloads.Cowichan
+module CL = Qs_workloads.Cowichan_lists
+module Lcg = Qs_workloads.Lcg
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let nr = 24
+let seed = 11
+let p = 10
+
+(* -- determinism and chunk-independence -------------------------------------- *)
+
+let test_lcg_deterministic () =
+  let a = Array.make 8 0 and b = Array.make 8 0 in
+  Lcg.fill_row ~seed:3 ~row:5 ~modulus:100 a ~off:0 ~len:8;
+  Lcg.fill_row ~seed:3 ~row:5 ~modulus:100 b ~off:0 ~len:8;
+  check_bool "same stream" true (a = b);
+  let c = Array.make 8 0 in
+  Lcg.fill_row ~seed:3 ~row:6 ~modulus:100 c ~off:0 ~len:8;
+  check_bool "different rows differ" true (a <> c)
+
+let test_randmat_chunks_agree () =
+  let whole = C.randmat ~seed ~nr in
+  List.iter
+    (fun parts ->
+      let assembled = Array.make (nr * nr) 0 in
+      List.iter
+        (fun (lo, hi) ->
+          let chunk = Array.make ((hi - lo) * nr) 0 in
+          C.randmat_chunk ~seed ~nr ~lo ~hi chunk;
+          Array.blit chunk 0 assembled (lo * nr) ((hi - lo) * nr))
+        (Qs_benchmarks.Bench_types.split nr parts);
+      check_bool
+        (Printf.sprintf "%d chunks" parts)
+        true (assembled = whole))
+    [ 1; 2; 3; 5; 8; 24 ]
+
+let test_thresh_hist_partitions () =
+  let m = C.randmat ~seed ~nr in
+  let whole = C.thresh_hist ~nr m ~lo:0 ~hi:nr in
+  let h1 = C.thresh_hist ~nr m ~lo:0 ~hi:10 in
+  let h2 = C.thresh_hist ~nr m ~lo:10 ~hi:nr in
+  check_bool "histograms merge" true (C.merge_hist h1 h2 = whole);
+  check_int "histogram total" (nr * nr) (Array.fold_left ( + ) 0 whole)
+
+let test_threshold_keeps_top_p () =
+  let m = C.randmat ~seed ~nr in
+  let threshold, mask = C.thresh ~nr m ~p in
+  let kept = C.checksum_mask mask in
+  check_bool "keeps at most p%" true (kept <= nr * nr * p / 100);
+  (* Everything at or above the threshold is kept, nothing below is. *)
+  Array.iteri
+    (fun i v ->
+      check_bool "mask matches threshold" true
+        (Bytes.get mask i = '\001' == (v >= threshold)))
+    m
+
+let test_winnow_selects_sorted_points () =
+  let m = C.randmat ~seed ~nr in
+  let _, mask = C.thresh ~nr m ~p in
+  let points = C.winnow ~nr m mask ~nw:10 in
+  check_bool "selected points are masked" true
+    (Array.for_all
+       (fun (r, c) -> Bytes.get mask ((r * nr) + c) = '\001')
+       points);
+  (* Values at selected points are non-decreasing (they come from the
+     sorted candidate list). *)
+  let values = Array.map (fun (r, c) -> m.((r * nr) + c)) points in
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  check_bool "selection respects sort order" true (values = sorted)
+
+let test_winnow_empty_mask () =
+  let m = C.randmat ~seed ~nr in
+  let mask = Bytes.make (nr * nr) '\000' in
+  check_int "no candidates, no points" 0 (Array.length (C.winnow ~nr m mask ~nw:5))
+
+let test_outer_chunks_agree () =
+  let points = C.synthetic_points ~n:20 ~range:nr in
+  let whole_m, whole_v = C.outer points in
+  let n = Array.length points in
+  let m = Array.make (n * n) 0.0 and v = Array.make n 0.0 in
+  List.iter
+    (fun (lo, hi) ->
+      let mc = Array.make ((hi - lo) * n) 0.0 in
+      let vc = Array.make (hi - lo) 0.0 in
+      C.outer_chunk points ~lo ~hi mc vc;
+      Array.blit mc 0 m (lo * n) ((hi - lo) * n);
+      Array.blit vc 0 v lo (hi - lo))
+    (Qs_benchmarks.Bench_types.split n 3);
+  check_bool "matrix chunks agree" true (m = whole_m);
+  check_bool "vector chunks agree" true (v = whole_v)
+
+let test_outer_properties () =
+  let points = C.synthetic_points ~n:12 ~range:nr in
+  let m, v = C.outer points in
+  let n = Array.length points in
+  (* Symmetry off the diagonal; dominant diagonal. *)
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        check_bool "symmetric" true (m.((i * n) + j) = m.((j * n) + i));
+        check_bool "diagonal dominates row" true
+          (m.((i * n) + i) >= m.((i * n) + j))
+      end
+    done;
+    check_bool "vector nonnegative" true (v.(i) >= 0.0)
+  done
+
+let test_product_chunks_agree () =
+  let points = C.synthetic_points ~n:16 ~range:nr in
+  let m, v = C.outer points in
+  let n = Array.length points in
+  let whole = C.product ~n m v in
+  let out = Array.make n 0.0 in
+  List.iter
+    (fun (lo, hi) ->
+      let mc = Array.sub m (lo * n) ((hi - lo) * n) in
+      let rc = Array.make (hi - lo) 0.0 in
+      C.product_chunk ~n mc v ~rows:(hi - lo) rc;
+      Array.blit rc 0 out lo (hi - lo))
+    (Qs_benchmarks.Bench_types.split n 5);
+  check_bool "chunked product agrees" true (out = whole)
+
+let test_chain_deterministic () =
+  let a = C.chain ~seed ~nr ~p ~nw:10 in
+  let b = C.chain ~seed ~nr ~p ~nw:10 in
+  check_bool "deterministic" true (a = b);
+  check_bool "nonempty" true (Array.length a > 0)
+
+(* -- list (Erlang-representation) kernels agree -------------------------------- *)
+
+let test_list_randmat_agrees () =
+  let whole = C.randmat ~seed ~nr in
+  List.iter
+    (fun (lo, hi) ->
+      let l = CL.randmat_chunk ~seed ~nr ~lo ~hi in
+      let arr = Array.of_list l in
+      check_bool "list rows equal array rows" true
+        (arr = Array.sub whole (lo * nr) ((hi - lo) * nr)))
+    (Qs_benchmarks.Bench_types.split nr 3)
+
+let test_list_hist_agrees () =
+  let m = C.randmat ~seed ~nr in
+  let l = Array.to_list m in
+  check_bool "hist equal" true
+    (CL.hist l = C.thresh_hist ~nr m ~lo:0 ~hi:nr)
+
+let test_list_mask_and_collect_agree () =
+  let m = C.randmat ~seed ~nr in
+  let threshold, bmask = C.thresh ~nr m ~p in
+  let l = Array.to_list m in
+  let lmask = CL.mask ~threshold l in
+  check_bool "mask values" true
+    (List.mapi (fun i x -> (i, x)) lmask
+    |> List.for_all (fun (i, x) -> (x = 1) = (Bytes.get bmask i = '\001')));
+  let collected = CL.collect ~nr ~row0:0 l lmask in
+  let reference = C.winnow_collect ~nr m bmask ~lo:0 ~hi:nr () in
+  check_bool "collect equal" true (collected = reference)
+
+let test_list_outer_product_agree () =
+  let points = C.synthetic_points ~n:10 ~range:nr in
+  let whole_m, whole_v = C.outer points in
+  let n = Array.length points in
+  let lm, lv = CL.outer_chunk points ~lo:0 ~hi:n in
+  check_bool "outer matrix equal" true (Array.of_list lm = whole_m);
+  check_bool "outer vector equal" true (Array.of_list lv = whole_v);
+  let lp = CL.product_chunk ~n lm whole_v in
+  check_bool "product equal" true (Array.of_list lp = C.product ~n whole_m whole_v)
+
+(* -- properties ------------------------------------------------------------------ *)
+
+let prop_chunks_agree_any_split =
+  QCheck2.Test.make ~count:50 ~name:"randmat chunking is split-invariant"
+    QCheck2.Gen.(triple (int_range 1 30) (int_range 1 8) (int_range 0 1000))
+    (fun (size, parts, s) ->
+      let whole = C.randmat ~seed:s ~nr:size in
+      let assembled = Array.make (size * size) 0 in
+      List.iter
+        (fun (lo, hi) ->
+          let chunk = Array.make ((hi - lo) * size) 0 in
+          C.randmat_chunk ~seed:s ~nr:size ~lo ~hi chunk;
+          Array.blit chunk 0 assembled (lo * size) ((hi - lo) * size))
+        (Qs_benchmarks.Bench_types.split size parts);
+      assembled = whole)
+
+let prop_threshold_monotone =
+  QCheck2.Test.make ~count:50 ~name:"higher p keeps more"
+    QCheck2.Gen.(pair (int_range 1 40) (int_range 0 1000))
+    (fun (pct, s) ->
+      let m = C.randmat ~seed:s ~nr in
+      let _, mask_small = C.thresh ~nr m ~p:pct in
+      let _, mask_big = C.thresh ~nr m ~p:(min 100 (pct * 2)) in
+      C.checksum_mask mask_small <= C.checksum_mask mask_big)
+
+let prop_winnow_bounded =
+  QCheck2.Test.make ~count:50 ~name:"winnow returns at most nw points"
+    QCheck2.Gen.(pair (int_range 1 50) (int_range 0 1000))
+    (fun (nw, s) ->
+      let m = C.randmat ~seed:s ~nr in
+      let _, mask = C.thresh ~nr m ~p:5 in
+      Array.length (C.winnow ~nr m mask ~nw) <= nw)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "qs_workloads"
+    [
+      ( "kernels",
+        [
+          Alcotest.test_case "lcg deterministic" `Quick test_lcg_deterministic;
+          Alcotest.test_case "randmat chunks" `Quick test_randmat_chunks_agree;
+          Alcotest.test_case "thresh histograms" `Quick test_thresh_hist_partitions;
+          Alcotest.test_case "threshold top-p" `Quick test_threshold_keeps_top_p;
+          Alcotest.test_case "winnow selection" `Quick
+            test_winnow_selects_sorted_points;
+          Alcotest.test_case "winnow empty mask" `Quick test_winnow_empty_mask;
+          Alcotest.test_case "outer chunks" `Quick test_outer_chunks_agree;
+          Alcotest.test_case "outer properties" `Quick test_outer_properties;
+          Alcotest.test_case "product chunks" `Quick test_product_chunks_agree;
+          Alcotest.test_case "chain deterministic" `Quick test_chain_deterministic;
+        ] );
+      ( "list kernels",
+        [
+          Alcotest.test_case "randmat" `Quick test_list_randmat_agrees;
+          Alcotest.test_case "hist" `Quick test_list_hist_agrees;
+          Alcotest.test_case "mask+collect" `Quick test_list_mask_and_collect_agree;
+          Alcotest.test_case "outer+product" `Quick test_list_outer_product_agree;
+        ] );
+      ( "properties",
+        [ qc prop_chunks_agree_any_split; qc prop_threshold_monotone; qc prop_winnow_bounded ] );
+    ]
