@@ -121,6 +121,54 @@ let table4_simulated () =
       print_newline ())
     PD.parallel_tasks
 
+(* The batched handler loop's efficiency, measured rather than timed: how
+   many requests each mailbox structure delivers per handler wakeup on a
+   prodcons-style workload.  Mean batch 1.00 is the old
+   one-request-per-park loop; larger amortizes park/unpark transitions. *)
+let mailbox_batching () =
+  print_newline ();
+  print_endline
+    "mailbox drain batching: requests delivered per handler wakeup \
+     (prodcons-style, 4 producers x 200 registrations)";
+  print_endline (String.make 72 '-');
+  Printf.printf "%-24s %10s %10s %12s\n" "mailbox" "wakeups" "requests"
+    "mean batch";
+  List.iter
+    (fun (mailbox, batch) ->
+      let s =
+        Scoop.Runtime.run ~domains:2 ~mailbox ~batch (fun rt ->
+          let buffer = Scoop.Runtime.processor rt in
+          let queue = Scoop.Shared.create buffer (Queue.create ()) in
+          let producers = 4 and per = 200 in
+          let latch = Qs_sched.Latch.create producers in
+          for i = 1 to producers do
+            Qs_sched.Sched.spawn (fun () ->
+              for k = 1 to per do
+                Scoop.Runtime.separate rt buffer (fun reg ->
+                  Scoop.Shared.apply reg queue (fun q ->
+                    Queue.push ((i * per) + k) q);
+                  Scoop.Shared.apply reg queue (fun q ->
+                    ignore (Queue.pop q : int)))
+              done;
+              Qs_sched.Latch.count_down latch)
+          done;
+          Qs_sched.Latch.wait latch;
+          (* Sync so every prior registration is drained before reading. *)
+          ignore
+            (Scoop.Runtime.separate rt buffer (fun reg ->
+               Scoop.Shared.get reg queue Queue.length)
+              : int);
+          Scoop.Stats.snapshot (Scoop.Runtime.stats rt))
+      in
+      Printf.printf "%-24s %10d %10d %12.2f\n"
+        (Printf.sprintf "%s batch=%d"
+           (match mailbox with `Qoq -> "qoq" | `Direct -> "direct")
+           batch)
+        s.Scoop.Stats.s_handler_wakeups s.Scoop.Stats.s_batched_requests
+        (Scoop.Stats.mean_batch s))
+    [ (`Qoq, 1); (`Qoq, 16); (`Qoq, 64); (`Direct, 1); (`Direct, 16);
+      (`Direct, 64) ]
+
 (* -- Bechamel micro-suite: one Test.make per table ------------------------- *)
 
 let micro () =
@@ -224,6 +272,28 @@ let micro () =
            ignore (Qs_queues.Mpmc_queue.pop q : int option)
          done))
   in
+  (* Mailbox ablation: the same 100-call workload through each handler
+     communication structure and drain batch width.  Compare qoq vs
+     direct at equal batch, and batch 1 (the paper's
+     one-dequeue-per-iteration handler loop) vs the batched default. *)
+  let t_mailbox mailbox batch =
+    let name =
+      Printf.sprintf "mailbox:%s-batch%d-100"
+        (match mailbox with `Qoq -> "qoq" | `Direct -> "direct")
+        batch
+    in
+    Test.make ~name
+      (Staged.stage (fun () ->
+         Scoop.Runtime.run ~domains:1 ~mailbox ~batch (fun rt ->
+           let h = Scoop.Runtime.processor rt in
+           let cell = Scoop.Shared.create h (ref 0) in
+           for _ = 1 to 100 do
+             Scoop.Runtime.separate rt h (fun reg ->
+               Scoop.Shared.apply reg cell incr)
+           done;
+           Scoop.Runtime.separate rt h (fun reg ->
+             ignore (Scoop.Shared.get reg cell (fun r -> !r) : int)))))
+  in
   (* §7 future work: what would socket-backed private queues cost?
      Same 1000-message stream through the marshalling socket transport
      vs. the in-memory SPSC queue (compare with ablation:spsc-linked). *)
@@ -251,7 +321,9 @@ let micro () =
     Test.make_grouped ~name:"qs" ~fmt:"%s:%s"
       [
         t_table1; t_table2; t_table4; t_table5; t_spsc_linked; t_spsc_ring;
-        t_mpsc; t_mpmc; t_socket;
+        t_mpsc; t_mpmc;
+        t_mailbox `Qoq 1; t_mailbox `Qoq 16; t_mailbox `Direct 1;
+        t_mailbox `Direct 16; t_socket;
       ]
   in
   let instances = Instance.[ monotonic_clock ] in
@@ -268,7 +340,8 @@ let micro () =
       match Analyze.OLS.estimates ols_result with
       | Some [ est ] -> Printf.printf "%-32s %12.0f ns/run\n" name est
       | _ -> Printf.printf "%-32s (no estimate)\n" name)
-    results
+    results;
+  mailbox_batching ()
 
 (* -- driver ----------------------------------------------------------------- *)
 

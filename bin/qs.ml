@@ -112,9 +112,14 @@ let sim task lang =
 
 (* -- demo --------------------------------------------------------------------- *)
 
-let demo trace_flag =
+let demo trace_flag mailbox batch spsc =
+  if batch < 1 then begin
+    Printf.eprintf "qs: --batch must be >= 1 (got %d)\n" batch;
+    exit 1
+  end;
   let stats =
-    Scoop.Runtime.run ~domains:1 ~trace:trace_flag (fun rt ->
+    Scoop.Runtime.run ~domains:1 ~mailbox ~batch ~spsc ~trace:trace_flag
+      (fun rt ->
       let account = Scoop.Runtime.processor rt in
       let balance = Scoop.Shared.create account (ref 100) in
       let tellers = 4 and deposits = 1000 in
@@ -242,9 +247,36 @@ let demo_cmd =
   let trace =
     Arg.(value & flag & info [ "trace" ] ~doc:"Enable detailed event tracing.")
   in
+  let mailbox =
+    Arg.(
+      value
+      & opt (enum [ ("qoq", `Qoq); ("direct", `Direct) ]) `Qoq
+      & info [ "mailbox" ] ~docv:"MAILBOX"
+          ~doc:
+            "Handler communication structure: $(b,qoq) (queue-of-queues, \
+             Fig. 4) or $(b,direct) (lock + single request queue, Fig. 2).")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt int Scoop.Config.default_batch
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Max requests a handler drains per wakeup (>= 1); 1 reproduces \
+             the paper's one-dequeue-per-iteration handler loop.")
+  in
+  let spsc =
+    Arg.(
+      value
+      & opt (enum [ ("linked", `Linked); ("ring", `Ring) ]) `Linked
+      & info [ "spsc" ] ~docv:"KIND"
+          ~doc:
+            "Private-queue backing store: $(b,linked) (unbounded list) or \
+             $(b,ring) (bounded Lamport ring).")
+  in
   Cmd.v
     (Cmd.info "demo" ~doc:"Small end-to-end SCOOP program with statistics")
-    Term.(const demo $ trace)
+    Term.(const demo $ trace $ mailbox $ batch $ spsc)
 
 let lang_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in

@@ -1,6 +1,14 @@
 (* Runtime configurations: the five optimization columns of the paper's §4
    evaluation plus the EVE retrofit of §4.5.
 
+   The communication structure between clients and handlers — the axis
+   the paper's whole evaluation turns on — is selected by [mailbox]:
+   [`Qoq] is the queue-of-queues of Fig. 4, [`Direct] the original
+   lock-plus-single-queue structure of Fig. 2.  Orthogonal runtime knobs
+   ride along: [batch] bounds how many requests a handler drains per
+   wakeup (1 reproduces the paper's one-dequeue-per-iteration loop), and
+   [spsc] picks the private-queue backing store of the §3.1 ablation.
+
    The [hoisted] flag does not change the runtime; it tells benchmark code
    which kernel *shape* to use — the naive shape (a sync before every
    access, what a straightforward code generator emits) or the hoisted
@@ -9,9 +17,15 @@
 
 type t = {
   name : string;
-  qoq : bool;
-      (* queue-of-queues handler communication (Fig. 4) instead of the
-         original one-lock-per-handler structure (Fig. 2) *)
+  mailbox : [ `Qoq | `Direct ];
+      (* queue-of-queues handler communication (Fig. 4) vs the original
+         one-lock-per-handler structure (Fig. 2) *)
+  batch : int;
+      (* max requests a handler drains per wakeup (>= 1); one park/unpark
+         and one consumer-side synchronization cover the whole batch *)
+  spsc : [ `Linked | `Ring ];
+      (* private-queue backing store: unbounded linked list vs bounded
+         Lamport ring (§3.1 ablation) *)
   client_query : bool;
       (* execute queries on the client after a sync round trip (Fig. 10b)
          instead of packaging them for the handler (Fig. 10a) *)
@@ -20,10 +34,14 @@ type t = {
   eve : bool; (* EVE-style handler-lookup and shadow-stack handicaps, §4.5 *)
 }
 
+let default_batch = 16
+
 let none =
   {
     name = "none";
-    qoq = false;
+    mailbox = `Direct;
+    batch = default_batch;
+    spsc = `Linked;
     client_query = false;
     dyn_sync = false;
     hoisted = false;
@@ -32,12 +50,14 @@ let none =
 
 let dynamic = { none with name = "dynamic"; client_query = true; dyn_sync = true }
 let static_ = { none with name = "static"; client_query = true; hoisted = true }
-let qoq = { none with name = "qoq"; qoq = true }
+let qoq = { none with name = "qoq"; mailbox = `Qoq }
 
 let all =
   {
     name = "all";
-    qoq = true;
+    mailbox = `Qoq;
+    batch = default_batch;
+    spsc = `Linked;
     client_query = true;
     dyn_sync = true;
     hoisted = true;
@@ -51,7 +71,9 @@ let eve_base = { none with name = "eve-base"; eve = true }
 let eve_qs =
   {
     name = "eve-qs";
-    qoq = true;
+    mailbox = `Qoq;
+    batch = default_batch;
+    spsc = `Linked;
     client_query = true;
     dyn_sync = true;
     hoisted = false;
@@ -64,5 +86,17 @@ let by_name name =
   List.find_opt
     (fun c -> c.name = name)
     (presets @ [ eve_base; eve_qs ])
+
+let uses_qoq t = t.mailbox = `Qoq
+
+let mailbox_of_string = function
+  | "qoq" -> Some `Qoq
+  | "direct" -> Some `Direct
+  | _ -> None
+
+let spsc_of_string = function
+  | "linked" -> Some `Linked
+  | "ring" -> Some `Ring
+  | _ -> None
 
 let pp ppf t = Format.pp_print_string ppf t.name

@@ -10,16 +10,30 @@
     - {!qoq}: the queue-of-queues communication structure alone (§2.3).
     - {!all}: every optimization combined (the SCOOP/Qs runtime).
 
-    {!eve_base} and {!eve_qs} model the EVE retrofit experiment (§4.5). *)
+    {!eve_base} and {!eve_qs} model the EVE retrofit experiment (§4.5).
+
+    Orthogonal to the presets, [mailbox], [batch] and [spsc] select the
+    request path: which communication structure a processor uses, how
+    many requests its handler loop drains per wakeup, and which SPSC
+    queue backs the private queues. *)
 
 type t = {
   name : string;
-  qoq : bool;
+  mailbox : [ `Qoq | `Direct ];
+      (** queue-of-queues (Fig. 4) vs lock + single request queue (Fig. 2) *)
+  batch : int;
+      (** max requests a handler drains per wakeup (>= 1); 1 reproduces
+          the paper's one-dequeue-per-iteration handler loop *)
+  spsc : [ `Linked | `Ring ];
+      (** private-queue backing store (§3.1 ablation) *)
   client_query : bool;
   dyn_sync : bool;
   hoisted : bool;
   eve : bool;
 }
+
+val default_batch : int
+(** Default [batch] of every preset (16). *)
 
 val none : t
 val dynamic : t
@@ -33,4 +47,14 @@ val presets : t list
 (** The five columns of the optimization evaluation, in paper order. *)
 
 val by_name : string -> t option
+
+val uses_qoq : t -> bool
+(** [t.mailbox = `Qoq]. *)
+
+val mailbox_of_string : string -> [ `Qoq | `Direct ] option
+(** ["qoq"] / ["direct"]. *)
+
+val spsc_of_string : string -> [ `Linked | `Ring ] option
+(** ["linked"] / ["ring"]. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,25 +1,20 @@
 (** SCOOP processors (handlers): one fiber per processor running the
     handler loop of paper Fig. 7.
 
+    The loop is a single generic drain loop parameterized by a {e mailbox}
+    — a blocking batched view of the processor's request stream.  The
+    configuration selects what backs it: the queue-of-queues of Fig. 4
+    ([`Qoq]) or the original lock-plus-single-queue structure of Fig. 2
+    ([`Direct]).  Each wakeup drains up to [Config.batch] requests.
+
     Create processors through {!Runtime.processor}; client-side access goes
-    through {!Separate} blocks and {!Registration} operations — the fields
-    exposed here are for the runtime's own modules and for tests. *)
+    through {!Separate} blocks and {!Registration} operations, which use the
+    mode-specific operations below. *)
 
 type pq = Request.t Qs_sched.Bqueue.Spsc.t
 (** A private queue of requests. *)
 
-type t = {
-  id : int;
-  config : Config.t;
-  stats : Stats.t;
-  qoq : pq Qs_sched.Bqueue.Mpsc.t; (** queue-of-queues (qoq mode) *)
-  direct : Request.t Qs_sched.Bqueue.Mpsc.t; (** single request queue (lock mode) *)
-  lock : Qs_sched.Fiber_mutex.t; (** handler lock (lock mode) *)
-  reserve : Qs_queues.Spinlock.t; (** multi-reservation spinlock (§3.3) *)
-  cache : pq Qs_queues.Treiber_stack.t; (** recycled private queues *)
-  shadow : int array;
-  mutable shadow_top : int;
-}
+type t
 
 val create : id:int -> config:Config.t -> stats:Stats.t -> t
 (** Create a processor and spawn its handler fiber.  Must run inside a
@@ -27,11 +22,32 @@ val create : id:int -> config:Config.t -> stats:Stats.t -> t
 
 val id : t -> int
 
+val reserve : t -> Qs_queues.Spinlock.t
+(** The multi-reservation spinlock (§3.3). *)
+
+(** {1 Queue-of-queues mode ([`Qoq])}
+
+    These raise [Invalid_argument] on a [`Direct]-mode processor. *)
+
 val take_private_queue : t -> pq
 (** A fresh or recycled private queue for a new registration. *)
 
 val enqueue_private_queue : t -> pq -> unit
 (** Append a private queue to the queue-of-queues (the separate rule). *)
+
+(** {1 Lock mode ([`Direct])}
+
+    These raise [Invalid_argument] on a [`Qoq]-mode processor. *)
+
+val lock_handler : t -> unit
+(** Acquire the handler lock (blocks the client fiber). *)
+
+val unlock_handler : t -> unit
+
+val enqueue_direct : t -> Request.t -> unit
+(** Log a request into the handler's single request queue. *)
+
+(** {1 Lifecycle} *)
 
 val shutdown : t -> unit
 (** Close the processor's request stream: the handler fiber exits once all

@@ -102,10 +102,13 @@ let query t f =
     v
   end
 
-(* Block exit.  In queue-of-queues mode, append the END marker so the
-   handler moves on to the next private queue (the end rule); in lock mode
-   the caller (Separate) releases the handler lock instead. *)
+(* Block exit: append the END marker in both modes (the end rule).  In
+   queue-of-queues mode it makes the handler recycle the private queue and
+   move on to the next one; in lock mode the caller (Separate) additionally
+   releases the handler lock, and the marker keeps registration boundaries
+   visible to the handler loop (and counted in [Stats.ends_drained])
+   instead of being silently dropped. *)
 let close t =
   if t.closed then invalid_arg "Scoop.Registration: closed twice";
   t.closed <- true;
-  if t.ctx.Ctx.config.Config.qoq then t.enqueue Request.End
+  t.enqueue Request.End

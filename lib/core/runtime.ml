@@ -6,9 +6,30 @@ type t = {
   next_id : int Atomic.t;
 }
 
-let create ?(config = Config.all) ?(trace = false) () =
+(* The request-path knobs are orthogonal to the optimization presets, so
+   they are overridable per run without defining a new preset: [mailbox]
+   swaps the communication structure, [batch] the drain width, [spsc] the
+   private-queue backing. *)
+let override ?mailbox ?batch ?spsc config =
+  let config =
+    match mailbox with
+    | Some m -> { config with Config.mailbox = m }
+    | None -> config
+  in
+  let config =
+    match batch with
+    | Some b ->
+      if b < 1 then invalid_arg "Scoop.Runtime: batch must be >= 1";
+      { config with Config.batch = b }
+    | None -> config
+  in
+  match spsc with
+  | Some s -> { config with Config.spsc = s }
+  | None -> config
+
+let create ?(config = Config.all) ?mailbox ?batch ?spsc ?(trace = false) () =
   {
-    ctx = Ctx.create ~trace config;
+    ctx = Ctx.create ~trace (override ?mailbox ?batch ?spsc config);
     procs = Qs_queues.Treiber_stack.create ();
     next_id = Atomic.make 0;
   }
@@ -48,8 +69,8 @@ let separate_when t proc ~pred body = Separate.with_when t.ctx proc ~pred body
 let separate_list_when t procs ~pred body =
   Separate.with_list_when t.ctx procs ~pred body
 
-let run ?(domains = 1) ?(config = Config.all) ?(trace = false) ?on_stall
-    ?on_counters main =
+let run ?(domains = 1) ?(config = Config.all) ?mailbox ?batch ?spsc
+    ?(trace = false) ?on_stall ?on_counters main =
   Qs_sched.Sched.run ~domains ?on_stall ?on_counters (fun () ->
-    let t = create ~config ~trace () in
+    let t = create ~config ?mailbox ?batch ?spsc ~trace () in
     Fun.protect ~finally:(fun () -> shutdown t) (fun () -> main t))

@@ -12,14 +12,27 @@
 
 type t
 
-val create : ?config:Config.t -> ?trace:bool -> unit -> t
+val create :
+  ?config:Config.t ->
+  ?mailbox:[ `Qoq | `Direct ] ->
+  ?batch:int ->
+  ?spsc:[ `Linked | `Ring ] ->
+  ?trace:bool ->
+  unit ->
+  t
 (** Create a runtime inside an already-running scheduler.  [config]
-    defaults to {!Config.all} (the full SCOOP/Qs runtime); [trace]
-    enables detailed event tracing (see {!Trace}). *)
+    defaults to {!Config.all} (the full SCOOP/Qs runtime); [mailbox],
+    [batch] and [spsc] override the corresponding request-path fields of
+    [config] (see {!Config.t}); [trace] enables detailed event tracing
+    (see {!Trace}).
+    @raise Invalid_argument if [batch < 1]. *)
 
 val run :
   ?domains:int ->
   ?config:Config.t ->
+  ?mailbox:[ `Qoq | `Direct ] ->
+  ?batch:int ->
+  ?spsc:[ `Linked | `Ring ] ->
   ?trace:bool ->
   ?on_stall:[ `Raise | `Warn ] ->
   ?on_counters:(Qs_sched.Sched.counters -> unit) ->

@@ -20,21 +20,20 @@ let trace_reserved ctx proc =
 let enter_one ctx proc =
   Atomic.incr ctx.Ctx.stats.Stats.reservations;
   trace_reserved ctx proc;
-  if ctx.Ctx.config.Config.qoq then begin
+  if Config.uses_qoq ctx.Ctx.config then begin
     let pq = Processor.take_private_queue proc in
     Processor.enqueue_private_queue proc pq;
     Registration.make ~proc ~ctx ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq)
   end
   else begin
-    Qs_sched.Fiber_mutex.lock proc.Processor.lock;
-    Registration.make ~proc ~ctx
-      ~enqueue:(Qs_sched.Bqueue.Mpsc.enqueue proc.Processor.direct)
+    Processor.lock_handler proc;
+    Registration.make ~proc ~ctx ~enqueue:(Processor.enqueue_direct proc)
   end
 
 let exit_one ctx reg =
   Registration.close reg;
-  if not ctx.Ctx.config.Config.qoq then
-    Qs_sched.Fiber_mutex.unlock (Registration.processor reg).Processor.lock
+  if not (Config.uses_qoq ctx.Ctx.config) then
+    Processor.unlock_handler (Registration.processor reg)
 
 let with1 ctx proc body =
   let reg = enter_one ctx proc in
@@ -51,14 +50,14 @@ let enter_many ctx procs =
   List.iter (trace_reserved ctx) procs;
   check_distinct procs;
   let sorted = List.sort Processor.compare_by_id procs in
-  if ctx.Ctx.config.Config.qoq then begin
+  if Config.uses_qoq ctx.Ctx.config then begin
     (* Prepare all private queues first, then insert them while holding
        every handler's reservation spinlock: the insertions become one
        atomic event, the generalized separate rule of §2.4. *)
     let pqs = List.map (fun p -> (p, Processor.take_private_queue p)) procs in
-    List.iter (fun p -> Qs_queues.Spinlock.acquire p.Processor.reserve) sorted;
+    List.iter (fun p -> Qs_queues.Spinlock.acquire (Processor.reserve p)) sorted;
     List.iter (fun (p, pq) -> Processor.enqueue_private_queue p pq) pqs;
-    List.iter (fun p -> Qs_queues.Spinlock.release p.Processor.reserve)
+    List.iter (fun p -> Qs_queues.Spinlock.release (Processor.reserve p))
       (List.rev sorted);
     List.map
       (fun (p, pq) ->
@@ -68,11 +67,10 @@ let enter_many ctx procs =
   else begin
     (* Lock mode: take the handler locks in id order (atomic w.r.t. other
        multi-reservers and single reservers alike). *)
-    List.iter (fun p -> Qs_sched.Fiber_mutex.lock p.Processor.lock) sorted;
+    List.iter Processor.lock_handler sorted;
     List.map
       (fun p ->
-        Registration.make ~proc:p ~ctx
-          ~enqueue:(Qs_sched.Bqueue.Mpsc.enqueue p.Processor.direct))
+        Registration.make ~proc:p ~ctx ~enqueue:(Processor.enqueue_direct p))
       procs
   end
 

@@ -17,6 +17,9 @@ type t = {
   syncs_elided : int Atomic.t; (* syncs skipped by dynamic coalescing *)
   eve_lookups : int Atomic.t; (* simulated handler-table lookups (§4.5) *)
   wait_retries : int Atomic.t; (* failed wait-condition evaluations *)
+  handler_wakeups : int Atomic.t; (* batches drained by handler loops *)
+  batched_requests : int Atomic.t; (* requests delivered through those batches *)
+  ends_drained : int Atomic.t; (* End markers consumed (registrations drained) *)
 }
 
 let create () =
@@ -31,6 +34,9 @@ let create () =
     syncs_elided = Atomic.make 0;
     eve_lookups = Atomic.make 0;
     wait_retries = Atomic.make 0;
+    handler_wakeups = Atomic.make 0;
+    batched_requests = Atomic.make 0;
+    ends_drained = Atomic.make 0;
   }
 
 type snapshot = {
@@ -44,6 +50,9 @@ type snapshot = {
   s_syncs_elided : int;
   s_eve_lookups : int;
   s_wait_retries : int;
+  s_handler_wakeups : int;
+  s_batched_requests : int;
+  s_ends_drained : int;
 }
 
 let snapshot t =
@@ -58,6 +67,9 @@ let snapshot t =
     s_syncs_elided = Atomic.get t.syncs_elided;
     s_eve_lookups = Atomic.get t.eve_lookups;
     s_wait_retries = Atomic.get t.wait_retries;
+    s_handler_wakeups = Atomic.get t.handler_wakeups;
+    s_batched_requests = Atomic.get t.batched_requests;
+    s_ends_drained = Atomic.get t.ends_drained;
   }
 
 let diff later earlier =
@@ -73,7 +85,17 @@ let diff later earlier =
     s_syncs_elided = later.s_syncs_elided - earlier.s_syncs_elided;
     s_eve_lookups = later.s_eve_lookups - earlier.s_eve_lookups;
     s_wait_retries = later.s_wait_retries - earlier.s_wait_retries;
+    s_handler_wakeups = later.s_handler_wakeups - earlier.s_handler_wakeups;
+    s_batched_requests = later.s_batched_requests - earlier.s_batched_requests;
+    s_ends_drained = later.s_ends_drained - earlier.s_ends_drained;
   }
+
+(* Mean requests delivered per handler wakeup: the batching efficiency
+   of the drain-based handler loop (1.0 = one request per park/unpark,
+   the pre-batching behaviour). *)
+let mean_batch s =
+  if s.s_handler_wakeups = 0 then 0.0
+  else float_of_int s.s_batched_requests /. float_of_int s.s_handler_wakeups
 
 let pp_snapshot ppf s =
   Format.fprintf ppf
@@ -84,7 +106,10 @@ let pp_snapshot ppf s =
      syncs sent:        %d@,\
      syncs elided:      %d@,\
      eve lookups:       %d@,\
-     wait retries:      %d@]"
+     wait retries:      %d@,\
+     handler wakeups:   %d (requests: %d, mean batch: %.2f)@,\
+     ends drained:      %d@]"
     s.s_processors s.s_reservations s.s_multi_reservations s.s_calls
     s.s_queries s.s_packaged_queries s.s_syncs_sent s.s_syncs_elided
-    s.s_eve_lookups s.s_wait_retries
+    s.s_eve_lookups s.s_wait_retries s.s_handler_wakeups s.s_batched_requests
+    (mean_batch s) s.s_ends_drained

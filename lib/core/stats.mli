@@ -16,6 +16,9 @@ type t = {
   syncs_elided : int Atomic.t;
   eve_lookups : int Atomic.t;
   wait_retries : int Atomic.t;
+  handler_wakeups : int Atomic.t;
+  batched_requests : int Atomic.t;
+  ends_drained : int Atomic.t;
 }
 
 val create : unit -> t
@@ -31,10 +34,19 @@ type snapshot = {
   s_syncs_elided : int;
   s_eve_lookups : int;
   s_wait_retries : int;
+  s_handler_wakeups : int;
+  s_batched_requests : int;
+  s_ends_drained : int;
 }
 
 val snapshot : t -> snapshot
 val diff : snapshot -> snapshot -> snapshot
 (** [diff later earlier] is the per-field difference. *)
+
+val mean_batch : snapshot -> float
+(** Mean requests delivered per handler wakeup
+    ([s_batched_requests /. s_handler_wakeups]; [0.] before any wakeup).
+    1.0 is the old one-request-per-park behaviour; larger means the
+    batched drain is amortizing park/unpark transitions. *)
 
 val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -13,15 +13,21 @@ type 'a node = {
 type 'a t = {
   head : 'a node Atomic.t; (* dummy node; head.next is the front *)
   tail : 'a node Atomic.t; (* last or second-to-last node *)
+  closed : bool Atomic.t;
 }
 
 let make_node value = { value; next = Atomic.make None }
 
 let create () =
   let dummy = make_node None in
-  { head = Atomic.make dummy; tail = Atomic.make dummy }
+  {
+    head = Atomic.make dummy;
+    tail = Atomic.make dummy;
+    closed = Atomic.make false;
+  }
 
 let push t v =
+  if Atomic.get t.closed then raise Mailbox.Closed;
   let n = make_node (Some v) in
   let b = Backoff.create () in
   let rec loop () =
@@ -69,3 +75,26 @@ let pop t =
   loop ()
 
 let is_empty t = Atomic.get (Atomic.get t.head).next = None
+
+(* Batched pop.  Multiple consumers may race, so each element still
+   needs its own CAS (a Michael–Scott queue has no cheaper multi-element
+   claim); the batch saves the per-element call/backoff setup only. *)
+let drain t buf =
+  let cap = Array.length buf in
+  let rec go taken =
+    if taken >= cap then taken
+    else
+      match pop t with
+      | Some v ->
+        buf.(taken) <- v;
+        go (taken + 1)
+      | None -> taken
+  in
+  go 0
+
+let close t = Atomic.set t.closed true
+let is_closed t = Atomic.get t.closed
+
+(* MAILBOX aliases. *)
+let enqueue = push
+let dequeue = pop

@@ -16,3 +16,19 @@ val pop : 'a t -> 'a option
 
 val is_empty : 'a t -> bool
 (** Racy emptiness test. *)
+
+val drain : 'a t -> 'a array -> int
+(** Batched {!pop}: move up to [Array.length buf] elements into a prefix
+    of [buf] and return how many were taken (each element still costs a
+    CAS — the MS queue has no cheaper multi-element claim). *)
+
+val close : 'a t -> unit
+(** Close the producer side; pending elements remain poppable. *)
+
+val is_closed : 'a t -> bool
+
+val enqueue : 'a t -> 'a -> unit
+(** {!Mailbox.S} alias of {!push}.  @raise Mailbox.Closed after {!close}. *)
+
+val dequeue : 'a t -> 'a option
+(** {!Mailbox.S} alias of {!pop}. *)

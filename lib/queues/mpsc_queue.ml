@@ -21,15 +21,17 @@ type 'a node = {
 type 'a t = {
   head : 'a node Atomic.t; (* producers: last enqueued node *)
   mutable tail : 'a node;  (* consumer: last dequeued (dummy) node *)
+  closed : bool Atomic.t;
 }
 
 let make_node value = { value; next = Atomic.make None }
 
 let create () =
   let dummy = make_node None in
-  { head = Atomic.make dummy; tail = dummy }
+  { head = Atomic.make dummy; tail = dummy; closed = Atomic.make false }
 
 let push t v =
+  if Atomic.get t.closed then raise Mailbox.Closed;
   let n = make_node (Some v) in
   let prev = Atomic.exchange t.head n in
   Atomic.set prev.next (Some n)
@@ -52,3 +54,40 @@ let rec pop t =
 
 let is_empty t =
   Atomic.get t.tail.next = None && Atomic.get t.head == t.tail
+
+(* Batched pop: the consumer walks the already-linked suffix of the list
+   in one pass.  The only synchronization besides the per-node [next]
+   acquire loads is the single [head] comparison deciding emptiness; the
+   Vyukov mid-link transient is only waited out when the batch would
+   otherwise be empty. *)
+let drain t buf =
+  let cap = Array.length buf in
+  let rec go taken =
+    if taken >= cap then taken
+    else
+      let tail = t.tail in
+      match Atomic.get tail.next with
+      | Some n ->
+        (match n.value with
+        | Some v -> buf.(taken) <- v
+        | None -> assert false);
+        n.value <- None;
+        t.tail <- n;
+        go (taken + 1)
+      | None ->
+        if Atomic.get t.head == tail then taken (* genuinely empty *)
+        else if taken > 0 then taken
+          (* a producer is mid-link; deliver what we have *)
+        else begin
+          Domain.cpu_relax ();
+          go 0
+        end
+  in
+  if cap = 0 then 0 else go 0
+
+let close t = Atomic.set t.closed true
+let is_closed t = Atomic.get t.closed
+
+(* MAILBOX aliases. *)
+let enqueue = push
+let dequeue = pop

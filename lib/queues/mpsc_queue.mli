@@ -21,3 +21,19 @@ val pop : 'a t -> 'a option
 
 val is_empty : 'a t -> bool
 (** Consumer-side emptiness test. *)
+
+val drain : 'a t -> 'a array -> int
+(** Consumer side: batched {!pop} — move up to [Array.length buf]
+    already-linked elements into a prefix of [buf] in one pass and
+    return how many were taken. *)
+
+val close : 'a t -> unit
+(** Close the producer side; pending elements remain poppable. *)
+
+val is_closed : 'a t -> bool
+
+val enqueue : 'a t -> 'a -> unit
+(** {!Mailbox.S} alias of {!push}.  @raise Mailbox.Closed after {!close}. *)
+
+val dequeue : 'a t -> 'a option
+(** {!Mailbox.S} alias of {!pop}. *)

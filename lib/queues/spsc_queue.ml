@@ -19,15 +19,23 @@ type 'a t = {
   mutable tail : 'a node; (* producer-owned: last enqueued node *)
   pushed : int Atomic.t;  (* diagnostics *)
   popped : int Atomic.t;
+  closed : bool Atomic.t;
 }
 
 let make_node value = { value; next = Atomic.make None }
 
 let create () =
   let dummy = make_node None in
-  { head = dummy; tail = dummy; pushed = Atomic.make 0; popped = Atomic.make 0 }
+  {
+    head = dummy;
+    tail = dummy;
+    pushed = Atomic.make 0;
+    popped = Atomic.make 0;
+    closed = Atomic.make false;
+  }
 
 let push t v =
+  if Atomic.get t.closed then raise Mailbox.Closed;
   let n = make_node (Some v) in
   Atomic.set t.tail.next (Some n);
   t.tail <- n;
@@ -55,3 +63,32 @@ let is_empty t = Atomic.get t.head.next = None
 let length t =
   (* Racy estimate; exact when producer and consumer are quiescent. *)
   max 0 (Atomic.get t.pushed - Atomic.get t.popped)
+
+(* Batched pop: walk as many published nodes as fit in [buf], then
+   publish the consumption with a single counter update instead of one
+   per element. *)
+let drain t buf =
+  let cap = Array.length buf in
+  let taken = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !taken < cap do
+    match Atomic.get t.head.next with
+    | None -> continue_ := false
+    | Some n ->
+      (match n.value with
+      | Some v -> buf.(!taken) <- v
+      | None -> assert false);
+      n.value <- None;
+      t.head <- n;
+      incr taken
+  done;
+  if !taken > 0 then
+    ignore (Atomic.fetch_and_add t.popped !taken : int);
+  !taken
+
+let close t = Atomic.set t.closed true
+let is_closed t = Atomic.get t.closed
+
+(* MAILBOX aliases. *)
+let enqueue = push
+let dequeue = pop

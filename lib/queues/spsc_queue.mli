@@ -14,7 +14,8 @@ type 'a t
 val create : unit -> 'a t
 
 val push : 'a t -> 'a -> unit
-(** Producer side: append one element.  Never blocks. *)
+(** Producer side: append one element.  Never blocks.
+    @raise Mailbox.Closed after {!close}. *)
 
 val pop : 'a t -> 'a option
 (** Consumer side: remove the oldest element, or [None] if empty. *)
@@ -28,3 +29,19 @@ val is_empty : 'a t -> bool
 
 val length : 'a t -> int
 (** Racy size estimate, exact when both ends are quiescent. *)
+
+val drain : 'a t -> 'a array -> int
+(** Consumer side: batched {!pop} — move up to [Array.length buf]
+    elements into a prefix of [buf], publishing the consumption with a
+    single counter update, and return how many were taken. *)
+
+val close : 'a t -> unit
+(** Close the producer side; pending elements remain poppable. *)
+
+val is_closed : 'a t -> bool
+
+val enqueue : 'a t -> 'a -> unit
+(** {!Mailbox.S} alias of {!push}. *)
+
+val dequeue : 'a t -> 'a option
+(** {!Mailbox.S} alias of {!pop}. *)

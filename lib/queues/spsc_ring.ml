@@ -18,6 +18,7 @@ type 'a t = {
   tail : int Atomic.t; (* next slot to push; written by the producer *)
   mutable head_cache : int; (* producer's stale view of [head] *)
   mutable tail_cache : int; (* consumer's stale view of [tail] *)
+  closed : bool Atomic.t;
 }
 
 let create ?(capacity_pow2 = 8) () =
@@ -31,11 +32,13 @@ let create ?(capacity_pow2 = 8) () =
     tail = Atomic.make 0;
     head_cache = 0;
     tail_cache = 0;
+    closed = Atomic.make false;
   }
 
 let capacity t = t.mask + 1
 
 let try_push t v =
+  if Atomic.get t.closed then raise Mailbox.Closed;
   let tail = Atomic.get t.tail in
   if tail - t.head_cache >= capacity t then begin
     t.head_cache <- Atomic.get t.head;
@@ -73,3 +76,49 @@ let pop t =
 
 let is_empty t = Atomic.get t.head >= Atomic.get t.tail
 let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
+
+(* The ring is where batching pays most: one [tail] refresh bounds the
+   whole run of available slots, the slots are copied with plain array
+   reads, and a single [head] store publishes the entire consumption. *)
+let drain t buf =
+  let cap = Array.length buf in
+  let head = Atomic.get t.head in
+  if head >= t.tail_cache then t.tail_cache <- Atomic.get t.tail;
+  let n = min cap (t.tail_cache - head) in
+  if n <= 0 then 0
+  else begin
+    for i = 0 to n - 1 do
+      let slot = (head + i) land t.mask in
+      (match t.buffer.(slot) with
+      | Some v -> buf.(i) <- v
+      | None -> assert false);
+      t.buffer.(slot) <- None
+    done;
+    Atomic.set t.head (head + n);
+    n
+  end
+
+let close t = Atomic.set t.closed true
+let is_closed t = Atomic.get t.closed
+
+(* MAILBOX view: a default-capacity ring whose [enqueue] spins (with
+   backoff) while the ring is full — the bounded queue's only way to
+   offer the unbounded signature.  Producers that must never block keep
+   using [try_push]. *)
+module As_mailbox = struct
+  type nonrec 'a t = 'a t
+
+  let create () = create ()
+
+  let enqueue t v =
+    let b = Backoff.create () in
+    while not (try_push t v) do
+      Backoff.once b
+    done
+
+  let dequeue = pop
+  let drain = drain
+  let close = close
+  let is_closed = is_closed
+  let is_empty = is_empty
+end

@@ -18,3 +18,19 @@ val pop : 'a t -> 'a option
 val is_empty : 'a t -> bool
 val length : 'a t -> int
 val capacity : 'a t -> int
+
+val drain : 'a t -> 'a array -> int
+(** Consumer side: batched {!pop} — one [tail] refresh bounds the run,
+    plain array copies move it, one [head] store publishes the whole
+    consumption.  Returns how many elements were taken. *)
+
+val close : 'a t -> unit
+(** Close the producer side; pending elements remain poppable.
+    Subsequent {!try_push} calls raise [Mailbox.Closed]. *)
+
+val is_closed : 'a t -> bool
+
+module As_mailbox : Mailbox.S with type 'a t = 'a t
+(** {!Mailbox.S} view: default capacity, [enqueue] spins with backoff
+    while the ring is full (use {!try_push} directly when the producer
+    must never wait). *)

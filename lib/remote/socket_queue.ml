@@ -17,7 +17,7 @@
    write or read yields the fiber instead of stalling the domain, so the
    queue composes with the scheduler like every other primitive. *)
 
-exception Closed
+exception Closed = Qs_queues.Mailbox.Closed
 
 type 'a t = {
   read_fd : Unix.file_descr;
@@ -127,6 +127,45 @@ let rec dequeue t =
     else if t.read_len > 0 then dequeue t (* parse what remains *)
     else None
 
+(* Non-blocking fill: pull whatever the kernel already has, but never
+   yield — a would-block read just ends the batch. *)
+let fill_nowait t =
+  grow_buffer t (t.read_len + 4096);
+  match
+    Unix.read t.read_fd t.read_buffer t.read_len
+      (Bytes.length t.read_buffer - t.read_len)
+  with
+  | 0 ->
+    t.eof <- true;
+    false
+  | n ->
+    t.read_len <- t.read_len + n;
+    true
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> false
+
+(* Batched receive: block (yielding) for the first message, then take
+   every message already framed in the buffer or readable without
+   blocking — the whole batch costs at most the syscalls the kernel
+   forces, not one blocking round trip per message. *)
+let drain t buf =
+  let cap = Array.length buf in
+  if cap = 0 then 0
+  else
+    match dequeue t with
+    | None -> 0
+    | Some v ->
+      buf.(0) <- v;
+      let taken = ref 1 in
+      let continue_ = ref true in
+      while !continue_ && !taken < cap do
+        match take_frame t with
+        | Some v ->
+          buf.(!taken) <- v;
+          incr taken
+        | None -> if not (fill_nowait t) then continue_ := false
+      done;
+      !taken
+
 let close_writer t =
   if not t.write_closed then begin
     t.write_closed <- true;
@@ -138,3 +177,26 @@ let destroy t =
   close_writer t;
   (try Unix.close t.write_fd with Unix.Unix_error _ -> ());
   try Unix.close t.read_fd with Unix.Unix_error _ -> ()
+
+let is_closed t = t.write_closed
+
+(* Consumer-side view: a complete frame is already buffered.  Bytes still
+   sitting in the kernel are not counted, so [false] is authoritative but
+   [true] is only "nothing parsed yet". *)
+let is_empty t =
+  not
+    (t.read_len >= frame_header_size
+    && t.read_len
+       >= frame_header_size + Int64.to_int (Bytes.get_int64_le t.read_buffer 0))
+
+module As_mailbox = struct
+  type nonrec 'a t = 'a t
+
+  let create = create
+  let enqueue = enqueue
+  let dequeue = dequeue
+  let drain = drain
+  let close = close_writer
+  let is_closed = is_closed
+  let is_empty = is_empty
+end

@@ -9,6 +9,7 @@
     fiber may {!dequeue}. *)
 
 exception Closed
+(** Same exception as [Qs_queues.Mailbox.Closed] (rebound). *)
 
 type 'a t
 
@@ -21,8 +22,25 @@ val dequeue : 'a t -> 'a option
 (** Receive the next message, yielding while none is available; [None]
     once the writer has closed and the stream is drained. *)
 
+val drain : 'a t -> 'a array -> int
+(** Batched receive: block (yielding) for the first message, then take
+    every message already framed or readable without blocking, up to
+    [Array.length buf]; returns the count, [0] once the writer has
+    closed and the stream is drained. *)
+
 val close_writer : 'a t -> unit
 (** Signal end-of-stream to the consumer. *)
 
+val is_closed : 'a t -> bool
+
+val is_empty : 'a t -> bool
+(** [false] means a complete frame is buffered; [true] only means
+    nothing is parsed yet (bytes may still sit in the kernel). *)
+
 val destroy : 'a t -> unit
 (** Close both file descriptors. *)
+
+module As_mailbox : Qs_queues.Mailbox.S with type 'a t = 'a t
+(** [Qs_queues.Mailbox.S] view of the transport ([close] is
+    {!close_writer}).  Blocking flavour: [dequeue]/[drain] yield until a
+    message or end-of-stream arrives. *)

@@ -91,7 +91,7 @@ let runtime_order config (ops1, ops2) =
     R.separate rt h (fun reg -> Sh.get reg log (fun l -> List.rev !l)))
 
 let mode_of_config config =
-  if not config.Scoop.Config.qoq then Sem.Step.original
+  if not (Scoop.Config.uses_qoq config) then Sem.Step.original
   else if config.Scoop.Config.client_query then Sem.Step.qs_client_exec
   else Sem.Step.qs
 

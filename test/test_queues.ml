@@ -355,6 +355,222 @@ let prop_ring_model =
           | Pop -> Q.Spsc_ring.pop r = Queue.take_opt model)
         ops)
 
+(* -- generic MAILBOX properties --------------------------------------------- *)
+
+(* One property suite, instantiated for every Mailbox.S conformer: the raw
+   lock-free queues, the bounded ring and the socket transport here, and
+   the blocking fiber-level Bqueue layer below.  Element counts stay under
+   the ring's default capacity (256) because ring enqueues spin when full
+   and nothing drains concurrently in these sequential properties. *)
+
+module Sched = Qs_sched.Sched
+
+module Mailbox_props
+    (M : Q.Mailbox.S) (I : sig
+      val name : string
+      val count : int
+
+      val closed_enqueue : [ `Raises | `Drops ]
+      (* Raw mailboxes raise [Mailbox.Closed]; the blocking Bqueue layer
+         silently drops (runtime shutdown races live registrations). *)
+
+      val dispose : int M.t -> unit
+    end) =
+struct
+  let elems = QCheck2.Gen.(list_size (int_range 1 100) small_int)
+  let print = QCheck2.Print.(list int)
+
+  (* The socket instance yields while waiting for bytes and the Bqueue
+     instances park fibers, so every property runs inside a scheduler;
+     the lock-free instances don't care. *)
+  let with_mailbox f =
+    Sched.run (fun () ->
+      let t = M.create () in
+      Fun.protect ~finally:(fun () -> I.dispose t) (fun () -> f t))
+
+  let fifo =
+    QCheck2.Test.make ~count:I.count ~name:(I.name ^ ": fifo order") ~print
+      elems
+      (fun xs ->
+        with_mailbox (fun t ->
+          List.iter (M.enqueue t) xs;
+          List.for_all (fun x -> M.dequeue t = Some x) xs && M.is_empty t))
+
+  (* drain takes the same elements in the same order as repeated dequeue,
+     whatever prefix size the buffer imposes. *)
+  let drain_is_dequeue =
+    QCheck2.Test.make ~count:I.count
+      ~name:(I.name ^ ": drain = repeated dequeue")
+      ~print:QCheck2.Print.(pair (list int) int)
+      QCheck2.Gen.(pair elems (int_range 1 100))
+      (fun (xs, k) ->
+        with_mailbox (fun t ->
+          List.iter (M.enqueue t) xs;
+          let len = List.length xs in
+          let buf = Array.make (min k len) 0 in
+          let n = M.drain t buf in
+          let taken = ref (Array.to_list (Array.sub buf 0 n)) in
+          (* Blocking instances would park on an empty mailbox: dequeue
+             exactly the elements known to remain. *)
+          while List.length !taken < len do
+            match M.dequeue t with
+            | Some v -> taken := !taken @ [ v ]
+            | None -> Alcotest.fail "dequeue lost an element"
+          done;
+          n >= 1 && !taken = xs && M.is_empty t))
+
+  let close_keeps_pending =
+    QCheck2.Test.make ~count:I.count
+      ~name:(I.name ^ ": close keeps pending, stops enqueue") ~print elems
+      (fun xs ->
+        with_mailbox (fun t ->
+          List.iter (M.enqueue t) xs;
+          M.close t;
+          let enqueue_stopped =
+            match M.enqueue t 12345 with
+            | () -> I.closed_enqueue = `Drops
+            | exception Q.Mailbox.Closed -> I.closed_enqueue = `Raises
+          in
+          let len = List.length xs in
+          let buf = Array.make len 0 in
+          let n = M.drain t buf in
+          let taken = ref (Array.to_list (Array.sub buf 0 n)) in
+          while List.length !taken < len do
+            match M.dequeue t with
+            | Some v -> taken := !taken @ [ v ]
+            | None -> Alcotest.fail "close dropped a pending element"
+          done;
+          (* Closed and drained: both flavours now agree on None. *)
+          M.is_closed t && enqueue_stopped && !taken = xs
+          && M.dequeue t = None))
+
+  let tests =
+    List.map QCheck_alcotest.to_alcotest
+      [ fifo; drain_is_dequeue; close_keeps_pending ]
+end
+
+module Raw_defaults = struct
+  let count = 200
+  let closed_enqueue = `Raises
+  let dispose _ = ()
+end
+
+module Props_spsc_linked =
+  Mailbox_props
+    (Q.Spsc_queue)
+    (struct
+      include Raw_defaults
+
+      let name = "spsc-linked"
+    end)
+
+module Props_spsc_ring =
+  Mailbox_props
+    (Q.Spsc_ring.As_mailbox)
+    (struct
+      include Raw_defaults
+
+      let name = "spsc-ring"
+    end)
+
+module Props_mpsc =
+  Mailbox_props
+    (Q.Mpsc_queue)
+    (struct
+      include Raw_defaults
+
+      let name = "mpsc"
+    end)
+
+module Props_mpmc =
+  Mailbox_props
+    (Q.Mpmc_queue)
+    (struct
+      include Raw_defaults
+
+      let name = "mpmc"
+    end)
+
+module Props_socket =
+  Mailbox_props
+    (Qs_remote.Socket_queue.As_mailbox)
+    (struct
+      let name = "socket"
+      let count = 25 (* each iteration opens a socket pair *)
+      let closed_enqueue = `Raises
+      let dispose = Qs_remote.Socket_queue.destroy
+    end)
+
+module Bq = Qs_sched.Bqueue
+
+module Bq_defaults = struct
+  let count = 100
+  let closed_enqueue = `Drops
+  let dispose _ = ()
+end
+
+module Props_bq_spsc_linked =
+  Mailbox_props
+    (struct
+      include Bq.Spsc
+
+      let create () = create ~backing:`Linked ()
+    end)
+    (struct
+      include Bq_defaults
+
+      let name = "bqueue:spsc-linked"
+    end)
+
+module Props_bq_spsc_ring =
+  Mailbox_props
+    (struct
+      include Bq.Spsc
+
+      let create () = create ~backing:`Ring ()
+    end)
+    (struct
+      include Bq_defaults
+
+      let name = "bqueue:spsc-ring"
+    end)
+
+module Props_bq_mpsc =
+  Mailbox_props
+    (Bq.Mpsc)
+    (struct
+      include Bq_defaults
+
+      let name = "bqueue:mpsc"
+    end)
+
+(* The first-class [Bqueue.mailboxes] registry stays usable as packed
+   modules (that is how benchmarks consume it). *)
+let test_mailbox_registry () =
+  Sched.run (fun () ->
+    List.iter
+      (fun (name, (module M : Bq.MAILBOX)) ->
+        let t = M.create () in
+        for i = 1 to 10 do
+          M.enqueue t i
+        done;
+        let buf = Array.make 4 0 in
+        let n = M.drain t buf in
+        check_int (name ^ " drain count") 4 n;
+        check_list (name ^ " drain prefix") [ 1; 2; 3; 4 ]
+          (Array.to_list buf);
+        M.close t;
+        let rest = ref [] in
+        let continue_ = ref true in
+        while !continue_ do
+          match M.dequeue t with
+          | Some v -> rest := v :: !rest
+          | None -> continue_ := false
+        done;
+        check_list (name ^ " pending after close") [ 5; 6; 7; 8; 9; 10 ]
+          (List.rev !rest))
+      Bq.mailboxes)
+
 let test_spinlock_mutual_exclusion () =
   let l = Q.Spinlock.create () in
   let counter = ref 0 in
@@ -391,6 +607,11 @@ let () =
         ] );
       ( "properties",
         [ qc prop_spsc; qc prop_mpsc; qc prop_mpmc; qc prop_treiber; qc prop_ring_model ] );
+      ( "mailbox",
+        Props_spsc_linked.tests @ Props_spsc_ring.tests @ Props_mpsc.tests
+        @ Props_mpmc.tests @ Props_socket.tests @ Props_bq_spsc_linked.tests
+        @ Props_bq_spsc_ring.tests @ Props_bq_mpsc.tests
+        @ [ Alcotest.test_case "bqueue registry" `Quick test_mailbox_registry ] );
       ( "parallel",
         [
           Alcotest.test_case "mpsc 4 producers" `Quick test_mpsc_producers;

@@ -323,7 +323,9 @@ let test_bqueue_spsc_blocks () =
       S.spawn (fun () ->
         (* Consumer parks on the empty queue. *)
         for _ = 1 to 5 do
-          log := Bq.Spsc.dequeue q :: !log
+          match Bq.Spsc.dequeue q with
+          | Some v -> log := v :: !log
+          | None -> Alcotest.fail "unexpected close"
         done);
       S.spawn (fun () ->
         for i = 1 to 5 do

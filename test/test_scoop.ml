@@ -241,6 +241,81 @@ let test_sequential_blocks config =
 
 (* -- instrumentation ----------------------------------------------------------- *)
 
+(* -- mailbox structure and batch width -------------------------------------- *)
+
+(* The bank-account result is identical whichever mailbox structure backs
+   the handlers and whatever the drain batch width: the §2.2 guarantees
+   are communication-structure independent. *)
+let test_mailbox_batch_equivalence () =
+  let tellers = 4 and deposits = 200 and initial = 100 in
+  let expected = initial + (tellers * deposits) in
+  List.iter
+    (fun mailbox ->
+      List.iter
+        (fun batch ->
+          let final =
+            R.run ~domains:2 ~mailbox ~batch (fun rt ->
+              let account = R.processor rt in
+              let balance = Sh.create account (ref initial) in
+              let latch = Latch.create tellers in
+              for _ = 1 to tellers do
+                S.spawn (fun () ->
+                  for _ = 1 to deposits do
+                    R.separate rt account (fun reg ->
+                      Sh.apply reg balance (fun b -> b := !b + 1))
+                  done;
+                  Latch.count_down latch)
+              done;
+              Latch.wait latch;
+              R.separate rt account (fun reg -> Sh.get reg balance (fun b -> !b)))
+          in
+          check_int
+            (Printf.sprintf "balance [%s, batch %d]"
+               (match mailbox with `Qoq -> "qoq" | `Direct -> "direct")
+               batch)
+            expected final)
+        [ 1; 4; 64 ])
+    [ `Qoq; `Direct ]
+
+(* Batched drain amortizes wakeups: a call-heavy workload under QoQ with
+   batch > 1 delivers more than one request per handler wakeup, while
+   batch 1 reproduces the old one-request-per-park loop exactly. *)
+let test_mean_batch () =
+  let run ~batch =
+    R.run ~domains:2 ~config:Cfg.qoq ~batch (fun rt ->
+      let buffer = R.processor rt in
+      let queue = Sh.create buffer (Queue.create ()) in
+      let producers = 4 and per = 100 in
+      let latch = Latch.create producers in
+      for i = 1 to producers do
+        S.spawn (fun () ->
+          for k = 1 to per do
+            R.separate rt buffer (fun reg ->
+              Sh.apply reg queue (fun q -> Queue.push ((i * per) + k) q);
+              Sh.apply reg queue (fun q -> ignore (Queue.pop q : int)))
+          done;
+          Latch.count_down latch)
+      done;
+      Latch.wait latch;
+      (* The producers never wait for the handler; queue-of-queues FIFO
+         order means this query's sync round trip returns only after every
+         earlier registration has been drained, so the counters are
+         settled when the snapshot is taken. *)
+      ignore
+        (R.separate rt buffer (fun reg -> Sh.get reg queue Queue.length) : int);
+      Scoop.Stats.snapshot (R.stats rt))
+  in
+  let batched = run ~batch:16 in
+  check_bool
+    (Printf.sprintf "mean batch %.2f > 1 at batch 16"
+       (Scoop.Stats.mean_batch batched))
+    true
+    (Scoop.Stats.mean_batch batched > 1.0);
+  check_bool "ends counted" true (batched.Scoop.Stats.s_ends_drained > 0);
+  let serial = run ~batch:1 in
+  check_bool "mean batch = 1 at batch 1" true
+    (Scoop.Stats.mean_batch serial = 1.0)
+
 let test_stats_queries () =
   let snap config =
     R.run ~config (fun rt ->
@@ -545,6 +620,13 @@ let () =
         @ per_config "shared ownership" test_shared_wrong_block
         @ per_config "handler as client" test_handler_as_client
         @ per_config "sequential blocks" test_sequential_blocks );
+      ( "mailbox",
+        [
+          Alcotest.test_case "qoq/direct x batch equivalence" `Quick
+            test_mailbox_batch_equivalence;
+          Alcotest.test_case "batched drain amortizes wakeups" `Quick
+            test_mean_batch;
+        ] );
       ( "instrumentation",
         [
           Alcotest.test_case "query accounting" `Quick test_stats_queries;
