@@ -28,6 +28,24 @@ let all_artifacts =
    return" vs three for the lock-based runtime.  The scheduler counters
    measure this directly: run a query-heavy workload under each
    configuration and report fiber dispatches and handoffs per query. *)
+(* The query-heavy workload behind the context-switch accounting and the
+   instrumented probe: [clients] fibers each doing [rounds] command+query
+   rounds against one handler. *)
+let query_workload rt ~rounds ~clients =
+  let h = Scoop.Runtime.processor rt in
+  let cell = Scoop.Shared.create h (ref 0) in
+  let latch = Qs_sched.Latch.create clients in
+  for _ = 1 to clients do
+    Qs_sched.Sched.spawn (fun () ->
+      for _ = 1 to rounds do
+        Scoop.Runtime.separate rt h (fun reg ->
+          Scoop.Shared.apply reg cell incr;
+          ignore (Scoop.Shared.get reg cell (fun r -> !r) : int))
+      done;
+      Qs_sched.Latch.count_down latch)
+  done;
+  Qs_sched.Latch.wait latch
+
 let switches (s : H.scale) =
   print_newline ();
   print_endline
@@ -42,20 +60,7 @@ let switches (s : H.scale) =
       let captured = ref None in
       Scoop.Runtime.run ~domains:s.H.domains ~config
         ~on_counters:(fun c -> captured := Some c)
-        (fun rt ->
-          let h = Scoop.Runtime.processor rt in
-          let cell = Scoop.Shared.create h (ref 0) in
-          let latch = Qs_sched.Latch.create clients in
-          for _ = 1 to clients do
-            Qs_sched.Sched.spawn (fun () ->
-              for _ = 1 to rounds do
-                Scoop.Runtime.separate rt h (fun reg ->
-                  Scoop.Shared.apply reg cell incr;
-                  ignore (Scoop.Shared.get reg cell (fun r -> !r) : int))
-              done;
-              Qs_sched.Latch.count_down latch)
-          done;
-          Qs_sched.Latch.wait latch);
+        (fun rt -> query_workload rt ~rounds ~clients);
       match !captured with
       | Some c ->
         let per = float_of_int (clients * rounds) in
@@ -133,7 +138,7 @@ let mailbox_batching () =
   print_endline (String.make 72 '-');
   Printf.printf "%-24s %10s %10s %12s\n" "mailbox" "wakeups" "requests"
     "mean batch";
-  List.iter
+  List.map
     (fun (mailbox, batch) ->
       let s =
         Scoop.Runtime.run ~domains:2 ~mailbox ~batch (fun rt ->
@@ -160,12 +165,14 @@ let mailbox_batching () =
               : int);
           Scoop.Stats.snapshot (Scoop.Runtime.stats rt))
       in
+      let name =
+        match mailbox with `Qoq -> "qoq" | `Direct -> "direct"
+      in
       Printf.printf "%-24s %10d %10d %12.2f\n"
-        (Printf.sprintf "%s batch=%d"
-           (match mailbox with `Qoq -> "qoq" | `Direct -> "direct")
-           batch)
+        (Printf.sprintf "%s batch=%d" name batch)
         s.Scoop.Stats.s_handler_wakeups s.Scoop.Stats.s_batched_requests
-        (Scoop.Stats.mean_batch s))
+        (Scoop.Stats.mean_batch s);
+      (name, batch, s))
     [ (`Qoq, 1); (`Qoq, 16); (`Qoq, 64); (`Direct, 1); (`Direct, 16);
       (`Direct, 64) ]
 
@@ -341,11 +348,121 @@ let micro () =
       | Some [ est ] -> Printf.printf "%-32s %12.0f ns/run\n" name est
       | _ -> Printf.printf "%-32s (no estimate)\n" name)
     results;
-  mailbox_batching ()
+  (* Mean/stddev of the per-run time over the raw samples — the spread
+     the OLS point estimate hides, for the machine-readable output. *)
+  let label = Measure.label Instance.monotonic_clock in
+  let rows =
+    Hashtbl.fold
+      (fun name (b : Benchmark.t) acc ->
+        let samples =
+          Array.to_list b.Benchmark.lr
+          |> List.filter_map (fun m ->
+               let runs = Measurement_raw.run m in
+               if runs <= 0.0 then None
+               else Some (Measurement_raw.get ~label m /. runs))
+        in
+        match samples with
+        | [] -> acc
+        | _ ->
+          let n = List.length samples in
+          let mean = List.fold_left ( +. ) 0.0 samples /. float_of_int n in
+          let var =
+            List.fold_left
+              (fun acc x -> acc +. ((x -. mean) *. (x -. mean)))
+              0.0 samples
+            /. float_of_int n
+          in
+          (name, mean, sqrt var, n) :: acc)
+      raw []
+    |> List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b)
+  in
+  (rows, mailbox_batching ())
+
+(* -- machine-readable output ------------------------------------------------- *)
+
+(* One instrumented run of the query-heavy workload under the full
+   configuration: runtime counters, scheduler counters and (optionally)
+   a whole-stack event trace for the [--trace-out] export. *)
+let instrumented_probe ?obs (s : H.scale) =
+  let sched = ref [] in
+  let stats =
+    Scoop.Runtime.run ~domains:s.H.domains ?obs
+      ~on_counters:(fun c -> sched := Qs_sched.Sched.counters_assoc c)
+      (fun rt ->
+        query_workload rt ~rounds:(max 200 (s.H.m / 4)) ~clients:8;
+        Scoop.Runtime.stats rt)
+  in
+  (Scoop.Stats.assoc stats, !sched)
+
+let json_ints kvs =
+  Qs_obs.Json.Obj (List.map (fun (k, v) -> (k, Qs_obs.Json.Int v)) kvs)
+
+let write_json path (s : H.scale) micro_rows batching_rows =
+  let open Qs_obs.Json in
+  let runtime_counters, sched_counters = instrumented_probe s in
+  let micro_json =
+    List.map
+      (fun (name, mean, stddev, samples) ->
+        Obj
+          [
+            ("name", String name);
+            ("mean_ns", Float mean);
+            ("stddev_ns", Float stddev);
+            ("samples", Int samples);
+          ])
+      micro_rows
+  in
+  let batching_json =
+    List.map
+      (fun (mailbox, batch, snap) ->
+        Obj
+          [
+            ("mailbox", String mailbox);
+            ("batch", Int batch);
+            ("handler_wakeups", Int snap.Scoop.Stats.s_handler_wakeups);
+            ("batched_requests", Int snap.Scoop.Stats.s_batched_requests);
+            ("mean_batch", Float (Scoop.Stats.mean_batch snap));
+          ])
+      batching_rows
+  in
+  let doc =
+    Obj
+      [
+        ("suite", String "qs-bench");
+        ( "config",
+          Obj
+            [
+              ("scale_m", Int s.H.m);
+              ("reps", Int s.H.reps);
+              ("domains", Int s.H.domains);
+              ("workers", Int s.H.workers);
+            ] );
+        ("micro", List micro_json);
+        ("mailbox_batching", List batching_json);
+        ( "counters",
+          Obj
+            [
+              ("runtime", json_ints runtime_counters);
+              ("sched", json_ints sched_counters);
+            ] );
+      ]
+  in
+  write_file path doc;
+  Printf.printf "\nwrote machine-readable results to %s\n" path
+
+let write_trace path (s : H.scale) =
+  let sink = Qs_obs.Sink.create () in
+  let runtime_counters, sched_counters = instrumented_probe ~obs:sink s in
+  Qs_obs.Chrome.write_file ~counters:(runtime_counters @ sched_counters) sink
+    path;
+  Printf.printf
+    "\nwrote Chrome trace of the instrumented probe to %s (load in \
+     chrome://tracing or ui.perfetto.dev)\n"
+    path
 
 (* -- driver ----------------------------------------------------------------- *)
 
-let run scale only =
+let run scale only json trace_out =
   let want name = only = [] || List.mem name only in
   let par_opt = lazy (H.optimization_parallel scale) in
   let conc_opt = lazy (H.optimization_concurrent scale) in
@@ -380,7 +497,20 @@ let run scale only =
   end;
   if want "eve" then Report.eve (H.eve_experiment scale);
   if want "switches" then switches scale;
-  if want "micro" then micro ()
+  if want "micro" then begin
+    let micro_rows, batching_rows = micro () in
+    match json with
+    | Some path -> write_json path scale micro_rows batching_rows
+    | None -> ()
+  end
+  else
+    Option.iter
+      (fun path ->
+        (* No micro rows without the micro suite; still emit the
+           counters so the output is valid and self-describing. *)
+        write_json path scale [] [])
+      json;
+  Option.iter (fun path -> write_trace path scale) trace_out
 
 open Cmdliner
 
@@ -419,10 +549,29 @@ let only_term =
               fig16 table2 fig17 table3 table4 fig18 fig19 table5 fig20 \
               summary eve micro.")
 
+let json_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write machine-readable results to $(docv): micro-benchmark \
+           mean/stddev over raw samples, mailbox batching rows, and the \
+           runtime/scheduler counters of an instrumented probe run.")
+
+let trace_out_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Run an instrumented probe workload and write its whole-stack \
+           event trace as Chrome trace-event JSON to $(docv).")
+
 let cmd =
   let doc = "Regenerate every table and figure of the SCOOP/Qs evaluation" in
   Cmd.v
     (Cmd.info "qs-bench" ~doc)
-    Term.(const run $ scale_term $ only_term)
+    Term.(const run $ scale_term $ only_term $ json_term $ trace_out_term)
 
 let () = exit (Cmd.eval cmd)

@@ -9,7 +9,12 @@
      qs sim [--task t] [--lang l]
          — print simulated scalability curves from the calibrated model.
      qs demo
-         — a small end-to-end SCOOP program with runtime statistics. *)
+         — a small end-to-end SCOOP program with runtime statistics.
+     qs trace <example> [--trace-out FILE]
+         — run a traced example workload and print the merged
+           per-processor / per-worker observability summary; optionally
+           export a Chrome trace-event JSON file (chrome://tracing,
+           ui.perfetto.dev). *)
 
 open Cmdliner
 
@@ -133,6 +138,12 @@ let demo trace_flag mailbox batch spsc =
           Qs_sched.Latch.count_down latch)
       done;
       Qs_sched.Latch.wait latch;
+      (* Live mid-run scheduler counters: readable at any point from
+         inside the scheduler (approximate until quiescence). *)
+      (match Scoop.Runtime.sched_counters () with
+      | Some c ->
+        Format.printf "scheduler so far: %a@." Qs_sched.Sched.pp_counters c
+      | None -> ());
       let final =
         Scoop.Runtime.separate rt account (fun reg ->
           Scoop.Shared.get reg balance (fun b -> !b))
@@ -147,6 +158,114 @@ let demo trace_flag mailbox batch spsc =
       Scoop.Stats.snapshot (Scoop.Runtime.stats rt))
   in
   Format.printf "runtime statistics:@.%a@." Scoop.Stats.pp_snapshot stats
+
+(* -- trace -------------------------------------------------------------------- *)
+
+(* Example workloads for `qs trace`.  Each exercises all three
+   instrumented layers — scheduler workers, processor handlers, client
+   operations — so the exported Chrome trace shows the whole stack. *)
+
+let quickstart rt =
+  (* The demo's bank tellers, plus periodic audit queries so the trace
+     contains sync/query round trips as well as asynchronous calls. *)
+  let account = Scoop.Runtime.processor rt in
+  let balance = Scoop.Shared.create account (ref 100) in
+  let tellers = 4 and deposits = 200 in
+  let latch = Qs_sched.Latch.create tellers in
+  for _ = 1 to tellers do
+    Qs_sched.Sched.spawn (fun () ->
+      for i = 1 to deposits do
+        Scoop.Runtime.separate rt account (fun reg ->
+          Scoop.Shared.apply reg balance (fun b -> b := !b + 1);
+          if i mod 50 = 0 then
+            ignore (Scoop.Shared.get reg balance (fun b -> !b) : int))
+      done;
+      Qs_sched.Latch.count_down latch)
+  done;
+  Qs_sched.Latch.wait latch;
+  ignore
+    (Scoop.Runtime.separate rt account (fun reg ->
+       Scoop.Shared.get reg balance (fun b -> !b))
+      : int)
+
+let prodcons rt =
+  (* Bounded producer/consumer over two handlers with wait conditions:
+     reservations, wait retries and multi-handler transfers. *)
+  let buf_proc = Scoop.Runtime.processor rt in
+  let sink_proc = Scoop.Runtime.processor rt in
+  let buffer = Scoop.Shared.create buf_proc (Queue.create ()) in
+  let consumed = Scoop.Shared.create sink_proc (ref 0) in
+  let items = 500 in
+  let latch = Qs_sched.Latch.create 2 in
+  Qs_sched.Sched.spawn (fun () ->
+    for i = 1 to items do
+      Scoop.Runtime.separate_when rt buf_proc
+        ~pred:(fun reg -> Scoop.Shared.get reg buffer Queue.length < 16)
+        (fun reg -> Scoop.Shared.apply reg buffer (fun q -> Queue.push i q))
+    done;
+    Qs_sched.Latch.count_down latch);
+  Qs_sched.Sched.spawn (fun () ->
+    for _ = 1 to items do
+      let v =
+        Scoop.Runtime.separate_when rt buf_proc
+          ~pred:(fun reg -> Scoop.Shared.get reg buffer Queue.length > 0)
+          (fun reg -> Scoop.Shared.get reg buffer Queue.pop)
+      in
+      Scoop.Runtime.separate rt sink_proc (fun reg ->
+        Scoop.Shared.apply reg consumed (fun c -> c := !c + v))
+    done;
+    Qs_sched.Latch.count_down latch);
+  Qs_sched.Latch.wait latch;
+  let total =
+    Scoop.Runtime.separate rt sink_proc (fun reg ->
+      Scoop.Shared.get reg consumed (fun c -> !c))
+  in
+  Printf.printf "consumed %d items (checksum %d, expected %d)\n" items total
+    (items * (items + 1) / 2)
+
+let trace_examples =
+  [ ("quickstart", quickstart); ("prodcons", prodcons) ]
+
+let trace_run name out domains mailbox batch =
+  if batch < 1 then begin
+    Printf.eprintf "qs: --batch must be >= 1 (got %d)\n" batch;
+    exit 1
+  end;
+  let workload = List.assoc name trace_examples in
+  let sink = Qs_obs.Sink.create () in
+  let sched = ref None in
+  let stats =
+    Scoop.Runtime.run ~domains ~mailbox ~batch ~obs:sink
+      ~on_counters:(fun c -> sched := Some c)
+      (fun rt ->
+        workload rt;
+        Scoop.Runtime.stats rt)
+  in
+  (* The scheduler has quiesced: sink readers and counters are exact. *)
+  Format.printf "== per-processor summary (client/core events) ==@.%a@."
+    Scoop.Trace.pp_summary
+    (Scoop.Trace.summarize (Scoop.Trace.of_sink sink));
+  Format.printf "== event tracks ==@.%a@." Qs_obs.Sink.pp_track_summary sink;
+  (match !sched with
+  | Some c -> Format.printf "== scheduler ==@.%a@." Qs_sched.Sched.pp_counters c
+  | None -> ());
+  Format.printf "== runtime counters ==@.%a@." Qs_obs.Counter.pp_snapshot
+    (Scoop.Stats.assoc stats);
+  Printf.printf "events retained: %d, dropped to ring overflow: %d\n"
+    (Qs_obs.Sink.recorded sink) (Qs_obs.Sink.dropped sink);
+  match out with
+  | None -> ()
+  | Some path ->
+    let counters =
+      Scoop.Stats.assoc stats
+      @ (match !sched with
+        | Some c -> Qs_sched.Sched.counters_assoc c
+        | None -> [])
+    in
+    Qs_obs.Chrome.write_file ~counters sink path;
+    Printf.printf
+      "wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n"
+      path
 
 (* -- lang --------------------------------------------------------------------- *)
 
@@ -278,6 +397,42 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"Small end-to-end SCOOP program with statistics")
     Term.(const demo $ trace $ mailbox $ batch $ spsc)
 
+let trace_cmd =
+  let example =
+    Arg.(
+      required
+      & pos 0
+          (some (enum (List.map (fun (n, _) -> (n, n)) trace_examples)))
+          None
+      & info [] ~docv:"EXAMPLE"
+          ~doc:"Traced workload: $(b,quickstart) or $(b,prodcons).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the merged event trace as Chrome trace-event JSON \
+             (loadable in chrome://tracing or ui.perfetto.dev).")
+  in
+  let domains = Arg.(value & opt int 2 & info [ "domains" ] ~docv:"N") in
+  let mailbox =
+    Arg.(
+      value
+      & opt (enum [ ("qoq", `Qoq); ("direct", `Direct) ]) `Qoq
+      & info [ "mailbox" ] ~docv:"MAILBOX")
+  in
+  let batch =
+    Arg.(value & opt int Scoop.Config.default_batch & info [ "batch" ] ~docv:"N")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a traced example and print the merged per-processor / \
+          per-worker observability summary")
+    Term.(const trace_run $ example $ out $ domains $ mailbox $ batch)
+
 let lang_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let optimize =
@@ -297,4 +452,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "qs" ~doc)
-          [ explore_cmd; syncopt_cmd; sim_cmd; demo_cmd; lang_cmd ]))
+          [ explore_cmd; syncopt_cmd; sim_cmd; demo_cmd; trace_cmd; lang_cmd ]))

@@ -1,17 +1,24 @@
-(* Shared runtime context threaded through client-side operations. *)
+(* Shared runtime context threaded through client-side operations.
+
+   [sink], when present, is the qs_obs event sink shared by every layer
+   of this runtime instance (scheduler workers, processor handlers,
+   client operations); [trace] is the SCOOP-level compatibility view
+   over that same sink. *)
 
 type t = {
   config : Config.t;
   stats : Stats.t;
   eve : Eve.t option;
+  sink : Qs_obs.Sink.t option;
   trace : Trace.t option;
 }
 
-let create ?(trace = false) config =
+let create ?sink config =
   let stats = Stats.create () in
   {
     config;
     stats;
     eve = (if config.Config.eve then Some (Eve.create stats) else None);
-    trace = (if trace then Some (Trace.create ()) else None);
+    sink;
+    trace = Option.map Trace.of_sink sink;
   }

@@ -22,6 +22,6 @@ let register t id =
     Hashtbl.replace t.table id id)
 
 let lookup t id =
-  Atomic.incr t.stats.Stats.eve_lookups;
+  Qs_obs.Counter.incr t.stats.Stats.eve_lookups;
   Qs_queues.Spinlock.with_lock t.lock (fun () ->
     ignore (Hashtbl.find_opt t.table id : int option))

@@ -45,6 +45,7 @@ type t = {
   id : int;
   config : Config.t;
   stats : Stats.t;
+  sink : Qs_obs.Sink.t option; (* shared event sink; handler batch spans *)
   comm : comm;
   reserve : Qs_queues.Spinlock.t; (* multi-reservation spinlock (§3.3) *)
   shadow : int array; (* EVE shadow stack simulation *)
@@ -94,7 +95,7 @@ let serve t req =
        observable in both modes: every registration that closes is
        eventually accounted here (the lock-based loop used to drop the
        marker silently). *)
-    Atomic.incr t.stats.Stats.ends_drained
+    Qs_obs.Counter.incr t.stats.Stats.ends_drained
 
 (* The single handler loop (Fig. 7), parameterized by the mailbox. *)
 let handler_loop t mailbox =
@@ -103,12 +104,22 @@ let handler_loop t mailbox =
     match mailbox.drain buf with
     | 0 -> () (* shutdown *)
     | n ->
-      Atomic.incr t.stats.Stats.handler_wakeups;
-      ignore (Atomic.fetch_and_add t.stats.Stats.batched_requests n : int);
+      Qs_obs.Counter.incr t.stats.Stats.handler_wakeups;
+      Qs_obs.Counter.add t.stats.Stats.batched_requests n;
+      let t0 =
+        match t.sink with Some s -> Qs_obs.Sink.now s | None -> 0.0
+      in
       for i = 0 to n - 1 do
         serve t buf.(i);
         buf.(i) <- Request.End (* drop the closure so the GC can reclaim it *)
       done;
+      (match t.sink with
+      | Some s ->
+        (* One span per drained batch (arg = batch size): the handler-side
+           counterpart of the client-side trace events. *)
+        Qs_obs.Sink.complete s ~cat:"core" ~name:"batch" ~track:t.id ~arg:n
+          ~ts:t0 ~dur:(Qs_obs.Sink.now s -. t0) ()
+      | None -> ());
       loop ()
   in
   loop ()
@@ -142,8 +153,8 @@ let qoq_mailbox qoq cache =
 
 let direct_mailbox q = { drain = (fun buf -> Qs_sched.Bqueue.Mpsc.drain q buf) }
 
-let create ~id ~config ~stats =
-  Atomic.incr stats.Stats.processors;
+let create ?sink ~id ~config ~stats () =
+  Qs_obs.Counter.incr stats.Stats.processors;
   let comm =
     if Config.uses_qoq config then
       Qoq
@@ -163,6 +174,7 @@ let create ~id ~config ~stats =
       id;
       config;
       stats;
+      sink;
       comm;
       reserve = Qs_queues.Spinlock.create ();
       shadow = (if config.Config.eve then Array.make 256 0 else [||]);

@@ -16,9 +16,12 @@ type pq = Request.t Qs_sched.Bqueue.Spsc.t
 
 type t
 
-val create : id:int -> config:Config.t -> stats:Stats.t -> t
+val create :
+  ?sink:Qs_obs.Sink.t -> id:int -> config:Config.t -> stats:Stats.t -> unit -> t
 (** Create a processor and spawn its handler fiber.  Must run inside a
-    scheduler. *)
+    scheduler.  With [sink], the handler records one ["core"]/["batch"]
+    complete span per drained batch (track = processor id, arg = batch
+    size). *)
 
 val id : t -> int
 

@@ -33,7 +33,7 @@ let touch t =
 
 let call t f =
   touch t;
-  Atomic.incr t.ctx.Ctx.stats.Stats.calls;
+  Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.calls;
   (* An asynchronous call invalidates the synced status: the handler has
      work again and may be mid-execution during subsequent client reads. *)
   t.synced <- false;
@@ -52,7 +52,7 @@ let call t f =
            f ()))
 
 let force_sync t =
-  Atomic.incr t.ctx.Ctx.stats.Stats.syncs_sent;
+  Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.syncs_sent;
   (match t.ctx.Ctx.trace with
   | None ->
     Qs_sched.Sched.suspend (fun resume -> t.enqueue (Request.Sync resume))
@@ -66,7 +66,7 @@ let force_sync t =
 let sync t =
   touch t;
   if t.synced && t.ctx.Ctx.config.Config.dyn_sync then begin
-    Atomic.incr t.ctx.Ctx.stats.Stats.syncs_elided;
+    Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.syncs_elided;
     match t.ctx.Ctx.trace with
     | Some tr -> Trace.record tr ~proc:(Processor.id t.proc) Trace.Sync_elided
     | None -> ()
@@ -75,7 +75,7 @@ let sync t =
 
 let query t f =
   touch t;
-  Atomic.incr t.ctx.Ctx.stats.Stats.queries;
+  Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.queries;
   if t.ctx.Ctx.config.Config.client_query then begin
     (* Modified query rule (§3.2): synchronize, then run [f] on the client.
        No packaging, no result transfer, and the OCaml compiler sees the
@@ -85,7 +85,7 @@ let query t f =
   end
   else begin
     (* Original rule (Fig. 10a): package the call, round-trip the result. *)
-    Atomic.incr t.ctx.Ctx.stats.Stats.packaged_queries;
+    Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.packaged_queries;
     let t0 =
       match t.ctx.Ctx.trace with Some tr -> Trace.now tr | None -> 0.0
     in

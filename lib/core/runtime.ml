@@ -27,9 +27,21 @@ let override ?mailbox ?batch ?spsc config =
   | Some s -> { config with Config.spsc = s }
   | None -> config
 
-let create ?(config = Config.all) ?mailbox ?batch ?spsc ?(trace = false) () =
+(* [obs] wins over [trace]: both enable tracing, but [obs] lets the
+   caller supply the sink (e.g. the one already attached to the
+   scheduler) so every layer's events land in the same rings. *)
+let resolve_sink ?obs ~trace () =
+  match obs with
+  | Some _ as s -> s
+  | None -> if trace then Some (Qs_obs.Sink.create ()) else None
+
+let create ?(config = Config.all) ?mailbox ?batch ?spsc ?(trace = false) ?obs ()
+    =
   {
-    ctx = Ctx.create ~trace (override ?mailbox ?batch ?spsc config);
+    ctx =
+      Ctx.create
+        ?sink:(resolve_sink ?obs ~trace ())
+        (override ?mailbox ?batch ?spsc config);
     procs = Qs_queues.Treiber_stack.create ();
     next_id = Atomic.make 0;
   }
@@ -37,11 +49,14 @@ let create ?(config = Config.all) ?mailbox ?batch ?spsc ?(trace = false) () =
 let config t = t.ctx.Ctx.config
 let stats t = t.ctx.Ctx.stats
 let trace t = t.ctx.Ctx.trace
+let obs t = t.ctx.Ctx.sink
+let sched_counters () = Qs_sched.Sched.current_counters ()
 
 let processor t =
   let id = Atomic.fetch_and_add t.next_id 1 in
   let proc =
-    Processor.create ~id ~config:t.ctx.Ctx.config ~stats:t.ctx.Ctx.stats
+    Processor.create ?sink:t.ctx.Ctx.sink ~id ~config:t.ctx.Ctx.config
+      ~stats:t.ctx.Ctx.stats ()
   in
   (match t.ctx.Ctx.eve with
   | Some eve -> Eve.register eve id
@@ -70,7 +85,10 @@ let separate_list_when t procs ~pred body =
   Separate.with_list_when t.ctx procs ~pred body
 
 let run ?(domains = 1) ?(config = Config.all) ?mailbox ?batch ?spsc
-    ?(trace = false) ?on_stall ?on_counters main =
-  Qs_sched.Sched.run ~domains ?on_stall ?on_counters (fun () ->
-    let t = create ~config ?mailbox ?batch ?spsc ~trace () in
+    ?(trace = false) ?obs ?on_stall ?on_counters main =
+  (* Build the sink before the scheduler starts so its workers share it:
+     one sink then collects scheduler, handler and client events. *)
+  let sink = resolve_sink ?obs ~trace () in
+  Qs_sched.Sched.run ~domains ?on_stall ?on_counters ?obs:sink (fun () ->
+    let t = create ~config ?mailbox ?batch ?spsc ?obs:sink () in
     Fun.protect ~finally:(fun () -> shutdown t) (fun () -> main t))

@@ -18,13 +18,16 @@ val create :
   ?batch:int ->
   ?spsc:[ `Linked | `Ring ] ->
   ?trace:bool ->
+  ?obs:Qs_obs.Sink.t ->
   unit ->
   t
 (** Create a runtime inside an already-running scheduler.  [config]
     defaults to {!Config.all} (the full SCOOP/Qs runtime); [mailbox],
     [batch] and [spsc] override the corresponding request-path fields of
     [config] (see {!Config.t}); [trace] enables detailed event tracing
-    (see {!Trace}).
+    (see {!Trace}) over a fresh private sink, while [obs] (which
+    implies [trace]) supplies the sink — pass the sink already attached
+    to the scheduler to get all layers' events in one place.
     @raise Invalid_argument if [batch < 1]. *)
 
 val run :
@@ -34,6 +37,7 @@ val run :
   ?batch:int ->
   ?spsc:[ `Linked | `Ring ] ->
   ?trace:bool ->
+  ?obs:Qs_obs.Sink.t ->
   ?on_stall:[ `Raise | `Warn ] ->
   ?on_counters:(Qs_sched.Sched.counters -> unit) ->
   (t -> 'a) ->
@@ -41,7 +45,14 @@ val run :
 (** Start a scheduler, create a runtime, run [main], then shut the
     processors down.  Any fiber spawned by [main] should be joined before
     [main] returns.  A deadlocked program raises {!Qs_sched.Sched.Stalled}
-    (see paper §2.5). *)
+    (see paper §2.5).
+
+    With [~trace:true] (or an explicit [~obs] sink) the whole stack is
+    instrumented into one shared sink: scheduler workers record
+    dispatch/park spans and steal/handoff instants (["sched"]), handlers
+    record per-batch spans (["core"]), and client operations record
+    reserve/call/sync/query events (["client"]/["core"]) — see
+    {!Qs_obs.Chrome} for exporting it. *)
 
 val processor : t -> Processor.t
 (** Spawn a new processor (handler fiber). *)
@@ -81,4 +92,15 @@ val config : t -> Config.t
 val stats : t -> Stats.t
 
 val trace : t -> Trace.t option
-(** The event trace, when the runtime was created with [~trace:true]. *)
+(** The event trace, when the runtime was created with [~trace:true]
+    or [~obs]. *)
+
+val obs : t -> Qs_obs.Sink.t option
+(** The shared observability sink behind {!trace}, for whole-stack
+    exports ({!Qs_obs.Chrome}) and track summaries. *)
+
+val sched_counters : unit -> Qs_sched.Sched.counters option
+(** Live scheduling counters of the surrounding scheduler (dispatches,
+    handoffs, steals, parks); [None] outside a scheduler.  Mid-run the
+    values are approximate (racy reads), exact once the scheduler has
+    quiesced. *)

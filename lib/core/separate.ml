@@ -18,7 +18,7 @@ let trace_reserved ctx proc =
   | None -> ()
 
 let enter_one ctx proc =
-  Atomic.incr ctx.Ctx.stats.Stats.reservations;
+  Qs_obs.Counter.incr ctx.Ctx.stats.Stats.reservations;
   trace_reserved ctx proc;
   if Config.uses_qoq ctx.Ctx.config then begin
     let pq = Processor.take_private_queue proc in
@@ -45,8 +45,8 @@ let check_distinct procs =
     invalid_arg "Scoop.Separate: the same processor reserved twice"
 
 let enter_many ctx procs =
-  Atomic.incr ctx.Ctx.stats.Stats.reservations;
-  Atomic.incr ctx.Ctx.stats.Stats.multi_reservations;
+  Qs_obs.Counter.incr ctx.Ctx.stats.Stats.reservations;
+  Qs_obs.Counter.incr ctx.Ctx.stats.Stats.multi_reservations;
   List.iter (trace_reserved ctx) procs;
   check_distinct procs;
   let sorted = List.sort Processor.compare_by_id procs in
@@ -106,7 +106,7 @@ let rec with_list_when ctx procs ~pred body =
   match outcome with
   | Some v -> v
   | None ->
-    Atomic.incr ctx.Ctx.stats.Stats.wait_retries;
+    Qs_obs.Counter.incr ctx.Ctx.stats.Stats.wait_retries;
     (* Release the reservation entirely so suppliers can serve others,
        then retry after yielding. *)
     Qs_sched.Sched.yield ();

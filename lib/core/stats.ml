@@ -1,43 +1,68 @@
 (* Runtime instrumentation (the "SCOOP-specific instrumentation" the paper
    lists as future work in §7).
 
-   Counters are plain atomics bumped on the hot paths; the benchmark
-   harness snapshots them before/after a run to report per-benchmark
-   communication behaviour (e.g. how many syncs the dynamic coalescing
-   elided, which explains Table 1 directly). *)
+   Since the qs_obs refactor this module is a thin compatibility view
+   over a [Qs_obs.Counter] registry: every counter is registered by name
+   in [t.registry], bumped on the hot paths with one atomic increment,
+   and the historical record-shaped [snapshot]/[diff]/[mean_batch] API is
+   preserved on top for the benchmark harness and tests.  New consumers
+   (the bench JSON output, the Chrome trace export) should prefer the
+   registry view ({!assoc}), which needs no per-counter plumbing. *)
 
 type t = {
-  processors : int Atomic.t; (* handlers spawned *)
-  reservations : int Atomic.t; (* separate blocks entered *)
-  multi_reservations : int Atomic.t; (* multi-handler separate blocks *)
-  calls : int Atomic.t; (* asynchronous calls enqueued *)
-  queries : int Atomic.t; (* queries issued (either flavour) *)
-  packaged_queries : int Atomic.t; (* round trips via packaged closures *)
-  syncs_sent : int Atomic.t; (* sync round trips actually performed *)
-  syncs_elided : int Atomic.t; (* syncs skipped by dynamic coalescing *)
-  eve_lookups : int Atomic.t; (* simulated handler-table lookups (§4.5) *)
-  wait_retries : int Atomic.t; (* failed wait-condition evaluations *)
-  handler_wakeups : int Atomic.t; (* batches drained by handler loops *)
-  batched_requests : int Atomic.t; (* requests delivered through those batches *)
-  ends_drained : int Atomic.t; (* End markers consumed (registrations drained) *)
+  registry : Qs_obs.Counter.registry;
+  processors : Qs_obs.Counter.t; (* handlers spawned *)
+  reservations : Qs_obs.Counter.t; (* separate blocks entered *)
+  multi_reservations : Qs_obs.Counter.t; (* multi-handler separate blocks *)
+  calls : Qs_obs.Counter.t; (* asynchronous calls enqueued *)
+  queries : Qs_obs.Counter.t; (* queries issued (either flavour) *)
+  packaged_queries : Qs_obs.Counter.t; (* round trips via packaged closures *)
+  syncs_sent : Qs_obs.Counter.t; (* sync round trips actually performed *)
+  syncs_elided : Qs_obs.Counter.t; (* syncs skipped by dynamic coalescing *)
+  eve_lookups : Qs_obs.Counter.t; (* simulated handler-table lookups (§4.5) *)
+  wait_retries : Qs_obs.Counter.t; (* failed wait-condition evaluations *)
+  handler_wakeups : Qs_obs.Counter.t; (* batches drained by handler loops *)
+  batched_requests : Qs_obs.Counter.t; (* requests delivered through batches *)
+  ends_drained : Qs_obs.Counter.t; (* End markers consumed *)
 }
 
 let create () =
+  let registry = Qs_obs.Counter.registry () in
+  let c name = Qs_obs.Counter.make registry name in
+  (* Bind before constructing the record: record fields evaluate in
+     unspecified order, and registration order is the snapshot order. *)
+  let processors = c "processors" in
+  let reservations = c "reservations" in
+  let multi_reservations = c "multi_reservations" in
+  let calls = c "calls" in
+  let queries = c "queries" in
+  let packaged_queries = c "packaged_queries" in
+  let syncs_sent = c "syncs_sent" in
+  let syncs_elided = c "syncs_elided" in
+  let eve_lookups = c "eve_lookups" in
+  let wait_retries = c "wait_retries" in
+  let handler_wakeups = c "handler_wakeups" in
+  let batched_requests = c "batched_requests" in
+  let ends_drained = c "ends_drained" in
   {
-    processors = Atomic.make 0;
-    reservations = Atomic.make 0;
-    multi_reservations = Atomic.make 0;
-    calls = Atomic.make 0;
-    queries = Atomic.make 0;
-    packaged_queries = Atomic.make 0;
-    syncs_sent = Atomic.make 0;
-    syncs_elided = Atomic.make 0;
-    eve_lookups = Atomic.make 0;
-    wait_retries = Atomic.make 0;
-    handler_wakeups = Atomic.make 0;
-    batched_requests = Atomic.make 0;
-    ends_drained = Atomic.make 0;
+    registry;
+    processors;
+    reservations;
+    multi_reservations;
+    calls;
+    queries;
+    packaged_queries;
+    syncs_sent;
+    syncs_elided;
+    eve_lookups;
+    wait_retries;
+    handler_wakeups;
+    batched_requests;
+    ends_drained;
   }
+
+let registry t = t.registry
+let assoc t = Qs_obs.Counter.snapshot t.registry
 
 type snapshot = {
   s_processors : int;
@@ -56,20 +81,21 @@ type snapshot = {
 }
 
 let snapshot t =
+  let g = Qs_obs.Counter.get in
   {
-    s_processors = Atomic.get t.processors;
-    s_reservations = Atomic.get t.reservations;
-    s_multi_reservations = Atomic.get t.multi_reservations;
-    s_calls = Atomic.get t.calls;
-    s_queries = Atomic.get t.queries;
-    s_packaged_queries = Atomic.get t.packaged_queries;
-    s_syncs_sent = Atomic.get t.syncs_sent;
-    s_syncs_elided = Atomic.get t.syncs_elided;
-    s_eve_lookups = Atomic.get t.eve_lookups;
-    s_wait_retries = Atomic.get t.wait_retries;
-    s_handler_wakeups = Atomic.get t.handler_wakeups;
-    s_batched_requests = Atomic.get t.batched_requests;
-    s_ends_drained = Atomic.get t.ends_drained;
+    s_processors = g t.processors;
+    s_reservations = g t.reservations;
+    s_multi_reservations = g t.multi_reservations;
+    s_calls = g t.calls;
+    s_queries = g t.queries;
+    s_packaged_queries = g t.packaged_queries;
+    s_syncs_sent = g t.syncs_sent;
+    s_syncs_elided = g t.syncs_elided;
+    s_eve_lookups = g t.eve_lookups;
+    s_wait_retries = g t.wait_retries;
+    s_handler_wakeups = g t.handler_wakeups;
+    s_batched_requests = g t.batched_requests;
+    s_ends_drained = g t.ends_drained;
   }
 
 let diff later earlier =

@@ -1,27 +1,36 @@
 (** Runtime instrumentation counters (paper §7 "future work": detailed
     measurement of internal runtime components).
 
-    One record per runtime; all counters are atomics safe to bump from any
-    fiber.  Use {!snapshot} and {!diff} to attribute counts to a region of
-    execution. *)
+    One record per runtime; since the qs_obs refactor each field is a
+    [Qs_obs.Counter.t] registered by name in the runtime's counter
+    registry, so the same counters are visible both through the
+    historical {!snapshot}/{!diff} record view and through the generic
+    registry view ({!assoc}, used by machine-readable outputs).  Bump a
+    counter with [Qs_obs.Counter.incr]/[add] from any fiber. *)
 
 type t = {
-  processors : int Atomic.t;
-  reservations : int Atomic.t;
-  multi_reservations : int Atomic.t;
-  calls : int Atomic.t;
-  queries : int Atomic.t;
-  packaged_queries : int Atomic.t;
-  syncs_sent : int Atomic.t;
-  syncs_elided : int Atomic.t;
-  eve_lookups : int Atomic.t;
-  wait_retries : int Atomic.t;
-  handler_wakeups : int Atomic.t;
-  batched_requests : int Atomic.t;
-  ends_drained : int Atomic.t;
+  registry : Qs_obs.Counter.registry;
+  processors : Qs_obs.Counter.t;
+  reservations : Qs_obs.Counter.t;
+  multi_reservations : Qs_obs.Counter.t;
+  calls : Qs_obs.Counter.t;
+  queries : Qs_obs.Counter.t;
+  packaged_queries : Qs_obs.Counter.t;
+  syncs_sent : Qs_obs.Counter.t;
+  syncs_elided : Qs_obs.Counter.t;
+  eve_lookups : Qs_obs.Counter.t;
+  wait_retries : Qs_obs.Counter.t;
+  handler_wakeups : Qs_obs.Counter.t;
+  batched_requests : Qs_obs.Counter.t;
+  ends_drained : Qs_obs.Counter.t;
 }
 
 val create : unit -> t
+val registry : t -> Qs_obs.Counter.registry
+
+val assoc : t -> Qs_obs.Counter.snapshot
+(** Name→value snapshot of every registered counter (registration
+    order); the machine-readable sibling of {!snapshot}. *)
 
 type snapshot = {
   s_processors : int;

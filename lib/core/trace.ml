@@ -2,16 +2,28 @@
    work: "a SCOOP-specific instrumentation for the runtime, providing
    detailed measurements for the internal components".
 
-   When a runtime is created with [~trace:true], every client-side
-   operation records a timestamped event, including the latency a
-   logged call waits in its private queue before the handler executes it
-   and the round-trip time of sync and packaged-query operations.  The
-   collector is a lock-free cons list, so tracing adds one timestamp and
-   one CAS per operation.
+   Since the qs_obs refactor this module is a compatibility view over a
+   shared [Qs_obs.Sink.t]: the same per-domain bounded rings that hold
+   the scheduler's dispatch/steal events also hold the SCOOP-level
+   client and handler events, so one sink captures the whole stack and
+   one Chrome-trace export shows every layer.  [record] maps the
+   historical event kinds onto sink categories; [events] reconstructs
+   the historical [event] records from the sink.
 
-   [summarize] turns the raw events into the per-processor report the
-   paper asks for: operation counts, queueing latency and round-trip
-   distributions. *)
+   The old collector was an unbounded cons list whose [events] accessor
+   re-reversed the whole list on every call.  The sink's rings are
+   bounded (overflow counted, not silent) and the ordering cost is now
+   explicit and paid once per read: [Sink.events] sorts by timestamp.
+
+   Kind <-> sink mapping (track = target processor id):
+     Reserved            -> instant  client/reserve
+     Call_logged         -> instant  client/call_log
+     Call_executed d     -> complete core/call_exec     (dur = d)
+     Sync_round_trip d   -> complete client/sync        (dur = d)
+     Sync_elided         -> instant  client/sync_elided
+     Query_round_trip d  -> complete client/query       (dur = d)
+   Complete spans store their *start* time; the historical [at] (time of
+   recording) is reconstructed as [ts +. dur]. *)
 
 type kind =
   | Reserved
@@ -27,24 +39,47 @@ type event = {
   kind : kind;
 }
 
-type t = {
-  started : float;
-  events : event list Atomic.t;
-}
+type t = { sink : Qs_obs.Sink.t }
 
-let create () = { started = Unix.gettimeofday (); events = Atomic.make [] }
-
-let now t = Unix.gettimeofday () -. t.started
+let of_sink sink = { sink }
+let create () = { sink = Qs_obs.Sink.create () }
+let sink t = t.sink
+let now t = Qs_obs.Sink.now t.sink
 
 let record t ~proc kind =
-  let e = { at = now t; proc; kind } in
-  let rec push () =
-    let old = Atomic.get t.events in
-    if not (Atomic.compare_and_set t.events old (e :: old)) then push ()
+  let s = t.sink in
+  let instant name = Qs_obs.Sink.instant s ~cat:"client" ~name ~track:proc () in
+  let complete cat name d =
+    Qs_obs.Sink.complete s ~cat ~name ~track:proc
+      ~ts:(Qs_obs.Sink.now s -. d) ~dur:d ()
   in
-  push ()
+  match kind with
+  | Reserved -> instant "reserve"
+  | Call_logged -> instant "call_log"
+  | Call_executed d -> complete "core" "call_exec" d
+  | Sync_round_trip d -> complete "client" "sync" d
+  | Sync_elided -> instant "sync_elided"
+  | Query_round_trip d -> complete "client" "query" d
 
-let events t = List.rev (Atomic.get t.events)
+let kind_of (e : Qs_obs.Sink.event) =
+  match (e.cat, e.name) with
+  | "client", "reserve" -> Some Reserved
+  | "client", "call_log" -> Some Call_logged
+  | "core", "call_exec" -> Some (Call_executed e.dur)
+  | "client", "sync" -> Some (Sync_round_trip e.dur)
+  | "client", "sync_elided" -> Some Sync_elided
+  | "client", "query" -> Some (Query_round_trip e.dur)
+  | _ -> None (* other layers' events (sched, remote, ...) *)
+
+let events t =
+  Qs_obs.Sink.fold
+    (fun acc (e : Qs_obs.Sink.event) ->
+      match kind_of e with
+      | None -> acc
+      | Some kind -> ((e.ts +. e.dur, e.seq), { at = e.ts +. e.dur; proc = e.track; kind }) :: acc)
+    [] t.sink
+  |> List.sort (fun (ka, _) (kb, _) -> compare ka kb)
+  |> List.map snd
 
 (* -- summary ---------------------------------------------------------------- *)
 
@@ -74,14 +109,14 @@ type proc_summary = {
   sp_query_round_trip : dist;
 }
 
-let summarize t =
+let summarize_events all =
   let by_proc : (int, event list ref) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun e ->
       match Hashtbl.find_opt by_proc e.proc with
       | Some cell -> cell := e :: !cell
       | None -> Hashtbl.replace by_proc e.proc (ref [ e ]))
-    (events t);
+    all;
   Hashtbl.fold
     (fun proc cell acc ->
       let es = !cell in
@@ -108,6 +143,8 @@ let summarize t =
       :: acc)
     by_proc []
   |> List.sort (fun a b -> Int.compare a.sp_proc b.sp_proc)
+
+let summarize t = summarize_events (events t)
 
 let pp_dist ppf d =
   if d.count = 0 then Format.pp_print_string ppf "-"

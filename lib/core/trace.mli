@@ -1,8 +1,12 @@
 (** Detailed runtime tracing (paper §7's "SCOOP-specific instrumentation"):
     timestamped client-side events with queueing and round-trip latencies,
-    collected lock-free and summarized per processor.
+    summarized per processor.
 
-    Enable with [Runtime.run ~trace:true]; retrieve via {!Runtime.trace}. *)
+    A compatibility view over a shared {!Qs_obs.Sink.t}: SCOOP-level
+    events land in the same per-domain bounded rings as scheduler
+    events, so one sink — and one Chrome-trace export — covers the
+    whole stack.  Enable with [Runtime.run ~trace:true] (or pass your
+    own sink as [~obs]); retrieve via {!Runtime.trace}. *)
 
 type kind =
   | Reserved
@@ -22,10 +26,23 @@ type event = {
 type t
 
 val create : unit -> t
+(** Fresh trace over a fresh private sink. *)
+
+val of_sink : Qs_obs.Sink.t -> t
+(** View an existing sink as a trace; events recorded through either
+    interface share the sink's rings. *)
+
+val sink : t -> Qs_obs.Sink.t
+
 val now : t -> float
 val record : t -> proc:int -> kind -> unit
+
 val events : t -> event list
-(** All events, oldest first. *)
+(** All retained SCOOP-level events, oldest first (sink events from
+    other layers are filtered out).  The chronological sort is paid
+    here, once per call — not hidden in the recording path.  Read only
+    in quiescence; under ring overflow the oldest events are gone (the
+    loss is counted by [Qs_obs.Sink.dropped], never silent). *)
 
 type dist = {
   count : int;
@@ -44,5 +61,8 @@ type proc_summary = {
 }
 
 val summarize : t -> proc_summary list
+val summarize_events : event list -> proc_summary list
+(** {!summarize} over an explicit event list (fixtures, tests). *)
+
 val pp_summary : Format.formatter -> proc_summary list -> unit
 val pp_dist : Format.formatter -> dist -> unit

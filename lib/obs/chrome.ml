@@ -1,0 +1,80 @@
+(* Chrome trace-event export: turn a sink's event rings into the JSON
+   that chrome://tracing and https://ui.perfetto.dev load directly.
+
+   Mapping: each category (layer) becomes one "process" so the viewer
+   groups scheduler workers, processor handlers and client operations
+   into separate swim-lane groups; each track becomes a "thread" within
+   its layer.  Instants export as phase "i", spans as complete events
+   (phase "X") with microsecond timestamps.  Counter snapshots ride along
+   in "otherData" so one file carries the whole run. *)
+
+let ( @: ) k v = (k, v)
+
+(* Stable pid per category, in first-seen order, with process_name
+   metadata so the viewer shows the layer name instead of a number. *)
+let pids events =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (ev : Sink.event) ->
+      if not (Hashtbl.mem tbl ev.cat) then begin
+        Hashtbl.add tbl ev.cat (Hashtbl.length tbl + 1);
+        order := ev.cat :: !order
+      end)
+    events;
+  (tbl, List.rev !order)
+
+let us seconds = Json.Float (seconds *. 1e6)
+
+let event_json pids (ev : Sink.event) =
+  let pid = Hashtbl.find pids ev.cat in
+  let common =
+    [
+      "name" @: Json.String ev.name;
+      "cat" @: Json.String ev.cat;
+      "ts" @: us ev.ts;
+      "pid" @: Json.Int pid;
+      "tid" @: Json.Int ev.track;
+    ]
+  in
+  let args =
+    if ev.arg = 0 then []
+    else [ "args" @: Json.Obj [ "v" @: Json.Int ev.arg ] ]
+  in
+  if ev.dur > 0.0 then
+    Json.Obj (common @ [ "ph" @: Json.String "X"; "dur" @: us ev.dur ] @ args)
+  else
+    Json.Obj (common @ [ "ph" @: Json.String "i"; "s" @: Json.String "t" ] @ args)
+
+let metadata_json pids cat =
+  Json.Obj
+    [
+      "name" @: Json.String "process_name";
+      "ph" @: Json.String "M";
+      "pid" @: Json.Int (Hashtbl.find pids cat);
+      "args" @: Json.Obj [ "name" @: Json.String cat ];
+    ]
+
+let to_json ?(counters = []) sink =
+  let events = Sink.events sink in
+  let pids, cats = pids events in
+  let trace_events =
+    List.map (metadata_json pids) cats @ List.map (event_json pids) events
+  in
+  Json.Obj
+    [
+      "traceEvents" @: Json.List trace_events;
+      "displayTimeUnit" @: Json.String "ms";
+      "otherData"
+      @: Json.Obj
+           ([
+              "recordedEvents" @: Json.Int (Sink.recorded sink);
+              "droppedEvents" @: Json.Int (Sink.dropped sink);
+            ]
+           @ List.map (fun (name, v) -> name @: Json.Int v) counters);
+    ]
+
+let to_string ?counters sink = Json.to_string (to_json ?counters sink)
+
+let write_file ?counters sink file =
+  Json.write_file file (to_json ?counters sink)

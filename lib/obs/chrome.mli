@@ -1,0 +1,11 @@
+(** Chrome trace-event JSON export of a {!Sink}: loadable directly in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.
+
+    Each event category (layer) becomes one process group, each track a
+    thread within it; spans export as complete events ("ph":"X"),
+    instants as "ph":"i".  Optional [counters] (e.g. a
+    {!Counter.snapshot}) are embedded under ["otherData"]. *)
+
+val to_json : ?counters:(string * int) list -> Sink.t -> Json.t
+val to_string : ?counters:(string * int) list -> Sink.t -> string
+val write_file : ?counters:(string * int) list -> Sink.t -> string -> unit

@@ -1,0 +1,64 @@
+(* Registry-based typed counters — the single counting substrate for every
+   layer of the runtime (paper §7: "detailed measurement of internal
+   runtime components").
+
+   A counter is an atomic cell registered under a name; a registry owns a
+   set of counters and can snapshot them all as one name→value view.  The
+   higher layers (Scoop.Stats, the bench JSON output) are thin views over
+   these snapshots, so adding a counter anywhere in the stack is one
+   [make] call — no hand-written record/snapshot/diff triplication. *)
+
+type t = {
+  name : string;
+  cell : int Atomic.t;
+}
+
+type registry = {
+  lock : Mutex.t; (* registration is rare; bumping never locks *)
+  mutable counters : t list; (* newest first *)
+}
+
+let registry () = { lock = Mutex.create (); counters = [] }
+
+let make registry name =
+  let c = { name; cell = Atomic.make 0 } in
+  Mutex.lock registry.lock;
+  (match List.find_opt (fun c' -> c'.name = name) registry.counters with
+  | Some _ ->
+    Mutex.unlock registry.lock;
+    invalid_arg ("Qs_obs.Counter.make: duplicate counter " ^ name)
+  | None -> ());
+  registry.counters <- c :: registry.counters;
+  Mutex.unlock registry.lock;
+  c
+
+let name t = t.name
+let get t = Atomic.get t.cell
+let incr t = Atomic.incr t.cell
+let add t n = ignore (Atomic.fetch_and_add t.cell n : int)
+
+type snapshot = (string * int) list
+
+let snapshot registry =
+  Mutex.lock registry.lock;
+  let counters = registry.counters in
+  Mutex.unlock registry.lock;
+  (* Registration order: oldest first. *)
+  List.rev_map (fun c -> (c.name, get c)) counters
+
+let value s name = Option.value ~default:0 (List.assoc_opt name s)
+
+let diff later earlier =
+  List.map (fun (name, v) -> (name, v - value earlier name)) later
+
+let pp_snapshot ppf s =
+  let width =
+    List.fold_left (fun acc (name, _) -> max acc (String.length name)) 0 s
+  in
+  Format.pp_open_vbox ppf 0;
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Format.pp_print_cut ppf ();
+      Format.fprintf ppf "%-*s %d" (width + 1) (name ^ ":") v)
+    s;
+  Format.pp_close_box ppf ()

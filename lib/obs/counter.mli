@@ -1,0 +1,37 @@
+(** Registry-based typed counters: the counting substrate shared by every
+    runtime layer.
+
+    A {!registry} owns a set of named atomic counters; {!snapshot} reads
+    them all as one name→value association (registration order), and
+    {!diff} attributes counts to a region of execution.  Bumping a
+    counter is one atomic increment — safe from any fiber or domain. *)
+
+type t
+(** One named counter. *)
+
+type registry
+
+val registry : unit -> registry
+
+val make : registry -> string -> t
+(** Register a fresh counter under [name].
+    @raise Invalid_argument if [name] is already registered. *)
+
+val name : t -> string
+val get : t -> int
+val incr : t -> unit
+val add : t -> int -> unit
+
+type snapshot = (string * int) list
+(** Name→value view, in registration order. *)
+
+val snapshot : registry -> snapshot
+
+val value : snapshot -> string -> int
+(** [value s name] is the count recorded under [name] ([0] if absent). *)
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] is the pointwise difference over [later]'s
+    names (a name absent in [earlier] counts as [0] there). *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,15 @@
+(** Minimal JSON emitter (no external dependency).  Non-finite floats are
+    emitted as [0]; everything else is standard JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+val write_file : string -> t -> unit

@@ -1,0 +1,61 @@
+(** Per-domain bounded event rings: the event-recording substrate every
+    runtime layer shares.
+
+    Recording is lock-free (one fetch-and-add per event) and bounded: a
+    sink holds one ring per domain shard, each of {!capacity} slots; a
+    ring that wraps overwrites its oldest events and the overflow is
+    counted in {!dropped}, never silently.  Readers ({!fold}, {!events},
+    {!recorded}) must run in quiescence — after the traced run — since a
+    racing writer may be mid-slot. *)
+
+type event = {
+  seq : int;  (** global record order (completion order for spans) *)
+  ts : float;  (** seconds since the sink epoch; span {e start} for spans *)
+  dur : float;  (** span duration; [0.] for instants *)
+  cat : string;  (** emitting layer: ["sched"], ["core"], ["client"], ... *)
+  name : string;
+  track : int;  (** entity within the layer: worker id, processor id *)
+  arg : int;  (** small payload (batch size, ...); [0] when unused *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds each per-domain ring (default [16384] events).
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : t -> int
+
+val now : t -> float
+(** Seconds since the sink was created. *)
+
+val instant : t -> cat:string -> name:string -> track:int -> ?arg:int -> unit -> unit
+
+val complete :
+  t -> cat:string -> name:string -> track:int -> ?arg:int -> ts:float ->
+  dur:float -> unit -> unit
+(** Record a span that started at [ts] (a {!now} reading) and lasted
+    [dur] seconds. *)
+
+val span :
+  t -> cat:string -> name:string -> track:int -> ?arg:int -> (unit -> 'a) -> 'a
+(** Run the thunk and record it as a complete span (also on exception). *)
+
+val recorded : t -> int
+(** Events currently retained across all rings. *)
+
+val dropped : t -> int
+(** Events lost to ring overflow (oldest-overwritten), across all rings. *)
+
+val fold : ('a -> event -> 'a) -> 'a -> t -> 'a
+(** Cheap iteration: per-ring insertion order, ring order unspecified.
+    Use {!events} when chronology matters. *)
+
+val events : t -> event list
+(** All retained events merged chronologically (by [ts], ties by [seq]).
+    The sort is the explicit cost of ordering: O(n log n) per call. *)
+
+val tracks : t -> (string * int * int) list
+(** [(cat, track, events recorded)] per track, sorted. *)
+
+val pp_track_summary : Format.formatter -> t -> unit

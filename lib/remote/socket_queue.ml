@@ -19,10 +19,35 @@
 
 exception Closed = Qs_queues.Mailbox.Closed
 
+(* Frame-level transport counters, one registry per queue: what the
+   `transport:*` ablations pay per message, now observable directly. *)
+type counters = {
+  registry : Qs_obs.Counter.registry;
+  frames_sent : Qs_obs.Counter.t;
+  frames_received : Qs_obs.Counter.t;
+  bytes_sent : Qs_obs.Counter.t;
+  bytes_received : Qs_obs.Counter.t;
+  would_blocks : Qs_obs.Counter.t; (* EAGAIN on either end *)
+}
+
+let make_counters () =
+  let registry = Qs_obs.Counter.registry () in
+  let c name = Qs_obs.Counter.make registry name in
+  (* Bind before constructing the record: record fields evaluate in
+     unspecified order, and registration order is the snapshot order. *)
+  let frames_sent = c "frames_sent" in
+  let frames_received = c "frames_received" in
+  let bytes_sent = c "bytes_sent" in
+  let bytes_received = c "bytes_received" in
+  let would_blocks = c "would_blocks" in
+  { registry; frames_sent; frames_received; bytes_sent; bytes_received;
+    would_blocks }
+
 type 'a t = {
   read_fd : Unix.file_descr;
   write_fd : Unix.file_descr;
   write_lock : Qs_sched.Fiber_mutex.t; (* frames from producers must not interleave *)
+  ctrs : counters;
   mutable read_buffer : Bytes.t; (* accumulated unparsed input *)
   mutable read_len : int;
   mutable write_closed : bool;
@@ -37,11 +62,14 @@ let create () =
     read_fd;
     write_fd;
     write_lock = Qs_sched.Fiber_mutex.create ();
+    ctrs = make_counters ();
     read_buffer = Bytes.create 4096;
     read_len = 0;
     write_closed = false;
     eof = false;
   }
+
+let counters t = Qs_obs.Counter.snapshot t.ctrs.registry
 
 let frame_header_size = 8
 
@@ -58,14 +86,18 @@ let write_all t frame =
   let rec go off =
     if off < len then begin
       match Unix.write t.write_fd frame off (len - off) with
-      | n -> go (off + n)
+      | n ->
+        Qs_obs.Counter.add t.ctrs.bytes_sent n;
+        go (off + n)
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Qs_obs.Counter.incr t.ctrs.would_blocks;
         Qs_sched.Sched.yield ();
         go off
       | exception Unix.Unix_error (Unix.EPIPE, _, _) -> raise Closed
     end
   in
-  go 0
+  go 0;
+  Qs_obs.Counter.incr t.ctrs.frames_sent
 
 let enqueue t v =
   if t.write_closed then raise Closed;
@@ -91,9 +123,11 @@ let fill t =
     t.eof <- true;
     false
   | n ->
+    Qs_obs.Counter.add t.ctrs.bytes_received n;
     t.read_len <- t.read_len + n;
     true
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    Qs_obs.Counter.incr t.ctrs.would_blocks;
     Qs_sched.Sched.yield ();
     true
 
@@ -112,6 +146,7 @@ let take_frame t =
       in
       Bytes.blit t.read_buffer total t.read_buffer 0 (t.read_len - total);
       t.read_len <- t.read_len - total;
+      Qs_obs.Counter.incr t.ctrs.frames_received;
       Some v
     end
   end
@@ -139,9 +174,12 @@ let fill_nowait t =
     t.eof <- true;
     false
   | n ->
+    Qs_obs.Counter.add t.ctrs.bytes_received n;
     t.read_len <- t.read_len + n;
     true
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> false
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    Qs_obs.Counter.incr t.ctrs.would_blocks;
+    false
 
 (* Batched receive: block (yielding) for the first message, then take
    every message already framed in the buffer or readable without

@@ -37,6 +37,12 @@ val is_empty : 'a t -> bool
 (** [false] means a complete frame is buffered; [true] only means
     nothing is parsed yet (bytes may still sit in the kernel). *)
 
+val counters : 'a t -> Qs_obs.Counter.snapshot
+(** Frame-level transport counters: [frames_sent], [frames_received],
+    [bytes_sent], [bytes_received] (payload + 8-byte headers, as seen
+    by the syscalls) and [would_blocks] (EAGAIN episodes on either
+    end).  Read with [Qs_obs.Counter.value]. *)
+
 val destroy : 'a t -> unit
 (** Close both file descriptors. *)
 

@@ -65,7 +65,14 @@ type t = {
   mutable stop : bool;
   first_exn : exn option Atomic.t;
   on_stall : [ `Raise | `Warn ];
+  obs : Qs_obs.Sink.t option; (* event sink for worker-level tracing *)
 }
+
+(* Worker events land in the shared observability sink under the "sched"
+   category, one track per worker: dispatch spans, park spans, steal and
+   handoff instants.  Everything is behind [t.obs = Some _], so an
+   untraced run pays one branch. *)
+let obs_cat = "sched"
 
 type _ Effect.t +=
   | Suspend : (resumer -> unit) -> unit Effect.t
@@ -97,6 +104,10 @@ let schedule t task =
   | Some (t', w) when t' == t ->
     if w.hot = None then begin
       w.n_handoffs <- w.n_handoffs + 1;
+      (match t.obs with
+      | Some sink ->
+        Qs_obs.Sink.instant sink ~cat:obs_cat ~name:"handoff" ~track:w.wid ()
+      | None -> ());
       w.hot <- Some task
     end
     else begin
@@ -201,6 +212,11 @@ let try_steal t w =
           match Qs_queues.Ws_deque.steal v.deque with
           | Some _ as task ->
             w.n_steals <- w.n_steals + 1;
+            (match t.obs with
+            | Some sink ->
+              Qs_obs.Sink.instant sink ~cat:obs_cat ~name:"steal" ~track:w.wid
+                ~arg:v.wid ()
+            | None -> ());
             task
           | None -> loop (i + 1)
     in
@@ -288,7 +304,16 @@ let worker_loop t w =
       | Some task ->
         spins := 0;
         w.n_executed <- w.n_executed + 1;
-        task ();
+        (match t.obs with
+        | None -> task ()
+        | Some sink ->
+          (* Dispatch span: one fiber slice on this worker. *)
+          let t0 = Qs_obs.Sink.now sink in
+          task ();
+          Qs_obs.Sink.complete sink ~cat:obs_cat ~name:"dispatch" ~track:w.wid
+            ~ts:t0
+            ~dur:(Qs_obs.Sink.now sink -. t0)
+            ());
         loop ()
       | None ->
         incr spins;
@@ -299,15 +324,26 @@ let worker_loop t w =
         else begin
           spins := 0;
           w.n_parks <- w.n_parks + 1;
-          if park t then loop ()
+          match t.obs with
+          | None -> if park t then loop ()
+          | Some sink ->
+            (* Park span: the worker is asleep (or deciding to). *)
+            let t0 = Qs_obs.Sink.now sink in
+            let continue_ = park t in
+            Qs_obs.Sink.complete sink ~cat:obs_cat ~name:"park" ~track:w.wid
+              ~ts:t0
+              ~dur:(Qs_obs.Sink.now sink -. t0)
+              ();
+            if continue_ then loop ()
         end
   in
   loop ();
   Domain.DLS.set current None
 
-let make ?(domains = 1) ~on_stall () =
+let make ?(domains = 1) ?obs ~on_stall () =
   let domains = max 1 domains in
   {
+    obs;
     workers =
       Array.init domains (fun wid ->
         {
@@ -333,7 +369,11 @@ let make ?(domains = 1) ~on_stall () =
     on_stall;
   }
 
-let aggregate_counters t =
+(* Live counters snapshot: per-worker fields are plain (unsynchronized)
+   ints, so a mid-run aggregate is approximate — each addend is a value
+   the worker recently wrote, but the sum is not a consistent cut.  At
+   quiescence (end of run) it is exact. *)
+let counters t =
   Array.fold_left
     (fun acc w ->
       {
@@ -345,10 +385,28 @@ let aggregate_counters t =
     { c_executed = 0; c_handoffs = 0; c_steals = 0; c_parks = 0 }
     t.workers
 
-let run ?(domains = 1) ?(on_stall = `Raise) ?on_counters main =
+let current_counters () =
+  match get_worker () with
+  | Some (t, _) -> Some (counters t)
+  | None -> None
+
+let counters_assoc c =
+  [
+    ("sched_dispatches", c.c_executed);
+    ("sched_handoffs", c.c_handoffs);
+    ("sched_steals", c.c_steals);
+    ("sched_parks", c.c_parks);
+  ]
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "@[<v>dispatches: %d@,handoffs:   %d@,steals:     %d@,parks:      %d@]"
+    c.c_executed c.c_handoffs c.c_steals c.c_parks
+
+let run ?(domains = 1) ?(on_stall = `Raise) ?on_counters ?obs main =
   if get_worker () <> None then
     invalid_arg "Sched.run: already inside a scheduler (nested run)";
-  let t = make ~domains ~on_stall () in
+  let t = make ~domains ?obs ~on_stall () in
   let result = ref None in
   Atomic.incr t.live;
   push_global t (fun () ->
@@ -361,7 +419,7 @@ let run ?(domains = 1) ?(on_stall = `Raise) ?on_counters main =
   worker_loop t t.workers.(0);
   Array.iter Domain.join others;
   (match on_counters with
-  | Some f -> f (aggregate_counters t)
+  | Some f -> f (counters t)
   | None -> ());
   if t.stalled then begin
     let stuck = Atomic.get t.live in

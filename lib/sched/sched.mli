@@ -28,22 +28,40 @@ type counters = {
   c_steals : int; (** successful work steals *)
   c_parks : int; (** worker park (sleep) episodes *)
 }
-(** Scheduling counters, aggregated over all workers at the end of a run —
-    the context-switch instrumentation the paper's §4.3 discussion calls
-    for. *)
+(** Scheduling counters aggregated over all workers — the context-switch
+    instrumentation the paper's §4.3 discussion calls for.  Readable live
+    mid-run ({!counters}, {!current_counters}) and delivered exactly at
+    the end of a run ([?on_counters]). *)
 
 val run :
   ?domains:int ->
   ?on_stall:[ `Raise | `Warn ] ->
   ?on_counters:(counters -> unit) ->
+  ?obs:Qs_obs.Sink.t ->
   (unit -> 'a) ->
   'a
 (** [run main] executes [main] as the first fiber of a fresh scheduler using
     [domains] workers (default 1) and returns its result once {e all} fibers
     have completed.  If a fiber raises, the first such exception is re-raised
     after termination.  [on_counters] receives the aggregated scheduling
-    counters just before [run] returns.  Nested [run]s on the same domain
-    are not allowed. *)
+    counters just before [run] returns.  [obs] attaches an observability
+    sink: every worker then records dispatch and park spans plus steal and
+    handoff instants under the ["sched"] category (track = worker id).
+    Nested [run]s on the same domain are not allowed. *)
+
+val counters : t -> counters
+(** Live aggregate of the per-worker scheduling counters.  Mid-run the
+    sum is approximate (workers update their fields without
+    synchronization); once {!run} has returned it is exact. *)
+
+val current_counters : unit -> counters option
+(** {!counters} of the scheduler running the current fiber; [None]
+    outside any scheduler. *)
+
+val counters_assoc : counters -> (string * int) list
+(** Name→value view of {!counters} (for machine-readable output). *)
+
+val pp_counters : Format.formatter -> counters -> unit
 
 val spawn : (unit -> unit) -> unit
 (** Create a new fiber.  Must be called from inside a running scheduler. *)

@@ -1,0 +1,342 @@
+(* Tests for the qs_obs observability substrate: the counter registry,
+   the per-domain bounded event rings (multi-domain retention and
+   counted overflow), the Chrome trace export, and the Stats/Trace
+   compatibility views built on top of it. *)
+
+module Counter = Qs_obs.Counter
+module Sink = Qs_obs.Sink
+module Chrome = Qs_obs.Chrome
+module Json = Qs_obs.Json
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* -- counters ---------------------------------------------------------------- *)
+
+let test_counter_basics () =
+  let r = Counter.registry () in
+  let a = Counter.make r "a" in
+  let b = Counter.make r "b" in
+  Counter.incr a;
+  Counter.add b 5;
+  Counter.incr b;
+  check_int "a" 1 (Counter.get a);
+  check_int "b" 6 (Counter.get b);
+  Alcotest.(check (list (pair string int)))
+    "snapshot in registration order"
+    [ ("a", 1); ("b", 6) ]
+    (Counter.snapshot r)
+
+let test_counter_duplicate_rejected () =
+  let r = Counter.registry () in
+  let _a = Counter.make r "dup" in
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Qs_obs.Counter.make: duplicate counter dup") (fun () ->
+      ignore (Counter.make r "dup" : Counter.t))
+
+let test_counter_diff () =
+  let r = Counter.registry () in
+  let a = Counter.make r "a" in
+  let before = Counter.snapshot r in
+  (* A counter registered after the first snapshot diffs against 0. *)
+  let b = Counter.make r "b" in
+  Counter.add a 3;
+  Counter.add b 7;
+  let d = Counter.diff (Counter.snapshot r) before in
+  check_int "a delta" 3 (Counter.value d "a");
+  check_int "b counts from zero" 7 (Counter.value d "b");
+  check_int "absent name is zero" 0 (Counter.value d "missing")
+
+let test_counter_multi_domain () =
+  let r = Counter.registry () in
+  let c = Counter.make r "hits" in
+  let per = 10_000 and domains = 4 in
+  let ds =
+    List.init domains (fun _ ->
+      Domain.spawn (fun () ->
+        for _ = 1 to per do
+          Counter.incr c
+        done))
+  in
+  List.iter Domain.join ds;
+  check_int "no lost increments" (per * domains) (Counter.get c)
+
+(* -- event rings ------------------------------------------------------------- *)
+
+let test_sink_retains_below_capacity () =
+  (* Hammer one sink from several domains; the total stays below each
+     ring's capacity, so no event may be lost and none counted dropped. *)
+  let capacity = 4096 in
+  let sink = Sink.create ~capacity () in
+  let per = 500 and domains = 4 in
+  let ds =
+    List.init domains (fun d ->
+      Domain.spawn (fun () ->
+        for i = 1 to per do
+          Sink.instant sink ~cat:"test" ~name:"hit" ~track:d ~arg:i ()
+        done))
+  in
+  List.iter Domain.join ds;
+  check_int "all events retained" (per * domains) (Sink.recorded sink);
+  check_int "none dropped" 0 (Sink.dropped sink);
+  check_int "events lists them all" (per * domains)
+    (List.length (Sink.events sink));
+  (* Per-track accounting survives the merge. *)
+  List.iter
+    (fun d ->
+      let n =
+        List.length
+          (List.filter
+             (fun (e : Sink.event) -> e.track = d)
+             (Sink.events sink))
+      in
+      check_int (Printf.sprintf "track %d complete" d) per n)
+    (List.init domains Fun.id)
+
+let test_sink_overflow_counted () =
+  (* One domain, tiny ring: overflow must be counted, not silent. *)
+  let capacity = 64 in
+  let sink = Sink.create ~capacity () in
+  let total = 1000 in
+  for i = 1 to total do
+    Sink.instant sink ~cat:"test" ~name:"hit" ~track:0 ~arg:i ()
+  done;
+  check_int "ring holds capacity" capacity (Sink.recorded sink);
+  check_int "overflow counted" (total - capacity) (Sink.dropped sink);
+  (* Wraparound keeps the newest events: the retained args are the last
+     [capacity] ones. *)
+  let args =
+    List.map (fun (e : Sink.event) -> e.arg) (Sink.events sink)
+    |> List.sort Int.compare
+  in
+  check_int "oldest retained arg" (total - capacity + 1) (List.hd args);
+  check_int "newest retained arg" total (List.nth args (capacity - 1))
+
+let test_sink_events_sorted () =
+  let sink = Sink.create () in
+  let ds =
+    List.init 4 (fun d ->
+      Domain.spawn (fun () ->
+        for _ = 1 to 200 do
+          Sink.instant sink ~cat:"test" ~name:"hit" ~track:d ()
+        done))
+  in
+  List.iter Domain.join ds;
+  let rec monotone = function
+    | (a : Sink.event) :: (b : Sink.event) :: rest ->
+      a.ts <= b.ts && (a.ts < b.ts || a.seq < b.seq) && monotone (b :: rest)
+    | _ -> true
+  in
+  check_bool "merged chronologically, seq breaks ties" true
+    (monotone (Sink.events sink))
+
+let test_sink_span () =
+  let sink = Sink.create () in
+  let v =
+    Sink.span sink ~cat:"test" ~name:"work" ~track:3 (fun () ->
+      Unix.sleepf 0.002;
+      17)
+  in
+  check_int "span returns the thunk's value" 17 v;
+  (match Sink.events sink with
+  | [ e ] ->
+    check_bool "positive duration" true (e.dur >= 0.001);
+    check_int "track" 3 e.track
+  | es -> Alcotest.failf "expected 1 event, got %d" (List.length es));
+  (* The span records even when the thunk raises. *)
+  (try
+     Sink.span sink ~cat:"test" ~name:"boom" ~track:3 (fun () ->
+       failwith "boom")
+   with Failure _ -> ());
+  check_int "exceptional span recorded" 2 (Sink.recorded sink)
+
+let test_sink_bad_capacity () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Qs_obs.Sink.create: capacity must be >= 1") (fun () ->
+      ignore (Sink.create ~capacity:0 () : Sink.t))
+
+(* -- chrome export ----------------------------------------------------------- *)
+
+let test_chrome_export () =
+  let sink = Sink.create () in
+  Sink.instant sink ~cat:"sched" ~name:"steal" ~track:1 ();
+  Sink.complete sink ~cat:"core" ~name:"batch" ~track:0 ~arg:4 ~ts:0.001
+    ~dur:0.002 ();
+  let s = Chrome.to_string ~counters:[ ("calls", 42) ] sink in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "has traceEvents" true (contains "\"traceEvents\"");
+  check_bool "instant phase" true (contains "\"ph\":\"i\"");
+  check_bool "complete phase" true (contains "\"ph\":\"X\"");
+  check_bool "per-layer process metadata" true (contains "process_name");
+  check_bool "embedded counters" true (contains "\"calls\":42");
+  check_bool "overflow is reported" true (contains "\"droppedEvents\":0")
+
+let test_json_escaping () =
+  Alcotest.(check string)
+    "escapes specials" "{\"k\\\"\\n\":\"a\\\\b\"}"
+    (Json.to_string (Json.Obj [ ("k\"\n", Json.String "a\\b") ]));
+  Alcotest.(check string)
+    "non-finite floats become 0" "[0,0]"
+    (Json.to_string (Json.List [ Json.Float nan; Json.Float infinity ]))
+
+(* -- Stats compatibility view ------------------------------------------------ *)
+
+let test_stats_diff_and_mean_batch () =
+  let st = Scoop.Stats.create () in
+  let before = Scoop.Stats.snapshot st in
+  (* Zero-wakeup edge case: mean batch must be 0, not a NaN/div-by-zero. *)
+  check_float "mean batch with no wakeups" 0.0 (Scoop.Stats.mean_batch before);
+  Qs_obs.Counter.add st.Scoop.Stats.handler_wakeups 4;
+  Qs_obs.Counter.add st.Scoop.Stats.batched_requests 10;
+  Qs_obs.Counter.incr st.Scoop.Stats.calls;
+  let d = Scoop.Stats.diff (Scoop.Stats.snapshot st) before in
+  check_int "calls delta" 1 d.Scoop.Stats.s_calls;
+  check_int "untouched field delta" 0 d.Scoop.Stats.s_queries;
+  check_float "mean batch" 2.5 (Scoop.Stats.mean_batch d);
+  (* The registry view exposes the same counters by name. *)
+  check_int "assoc view" 1
+    (Qs_obs.Counter.value (Scoop.Stats.assoc st) "calls");
+  (* Diffing a snapshot against itself is all zeros. *)
+  let s = Scoop.Stats.snapshot st in
+  let z = Scoop.Stats.diff s s in
+  check_int "self-diff wakeups" 0 z.Scoop.Stats.s_handler_wakeups;
+  check_float "self-diff mean batch" 0.0 (Scoop.Stats.mean_batch z)
+
+(* -- Trace compatibility view ------------------------------------------------ *)
+
+let test_trace_summarize_fixture () =
+  (* Hand-computed distributions over an explicit event list. *)
+  let open Scoop.Trace in
+  let e at proc kind = { at; proc; kind } in
+  let events =
+    [
+      e 0.0 0 Reserved;
+      e 0.1 0 Call_logged;
+      e 0.2 0 (Call_executed 0.010);
+      e 0.3 0 Call_logged;
+      e 0.4 0 (Call_executed 0.030);
+      e 0.5 0 (Sync_round_trip 0.004);
+      e 0.6 0 Sync_elided;
+      e 0.7 1 Reserved;
+      e 0.8 1 (Query_round_trip 0.002);
+    ]
+  in
+  match summarize_events events with
+  | [ p0; p1 ] ->
+    check_int "p0 id" 0 p0.sp_proc;
+    check_int "p0 reservations" 1 p0.sp_reservations;
+    check_int "p0 calls" 2 p0.sp_calls;
+    check_int "p0 latency count" 2 p0.sp_call_latency.count;
+    check_float "p0 latency mean" 0.020 p0.sp_call_latency.mean;
+    check_float "p0 latency max" 0.030 p0.sp_call_latency.max;
+    check_int "p0 syncs" 1 p0.sp_sync_round_trip.count;
+    check_float "p0 sync mean" 0.004 p0.sp_sync_round_trip.mean;
+    check_int "p0 elided" 1 p0.sp_syncs_elided;
+    check_int "p1 id" 1 p1.sp_proc;
+    check_int "p1 queries" 1 p1.sp_query_round_trip.count;
+    check_float "p1 query mean" 0.002 p1.sp_query_round_trip.mean;
+    check_int "p1 no calls" 0 p1.sp_calls;
+    (* Empty distribution: all-zero, not an error. *)
+    check_int "p1 empty dist count" 0 p1.sp_call_latency.count;
+    check_float "p1 empty dist mean" 0.0 p1.sp_call_latency.mean
+  | ps -> Alcotest.failf "expected 2 processors, got %d" (List.length ps)
+
+let test_trace_roundtrip_through_sink () =
+  (* Record through the compat API, read back: kinds and durations
+     survive the sink encoding, and [events] is oldest-first. *)
+  let tr = Scoop.Trace.create () in
+  Scoop.Trace.record tr ~proc:2 Scoop.Trace.Reserved;
+  Scoop.Trace.record tr ~proc:2 Scoop.Trace.Call_logged;
+  Scoop.Trace.record tr ~proc:2 (Scoop.Trace.Call_executed 0.005);
+  Scoop.Trace.record tr ~proc:2 Scoop.Trace.Sync_elided;
+  (match Scoop.Trace.events tr with
+  | [ a; b; c; d ] ->
+    check_bool "reserved first" true (a.Scoop.Trace.kind = Scoop.Trace.Reserved);
+    check_bool "logged second" true
+      (b.Scoop.Trace.kind = Scoop.Trace.Call_logged);
+    (match c.Scoop.Trace.kind with
+    | Scoop.Trace.Call_executed dur -> check_float "duration kept" 0.005 dur
+    | _ -> Alcotest.fail "third event should be Call_executed");
+    check_bool "elided last" true
+      (d.Scoop.Trace.kind = Scoop.Trace.Sync_elided);
+    check_bool "oldest first" true
+      (a.Scoop.Trace.at <= b.Scoop.Trace.at
+      && b.Scoop.Trace.at <= c.Scoop.Trace.at
+      && c.Scoop.Trace.at <= d.Scoop.Trace.at)
+  | es -> Alcotest.failf "expected 4 events, got %d" (List.length es));
+  (* Foreign-layer events in the same sink are filtered out of the view. *)
+  Sink.instant (Scoop.Trace.sink tr) ~cat:"sched" ~name:"steal" ~track:0 ();
+  check_int "sched events invisible to Trace" 4
+    (List.length (Scoop.Trace.events tr))
+
+(* -- whole-stack integration -------------------------------------------------- *)
+
+let test_runtime_obs_three_layers () =
+  (* One traced run must produce events from the scheduler, the handler
+     and the client layers in the same sink. *)
+  let sink = Sink.create () in
+  Scoop.Runtime.run ~domains:2 ~obs:sink (fun rt ->
+    let h = Scoop.Runtime.processor rt in
+    let cell = Scoop.Shared.create h (ref 0) in
+    for _ = 1 to 50 do
+      Scoop.Runtime.separate rt h (fun reg ->
+        Scoop.Shared.apply reg cell incr;
+        ignore (Scoop.Shared.get reg cell (fun r -> !r) : int))
+    done);
+  let cats =
+    List.sort_uniq String.compare
+      (List.map (fun (e : Sink.event) -> e.cat) (Sink.events sink))
+  in
+  List.iter
+    (fun layer ->
+      check_bool (layer ^ " events present") true (List.mem layer cats))
+    [ "sched"; "core"; "client" ];
+  check_int "nothing dropped" 0 (Sink.dropped sink)
+
+let () =
+  Alcotest.run "qs_obs"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "duplicate rejected" `Quick
+            test_counter_duplicate_rejected;
+          Alcotest.test_case "diff" `Quick test_counter_diff;
+          Alcotest.test_case "multi-domain increments" `Quick
+            test_counter_multi_domain;
+        ] );
+      ( "event rings",
+        [
+          Alcotest.test_case "retention below capacity" `Quick
+            test_sink_retains_below_capacity;
+          Alcotest.test_case "overflow counted" `Quick
+            test_sink_overflow_counted;
+          Alcotest.test_case "events sorted" `Quick test_sink_events_sorted;
+          Alcotest.test_case "span" `Quick test_sink_span;
+          Alcotest.test_case "bad capacity" `Quick test_sink_bad_capacity;
+        ] );
+      ( "chrome export",
+        [
+          Alcotest.test_case "structure" `Quick test_chrome_export;
+          Alcotest.test_case "json escaping" `Quick test_json_escaping;
+        ] );
+      ( "compat views",
+        [
+          Alcotest.test_case "stats diff and mean batch" `Quick
+            test_stats_diff_and_mean_batch;
+          Alcotest.test_case "trace summarize fixture" `Quick
+            test_trace_summarize_fixture;
+          Alcotest.test_case "trace roundtrip through sink" `Quick
+            test_trace_roundtrip_through_sink;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "three layers in one sink" `Quick
+            test_runtime_obs_three_layers;
+        ] );
+    ]

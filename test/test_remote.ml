@@ -34,6 +34,27 @@ let test_fifo () =
       (List.init 100 (fun i -> i + 1))
       (List.rev !received))
 
+let test_frame_counters () =
+  with_queue (fun q ->
+    let n = 100 in
+    S.spawn (fun () ->
+      for i = 1 to n do
+        Sq.enqueue q i
+      done;
+      Sq.close_writer q);
+    let rec drain () =
+      match Sq.dequeue q with Some _ -> drain () | None -> ()
+    in
+    drain ();
+    let c = Sq.counters q in
+    let v = Qs_obs.Counter.value c in
+    check_int "one frame per message sent" n (v "frames_sent");
+    check_int "every frame received" n (v "frames_received");
+    check_int "both directions saw the same bytes" (v "bytes_sent")
+      (v "bytes_received");
+    (* Each frame is an 8-byte header plus a marshalled int. *)
+    check_bool "bytes cover the headers" true (v "bytes_sent" >= 8 * n))
+
 let test_structured_messages () =
   with_queue (fun q ->
     S.spawn (fun () ->
@@ -178,6 +199,7 @@ let () =
       ( "socket queue",
         [
           Alcotest.test_case "fifo" `Quick test_fifo;
+          Alcotest.test_case "frame counters" `Quick test_frame_counters;
           Alcotest.test_case "structured messages" `Quick test_structured_messages;
           Alcotest.test_case "large messages" `Quick test_large_messages;
           Alcotest.test_case "copy semantics" `Quick test_copy_semantics;

@@ -35,6 +35,45 @@ let test_nested_spawn () =
     done);
   check_int "nested fibers" 110 (Atomic.get hit)
 
+let test_live_counters () =
+  (* Counters are readable mid-run from inside the scheduler, and only
+     there; the final on_counters delivery is at least the live value. *)
+  check_bool "none outside a scheduler" true (S.current_counters () = None);
+  let live = ref None in
+  let final = ref None in
+  S.run ~on_counters:(fun c -> final := Some c) (fun () ->
+    for _ = 1 to 50 do
+      S.spawn (fun () -> S.yield ())
+    done;
+    S.yield ();
+    live := S.current_counters ());
+  match (!live, !final) with
+  | Some l, Some f ->
+    check_bool "dispatches visible mid-run" true (l.S.c_executed > 0);
+    check_bool "monotone to the final value" true
+      (l.S.c_executed <= f.S.c_executed && l.S.c_parks <= f.S.c_parks)
+  | _ -> Alcotest.fail "live or final counters missing"
+
+let test_obs_sink_records_sched_events () =
+  let sink = Qs_obs.Sink.create () in
+  S.run ~domains:2 ~obs:sink (fun () ->
+    let latch = Latch.create 100 in
+    for _ = 1 to 100 do
+      S.spawn (fun () -> Latch.count_down latch)
+    done;
+    Latch.wait latch);
+  let names =
+    List.sort_uniq String.compare
+      (List.map
+         (fun (e : Qs_obs.Sink.event) -> e.name)
+         (Qs_obs.Sink.events sink))
+  in
+  check_bool "dispatch spans recorded" true (List.mem "dispatch" names);
+  check_bool "all events in the sched category" true
+    (Qs_obs.Sink.fold
+       (fun acc (e : Qs_obs.Sink.event) -> acc && e.cat = "sched")
+       true sink)
+
 let test_yield_interleaves () =
   let log = ref [] in
   S.run (fun () ->
@@ -416,6 +455,9 @@ let () =
           Alcotest.test_case "run returns value" `Quick test_run_returns_value;
           Alcotest.test_case "run waits for spawned" `Quick test_run_waits_for_spawned;
           Alcotest.test_case "nested spawn" `Quick test_nested_spawn;
+          Alcotest.test_case "live counters" `Quick test_live_counters;
+          Alcotest.test_case "obs sink records events" `Quick
+            test_obs_sink_records_sched_events;
           Alcotest.test_case "yield interleaves" `Quick test_yield_interleaves;
           Alcotest.test_case "suspend/resume" `Quick test_suspend_resume;
           Alcotest.test_case "resume idempotent" `Quick test_resume_idempotent;
