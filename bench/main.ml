@@ -21,6 +21,7 @@ let all_artifacts =
   [
     "table1"; "fig16"; "table2"; "fig17"; "table3"; "table4"; "fig18";
     "fig19"; "table5"; "fig20"; "summary"; "eve"; "switches"; "micro";
+    "pipeline";
   ]
 
 (* §4.3 attributes the QoQ gains to "fewer context switches, since the
@@ -175,6 +176,132 @@ let mailbox_batching () =
       (name, batch, s))
     [ (`Qoq, 1); (`Qoq, 16); (`Qoq, 64); (`Direct, 1); (`Direct, 16);
       (`Direct, 64) ]
+
+(* -- promise-pipelining ablation -------------------------------------------- *)
+
+(* The same fan-in pulls issued as sequential blocking queries vs as
+   [query_async] promises forced after the fan-out.  Blocking pulls
+   serialize the handlers: handler i+1's pull does not even start until
+   handler i's answer is back.  The pipelined variant logs all k queries
+   first, so the handlers compute their answers concurrently and the
+   client pays for the slowest one once.  Runs on at least 2 domains so
+   the overlap is physical, not just interleaved. *)
+let pipeline (s : H.scale) =
+  let module BT = Qs_benchmarks.Bench_types in
+  let module CW = Qs_workloads.Cowichan in
+  let handlers = max 2 (min 8 s.H.workers) in
+  let domains = max 2 s.H.domains in
+  let config = Scoop.Config.all in
+  let rounds = max 20 (s.H.m / 16) in
+  let items = 256 in
+  (* prodcons fan-in: k handler-owned queues are filled by asynchronous
+     calls; the client repeatedly pulls a checksum of every queue. *)
+  let prodcons ~pipelined () =
+    Scoop.Runtime.run ~domains ~config (fun rt ->
+      let stats = Scoop.Runtime.stats rt in
+      let before = Scoop.Stats.snapshot stats in
+      let hs = Scoop.Runtime.processors rt handlers in
+      let queues = List.map (fun h -> (h, Queue.create ())) hs in
+      List.iter
+        (fun (h, q) ->
+          Scoop.Runtime.separate rt h (fun reg ->
+            for i = 1 to items do
+              Scoop.Registration.call reg (fun () -> Queue.push i q)
+            done))
+        queues;
+      let checksum = ref 0 in
+      let pull q () = Queue.fold (fun a x -> a + (x * x)) 0 q in
+      for _ = 1 to rounds do
+        Scoop.Runtime.separate_list rt hs (fun regs ->
+          if pipelined then
+            List.map2
+              (fun reg (_, q) -> Scoop.Registration.query_async reg (pull q))
+              regs queues
+            |> List.iter (fun p ->
+                 checksum := !checksum + Scoop.Promise.await p)
+          else
+            List.iter2
+              (fun reg (_, q) ->
+                checksum := !checksum + Scoop.Registration.query reg (pull q))
+              regs queues)
+      done;
+      (!checksum, Scoop.Stats.diff (Scoop.Stats.snapshot stats) before))
+  in
+  (* Cowichan chain fragment (examples/pipeline.ml writ large): workers
+     generate matrix chunks behind asynchronous calls, the client pulls
+     per-chunk histograms and reduces them to the thresh threshold. *)
+  let cowichan ~pipelined () =
+    Scoop.Runtime.run ~domains ~config (fun rt ->
+      let stats = Scoop.Runtime.stats rt in
+      let before = Scoop.Stats.snapshot stats in
+      let nr = s.H.nr and seed = s.H.seed in
+      let chunks =
+        List.map
+          (fun (lo, hi) ->
+            let proc = Scoop.Runtime.processor rt in
+            (proc, lo, hi, Array.make ((hi - lo) * nr) 0))
+          (BT.split nr handlers)
+      in
+      List.iter
+        (fun (proc, lo, hi, arr) ->
+          Scoop.Runtime.separate rt proc (fun reg ->
+            Scoop.Registration.call reg (fun () ->
+              CW.randmat_chunk ~seed ~nr ~lo ~hi arr)))
+        chunks;
+      let hist = Array.make CW.modulus 0 in
+      let merge h = Array.iteri (fun v n -> hist.(v) <- hist.(v) + n) h in
+      if pipelined then
+        List.map
+          (fun (proc, lo, hi, arr) ->
+            Scoop.Runtime.separate rt proc (fun reg ->
+              Scoop.Registration.query_async reg (fun () ->
+                CW.thresh_hist ~nr arr ~lo:0 ~hi:(hi - lo))))
+          chunks
+        |> List.iter (fun p -> merge (Scoop.Promise.await p))
+      else
+        List.iter
+          (fun (proc, lo, hi, arr) ->
+            Scoop.Runtime.separate rt proc (fun reg ->
+              merge
+                (Scoop.Registration.query reg (fun () ->
+                   CW.thresh_hist ~nr arr ~lo:0 ~hi:(hi - lo)))))
+          chunks;
+      ( CW.thresh_threshold ~hist ~total:(nr * nr) ~p:s.H.p,
+        Scoop.Stats.diff (Scoop.Stats.snapshot stats) before ))
+  in
+  print_newline ();
+  Printf.printf
+    "promise pipelining: blocking queries vs query_async fan-out (%d \
+     handlers, %d domains, median of %d)\n"
+    handlers domains (max 1 s.H.reps);
+  print_endline (String.make 72 '-');
+  Printf.printf "%-10s %-10s %10s %10s %8s %8s %8s\n" "workload" "mode"
+    "seconds" "promises" "ready" "blocked" "overlap";
+  let bench name workload =
+    let variant pipelined mode =
+      let runs =
+        List.init (max 1 s.H.reps) (fun _ ->
+          let (value, snap), secs = BT.timed (workload ~pipelined) in
+          (secs, value, snap))
+      in
+      let secs = BT.median (List.map (fun (t, _, _) -> t) runs) in
+      (* Counters come from the first rep; every rep does identical work. *)
+      let _, value, snap = List.hd runs in
+      Printf.printf "%-10s %-10s %10.4f %10d %8d %8d %8.2f\n" name mode secs
+        snap.Scoop.Stats.s_promises_created snap.Scoop.Stats.s_promises_ready
+        snap.Scoop.Stats.s_promises_blocked (Scoop.Stats.overlap_ratio snap);
+      (value, (name, mode, secs, snap))
+    in
+    let vb, row_b = variant false "blocking" in
+    let vp, row_p = variant true "pipelined" in
+    if vb <> vp then
+      Printf.printf "  WARNING: %s blocking/pipelined results differ (%d vs %d)\n"
+        name vb vp;
+    [ row_b; row_p ]
+  in
+  let prodcons_rows = bench "prodcons" prodcons in
+  let cowichan_rows = bench "cowichan" cowichan in
+  prodcons_rows @ cowichan_rows
 
 (* -- Bechamel micro-suite: one Test.make per table ------------------------- *)
 
@@ -397,9 +524,26 @@ let instrumented_probe ?obs (s : H.scale) =
 let json_ints kvs =
   Qs_obs.Json.Obj (List.map (fun (k, v) -> (k, Qs_obs.Json.Int v)) kvs)
 
-let write_json path (s : H.scale) micro_rows batching_rows =
+let write_json path (s : H.scale) micro_rows batching_rows pipeline_rows =
   let open Qs_obs.Json in
   let runtime_counters, sched_counters = instrumented_probe s in
+  let pipeline_json =
+    List.map
+      (fun (workload, mode, secs, snap) ->
+        Obj
+          [
+            ("workload", String workload);
+            ("mode", String mode);
+            ("seconds", Float secs);
+            ("promises_created", Int snap.Scoop.Stats.s_promises_created);
+            ( "promises_ready_on_first_poll",
+              Int snap.Scoop.Stats.s_promises_ready );
+            ( "promises_forced_blocking",
+              Int snap.Scoop.Stats.s_promises_blocked );
+            ("overlap_ratio", Float (Scoop.Stats.overlap_ratio snap));
+          ])
+      pipeline_rows
+  in
   let micro_json =
     List.map
       (fun (name, mean, stddev, samples) ->
@@ -439,6 +583,7 @@ let write_json path (s : H.scale) micro_rows batching_rows =
             ] );
         ("micro", List micro_json);
         ("mailbox_batching", List batching_json);
+        ("pipeline", List pipeline_json);
         ( "counters",
           Obj
             [
@@ -497,10 +642,11 @@ let run scale only json trace_out =
   end;
   if want "eve" then Report.eve (H.eve_experiment scale);
   if want "switches" then switches scale;
+  let pipeline_rows = if want "pipeline" then pipeline scale else [] in
   if want "micro" then begin
     let micro_rows, batching_rows = micro () in
     match json with
-    | Some path -> write_json path scale micro_rows batching_rows
+    | Some path -> write_json path scale micro_rows batching_rows pipeline_rows
     | None -> ()
   end
   else
@@ -508,7 +654,7 @@ let run scale only json trace_out =
       (fun path ->
         (* No micro rows without the micro suite; still emit the
            counters so the output is valid and self-describing. *)
-        write_json path scale [] [])
+        write_json path scale [] [] pipeline_rows)
       json;
   Option.iter (fun path -> write_trace path scale) trace_out
 
@@ -547,7 +693,7 @@ let only_term =
     & info [ "only" ]
         ~doc:"Regenerate only the given artifact (repeatable). One of: table1 \
               fig16 table2 fig17 table3 table4 fig18 fig19 table5 fig20 \
-              summary eve micro.")
+              summary eve switches micro pipeline.")
 
 let json_term =
   Arg.(

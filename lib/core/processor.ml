@@ -84,6 +84,13 @@ let execute t req f =
 let serve t req =
   match req with
   | Request.Call f -> execute t req f
+  | Request.Query f ->
+    (* A pipelined query: the packaged closure computes the result and
+       fulfils the client's promise (resuming any already-blocked
+       forcer through the promise's waiter list).  Counted separately
+       so the overlap of issue and fulfilment is observable. *)
+    execute t req f;
+    Qs_obs.Counter.incr t.stats.Stats.promises_fulfilled
   | Request.Sync resume ->
     (* Release half of the wait/release pair: wake the client.  The
        scheduler's hot slot turns this into a direct handoff, and the
@@ -146,7 +153,7 @@ let qoq_mailbox qoq cache =
       | Request.End ->
         current := None;
         Qs_queues.Treiber_stack.push cache pq
-      | Request.Call _ | Request.Sync _ -> ());
+      | Request.Call _ | Request.Query _ | Request.Sync _ -> ());
       n
   in
   { drain }

@@ -16,10 +16,13 @@ type t = {
   enqueue : Request.t -> unit;
   mutable synced : bool;
   mutable closed : bool;
+  mutable logged : int;
+      (* requests logged so far; lets a forced promise prove that nothing
+         was logged after it was issued (see [query_async]) *)
 }
 
 let make ~proc ~ctx ~enqueue =
-  { proc; ctx; enqueue; synced = false; closed = false }
+  { proc; ctx; enqueue; synced = false; closed = false; logged = 0 }
 
 let processor t = t.proc
 let is_synced t = t.synced
@@ -37,6 +40,7 @@ let call t f =
   (* An asynchronous call invalidates the synced status: the handler has
      work again and may be mid-execution during subsequent client reads. *)
   t.synced <- false;
+  t.logged <- t.logged + 1;
   match t.ctx.Ctx.trace with
   | None -> t.enqueue (Request.Call f)
   | Some tr ->
@@ -90,6 +94,7 @@ let query t f =
       match t.ctx.Ctx.trace with Some tr -> Trace.now tr | None -> 0.0
     in
     let result = Qs_sched.Ivar.create () in
+    t.logged <- t.logged + 1;
     t.enqueue (Request.Call (fun () -> Qs_sched.Ivar.fill result (f ())));
     let v = Qs_sched.Ivar.read result in
     (match t.ctx.Ctx.trace with
@@ -101,6 +106,52 @@ let query t f =
     t.synced <- true;
     v
   end
+
+(* Promise-pipelined query (the deferred flavour of Fig. 10a): package
+   [f], enqueue it, and hand the client a promise instead of blocking on
+   the round trip.  The handler fulfils the promise when it reaches the
+   request, so k pipelined queries against k handlers overlap their
+   round trips — forcing any of them costs at most the slowest handler,
+   not the sum.
+
+   Synced-status rules (§3.4.1 extended to deferred rendezvous): issuing
+   the query invalidates [synced] exactly like a call, because the
+   handler has pending work again.  Forcing the promise re-establishes
+   [synced] — the handler has provably drained everything logged up to
+   the query — but only if nothing was logged through this registration
+   in between (checked via the [logged] watermark) and the block is
+   still open.  The [synced] write happens in the promise's force hook,
+   which runs on the forcing client fiber, never on the handler: the
+   field stays single-writer. *)
+let query_async t f =
+  touch t;
+  Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.queries;
+  Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.promises_created;
+  t.synced <- false;
+  t.logged <- t.logged + 1;
+  let mark = t.logged in
+  let stats = t.ctx.Ctx.stats in
+  let promise =
+    Qs_sched.Promise.create
+      ~on_force:(fun was_ready ->
+        Qs_obs.Counter.incr
+          (if was_ready then stats.Stats.promises_ready
+           else stats.Stats.promises_blocked);
+        if (not t.closed) && t.logged = mark then t.synced <- true)
+      ()
+  in
+  (match t.ctx.Ctx.trace with
+  | Some tr ->
+    (* Span from issue to fulfilment: the handler-side pipeline latency,
+       recorded by the fulfilling handler via the completion callback. *)
+    let proc = Processor.id t.proc in
+    let t0 = Trace.now tr in
+    Qs_sched.Promise.on_fulfill promise (fun _ ->
+      Trace.record tr ~proc (Trace.Query_pipelined (Trace.now tr -. t0)))
+  | None -> ());
+  t.enqueue
+    (Request.Query (fun () -> Qs_sched.Promise.fulfill promise (f ())));
+  promise
 
 (* Block exit: append the END marker in both modes (the end rule).  In
    queue-of-queues mode it makes the handler recycle the private queue and

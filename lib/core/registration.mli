@@ -18,6 +18,23 @@ val query : t -> (unit -> 'a) -> 'a
     (Fig. 10b).  Either way, on return every previously logged call has
     been applied — the basis of pre/postcondition reasoning (§2.2). *)
 
+val query_async : t -> (unit -> 'a) -> 'a Qs_sched.Promise.t
+(** Issue a promise-pipelined query: package [f] for the handler and
+    return immediately with a promise for its result.  The handler
+    fulfils the promise when it reaches the request, so several
+    pipelined queries — against one handler or many — overlap their
+    round trips; force them later with {!Qs_sched.Promise.await}.
+
+    Always packaged (Fig. 10a shape), regardless of the runtime's
+    [client_query] setting: pipelining requires shipping the closure.
+
+    Synced status: issuing invalidates {!is_synced} like a call does.
+    Forcing the returned promise re-establishes it — equivalent to a
+    blocking {!query} — provided nothing else was logged through this
+    registration since the promise was issued and the separate block is
+    still open.  Forcing after the block closed is allowed and returns
+    the value, but no longer updates the registration. *)
+
 val sync : t -> unit
 (** Wait until the handler has drained every request logged through this
     registration.  Elided dynamically when the configuration enables

@@ -2,18 +2,23 @@
 
    [Call] carries a packaged application — the OCaml analogue of the
    libffi-packaged call of Fig. 9 (a heap-allocated closure standing in for
-   the cif + argument block).  [Sync] is the release half of the wait /
-   release pair introduced by the modified query rule of §3.2: the handler
-   resumes the waiting client and, knowing it has no further work until the
-   client logs more, parks.  [End] is the end-of-private-queue marker
-   appended when a separate block closes. *)
+   the cif + argument block).  [Query] is the same packaging shape but for a
+   promise-pipelined query: the closure computes the result and fulfils the
+   client's promise, so the handler loop can account and trace deferred
+   rendezvous separately from plain asynchronous calls.  [Sync] is the
+   release half of the wait / release pair introduced by the modified query
+   rule of §3.2: the handler resumes the waiting client and, knowing it has
+   no further work until the client logs more, parks.  [End] is the
+   end-of-private-queue marker appended when a separate block closes. *)
 
 type t =
   | Call of (unit -> unit)
+  | Query of (unit -> unit)
   | Sync of Qs_sched.Sched.resumer
   | End
 
 let pp ppf = function
   | Call _ -> Format.pp_print_string ppf "call"
+  | Query _ -> Format.pp_print_string ppf "query"
   | Sync _ -> Format.pp_print_string ppf "sync"
   | End -> Format.pp_print_string ppf "end"

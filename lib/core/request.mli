@@ -1,12 +1,15 @@
 (** Requests exchanged between clients and handlers.
 
     The runtime counterpart of the statement syntax in paper §2.3:
-    [Call] is an asynchronous packaged call, [Sync] the wait/release pair of
-    the (client-executed) query protocol, [End] the end-of-registration
+    [Call] is an asynchronous packaged call, [Query] a packaged
+    promise-pipelined query (the closure fulfils the client's promise
+    with the result), [Sync] the wait/release pair of the
+    (client-executed) query protocol, [End] the end-of-registration
     marker a client appends when its separate block closes. *)
 
 type t =
   | Call of (unit -> unit)
+  | Query of (unit -> unit)
   | Sync of Qs_sched.Sched.resumer
   | End
 

@@ -76,13 +76,13 @@ let shutdown t =
   in
   drain ()
 
-let separate t proc body = Separate.with1 t.ctx proc body
-let separate2 t p1 p2 body = Separate.with2 t.ctx p1 p2 body
-let separate_list t procs body = Separate.with_list t.ctx procs body
-let separate_when t proc ~pred body = Separate.with_when t.ctx proc ~pred body
+let separate t proc body = Separate.one t.ctx proc body
+let separate2 t p1 p2 body = Separate.two t.ctx p1 p2 body
+let separate_list t procs body = Separate.many t.ctx procs body
+let separate_when t proc ~pred body = Separate.when_ t.ctx proc ~pred body
 
 let separate_list_when t procs ~pred body =
-  Separate.with_list_when t.ctx procs ~pred body
+  Separate.many_when t.ctx procs ~pred body
 
 let run ?(domains = 1) ?(config = Config.all) ?mailbox ?batch ?spsc
     ?(trace = false) ?obs ?on_stall ?on_counters main =

@@ -1,20 +1,20 @@
-(** SCOOP/Qs: an efficient runtime for the SCOOP object-oriented
-    concurrency model (West, Nanz, Meyer — PPoPP 2015).
-
-    Entry points: {!Runtime.run}, {!Runtime.processor},
-    {!Runtime.separate}, then {!Registration} and {!Shared} operations
-    inside the block. *)
+(* SCOOP/Qs client facade.  The curated surface lives in scoop.mli; this
+   module only wires the submodules (and the Promise re-export) together. *)
 
 module Config = Config
 module Stats = Stats
-module Request = Request
+module Promise = Qs_sched.Promise
 module Processor = Processor
 module Registration = Registration
 module Separate = Separate
 module Runtime = Runtime
 module Shared = Shared
-module Eve = Eve
 module Trace = Trace
-module Ctx = Ctx
+
+module Internal = struct
+  module Ctx = Ctx
+  module Eve = Eve
+  module Request = Request
+end
 
 let run = Runtime.run

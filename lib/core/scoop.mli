@@ -1,0 +1,76 @@
+(** SCOOP/Qs: an efficient runtime for the SCOOP object-oriented
+    concurrency model (West, Nanz, Meyer — PPoPP 2015).
+
+    This is the curated client surface.  Entry points: {!run} (or
+    {!Runtime.run}), {!Runtime.processor}, {!Runtime.separate}, then
+    {!Registration} and {!Shared} operations inside the block; pipelined
+    queries return a {!Promise}.  Runtime internals that client code
+    should not touch — the per-runtime context, the request
+    representation, the EVE shadow bookkeeping — are tucked under
+    {!Internal} and are not part of the supported API. *)
+
+module Config = Config
+(** Runtime configuration: optimization presets and request-path knobs. *)
+
+module Stats = Stats
+(** Instrumentation counters, snapshots and derived ratios. *)
+
+module Promise = Qs_sched.Promise
+(** Deferred query results ({!Registration.query_async}): force with
+    {!Promise.await}, poll with {!Promise.try_read}, combine with
+    {!Promise.both}/{!Promise.all}. *)
+
+module Processor = Processor
+(** SCOOP processors ("handlers"): opaque handles used to place shared
+    objects and open separate blocks. *)
+
+module Registration = Registration
+(** Client-side handle on one reserved handler inside a separate block:
+    {!Registration.call}, {!Registration.query},
+    {!Registration.query_async}, {!Registration.sync}. *)
+
+module Separate = Separate
+(** Reservation internals behind {!Runtime.separate} and friends (the
+    arity-named [one]/[two]/[many]/[when_]/[many_when] entry points).
+    Client code normally goes through {!Runtime}, which supplies the
+    context. *)
+
+module Runtime = Runtime
+(** Runtime lifecycle: {!Runtime.run}, {!Runtime.processor}, the
+    [separate*] block combinators, stats/trace access. *)
+
+module Shared = Shared
+(** Handler-owned objects with ownership-checked access. *)
+
+module Trace = Trace
+(** Detailed event tracing over the shared observability sink. *)
+
+val run :
+  ?domains:int ->
+  ?config:Config.t ->
+  ?mailbox:[ `Qoq | `Direct ] ->
+  ?batch:int ->
+  ?spsc:[ `Linked | `Ring ] ->
+  ?trace:bool ->
+  ?obs:Qs_obs.Sink.t ->
+  ?on_stall:[ `Raise | `Warn ] ->
+  ?on_counters:(Qs_sched.Sched.counters -> unit) ->
+  (Runtime.t -> 'a) ->
+  'a
+(** Alias of {!Runtime.run}, the usual entry point. *)
+
+(** {1 Internals}
+
+    Not part of the supported surface: exposed for the runtime's own
+    tests and benchmarks.  No stability guarantees. *)
+
+module Internal : sig
+  module Ctx = Ctx
+  (** Per-runtime wiring (config, stats, trace sink, EVE table). *)
+
+  module Eve = Eve
+  (** EVE handler-table simulation (paper §4.5). *)
+
+  module Request = Request
+  (** The client→handler request representation. *)
+end

@@ -35,7 +35,7 @@ let exit_one ctx reg =
   if not (Config.uses_qoq ctx.Ctx.config) then
     Processor.unlock_handler (Registration.processor reg)
 
-let with1 ctx proc body =
+let one ctx proc body =
   let reg = enter_one ctx proc in
   Fun.protect ~finally:(fun () -> exit_one ctx reg) (fun () -> body reg)
 
@@ -78,41 +78,102 @@ let exit_many ctx regs =
   (* endMany: signal END to every reserved handler (§2.4). *)
   List.iter (fun reg -> exit_one ctx reg) regs
 
-let with_list ctx procs body =
+let many ctx procs body =
   match procs with
   | [] -> body []
-  | [ p ] -> with1 ctx p (fun reg -> body [ reg ])
+  | [ p ] -> one ctx p (fun reg -> body [ reg ])
   | _ ->
     let regs = enter_many ctx procs in
     Fun.protect ~finally:(fun () -> exit_many ctx regs) (fun () -> body regs)
 
-let with2 ctx p1 p2 body =
-  with_list ctx [ p1; p2 ] (fun regs ->
-    match regs with
-    | [ r1; r2 ] -> body r1 r2
-    | _ -> assert false)
+(* Pairwise reservation, the common multi-handler shape, with a dedicated
+   entry so the registrations come back as a typed pair: same spinlock
+   protocol as [enter_many] (acquire in id order, release in reverse)
+   specialized to two handlers, no intermediate lists to destructure. *)
+let enter_two ctx p1 p2 =
+  Qs_obs.Counter.incr ctx.Ctx.stats.Stats.reservations;
+  Qs_obs.Counter.incr ctx.Ctx.stats.Stats.multi_reservations;
+  trace_reserved ctx p1;
+  trace_reserved ctx p2;
+  if Processor.id p1 = Processor.id p2 then
+    invalid_arg "Scoop.Separate: the same processor reserved twice";
+  let lo, hi =
+    if Processor.id p1 < Processor.id p2 then (p1, p2) else (p2, p1)
+  in
+  if Config.uses_qoq ctx.Ctx.config then begin
+    let pq1 = Processor.take_private_queue p1 in
+    let pq2 = Processor.take_private_queue p2 in
+    Qs_queues.Spinlock.acquire (Processor.reserve lo);
+    Qs_queues.Spinlock.acquire (Processor.reserve hi);
+    Processor.enqueue_private_queue p1 pq1;
+    Processor.enqueue_private_queue p2 pq2;
+    Qs_queues.Spinlock.release (Processor.reserve hi);
+    Qs_queues.Spinlock.release (Processor.reserve lo);
+    ( Registration.make ~proc:p1 ~ctx
+        ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq1),
+      Registration.make ~proc:p2 ~ctx
+        ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq2) )
+  end
+  else begin
+    Processor.lock_handler lo;
+    Processor.lock_handler hi;
+    ( Registration.make ~proc:p1 ~ctx ~enqueue:(Processor.enqueue_direct p1),
+      Registration.make ~proc:p2 ~ctx ~enqueue:(Processor.enqueue_direct p2) )
+  end
+
+let two ctx p1 p2 body =
+  let r1, r2 = enter_two ctx p1 p2 in
+  Fun.protect
+    ~finally:(fun () ->
+      exit_one ctx r1;
+      exit_one ctx r2)
+    (fun () -> body r1 r2)
 
 (* Wait conditions: SCOOP preconditions on separate objects do not fail,
    they wait (Nienaltowski's contract semantics, which the paper's SCOOP
    model inherits).  The runtime re-reserves the handlers and re-evaluates
    the condition until it holds; condition and body run under the *same*
    registration, so the condition still holds when the body starts and no
-   other client can interleave between them. *)
-let rec with_list_when ctx procs ~pred body =
-  let outcome =
-    with_list ctx procs (fun regs ->
-      if pred regs then Some (body regs) else None)
-  in
-  match outcome with
-  | Some v -> v
-  | None ->
-    Qs_obs.Counter.incr ctx.Ctx.stats.Stats.wait_retries;
-    (* Release the reservation entirely so suppliers can serve others,
-       then retry after yielding. *)
-    Qs_sched.Sched.yield ();
-    with_list_when ctx procs ~pred body
+   other client can interleave between them.
 
-let with_when ctx proc ~pred body =
-  with_list_when ctx [ proc ]
+   Each failed evaluation releases the reservation entirely (so the
+   suppliers can serve whichever client will make the condition true),
+   then yields and backs off before re-reserving.  The yield keeps the
+   cooperative scheduler live — on one domain the condition can only
+   change if another fiber runs — and the backoff keeps a long wait from
+   hammering the handlers' reservation path with retry traffic.  Retries
+   that happen under an escalated pause are counted separately
+   ([wait_backoffs]) as the contention detail of [wait_retries]. *)
+let many_when ctx procs ~pred body =
+  let backoff = Qs_queues.Backoff.create () in
+  let rec retry () =
+    let outcome =
+      many ctx procs (fun regs ->
+        if pred regs then Some (body regs) else None)
+    in
+    match outcome with
+    | Some v -> v
+    | None ->
+      Qs_obs.Counter.incr ctx.Ctx.stats.Stats.wait_retries;
+      if Qs_queues.Backoff.step backoff > 1 then
+        Qs_obs.Counter.incr ctx.Ctx.stats.Stats.wait_backoffs;
+      Qs_queues.Backoff.once backoff;
+      Qs_sched.Sched.yield ();
+      retry ()
+  in
+  retry ()
+
+let when_ ctx proc ~pred body =
+  many_when ctx [ proc ]
     ~pred:(fun regs -> pred (List.hd regs))
     (fun regs -> body (List.hd regs))
+
+(* -- deprecated aliases ------------------------------------------------------ *)
+
+let with1 = one
+
+let with2 ctx p1 p2 body = two ctx p1 p2 body
+
+let with_list = many
+let with_when = when_
+let with_list_when = many_when

@@ -2,21 +2,61 @@
     release (paper §2.1, §2.4, §3.2–3.3).
 
     These functions are the internals behind {!Runtime.separate} and
-    friends, which supply the context. *)
+    friends, which supply the context.  Named by arity: {!one}, {!two},
+    {!many}, plus the wait-condition variants {!when_} and {!many_when}.
+    The historical [with1]/[with2]/[with_list]/[with_when]/
+    [with_list_when] spellings remain as deprecated aliases. *)
 
-val with1 : Ctx.t -> Processor.t -> (Registration.t -> 'a) -> 'a
+val one : Ctx.t -> Processor.t -> (Registration.t -> 'a) -> 'a
 (** Single-handler separate block (the optimized case of Fig. 8). *)
 
-val with2 :
+val two :
   Ctx.t -> Processor.t -> Processor.t ->
   (Registration.t -> Registration.t -> 'a) -> 'a
-(** Two-handler atomic reservation (Fig. 11). *)
+(** Two-handler atomic reservation (Fig. 11), with a dedicated pairwise
+    entry path — the registrations are passed as two typed arguments, not
+    destructured from a list.
+    @raise Invalid_argument if both arguments are the same processor. *)
 
-val with_list :
+val many :
   Ctx.t -> Processor.t list -> (Registration.t list -> 'a) -> 'a
 (** Atomic multi-handler reservation; registrations are returned in the
     same order as the argument processors.
     @raise Invalid_argument if a processor appears twice. *)
+
+val when_ :
+  Ctx.t ->
+  Processor.t ->
+  pred:(Registration.t -> bool) ->
+  (Registration.t -> 'a) ->
+  'a
+(** Separate block with a wait condition: reserve, evaluate [pred]; when
+    it fails, release, yield and retry under exponential backoff.  [pred]
+    and the body run under the same registration, so the condition still
+    holds when the body starts. *)
+
+val many_when :
+  Ctx.t ->
+  Processor.t list ->
+  pred:(Registration.t list -> bool) ->
+  (Registration.t list -> 'a) ->
+  'a
+
+(** {1 Deprecated aliases}
+
+    The original names, kept for source compatibility. *)
+
+val with1 : Ctx.t -> Processor.t -> (Registration.t -> 'a) -> 'a
+[@@ocaml.deprecated "use Separate.one"]
+
+val with2 :
+  Ctx.t -> Processor.t -> Processor.t ->
+  (Registration.t -> Registration.t -> 'a) -> 'a
+[@@ocaml.deprecated "use Separate.two"]
+
+val with_list :
+  Ctx.t -> Processor.t list -> (Registration.t list -> 'a) -> 'a
+[@@ocaml.deprecated "use Separate.many"]
 
 val with_when :
   Ctx.t ->
@@ -24,9 +64,7 @@ val with_when :
   pred:(Registration.t -> bool) ->
   (Registration.t -> 'a) ->
   'a
-(** Separate block with a wait condition: reserve, evaluate [pred]; when
-    it fails, release, yield and retry.  [pred] and the body run under the
-    same registration, so the condition still holds when the body starts. *)
+[@@ocaml.deprecated "use Separate.when_"]
 
 val with_list_when :
   Ctx.t ->
@@ -34,3 +72,4 @@ val with_list_when :
   pred:(Registration.t list -> bool) ->
   (Registration.t list -> 'a) ->
   'a
+[@@ocaml.deprecated "use Separate.many_when"]

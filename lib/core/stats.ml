@@ -15,12 +15,17 @@ type t = {
   reservations : Qs_obs.Counter.t; (* separate blocks entered *)
   multi_reservations : Qs_obs.Counter.t; (* multi-handler separate blocks *)
   calls : Qs_obs.Counter.t; (* asynchronous calls enqueued *)
-  queries : Qs_obs.Counter.t; (* queries issued (either flavour) *)
+  queries : Qs_obs.Counter.t; (* queries issued (any flavour) *)
   packaged_queries : Qs_obs.Counter.t; (* round trips via packaged closures *)
+  promises_created : Qs_obs.Counter.t; (* pipelined queries issued *)
+  promises_fulfilled : Qs_obs.Counter.t; (* promise results produced (handler) *)
+  promises_ready : Qs_obs.Counter.t; (* promises resolved before first force *)
+  promises_blocked : Qs_obs.Counter.t; (* promises whose force blocked *)
   syncs_sent : Qs_obs.Counter.t; (* sync round trips actually performed *)
   syncs_elided : Qs_obs.Counter.t; (* syncs skipped by dynamic coalescing *)
   eve_lookups : Qs_obs.Counter.t; (* simulated handler-table lookups (§4.5) *)
   wait_retries : Qs_obs.Counter.t; (* failed wait-condition evaluations *)
+  wait_backoffs : Qs_obs.Counter.t; (* wait retries under escalated backoff *)
   handler_wakeups : Qs_obs.Counter.t; (* batches drained by handler loops *)
   batched_requests : Qs_obs.Counter.t; (* requests delivered through batches *)
   ends_drained : Qs_obs.Counter.t; (* End markers consumed *)
@@ -37,10 +42,15 @@ let create () =
   let calls = c "calls" in
   let queries = c "queries" in
   let packaged_queries = c "packaged_queries" in
+  let promises_created = c "promises_created" in
+  let promises_fulfilled = c "promises_fulfilled" in
+  let promises_ready = c "promises_ready_on_first_poll" in
+  let promises_blocked = c "promises_forced_blocking" in
   let syncs_sent = c "syncs_sent" in
   let syncs_elided = c "syncs_elided" in
   let eve_lookups = c "eve_lookups" in
   let wait_retries = c "wait_retries" in
+  let wait_backoffs = c "wait_backoffs" in
   let handler_wakeups = c "handler_wakeups" in
   let batched_requests = c "batched_requests" in
   let ends_drained = c "ends_drained" in
@@ -52,10 +62,15 @@ let create () =
     calls;
     queries;
     packaged_queries;
+    promises_created;
+    promises_fulfilled;
+    promises_ready;
+    promises_blocked;
     syncs_sent;
     syncs_elided;
     eve_lookups;
     wait_retries;
+    wait_backoffs;
     handler_wakeups;
     batched_requests;
     ends_drained;
@@ -71,10 +86,15 @@ type snapshot = {
   s_calls : int;
   s_queries : int;
   s_packaged_queries : int;
+  s_promises_created : int;
+  s_promises_fulfilled : int;
+  s_promises_ready : int;
+  s_promises_blocked : int;
   s_syncs_sent : int;
   s_syncs_elided : int;
   s_eve_lookups : int;
   s_wait_retries : int;
+  s_wait_backoffs : int;
   s_handler_wakeups : int;
   s_batched_requests : int;
   s_ends_drained : int;
@@ -89,10 +109,15 @@ let snapshot t =
     s_calls = g t.calls;
     s_queries = g t.queries;
     s_packaged_queries = g t.packaged_queries;
+    s_promises_created = g t.promises_created;
+    s_promises_fulfilled = g t.promises_fulfilled;
+    s_promises_ready = g t.promises_ready;
+    s_promises_blocked = g t.promises_blocked;
     s_syncs_sent = g t.syncs_sent;
     s_syncs_elided = g t.syncs_elided;
     s_eve_lookups = g t.eve_lookups;
     s_wait_retries = g t.wait_retries;
+    s_wait_backoffs = g t.wait_backoffs;
     s_handler_wakeups = g t.handler_wakeups;
     s_batched_requests = g t.batched_requests;
     s_ends_drained = g t.ends_drained;
@@ -107,10 +132,16 @@ let diff later earlier =
     s_calls = later.s_calls - earlier.s_calls;
     s_queries = later.s_queries - earlier.s_queries;
     s_packaged_queries = later.s_packaged_queries - earlier.s_packaged_queries;
+    s_promises_created = later.s_promises_created - earlier.s_promises_created;
+    s_promises_fulfilled =
+      later.s_promises_fulfilled - earlier.s_promises_fulfilled;
+    s_promises_ready = later.s_promises_ready - earlier.s_promises_ready;
+    s_promises_blocked = later.s_promises_blocked - earlier.s_promises_blocked;
     s_syncs_sent = later.s_syncs_sent - earlier.s_syncs_sent;
     s_syncs_elided = later.s_syncs_elided - earlier.s_syncs_elided;
     s_eve_lookups = later.s_eve_lookups - earlier.s_eve_lookups;
     s_wait_retries = later.s_wait_retries - earlier.s_wait_retries;
+    s_wait_backoffs = later.s_wait_backoffs - earlier.s_wait_backoffs;
     s_handler_wakeups = later.s_handler_wakeups - earlier.s_handler_wakeups;
     s_batched_requests = later.s_batched_requests - earlier.s_batched_requests;
     s_ends_drained = later.s_ends_drained - earlier.s_ends_drained;
@@ -123,19 +154,29 @@ let mean_batch s =
   if s.s_handler_wakeups = 0 then 0.0
   else float_of_int s.s_batched_requests /. float_of_int s.s_handler_wakeups
 
+(* Fraction of forced promises whose value was already there: how much
+   of the pipelined round-trip latency was fully overlapped. *)
+let overlap_ratio s =
+  let forced = s.s_promises_ready + s.s_promises_blocked in
+  if forced = 0 then 0.0
+  else float_of_int s.s_promises_ready /. float_of_int forced
+
 let pp_snapshot ppf s =
   Format.fprintf ppf
     "@[<v>processors:        %d@,\
      reservations:      %d (multi: %d)@,\
      async calls:       %d@,\
-     queries:           %d (packaged: %d)@,\
+     queries:           %d (packaged: %d, pipelined: %d)@,\
+     promises:          %d fulfilled, %d ready on first poll, %d forced blocking@,\
      syncs sent:        %d@,\
      syncs elided:      %d@,\
      eve lookups:       %d@,\
-     wait retries:      %d@,\
+     wait retries:      %d (backoff escalations: %d)@,\
      handler wakeups:   %d (requests: %d, mean batch: %.2f)@,\
      ends drained:      %d@]"
     s.s_processors s.s_reservations s.s_multi_reservations s.s_calls
-    s.s_queries s.s_packaged_queries s.s_syncs_sent s.s_syncs_elided
-    s.s_eve_lookups s.s_wait_retries s.s_handler_wakeups s.s_batched_requests
-    (mean_batch s) s.s_ends_drained
+    s.s_queries s.s_packaged_queries s.s_promises_created
+    s.s_promises_fulfilled s.s_promises_ready s.s_promises_blocked
+    s.s_syncs_sent s.s_syncs_elided s.s_eve_lookups s.s_wait_retries
+    s.s_wait_backoffs s.s_handler_wakeups s.s_batched_requests (mean_batch s)
+    s.s_ends_drained

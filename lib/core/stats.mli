@@ -16,10 +16,24 @@ type t = {
   calls : Qs_obs.Counter.t;
   queries : Qs_obs.Counter.t;
   packaged_queries : Qs_obs.Counter.t;
+  promises_created : Qs_obs.Counter.t;
+      (** pipelined queries issued ({!Registration.query_async}) *)
+  promises_fulfilled : Qs_obs.Counter.t;
+      (** promise results produced by handler loops *)
+  promises_ready : Qs_obs.Counter.t;
+      (** promises already resolved at first force — fully overlapped
+          round trips (registry name [promises_ready_on_first_poll]) *)
+  promises_blocked : Qs_obs.Counter.t;
+      (** promises whose first force blocked the client (registry name
+          [promises_forced_blocking]) *)
   syncs_sent : Qs_obs.Counter.t;
   syncs_elided : Qs_obs.Counter.t;
   eve_lookups : Qs_obs.Counter.t;
   wait_retries : Qs_obs.Counter.t;
+  wait_backoffs : Qs_obs.Counter.t;
+      (** wait-condition retries performed under an escalated backoff
+          (pause > 1 relax unit) — the contention detail of
+          [wait_retries] *)
   handler_wakeups : Qs_obs.Counter.t;
   batched_requests : Qs_obs.Counter.t;
   ends_drained : Qs_obs.Counter.t;
@@ -39,10 +53,15 @@ type snapshot = {
   s_calls : int;
   s_queries : int;
   s_packaged_queries : int;
+  s_promises_created : int;
+  s_promises_fulfilled : int;
+  s_promises_ready : int;
+  s_promises_blocked : int;
   s_syncs_sent : int;
   s_syncs_elided : int;
   s_eve_lookups : int;
   s_wait_retries : int;
+  s_wait_backoffs : int;
   s_handler_wakeups : int;
   s_batched_requests : int;
   s_ends_drained : int;
@@ -57,5 +76,11 @@ val mean_batch : snapshot -> float
     ([s_batched_requests /. s_handler_wakeups]; [0.] before any wakeup).
     1.0 is the old one-request-per-park behaviour; larger means the
     batched drain is amortizing park/unpark transitions. *)
+
+val overlap_ratio : snapshot -> float
+(** Fraction of forced promises that were already resolved when first
+    observed ([s_promises_ready / (s_promises_ready +
+    s_promises_blocked)]; [0.] before any force).  1.0 means every
+    pipelined round trip was fully overlapped with other work. *)
 
 val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -22,6 +22,7 @@
      Sync_round_trip d   -> complete client/sync        (dur = d)
      Sync_elided         -> instant  client/sync_elided
      Query_round_trip d  -> complete client/query       (dur = d)
+     Query_pipelined d   -> complete client/query_async (dur = d)
    Complete spans store their *start* time; the historical [at] (time of
    recording) is reconstructed as [ts +. dur]. *)
 
@@ -32,6 +33,10 @@ type kind =
   | Sync_round_trip of float
   | Sync_elided
   | Query_round_trip of float (* packaged query: log -> result *)
+  | Query_pipelined of float
+      (* pipelined query: issue -> promise fulfilment (closed by the
+         handler via the promise's completion callback, so the span
+         measures queueing + execution, not the client's force delay) *)
 
 type event = {
   at : float; (* seconds since the trace started *)
@@ -60,6 +65,7 @@ let record t ~proc kind =
   | Sync_round_trip d -> complete "client" "sync" d
   | Sync_elided -> instant "sync_elided"
   | Query_round_trip d -> complete "client" "query" d
+  | Query_pipelined d -> complete "client" "query_async" d
 
 let kind_of (e : Qs_obs.Sink.event) =
   match (e.cat, e.name) with
@@ -69,6 +75,7 @@ let kind_of (e : Qs_obs.Sink.event) =
   | "client", "sync" -> Some (Sync_round_trip e.dur)
   | "client", "sync_elided" -> Some Sync_elided
   | "client", "query" -> Some (Query_round_trip e.dur)
+  | "client", "query_async" -> Some (Query_pipelined e.dur)
   | _ -> None (* other layers' events (sched, remote, ...) *)
 
 let events t =
@@ -107,6 +114,7 @@ type proc_summary = {
   sp_sync_round_trip : dist;
   sp_syncs_elided : int;
   sp_query_round_trip : dist;
+  sp_query_pipelined : dist; (* issue -> fulfilment of pipelined queries *)
 }
 
 let summarize_events all =
@@ -139,6 +147,10 @@ let summarize_events all =
           dist_of
             (latencies (fun e ->
                match e.kind with Query_round_trip d -> Some d | _ -> None));
+        sp_query_pipelined =
+          dist_of
+            (latencies (fun e ->
+               match e.kind with Query_pipelined d -> Some d | _ -> None));
       }
       :: acc)
     by_proc []
@@ -159,8 +171,9 @@ let pp_summary ppf summaries =
          calls logged:    %d@,\
          call queueing:   %a@,\
          sync roundtrip:  %a (elided: %d)@,\
-         query roundtrip: %a@]@."
+         query roundtrip: %a@,\
+         query pipelined: %a@]@."
         s.sp_proc s.sp_reservations s.sp_calls pp_dist s.sp_call_latency
         pp_dist s.sp_sync_round_trip s.sp_syncs_elided pp_dist
-        s.sp_query_round_trip)
+        s.sp_query_round_trip pp_dist s.sp_query_pipelined)
     summaries

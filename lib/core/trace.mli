@@ -16,6 +16,9 @@ type kind =
   | Sync_round_trip of float
   | Sync_elided
   | Query_round_trip of float  (** packaged-query log→result time *)
+  | Query_pipelined of float
+      (** pipelined-query issue→fulfilment time (handler-side; excludes
+          any delay before the client forces the promise) *)
 
 type event = {
   at : float;  (** seconds since the trace started *)
@@ -58,6 +61,7 @@ type proc_summary = {
   sp_sync_round_trip : dist;
   sp_syncs_elided : int;
   sp_query_round_trip : dist;
+  sp_query_pipelined : dist;
 }
 
 val summarize : t -> proc_summary list

@@ -18,6 +18,7 @@ let default_max_step = 1 lsl 9
 let create ?(max_step = default_max_step) () = { step = 1; max_step }
 
 let reset t = t.step <- 1
+let step t = t.step
 
 let once t =
   if t.step >= t.max_step then Unix.sleepf 1e-6

@@ -15,3 +15,8 @@ val reset : t -> unit
 
 val once : t -> unit
 (** Pause for the current backoff duration and double it. *)
+
+val step : t -> int
+(** The current pause length in [cpu_relax] units: [1] before any
+    {!once} (or after {!reset}), up to [max_step] when saturated.  Lets
+    callers observe escalation (e.g. to count contended retries). *)

@@ -42,6 +42,24 @@ let peek t =
 
 let is_filled t = peek t <> None
 
+(* Completion callbacks reuse the waiter list: a callback is a resumer
+   that reads the (by then guaranteed Full) state before running [f].
+   Runs in the filler's context, immediately if already filled. *)
+let on_fill t f =
+  let rec subscribe () =
+    match Atomic.get t.state with
+    | Full v -> f v
+    | Empty waiters as old ->
+      let cb () =
+        match Atomic.get t.state with
+        | Full v -> f v
+        | Empty _ -> assert false
+      in
+      if not (Atomic.compare_and_set t.state old (Empty (cb :: waiters))) then
+        subscribe ()
+  in
+  subscribe ()
+
 let read t =
   match Atomic.get t.state with
   | Full v -> v

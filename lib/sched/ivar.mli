@@ -22,3 +22,10 @@ val peek : 'a t -> 'a option
 (** The value if already present; never blocks. *)
 
 val is_filled : 'a t -> bool
+
+val on_fill : 'a t -> ('a -> unit) -> unit
+(** [on_fill t f] runs [f v] once [t] holds [v]: immediately (in the
+    caller's context) if already filled, otherwise in the filler's
+    context during {!fill}.  Callbacks must not block; they share the
+    wake-up list with blocked readers.  The substrate of
+    {!Promise.on_fulfill}. *)

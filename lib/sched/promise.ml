@@ -1,0 +1,116 @@
+(* Promises: deferred query results for promise-pipelined round trips.
+
+   Morandi et al.'s operational semantics of the SCOOP request protocol
+   (arXiv:1101.1038) models a query as a packaged call plus a *result
+   rendezvous*; nothing forces the rendezvous to happen at issue time.
+   A promise is exactly the deferred rendezvous: the packaged call is
+   logged now, the client keeps a handle on the future result, and the
+   blocking wait — if any — happens only when the value is forced.  A
+   client fanning out queries to k handlers thereby overlaps all k
+   round trips instead of paying them sequentially.
+
+   Built on [Ivar] (the write-once cell that already backed blocking
+   packaged queries), extended with:
+   - non-blocking observation ([try_read], [is_resolved]),
+   - completion callbacks ([on_fulfill], used by the runtime to close
+     query-pipeline trace spans on the handler side),
+   - combinators ([map], [both], [all]) for fan-in without
+     intermediate blocking,
+   - a one-shot force hook ([create ~on_force]) through which the
+     SCOOP runtime observes the *first* client rendezvous: whether the
+     value was already available (a fully overlapped round trip) or
+     the client had to block, and — for registrations — the moment the
+     synced status may be re-established.
+
+   The force hook fires exactly once, on the first successful
+   observation ([await] or a [try_read] returning [Some]); combinator
+   results propagate forcing to their components so that forcing a
+   fan-in marks every underlying handler rendezvous as observed. *)
+
+type 'a t = {
+  ivar : 'a Ivar.t;
+  on_force : (bool -> unit) option Atomic.t;
+      (* argument: was the value already resolved when first observed *)
+}
+
+let create ?on_force () =
+  { ivar = Ivar.create (); on_force = Atomic.make on_force }
+
+let of_value v = { ivar = Ivar.create_full v; on_force = Atomic.make None }
+
+let fulfill t v = Ivar.fill t.ivar v
+let try_fulfill t v = Ivar.try_fill t.ivar v
+let is_resolved t = Ivar.is_filled t.ivar
+let peek t = Ivar.peek t.ivar
+let on_fulfill t f = Ivar.on_fill t.ivar f
+
+(* Consume the hook at most once, from whichever observation wins. *)
+let fire_force t ~was_ready =
+  match Atomic.exchange t.on_force None with
+  | Some f -> f was_ready
+  | None -> ()
+
+let await t =
+  let was_ready = Ivar.is_filled t.ivar in
+  let v = Ivar.read t.ivar in
+  fire_force t ~was_ready;
+  v
+
+let try_read t =
+  match Ivar.peek t.ivar with
+  | Some v ->
+    fire_force t ~was_ready:true;
+    Some v
+  | None -> None
+
+(* Combinators fulfil eagerly (in the last component's filler context)
+   and force lazily (propagating the observation to every component, so
+   registration synced-status bookkeeping sees the rendezvous). *)
+
+let map f t =
+  let p = create ~on_force:(fun was_ready -> fire_force t ~was_ready) () in
+  on_fulfill t (fun v -> fulfill p (f v));
+  p
+
+let both a b =
+  let p =
+    create
+      ~on_force:(fun was_ready ->
+        fire_force a ~was_ready;
+        fire_force b ~was_ready)
+      ()
+  in
+  let remaining = Atomic.make 2 in
+  let arm () =
+    if Atomic.fetch_and_add remaining (-1) = 1 then
+      match (Ivar.peek a.ivar, Ivar.peek b.ivar) with
+      | Some va, Some vb -> fulfill p (va, vb)
+      | _ -> assert false
+  in
+  on_fulfill a (fun _ -> arm ());
+  on_fulfill b (fun _ -> arm ());
+  p
+
+let all ps =
+  match ps with
+  | [] -> of_value []
+  | _ ->
+    let p =
+      create
+        ~on_force:(fun was_ready ->
+          List.iter (fun q -> fire_force q ~was_ready) ps)
+        ()
+    in
+    let remaining = Atomic.make (List.length ps) in
+    let arm () =
+      if Atomic.fetch_and_add remaining (-1) = 1 then
+        fulfill p
+          (List.map
+             (fun q ->
+               match Ivar.peek q.ivar with
+               | Some v -> v
+               | None -> assert false)
+             ps)
+    in
+    List.iter (fun q -> on_fulfill q (fun _ -> arm ())) ps;
+    p

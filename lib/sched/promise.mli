@@ -1,0 +1,67 @@
+(** Promises: deferred query results ("issue the packaged call now,
+    collect the result later").
+
+    A promise is an {!Ivar} plus the machinery pipelined queries need:
+    non-blocking observation, completion callbacks for trace spans,
+    fan-in combinators, and a one-shot force hook through which the
+    SCOOP runtime accounts the first client rendezvous.  Any number of
+    fibers on any domain may {!await}; the single {!fulfill} wakes them
+    all.  Obtain promises from {!Scoop.Registration.query_async} (or
+    create your own as a general fork/join handle). *)
+
+type 'a t
+
+val create : ?on_force:(bool -> unit) -> unit -> 'a t
+(** Fresh unresolved promise.  [on_force] is invoked at most once, on
+    the first successful client observation ({!await}, or a {!try_read}
+    that returns [Some]); its argument is [true] when the value was
+    already resolved at that point (a fully overlapped round trip) and
+    [false] when the observer had to block. *)
+
+val of_value : 'a -> 'a t
+(** Already-resolved promise. *)
+
+val fulfill : 'a t -> 'a -> unit
+(** Resolve the promise and wake all waiters / run all callbacks.
+    @raise Invalid_argument if already resolved. *)
+
+val try_fulfill : 'a t -> 'a -> bool
+(** Like {!fulfill} but returns [false] instead of raising. *)
+
+val await : 'a t -> 'a
+(** Force the promise: return its value, blocking the calling fiber
+    until resolved.  The first force fires the [on_force] hook. *)
+
+val try_read : 'a t -> 'a option
+(** The value if already resolved; never blocks.  A successful
+    [try_read] counts as a force ([on_force] fires with [true]). *)
+
+val peek : 'a t -> 'a option
+(** Like {!try_read} but purely observational: never fires hooks. *)
+
+val is_resolved : 'a t -> bool
+
+val on_fulfill : 'a t -> ('a -> unit) -> unit
+(** [on_fulfill t f] runs [f v] once [t] resolves to [v] — immediately
+    if already resolved, otherwise in the fulfiller's context (for
+    packaged queries: on the handler fiber, right when the result is
+    produced — the hook the runtime uses to close query-pipeline trace
+    spans).  [f] must not block. *)
+
+(** {2 Combinators}
+
+    Results resolve eagerly as components resolve; forcing a combined
+    promise propagates the force (and its readiness flag) to every
+    component, so registration synced-status bookkeeping observes the
+    underlying rendezvous. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** [map f t] resolves to [f v] when [t] resolves to [v] ([f] runs in
+    the fulfiller's context). *)
+
+val both : 'a t -> 'b t -> ('a * 'b) t
+(** Resolves when both components have. *)
+
+val all : 'a t list -> 'a list t
+(** Resolves when every component has, preserving order; [all []] is
+    already resolved. *)

@@ -201,6 +201,136 @@ let test_ivar_peek () =
     let iv = Ivar.create_full 9 in
     Alcotest.(check (option int)) "peek" (Some 9) (Ivar.peek iv))
 
+(* -- promise ------------------------------------------------------------------- *)
+
+module Promise = Qs_sched.Promise
+
+let test_promise_basic () =
+  let v =
+    S.run (fun () ->
+      let p = Promise.create () in
+      check_bool "not resolved" false (Promise.is_resolved p);
+      Alcotest.(check (option int)) "peek empty" None (Promise.peek p);
+      S.spawn (fun () -> Promise.fulfill p 7);
+      let v = Promise.await p in
+      check_bool "resolved" true (Promise.is_resolved p);
+      v)
+  in
+  check_int "promise value" 7 v
+
+let test_promise_try_read () =
+  S.run (fun () ->
+    let p = Promise.create () in
+    Alcotest.(check (option int)) "pending" None (Promise.try_read p);
+    Promise.fulfill p 3;
+    Alcotest.(check (option int)) "resolved" (Some 3) (Promise.try_read p);
+    Alcotest.(check (option int)) "of_value" (Some 9)
+      (Promise.try_read (Promise.of_value 9)))
+
+let test_promise_double_fulfill () =
+  S.run (fun () ->
+    let p = Promise.create () in
+    Promise.fulfill p 1;
+    check_bool "try_fulfill fails" false (Promise.try_fulfill p 2);
+    check_int "value unchanged" 1 (Promise.await p))
+
+let test_promise_force_hook () =
+  S.run (fun () ->
+    (* Ready at first observation: hook fires once with [true]. *)
+    let fired = ref [] in
+    let p = Promise.create ~on_force:(fun r -> fired := r :: !fired) () in
+    Promise.fulfill p 1;
+    check_int "await" 1 (Promise.await p);
+    ignore (Promise.await p : int);
+    Alcotest.(check (list bool)) "once, ready" [ true ] !fired;
+    (* Peek never forces; try_read on a pending promise never forces. *)
+    let fired2 = ref [] in
+    let q = Promise.create ~on_force:(fun r -> fired2 := r :: !fired2) () in
+    Alcotest.(check (option int)) "peek" None (Promise.peek q);
+    Alcotest.(check (option int)) "try_read pending" None (Promise.try_read q);
+    Alcotest.(check (list bool)) "not forced" [] !fired2;
+    Promise.fulfill q 2;
+    Alcotest.(check (option int)) "peek after fill" (Some 2) (Promise.peek q);
+    Alcotest.(check (list bool)) "peek does not force" [] !fired2;
+    ignore (Promise.try_read q : int option);
+    Alcotest.(check (list bool)) "try_read forces" [ true ] !fired2);
+  (* Blocked force: hook fires with [false]. *)
+  let blocked =
+    S.run (fun () ->
+      let fired = ref None in
+      let p = Promise.create ~on_force:(fun r -> fired := Some r) () in
+      S.spawn (fun () -> Promise.fulfill p 5);
+      ignore (Promise.await p : int);
+      !fired)
+  in
+  Alcotest.(check (option bool)) "blocked force" (Some false) blocked
+
+let test_promise_on_fulfill () =
+  S.run (fun () ->
+    let order = ref [] in
+    let p = Promise.create () in
+    Promise.on_fulfill p (fun v -> order := ("cb1", v) :: !order);
+    Promise.fulfill p 4;
+    (* Already resolved: runs immediately. *)
+    Promise.on_fulfill p (fun v -> order := ("cb2", v) :: !order);
+    Alcotest.(check (list (pair string int)))
+      "both callbacks ran"
+      [ ("cb2", 4); ("cb1", 4) ]
+      !order)
+
+let test_promise_combinators () =
+  S.run (fun () ->
+    let a = Promise.create () and b = Promise.create () in
+    let pair = Promise.both a b in
+    let doubled = Promise.map (fun x -> 2 * x) a in
+    check_bool "pair pending" false (Promise.is_resolved pair);
+    Promise.fulfill a 1;
+    check_bool "pair still pending" false (Promise.is_resolved pair);
+    check_int "map resolved eagerly" 2 (Promise.await doubled);
+    Promise.fulfill b 2;
+    Alcotest.(check (pair int int)) "both" (1, 2) (Promise.await pair);
+    let ps = List.init 5 (fun _ -> Promise.create ()) in
+    let every = Promise.all ps in
+    List.iteri (fun i p -> Promise.fulfill p i) (List.rev ps);
+    Alcotest.(check (list int)) "all preserves order" [ 0; 1; 2; 3; 4 ]
+      (List.rev (Promise.await every));
+    Alcotest.(check (list int)) "all []" [] (Promise.await (Promise.all [])))
+
+let test_promise_all_propagates_force () =
+  S.run (fun () ->
+    let forced = Atomic.make 0 in
+    let ps =
+      List.init 3 (fun _ ->
+        Promise.create ~on_force:(fun _ -> Atomic.incr forced) ())
+    in
+    let every = Promise.all ps in
+    List.iteri (fun i p -> Promise.fulfill p i) ps;
+    check_int "components not yet forced" 0 (Atomic.get forced);
+    ignore (Promise.await every : int list);
+    check_int "force propagated to every component" 3 (Atomic.get forced))
+
+let test_promise_multi_domain_readers () =
+  (* Many readers on several domains force the same promise; one
+     fulfiller wakes them all, and the force hook still fires once. *)
+  let readers = 16 in
+  let total, forces =
+    S.run ~domains:4 (fun () ->
+      let forced = Atomic.make 0 in
+      let p = Promise.create ~on_force:(fun _ -> Atomic.incr forced) () in
+      let acc = Atomic.make 0 in
+      let latch = Latch.create readers in
+      for _ = 1 to readers do
+        S.spawn (fun () ->
+          ignore (Atomic.fetch_and_add acc (Promise.await p) : int);
+          Latch.count_down latch)
+      done;
+      S.spawn (fun () -> Promise.fulfill p 5);
+      Latch.wait latch;
+      (Atomic.get acc, Atomic.get forced))
+  in
+  check_int "all readers woke" (5 * readers) total;
+  check_int "hook fired exactly once" 1 forces
+
 (* -- latch -------------------------------------------------------------------- *)
 
 let test_latch_zero () = S.run (fun () -> Latch.wait (Latch.create 0))
@@ -475,6 +605,19 @@ let () =
           Alcotest.test_case "many readers" `Quick test_ivar_many_readers;
           Alcotest.test_case "double fill" `Quick test_ivar_double_fill;
           Alcotest.test_case "peek" `Quick test_ivar_peek;
+        ] );
+      ( "promise",
+        [
+          Alcotest.test_case "basic" `Quick test_promise_basic;
+          Alcotest.test_case "try_read" `Quick test_promise_try_read;
+          Alcotest.test_case "double fulfill" `Quick test_promise_double_fulfill;
+          Alcotest.test_case "force hook" `Quick test_promise_force_hook;
+          Alcotest.test_case "on_fulfill" `Quick test_promise_on_fulfill;
+          Alcotest.test_case "combinators" `Quick test_promise_combinators;
+          Alcotest.test_case "all propagates force" `Quick
+            test_promise_all_propagates_force;
+          Alcotest.test_case "multi-domain readers" `Quick
+            test_promise_multi_domain_readers;
         ] );
       ( "latch",
         [

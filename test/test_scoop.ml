@@ -538,6 +538,113 @@ let test_trace_event_order () =
       | e :: _ -> e.Scoop.Trace.kind = Scoop.Trace.Reserved
       | [] -> false))
 
+(* -- pipelined queries (promise-pipelined deferred rendezvous) ---------------- *)
+
+let test_query_async_order config =
+  (* Each promise must see exactly the calls logged before it: requests
+     execute in logging order, pipelined or not. *)
+  let vals =
+    R.run ~domains:2 ~config (fun rt ->
+      let h = R.processor rt in
+      let r = ref 0 in
+      R.separate rt h (fun reg ->
+        let ps =
+          List.init 10 (fun _ ->
+            Reg.call reg (fun () -> incr r);
+            Reg.query_async reg (fun () -> !r))
+        in
+        List.map Scoop.Promise.await ps))
+  in
+  Alcotest.(check (list int))
+    "each promise sees its prefix"
+    (List.init 10 (fun i -> i + 1))
+    vals
+
+let test_query_async_synced config =
+  R.run ~config (fun rt ->
+    let h = R.processor rt in
+    let r = ref 0 in
+    R.separate rt h (fun reg ->
+      Reg.call reg (fun () -> incr r);
+      let p = Reg.query_async reg (fun () -> !r) in
+      check_bool "pending promise invalidates synced" false (Reg.is_synced reg);
+      check_int "forced value" 1 (Scoop.Promise.await p);
+      check_bool "force re-establishes synced" true (Reg.is_synced reg);
+      Reg.call reg (fun () -> incr r);
+      check_bool "call invalidates again" false (Reg.is_synced reg);
+      (* A request logged between issue and force blocks the upgrade:
+         the handler may still be busy with it when the force returns. *)
+      let q = Reg.query_async reg (fun () -> !r) in
+      Reg.call reg (fun () -> incr r);
+      ignore (Scoop.Promise.await q : int);
+      check_bool "stale force does not mark synced" false (Reg.is_synced reg)))
+
+let test_query_async_after_close config =
+  (* The promise outlives the separate block; forcing it afterwards
+     still returns the value (but no longer updates the registration). *)
+  R.run ~config (fun rt ->
+    let h = R.processor rt in
+    let r = ref 41 in
+    let p =
+      R.separate rt h (fun reg -> Reg.query_async reg (fun () -> !r + 1))
+    in
+    check_int "forced after block close" 42 (Scoop.Promise.await p))
+
+let test_stats_promises () =
+  (* Single domain: the handler cannot run between issue and force, so
+     the ready/blocked split is deterministic. *)
+  let s =
+    R.run ~config:Cfg.qoq (fun rt ->
+      let h = R.processor rt in
+      let r = ref 0 in
+      R.separate rt h (fun reg ->
+        (* Forced immediately: the client blocks on the rendezvous. *)
+        let p1 =
+          Reg.query_async reg (fun () ->
+            incr r;
+            !r)
+        in
+        check_int "p1" 1 (Scoop.Promise.await p1);
+        (* Forced after a blocking query has drained the queue past it:
+           already resolved on first poll. *)
+        let p2 =
+          Reg.query_async reg (fun () ->
+            incr r;
+            !r)
+        in
+        check_int "blocking query drains" 2 (Reg.query reg (fun () -> !r));
+        check_int "p2" 2 (Scoop.Promise.await p2));
+      Scoop.Stats.snapshot (R.stats rt))
+  in
+  check_int "created" 2 s.Scoop.Stats.s_promises_created;
+  check_int "fulfilled" 2 s.Scoop.Stats.s_promises_fulfilled;
+  check_int "ready on first poll" 1 s.Scoop.Stats.s_promises_ready;
+  check_int "forced blocking" 1 s.Scoop.Stats.s_promises_blocked;
+  Alcotest.(check (float 0.001)) "overlap ratio" 0.5 (Scoop.Stats.overlap_ratio s)
+
+let test_trace_pipelined_queries () =
+  let summaries =
+    R.run ~trace:true ~config:Cfg.qoq (fun rt ->
+      let h = R.processor rt in
+      let r = ref 0 in
+      R.separate rt h (fun reg ->
+        let ps =
+          List.init 6 (fun _ ->
+            Reg.query_async reg (fun () ->
+              incr r;
+              !r))
+        in
+        ignore (Scoop.Promise.await (Scoop.Promise.all ps) : int list));
+      Scoop.Trace.summarize (Option.get (R.trace rt)))
+  in
+  match summaries with
+  | [ s ] ->
+    check_int "pipelined spans" 6
+      s.Scoop.Trace.sp_query_pipelined.Scoop.Trace.count;
+    check_bool "durations non-negative" true
+      (s.Scoop.Trace.sp_query_pipelined.Scoop.Trace.mean >= 0.0)
+  | _ -> Alcotest.fail "expected one processor summary"
+
 let test_config_by_name () =
   List.iter
     (fun c ->
@@ -596,6 +703,72 @@ let prop_random_programs config =
       in
       final = expected && !monotone)
 
+(* query_async + force must be observationally equivalent to a blocking
+   query issued at the same point: each flavour returns the prefix sum of
+   the client's own adds at its issue point.  One private handler per
+   client keeps the expected value deterministic; [PForceLater] promises
+   are forced only after the whole program ran, exercising long-deferred
+   rendezvous. *)
+type pop = PAdd of int | PQuery | PForceNow | PForceLater
+
+let pop_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (3, map (fun i -> PAdd (1 + (i mod 9))) small_int);
+        (1, return PQuery);
+        (1, return PForceNow);
+        (1, return PForceLater);
+      ])
+
+let pprog_gen =
+  QCheck2.Gen.(list_size (int_range 1 4) (list_size (int_bound 20) pop_gen))
+
+let prop_query_async_equiv config =
+  QCheck2.Test.make ~count:25
+    ~name:
+      (Printf.sprintf "query_async equivalent to blocking query [%s]"
+         config.Cfg.name)
+    pprog_gen
+    (fun clients ->
+      let ok = Atomic.make true in
+      let expect_or_fail v expect =
+        if v <> expect then Atomic.set ok false
+      in
+      R.run ~domains:2 ~config (fun rt ->
+        let latch = Latch.create (List.length clients) in
+        List.iter
+          (fun ops ->
+            S.spawn (fun () ->
+              let h = R.processor rt in
+              let r = ref 0 in
+              R.separate rt h (fun reg ->
+                let sum = ref 0 in
+                let deferred = ref [] in
+                List.iter
+                  (function
+                    | PAdd n ->
+                      sum := !sum + n;
+                      Reg.call reg (fun () -> r := !r + n)
+                    | PQuery -> expect_or_fail (Reg.query reg (fun () -> !r)) !sum
+                    | PForceNow ->
+                      let expect = !sum in
+                      expect_or_fail
+                        (Scoop.Promise.await (Reg.query_async reg (fun () -> !r)))
+                        expect
+                    | PForceLater ->
+                      deferred :=
+                        (Reg.query_async reg (fun () -> !r), !sum) :: !deferred)
+                  ops;
+                List.iter
+                  (fun (p, expect) ->
+                    expect_or_fail (Scoop.Promise.await p) expect)
+                  !deferred);
+              Latch.count_down latch))
+          clients;
+        Latch.wait latch);
+      Atomic.get ok)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "scoop"
@@ -627,6 +800,15 @@ let () =
           Alcotest.test_case "batched drain amortizes wakeups" `Quick
             test_mean_batch;
         ] );
+      ( "pipelined queries",
+        per_config "promise order" test_query_async_order
+        @ per_config "synced status" test_query_async_synced
+        @ per_config "force after close" test_query_async_after_close
+        @ [
+            Alcotest.test_case "promise accounting" `Quick test_stats_promises;
+            Alcotest.test_case "trace pipelined spans" `Quick
+              test_trace_pipelined_queries;
+          ] );
       ( "instrumentation",
         [
           Alcotest.test_case "query accounting" `Quick test_stats_queries;
@@ -641,5 +823,7 @@ let () =
             test_trace_packaged_queries;
           Alcotest.test_case "trace event order" `Quick test_trace_event_order;
         ] );
-      ("properties", List.map (fun c -> qc (prop_random_programs c)) Cfg.presets);
+      ( "properties",
+        List.map (fun c -> qc (prop_random_programs c)) Cfg.presets
+        @ List.map (fun c -> qc (prop_query_async_equiv c)) Cfg.presets );
     ]
