@@ -517,6 +517,22 @@ let instrumented_probe ?obs (s : H.scale) =
       ~on_counters:(fun c -> sched := Qs_sched.Sched.counters_assoc c)
       (fun rt ->
         query_workload rt ~rounds:(max 200 (s.H.m / 4)) ~clients:8;
+        (* Exercise the failure paths too, so the failure counters in
+           the machine-readable output are nonzero (asserted by CI): a
+           rejected pipelined query and a poisoned registration. *)
+        let h = Scoop.Runtime.processor rt in
+        (try
+           Scoop.Runtime.separate rt h (fun reg ->
+             let p =
+               Scoop.Registration.query_async reg (fun () ->
+                 failwith "bench fault")
+             in
+             (match Scoop.Promise.await p with
+             | _ -> ()
+             | exception Failure _ -> ());
+             Scoop.Registration.call reg (fun () -> failwith "bench fault");
+             Scoop.Registration.sync reg)
+         with Scoop.Handler_failure _ -> ());
         Scoop.Runtime.stats rt)
   in
   (Scoop.Stats.assoc stats, !sched)

@@ -10,6 +10,10 @@
          — print simulated scalability curves from the calibrated model.
      qs demo
          — a small end-to-end SCOOP program with runtime statistics.
+     qs faults [--mailbox m]
+         — walk the failure paths (raising query, rejected promise,
+           poisoned registration, aborted processor) and print the
+           failure counters.
      qs trace <example> [--trace-out FILE]
          — run a traced example workload and print the merged
            per-processor / per-worker observability summary; optionally
@@ -28,6 +32,8 @@ let programs =
     ("fig6", Qs_semantics.Examples.fig6);
     ("fig6-queries", Qs_semantics.Examples.fig6_queries);
     ("fig6-queries-outer", Qs_semantics.Examples.fig6_queries_outer);
+    ("fail-call", Qs_semantics.Examples.fail_call);
+    ("fail-call-no-sync", Qs_semantics.Examples.fail_call_no_sync);
   ]
 
 let modes =
@@ -157,6 +163,79 @@ let demo trace_flag mailbox batch spsc =
       | None -> ());
       Scoop.Stats.snapshot (Scoop.Runtime.stats rt))
   in
+  Format.printf "runtime statistics:@.%a@." Scoop.Stats.pp_snapshot stats
+
+(* -- faults ------------------------------------------------------------------- *)
+
+(* Walk through each failure path of the request pipeline — raising
+   blocking query, rejected pipelined query, poisoned registration,
+   aborted processor — and print the failure counters that account for
+   them. *)
+let faults mailbox =
+  let lifecycle_name = function
+    | Scoop.Processor.Running -> "running"
+    | Scoop.Processor.Draining -> "draining"
+    | Scoop.Processor.Stopped -> "stopped"
+    | Scoop.Processor.Failed -> "failed"
+  in
+  let stats =
+    Scoop.Runtime.run ~domains:1 ~mailbox (fun rt ->
+      let worker = Scoop.Runtime.processor rt in
+      let cell = Scoop.Shared.create worker (ref 0) in
+      (* A raising blocking query re-raises on the client; the
+         registration stays clean. *)
+      Scoop.Runtime.separate rt worker (fun reg ->
+        Scoop.Shared.apply reg cell incr;
+        match Scoop.Registration.query reg (fun () -> failwith "query fault") with
+        | _ -> assert false
+        | exception Failure _ ->
+          print_endline "blocking query: failure re-raised at the call site");
+      (* A raising pipelined query rejects its promise; forcing
+         re-raises. *)
+      Scoop.Runtime.separate rt worker (fun reg ->
+        let p =
+          Scoop.Registration.query_async reg (fun () -> failwith "promise fault")
+        in
+        match Scoop.Promise.await p with
+        | _ -> assert false
+        | exception Failure _ ->
+          print_endline "pipelined query: promise rejected, await re-raised");
+      (* A raising asynchronous call poisons the registration: the
+         dirty-processor rule surfaces it as Handler_failure at the next
+         sync point. *)
+      (try
+         Scoop.Runtime.separate rt worker (fun reg ->
+           Scoop.Registration.call reg (fun () -> failwith "call fault");
+           ignore (Scoop.Shared.get reg cell (fun r -> !r) : int))
+       with Scoop.Handler_failure (id, e) ->
+         Printf.printf
+           "asynchronous call: registration on processor %d poisoned by %s\n"
+           id (Printexc.to_string e));
+      (* The handler survived every fault. *)
+      let v =
+        Scoop.Runtime.separate rt worker (fun reg ->
+          Scoop.Shared.get reg cell (fun r -> !r))
+      in
+      Printf.printf "handler survived the faults: cell = %d\n" v;
+      Scoop.Runtime.shutdown rt;
+      Printf.printf "lifecycle after shutdown: %s\n"
+        (lifecycle_name (Scoop.Processor.lifecycle worker));
+      Scoop.Stats.snapshot (Scoop.Runtime.stats rt))
+  in
+  (* Aborting discards still-pending requests unexecuted. *)
+  let aborted =
+    Scoop.Runtime.run ~domains:1 ~mailbox (fun rt ->
+      let w = Scoop.Runtime.processor rt in
+      let cell = Scoop.Shared.create w (ref 0) in
+      Scoop.Runtime.separate rt w (fun reg ->
+        for _ = 1 to 5 do
+          Scoop.Shared.apply reg cell incr
+        done);
+      Scoop.Runtime.abort rt;
+      (Scoop.Stats.snapshot (Scoop.Runtime.stats rt))
+        .Scoop.Stats.s_aborted_requests)
+  in
+  Printf.printf "abort: discarded %d pending requests unexecuted\n" aborted;
   Format.printf "runtime statistics:@.%a@." Scoop.Stats.pp_snapshot stats
 
 (* -- trace -------------------------------------------------------------------- *)
@@ -397,6 +476,21 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"Small end-to-end SCOOP program with statistics")
     Term.(const demo $ trace $ mailbox $ batch $ spsc)
 
+let faults_cmd =
+  let mailbox =
+    Arg.(
+      value
+      & opt (enum [ ("qoq", `Qoq); ("direct", `Direct) ]) `Qoq
+      & info [ "mailbox" ] ~docv:"MAILBOX"
+          ~doc:"Handler communication structure: $(b,qoq) or $(b,direct).")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Demonstrate the failure semantics: raising queries, rejected \
+          promises, poisoned registrations and aborted processors")
+    Term.(const faults $ mailbox)
+
 let trace_cmd =
   let example =
     Arg.(
@@ -452,4 +546,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "qs" ~doc)
-          [ explore_cmd; syncopt_cmd; sim_cmd; demo_cmd; trace_cmd; lang_cmd ]))
+          [
+            explore_cmd;
+            syncopt_cmd;
+            sim_cmd;
+            demo_cmd;
+            faults_cmd;
+            trace_cmd;
+            lang_cmd;
+          ]))

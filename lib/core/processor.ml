@@ -22,11 +22,36 @@
    wakeups and delivered requests, making the batch efficiency
    observable ([Stats.mean_batch]).
 
+   Failures are first-class: a packaged closure that raises has the
+   exception routed into the request's typed [fail] completion (rejecting
+   the client's ivar/promise, or poisoning its registration) instead of
+   dying in a log line, and the processor remembers that it has ever
+   failed so its terminal lifecycle state is [Failed] rather than
+   [Stopped].
+
+   The lifecycle is an explicit state machine:
+
+       Running --shutdown/abort--> Draining --loop exit--> Stopped/Failed
+
+   [shutdown] is the graceful half (serve everything already logged, then
+   stop); [abort] additionally discards still-pending packaged requests,
+   failing their completions with [Aborted].  [await_stopped] blocks on
+   the exit latch the handler fiber fills when its loop returns.
+
    The EVE configuration (§4.5) charges every executed call with a
    shadow-stack update, modelling the GC discipline that EiffelStudio
    imposes on the retrofitted runtime. *)
 
 type pq = Request.t Qs_sched.Bqueue.Spsc.t
+
+type lifecycle = Running | Draining | Stopped | Failed
+
+exception Aborted of int
+
+let () =
+  Printexc.register_printer (function
+    | Aborted id -> Some (Printf.sprintf "Scoop.Processor.Aborted(%d)" id)
+    | _ -> None)
 
 (* The two communication structures of the paper, as one closed variant:
    every other module goes through the accessors below, so adding a new
@@ -50,6 +75,11 @@ type t = {
   reserve : Qs_queues.Spinlock.t; (* multi-reservation spinlock (§3.3) *)
   shadow : int array; (* EVE shadow stack simulation *)
   mutable shadow_top : int;
+  state : lifecycle Atomic.t;
+  aborted : bool Atomic.t; (* discard instead of serve from now on *)
+  failed : bool Atomic.t; (* any handler-side closure ever raised *)
+  stream_closed : bool Atomic.t; (* close the request stream exactly once *)
+  exited : unit Qs_sched.Ivar.t; (* filled when the handler fiber returns *)
 }
 
 (* The handler's view of its request stream.  [drain buf] blocks until at
@@ -62,9 +92,27 @@ let log_failure t req e =
     m "scoop: processor %d: %a raised %s" t.id Request.pp req
       (Printexc.to_string e))
 
-let guarded t req f = try f () with e -> log_failure t req e
+(* Run a packaged request.  On failure: count it, emit an instant, mark
+   the processor dirty, and route the exception into the request's typed
+   completion (itself guarded — a completion must never kill the handler
+   loop).  Returns whether the closure succeeded. *)
+let guarded t req (pk : Request.packaged) =
+  try
+    pk.Request.run ();
+    true
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Qs_obs.Counter.incr t.stats.Stats.handler_failures;
+    Atomic.set t.failed true;
+    (match t.sink with
+    | Some s ->
+      Qs_obs.Sink.instant s ~cat:"core" ~name:"handler_failure" ~track:t.id ()
+    | None -> ());
+    log_failure t req e;
+    (try pk.Request.fail e bt with e2 -> log_failure t req e2);
+    false
 
-let execute t req f =
+let execute t req pk =
   if t.config.Config.eve then begin
     (* Push a frame on the simulated shadow stack, run, pop.  The writes
        model the per-call root registration that prevented tight-loop
@@ -75,22 +123,25 @@ let execute t req f =
       t.shadow.(top + 1) <- top;
       t.shadow_top <- top + 2
     end;
-    guarded t req f;
-    t.shadow_top <- top
+    let ok = guarded t req pk in
+    t.shadow_top <- top;
+    ok
   end
-  else guarded t req f
+  else guarded t req pk
 
 (* One request, uniformly in both modes (the run / release / end rules). *)
 let serve t req =
   match req with
-  | Request.Call f -> execute t req f
-  | Request.Query f ->
+  | Request.Call pk -> ignore (execute t req pk : bool)
+  | Request.Query pk ->
     (* A pipelined query: the packaged closure computes the result and
        fulfils the client's promise (resuming any already-blocked
        forcer through the promise's waiter list).  Counted separately
-       so the overlap of issue and fulfilment is observable. *)
-    execute t req f;
-    Qs_obs.Counter.incr t.stats.Stats.promises_fulfilled
+       so the overlap of issue and fulfilment is observable; a raising
+       closure rejects the promise instead, counted under
+       [rejected_promises] by the completion. *)
+    if execute t req pk then
+      Qs_obs.Counter.incr t.stats.Stats.promises_fulfilled
   | Request.Sync resume ->
     (* Release half of the wait/release pair: wake the client.  The
        scheduler's hot slot turns this into a direct handoff, and the
@@ -104,6 +155,19 @@ let serve t req =
        marker silently). *)
     Qs_obs.Counter.incr t.stats.Stats.ends_drained
 
+(* Abort path: fail packaged requests without executing them.  Syncs are
+   still resumed (a client blocked in a sync round trip must not be left
+   suspended forever) and Ends still accounted, so the drain invariants
+   survive an abort as far as possible. *)
+let discard t req =
+  match req with
+  | (Request.Call pk | Request.Query pk) as r ->
+    Qs_obs.Counter.incr t.stats.Stats.aborted_requests;
+    let bt = Printexc.get_callstack 0 in
+    (try pk.Request.fail (Aborted t.id) bt with e -> log_failure t r e)
+  | Request.Sync resume -> resume ()
+  | Request.End -> Qs_obs.Counter.incr t.stats.Stats.ends_drained
+
 (* The single handler loop (Fig. 7), parameterized by the mailbox. *)
 let handler_loop t mailbox =
   let buf = Array.make (max 1 t.config.Config.batch) Request.End in
@@ -116,8 +180,9 @@ let handler_loop t mailbox =
       let t0 =
         match t.sink with Some s -> Qs_obs.Sink.now s | None -> 0.0
       in
+      let step = if Atomic.get t.aborted then discard else serve in
       for i = 0 to n - 1 do
-        serve t buf.(i);
+        step t buf.(i);
         buf.(i) <- Request.End (* drop the closure so the GC can reclaim it *)
       done;
       (match t.sink with
@@ -186,6 +251,11 @@ let create ?sink ~id ~config ~stats () =
       reserve = Qs_queues.Spinlock.create ();
       shadow = (if config.Config.eve then Array.make 256 0 else [||]);
       shadow_top = 0;
+      state = Atomic.make Running;
+      aborted = Atomic.make false;
+      failed = Atomic.make false;
+      stream_closed = Atomic.make false;
+      exited = Qs_sched.Ivar.create ();
     }
   in
   let mailbox =
@@ -193,7 +263,12 @@ let create ?sink ~id ~config ~stats () =
     | Qoq { qoq; cache } -> qoq_mailbox qoq cache
     | Direct { q; _ } -> direct_mailbox q
   in
-  Qs_sched.Sched.spawn (fun () -> handler_loop t mailbox);
+  Qs_sched.Sched.spawn (fun () ->
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set t.state (if Atomic.get t.failed then Failed else Stopped);
+        Qs_sched.Ivar.fill t.exited ())
+      (fun () -> handler_loop t mailbox));
   t
 
 let id t = t.id
@@ -238,9 +313,24 @@ let enqueue_direct t req =
 
 (* -- lifecycle ---------------------------------------------------------------- *)
 
+let lifecycle t = Atomic.get t.state
+
+let close_stream t =
+  (* The Bqueue close wakes the parked handler; guard so repeated
+     shutdown/abort calls close exactly once. *)
+  if Atomic.compare_and_set t.stream_closed false true then
+    match t.comm with
+    | Qoq { qoq; _ } -> Qs_sched.Bqueue.Mpsc.close qoq
+    | Direct { q; _ } -> Qs_sched.Bqueue.Mpsc.close q
+
 let shutdown t =
-  match t.comm with
-  | Qoq { qoq; _ } -> Qs_sched.Bqueue.Mpsc.close qoq
-  | Direct { q; _ } -> Qs_sched.Bqueue.Mpsc.close q
+  ignore (Atomic.compare_and_set t.state Running Draining : bool);
+  close_stream t
+
+let abort t =
+  Atomic.set t.aborted true;
+  shutdown t
+
+let await_stopped t = Qs_sched.Ivar.read t.exited
 
 let compare_by_id a b = Int.compare a.id b.id

@@ -14,6 +14,16 @@
 type pq = Request.t Qs_sched.Bqueue.Spsc.t
 (** A private queue of requests. *)
 
+type lifecycle =
+  | Running  (** serving requests *)
+  | Draining  (** stream closed; serving what was already logged *)
+  | Stopped  (** handler fiber exited cleanly *)
+  | Failed  (** handler fiber exited after at least one closure raised *)
+
+exception Aborted of int
+(** Failure completion delivered to packaged requests discarded by
+    {!abort} (argument: processor id). *)
+
 type t
 
 val create :
@@ -50,10 +60,28 @@ val unlock_handler : t -> unit
 val enqueue_direct : t -> Request.t -> unit
 (** Log a request into the handler's single request queue. *)
 
-(** {1 Lifecycle} *)
+(** {1 Lifecycle}
+
+    [Running --shutdown/abort--> Draining --handler exit--> Stopped/Failed].
+    All transitions are idempotent: repeated [shutdown]/[abort] calls are
+    no-ops after the first. *)
+
+val lifecycle : t -> lifecycle
 
 val shutdown : t -> unit
-(** Close the processor's request stream: the handler fiber exits once all
-    pending work is drained.  Clients must not register afterwards. *)
+(** Graceful drain: close the processor's request stream.  The handler
+    fiber serves everything already logged, then exits ([Stopped], or
+    [Failed] if any closure ever raised).  Clients must not register
+    afterwards. *)
+
+val abort : t -> unit
+(** Like {!shutdown}, but still-pending packaged requests are discarded
+    unexecuted: their completions fail with {!Aborted} (counted under
+    [Stats.aborted_requests]), pending syncs are still resumed so no
+    client is left suspended, and [End] markers still accounted. *)
+
+val await_stopped : t -> unit
+(** Block the calling fiber until the handler fiber has exited (the
+    completion latch filled at handler-loop exit). *)
 
 val compare_by_id : t -> t -> int

@@ -7,8 +7,29 @@
    having drained everything this client logged, so a repeated sync can be
    elided and client-side reads of handler data are race-free.
 
+   Failure discipline (SCOOP's dirty-processor rule, Morandi et al.
+   arXiv:1101.1038): an asynchronous call has no rendezvous to reject, so
+   when its closure raises on the handler the exception *poisons* the
+   registration.  Every subsequent operation through the handle — and the
+   separate block's exit — raises [Handler_failure] carrying the original
+   exception.  Blocking queries and pipelined promises have a rendezvous,
+   so their failures are delivered there (re-raise / rejection) and do
+   not poison.  [poison] is the one field written by the handler fiber
+   and read by the client, hence the [Atomic.t] (the other mutable fields
+   stay single-writer on the client fiber).
+
    Registrations are only valid between the separate block's entry and
    exit; [call]/[query]/[sync] raise once the block has closed. *)
+
+exception Handler_failure of int * exn
+
+let () =
+  Printexc.register_printer (function
+    | Handler_failure (id, e) ->
+      Some
+        (Printf.sprintf "Scoop.Handler_failure(processor %d, %s)" id
+           (Printexc.to_string e))
+    | _ -> None)
 
 type t = {
   proc : Processor.t;
@@ -19,17 +40,46 @@ type t = {
   mutable logged : int;
       (* requests logged so far; lets a forced promise prove that nothing
          was logged after it was issued (see [query_async]) *)
+  poison : (exn * Printexc.raw_backtrace) option Atomic.t;
+      (* first failed asynchronous call, set by the handler fiber *)
 }
 
 let make ~proc ~ctx ~enqueue =
-  { proc; ctx; enqueue; synced = false; closed = false; logged = 0 }
+  {
+    proc;
+    ctx;
+    enqueue;
+    synced = false;
+    closed = false;
+    logged = 0;
+    poison = Atomic.make None;
+  }
 
 let processor t = t.proc
 let is_synced t = t.synced
+let is_poisoned t = Atomic.get t.poison <> None
+
+let check_poison t =
+  match Atomic.get t.poison with
+  | Some (e, _) -> raise (Handler_failure (Processor.id t.proc, e))
+  | None -> ()
+
+(* The handler-side failure completion of an asynchronous call: record
+   the first failure (later ones are already-dirty, only counted at the
+   processor level) and make it visible to the client. *)
+let poison t e bt =
+  if Atomic.compare_and_set t.poison None (Some (e, bt)) then begin
+    Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.poisoned_registrations;
+    match t.ctx.Ctx.trace with
+    | Some tr ->
+      Trace.record tr ~proc:(Processor.id t.proc) Trace.Registration_poisoned
+    | None -> ()
+  end
 
 let touch t =
   if t.closed then
     invalid_arg "Scoop.Registration: used outside its separate block";
+  check_poison t;
   match t.ctx.Ctx.eve with
   | Some eve -> Eve.lookup eve (Processor.id t.proc)
   | None -> ()
@@ -41,8 +91,9 @@ let call t f =
      work again and may be mid-execution during subsequent client reads. *)
   t.synced <- false;
   t.logged <- t.logged + 1;
+  let fail = poison t in
   match t.ctx.Ctx.trace with
-  | None -> t.enqueue (Request.Call f)
+  | None -> t.enqueue (Request.Call { run = f; fail })
   | Some tr ->
     (* Trace the queueing delay: logged now, executed by the handler
        later (§7 instrumentation). *)
@@ -51,9 +102,14 @@ let call t f =
     let logged = Trace.now tr in
     t.enqueue
       (Request.Call
-         (fun () ->
-           Trace.record tr ~proc (Trace.Call_executed (Trace.now tr -. logged));
-           f ()))
+         {
+           run =
+             (fun () ->
+               Trace.record tr ~proc
+                 (Trace.Call_executed (Trace.now tr -. logged));
+               f ());
+           fail;
+         })
 
 let force_sync t =
   Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.syncs_sent;
@@ -75,7 +131,12 @@ let sync t =
     | Some tr -> Trace.record tr ~proc:(Processor.id t.proc) Trace.Sync_elided
     | None -> ()
   end
-  else force_sync t
+  else force_sync t;
+  (* The sync point is where a dirty handler surfaces (SCOOP raises the
+     pending exception when client and handler meet): by the time the
+     round trip completed, every previously logged call has been served
+     and any failure among them recorded. *)
+  check_poison t
 
 let query t f =
   touch t;
@@ -83,20 +144,31 @@ let query t f =
   if t.ctx.Ctx.config.Config.client_query then begin
     (* Modified query rule (§3.2): synchronize, then run [f] on the client.
        No packaging, no result transfer, and the OCaml compiler sees the
-       call statically. *)
+       call statically.  A raising [f] raises here naturally; a failure
+       among the previously logged calls surfaces from [sync]. *)
     sync t;
     f ()
   end
   else begin
-    (* Original rule (Fig. 10a): package the call, round-trip the result. *)
+    (* Original rule (Fig. 10a): package the call, round-trip the result.
+       A raising [f] rejects the result ivar and re-raises here, making
+       the packaged flavour observably identical to the client-executed
+       one. *)
     Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.packaged_queries;
     let t0 =
       match t.ctx.Ctx.trace with Some tr -> Trace.now tr | None -> 0.0
     in
     let result = Qs_sched.Ivar.create () in
     t.logged <- t.logged + 1;
-    t.enqueue (Request.Call (fun () -> Qs_sched.Ivar.fill result (f ())));
-    let v = Qs_sched.Ivar.read result in
+    t.enqueue
+      (Request.Call
+         {
+           run = (fun () -> Qs_sched.Ivar.fill result (f ()));
+           fail =
+             (fun e bt ->
+               ignore (Qs_sched.Ivar.try_fill_error ~bt result e : bool));
+         });
+    let outcome = Qs_sched.Ivar.result result in
     (match t.ctx.Ctx.trace with
     | Some tr ->
       Trace.record tr ~proc:(Processor.id t.proc)
@@ -104,7 +176,13 @@ let query t f =
     | None -> ());
     (* The handler has drained everything we logged up to the query. *)
     t.synced <- true;
-    v
+    (* Match the client-executed flavour: an earlier failed call wins
+       over the query's own outcome (there, [sync] raises before [f]
+       ever runs). *)
+    check_poison t;
+    match outcome with
+    | Ok v -> v
+    | Error (e, bt) -> Printexc.raise_with_backtrace e bt
   end
 
 (* Promise-pipelined query (the deferred flavour of Fig. 10a): package
@@ -113,6 +191,10 @@ let query t f =
    request, so k pipelined queries against k handlers overlap their
    round trips — forcing any of them costs at most the slowest handler,
    not the sum.
+
+   A raising [f] rejects the promise (counted under [rejected_promises]);
+   forcing it re-raises on the client.  The rendezvous still happened, so
+   rejection does not poison the registration.
 
    Synced-status rules (§3.4.1 extended to deferred rendezvous): issuing
    the query invalidates [synced] exactly like a call, because the
@@ -140,7 +222,8 @@ let query_async t f =
         if (not t.closed) && t.logged = mark then t.synced <- true)
       ()
   in
-  (match t.ctx.Ctx.trace with
+  let trace = t.ctx.Ctx.trace in
+  (match trace with
   | Some tr ->
     (* Span from issue to fulfilment: the handler-side pipeline latency,
        recorded by the fulfilling handler via the completion callback. *)
@@ -149,8 +232,19 @@ let query_async t f =
     Qs_sched.Promise.on_fulfill promise (fun _ ->
       Trace.record tr ~proc (Trace.Query_pipelined (Trace.now tr -. t0)))
   | None -> ());
+  let proc = Processor.id t.proc in
   t.enqueue
-    (Request.Query (fun () -> Qs_sched.Promise.fulfill promise (f ())));
+    (Request.Query
+       {
+         run = (fun () -> Qs_sched.Promise.fulfill promise (f ()));
+         fail =
+           (fun e bt ->
+             Qs_obs.Counter.incr stats.Stats.rejected_promises;
+             (match trace with
+             | Some tr -> Trace.record tr ~proc Trace.Promise_rejected
+             | None -> ());
+             ignore (Qs_sched.Promise.try_fulfill_error ~bt promise e : bool));
+       });
   promise
 
 (* Block exit: append the END marker in both modes (the end rule).  In
@@ -158,7 +252,9 @@ let query_async t f =
    move on to the next one; in lock mode the caller (Separate) additionally
    releases the handler lock, and the marker keeps registration boundaries
    visible to the handler loop (and counted in [Stats.ends_drained])
-   instead of being silently dropped. *)
+   instead of being silently dropped.  Deliberately no poison check here:
+   [close] runs in the block's [finally], and Separate re-surfaces the
+   poison *after* the block has fully exited. *)
 let close t =
   if t.closed then invalid_arg "Scoop.Registration: closed twice";
   t.closed <- true;

@@ -5,18 +5,34 @@
     valid only inside the block's body, and all operations must be invoked
     by the fiber that entered the block. *)
 
+exception Handler_failure of int * exn
+(** A previously logged asynchronous call raised on the handler: the
+    registration is {e poisoned} (SCOOP's dirty-processor rule) and every
+    subsequent operation through it — and the separate block's exit —
+    raises this, carrying the processor id and the original exception.
+    Re-exported as [Scoop.Handler_failure]. *)
+
 type t
 
 val call : t -> (unit -> unit) -> unit
 (** Log an asynchronous call on the handler (the call rule).  Returns
-    immediately; the handler executes [f] later, in logging order. *)
+    immediately; the handler executes [f] later, in logging order.  If
+    [f] raises on the handler, the registration is poisoned:
+    [Handler_failure] surfaces at the next operation, sync point, or the
+    separate block's exit.
+    @raise Handler_failure if already poisoned. *)
 
 val query : t -> (unit -> 'a) -> 'a
 (** Execute a synchronous query.  Depending on the runtime configuration
     this either packages [f] for the handler and waits for the result
     (Fig. 10a) or synchronizes with the handler and runs [f] on the client
     (Fig. 10b).  Either way, on return every previously logged call has
-    been applied — the basis of pre/postcondition reasoning (§2.2). *)
+    been applied — the basis of pre/postcondition reasoning (§2.2).
+
+    Failures are routed identically in both flavours: a raising [f]
+    re-raises the exception here (the query has a rendezvous, so it does
+    not poison the registration), while a failure among the previously
+    logged calls raises [Handler_failure] — the earlier failure wins. *)
 
 val query_async : t -> (unit -> 'a) -> 'a Qs_sched.Promise.t
 (** Issue a promise-pipelined query: package [f] for the handler and
@@ -27,6 +43,10 @@ val query_async : t -> (unit -> 'a) -> 'a Qs_sched.Promise.t
 
     Always packaged (Fig. 10a shape), regardless of the runtime's
     [client_query] setting: pipelining requires shipping the closure.
+
+    If [f] raises on the handler the promise {e rejects} (counted under
+    [Stats.rejected_promises]); forcing it re-raises the exception on
+    the client.  Rejection does not poison the registration.
 
     Synced status: issuing invalidates {!is_synced} like a call does.
     Forcing the returned promise re-establishes it — equivalent to a
@@ -40,12 +60,24 @@ val sync : t -> unit
     registration.  Elided dynamically when the configuration enables
     sync coalescing and the handler is already synced (§3.4.1).  After
     [sync] returns the client may read the handler's data directly until
-    it logs the next asynchronous call. *)
+    it logs the next asynchronous call.
+    @raise Handler_failure if any previously logged call failed — the
+    sync point is where a dirty handler surfaces. *)
 
 val processor : t -> Processor.t
 
 val is_synced : t -> bool
 (** Whether the handler is known to be idle w.r.t. this registration. *)
+
+val is_poisoned : t -> bool
+(** Whether a previously logged asynchronous call has failed.  Note the
+    inherent asynchrony: [false] only means no failure has been {e
+    observed} yet; a definitive answer needs a sync point. *)
+
+val check_poison : t -> unit
+(** @raise Handler_failure if the registration is poisoned.  Usable even
+    after the block closed (used by {!Separate} to re-surface the poison
+    at block exit). *)
 
 (**/**)
 

@@ -2,18 +2,27 @@
 
    [Call] carries a packaged application — the OCaml analogue of the
    libffi-packaged call of Fig. 9 (a heap-allocated closure standing in for
-   the cif + argument block).  [Query] is the same packaging shape but for a
-   promise-pipelined query: the closure computes the result and fulfils the
-   client's promise, so the handler loop can account and trace deferred
-   rendezvous separately from plain asynchronous calls.  [Sync] is the
-   release half of the wait / release pair introduced by the modified query
-   rule of §3.2: the handler resumes the waiting client and, knowing it has
-   no further work until the client logs more, parks.  [End] is the
-   end-of-private-queue marker appended when a separate block closes. *)
+   the cif + argument block) — together with a typed failure completion:
+   when [run] raises on the handler, the handler routes the exception into
+   [fail] instead of swallowing it, so the issuing client observes the
+   failure (a rejected ivar/promise, or a poisoned registration).  [Query]
+   is the same packaging shape but for a promise-pipelined query: the
+   closure computes the result and fulfils the client's promise, so the
+   handler loop can account and trace deferred rendezvous separately from
+   plain asynchronous calls.  [Sync] is the release half of the wait /
+   release pair introduced by the modified query rule of §3.2: the handler
+   resumes the waiting client and, knowing it has no further work until the
+   client logs more, parks.  [End] is the end-of-private-queue marker
+   appended when a separate block closes. *)
+
+type packaged = {
+  run : unit -> unit;
+  fail : exn -> Printexc.raw_backtrace -> unit;
+}
 
 type t =
-  | Call of (unit -> unit)
-  | Query of (unit -> unit)
+  | Call of packaged
+  | Query of packaged
   | Sync of Qs_sched.Sched.resumer
   | End
 

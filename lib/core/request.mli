@@ -5,11 +5,22 @@
     promise-pipelined query (the closure fulfils the client's promise
     with the result), [Sync] the wait/release pair of the
     (client-executed) query protocol, [End] the end-of-registration
-    marker a client appends when its separate block closes. *)
+    marker a client appends when its separate block closes.
+
+    Every packaged request carries a typed completion: [run] does the
+    work, and [fail] is invoked by the handler (with the exception and
+    the backtrace captured at the catch site) when [run] raises, so the
+    failure propagates to the issuing client instead of dying in a log
+    line. *)
+
+type packaged = {
+  run : unit -> unit;
+  fail : exn -> Printexc.raw_backtrace -> unit;
+}
 
 type t =
-  | Call of (unit -> unit)
-  | Query of (unit -> unit)
+  | Call of packaged
+  | Query of packaged
   | Sync of Qs_sched.Sched.resumer
   | End
 

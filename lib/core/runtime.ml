@@ -66,15 +66,33 @@ let processor t =
 
 let processors t n = List.init n (fun _ -> processor t)
 
-let shutdown t =
-  let rec drain () =
+(* Pop every registered processor and apply [close] (Processor.shutdown
+   or Processor.abort).  The pop-based registry makes repeated lifecycle
+   calls naturally idempotent: a second call finds the stack empty. *)
+let drain_procs t close =
+  let rec pop acc =
     match Qs_queues.Treiber_stack.pop t.procs with
     | Some proc ->
-      Processor.shutdown proc;
-      drain ()
-    | None -> ()
+      close proc;
+      pop (proc :: acc)
+    | None -> acc
   in
-  drain ()
+  pop []
+
+let shutdown t =
+  (* Close every stream first (so sibling handlers drain concurrently),
+     then await each completion latch: when [shutdown] returns, every
+     handler fiber has exited and all counters are final. *)
+  List.iter Processor.await_stopped (drain_procs t Processor.shutdown)
+
+let abort t =
+  List.iter Processor.await_stopped (drain_procs t Processor.abort)
+
+(* Exceptional exit from [run]: close the streams but do not await the
+   latches.  If [main] raised (including a scheduler [Stalled]), client
+   fibers may be wedged holding registrations open, and a blocking wait
+   here could hang the very error path that is trying to report them. *)
+let quench t = ignore (drain_procs t Processor.shutdown : Processor.t list)
 
 let separate t proc body = Separate.one t.ctx proc body
 let separate2 t p1 p2 body = Separate.two t.ctx p1 p2 body
@@ -91,4 +109,11 @@ let run ?(domains = 1) ?(config = Config.all) ?mailbox ?batch ?spsc
   let sink = resolve_sink ?obs ~trace () in
   Qs_sched.Sched.run ~domains ?on_stall ?on_counters ?obs:sink (fun () ->
     let t = create ~config ?mailbox ?batch ?spsc ?obs:sink () in
-    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> main t))
+    match main t with
+    | v ->
+      shutdown t;
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      (try quench t with _ -> ());
+      Printexc.raise_with_backtrace e bt)

@@ -85,8 +85,18 @@ val separate_list_when :
   'a
 
 val shutdown : t -> unit
-(** Close every processor created so far (idempotent; done automatically
-    by {!run}). *)
+(** Graceful drain of every processor created so far: close their
+    request streams, then await each handler's completion latch.  When
+    it returns, every handler fiber has exited ([Stopped] or [Failed])
+    and all {!Stats} counters are final.  Idempotent — a second call is
+    a no-op; done automatically when {!run}'s [main] returns normally
+    (on an exceptional exit the streams are closed but not awaited, so a
+    wedged client fiber cannot hang the error path). *)
+
+val abort : t -> unit
+(** Like {!shutdown}, but processors {e abort}: still-pending packaged
+    requests are discarded unexecuted, failing their completions with
+    {!Processor.Aborted} (counted under [Stats.aborted_requests]). *)
 
 val config : t -> Config.t
 val stats : t -> Stats.t

@@ -11,6 +11,8 @@ module Runtime = Runtime
 module Shared = Shared
 module Trace = Trace
 
+exception Handler_failure = Registration.Handler_failure
+
 module Internal = struct
   module Ctx = Ctx
   module Eve = Eve

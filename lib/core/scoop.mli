@@ -45,6 +45,14 @@ module Shared = Shared
 module Trace = Trace
 (** Detailed event tracing over the shared observability sink. *)
 
+exception Handler_failure of int * exn
+(** A handler is {e dirty} for this client (SCOOP's dirty-processor
+    rule): an asynchronous call logged through the registration raised
+    on the handler, and the failure is re-surfacing on the client — at
+    the next {!Registration} operation, at a sync point, or at the
+    separate block's exit.  Carries the processor id and the original
+    exception.  (Same exception as {!Registration.Handler_failure}.) *)
+
 val run :
   ?domains:int ->
   ?config:Config.t ->

@@ -10,7 +10,17 @@
    queues into all handlers atomically, otherwise two clients' insertions
    could interleave and later observers could see the Fig. 5 inconsistency.
    Per the paper, a spinlock per handler guards insertion; locks are taken
-   in handler-id order so that reservers cannot deadlock each other. *)
+   in handler-id order so that reservers cannot deadlock each other.
+
+   Block exit re-surfaces poison (SCOOP's dirty-processor rule): after
+   the body has completed normally and the registrations are closed, a
+   registration dirtied by a failed asynchronous call raises
+   [Handler_failure] out of the block.  The check runs *after* the
+   [Fun.protect] finally — never from inside it, so a body's own
+   exception is never masked by a [Fun.Finally_raised] — and is
+   best-effort for fully asynchronous failures: a failing call the
+   handler has not reached by exit time surfaces at the next sync point
+   with that handler instead. *)
 
 let trace_reserved ctx proc =
   match ctx.Ctx.trace with
@@ -37,7 +47,9 @@ let exit_one ctx reg =
 
 let one ctx proc body =
   let reg = enter_one ctx proc in
-  Fun.protect ~finally:(fun () -> exit_one ctx reg) (fun () -> body reg)
+  let v = Fun.protect ~finally:(fun () -> exit_one ctx reg) (fun () -> body reg) in
+  Registration.check_poison reg;
+  v
 
 let check_distinct procs =
   let ids = List.map Processor.id procs in
@@ -84,7 +96,11 @@ let many ctx procs body =
   | [ p ] -> one ctx p (fun reg -> body [ reg ])
   | _ ->
     let regs = enter_many ctx procs in
-    Fun.protect ~finally:(fun () -> exit_many ctx regs) (fun () -> body regs)
+    let v =
+      Fun.protect ~finally:(fun () -> exit_many ctx regs) (fun () -> body regs)
+    in
+    List.iter Registration.check_poison regs;
+    v
 
 (* Pairwise reservation, the common multi-handler shape, with a dedicated
    entry so the registrations come back as a typed pair: same spinlock
@@ -123,11 +139,16 @@ let enter_two ctx p1 p2 =
 
 let two ctx p1 p2 body =
   let r1, r2 = enter_two ctx p1 p2 in
-  Fun.protect
-    ~finally:(fun () ->
-      exit_one ctx r1;
-      exit_one ctx r2)
-    (fun () -> body r1 r2)
+  let v =
+    Fun.protect
+      ~finally:(fun () ->
+        exit_one ctx r1;
+        exit_one ctx r2)
+      (fun () -> body r1 r2)
+  in
+  Registration.check_poison r1;
+  Registration.check_poison r2;
+  v
 
 (* Wait conditions: SCOOP preconditions on separate objects do not fail,
    they wait (Nienaltowski's contract semantics, which the paper's SCOOP
@@ -167,13 +188,3 @@ let when_ ctx proc ~pred body =
   many_when ctx [ proc ]
     ~pred:(fun regs -> pred (List.hd regs))
     (fun regs -> body (List.hd regs))
-
-(* -- deprecated aliases ------------------------------------------------------ *)
-
-let with1 = one
-
-let with2 ctx p1 p2 body = two ctx p1 p2 body
-
-let with_list = many
-let with_when = when_
-let with_list_when = many_when

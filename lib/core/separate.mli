@@ -4,8 +4,13 @@
     These functions are the internals behind {!Runtime.separate} and
     friends, which supply the context.  Named by arity: {!one}, {!two},
     {!many}, plus the wait-condition variants {!when_} and {!many_when}.
-    The historical [with1]/[with2]/[with_list]/[with_when]/
-    [with_list_when] spellings remain as deprecated aliases. *)
+
+    Every block re-surfaces poison at exit (SCOOP's dirty-processor
+    rule): if a registration was dirtied by a failed asynchronous call,
+    the block raises {!Registration.Handler_failure} after the body has
+    completed normally and the handlers are released.  A body that
+    raises on its own keeps its exception — the poison check never runs
+    inside the release path. *)
 
 val one : Ctx.t -> Processor.t -> (Registration.t -> 'a) -> 'a
 (** Single-handler separate block (the optimized case of Fig. 8). *)
@@ -41,35 +46,3 @@ val many_when :
   pred:(Registration.t list -> bool) ->
   (Registration.t list -> 'a) ->
   'a
-
-(** {1 Deprecated aliases}
-
-    The original names, kept for source compatibility. *)
-
-val with1 : Ctx.t -> Processor.t -> (Registration.t -> 'a) -> 'a
-[@@ocaml.deprecated "use Separate.one"]
-
-val with2 :
-  Ctx.t -> Processor.t -> Processor.t ->
-  (Registration.t -> Registration.t -> 'a) -> 'a
-[@@ocaml.deprecated "use Separate.two"]
-
-val with_list :
-  Ctx.t -> Processor.t list -> (Registration.t list -> 'a) -> 'a
-[@@ocaml.deprecated "use Separate.many"]
-
-val with_when :
-  Ctx.t ->
-  Processor.t ->
-  pred:(Registration.t -> bool) ->
-  (Registration.t -> 'a) ->
-  'a
-[@@ocaml.deprecated "use Separate.when_"]
-
-val with_list_when :
-  Ctx.t ->
-  Processor.t list ->
-  pred:(Registration.t list -> bool) ->
-  (Registration.t list -> 'a) ->
-  'a
-[@@ocaml.deprecated "use Separate.many_when"]

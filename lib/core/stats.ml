@@ -29,6 +29,10 @@ type t = {
   handler_wakeups : Qs_obs.Counter.t; (* batches drained by handler loops *)
   batched_requests : Qs_obs.Counter.t; (* requests delivered through batches *)
   ends_drained : Qs_obs.Counter.t; (* End markers consumed *)
+  handler_failures : Qs_obs.Counter.t; (* handler-side closure exceptions *)
+  poisoned_registrations : Qs_obs.Counter.t; (* registrations dirtied by a failed call *)
+  rejected_promises : Qs_obs.Counter.t; (* pipelined queries resolved with an exception *)
+  aborted_requests : Qs_obs.Counter.t; (* packaged requests discarded by abort *)
 }
 
 let create () =
@@ -54,6 +58,10 @@ let create () =
   let handler_wakeups = c "handler_wakeups" in
   let batched_requests = c "batched_requests" in
   let ends_drained = c "ends_drained" in
+  let handler_failures = c "handler_failures" in
+  let poisoned_registrations = c "poisoned_registrations" in
+  let rejected_promises = c "rejected_promises" in
+  let aborted_requests = c "aborted_requests" in
   {
     registry;
     processors;
@@ -74,6 +82,10 @@ let create () =
     handler_wakeups;
     batched_requests;
     ends_drained;
+    handler_failures;
+    poisoned_registrations;
+    rejected_promises;
+    aborted_requests;
   }
 
 let registry t = t.registry
@@ -98,6 +110,10 @@ type snapshot = {
   s_handler_wakeups : int;
   s_batched_requests : int;
   s_ends_drained : int;
+  s_handler_failures : int;
+  s_poisoned_registrations : int;
+  s_rejected_promises : int;
+  s_aborted_requests : int;
 }
 
 let snapshot t =
@@ -121,6 +137,10 @@ let snapshot t =
     s_handler_wakeups = g t.handler_wakeups;
     s_batched_requests = g t.batched_requests;
     s_ends_drained = g t.ends_drained;
+    s_handler_failures = g t.handler_failures;
+    s_poisoned_registrations = g t.poisoned_registrations;
+    s_rejected_promises = g t.rejected_promises;
+    s_aborted_requests = g t.aborted_requests;
   }
 
 let diff later earlier =
@@ -145,6 +165,11 @@ let diff later earlier =
     s_handler_wakeups = later.s_handler_wakeups - earlier.s_handler_wakeups;
     s_batched_requests = later.s_batched_requests - earlier.s_batched_requests;
     s_ends_drained = later.s_ends_drained - earlier.s_ends_drained;
+    s_handler_failures = later.s_handler_failures - earlier.s_handler_failures;
+    s_poisoned_registrations =
+      later.s_poisoned_registrations - earlier.s_poisoned_registrations;
+    s_rejected_promises = later.s_rejected_promises - earlier.s_rejected_promises;
+    s_aborted_requests = later.s_aborted_requests - earlier.s_aborted_requests;
   }
 
 (* Mean requests delivered per handler wakeup: the batching efficiency
@@ -173,10 +198,12 @@ let pp_snapshot ppf s =
      eve lookups:       %d@,\
      wait retries:      %d (backoff escalations: %d)@,\
      handler wakeups:   %d (requests: %d, mean batch: %.2f)@,\
-     ends drained:      %d@]"
+     ends drained:      %d@,\
+     handler failures:  %d (poisoned regs: %d, rejected promises: %d, aborted: %d)@]"
     s.s_processors s.s_reservations s.s_multi_reservations s.s_calls
     s.s_queries s.s_packaged_queries s.s_promises_created
     s.s_promises_fulfilled s.s_promises_ready s.s_promises_blocked
     s.s_syncs_sent s.s_syncs_elided s.s_eve_lookups s.s_wait_retries
     s.s_wait_backoffs s.s_handler_wakeups s.s_batched_requests (mean_batch s)
-    s.s_ends_drained
+    s.s_ends_drained s.s_handler_failures s.s_poisoned_registrations
+    s.s_rejected_promises s.s_aborted_requests

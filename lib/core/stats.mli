@@ -37,6 +37,16 @@ type t = {
   handler_wakeups : Qs_obs.Counter.t;
   batched_requests : Qs_obs.Counter.t;
   ends_drained : Qs_obs.Counter.t;
+  handler_failures : Qs_obs.Counter.t;
+      (** handler-side closure exceptions caught and routed into the
+          request's typed completion *)
+  poisoned_registrations : Qs_obs.Counter.t;
+      (** registrations dirtied by a failed asynchronous call (SCOOP's
+          dirty-processor rule) *)
+  rejected_promises : Qs_obs.Counter.t;
+      (** pipelined query promises resolved with an exception *)
+  aborted_requests : Qs_obs.Counter.t;
+      (** packaged requests discarded unexecuted by {!Processor.abort} *)
 }
 
 val create : unit -> t
@@ -65,6 +75,10 @@ type snapshot = {
   s_handler_wakeups : int;
   s_batched_requests : int;
   s_ends_drained : int;
+  s_handler_failures : int;
+  s_poisoned_registrations : int;
+  s_rejected_promises : int;
+  s_aborted_requests : int;
 }
 
 val snapshot : t -> snapshot

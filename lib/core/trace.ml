@@ -23,6 +23,9 @@
      Sync_elided         -> instant  client/sync_elided
      Query_round_trip d  -> complete client/query       (dur = d)
      Query_pipelined d   -> complete client/query_async (dur = d)
+     Handler_failed      -> instant  core/handler_failure
+     Registration_poisoned -> instant client/poisoned
+     Promise_rejected    -> instant  client/promise_rejected
    Complete spans store their *start* time; the historical [at] (time of
    recording) is reconstructed as [ts +. dur]. *)
 
@@ -37,6 +40,9 @@ type kind =
       (* pipelined query: issue -> promise fulfilment (closed by the
          handler via the promise's completion callback, so the span
          measures queueing + execution, not the client's force delay) *)
+  | Handler_failed (* a handler-side closure raised *)
+  | Registration_poisoned (* a failed async call dirtied a registration *)
+  | Promise_rejected (* a pipelined query resolved with an exception *)
 
 type event = {
   at : float; (* seconds since the trace started *)
@@ -66,6 +72,10 @@ let record t ~proc kind =
   | Sync_elided -> instant "sync_elided"
   | Query_round_trip d -> complete "client" "query" d
   | Query_pipelined d -> complete "client" "query_async" d
+  | Handler_failed ->
+    Qs_obs.Sink.instant s ~cat:"core" ~name:"handler_failure" ~track:proc ()
+  | Registration_poisoned -> instant "poisoned"
+  | Promise_rejected -> instant "promise_rejected"
 
 let kind_of (e : Qs_obs.Sink.event) =
   match (e.cat, e.name) with
@@ -76,6 +86,9 @@ let kind_of (e : Qs_obs.Sink.event) =
   | "client", "sync_elided" -> Some Sync_elided
   | "client", "query" -> Some (Query_round_trip e.dur)
   | "client", "query_async" -> Some (Query_pipelined e.dur)
+  | "core", "handler_failure" -> Some Handler_failed
+  | "client", "poisoned" -> Some Registration_poisoned
+  | "client", "promise_rejected" -> Some Promise_rejected
   | _ -> None (* other layers' events (sched, remote, ...) *)
 
 let events t =

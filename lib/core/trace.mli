@@ -19,6 +19,13 @@ type kind =
   | Query_pipelined of float
       (** pipelined-query issue→fulfilment time (handler-side; excludes
           any delay before the client forces the promise) *)
+  | Handler_failed
+      (** a handler-side closure raised; the exception was routed into
+          the request's typed completion *)
+  | Registration_poisoned
+      (** a failed asynchronous call dirtied its registration (SCOOP's
+          dirty-processor rule) *)
+  | Promise_rejected  (** a pipelined query resolved with an exception *)
 
 type event = {
   at : float;  (** seconds since the trace started *)

@@ -4,26 +4,31 @@
    blocks on the result the handler will produce, Fig. 10a of the paper) and
    as a general fork/join primitive in tests and benchmarks.
 
-   The state is a single atomic: either [Full v], or [Empty waiters] where
-   [waiters] are the resumers of blocked readers.  Both transitions are CAS
-   loops over immutable values. *)
+   The cell resolves exactly once, to either a value or an exception (the
+   typed-completion contract of the failure-aware request path: a handler
+   whose packaged closure raises rejects the cell instead of leaving the
+   client wedged).  The state is a single atomic: either [Resolved outcome],
+   or [Empty waiters] where [waiters] are the resumers of blocked readers.
+   Both transitions are CAS loops over immutable values. *)
+
+type 'a outcome = ('a, exn * Printexc.raw_backtrace) result
 
 type 'a state =
   | Empty of Sched.resumer list
-  | Full of 'a
+  | Resolved of 'a outcome
 
 type 'a t = { state : 'a state Atomic.t }
 
 let create () = { state = Atomic.make (Empty []) }
 
-let create_full v = { state = Atomic.make (Full v) }
+let create_full v = { state = Atomic.make (Resolved (Ok v)) }
 
-let try_fill t v =
+let try_resolve t outcome =
   let rec loop () =
     match Atomic.get t.state with
-    | Full _ -> false
+    | Resolved _ -> false
     | Empty waiters as old ->
-      if Atomic.compare_and_set t.state old (Full v) then begin
+      if Atomic.compare_and_set t.state old (Resolved outcome) then begin
         (* FIFO wake-up: waiters accumulated head-first. *)
         List.iter (fun resume -> resume ()) (List.rev waiters);
         true
@@ -32,27 +37,51 @@ let try_fill t v =
   in
   loop ()
 
+let try_fill t v = try_resolve t (Ok v)
+
 let fill t v =
-  if not (try_fill t v) then invalid_arg "Ivar.fill: already filled"
+  if not (try_fill t v) then invalid_arg "Ivar.fill: already resolved"
+
+let try_fill_error ?bt t e =
+  let bt =
+    match bt with Some bt -> bt | None -> Printexc.get_raw_backtrace ()
+  in
+  try_resolve t (Error (e, bt))
+
+let fill_error ?bt t e =
+  if not (try_fill_error ?bt t e) then
+    invalid_arg "Ivar.fill_error: already resolved"
+
+let peek_result t =
+  match Atomic.get t.state with
+  | Resolved outcome -> Some outcome
+  | Empty _ -> None
 
 let peek t =
   match Atomic.get t.state with
-  | Full v -> Some v
+  | Resolved (Ok v) -> Some v
+  | Resolved (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
   | Empty _ -> None
 
-let is_filled t = peek t <> None
+let is_filled t =
+  match Atomic.get t.state with Resolved _ -> true | Empty _ -> false
+
+let is_rejected t =
+  match Atomic.get t.state with
+  | Resolved (Error _) -> true
+  | Resolved (Ok _) | Empty _ -> false
 
 (* Completion callbacks reuse the waiter list: a callback is a resumer
-   that reads the (by then guaranteed Full) state before running [f].
-   Runs in the filler's context, immediately if already filled. *)
-let on_fill t f =
+   that reads the (by then guaranteed Resolved) state before running [f].
+   Runs in the resolver's context, immediately if already resolved. *)
+let on_resolve t f =
   let rec subscribe () =
     match Atomic.get t.state with
-    | Full v -> f v
+    | Resolved outcome -> f outcome
     | Empty waiters as old ->
       let cb () =
         match Atomic.get t.state with
-        | Full v -> f v
+        | Resolved outcome -> f outcome
         | Empty _ -> assert false
       in
       if not (Atomic.compare_and_set t.state old (Empty (cb :: waiters))) then
@@ -60,15 +89,18 @@ let on_fill t f =
   in
   subscribe ()
 
-let read t =
+let on_fill t f =
+  on_resolve t (function Ok v -> f v | Error _ -> ())
+
+let result t =
   match Atomic.get t.state with
-  | Full v -> v
+  | Resolved outcome -> outcome
   | Empty _ ->
     Sched.suspend (fun resume ->
       let rec subscribe () =
         match Atomic.get t.state with
-        | Full _ ->
-          (* Filled between our first check and suspension. *)
+        | Resolved _ ->
+          (* Resolved between our first check and suspension. *)
           resume ()
         | Empty waiters as old ->
           if
@@ -78,5 +110,10 @@ let read t =
       in
       subscribe ());
     (match Atomic.get t.state with
-    | Full v -> v
+    | Resolved outcome -> outcome
     | Empty _ -> assert false)
+
+let read t =
+  match result t with
+  | Ok v -> v
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt

@@ -22,10 +22,17 @@
      the client had to block, and — for registrations — the moment the
      synced status may be re-established.
 
+   A promise can also *reject* ([fulfill_error]): forcing then re-raises
+   the handler-side exception (with its captured backtrace) on whichever
+   client forces first — the typed-completion half of the failure-aware
+   request path.  Rejection counts as a resolution for the force hook:
+   the rendezvous happened, it just delivered an exception.
+
    The force hook fires exactly once, on the first successful
-   observation ([await] or a [try_read] returning [Some]); combinator
-   results propagate forcing to their components so that forcing a
-   fan-in marks every underlying handler rendezvous as observed. *)
+   observation ([await] or a [try_read] returning [Some] or re-raising);
+   combinator results propagate forcing to their components so that
+   forcing a fan-in marks every underlying handler rendezvous as
+   observed. *)
 
 type 'a t = {
   ivar : 'a Ivar.t;
@@ -40,9 +47,13 @@ let of_value v = { ivar = Ivar.create_full v; on_force = Atomic.make None }
 
 let fulfill t v = Ivar.fill t.ivar v
 let try_fulfill t v = Ivar.try_fill t.ivar v
+let fulfill_error ?bt t e = Ivar.fill_error ?bt t.ivar e
+let try_fulfill_error ?bt t e = Ivar.try_fill_error ?bt t.ivar e
 let is_resolved t = Ivar.is_filled t.ivar
+let is_rejected t = Ivar.is_rejected t.ivar
 let peek t = Ivar.peek t.ivar
 let on_fulfill t f = Ivar.on_fill t.ivar f
+let on_resolve t f = Ivar.on_resolve t.ivar f
 
 (* Consume the hook at most once, from whichever observation wins. *)
 let fire_force t ~was_ready =
@@ -52,24 +63,42 @@ let fire_force t ~was_ready =
 
 let await t =
   let was_ready = Ivar.is_filled t.ivar in
-  let v = Ivar.read t.ivar in
-  fire_force t ~was_ready;
-  v
+  match Ivar.result t.ivar with
+  | Ok v ->
+    fire_force t ~was_ready;
+    v
+  | Error (e, bt) ->
+    (* A rejected rendezvous still happened: fire the hook so synced
+       bookkeeping and ready/blocked accounting stay balanced. *)
+    fire_force t ~was_ready;
+    Printexc.raise_with_backtrace e bt
 
 let try_read t =
-  match Ivar.peek t.ivar with
-  | Some v ->
+  match Ivar.peek_result t.ivar with
+  | Some (Ok v) ->
     fire_force t ~was_ready:true;
     Some v
+  | Some (Error (e, bt)) ->
+    fire_force t ~was_ready:true;
+    Printexc.raise_with_backtrace e bt
   | None -> None
 
 (* Combinators fulfil eagerly (in the last component's filler context)
    and force lazily (propagating the observation to every component, so
-   registration synced-status bookkeeping sees the rendezvous). *)
+   registration synced-status bookkeeping sees the rendezvous).  The
+   first component to reject wins: the combined promise rejects with
+   that exception, even if other components are still pending. *)
 
 let map f t =
   let p = create ~on_force:(fun was_ready -> fire_force t ~was_ready) () in
-  on_fulfill t (fun v -> fulfill p (f v));
+  on_resolve t (function
+    | Ok v -> (
+      match f v with
+      | w -> fulfill p w
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        fulfill_error ~bt p e)
+    | Error (e, bt) -> fulfill_error ~bt p e);
   p
 
 let both a b =
@@ -81,14 +110,17 @@ let both a b =
       ()
   in
   let remaining = Atomic.make 2 in
-  let arm () =
-    if Atomic.fetch_and_add remaining (-1) = 1 then
-      match (Ivar.peek a.ivar, Ivar.peek b.ivar) with
-      | Some va, Some vb -> fulfill p (va, vb)
-      | _ -> assert false
+  let arm outcome =
+    match outcome with
+    | Error (e, bt) -> ignore (try_fulfill_error ~bt p e : bool)
+    | Ok _ ->
+      if Atomic.fetch_and_add remaining (-1) = 1 then (
+        match (Ivar.peek_result a.ivar, Ivar.peek_result b.ivar) with
+        | Some (Ok va), Some (Ok vb) -> ignore (try_fulfill p (va, vb) : bool)
+        | _ -> assert false)
   in
-  on_fulfill a (fun _ -> arm ());
-  on_fulfill b (fun _ -> arm ());
+  on_resolve a arm;
+  on_resolve b arm;
   p
 
 let all ps =
@@ -102,15 +134,20 @@ let all ps =
         ()
     in
     let remaining = Atomic.make (List.length ps) in
-    let arm () =
-      if Atomic.fetch_and_add remaining (-1) = 1 then
-        fulfill p
-          (List.map
-             (fun q ->
-               match Ivar.peek q.ivar with
-               | Some v -> v
-               | None -> assert false)
-             ps)
+    let arm outcome =
+      match outcome with
+      | Error (e, bt) -> ignore (try_fulfill_error ~bt p e : bool)
+      | Ok _ ->
+        if Atomic.fetch_and_add remaining (-1) = 1 then
+          ignore
+            (try_fulfill p
+               (List.map
+                  (fun q ->
+                    match Ivar.peek_result q.ivar with
+                    | Some (Ok v) -> v
+                    | _ -> assert false)
+                  ps)
+              : bool)
     in
-    List.iter (fun q -> on_fulfill q (fun _ -> arm ())) ps;
+    List.iter (fun q -> on_resolve q arm) ps;
     p

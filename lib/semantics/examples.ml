@@ -124,6 +124,23 @@ let fig6_queries_outer =
       );
     ]
 
+(* Exception propagation (dirty-processor rule): client 1 logs a call
+   whose body will fail, then queries the same handler.  Every run must
+   serve the failing call (Failed: the handler marks itself dirty, does
+   not die) and then deliver the failure at the query's sync point
+   (Raised) — the runtime analogue raises [Scoop.Handler_failure]
+   there. *)
+let fail_call =
+  State.init
+    [ (1, Separate ([ x ], seq [ CallFail (x, "boom"); Query (x, "probe") ])) ]
+
+(* The same failing call with no later sync point: the dirt dies with
+   the registration (the runtime's block-exit check is the boundary
+   analogue), so no run contains a Raised transition and the program
+   still terminates. *)
+let fail_call_no_sync =
+  State.init [ (1, Separate ([ x ], seq [ CallFail (x, "boom") ])) ]
+
 (* State predicate for the Fig. 5 consistency property: some observer
    could see different colours iff the registration orders of clients 1
    and 2 differ between x's and y's request queues. *)

@@ -18,6 +18,15 @@ val fig6_queries : State.t
 val fig6_queries_outer : State.t
 (** Fig. 6 with a query on each client's outer handler: deadlock-free. *)
 
+val fail_call : State.t
+(** A failing call followed by a query on the same handler: every run
+    serves the failure ([Failed]) and then delivers it at the query's
+    sync point ([Raised]). *)
+
+val fail_call_no_sync : State.t
+(** A failing call with no later sync point: terminates with no
+    [Raised] transition (the dirt dies with the registration). *)
+
 val fig5_mismatch : State.t -> bool
 (** Reachable-state witness that Fig. 5's consistency can be violated
     (only with nested, non-atomic reservations). *)

@@ -61,6 +61,29 @@ let check_run (labels : Step.label list) =
                "handler %d executed %s but client %d logged %s first" handler
                action client expected)
         | Some _ -> ())
+      | Step.Failed { handler; client; action } -> (
+        (* A failing call still occupies its slot in the logged order:
+           ORDER and NON-INTERLEAVING constrain it exactly like a
+           successful execution. *)
+        (match Hashtbl.find_opt serving handler with
+        | Some c when c <> client ->
+          fail at
+            (Printf.sprintf
+               "handler %d interleaved client %d into client %d's registration"
+               handler client c)
+        | _ -> Hashtbl.replace serving handler client);
+        let q = logged_queue (client, handler) in
+        match Queue.take_opt q with
+        | None ->
+          fail at
+            (Printf.sprintf "handler %d failed unlogged action %s" handler
+               action)
+        | Some expected when expected <> action ->
+          fail at
+            (Printf.sprintf
+               "handler %d failed %s but client %d logged %s first" handler
+               action client expected)
+        | Some _ -> ())
       | Step.EndServed { handler; client } -> (
         match Hashtbl.find_opt serving handler with
         | Some c when c <> client ->
@@ -70,7 +93,7 @@ let check_run (labels : Step.label list) =
                client c)
         | _ -> Hashtbl.remove serving handler)
       | Step.Executed { client = None; _ }
-      | Step.Reserved _ | Step.Synced _ | Step.Stepped ->
+      | Step.Reserved _ | Step.Synced _ | Step.Raised _ | Step.Stepped ->
         ())
     labels;
   match !error with

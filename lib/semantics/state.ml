@@ -19,6 +19,11 @@ type handler = {
   rq : pqueue list; (* queue of queues: head is being served *)
   prog : Syntax.stmt;
   locked_by : Syntax.hid option; (* lock-based semantics only *)
+  dirty : (Syntax.hid * Syntax.action) list;
+      (* clients whose logged call failed on this handler (first failing
+         action each): SCOOP's dirty-processor state.  Set by the Fail
+         service rule, cleared when the failure is raised at a sync point
+         or the registration ends. *)
 }
 
 type t = handler list (* sorted by id *)
@@ -41,7 +46,7 @@ let init roots =
       let prog =
         match List.assoc_opt id roots with Some s -> s | None -> Syntax.Skip
       in
-      { id; rq = []; prog; locked_by = None })
+      { id; rq = []; prog; locked_by = None; dirty = [] })
     mentioned
 
 (* Append an empty private queue for [client] at the end of [target]'s
@@ -82,7 +87,7 @@ let pp_pqueue ppf pq =
     pq.items
 
 let pp_handler ppf h =
-  Format.fprintf ppf "@[<h>(%d, {%a}%s, %a)@]" h.id
+  Format.fprintf ppf "@[<h>(%d, {%a}%s%s, %a)@]" h.id
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ")
        pp_pqueue)
@@ -90,6 +95,12 @@ let pp_handler ppf h =
     (match h.locked_by with
     | Some c -> Printf.sprintf " locked-by:%d" c
     | None -> "")
+    (match h.dirty with
+    | [] -> ""
+    | ds ->
+      " dirty:"
+      ^ String.concat ","
+          (List.map (fun (c, a) -> Printf.sprintf "%d:%s" c a) ds))
     Syntax.pp h.prog
 
 let pp ppf t =

@@ -12,6 +12,9 @@ type handler = {
   rq : pqueue list;
   prog : Syntax.stmt;
   locked_by : Syntax.hid option;
+  dirty : (Syntax.hid * Syntax.action) list;
+      (** clients whose logged call failed on this handler (SCOOP's
+          dirty-processor state), with the first failing action *)
 }
 
 type t = handler list

@@ -37,6 +37,16 @@ type label =
     }
   | Synced of { client : Syntax.hid; target : Syntax.hid }
   | EndServed of { handler : Syntax.hid; client : Syntax.hid }
+  | Failed of {
+      handler : Syntax.hid;
+      client : Syntax.hid;
+      action : Syntax.action;
+    } (* a served call failed: the handler is now dirty for the client *)
+  | Raised of {
+      client : Syntax.hid;
+      target : Syntax.hid;
+      action : Syntax.action;
+    } (* the pending failure was delivered to the client at a sync point *)
   | Stepped (* administrative transition *)
 
 let pp_label ppf = function
@@ -55,6 +65,10 @@ let pp_label ppf = function
   | Synced { client; target } -> Format.fprintf ppf "sync(%d <-> %d)" client target
   | EndServed { handler; client } ->
     Format.fprintf ppf "end(%d of %d)" handler client
+  | Failed { handler; client; action } ->
+    Format.fprintf ppf "fail(%d for %d: %s)" handler client action
+  | Raised { client; target; action } ->
+    Format.fprintf ppf "raise(%d <- %d: %s)" client target action
   | Stepped -> Format.pp_print_string ppf "tau"
 
 let rec norm s =
@@ -125,6 +139,14 @@ let program_steps mode state (h : State.handler) =
         ( Logged { client = h.id; target = x; action = a },
           set_prog state' (State.handler state' h.id) (ctx Syntax.Skip) );
       ]
+    | Syntax.CallFail (x, a) ->
+      (* Logging a failing call is indistinguishable from logging a
+         sound one — the failure only materializes when served. *)
+      let state' = State.log state ~client:h.id ~target:x (Syntax.Fail a) in
+      [
+        ( Logged { client = h.id; target = x; action = a },
+          set_prog state' (State.handler state' h.id) (ctx Syntax.Skip) );
+      ]
     | Syntax.CallEnd x ->
       let state' = State.log state ~client:h.id ~target:x Syntax.End in
       let state' =
@@ -161,7 +183,7 @@ let program_steps mode state (h : State.handler) =
         ]
       end
     | Syntax.Wait _ | Syntax.Release _ -> [] (* joint sync rule only *)
-    | Syntax.End -> assert false (* queue item, never a program *)
+    | Syntax.End | Syntax.Fail _ -> assert false (* queue items, never programs *)
     | Syntax.Skip | Syntax.Seq _ -> assert false (* excluded by norm/redex *))
 
 (* The run and end rules: an idle handler serves the head private queue. *)
@@ -179,6 +201,23 @@ let service_steps state (h : State.handler) =
             State.update state
               { h with rq = { pq with State.items = rest } :: rest_rq } );
         ]
+      | Syntax.Fail a :: rest ->
+        (* Exception-propagation rule, handler half: the call's body
+           fails.  The handler does not die — it marks itself dirty for
+           this client (recording the first failing action) and keeps
+           serving; the failure surfaces at the client's next sync point
+           (see [sync_steps]) or is dropped when the registration ends
+           (the runtime re-surfaces it at block exit instead). *)
+        let dirty =
+          if List.mem_assoc pq.State.client h.dirty then h.dirty
+          else h.dirty @ [ (pq.State.client, a) ]
+        in
+        [
+          ( Failed { handler = h.id; client = pq.State.client; action = a },
+            State.update state
+              { h with dirty; rq = { pq with State.items = rest } :: rest_rq }
+          );
+        ]
       | Syntax.Release c :: rest ->
         [
           ( Stepped,
@@ -193,7 +232,15 @@ let service_steps state (h : State.handler) =
         assert (rest = []);
         [
           ( EndServed { handler = h.id; client = pq.State.client },
-            State.update state { h with rq = rest_rq } );
+            State.update state
+              {
+                h with
+                rq = rest_rq;
+                (* Dirt does not outlive the registration: an un-synced
+                   failure is dropped here (the runtime's block-exit
+                   poison check is the boundary analogue). *)
+                dirty = List.remove_assoc pq.State.client h.dirty;
+              } );
         ]
       | _ -> assert false)
 
@@ -204,13 +251,31 @@ let sync_steps state (h : State.handler) =
   | p -> (
     let r, ctx = redex p in
     match r with
-    | Syntax.Wait x ->
+    | Syntax.Wait x -> (
       let hx = State.handler state x in
       if norm hx.prog = Syntax.Release h.id then
         let state' = set_prog state h (ctx Syntax.Skip) in
-        let state' = set_prog state' (State.handler state' x) Syntax.Skip in
-        [ (Synced { client = h.id; target = x }, state') ]
-      else []
+        match List.assoc_opt h.id hx.dirty with
+        | None ->
+          let state' = set_prog state' (State.handler state' x) Syntax.Skip in
+          [ (Synced { client = h.id; target = x }, state') ]
+        | Some a ->
+          (* Exception-propagation rule, client half: client and dirty
+             handler meet at the sync point; the pending failure is
+             delivered (the runtime raises [Handler_failure] here) and
+             the handler is clean for this client again.  The sync
+             still completes — both programs advance. *)
+          let hx' = State.handler state' x in
+          let state' =
+            State.update state'
+              {
+                hx' with
+                prog = Syntax.Skip;
+                dirty = List.remove_assoc h.id hx'.dirty;
+              }
+          in
+          [ (Raised { client = h.id; target = x; action = a }, state') ]
+      else [])
     | _ -> [])
 
 let steps mode state =

@@ -31,6 +31,21 @@ type label =
     }
   | Synced of { client : Syntax.hid; target : Syntax.hid }
   | EndServed of { handler : Syntax.hid; client : Syntax.hid }
+  | Failed of {
+      handler : Syntax.hid;
+      client : Syntax.hid;
+      action : Syntax.action;
+    }
+      (** A served call's body failed: the handler keeps running but is
+          now {e dirty} for [client] (SCOOP's dirty-processor rule). *)
+  | Raised of {
+      client : Syntax.hid;
+      target : Syntax.hid;
+      action : Syntax.action;
+    }
+      (** The pending failure [action] was delivered to [client] at a
+          sync point with the dirty handler [target]; the handler is
+          clean for [client] again. *)
   | Stepped
 
 val pp_label : Format.formatter -> label -> unit

@@ -7,7 +7,13 @@
    local computation) carrying an observable action name, and [QueryExec],
    an internal form produced by the modified query rule of §3.2 (the query
    body runs on the client after synchronization).  [CallEnd] is the
-   [call(x, end)] the separate rule appends at the end of a block. *)
+   [call(x, end)] the separate rule appends at the end of a block.
+
+   [CallFail] models the failure-aware request path: an asynchronous
+   call whose body raises on the handler.  Logging it produces a [Fail]
+   queue item; serving a [Fail] marks the handler dirty for that client
+   (SCOOP's dirty-processor rule), and the dirt surfaces as a [Raised]
+   transition at the client's next sync point (see [Step]). *)
 
 type hid = int
 (** Handler identity. *)
@@ -26,6 +32,8 @@ type stmt =
   | Wait of hid
   | Release of hid
   | QueryExec of hid * action (* internal: client-side query body (§3.2) *)
+  | CallFail of hid * action (* asynchronous call whose body fails *)
+  | Fail of action (* failing instruction, as a queue item *)
   | Seq of stmt * stmt
 
 let rec seq = function
@@ -35,10 +43,10 @@ let rec seq = function
 
 (* Handlers mentioned anywhere in a statement. *)
 let rec handlers_of = function
-  | Skip | End | Atom _ -> []
+  | Skip | End | Atom _ | Fail _ -> []
   | Separate (xs, s) -> xs @ handlers_of s
   | Call (x, _) | CallEnd x | Query (x, _) | Wait x | Release x
-  | QueryExec (x, _) ->
+  | QueryExec (x, _) | CallFail (x, _) ->
     [ x ]
   | Seq (a, b) -> handlers_of a @ handlers_of b
 
@@ -58,4 +66,6 @@ let rec pp ppf = function
   | Wait x -> Format.fprintf ppf "wait %d" x
   | Release x -> Format.fprintf ppf "release %d" x
   | QueryExec (x, a) -> Format.fprintf ppf "qexec(%d,%s)" x a
+  | CallFail (x, a) -> Format.fprintf ppf "call_fail(%d,%s)" x a
+  | Fail a -> Format.fprintf ppf "fail(%s)" a
   | Seq (a, b) -> Format.fprintf ppf "%a; %a" pp a pp b

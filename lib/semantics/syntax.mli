@@ -1,8 +1,10 @@
 (** Abstract syntax of the SCOOP/Qs operational semantics (paper §2.3).
 
-    Programs are written with [Separate], [Call], [Query] and [Atom]; the
-    remaining constructors ([Wait], [Release], [End], [CallEnd],
-    [QueryExec]) are runtime forms produced by the rules. *)
+    Programs are written with [Separate], [Call], [CallFail], [Query]
+    and [Atom]; the remaining constructors ([Wait], [Release], [End],
+    [CallEnd], [QueryExec], [Fail]) are runtime forms produced by the
+    rules.  [CallFail] is an asynchronous call whose body raises on the
+    handler — the source form of the exception-propagation rule. *)
 
 type hid = int
 type action = string
@@ -18,6 +20,8 @@ type stmt =
   | Wait of hid
   | Release of hid
   | QueryExec of hid * action
+  | CallFail of hid * action
+  | Fail of action
   | Seq of stmt * stmt
 
 val seq : stmt list -> stmt

@@ -130,12 +130,18 @@ let test_raising_call_does_not_kill_processor () =
   R.run (fun rt ->
     let h = R.processor rt in
     let cell = Sh.create h (ref 0) in
-    R.separate rt h (fun reg ->
-      Reg.call reg (fun () -> failwith "injected fault");
-      Sh.apply reg cell incr;
-      (* The processor must survive the fault and keep serving. *)
-      check_int "subsequent calls execute" 1 (Sh.get reg cell (fun r -> !r)));
-    (* And later registrations work too. *)
+    (* The faulting registration is poisoned (dirty-processor rule): the
+       failure surfaces at the next sync point... *)
+    (try
+       R.separate rt h (fun reg ->
+         Reg.call reg (fun () -> failwith "injected fault");
+         Sh.apply reg cell incr;
+         match Sh.get reg cell (fun r -> !r) with
+         | _ -> Alcotest.fail "poisoned query must raise"
+         | exception Scoop.Handler_failure (_, Failure _) -> ())
+     with Scoop.Handler_failure (_, Failure _) -> ());
+    (* ...but the processor survives the fault (the logged incr was still
+       served) and keeps serving later registrations. *)
     R.separate rt h (fun reg ->
       Sh.apply reg cell incr;
       check_int "next registration fine" 2 (Sh.get reg cell (fun r -> !r))))
@@ -148,9 +154,16 @@ let test_raising_call_other_clients_unaffected () =
     for i = 0 to 3 do
       S.spawn (fun () ->
         for _ = 1 to 25 do
-          R.separate rt h (fun reg ->
-            if i = 0 then Reg.call reg (fun () -> failwith "chaos");
-            Sh.apply reg cell incr)
+          (* The chaos client logs its increment first (so it is always
+             in the queue), then the fault.  The poison is
+             per-registration: it may surface as Handler_failure at this
+             block's exit — depending on how far the handler got — but
+             never on the other clients. *)
+          try
+            R.separate rt h (fun reg ->
+              Sh.apply reg cell incr;
+              if i = 0 then Reg.call reg (fun () -> failwith "chaos"))
+          with Scoop.Handler_failure (_, Failure _) -> ()
         done;
         Qs_sched.Latch.count_down latch)
     done;

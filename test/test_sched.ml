@@ -193,7 +193,7 @@ let test_ivar_double_fill () =
     Ivar.fill iv 1;
     check_bool "try_fill fails" false (Ivar.try_fill iv 2);
     Alcotest.check_raises "fill raises"
-      (Invalid_argument "Ivar.fill: already filled") (fun () -> Ivar.fill iv 3);
+      (Invalid_argument "Ivar.fill: already resolved") (fun () -> Ivar.fill iv 3);
     check_int "value unchanged" 1 (Ivar.read iv))
 
 let test_ivar_peek () =
@@ -308,6 +308,83 @@ let test_promise_all_propagates_force () =
     check_int "components not yet forced" 0 (Atomic.get forced);
     ignore (Promise.await every : int list);
     check_int "force propagated to every component" 3 (Atomic.get forced))
+
+exception Boom
+
+let test_promise_rejection () =
+  S.run (fun () ->
+    (* Awaiting a rejected promise re-raises; status is observable. *)
+    let p = Promise.create () in
+    check_bool "not rejected while pending" false (Promise.is_rejected p);
+    S.spawn (fun () -> Promise.fulfill_error p Boom);
+    (match Promise.await p with
+    | (_ : int) -> Alcotest.fail "await must re-raise"
+    | exception Boom -> ());
+    check_bool "resolved" true (Promise.is_resolved p);
+    check_bool "rejected" true (Promise.is_rejected p);
+    (* try_read and peek re-raise on a rejected promise too. *)
+    (match Promise.try_read p with
+    | _ -> Alcotest.fail "try_read must re-raise"
+    | exception Boom -> ());
+    (match Promise.peek p with
+    | _ -> Alcotest.fail "peek must re-raise"
+    | exception Boom -> ());
+    (* A rejected promise cannot be fulfilled afterwards. *)
+    check_bool "try_fulfill fails" false (Promise.try_fulfill p 1);
+    check_bool "try_fulfill_error fails" false
+      (Promise.try_fulfill_error p Not_found))
+
+let test_promise_rejection_force_hook () =
+  (* The force hook fires on a rejecting await exactly as on a value. *)
+  S.run (fun () ->
+    let fired = ref [] in
+    let p = Promise.create ~on_force:(fun r -> fired := r :: !fired) () in
+    Promise.fulfill_error p Boom;
+    (match Promise.await p with
+    | (_ : int) -> Alcotest.fail "await must re-raise"
+    | exception Boom -> ());
+    (match Promise.await p with
+    | (_ : int) -> Alcotest.fail "await must re-raise again"
+    | exception Boom -> ());
+    Alcotest.(check (list bool)) "once, ready" [ true ] !fired)
+
+let test_promise_map_rejection () =
+  S.run (fun () ->
+    (* map propagates an upstream rejection... *)
+    let a = Promise.create () in
+    let b = Promise.map (fun x -> x + 1) a in
+    Promise.fulfill_error a Boom;
+    (match Promise.await b with
+    | (_ : int) -> Alcotest.fail "mapped promise must reject"
+    | exception Boom -> ());
+    (* ...and a raising mapper rejects the downstream promise. *)
+    let c = Promise.create () in
+    let d = Promise.map (fun _ -> raise Boom) c in
+    Promise.fulfill c 1;
+    match Promise.await d with
+    | _ -> Alcotest.fail "raising mapper must reject"
+    | exception Boom -> ())
+
+let test_promise_combinators_rejection () =
+  S.run (fun () ->
+    (* both: the rejection wins over the later value. *)
+    let a = Promise.create () and b = Promise.create () in
+    let pair = Promise.both a b in
+    Promise.fulfill_error a Boom;
+    Promise.fulfill b 2;
+    (match Promise.await pair with
+    | (_ : int * int) -> Alcotest.fail "both must reject"
+    | exception Boom -> ());
+    (* all: one rejection rejects the aggregate even with the rest Ok. *)
+    let ps = List.init 4 (fun _ -> Promise.create ()) in
+    let every = Promise.all ps in
+    List.iteri
+      (fun i p ->
+        if i = 2 then Promise.fulfill_error p Boom else Promise.fulfill p i)
+      ps;
+    match Promise.await every with
+    | (_ : int list) -> Alcotest.fail "all must reject"
+    | exception Boom -> ())
 
 let test_promise_multi_domain_readers () =
   (* Many readers on several domains force the same promise; one
@@ -616,6 +693,12 @@ let () =
           Alcotest.test_case "combinators" `Quick test_promise_combinators;
           Alcotest.test_case "all propagates force" `Quick
             test_promise_all_propagates_force;
+          Alcotest.test_case "rejection" `Quick test_promise_rejection;
+          Alcotest.test_case "rejection force hook" `Quick
+            test_promise_rejection_force_hook;
+          Alcotest.test_case "map rejection" `Quick test_promise_map_rejection;
+          Alcotest.test_case "combinator rejection" `Quick
+            test_promise_combinators_rejection;
           Alcotest.test_case "multi-domain readers" `Quick
             test_promise_multi_domain_readers;
         ] );

@@ -645,6 +645,200 @@ let test_trace_pipelined_queries () =
       (s.Scoop.Trace.sp_query_pipelined.Scoop.Trace.mean >= 0.0)
   | _ -> Alcotest.fail "expected one processor summary"
 
+(* -- failure semantics (typed completions, dirty-processor rule) --------------- *)
+
+(* The observable failure behaviour must be identical under every preset
+   and both mailbox structures: run each scenario over the full matrix. *)
+let per_preset_mailbox name body =
+  List.concat_map
+    (fun config ->
+      List.map
+        (fun (mname, mailbox) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s [%s/%s]" name config.Cfg.name mname)
+            `Quick
+            (fun () -> body config mailbox))
+        [ ("qoq", `Qoq); ("direct", `Direct) ])
+    Cfg.presets
+
+let test_failing_query_reraises config mailbox =
+  (* A raising blocking query re-raises the original exception on the
+     client — under both query flavours — and, having a rendezvous, does
+     not poison the registration. *)
+  R.run ~config ~mailbox (fun rt ->
+    let h = R.processor rt in
+    let cell = Sh.create h (ref 0) in
+    R.separate rt h (fun reg ->
+      Sh.apply reg cell incr;
+      (match Reg.query reg (fun () -> failwith "boom") with
+      | _ -> Alcotest.fail "raising query must re-raise"
+      | exception Failure _ -> ());
+      check_int "registration still serves" 1 (Sh.get reg cell (fun r -> !r))))
+
+let test_failing_call_poisons config mailbox =
+  (* A raising asynchronous call poisons the registration: the failure
+     surfaces at the next sync point, later operations fail at issue, and
+     the block exit re-raises; the handler itself survives. *)
+  R.run ~config ~mailbox (fun rt ->
+    let h = R.processor rt in
+    let cell = Sh.create h (ref 0) in
+    let at_exit = ref false in
+    (try
+       R.separate rt h (fun reg ->
+         Reg.call reg (fun () -> failwith "boom");
+         (* The query's rendezvous guarantees the failing call has been
+            served, so the poison check here is deterministic. *)
+         (match Sh.get reg cell (fun r -> !r) with
+         | _ -> Alcotest.fail "sync point must surface the poison"
+         | exception Scoop.Handler_failure (_, Failure _) -> ());
+         match Reg.call reg (fun () -> ()) with
+         | () -> Alcotest.fail "poisoned registration must fail at issue"
+         | exception Scoop.Handler_failure (_, Failure _) -> ())
+     with Scoop.Handler_failure (_, Failure _) -> at_exit := true);
+    check_bool "block exit re-raises the poison" true !at_exit;
+    R.separate rt h (fun reg ->
+      Sh.apply reg cell incr;
+      check_int "handler survives for fresh registrations" 1
+        (Sh.get reg cell (fun r -> !r))))
+
+let test_failing_query_async_rejects config mailbox =
+  (* A raising pipelined query rejects its promise; forcing re-raises on
+     the client and the registration stays clean. *)
+  R.run ~config ~mailbox (fun rt ->
+    let h = R.processor rt in
+    let cell = Sh.create h (ref 0) in
+    R.separate rt h (fun reg ->
+      Sh.apply reg cell incr;
+      let p = Reg.query_async reg (fun () -> failwith "boom") in
+      (match Scoop.Promise.await p with
+      | _ -> Alcotest.fail "forcing a rejected promise must raise"
+      | exception Failure _ -> ());
+      check_bool "rejection does not poison" false (Reg.is_poisoned reg);
+      check_int "registration still serves" 1 (Sh.get reg cell (fun r -> !r))))
+
+(* -- processor lifecycle ------------------------------------------------------- *)
+
+let test_shutdown_graceful () =
+  R.run (fun rt ->
+    let h = R.processor rt in
+    let r = ref 0 in
+    let cell = Sh.create h r in
+    R.separate rt h (fun reg ->
+      for _ = 1 to 100 do
+        Sh.apply reg cell incr
+      done);
+    R.shutdown rt;
+    (* The handler fiber has exited: the backing ref is safe to read
+       directly, and every logged call was served first. *)
+    check_int "drained before exit" 100 !r;
+    check_bool "stopped" true
+      (Scoop.Processor.lifecycle h = Scoop.Processor.Stopped);
+    R.shutdown rt;
+    check_bool "second shutdown is a no-op" true
+      (Scoop.Processor.lifecycle h = Scoop.Processor.Stopped))
+
+let test_abort_discards_pending () =
+  let s =
+    R.run (fun rt ->
+      let h = R.processor rt in
+      let r = ref 0 in
+      let cell = Sh.create h r in
+      (* Single domain: the handler fiber gets no cycles between the
+         block and the abort, so all ten calls are still pending. *)
+      R.separate rt h (fun reg ->
+        for _ = 1 to 10 do
+          Sh.apply reg cell incr
+        done);
+      R.abort rt;
+      check_int "pending calls discarded unexecuted" 0 !r;
+      check_bool "stopped (abort is not a failure)" true
+        (Scoop.Processor.lifecycle h = Scoop.Processor.Stopped);
+      Scoop.Stats.snapshot (R.stats rt))
+  in
+  check_int "aborted requests counted" 10 s.Scoop.Stats.s_aborted_requests;
+  check_int "end marker still drained" 1 s.Scoop.Stats.s_ends_drained
+
+let test_failed_lifecycle () =
+  R.run (fun rt ->
+    let h = R.processor rt in
+    (* The poison may or may not surface at block exit depending on
+       scheduling; either way the handler records the failure. *)
+    (try R.separate rt h (fun reg -> Reg.call reg (fun () -> failwith "boom"))
+     with Scoop.Handler_failure (_, Failure _) -> ());
+    R.shutdown rt;
+    check_bool "failed" true
+      (Scoop.Processor.lifecycle h = Scoop.Processor.Failed))
+
+let test_failure_counters () =
+  let s =
+    R.run (fun rt ->
+      let h = R.processor rt in
+      let cell = Sh.create h (ref 0) in
+      (try
+         R.separate rt h (fun reg ->
+           let p = Reg.query_async reg (fun () -> failwith "reject") in
+           (match Scoop.Promise.await p with
+           | _ -> Alcotest.fail "must reject"
+           | exception Failure _ -> ());
+           Reg.call reg (fun () -> failwith "poison");
+           match Sh.get reg cell (fun r -> !r) with
+           | _ -> Alcotest.fail "must be poisoned"
+           | exception Scoop.Handler_failure (_, Failure _) -> ())
+       with Scoop.Handler_failure (_, Failure _) -> ());
+      Scoop.Stats.snapshot (R.stats rt))
+  in
+  check_int "handler failures" 2 s.Scoop.Stats.s_handler_failures;
+  check_int "rejected promises" 1 s.Scoop.Stats.s_rejected_promises;
+  check_int "poisoned registrations" 1 s.Scoop.Stats.s_poisoned_registrations;
+  check_int "no aborted requests" 0 s.Scoop.Stats.s_aborted_requests
+
+(* Poisoning is per-registration: one chaos client injecting failures
+   never loses other clients' effects, and after an awaited shutdown the
+   request accounting balances — every batched request is exactly one
+   call, packaged query, pipelined query, sync, or end marker. *)
+let prop_poisoning_isolated config =
+  QCheck2.Test.make ~count:15
+    ~name:(Printf.sprintf "poisoning is per-registration [%s]" config.Cfg.name)
+    QCheck2.Gen.(list_size (int_range 2 5) (int_range 1 15))
+    (fun client_rounds ->
+      let ok = Atomic.make true in
+      let s =
+        R.run ~domains:2 ~config (fun rt ->
+          let h = R.processor rt in
+          let cell = Sh.create h (ref 0) in
+          let latch = Latch.create (List.length client_rounds) in
+          List.iteri
+            (fun i rounds ->
+              S.spawn (fun () ->
+                for _ = 1 to rounds do
+                  try
+                    R.separate rt h (fun reg ->
+                      Sh.apply reg cell incr;
+                      if i = 0 then Reg.call reg (fun () -> failwith "chaos"))
+                  with Scoop.Handler_failure (_, Failure _) -> ()
+                done;
+                Latch.count_down latch))
+            client_rounds;
+          Latch.wait latch;
+          let total =
+            R.separate rt h (fun reg -> Sh.get reg cell (fun r -> !r))
+          in
+          if total <> List.fold_left ( + ) 0 client_rounds then
+            Atomic.set ok false;
+          R.shutdown rt;
+          Scoop.Stats.snapshot (R.stats rt))
+      in
+      let accounted =
+        s.Scoop.Stats.s_calls + s.Scoop.Stats.s_packaged_queries
+        + s.Scoop.Stats.s_promises_created + s.Scoop.Stats.s_syncs_sent
+        + s.Scoop.Stats.s_ends_drained
+      in
+      Atomic.get ok
+      && s.Scoop.Stats.s_batched_requests = accounted
+      && s.Scoop.Stats.s_handler_failures
+         >= s.Scoop.Stats.s_poisoned_registrations
+      && s.Scoop.Stats.s_poisoned_registrations > 0)
+
 let test_config_by_name () =
   List.iter
     (fun c ->
@@ -823,7 +1017,25 @@ let () =
             test_trace_packaged_queries;
           Alcotest.test_case "trace event order" `Quick test_trace_event_order;
         ] );
+      ( "failure semantics",
+        per_preset_mailbox "raising query re-raises" test_failing_query_reraises
+        @ per_preset_mailbox "raising call poisons" test_failing_call_poisons
+        @ per_preset_mailbox "raising pipelined query rejects"
+            test_failing_query_async_rejects
+        @ [
+            Alcotest.test_case "failure counters" `Quick test_failure_counters;
+          ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "graceful shutdown drains" `Quick
+            test_shutdown_graceful;
+          Alcotest.test_case "abort discards pending" `Quick
+            test_abort_discards_pending;
+          Alcotest.test_case "failed handler reported" `Quick
+            test_failed_lifecycle;
+        ] );
       ( "properties",
         List.map (fun c -> qc (prop_random_programs c)) Cfg.presets
-        @ List.map (fun c -> qc (prop_query_async_equiv c)) Cfg.presets );
+        @ List.map (fun c -> qc (prop_query_async_equiv c)) Cfg.presets
+        @ List.map (fun c -> qc (prop_poisoning_isolated c)) Cfg.presets );
     ]

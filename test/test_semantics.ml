@@ -183,6 +183,59 @@ let test_fig6_queries_client_exec () =
   check_int "client-exec outer variant safe" 0
     (deadlock_count Step.qs_client_exec Examples.fig6_queries_outer)
 
+(* -- exception propagation (dirty-processor rule) ------------------------------- *)
+
+let test_fail_call_raises_at_sync mode () =
+  (* Every run serves the failing call (Failed, handler survives) and then
+     delivers the failure at the query's sync point (Raised), in that
+     order; no run deadlocks. *)
+  let runs, truncated = Explore.runs mode Examples.fail_call in
+  check_bool "not truncated" false truncated;
+  check_bool "some runs" true (runs <> []);
+  List.iter
+    (fun (r : Explore.run) ->
+      check_bool "terminates" false r.Explore.deadlocked;
+      let failed_at =
+        List.find_index
+          (function
+            | Step.Failed { handler = 10; client = 1; action = "boom" } -> true
+            | _ -> false)
+          r.Explore.labels
+      and raised_at =
+        List.find_index
+          (function
+            | Step.Raised { client = 1; target = 10; action = "boom" } -> true
+            | _ -> false)
+          r.Explore.labels
+      in
+      match (failed_at, raised_at) with
+      | Some f, Some d -> check_bool "failure precedes delivery" true (f < d)
+      | None, _ -> Alcotest.fail "no Failed transition"
+      | _, None -> Alcotest.fail "failure never delivered at the sync point")
+    runs
+
+let test_fail_call_no_sync_drops_dirt () =
+  (* Without a later sync point the dirt dies with the registration: the
+     program terminates and no run contains a Raised transition. *)
+  let runs, truncated = Explore.runs Step.qs Examples.fail_call_no_sync in
+  check_bool "not truncated" false truncated;
+  check_bool "some runs" true (runs <> []);
+  List.iter
+    (fun (r : Explore.run) ->
+      check_bool "terminates" false r.Explore.deadlocked;
+      check_bool "no delivery without a sync point" false
+        (List.exists
+           (function Step.Raised _ -> true | _ -> false)
+           r.Explore.labels))
+    runs
+
+let test_fail_call_guarantee mode () =
+  (* Failed transitions obey the same order/non-interleaving guarantee as
+     successful executions. *)
+  let violation, runs, _ = Guarantees.check_program mode Examples.fail_call in
+  check_bool "guarantee holds with failures" true (violation = None);
+  check_bool "nontrivial exploration" true (runs > 0)
+
 (* -- equivalence of the two query rules ----------------------------------------- *)
 
 let test_query_rules_equivalent () =
@@ -376,6 +429,19 @@ let () =
             test_fig6_queries_outer_safe;
           Alcotest.test_case "client-exec variant" `Quick
             test_fig6_queries_client_exec;
+        ] );
+      ( "exception propagation",
+        [
+          Alcotest.test_case "fail then sync raises (qs)" `Quick
+            (test_fail_call_raises_at_sync Step.qs);
+          Alcotest.test_case "fail then sync raises (client-exec)" `Quick
+            (test_fail_call_raises_at_sync Step.qs_client_exec);
+          Alcotest.test_case "fail then sync raises (original)" `Quick
+            (test_fail_call_raises_at_sync Step.original);
+          Alcotest.test_case "no sync point drops dirt" `Quick
+            test_fail_call_no_sync_drops_dirt;
+          Alcotest.test_case "guarantee holds with failures (qs)" `Quick
+            (test_fail_call_guarantee Step.qs);
         ] );
       ( "properties",
         [
