@@ -21,7 +21,7 @@ let all_artifacts =
   [
     "table1"; "fig16"; "table2"; "fig17"; "table3"; "table4"; "fig18";
     "fig19"; "table5"; "fig20"; "summary"; "eve"; "switches"; "micro";
-    "pipeline";
+    "pipeline"; "timeout";
   ]
 
 (* §4.3 attributes the QoQ gains to "fewer context switches, since the
@@ -303,6 +303,106 @@ let pipeline (s : H.scale) =
   let cowichan_rows = bench "cowichan" cowichan in
   prodcons_rows @ cowichan_rows
 
+(* -- timeout & backpressure ablation ---------------------------------------- *)
+
+(* Three questions about the time-aware request path:
+
+   1. What does a deadline cost when nothing ever times out?  The same
+      call+query round trip with and without a generous [?timeout] — the
+      timed variant arms a per-round timer and cancels it on fulfilment.
+   2. Do the timeout and shedding paths actually fire under overload?  A
+      wedged handler behind a bounded [`Shed_oldest] mailbox: the timed
+      query must expire and the flood must shed (CI asserts the probe's
+      [timeouts_fired]/[shed_requests]/[timer_arms] are nonzero).
+   3. What does the socket transport allocate per message after the
+      in-place decode (no [Bytes.sub] staging copy)? *)
+let timeout_ablation (s : H.scale) =
+  let module BT = Qs_benchmarks.Bench_types in
+  print_newline ();
+  print_endline
+    "timeout ablation: deadline overhead, forced-overload probe, transport \
+     allocation";
+  print_endline (String.make 72 '-');
+  let rounds = max 500 s.H.m in
+  let round_trip ?timeout () =
+    Scoop.Runtime.run ~domains:1 (fun rt ->
+      let h = Scoop.Runtime.processor rt in
+      let r = ref 0 in
+      Scoop.Runtime.separate rt h (fun reg ->
+        for _ = 1 to rounds do
+          Scoop.Registration.call reg (fun () -> incr r);
+          ignore (Scoop.Registration.query ?timeout reg (fun () -> !r) : int)
+        done))
+  in
+  let med f =
+    BT.median (List.init (max 1 s.H.reps) (fun _ -> snd (BT.timed f)))
+  in
+  let plain = med (fun () -> round_trip ()) in
+  let timed = med (fun () -> round_trip ~timeout:60.0 ()) in
+  let ns secs = secs *. 1e9 /. float_of_int rounds in
+  Printf.printf "%-36s %10.0f ns/round\n" "call+query, no deadline" (ns plain);
+  Printf.printf "%-36s %10.0f ns/round\n" "call+query, generous deadline"
+    (ns timed);
+  Printf.printf "%-36s %10.0f ns/round\n" "deadline arm+cancel overhead"
+    (ns (timed -. plain));
+  let probe =
+    Scoop.Runtime.run ~domains:2 ~bound:4 ~overflow:`Shed_oldest (fun rt ->
+      let h = Scoop.Runtime.processor rt in
+      (try
+         Scoop.Runtime.separate rt h (fun reg ->
+           (* Wedge the handler, then let a short deadline expire. *)
+           Scoop.Registration.call reg (fun () -> Qs_sched.Sched.sleep 0.05);
+           (match Scoop.Registration.query ~timeout:0.005 reg (fun () -> 0) with
+           | _ -> ()
+           | exception Scoop.Timeout -> ());
+           (* Flood the bounded mailbox: admissions past the bound shed
+              the oldest backlog (and the shed failures poison the
+              registration, caught below). *)
+           for _ = 1 to 64 do
+             Scoop.Registration.call reg (fun () -> ())
+           done;
+           (* Sync so the handler drains (and sheds) the whole flood
+              before the stats are read; the shed poison surfaces here. *)
+           Scoop.Registration.sync reg)
+       with
+      | Scoop.Handler_failure (_, Scoop.Overloaded _) | Scoop.Overloaded _ ->
+        ());
+      Scoop.Stats.assoc (Scoop.Runtime.stats rt))
+  in
+  let pv = Qs_obs.Counter.value probe in
+  Printf.printf
+    "overload probe: %d timer arms, %d timeouts fired, %d deadlines \
+     exceeded, %d shed requests\n"
+    (pv "timer_arms") (pv "timeouts_fired") (pv "deadline_exceeded")
+    (pv "shed_requests");
+  let alloc_per_msg =
+    Qs_sched.Sched.run ~domains:1 (fun () ->
+      let q = Qs_remote.Socket_queue.create () in
+      Fun.protect
+        ~finally:(fun () -> Qs_remote.Socket_queue.destroy q)
+        (fun () ->
+          let n = 2000 in
+          let payload = Array.init 64 Fun.id in
+          let w0 = Gc.minor_words () in
+          Qs_sched.Sched.spawn (fun () ->
+            for _ = 1 to n do
+              Qs_remote.Socket_queue.enqueue q payload
+            done;
+            Qs_remote.Socket_queue.close_writer q);
+          let rec drain k =
+            match Qs_remote.Socket_queue.dequeue q with
+            | Some (_ : int array) -> drain (k + 1)
+            | None -> k
+          in
+          let received = drain 0 in
+          let words = Gc.minor_words () -. w0 in
+          assert (received = n);
+          words /. float_of_int n))
+  in
+  Printf.printf "%-36s %10.0f minor words/msg (64-int payload)\n"
+    "socket transport allocation" alloc_per_msg;
+  (ns plain, ns timed, probe, alloc_per_msg)
+
 (* -- Bechamel micro-suite: one Test.make per table ------------------------- *)
 
 let micro () =
@@ -540,9 +640,26 @@ let instrumented_probe ?obs (s : H.scale) =
 let json_ints kvs =
   Qs_obs.Json.Obj (List.map (fun (k, v) -> (k, Qs_obs.Json.Int v)) kvs)
 
-let write_json path (s : H.scale) micro_rows batching_rows pipeline_rows =
+let write_json path (s : H.scale) micro_rows batching_rows pipeline_rows
+    timeout_info =
   let open Qs_obs.Json in
   let runtime_counters, sched_counters = instrumented_probe s in
+  let timeout_json =
+    match timeout_info with
+    | None -> []
+    | Some (plain_ns, timed_ns, probe, alloc) ->
+      [
+        ( "timeout",
+          Obj
+            [
+              ("query_ns_no_deadline", Float plain_ns);
+              ("query_ns_generous_deadline", Float timed_ns);
+              ("overhead_ns", Float (timed_ns -. plain_ns));
+              ("probe", json_ints probe);
+              ("transport_minor_words_per_msg", Float alloc);
+            ] );
+      ]
+  in
   let pipeline_json =
     List.map
       (fun (workload, mode, secs, snap) ->
@@ -587,7 +704,7 @@ let write_json path (s : H.scale) micro_rows batching_rows pipeline_rows =
   in
   let doc =
     Obj
-      [
+      ([
         ("suite", String "qs-bench");
         ( "config",
           Obj
@@ -600,13 +717,16 @@ let write_json path (s : H.scale) micro_rows batching_rows pipeline_rows =
         ("micro", List micro_json);
         ("mailbox_batching", List batching_json);
         ("pipeline", List pipeline_json);
+      ]
+      @ timeout_json
+      @ [
         ( "counters",
           Obj
             [
               ("runtime", json_ints runtime_counters);
               ("sched", json_ints sched_counters);
             ] );
-      ]
+      ])
   in
   write_file path doc;
   Printf.printf "\nwrote machine-readable results to %s\n" path
@@ -659,10 +779,14 @@ let run scale only json trace_out =
   if want "eve" then Report.eve (H.eve_experiment scale);
   if want "switches" then switches scale;
   let pipeline_rows = if want "pipeline" then pipeline scale else [] in
+  let timeout_info =
+    if want "timeout" then Some (timeout_ablation scale) else None
+  in
   if want "micro" then begin
     let micro_rows, batching_rows = micro () in
     match json with
-    | Some path -> write_json path scale micro_rows batching_rows pipeline_rows
+    | Some path ->
+      write_json path scale micro_rows batching_rows pipeline_rows timeout_info
     | None -> ()
   end
   else
@@ -670,7 +794,7 @@ let run scale only json trace_out =
       (fun path ->
         (* No micro rows without the micro suite; still emit the
            counters so the output is valid and self-describing. *)
-        write_json path scale [] [] pipeline_rows)
+        write_json path scale [] [] pipeline_rows timeout_info)
       json;
   Option.iter (fun path -> write_trace path scale) trace_out
 
@@ -709,7 +833,7 @@ let only_term =
     & info [ "only" ]
         ~doc:"Regenerate only the given artifact (repeatable). One of: table1 \
               fig16 table2 fig17 table3 table4 fig18 fig19 table5 fig20 \
-              summary eve switches micro pipeline.")
+              summary eve switches micro pipeline timeout.")
 
 let json_term =
   Arg.(

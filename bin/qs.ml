@@ -8,8 +8,11 @@
            (default: all) and print the removals.
      qs sim [--task t] [--lang l]
          — print simulated scalability curves from the calibrated model.
-     qs demo
-         — a small end-to-end SCOOP program with runtime statistics.
+     qs demo [--deadline SECS] [--bound N --backpressure POLICY]
+         — a small end-to-end SCOOP program with runtime statistics;
+           optionally walk through the deadline semantics (a query
+           against a wedged handler raising Scoop.Timeout) and the
+           bounded-mailbox overflow policies.
      qs faults [--mailbox m]
          — walk the failure paths (raising query, rejected promise,
            poisoned registration, aborted processor) and print the
@@ -123,11 +126,92 @@ let sim task lang =
 
 (* -- demo --------------------------------------------------------------------- *)
 
-let demo trace_flag mailbox batch spsc =
+(* Deadline walkthrough (--deadline): a blocking query against a
+   deliberately wedged handler abandons its rendezvous with
+   [Scoop.Timeout] instead of blocking forever — and because a timeout
+   does not poison the registration, the same handle still answers once
+   the handler recovers. *)
+let deadline_demo mailbox d =
+  Scoop.Runtime.run ~domains:1 ~mailbox (fun rt ->
+    let w = Scoop.Runtime.processor rt in
+    Scoop.Runtime.separate rt w (fun reg ->
+      Scoop.Registration.call reg (fun () -> Qs_sched.Sched.sleep (4.0 *. d));
+      (match Scoop.Registration.query ~timeout:d reg (fun () -> 0) with
+      | _ -> print_endline "deadline: query answered in time (unexpected here)"
+      | exception Scoop.Timeout ->
+        Printf.printf
+          "deadline: query against a handler wedged for %.2fs raised \
+           Scoop.Timeout after %.2fs\n"
+          (4.0 *. d) d);
+      let v = Scoop.Registration.query reg (fun () -> 42) in
+      Printf.printf
+        "deadline: the same registration answered %d once the handler \
+         recovered (timeouts do not poison)\n"
+        v);
+    let s = Scoop.Stats.snapshot (Scoop.Runtime.stats rt) in
+    Printf.printf "deadline: timers armed %d, timeouts fired %d\n"
+      s.Scoop.Stats.s_timer_arms s.Scoop.Stats.s_timeouts_fired)
+
+(* Backpressure walkthrough (--bound/--backpressure): wedge the handler,
+   flood its bounded mailbox, and show what each overflow policy does
+   with the backlog. *)
+let backpressure_demo mailbox bound overflow =
+  let policy =
+    match overflow with
+    | `Block -> "block"
+    | `Fail -> "fail"
+    | `Shed_oldest -> "shed"
+  in
+  let flood = 8 * bound in
+  let s =
+    Scoop.Runtime.run ~domains:2 ~mailbox ~bound ~overflow (fun rt ->
+      let w = Scoop.Runtime.processor rt in
+      let served = Scoop.Shared.create w (ref 0) in
+      (try
+         Scoop.Runtime.separate rt w (fun reg ->
+           (* The first call wedges the handler so the flood piles up. *)
+           Scoop.Shared.apply reg served (fun r ->
+             Qs_sched.Sched.sleep 0.02;
+             incr r);
+           for _ = 2 to flood do
+             Scoop.Shared.apply reg served incr
+           done;
+           Scoop.Registration.sync reg)
+       with
+      | Scoop.Overloaded id ->
+        Printf.printf
+          "backpressure[%s]: admission refused by processor %d mid-flood\n"
+          policy id
+      | Scoop.Handler_failure (id, Scoop.Overloaded _) ->
+        Printf.printf
+          "backpressure[%s]: shed calls poisoned the registration on \
+           processor %d\n"
+          policy id);
+      let r =
+        Scoop.Runtime.separate rt w (fun reg ->
+          Scoop.Shared.get reg served (fun r -> !r))
+      in
+      Printf.printf "backpressure[%s bound=%d]: %d of %d calls served\n" policy
+        bound r flood;
+      Scoop.Stats.snapshot (Scoop.Runtime.stats rt))
+  in
+  Printf.printf "backpressure[%s]: shed_requests = %d\n" policy
+    s.Scoop.Stats.s_shed_requests
+
+let demo trace_flag mailbox batch spsc deadline bound overflow =
   if batch < 1 then begin
     Printf.eprintf "qs: --batch must be >= 1 (got %d)\n" batch;
     exit 1
   end;
+  if bound < 0 then begin
+    Printf.eprintf "qs: --bound must be >= 0 (got %d)\n" bound;
+    exit 1
+  end;
+  (match deadline with
+  | Some d when d <= 0.0 ->
+    Printf.eprintf "qs: --deadline must be > 0 (got %g)\n" d;
+    exit 1
+  | _ -> ());
   let stats =
     Scoop.Runtime.run ~domains:1 ~mailbox ~batch ~spsc ~trace:trace_flag
       (fun rt ->
@@ -163,7 +247,9 @@ let demo trace_flag mailbox batch spsc =
       | None -> ());
       Scoop.Stats.snapshot (Scoop.Runtime.stats rt))
   in
-  Format.printf "runtime statistics:@.%a@." Scoop.Stats.pp_snapshot stats
+  Format.printf "runtime statistics:@.%a@." Scoop.Stats.pp_snapshot stats;
+  Option.iter (fun d -> deadline_demo mailbox d) deadline;
+  if bound > 0 then backpressure_demo mailbox bound overflow
 
 (* -- faults ------------------------------------------------------------------- *)
 
@@ -472,9 +558,42 @@ let demo_cmd =
             "Private-queue backing store: $(b,linked) (unbounded list) or \
              $(b,ring) (bounded Lamport ring).")
   in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:
+            "Also walk through the deadline semantics: a blocking query \
+             with this timeout against a wedged handler raises \
+             Scoop.Timeout without poisoning the registration.")
+  in
+  let bound =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "bound" ] ~docv:"N"
+          ~doc:
+            "Also walk through mailbox backpressure: bound each handler's \
+             admitted-but-undrained requests to $(docv) (0 = unbounded, \
+             skip the walkthrough) and flood a wedged handler.")
+  in
+  let backpressure =
+    Arg.(
+      value
+      & opt
+          (enum [ ("block", `Block); ("fail", `Fail); ("shed", `Shed_oldest) ])
+          `Block
+      & info [ "backpressure" ] ~docv:"POLICY"
+          ~doc:
+            "Overflow policy for --bound: $(b,block) (admission backs off), \
+             $(b,fail) (admission raises Scoop.Overloaded) or $(b,shed) \
+             (shed the oldest pending request, poisoning its client).")
+  in
   Cmd.v
     (Cmd.info "demo" ~doc:"Small end-to-end SCOOP program with statistics")
-    Term.(const demo $ trace $ mailbox $ batch $ spsc)
+    Term.(const demo $ trace $ mailbox $ batch $ spsc $ deadline $ bound
+          $ backpressure)
 
 let faults_cmd =
   let mailbox =

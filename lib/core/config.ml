@@ -32,6 +32,16 @@ type t = {
   dyn_sync : bool; (* dynamic sync coalescing, §3.4.1 *)
   hoisted : bool; (* benchmarks use statically sync-coalesced kernels, §3.4.2 *)
   eve : bool; (* EVE-style handler-lookup and shadow-stack handicaps, §4.5 *)
+  default_deadline : float option;
+      (* deadline (seconds) applied to blocking queries and syncs that do
+         not pass an explicit [?timeout]; [None] = wait forever *)
+  bound : int;
+      (* admission bound: max requests in flight per handler before the
+         [overflow] policy applies; 0 = unbounded (the paper's runtime) *)
+  overflow : [ `Block | `Fail | `Shed_oldest ];
+      (* what a client hitting the bound gets: back off until the handler
+         drains, an immediate [Overloaded], or admission with the oldest
+         pending request shed instead *)
 }
 
 let default_batch = 16
@@ -46,6 +56,9 @@ let none =
     dyn_sync = false;
     hoisted = false;
     eve = false;
+    default_deadline = None;
+    bound = 0;
+    overflow = `Block;
   }
 
 let dynamic = { none with name = "dynamic"; client_query = true; dyn_sync = true }
@@ -62,6 +75,9 @@ let all =
     dyn_sync = true;
     hoisted = true;
     eve = false;
+    default_deadline = None;
+    bound = 0;
+    overflow = `Block;
   }
 
 (* §4.5: the production-EiffelStudio-like baseline and the EVE/Qs retrofit
@@ -78,6 +94,9 @@ let eve_qs =
     dyn_sync = true;
     hoisted = false;
     eve = true;
+    default_deadline = None;
+    bound = 0;
+    overflow = `Block;
   }
 
 let presets = [ none; dynamic; static_; qoq; all ]
@@ -92,6 +111,12 @@ let uses_qoq t = t.mailbox = `Qoq
 let mailbox_of_string = function
   | "qoq" -> Some `Qoq
   | "direct" -> Some `Direct
+  | _ -> None
+
+let overflow_of_string = function
+  | "block" -> Some `Block
+  | "fail" -> Some `Fail
+  | "shed" | "shed_oldest" | "shed-oldest" -> Some `Shed_oldest
   | _ -> None
 
 let spsc_of_string = function

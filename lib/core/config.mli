@@ -30,6 +30,17 @@ type t = {
   dyn_sync : bool;
   hoisted : bool;
   eve : bool;
+  default_deadline : float option;
+      (** deadline (seconds) applied to blocking queries and syncs that do
+          not pass an explicit [?timeout]; [None] (every preset) = wait
+          forever *)
+  bound : int;
+      (** admission bound: max requests in flight per handler before
+          [overflow] applies; [0] (every preset) = unbounded *)
+  overflow : [ `Block | `Fail | `Shed_oldest ];
+      (** policy at the bound: back off until the handler drains ([`Block],
+          the default), raise [Scoop.Overloaded] at admission ([`Fail]), or
+          admit and shed the oldest pending request ([`Shed_oldest]) *)
 }
 
 val default_batch : int
@@ -56,5 +67,8 @@ val mailbox_of_string : string -> [ `Qoq | `Direct ] option
 
 val spsc_of_string : string -> [ `Linked | `Ring ] option
 (** ["linked"] / ["ring"]. *)
+
+val overflow_of_string : string -> [ `Block | `Fail | `Shed_oldest ] option
+(** ["block"] / ["fail"] / ["shed"]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -47,10 +47,12 @@ type pq = Request.t Qs_sched.Bqueue.Spsc.t
 type lifecycle = Running | Draining | Stopped | Failed
 
 exception Aborted of int
+exception Overloaded of int
 
 let () =
   Printexc.register_printer (function
     | Aborted id -> Some (Printf.sprintf "Scoop.Processor.Aborted(%d)" id)
+    | Overloaded id -> Some (Printf.sprintf "Scoop.Processor.Overloaded(%d)" id)
     | _ -> None)
 
 (* The two communication structures of the paper, as one closed variant:
@@ -80,6 +82,9 @@ type t = {
   failed : bool Atomic.t; (* any handler-side closure ever raised *)
   stream_closed : bool Atomic.t; (* close the request stream exactly once *)
   exited : unit Qs_sched.Ivar.t; (* filled when the handler fiber returns *)
+  (* backpressure accounting, used only when [config.bound > 0] *)
+  pending : int Atomic.t; (* admitted Call/Query requests not yet drained *)
+  shed_debt : int Atomic.t; (* drained requests still owed a shedding *)
 }
 
 (* The handler's view of its request stream.  [drain buf] blocks until at
@@ -168,6 +173,68 @@ let discard t req =
   | Request.Sync resume -> resume ()
   | Request.End -> Qs_obs.Counter.incr t.stats.Stats.ends_drained
 
+(* Backpressure: requests that count against the admission bound.  Sync
+   and End are control-flow, not work — they are always admitted, always
+   served. *)
+let countable = function
+  | Request.Call _ | Request.Query _ -> true
+  | Request.Sync _ | Request.End -> false
+
+let rec take_debt t =
+  let d = Atomic.get t.shed_debt in
+  if d <= 0 then false
+  else if Atomic.compare_and_set t.shed_debt d (d - 1) then true
+  else take_debt t
+
+(* Shed one request from the backlog: fail its completion with
+   [Overloaded] without executing it.  For a Call this poisons the
+   client's registration (the dirty-processor rule — load shedding is a
+   failure the client must observe); for a Query it rejects the promise. *)
+let shed t req =
+  match req with
+  | (Request.Call pk | Request.Query pk) as r ->
+    Qs_obs.Counter.incr t.stats.Stats.shed_requests;
+    (match t.sink with
+    | Some s -> Qs_obs.Sink.instant s ~cat:"core" ~name:"shed" ~track:t.id ()
+    | None -> ());
+    let bt = Printexc.get_callstack 0 in
+    (try pk.Request.fail (Overloaded t.id) bt with e -> log_failure t r e)
+  | Request.Sync _ | Request.End -> assert false
+
+(* Admission control, called by registrations before enqueueing a Call or
+   Query.  With [bound = 0] (every preset) this is one branch. *)
+let admit t =
+  let cap = t.config.Config.bound in
+  if cap > 0 then begin
+    match t.config.Config.overflow with
+    | `Block ->
+      (* Back off until the handler has drained below the bound.  The
+         yields keep the scheduler live, so a wedged handler shows up as
+         spinning clients, not a false deadlock. *)
+      let backoff = Qs_queues.Backoff.create () in
+      let rec go () =
+        if Atomic.fetch_and_add t.pending 1 >= cap then begin
+          Atomic.decr t.pending;
+          Qs_queues.Backoff.once backoff;
+          Qs_sched.Sched.yield ();
+          go ()
+        end
+      in
+      go ()
+    | `Fail ->
+      if Atomic.fetch_and_add t.pending 1 >= cap then begin
+        Atomic.decr t.pending;
+        Qs_obs.Counter.incr t.stats.Stats.shed_requests;
+        raise (Overloaded t.id)
+      end
+    | `Shed_oldest ->
+      (* Admit unconditionally, but every admission past the bound owes
+         the backlog one shedding, paid by the handler with the oldest
+         pending request. *)
+      if Atomic.fetch_and_add t.pending 1 >= cap then
+        Atomic.incr t.shed_debt
+  end
+
 (* The single handler loop (Fig. 7), parameterized by the mailbox. *)
 let handler_loop t mailbox =
   let buf = Array.make (max 1 t.config.Config.batch) Request.End in
@@ -180,9 +247,23 @@ let handler_loop t mailbox =
       let t0 =
         match t.sink with Some s -> Qs_obs.Sink.now s | None -> 0.0
       in
-      let step = if Atomic.get t.aborted then discard else serve in
+      let bounded = t.config.Config.bound > 0 in
+      (* The aborted flag is re-read per request, not per batch: an
+         abort (e.g. the [Runtime.shutdown ?grace] escalation) must be
+         able to discard the rest of a batch already drained. *)
       for i = 0 to n - 1 do
-        step t buf.(i);
+        let req = buf.(i) in
+        let aborted = Atomic.get t.aborted in
+        let step = if aborted then discard else serve in
+        if bounded && countable req then begin
+          Atomic.decr t.pending;
+          (* Under [`Shed_oldest] an admission past the bound left one unit
+             of debt: pay it with the oldest pending request, i.e. this
+             one.  Syncs and Ends are never shed — a shed Sync would fake
+             an established sync, a shed End would leak a registration. *)
+          if (not aborted) && take_debt t then shed t req else step t req
+        end
+        else step t req;
         buf.(i) <- Request.End (* drop the closure so the GC can reclaim it *)
       done;
       (match t.sink with
@@ -256,6 +337,8 @@ let create ?sink ~id ~config ~stats () =
       failed = Atomic.make false;
       stream_closed = Atomic.make false;
       exited = Qs_sched.Ivar.create ();
+      pending = Atomic.make 0;
+      shed_debt = Atomic.make 0;
     }
   in
   let mailbox =
@@ -301,6 +384,11 @@ let lock_handler t =
   | Direct { lock; _ } -> Qs_sched.Fiber_mutex.lock lock
   | Qoq _ -> wrong_mode "lock_handler"
 
+let lock_handler_timeout t dt =
+  match t.comm with
+  | Direct { lock; _ } -> Qs_sched.Fiber_mutex.lock_timeout lock dt
+  | Qoq _ -> wrong_mode "lock_handler_timeout"
+
 let unlock_handler t =
   match t.comm with
   | Direct { lock; _ } -> Qs_sched.Fiber_mutex.unlock lock
@@ -332,5 +420,12 @@ let abort t =
   shutdown t
 
 let await_stopped t = Qs_sched.Ivar.read t.exited
+
+(* Timed wait on the exit latch, for [Runtime.shutdown ?grace]: [false]
+   means the handler is still running at the deadline. *)
+let try_await_stopped t ~timeout =
+  match Qs_sched.Ivar.result_timeout t.exited timeout with
+  | Some _ -> true
+  | None -> false
 
 let compare_by_id a b = Int.compare a.id b.id

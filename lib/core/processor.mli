@@ -24,6 +24,11 @@ exception Aborted of int
 (** Failure completion delivered to packaged requests discarded by
     {!abort} (argument: processor id). *)
 
+exception Overloaded of int
+(** A bounded mailbox refused or shed a request (argument: processor
+    id).  Raised at admission under [`Fail]; delivered as the failure
+    completion of shed requests under [`Shed_oldest]. *)
+
 type t
 
 val create :
@@ -37,6 +42,14 @@ val id : t -> int
 
 val reserve : t -> Qs_queues.Spinlock.t
 (** The multi-reservation spinlock (§3.3). *)
+
+val admit : t -> unit
+(** Admission control for a Call or Query about to be logged.  A no-op
+    while [config.bound = 0] (every preset).  Otherwise, at the bound:
+    [`Block] backs off (yielding) until the handler drains, [`Fail]
+    raises {!Overloaded}, [`Shed_oldest] admits and marks the oldest
+    pending request for shedding.  Sync and End are never admitted
+    through this (they are control flow, not work). *)
 
 (** {1 Queue-of-queues mode ([`Qoq])}
 
@@ -54,6 +67,10 @@ val enqueue_private_queue : t -> pq -> unit
 
 val lock_handler : t -> unit
 (** Acquire the handler lock (blocks the client fiber). *)
+
+val lock_handler_timeout : t -> float -> bool
+(** {!lock_handler} bounded by that many seconds; [false] means the lock
+    was not acquired (and is not held). *)
 
 val unlock_handler : t -> unit
 
@@ -83,5 +100,10 @@ val abort : t -> unit
 val await_stopped : t -> unit
 (** Block the calling fiber until the handler fiber has exited (the
     completion latch filled at handler-loop exit). *)
+
+val try_await_stopped : t -> timeout:float -> bool
+(** Like {!await_stopped} bounded by [timeout] seconds; [false] means
+    the handler was still running at the deadline (the
+    [Runtime.shutdown ?grace] escalation signal). *)
 
 val compare_by_id : t -> t -> int

@@ -84,6 +84,23 @@ let touch t =
   | Some eve -> Eve.lookup eve (Processor.id t.proc)
   | None -> ()
 
+(* Effective deadline of a blocking operation: the explicit [?timeout]
+   if given, else the configuration's [default_deadline]. *)
+let effective_timeout t explicit =
+  match explicit with
+  | Some _ -> explicit
+  | None -> t.ctx.Ctx.config.Config.default_deadline
+
+(* A request-path deadline expired before fulfilment.  Deliberately no
+   poisoning: a timeout is a client-side decision to stop waiting, not a
+   handler failure — the handler will still serve the request, and the
+   registration stays usable. *)
+let timed_out t =
+  let stats = t.ctx.Ctx.stats in
+  Qs_obs.Counter.incr stats.Stats.timeouts_fired;
+  Qs_obs.Counter.incr stats.Stats.deadline_exceeded;
+  raise Qs_sched.Timer.Timeout
+
 let call t f =
   touch t;
   Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.calls;
@@ -91,6 +108,7 @@ let call t f =
      work again and may be mid-execution during subsequent client reads. *)
   t.synced <- false;
   t.logged <- t.logged + 1;
+  Processor.admit t.proc;
   let fail = poison t in
   match t.ctx.Ctx.trace with
   | None -> t.enqueue (Request.Call { run = f; fail })
@@ -111,19 +129,36 @@ let call t f =
            fail;
          })
 
-let force_sync t =
+let force_sync ?timeout t =
   Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.syncs_sent;
+  let round_trip () =
+    match effective_timeout t timeout with
+    | None ->
+      Qs_sched.Sched.suspend (fun resume -> t.enqueue (Request.Sync resume))
+    | Some dt -> (
+      Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.timer_arms;
+      match
+        Qs_sched.Sched.suspend_timeout
+          (fun resume -> t.enqueue (Request.Sync resume))
+          dt
+      with
+      | `Resumed -> ()
+      | `Timed_out ->
+        (* The Sync request stays logged; when the handler reaches it the
+           resumer is a no-op (its claim was lost to the timer).  The
+           synced status is *not* established. *)
+        timed_out t)
+  in
   (match t.ctx.Ctx.trace with
-  | None ->
-    Qs_sched.Sched.suspend (fun resume -> t.enqueue (Request.Sync resume))
+  | None -> round_trip ()
   | Some tr ->
     let t0 = Trace.now tr in
-    Qs_sched.Sched.suspend (fun resume -> t.enqueue (Request.Sync resume));
+    round_trip ();
     Trace.record tr ~proc:(Processor.id t.proc)
       (Trace.Sync_round_trip (Trace.now tr -. t0)));
   t.synced <- true
 
-let sync t =
+let sync ?timeout t =
   touch t;
   if t.synced && t.ctx.Ctx.config.Config.dyn_sync then begin
     Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.syncs_elided;
@@ -131,22 +166,23 @@ let sync t =
     | Some tr -> Trace.record tr ~proc:(Processor.id t.proc) Trace.Sync_elided
     | None -> ()
   end
-  else force_sync t;
+  else force_sync ?timeout t;
   (* The sync point is where a dirty handler surfaces (SCOOP raises the
      pending exception when client and handler meet): by the time the
      round trip completed, every previously logged call has been served
      and any failure among them recorded. *)
   check_poison t
 
-let query t f =
+let query ?timeout t f =
   touch t;
   Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.queries;
   if t.ctx.Ctx.config.Config.client_query then begin
     (* Modified query rule (§3.2): synchronize, then run [f] on the client.
        No packaging, no result transfer, and the OCaml compiler sees the
        call statically.  A raising [f] raises here naturally; a failure
-       among the previously logged calls surfaces from [sync]. *)
-    sync t;
+       among the previously logged calls surfaces from [sync].  The
+       deadline bounds the sync round trip — the only blocking part. *)
+    sync ?timeout t;
     f ()
   end
   else begin
@@ -160,6 +196,7 @@ let query t f =
     in
     let result = Qs_sched.Ivar.create () in
     t.logged <- t.logged + 1;
+    Processor.admit t.proc;
     t.enqueue
       (Request.Call
          {
@@ -168,7 +205,18 @@ let query t f =
              (fun e bt ->
                ignore (Qs_sched.Ivar.try_fill_error ~bt result e : bool));
          });
-    let outcome = Qs_sched.Ivar.result result in
+    let outcome =
+      match effective_timeout t timeout with
+      | None -> Qs_sched.Ivar.result result
+      | Some dt -> (
+        Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.timer_arms;
+        match Qs_sched.Ivar.result_timeout result dt with
+        | Some outcome -> outcome
+        | None ->
+          (* The packaged call stays logged and will still run; only the
+             rendezvous is abandoned.  No poisoning, no synced status. *)
+          timed_out t)
+    in
     (match t.ctx.Ctx.trace with
     | Some tr ->
       Trace.record tr ~proc:(Processor.id t.proc)
@@ -233,6 +281,7 @@ let query_async t f =
       Trace.record tr ~proc (Trace.Query_pipelined (Trace.now tr -. t0)))
   | None -> ());
   let proc = Processor.id t.proc in
+  Processor.admit t.proc;
   t.enqueue
     (Request.Query
        {

@@ -22,7 +22,7 @@ val call : t -> (unit -> unit) -> unit
     separate block's exit.
     @raise Handler_failure if already poisoned. *)
 
-val query : t -> (unit -> 'a) -> 'a
+val query : ?timeout:float -> t -> (unit -> 'a) -> 'a
 (** Execute a synchronous query.  Depending on the runtime configuration
     this either packages [f] for the handler and waits for the result
     (Fig. 10a) or synchronizes with the handler and runs [f] on the client
@@ -32,7 +32,14 @@ val query : t -> (unit -> 'a) -> 'a
     Failures are routed identically in both flavours: a raising [f]
     re-raises the exception here (the query has a rendezvous, so it does
     not poison the registration), while a failure among the previously
-    logged calls raises [Handler_failure] — the earlier failure wins. *)
+    logged calls raises [Handler_failure] — the earlier failure wins.
+
+    [?timeout] (default: the configuration's [default_deadline]) bounds
+    the blocking part — the result round trip (packaged flavour) or the
+    sync (client-executed flavour).  At the deadline the query raises
+    {!Qs_sched.Timer.Timeout} ([Scoop.Timeout]) {e without} poisoning
+    the registration: the handler still serves the request, and
+    subsequent operations through the handle remain valid. *)
 
 val query_async : t -> (unit -> 'a) -> 'a Qs_sched.Promise.t
 (** Issue a promise-pipelined query: package [f] for the handler and
@@ -55,12 +62,15 @@ val query_async : t -> (unit -> 'a) -> 'a Qs_sched.Promise.t
     still open.  Forcing after the block closed is allowed and returns
     the value, but no longer updates the registration. *)
 
-val sync : t -> unit
+val sync : ?timeout:float -> t -> unit
 (** Wait until the handler has drained every request logged through this
     registration.  Elided dynamically when the configuration enables
     sync coalescing and the handler is already synced (§3.4.1).  After
     [sync] returns the client may read the handler's data directly until
-    it logs the next asynchronous call.
+    it logs the next asynchronous call.  [?timeout] (default: the
+    configuration's [default_deadline]) bounds the round trip; at the
+    deadline the sync raises {!Qs_sched.Timer.Timeout} without poisoning
+    the registration or establishing the synced status.
     @raise Handler_failure if any previously logged call failed — the
     sync point is where a dirty handler surfaces. *)
 
@@ -85,4 +95,4 @@ val make :
   proc:Processor.t -> ctx:Ctx.t -> enqueue:(Request.t -> unit) -> t
 
 val close : t -> unit
-val force_sync : t -> unit
+val force_sync : ?timeout:float -> t -> unit

@@ -10,7 +10,7 @@ type t = {
    they are overridable per run without defining a new preset: [mailbox]
    swaps the communication structure, [batch] the drain width, [spsc] the
    private-queue backing. *)
-let override ?mailbox ?batch ?spsc config =
+let override ?mailbox ?batch ?spsc ?deadline ?bound ?overflow config =
   let config =
     match mailbox with
     | Some m -> { config with Config.mailbox = m }
@@ -23,8 +23,27 @@ let override ?mailbox ?batch ?spsc config =
       { config with Config.batch = b }
     | None -> config
   in
-  match spsc with
-  | Some s -> { config with Config.spsc = s }
+  let config =
+    match spsc with
+    | Some s -> { config with Config.spsc = s }
+    | None -> config
+  in
+  let config =
+    match deadline with
+    | Some d ->
+      if d <= 0.0 then invalid_arg "Scoop.Runtime: deadline must be > 0";
+      { config with Config.default_deadline = Some d }
+    | None -> config
+  in
+  let config =
+    match bound with
+    | Some b ->
+      if b < 0 then invalid_arg "Scoop.Runtime: bound must be >= 0";
+      { config with Config.bound = b }
+    | None -> config
+  in
+  match overflow with
+  | Some p -> { config with Config.overflow = p }
   | None -> config
 
 (* [obs] wins over [trace]: both enable tracing, but [obs] lets the
@@ -35,13 +54,13 @@ let resolve_sink ?obs ~trace () =
   | Some _ as s -> s
   | None -> if trace then Some (Qs_obs.Sink.create ()) else None
 
-let create ?(config = Config.all) ?mailbox ?batch ?spsc ?(trace = false) ?obs ()
-    =
+let create ?(config = Config.all) ?mailbox ?batch ?spsc ?deadline ?bound
+    ?overflow ?(trace = false) ?obs () =
   {
     ctx =
       Ctx.create
         ?sink:(resolve_sink ?obs ~trace ())
-        (override ?mailbox ?batch ?spsc config);
+        (override ?mailbox ?batch ?spsc ?deadline ?bound ?overflow config);
     procs = Qs_queues.Treiber_stack.create ();
     next_id = Atomic.make 0;
   }
@@ -79,11 +98,33 @@ let drain_procs t close =
   in
   pop []
 
-let shutdown t =
+let shutdown ?grace t =
   (* Close every stream first (so sibling handlers drain concurrently),
      then await each completion latch: when [shutdown] returns, every
-     handler fiber has exited and all counters are final. *)
-  List.iter Processor.await_stopped (drain_procs t Processor.shutdown)
+     handler fiber has exited and all counters are final.
+
+     With [?grace], the awaits share one absolute deadline.  Handlers
+     still running when it expires are escalated to [Processor.abort] —
+     their remaining packaged requests fail with [Aborted] — and then
+     awaited without bound: abort cannot un-wedge a closure that never
+     returns, but it does bound the *backlog*, which is the common way a
+     drain overruns. *)
+  let procs = drain_procs t Processor.shutdown in
+  match grace with
+  | None -> List.iter Processor.await_stopped procs
+  | Some g ->
+    let deadline = Qs_sched.Timer.now () +. Float.max 0.0 g in
+    let laggards =
+      List.filter
+        (fun proc ->
+          let remaining = deadline -. Qs_sched.Timer.now () in
+          not
+            (remaining > 0.0
+            && Processor.try_await_stopped proc ~timeout:remaining))
+        procs
+    in
+    List.iter Processor.abort laggards;
+    List.iter Processor.await_stopped laggards
 
 let abort t =
   List.iter Processor.await_stopped (drain_procs t Processor.abort)
@@ -94,21 +135,28 @@ let abort t =
    here could hang the very error path that is trying to report them. *)
 let quench t = ignore (drain_procs t Processor.shutdown : Processor.t list)
 
-let separate t proc body = Separate.one t.ctx proc body
-let separate2 t p1 p2 body = Separate.two t.ctx p1 p2 body
-let separate_list t procs body = Separate.many t.ctx procs body
-let separate_when t proc ~pred body = Separate.when_ t.ctx proc ~pred body
+let separate ?timeout t proc body = Separate.one ?timeout t.ctx proc body
+let separate2 ?timeout t p1 p2 body = Separate.two ?timeout t.ctx p1 p2 body
 
-let separate_list_when t procs ~pred body =
-  Separate.many_when t.ctx procs ~pred body
+let separate_list ?timeout t procs body =
+  Separate.many ?timeout t.ctx procs body
 
-let run ?(domains = 1) ?(config = Config.all) ?mailbox ?batch ?spsc
-    ?(trace = false) ?obs ?on_stall ?on_counters main =
+let separate_when ?timeout t proc ~pred body =
+  Separate.when_ ?timeout t.ctx proc ~pred body
+
+let separate_list_when ?timeout t procs ~pred body =
+  Separate.many_when ?timeout t.ctx procs ~pred body
+
+let run ?(domains = 1) ?(config = Config.all) ?mailbox ?batch ?spsc ?deadline
+    ?bound ?overflow ?(trace = false) ?obs ?on_stall ?on_counters main =
   (* Build the sink before the scheduler starts so its workers share it:
      one sink then collects scheduler, handler and client events. *)
   let sink = resolve_sink ?obs ~trace () in
   Qs_sched.Sched.run ~domains ?on_stall ?on_counters ?obs:sink (fun () ->
-    let t = create ~config ?mailbox ?batch ?spsc ?obs:sink () in
+    let t =
+      create ~config ?mailbox ?batch ?spsc ?deadline ?bound ?overflow
+        ?obs:sink ()
+    in
     match main t with
     | v ->
       shutdown t;

@@ -17,6 +17,9 @@ val create :
   ?mailbox:[ `Qoq | `Direct ] ->
   ?batch:int ->
   ?spsc:[ `Linked | `Ring ] ->
+  ?deadline:float ->
+  ?bound:int ->
+  ?overflow:[ `Block | `Fail | `Shed_oldest ] ->
   ?trace:bool ->
   ?obs:Qs_obs.Sink.t ->
   unit ->
@@ -24,7 +27,11 @@ val create :
 (** Create a runtime inside an already-running scheduler.  [config]
     defaults to {!Config.all} (the full SCOOP/Qs runtime); [mailbox],
     [batch] and [spsc] override the corresponding request-path fields of
-    [config] (see {!Config.t}); [trace] enables detailed event tracing
+    [config] (see {!Config.t}); [deadline], [bound] and [overflow]
+    override the time-awareness fields ([deadline] sets
+    [default_deadline], the implicit [?timeout] of blocking queries and
+    syncs; [bound]/[overflow] configure bounded mailboxes — see
+    {!Config.t}); [trace] enables detailed event tracing
     (see {!Trace}) over a fresh private sink, while [obs] (which
     implies [trace]) supplies the sink — pass the sink already attached
     to the scheduler to get all layers' events in one place.
@@ -36,6 +43,9 @@ val run :
   ?mailbox:[ `Qoq | `Direct ] ->
   ?batch:int ->
   ?spsc:[ `Linked | `Ring ] ->
+  ?deadline:float ->
+  ?bound:int ->
+  ?overflow:[ `Block | `Fail | `Shed_oldest ] ->
   ?trace:bool ->
   ?obs:Qs_obs.Sink.t ->
   ?on_stall:[ `Raise | `Warn ] ->
@@ -59,39 +69,53 @@ val processor : t -> Processor.t
 
 val processors : t -> int -> Processor.t list
 
-val separate : t -> Processor.t -> (Registration.t -> 'a) -> 'a
+val separate : ?timeout:float -> t -> Processor.t -> (Registration.t -> 'a) -> 'a
 (** [separate rt h body] is SCOOP's [separate h do body end]. *)
 
 val separate2 :
-  t -> Processor.t -> Processor.t ->
+  ?timeout:float -> t -> Processor.t -> Processor.t ->
   (Registration.t -> Registration.t -> 'a) -> 'a
 (** Atomic two-handler reservation (paper §2.4, Fig. 11). *)
 
-val separate_list : t -> Processor.t list -> (Registration.t list -> 'a) -> 'a
+val separate_list :
+  ?timeout:float -> t -> Processor.t list -> (Registration.t list -> 'a) -> 'a
 
 val separate_when :
+  ?timeout:float ->
   t -> Processor.t -> pred:(Registration.t -> bool) -> (Registration.t -> 'a) -> 'a
 (** Separate block with a wait condition (SCOOP's precondition-as-wait
     semantics): the block body runs only once [pred] holds, evaluated
     under the block's own registration; until then the reservation is
     released and retried.  The failed attempts are counted in
-    {!Stats.t.wait_retries}. *)
+    {!Stats.t.wait_retries}.
+
+    For every [separate*] function, [?timeout] bounds the blocking part
+    of reservation (handler locks in lock mode; the whole retry loop for
+    the wait-condition variants, as an absolute deadline fixed at entry)
+    and raises {!Qs_sched.Timer.Timeout} ([Scoop.Timeout]) at the
+    deadline with no handler left reserved. *)
 
 val separate_list_when :
+  ?timeout:float ->
   t ->
   Processor.t list ->
   pred:(Registration.t list -> bool) ->
   (Registration.t list -> 'a) ->
   'a
 
-val shutdown : t -> unit
+val shutdown : ?grace:float -> t -> unit
 (** Graceful drain of every processor created so far: close their
     request streams, then await each handler's completion latch.  When
     it returns, every handler fiber has exited ([Stopped] or [Failed])
     and all {!Stats} counters are final.  Idempotent — a second call is
     a no-op; done automatically when {!run}'s [main] returns normally
     (on an exceptional exit the streams are closed but not awaited, so a
-    wedged client fiber cannot hang the error path). *)
+    wedged client fiber cannot hang the error path).
+
+    [?grace] bounds the drain: handlers still running that many seconds
+    after the streams closed are escalated to {!abort} — their remaining
+    packaged requests fail with {!Processor.Aborted} — and then awaited.
+    The grace period bounds the backlog, not a single wedged closure. *)
 
 val abort : t -> unit
 (** Like {!shutdown}, but processors {e abort}: still-pending packaged

@@ -12,6 +12,8 @@ module Shared = Shared
 module Trace = Trace
 
 exception Handler_failure = Registration.Handler_failure
+exception Timeout = Qs_sched.Timer.Timeout
+exception Overloaded = Processor.Overloaded
 
 module Internal = struct
   module Ctx = Ctx

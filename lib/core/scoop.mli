@@ -53,12 +53,30 @@ exception Handler_failure of int * exn
     separate block's exit.  Carries the processor id and the original
     exception.  (Same exception as {!Registration.Handler_failure}.) *)
 
+exception Timeout
+(** A deadline expired: a blocking query, sync, promise force,
+    reservation or wait condition given a [?timeout] (or running under
+    the configuration's [default_deadline]) did not complete in time.
+    The operation is abandoned {e without} poisoning the registration —
+    the handler still serves what was logged, and the handle stays
+    usable.  (Same exception as [Qs_sched.Timer.Timeout].) *)
+
+exception Overloaded of int
+(** A bounded mailbox ([Config.bound] > 0) refused or shed a request on
+    the processor with that id: raised at admission under the [`Fail]
+    overflow policy, and delivered as the failure completion — poisoning
+    the registration like any failed call — when [`Shed_oldest] sheds a
+    logged request.  (Same exception as {!Processor.Overloaded}.) *)
+
 val run :
   ?domains:int ->
   ?config:Config.t ->
   ?mailbox:[ `Qoq | `Direct ] ->
   ?batch:int ->
   ?spsc:[ `Linked | `Ring ] ->
+  ?deadline:float ->
+  ?bound:int ->
+  ?overflow:[ `Block | `Fail | `Shed_oldest ] ->
   ?trace:bool ->
   ?obs:Qs_obs.Sink.t ->
   ?on_stall:[ `Raise | `Warn ] ->

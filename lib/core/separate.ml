@@ -22,12 +22,35 @@
    handler has not reached by exit time surfaces at the next sync point
    with that handler instead. *)
 
+(* A reservation or wait-condition deadline expired.  Reservations are
+   the blocking half of the separate rule only in lock mode (and during
+   wait-condition retries in either mode): queue-of-queues reservation
+   is one asynchronous enqueue and never waits, so there the deadline
+   only bounds the retry loop of [many_when]. *)
+let reservation_timed_out ctx =
+  Qs_obs.Counter.incr ctx.Ctx.stats.Stats.deadline_exceeded;
+  raise Qs_sched.Timer.Timeout
+
+(* Acquire one handler lock within the time remaining to an absolute
+   deadline ([None] = wait forever). *)
+let lock_within ctx proc deadline =
+  match deadline with
+  | None -> Processor.lock_handler proc
+  | Some d ->
+    let remaining = d -. Qs_sched.Timer.now () in
+    if remaining <= 0.0 || not (Processor.lock_handler_timeout proc remaining)
+    then reservation_timed_out ctx
+
+let deadline_of_timeout = function
+  | None -> None
+  | Some dt -> Some (Qs_sched.Timer.now () +. Float.max 0.0 dt)
+
 let trace_reserved ctx proc =
   match ctx.Ctx.trace with
   | Some tr -> Trace.record tr ~proc:(Processor.id proc) Trace.Reserved
   | None -> ()
 
-let enter_one ctx proc =
+let enter_one ?deadline ctx proc =
   Qs_obs.Counter.incr ctx.Ctx.stats.Stats.reservations;
   trace_reserved ctx proc;
   if Config.uses_qoq ctx.Ctx.config then begin
@@ -36,7 +59,7 @@ let enter_one ctx proc =
     Registration.make ~proc ~ctx ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq)
   end
   else begin
-    Processor.lock_handler proc;
+    lock_within ctx proc deadline;
     Registration.make ~proc ~ctx ~enqueue:(Processor.enqueue_direct proc)
   end
 
@@ -45,8 +68,8 @@ let exit_one ctx reg =
   if not (Config.uses_qoq ctx.Ctx.config) then
     Processor.unlock_handler (Registration.processor reg)
 
-let one ctx proc body =
-  let reg = enter_one ctx proc in
+let one ?timeout ctx proc body =
+  let reg = enter_one ?deadline:(deadline_of_timeout timeout) ctx proc in
   let v = Fun.protect ~finally:(fun () -> exit_one ctx reg) (fun () -> body reg) in
   Registration.check_poison reg;
   v
@@ -56,7 +79,7 @@ let check_distinct procs =
   if List.length (List.sort_uniq Int.compare ids) <> List.length ids then
     invalid_arg "Scoop.Separate: the same processor reserved twice"
 
-let enter_many ctx procs =
+let enter_many ?deadline ctx procs =
   Qs_obs.Counter.incr ctx.Ctx.stats.Stats.reservations;
   Qs_obs.Counter.incr ctx.Ctx.stats.Stats.multi_reservations;
   List.iter (trace_reserved ctx) procs;
@@ -78,8 +101,19 @@ let enter_many ctx procs =
   end
   else begin
     (* Lock mode: take the handler locks in id order (atomic w.r.t. other
-       multi-reservers and single reservers alike). *)
-    List.iter Processor.lock_handler sorted;
+       multi-reservers and single reservers alike).  Under a deadline,
+       a late lock releases everything already held — a timed-out
+       reservation must leave no handler reserved. *)
+    let rec take held = function
+      | [] -> ()
+      | p :: rest -> (
+        (try lock_within ctx p deadline
+         with e ->
+           List.iter Processor.unlock_handler held;
+           raise e);
+        take (p :: held) rest)
+    in
+    take [] sorted;
     List.map
       (fun p ->
         Registration.make ~proc:p ~ctx ~enqueue:(Processor.enqueue_direct p))
@@ -90,12 +124,12 @@ let exit_many ctx regs =
   (* endMany: signal END to every reserved handler (§2.4). *)
   List.iter (fun reg -> exit_one ctx reg) regs
 
-let many ctx procs body =
+let many ?timeout ctx procs body =
   match procs with
   | [] -> body []
-  | [ p ] -> one ctx p (fun reg -> body [ reg ])
+  | [ p ] -> one ?timeout ctx p (fun reg -> body [ reg ])
   | _ ->
-    let regs = enter_many ctx procs in
+    let regs = enter_many ?deadline:(deadline_of_timeout timeout) ctx procs in
     let v =
       Fun.protect ~finally:(fun () -> exit_many ctx regs) (fun () -> body regs)
     in
@@ -106,7 +140,7 @@ let many ctx procs body =
    entry so the registrations come back as a typed pair: same spinlock
    protocol as [enter_many] (acquire in id order, release in reverse)
    specialized to two handlers, no intermediate lists to destructure. *)
-let enter_two ctx p1 p2 =
+let enter_two ?deadline ctx p1 p2 =
   Qs_obs.Counter.incr ctx.Ctx.stats.Stats.reservations;
   Qs_obs.Counter.incr ctx.Ctx.stats.Stats.multi_reservations;
   trace_reserved ctx p1;
@@ -131,14 +165,17 @@ let enter_two ctx p1 p2 =
         ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq2) )
   end
   else begin
-    Processor.lock_handler lo;
-    Processor.lock_handler hi;
+    lock_within ctx lo deadline;
+    (try lock_within ctx hi deadline
+     with e ->
+       Processor.unlock_handler lo;
+       raise e);
     ( Registration.make ~proc:p1 ~ctx ~enqueue:(Processor.enqueue_direct p1),
       Registration.make ~proc:p2 ~ctx ~enqueue:(Processor.enqueue_direct p2) )
   end
 
-let two ctx p1 p2 body =
-  let r1, r2 = enter_two ctx p1 p2 in
+let two ?timeout ctx p1 p2 body =
+  let r1, r2 = enter_two ?deadline:(deadline_of_timeout timeout) ctx p1 p2 in
   let v =
     Fun.protect
       ~finally:(fun () ->
@@ -165,11 +202,21 @@ let two ctx p1 p2 body =
    hammering the handlers' reservation path with retry traffic.  Retries
    that happen under an escalated pause are counted separately
    ([wait_backoffs]) as the contention detail of [wait_retries]. *)
-let many_when ctx procs ~pred body =
+let many_when ?timeout ctx procs ~pred body =
   let backoff = Qs_queues.Backoff.create () in
+  (* The deadline is absolute, fixed at entry: it bounds the whole wait
+     (every reservation and failed evaluation), not each retry. *)
+  let deadline = deadline_of_timeout timeout in
+  let remaining () =
+    match deadline with
+    | None -> None
+    | Some d ->
+      let r = d -. Qs_sched.Timer.now () in
+      if r <= 0.0 then reservation_timed_out ctx else Some r
+  in
   let rec retry () =
     let outcome =
-      many ctx procs (fun regs ->
+      many ?timeout:(remaining ()) ctx procs (fun regs ->
         if pred regs then Some (body regs) else None)
     in
     match outcome with
@@ -180,11 +227,12 @@ let many_when ctx procs ~pred body =
         Qs_obs.Counter.incr ctx.Ctx.stats.Stats.wait_backoffs;
       Qs_queues.Backoff.once backoff;
       Qs_sched.Sched.yield ();
+      ignore (remaining () : float option);
       retry ()
   in
   retry ()
 
-let when_ ctx proc ~pred body =
-  many_when ctx [ proc ]
+let when_ ?timeout ctx proc ~pred body =
+  many_when ?timeout ctx [ proc ]
     ~pred:(fun regs -> pred (List.hd regs))
     (fun regs -> body (List.hd regs))

@@ -10,13 +10,21 @@
     the block raises {!Registration.Handler_failure} after the body has
     completed normally and the handlers are released.  A body that
     raises on its own keeps its exception — the poison check never runs
-    inside the release path. *)
+    inside the release path.
 
-val one : Ctx.t -> Processor.t -> (Registration.t -> 'a) -> 'a
+    [?timeout] bounds the {e blocking} part of reservation — handler-lock
+    acquisition in lock mode, and for the wait-condition variants the
+    whole retry loop (the deadline is absolute, fixed at entry).
+    Queue-of-queues reservation is one asynchronous enqueue and never
+    waits, so plain blocks ignore the deadline there.  At the deadline
+    the block raises {!Qs_sched.Timer.Timeout} ([Scoop.Timeout]) with no
+    handler left reserved. *)
+
+val one : ?timeout:float -> Ctx.t -> Processor.t -> (Registration.t -> 'a) -> 'a
 (** Single-handler separate block (the optimized case of Fig. 8). *)
 
 val two :
-  Ctx.t -> Processor.t -> Processor.t ->
+  ?timeout:float -> Ctx.t -> Processor.t -> Processor.t ->
   (Registration.t -> Registration.t -> 'a) -> 'a
 (** Two-handler atomic reservation (Fig. 11), with a dedicated pairwise
     entry path — the registrations are passed as two typed arguments, not
@@ -24,12 +32,13 @@ val two :
     @raise Invalid_argument if both arguments are the same processor. *)
 
 val many :
-  Ctx.t -> Processor.t list -> (Registration.t list -> 'a) -> 'a
+  ?timeout:float -> Ctx.t -> Processor.t list -> (Registration.t list -> 'a) -> 'a
 (** Atomic multi-handler reservation; registrations are returned in the
     same order as the argument processors.
     @raise Invalid_argument if a processor appears twice. *)
 
 val when_ :
+  ?timeout:float ->
   Ctx.t ->
   Processor.t ->
   pred:(Registration.t -> bool) ->
@@ -41,6 +50,7 @@ val when_ :
     holds when the body starts. *)
 
 val many_when :
+  ?timeout:float ->
   Ctx.t ->
   Processor.t list ->
   pred:(Registration.t list -> bool) ->

@@ -33,6 +33,10 @@ type t = {
   poisoned_registrations : Qs_obs.Counter.t; (* registrations dirtied by a failed call *)
   rejected_promises : Qs_obs.Counter.t; (* pipelined queries resolved with an exception *)
   aborted_requests : Qs_obs.Counter.t; (* packaged requests discarded by abort *)
+  timer_arms : Qs_obs.Counter.t; (* deadline timers armed by the request path *)
+  timeouts_fired : Qs_obs.Counter.t; (* armed deadlines that expired *)
+  deadline_exceeded : Qs_obs.Counter.t; (* client operations that raised Timeout *)
+  shed_requests : Qs_obs.Counter.t; (* requests refused or shed by backpressure *)
 }
 
 let create () =
@@ -62,6 +66,10 @@ let create () =
   let poisoned_registrations = c "poisoned_registrations" in
   let rejected_promises = c "rejected_promises" in
   let aborted_requests = c "aborted_requests" in
+  let timer_arms = c "timer_arms" in
+  let timeouts_fired = c "timeouts_fired" in
+  let deadline_exceeded = c "deadline_exceeded" in
+  let shed_requests = c "shed_requests" in
   {
     registry;
     processors;
@@ -86,6 +94,10 @@ let create () =
     poisoned_registrations;
     rejected_promises;
     aborted_requests;
+    timer_arms;
+    timeouts_fired;
+    deadline_exceeded;
+    shed_requests;
   }
 
 let registry t = t.registry
@@ -114,6 +126,10 @@ type snapshot = {
   s_poisoned_registrations : int;
   s_rejected_promises : int;
   s_aborted_requests : int;
+  s_timer_arms : int;
+  s_timeouts_fired : int;
+  s_deadline_exceeded : int;
+  s_shed_requests : int;
 }
 
 let snapshot t =
@@ -141,6 +157,10 @@ let snapshot t =
     s_poisoned_registrations = g t.poisoned_registrations;
     s_rejected_promises = g t.rejected_promises;
     s_aborted_requests = g t.aborted_requests;
+    s_timer_arms = g t.timer_arms;
+    s_timeouts_fired = g t.timeouts_fired;
+    s_deadline_exceeded = g t.deadline_exceeded;
+    s_shed_requests = g t.shed_requests;
   }
 
 let diff later earlier =
@@ -170,6 +190,11 @@ let diff later earlier =
       later.s_poisoned_registrations - earlier.s_poisoned_registrations;
     s_rejected_promises = later.s_rejected_promises - earlier.s_rejected_promises;
     s_aborted_requests = later.s_aborted_requests - earlier.s_aborted_requests;
+    s_timer_arms = later.s_timer_arms - earlier.s_timer_arms;
+    s_timeouts_fired = later.s_timeouts_fired - earlier.s_timeouts_fired;
+    s_deadline_exceeded =
+      later.s_deadline_exceeded - earlier.s_deadline_exceeded;
+    s_shed_requests = later.s_shed_requests - earlier.s_shed_requests;
   }
 
 (* Mean requests delivered per handler wakeup: the batching efficiency
@@ -199,11 +224,14 @@ let pp_snapshot ppf s =
      wait retries:      %d (backoff escalations: %d)@,\
      handler wakeups:   %d (requests: %d, mean batch: %.2f)@,\
      ends drained:      %d@,\
-     handler failures:  %d (poisoned regs: %d, rejected promises: %d, aborted: %d)@]"
+     handler failures:  %d (poisoned regs: %d, rejected promises: %d, aborted: %d)@,\
+     deadlines:         %d armed, %d fired, %d exceeded@,\
+     shed requests:     %d@]"
     s.s_processors s.s_reservations s.s_multi_reservations s.s_calls
     s.s_queries s.s_packaged_queries s.s_promises_created
     s.s_promises_fulfilled s.s_promises_ready s.s_promises_blocked
     s.s_syncs_sent s.s_syncs_elided s.s_eve_lookups s.s_wait_retries
     s.s_wait_backoffs s.s_handler_wakeups s.s_batched_requests (mean_batch s)
     s.s_ends_drained s.s_handler_failures s.s_poisoned_registrations
-    s.s_rejected_promises s.s_aborted_requests
+    s.s_rejected_promises s.s_aborted_requests s.s_timer_arms
+    s.s_timeouts_fired s.s_deadline_exceeded s.s_shed_requests

@@ -47,6 +47,18 @@ type t = {
       (** pipelined query promises resolved with an exception *)
   aborted_requests : Qs_obs.Counter.t;
       (** packaged requests discarded unexecuted by {!Processor.abort} *)
+  timer_arms : Qs_obs.Counter.t;
+      (** deadline timers armed by the request path (timed queries and
+          syncs) — the per-operation cost knob of the timeout ablation *)
+  timeouts_fired : Qs_obs.Counter.t;
+      (** armed request-path deadlines that expired before fulfilment *)
+  deadline_exceeded : Qs_obs.Counter.t;
+      (** client operations that raised [Scoop.Timeout] (includes
+          wait-condition and reservation deadlines, which bound without
+          arming a timer) *)
+  shed_requests : Qs_obs.Counter.t;
+      (** requests refused at admission ([`Fail]) or shed from the
+          backlog ([`Shed_oldest]) by a bounded mailbox *)
 }
 
 val create : unit -> t
@@ -79,6 +91,10 @@ type snapshot = {
   s_poisoned_registrations : int;
   s_rejected_promises : int;
   s_aborted_requests : int;
+  s_timer_arms : int;
+  s_timeouts_fired : int;
+  s_deadline_exceeded : int;
+  s_shed_requests : int;
 }
 
 val snapshot : t -> snapshot

@@ -18,6 +18,12 @@
    queue composes with the scheduler like every other primitive. *)
 
 exception Closed = Qs_queues.Mailbox.Closed
+exception Truncated_frame
+
+let () =
+  Printexc.register_printer (function
+    | Truncated_frame -> Some "Qs_remote.Socket_queue.Truncated_frame"
+    | _ -> None)
 
 (* Frame-level transport counters, one registry per queue: what the
    `transport:*` ablations pay per message, now observable directly. *)
@@ -28,6 +34,7 @@ type counters = {
   bytes_sent : Qs_obs.Counter.t;
   bytes_received : Qs_obs.Counter.t;
   would_blocks : Qs_obs.Counter.t; (* EAGAIN on either end *)
+  truncated_frames : Qs_obs.Counter.t; (* EOF inside a frame *)
 }
 
 let make_counters () =
@@ -40,8 +47,9 @@ let make_counters () =
   let bytes_sent = c "bytes_sent" in
   let bytes_received = c "bytes_received" in
   let would_blocks = c "would_blocks" in
+  let truncated_frames = c "truncated_frames" in
   { registry; frames_sent; frames_received; bytes_sent; bytes_received;
-    would_blocks }
+    would_blocks; truncated_frames }
 
 type 'a t = {
   read_fd : Unix.file_descr;
@@ -52,6 +60,7 @@ type 'a t = {
   mutable read_len : int;
   mutable write_closed : bool;
   mutable eof : bool;
+  mutable truncated : bool; (* EOF landed inside a frame (counted once) *)
 }
 
 let create () =
@@ -67,6 +76,7 @@ let create () =
     read_len = 0;
     write_closed = false;
     eof = false;
+    truncated = false;
   }
 
 let counters t = Qs_obs.Counter.snapshot t.ctrs.registry
@@ -141,9 +151,11 @@ let take_frame t =
       None
     end
     else begin
-      let v =
-        Marshal.from_bytes (Bytes.sub t.read_buffer frame_header_size payload_len) 0
-      in
+      (* Decode in place: [Marshal.from_bytes] reads [payload_len] bytes
+         starting at the offset, so no intermediate copy of the payload
+         is needed (the transport ablation's per-message allocation is
+         the marshalled value itself, not a second staging buffer). *)
+      let v = Marshal.from_bytes t.read_buffer frame_header_size in
       Bytes.blit t.read_buffer total t.read_buffer 0 (t.read_len - total);
       t.read_len <- t.read_len - total;
       Qs_obs.Counter.incr t.ctrs.frames_received;
@@ -151,15 +163,27 @@ let take_frame t =
     end
   end
 
+(* EOF landed mid-frame: the writer closed (or died) after sending a
+   frame header or a partial payload.  Silently returning [None] here
+   would make a torn stream indistinguishable from a clean close, so the
+   consumer gets an exception instead (counted once per stream). *)
+let truncated t =
+  if not t.truncated then begin
+    t.truncated <- true;
+    Qs_obs.Counter.incr t.ctrs.truncated_frames
+  end;
+  raise Truncated_frame
+
 (* Single consumer: dequeue the next message, [None] once the write side
-   is closed and everything has been drained. *)
+   is closed and everything has been drained.
+   @raise Truncated_frame on EOF inside a frame. *)
 let rec dequeue t =
   match take_frame t with
   | Some v -> Some v
   | None ->
-    if t.eof then None
+    if t.eof then if t.read_len > 0 then truncated t else None
     else if fill t then dequeue t
-    else if t.read_len > 0 then dequeue t (* parse what remains *)
+    else if t.read_len > 0 then dequeue t (* parse complete remainders *)
     else None
 
 (* Non-blocking fill: pull whatever the kernel already has, but never
@@ -210,6 +234,8 @@ let close_writer t =
     (try Unix.shutdown t.write_fd Unix.SHUTDOWN_SEND
      with Unix.Unix_error _ -> ())
   end
+
+let fds t = (t.read_fd, t.write_fd)
 
 let destroy t =
   close_writer t;

@@ -11,6 +11,12 @@
 exception Closed
 (** Same exception as [Qs_queues.Mailbox.Closed] (rebound). *)
 
+exception Truncated_frame
+(** End-of-stream arrived inside a frame: the writer closed after a
+    partial header or payload.  Raised by {!dequeue}/{!drain} instead of
+    returning [None] — a torn stream is a transport failure, not a clean
+    close — and counted under [truncated_frames]. *)
+
 type 'a t
 
 val create : unit -> 'a t
@@ -20,7 +26,8 @@ val enqueue : 'a t -> 'a -> unit
 
 val dequeue : 'a t -> 'a option
 (** Receive the next message, yielding while none is available; [None]
-    once the writer has closed and the stream is drained. *)
+    once the writer has closed and the stream is drained.
+    @raise Truncated_frame if end-of-stream arrives inside a frame. *)
 
 val drain : 'a t -> 'a array -> int
 (** Batched receive: block (yielding) for the first message, then take
@@ -40,11 +47,17 @@ val is_empty : 'a t -> bool
 val counters : 'a t -> Qs_obs.Counter.snapshot
 (** Frame-level transport counters: [frames_sent], [frames_received],
     [bytes_sent], [bytes_received] (payload + 8-byte headers, as seen
-    by the syscalls) and [would_blocks] (EAGAIN episodes on either
-    end).  Read with [Qs_obs.Counter.value]. *)
+    by the syscalls), [would_blocks] (EAGAIN episodes on either end)
+    and [truncated_frames] (streams ending inside a frame).  Read with
+    [Qs_obs.Counter.value]. *)
 
 val destroy : 'a t -> unit
 (** Close both file descriptors. *)
+
+val fds : 'a t -> Unix.file_descr * Unix.file_descr
+(** [(read_fd, write_fd)] of the underlying socket pair.  For tests and
+    fault injection (e.g. writing a deliberately torn frame); normal
+    traffic must go through {!enqueue}. *)
 
 module As_mailbox : Qs_queues.Mailbox.S with type 'a t = 'a t
 (** [Qs_queues.Mailbox.S] view of the transport ([close] is

@@ -5,11 +5,21 @@
    [Fiber_cond].
 
    Ownership hand-off: [unlock] transfers the lock directly to the oldest
-   waiter, so a stream of contenders is served FIFO and cannot starve. *)
+   waiter, so a stream of contenders is served FIFO and cannot starve.
+   Each waiter carries a claim word so a timed waiter ([lock_timeout]) and
+   the hand-off race on a single CAS: ownership is transferred exactly when
+   the claim succeeds, and an abandoned (timed-out) waiter is skipped
+   instead of being handed a lock it will never release. *)
+
+type waiter = {
+  (* 0 = waiting, 1 = granted the lock, 2 = abandoned (timed out) *)
+  w_state : int Atomic.t;
+  w_resume : Sched.resumer;
+}
 
 type state =
   | Unlocked
-  | Locked of Sched.resumer list (* waiters, newest first *)
+  | Locked of waiter list (* newest first *)
 
 type t = { state : state Atomic.t }
 
@@ -20,6 +30,7 @@ let try_lock t = Atomic.compare_and_set t.state Unlocked (Locked [])
 let lock t =
   if not (try_lock t) then
     Sched.suspend (fun resume ->
+      let w = { w_state = Atomic.make 0; w_resume = resume } in
       let rec subscribe () =
         match Atomic.get t.state with
         | Unlocked ->
@@ -28,9 +39,7 @@ let lock t =
             resume ()
           else subscribe ()
         | Locked waiters as old ->
-          if
-            not
-              (Atomic.compare_and_set t.state old (Locked (resume :: waiters)))
+          if not (Atomic.compare_and_set t.state old (Locked (w :: waiters)))
           then subscribe ()
       in
       subscribe ())
@@ -49,12 +58,54 @@ let unlock t =
       if not (Atomic.compare_and_set t.state old Unlocked) then loop ()
     | Locked waiters as old ->
       let oldest, rest = split_oldest waiters in
-      if Atomic.compare_and_set t.state old (Locked rest) then
-        (* Ownership passes to [oldest]; the state stays [Locked]. *)
-        oldest ()
+      if Atomic.compare_and_set t.state old (Locked rest) then begin
+        if Atomic.compare_and_set oldest.w_state 0 1 then
+          (* Ownership passes to [oldest]; the state stays [Locked]. *)
+          oldest.w_resume ()
+        else
+          (* Timed out and gone: keep unlocking towards the next waiter. *)
+          loop ()
+      end
       else loop ()
   in
   loop ()
+
+let lock_timeout t dt =
+  if try_lock t then true
+  else begin
+    (* The waiter's claim word is the synchronization point between three
+       parties: the timer (0→2), a hand-off from [unlock] (0→1), and the
+       freed-while-suspending self-acquisition below (0→1).  Exactly one
+       wins, so the fiber is resumed once and the verdict is unambiguous. *)
+    let w_state = Atomic.make 0 in
+    Sched.suspend (fun resume ->
+      let handle =
+        Sched.arm_timer ~delay:dt (fun () ->
+          if Atomic.compare_and_set w_state 0 2 then resume ())
+      in
+      let granted () =
+        ignore (Timer.cancel handle : bool);
+        resume ()
+      in
+      let w = { w_state; w_resume = granted } in
+      let rec subscribe () =
+        match Atomic.get t.state with
+        | Unlocked ->
+          if Atomic.compare_and_set t.state Unlocked (Locked []) then begin
+            if Atomic.compare_and_set w_state 0 1 then granted ()
+            else
+              (* The timer won while we were acquiring: hand the lock
+                 straight back; the timer already resumed the fiber. *)
+              unlock t
+          end
+          else subscribe ()
+        | Locked waiters as old ->
+          if not (Atomic.compare_and_set t.state old (Locked (w :: waiters)))
+          then subscribe ()
+      in
+      subscribe ());
+    Atomic.get w_state = 1
+  end
 
 let with_lock t f =
   lock t;

@@ -12,6 +12,13 @@ val lock : t -> unit
 
 val try_lock : t -> bool
 
+val lock_timeout : t -> float -> bool
+(** [lock_timeout t dt] is {!lock} bounded by [dt] seconds; returns
+    [true] iff the lock was acquired.  A timed-out waiter is skipped by
+    the FIFO hand-off (never handed a lock it cannot release), and the
+    grant/timeout race is decided by a single CAS, so the verdict is
+    exact: [false] guarantees the caller does not hold the lock. *)
+
 val unlock : t -> unit
 (** Release or hand off.
     @raise Invalid_argument if the mutex is not locked. *)

@@ -113,6 +113,38 @@ let result t =
     | Resolved outcome -> outcome
     | Empty _ -> assert false)
 
+(* Timed read.  On [`Timed_out] the subscribed resumer stays in the waiter
+   list as dead weight until the cell resolves — resolution invokes it and
+   the one-shot CAS in [suspend_timeout] makes that a no-op.  Write-once
+   cells resolve at most once, so the leak is one closure per timed-out
+   reader, reclaimed with the cell. *)
+let result_timeout t dt =
+  match Atomic.get t.state with
+  | Resolved outcome -> Some outcome
+  | Empty _ -> (
+    let verdict =
+      Sched.suspend_timeout
+        (fun resume ->
+          let rec subscribe () =
+            match Atomic.get t.state with
+            | Resolved _ -> resume ()
+            | Empty waiters as old ->
+              if
+                not
+                  (Atomic.compare_and_set t.state old
+                     (Empty (resume :: waiters)))
+              then subscribe ()
+          in
+          subscribe ())
+        dt
+    in
+    match verdict with
+    | `Timed_out -> None
+    | `Resumed -> (
+      match Atomic.get t.state with
+      | Resolved outcome -> Some outcome
+      | Empty _ -> assert false))
+
 let read t =
   match result t with
   | Ok v -> v

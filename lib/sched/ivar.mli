@@ -35,6 +35,13 @@ val read : 'a t -> 'a
 val result : 'a t -> 'a outcome
 (** Like {!read} but returns the outcome instead of re-raising. *)
 
+val result_timeout : 'a t -> float -> 'a outcome option
+(** [result_timeout t dt] is {!result} bounded by [dt] seconds: [None] if
+    the cell is still unresolved at the deadline.  The fiber is resumed
+    exactly once either way ({!Sched.suspend_timeout}); a timed-out
+    reader's subscription stays in the cell as a dead no-op waiter until
+    resolution. *)
+
 val peek : 'a t -> 'a option
 (** The value if already present; never blocks.  Re-raises if the cell
     is already rejected — a rejected cell must not look forever-pending. *)

@@ -37,11 +37,16 @@ val fulfill_error : ?bt:Printexc.raw_backtrace -> 'a t -> exn -> unit
 val try_fulfill_error : ?bt:Printexc.raw_backtrace -> 'a t -> exn -> bool
 (** Like {!fulfill_error} but returns [false] instead of raising. *)
 
-val await : 'a t -> 'a
+val await : ?timeout:float -> 'a t -> 'a
 (** Force the promise: return its value, blocking the calling fiber
     until resolved.  Re-raises (with its captured backtrace) if the
     promise was rejected.  The first force fires the [on_force] hook —
-    a rejected rendezvous still counts as observed. *)
+    a rejected rendezvous still counts as observed.
+
+    With [?timeout], raises {!Timer.Timeout} if the promise is still
+    pending after that many seconds.  A timed-out await is {e not} a
+    rendezvous: the hook does not fire, the promise is not consumed, and
+    a later [await] can still complete normally. *)
 
 val try_read : 'a t -> 'a option
 (** The value if already resolved; never blocks.  A successful

@@ -51,16 +51,20 @@ type counters = {
   c_handoffs : int; (* direct handoffs through the hot slot *)
   c_steals : int; (* successful steals *)
   c_parks : int; (* worker park episodes *)
+  c_timer_arms : int; (* timers armed *)
+  c_timer_fires : int; (* timers that expired and ran their action *)
 }
 
 type t = {
   workers : worker array;
   inject : task Qs_queues.Mpmc_queue.t;
+  timers : Timer.t; (* per-scheduler deadline queue *)
   live : int Atomic.t; (* spawned but not yet completed fibers *)
   idle_hint : int Atomic.t;
   idle_mutex : Mutex.t;
   idle_cond : Condition.t;
   mutable idlers : int;
+  mutable has_timekeeper : bool; (* a parked worker is watching the clock *)
   mutable stalled : bool;
   mutable stop : bool;
   first_exn : exn option Atomic.t;
@@ -125,6 +129,26 @@ let schedule_cold t task =
     wake_idlers t
   | Some _ | None -> push_global t task
 
+(* Arm a one-shot timer on [t]'s timer queue.  The armed→fired interval is
+   recorded as a "timer" span when tracing; parked workers are nudged so a
+   timekeeper picks up the (possibly earlier) deadline. *)
+let arm_timer_on t ~deadline action =
+  let action =
+    match t.obs with
+    | None -> action
+    | Some sink ->
+      let t0 = Qs_obs.Sink.now sink in
+      fun () ->
+        let track = match get_worker () with Some (_, w) -> w.wid | None -> 0 in
+        Qs_obs.Sink.complete sink ~cat:obs_cat ~name:"timer" ~track ~ts:t0
+          ~dur:(Qs_obs.Sink.now sink -. t0)
+          ();
+        action ()
+  in
+  let handle = Timer.arm t.timers ~deadline action in
+  wake_idlers t;
+  handle
+
 let record_exn t e =
   ignore (Atomic.compare_and_set t.first_exn None (Some e) : bool);
   Logs.err (fun m ->
@@ -182,6 +206,47 @@ let suspend register = Effect.perform (Suspend register)
 
 let yield () = Effect.perform Yield
 
+let arm_timer ~delay action =
+  match get_worker () with
+  | Some (t, _) -> arm_timer_on t ~deadline:(Timer.now () +. delay) action
+  | None -> invalid_arg "Sched.arm_timer: not running inside a scheduler"
+
+let sleep dt =
+  match get_worker () with
+  | None -> invalid_arg "Sched.sleep: not running inside a scheduler"
+  | Some (t, _) ->
+    if dt <= 0.0 then yield ()
+    else
+      suspend (fun resume ->
+        ignore
+          (arm_timer_on t ~deadline:(Timer.now () +. dt) resume : Timer.handle))
+
+(* Timed variant of [suspend].  The timer action and the registered resumer
+   race on [state]; the CAS makes the outcomes mutually exclusive, so the
+   continuation is resumed exactly once and the caller can trust the
+   verdict: [`Timed_out] guarantees the timer won and any later invocation
+   of the registered resumer is a no-op (the one-shot [resumed] CAS in
+   [exec] is not enough by itself — it cannot tell the caller {e which}
+   path resumed it). *)
+let suspend_timeout register delay =
+  match get_worker () with
+  | None -> invalid_arg "Sched.suspend_timeout: not running inside a scheduler"
+  | Some (t, _) ->
+    (* 0 = waiting, 1 = resumed by the registered event, 2 = timed out *)
+    let state = Atomic.make 0 in
+    suspend (fun resume ->
+      let handle =
+        arm_timer_on t
+          ~deadline:(Timer.now () +. Float.max 0.0 delay)
+          (fun () -> if Atomic.compare_and_set state 0 2 then resume ())
+      in
+      register (fun () ->
+        if Atomic.compare_and_set state 0 1 then begin
+          ignore (Timer.cancel handle : bool);
+          resume ()
+        end));
+    if Atomic.get state = 2 then `Timed_out else `Resumed
+
 (* -- Worker loop ---------------------------------------------------------- *)
 
 let take_hot w =
@@ -224,27 +289,51 @@ let try_steal t w =
   end
 
 (* Every [global_check_period] dispatches, look at the global queue before
-   the local deque so that yielded fibers are not starved by a busy local
-   supply (needed by retry loops, e.g. the `condition` benchmark). *)
+   every other source — including the hot slot — so that yielded fibers are
+   not starved by a busy local supply (needed by retry loops, e.g. the
+   `condition` benchmark).  The hot slot must be subject to this check too:
+   a direct-handoff ping-pong pair (client↔handler on one worker) refills
+   the slot on every dispatch, so consulting it first would starve the
+   global queue indefinitely.  A hot task skipped by the periodic check is
+   not lost — it stays in the slot and runs on the next dispatch. *)
 let global_check_period = 17
+
+(* Cheap timer poll for busy workers: one atomic load when no deadline is
+   near, a clock read plus [Timer.fire_due] when one is. *)
+let fire_due_timers t =
+  let d = Timer.next_deadline t.timers in
+  if d < infinity then begin
+    let now = Timer.now () in
+    if d <= now then ignore (Timer.fire_due t.timers ~now : int)
+  end
 
 let next_task t w =
   w.tick <- w.tick + 1;
   let from_global () = Qs_queues.Mpmc_queue.pop t.inject in
-  match take_hot w with
-  | Some _ as task -> task
-  | None ->
-    let first, second =
-      if w.tick mod global_check_period = 0 then
-        (from_global, fun () -> Qs_queues.Ws_deque.pop w.deque)
-      else ((fun () -> Qs_queues.Ws_deque.pop w.deque), from_global)
-    in
-    (match first () with
+  let local () = Qs_queues.Ws_deque.pop w.deque in
+  let periodic = w.tick mod global_check_period = 0 in
+  if periodic then begin
+    fire_due_timers t;
+    match from_global () with
     | Some _ as task -> task
     | None -> (
-      match second () with
+      match take_hot w with
       | Some _ as task -> task
-      | None -> try_steal t w))
+      | None -> (
+        match local () with
+        | Some _ as task -> task
+        | None -> try_steal t w))
+  end
+  else
+    match take_hot w with
+    | Some _ as task -> task
+    | None -> (
+      match local () with
+      | Some _ as task -> task
+      | None -> (
+        match from_global () with
+        | Some _ as task -> task
+        | None -> try_steal t w))
 
 let any_work t =
   (not (Qs_queues.Mpmc_queue.is_empty t.inject))
@@ -252,8 +341,24 @@ let any_work t =
        (fun w -> w.hot <> None || Qs_queues.Ws_deque.size w.deque > 0)
        t.workers
 
-(* Sleep until work arrives, [stop] is set, or a stall is detected.  Returns
-   [false] iff the worker should exit. *)
+(* Maximum sleep slice for the parked timekeeper: bounds the latency with
+   which an off-condvar sleeper notices [stop], work pushed from outside the
+   scheduler, or a newly armed earlier deadline.  OCaml's [Condition] has no
+   timed wait, so the timekeeper dozes in bounded [Unix.sleepf] slices
+   instead. *)
+let timekeeper_slice = 0.001
+
+(* Sleep until work arrives, a timer is due, [stop] is set, or a stall is
+   detected.  Returns [false] iff the worker should exit.
+
+   Pending timers make parking time-aware: a sleeping fiber is *not* a
+   deadlock, so the stall branch additionally requires [Timer.pending] to be
+   false.  While timers are pending, exactly one parked worker acts as the
+   timekeeper ([t.has_timekeeper]): it dozes in short slices until the
+   earliest deadline and then fires due timers; every other idler waits on
+   the condition variable as before.  The timekeeper hands the clock to
+   another parked worker (broadcast) whenever it leaves the role with timers
+   still pending. *)
 let park t =
   Mutex.lock t.idle_mutex;
   if t.stop then begin
@@ -263,35 +368,77 @@ let park t =
   else begin
     t.idlers <- t.idlers + 1;
     Atomic.incr t.idle_hint;
-    (* Re-check after advertising idleness: a concurrent [push_global] that
-       missed our hint must be visible to us now. *)
-    if any_work t then begin
+    let leave continue_ =
       t.idlers <- t.idlers - 1;
       Atomic.decr t.idle_hint;
-      Mutex.unlock t.idle_mutex;
-      true
-    end
-    else if t.idlers = Array.length t.workers && Atomic.get t.live > 0 then begin
-      (* Global stall: every runnable source is empty, all workers idle,
-         yet fibers remain suspended.  No external event can wake them. *)
-      t.stalled <- true;
-      t.stop <- true;
-      Condition.broadcast t.idle_cond;
-      t.idlers <- t.idlers - 1;
-      Atomic.decr t.idle_hint;
-      Mutex.unlock t.idle_mutex;
-      false
-    end
-    else begin
-      while (not t.stop) && not (any_work t) do
-        Condition.wait t.idle_cond t.idle_mutex
-      done;
-      t.idlers <- t.idlers - 1;
-      Atomic.decr t.idle_hint;
-      let continue_ = not t.stop in
       Mutex.unlock t.idle_mutex;
       continue_
-    end
+    in
+    let rec wait_for_work () =
+      if t.stop then leave false
+      else if any_work t then leave true
+      else if Timer.pending t.timers then
+        if t.has_timekeeper then begin
+          (* Someone else is watching the clock. *)
+          Condition.wait t.idle_cond t.idle_mutex;
+          wait_for_work ()
+        end
+        else timekeep ()
+      else if t.idlers = Array.length t.workers && Atomic.get t.live > 0 then begin
+        (* Global stall: every runnable source is empty, all workers idle,
+           no timer can fire, yet fibers remain suspended.  No external
+           event can wake them. *)
+        t.stalled <- true;
+        t.stop <- true;
+        Condition.broadcast t.idle_cond;
+        leave false
+      end
+      else begin
+        Condition.wait t.idle_cond t.idle_mutex;
+        wait_for_work ()
+      end
+    and timekeep () =
+      t.has_timekeeper <- true;
+      let rec doze () =
+        if t.stop || any_work t then relinquish ()
+        else begin
+          let deadline = Timer.next_deadline t.timers in
+          if deadline = infinity then relinquish ()
+          else begin
+            let now = Timer.now () in
+            if deadline <= now then begin
+              (* Leave the idle set first: timer actions re-enter the
+                 scheduler (schedule → wake_idlers) and must not run under
+                 the idle mutex. *)
+              t.has_timekeeper <- false;
+              t.idlers <- t.idlers - 1;
+              Atomic.decr t.idle_hint;
+              Mutex.unlock t.idle_mutex;
+              ignore (Timer.fire_due t.timers ~now : int);
+              (* If deadlines remain, make sure some parked worker claims
+                 the clock — this worker is about to get busy. *)
+              if Timer.pending t.timers then wake_idlers t;
+              true
+            end
+            else begin
+              let slice = Float.min (deadline -. now) timekeeper_slice in
+              Mutex.unlock t.idle_mutex;
+              Unix.sleepf slice;
+              Mutex.lock t.idle_mutex;
+              doze ()
+            end
+          end
+        end
+      and relinquish () =
+        t.has_timekeeper <- false;
+        if Timer.pending t.timers then Condition.broadcast t.idle_cond;
+        wait_for_work ()
+      in
+      doze ()
+    in
+    (* Re-check after advertising idleness: a concurrent [push_global] that
+       missed our hint must be visible to us now. *)
+    wait_for_work ()
   end
 
 let worker_loop t w =
@@ -358,11 +505,13 @@ let make ?(domains = 1) ?obs ~on_stall () =
           n_parks = 0;
         });
     inject = Qs_queues.Mpmc_queue.create ();
+    timers = Timer.create ();
     live = Atomic.make 0;
     idle_hint = Atomic.make 0;
     idle_mutex = Mutex.create ();
     idle_cond = Condition.create ();
     idlers = 0;
+    has_timekeeper = false;
     stalled = false;
     stop = false;
     first_exn = Atomic.make None;
@@ -374,15 +523,24 @@ let make ?(domains = 1) ?obs ~on_stall () =
    the worker recently wrote, but the sum is not a consistent cut.  At
    quiescence (end of run) it is exact. *)
 let counters t =
+  let tc = Timer.counters t.timers in
   Array.fold_left
     (fun acc w ->
       {
+        acc with
         c_executed = acc.c_executed + w.n_executed;
         c_handoffs = acc.c_handoffs + w.n_handoffs;
         c_steals = acc.c_steals + w.n_steals;
         c_parks = acc.c_parks + w.n_parks;
       })
-    { c_executed = 0; c_handoffs = 0; c_steals = 0; c_parks = 0 }
+    {
+      c_executed = 0;
+      c_handoffs = 0;
+      c_steals = 0;
+      c_parks = 0;
+      c_timer_arms = tc.Timer.t_armed;
+      c_timer_fires = tc.Timer.t_fired;
+    }
     t.workers
 
 let current_counters () =
@@ -396,12 +554,16 @@ let counters_assoc c =
     ("sched_handoffs", c.c_handoffs);
     ("sched_steals", c.c_steals);
     ("sched_parks", c.c_parks);
+    ("sched_timer_arms", c.c_timer_arms);
+    ("sched_timer_fires", c.c_timer_fires);
   ]
 
 let pp_counters ppf c =
   Format.fprintf ppf
-    "@[<v>dispatches: %d@,handoffs:   %d@,steals:     %d@,parks:      %d@]"
-    c.c_executed c.c_handoffs c.c_steals c.c_parks
+    "@[<v>dispatches: %d@,handoffs:   %d@,steals:     %d@,parks:      \
+     %d@,timer arms: %d@,timer fires:%d@]"
+    c.c_executed c.c_handoffs c.c_steals c.c_parks c.c_timer_arms
+    c.c_timer_fires
 
 let run ?(domains = 1) ?(on_stall = `Raise) ?on_counters ?obs main =
   if get_worker () <> None then

@@ -27,6 +27,8 @@ type counters = {
   c_handoffs : int; (** direct handoffs through the hot slot (paper §3.2) *)
   c_steals : int; (** successful work steals *)
   c_parks : int; (** worker park (sleep) episodes *)
+  c_timer_arms : int; (** timers armed ({!sleep}, {!suspend_timeout}, …) *)
+  c_timer_fires : int; (** timers that expired and ran their action *)
 }
 (** Scheduling counters aggregated over all workers — the context-switch
     instrumentation the paper's §4.3 discussion calls for.  Readable live
@@ -75,6 +77,32 @@ val suspend : (resumer -> unit) -> unit
 val yield : unit -> unit
 (** Reschedule the current fiber at the back of the global run queue,
     letting every other runnable fiber go first. *)
+
+val sleep : float -> unit
+(** [sleep dt] suspends the current fiber for at least [dt] seconds.
+    [dt <= 0] is a {!yield}.  A sleeping fiber keeps the scheduler alive —
+    parked workers wake at the earliest armed deadline, and stall detection
+    treats pending timers as a wake source, so a run whose only activity is
+    a sleeping fiber terminates normally instead of raising {!Stalled}. *)
+
+val suspend_timeout :
+  (resumer -> unit) -> float -> [ `Resumed | `Timed_out ]
+(** [suspend_timeout register dt] is {!suspend} with a deadline: the fiber
+    continues either when the registered resumer is invoked ([`Resumed]) or
+    when [dt] seconds elapse first ([`Timed_out]).  The two paths race on an
+    internal CAS, so the outcomes are mutually exclusive, the fiber is
+    resumed exactly once, and on [`Resumed] the timer is cancelled.  After
+    [`Timed_out] a late invocation of the registered resumer is a no-op —
+    but the resumer may still be held by whatever [register] subscribed it
+    to, so registrations must tolerate stale waiters. *)
+
+val arm_timer : delay:float -> (unit -> unit) -> Timer.handle
+(** [arm_timer ~delay action] arms a one-shot timer on the current fiber's
+    scheduler, firing [action] after [delay] seconds (see {!Timer.arm} for
+    the constraints on [action]); cancel with {!Timer.cancel}.  Building
+    block for timed synchronization primitives
+    ({!Fiber_mutex.lock_timeout}); most code wants {!sleep} or
+    {!suspend_timeout} instead. *)
 
 val self : unit -> int
 (** Index of the worker executing the current fiber. *)

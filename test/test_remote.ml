@@ -175,6 +175,59 @@ let test_ping_pong () =
       drain ();
       check_int "round trips" (2 * (50 * 51 / 2)) !acc))
 
+let write_raw fd bytes =
+  let len = Bytes.length bytes in
+  let rec go off =
+    if off < len then
+      match Unix.write fd bytes off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        S.yield ();
+        go off
+  in
+  go 0
+
+let test_truncated_frame () =
+  (* A writer that dies mid-frame must surface as [Truncated_frame], not
+     as a clean end-of-stream: send one good message, then a frame header
+     promising more bytes than will ever arrive, then close the write
+     side. *)
+  with_queue (fun q ->
+    let _, write_fd = Sq.fds q in
+    S.spawn (fun () ->
+      Sq.enqueue q 42;
+      let torn = Bytes.create 10 in
+      Bytes.set_int64_le torn 0 1000L (* header: 1000-byte payload *);
+      write_raw write_fd torn (* ...but only 2 bytes of it follow *);
+      Sq.close_writer q);
+    check_bool "good frame still delivered" true (Sq.dequeue q = Some 42);
+    check_bool "torn frame raises" true
+      (try
+         ignore (Sq.dequeue q : int option);
+         false
+       with Sq.Truncated_frame -> true);
+    let v = Qs_obs.Counter.value (Sq.counters q) in
+    check_int "counted once" 1 (v "truncated_frames");
+    check_bool "raises again on retry" true
+      (try
+         ignore (Sq.dequeue q : int option);
+         false
+       with Sq.Truncated_frame -> true);
+    check_int "still counted once" 1 (v "truncated_frames"))
+
+let test_header_only_truncation () =
+  (* The smallest torn stream: EOF after a few header bytes. *)
+  with_queue (fun q ->
+    let _, write_fd = Sq.fds q in
+    S.spawn (fun () ->
+      write_raw write_fd (Bytes.make 3 'x');
+      Sq.close_writer q);
+    check_bool "raises" true
+      (try
+         ignore (Sq.dequeue q : int option);
+         false
+       with Sq.Truncated_frame -> true))
+
 let prop_any_payload =
   QCheck2.Test.make ~count:50 ~name:"arbitrary int lists survive the socket"
     QCheck2.Gen.(list (list small_int))
@@ -206,6 +259,9 @@ let () =
           Alcotest.test_case "multiple producers" `Quick test_multiple_producers;
           Alcotest.test_case "enqueue after close" `Quick test_enqueue_after_close;
           Alcotest.test_case "ping pong" `Quick test_ping_pong;
+          Alcotest.test_case "truncated frame" `Quick test_truncated_frame;
+          Alcotest.test_case "header-only truncation" `Quick
+            test_header_only_truncation;
         ] );
       ("properties", [ qc prop_any_payload ]);
     ]

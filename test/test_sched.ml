@@ -653,6 +653,159 @@ let prop_spawn_all_run =
         done);
       Atomic.get hits = n)
 
+(* -- timers and timeouts ---------------------------------------------------- *)
+
+(* CAS-append for collecting completion order from multiple domains. *)
+let atomic_push acc x =
+  let rec go () =
+    let old = Atomic.get acc in
+    if not (Atomic.compare_and_set acc old (x :: old)) then go ()
+  in
+  go ()
+
+let test_sleep_basic () =
+  let t0 = Unix.gettimeofday () in
+  S.run (fun () -> S.sleep 0.03);
+  let dt = Unix.gettimeofday () -. t0 in
+  check_bool "slept at least the requested time" true (dt >= 0.03);
+  check_bool "woke in bounded time" true (dt < 0.5)
+
+let test_sleep_zero_is_yield () =
+  (* sleep 0 must not arm a timer, just reschedule *)
+  let final = ref None in
+  S.run ~on_counters:(fun c -> final := Some c) (fun () -> S.sleep 0.0);
+  match !final with
+  | Some c -> check_int "no timer armed" 0 c.S.c_timer_arms
+  | None -> Alcotest.fail "no counters"
+
+let test_sleep_ordering_across_domains () =
+  (* Fibers sleeping on different workers must complete in deadline order,
+     not spawn order. *)
+  let order = Atomic.make [] in
+  S.run ~domains:2 (fun () ->
+    List.iter
+      (fun (dt, tag) -> S.spawn (fun () -> S.sleep dt; atomic_push order tag))
+      [ (0.06, 3); (0.04, 2); (0.02, 1) ]);
+  check_bool "deadline order" true (List.rev (Atomic.get order) = [ 1; 2; 3 ])
+
+let test_sleep_keeps_dependents_alive () =
+  (* All workers idle, one fiber asleep, another suspended waiting on it:
+     the pending timer is a wake source, not a deadlock. *)
+  let v =
+    S.run (fun () ->
+      let iv = Ivar.create () in
+      S.spawn (fun () ->
+        S.sleep 0.03;
+        Ivar.fill iv 7);
+      Ivar.read iv)
+  in
+  check_int "value after sleep" 7 v
+
+let test_unexpired_timer_no_false_stall () =
+  (* A timer armed far in the future must neither stall nor delay an
+     otherwise-finished run. *)
+  let t0 = Unix.gettimeofday () in
+  S.run (fun () -> ignore (S.arm_timer ~delay:60.0 (fun () -> ()) : Qs_sched.Timer.handle));
+  check_bool "returned immediately" true (Unix.gettimeofday () -. t0 < 1.0)
+
+let test_stall_still_detected_after_timer () =
+  (* Once the last timer has fired, a genuine deadlock must still raise. *)
+  match
+    S.run (fun () ->
+      S.spawn (fun () -> S.suspend (fun _ -> ()));
+      S.sleep 0.02)
+  with
+  | exception S.Stalled n -> check_int "one stuck fiber" 1 n
+  | () -> Alcotest.fail "expected Stalled"
+
+let test_suspend_timeout_resumed () =
+  (* Resumed before the deadline: `Resumed, and the timer is cancelled
+     (never fires). *)
+  let final = ref None in
+  let outcome = ref None in
+  S.run ~on_counters:(fun c -> final := Some c) (fun () ->
+    let cell = ref None in
+    S.spawn (fun () ->
+      let rec kick n =
+        match !cell with
+        | Some r -> r ()
+        | None -> if n > 0 then (S.yield (); kick (n - 1))
+      in
+      kick 10_000);
+    outcome := Some (S.suspend_timeout (fun resume -> cell := Some resume) 5.0));
+  check_bool "resumed" true (!outcome = Some `Resumed);
+  match !final with
+  | Some c ->
+    check_int "timer armed" 1 c.S.c_timer_arms;
+    check_int "timer cancelled, not fired" 0 c.S.c_timer_fires
+  | None -> Alcotest.fail "no counters"
+
+let test_suspend_timeout_times_out () =
+  let t0 = Unix.gettimeofday () in
+  let v = S.run (fun () -> S.suspend_timeout (fun _ -> ()) 0.05) in
+  let dt = Unix.gettimeofday () -. t0 in
+  check_bool "timed out" true (v = `Timed_out);
+  check_bool "after the deadline" true (dt >= 0.05);
+  check_bool "within ~2x the deadline" true (dt <= 0.1 +. 0.05)
+
+let test_timeout_race_exactly_once () =
+  (* Fulfilment racing the deadline: whatever the winner, each waiter is
+     resumed exactly once (a double resume would trip the one-shot
+     continuation) and the verdicts are mutually exclusive by construction. *)
+  let resumed = Atomic.make 0 and timed_out = Atomic.make 0 in
+  S.run ~domains:2 (fun () ->
+    for _ = 1 to 40 do
+      S.spawn (fun () ->
+        let cell = ref None in
+        S.spawn (fun () ->
+          S.sleep 0.005;
+          match !cell with Some r -> r () | None -> ());
+        match S.suspend_timeout (fun resume -> cell := Some resume) 0.005 with
+        | `Resumed -> Atomic.incr resumed
+        | `Timed_out -> Atomic.incr timed_out)
+    done);
+  check_int "every waiter got exactly one verdict" 40
+    (Atomic.get resumed + Atomic.get timed_out)
+
+let test_hot_slot_fairness () =
+  (* Regression: a direct-handoff ping-pong pair keeps the hot slot full on
+     every dispatch; the yielding main fiber (global inject queue) must
+     still make progress via the periodic global check.  Before the fix the
+     pair starved it until the round cap. *)
+  let cap = 500_000 in
+  let done_ = ref false in
+  let rounds = ref 0 in
+  S.run (fun () ->
+    let slot_a = ref None and slot_b = ref None in
+    let kick slot =
+      match !slot with
+      | Some r ->
+        slot := None;
+        r ()
+      | None -> ()
+    in
+    S.spawn (fun () ->
+      while (not !done_) && !rounds < cap do
+        incr rounds;
+        S.suspend (fun resume ->
+          slot_a := Some resume;
+          kick slot_b)
+      done;
+      kick slot_b);
+    S.spawn (fun () ->
+      while (not !done_) && !rounds < cap do
+        S.suspend (fun resume ->
+          slot_b := Some resume;
+          kick slot_a)
+      done;
+      kick slot_a);
+    for _ = 1 to 3 do
+      S.yield ()
+    done;
+    done_ := true);
+  check_bool "yielded fiber progressed before the round cap" true
+    (!rounds < cap)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "qs_sched"
@@ -675,6 +828,27 @@ let () =
             test_spawned_exception_propagates;
           Alcotest.test_case "multi-domain sum" `Quick test_multi_domain_sum;
           Alcotest.test_case "nested run rejected" `Quick test_nested_run_rejected;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "sleep basic" `Quick test_sleep_basic;
+          Alcotest.test_case "sleep zero is yield" `Quick test_sleep_zero_is_yield;
+          Alcotest.test_case "sleep ordering across domains" `Quick
+            test_sleep_ordering_across_domains;
+          Alcotest.test_case "sleep keeps dependents alive" `Quick
+            test_sleep_keeps_dependents_alive;
+          Alcotest.test_case "unexpired timer, no false stall" `Quick
+            test_unexpired_timer_no_false_stall;
+          Alcotest.test_case "stall still detected after timer" `Quick
+            test_stall_still_detected_after_timer;
+          Alcotest.test_case "suspend_timeout resumed" `Quick
+            test_suspend_timeout_resumed;
+          Alcotest.test_case "suspend_timeout times out" `Quick
+            test_suspend_timeout_times_out;
+          Alcotest.test_case "timeout races fulfilment exactly once" `Quick
+            test_timeout_race_exactly_once;
+          Alcotest.test_case "hot-slot fairness regression" `Quick
+            test_hot_slot_fairness;
         ] );
       ( "ivar",
         [

@@ -553,7 +553,7 @@ let test_query_async_order config =
             Reg.call reg (fun () -> incr r);
             Reg.query_async reg (fun () -> !r))
         in
-        List.map Scoop.Promise.await ps))
+        List.map (fun p -> Scoop.Promise.await p) ps))
   in
   Alcotest.(check (list int))
     "each promise sees its prefix"
@@ -792,6 +792,197 @@ let test_failure_counters () =
   check_int "poisoned registrations" 1 s.Scoop.Stats.s_poisoned_registrations;
   check_int "no aborted requests" 0 s.Scoop.Stats.s_aborted_requests
 
+(* -- deadlines & backpressure ------------------------------------------------- *)
+
+(* Acceptance: a query against a deliberately wedged handler (a logged
+   call that sleeps far longer than the deadline) raises [Scoop.Timeout]
+   no earlier than the deadline and within ~2x of it.  Exercised under
+   both query flavours (packaged in [none], client-executed in [all])
+   and both mailboxes. *)
+let test_wedged_query_timeout config mailbox =
+  let dt =
+    R.run ~config ~mailbox (fun rt ->
+      let h = R.processor rt in
+      R.separate rt h (fun reg ->
+        Reg.call reg (fun () -> S.sleep 0.4);
+        let t0 = Unix.gettimeofday () in
+        (match Reg.query ~timeout:0.1 reg (fun () -> 1) with
+        | _ -> Alcotest.fail "wedged query must time out"
+        | exception Scoop.Timeout -> ());
+        Unix.gettimeofday () -. t0))
+  in
+  check_bool "not before the deadline" true (dt >= 0.09);
+  check_bool "within ~2x the deadline" true (dt <= 0.2)
+
+let test_timeout_does_not_poison () =
+  R.run (fun rt ->
+    let h = R.processor rt in
+    let r = ref 0 in
+    R.separate rt h (fun reg ->
+      Reg.call reg (fun () ->
+        S.sleep 0.15;
+        incr r);
+      (match Reg.query ~timeout:0.02 reg (fun () -> !r) with
+      | _ -> Alcotest.fail "must time out"
+      | exception Scoop.Timeout -> ());
+      check_bool "not poisoned" false (Reg.is_poisoned reg);
+      (* The same registration still serves: an unbounded query now
+         rendezvouses after the slow call completes. *)
+      check_int "later query sees the slow call" 1 (Reg.query reg (fun () -> !r)));
+    let s = Scoop.Stats.snapshot (R.stats rt) in
+    check_bool "timeout counted" true (s.Scoop.Stats.s_timeouts_fired >= 1);
+    check_bool "deadline_exceeded counted" true
+      (s.Scoop.Stats.s_deadline_exceeded >= 1);
+    check_int "no poisoning" 0 s.Scoop.Stats.s_poisoned_registrations)
+
+let test_default_deadline () =
+  (* [~deadline] makes every blocking query implicitly timed. *)
+  R.run ~deadline:0.05 (fun rt ->
+    let h = R.processor rt in
+    R.separate rt h (fun reg ->
+      Reg.call reg (fun () -> S.sleep 0.2);
+      match Reg.query reg (fun () -> 1) with
+      | _ -> Alcotest.fail "default deadline must apply"
+      | exception Scoop.Timeout -> ()))
+
+let test_promise_await_timeout () =
+  R.run (fun rt ->
+    let h = R.processor rt in
+    R.separate rt h (fun reg ->
+      Reg.call reg (fun () -> S.sleep 0.15);
+      let p = Reg.query_async reg (fun () -> 42) in
+      (match Scoop.Promise.await ~timeout:0.02 p with
+      | _ -> Alcotest.fail "pipelined force must time out"
+      | exception Scoop.Timeout -> ());
+      (* A timed-out force is not a rendezvous: the promise remains
+         forceable and later completes normally. *)
+      check_int "later force succeeds" 42 (Scoop.Promise.await p)))
+
+let test_wait_condition_timeout () =
+  R.run (fun rt ->
+    let h = R.processor rt in
+    let t0 = Unix.gettimeofday () in
+    (match
+       R.separate_when ~timeout:0.05 rt h ~pred:(fun _ -> false) (fun _ -> ())
+     with
+    | () -> Alcotest.fail "unsatisfiable wait condition must time out"
+    | exception Scoop.Timeout -> ());
+    check_bool "timed out promptly" true (Unix.gettimeofday () -. t0 < 1.0);
+    let s = Scoop.Stats.snapshot (R.stats rt) in
+    check_bool "retried before the deadline" true
+      (s.Scoop.Stats.s_wait_retries >= 1);
+    check_bool "deadline_exceeded counted" true
+      (s.Scoop.Stats.s_deadline_exceeded >= 1))
+
+let test_lock_reservation_timeout () =
+  (* Lock mode: a reservation against a held handler lock times out, the
+     timed-out waiter is skipped by the FIFO hand-off, and a later
+     reservation still succeeds. *)
+  R.run ~mailbox:`Direct (fun rt ->
+    let h = R.processor rt in
+    let entered = Ivar.create () in
+    S.spawn (fun () ->
+      R.separate rt h (fun _reg ->
+        Ivar.fill entered ();
+        S.sleep 0.2));
+    Ivar.read entered;
+    (match R.separate ~timeout:0.02 rt h (fun _ -> ()) with
+    | () -> Alcotest.fail "reservation against a held lock must time out"
+    | exception Scoop.Timeout -> ());
+    (* Blocks until the holder wakes and releases — the hand-off must
+       not have been consumed by the dead timed-out waiter. *)
+    R.separate rt h (fun _ -> ());
+    let s = Scoop.Stats.snapshot (R.stats rt) in
+    check_bool "deadline_exceeded counted" true
+      (s.Scoop.Stats.s_deadline_exceeded >= 1))
+
+let test_shutdown_grace_escalates () =
+  let s =
+    R.run (fun rt ->
+      let h = R.processor rt in
+      let r = ref 0 in
+      let cell = Sh.create h r in
+      R.separate rt h (fun reg ->
+        for _ = 1 to 10 do
+          Sh.apply reg cell (fun r ->
+            S.sleep 0.05;
+            incr r)
+        done);
+      let t0 = Unix.gettimeofday () in
+      R.shutdown ~grace:0.08 rt;
+      let dt = Unix.gettimeofday () -. t0 in
+      (* Full drain would take ~0.5s; the grace period aborts the backlog
+         after ~0.08s plus at most one in-flight call. *)
+      check_bool "escalated well before full drain" true (dt < 0.4);
+      check_bool "served some of the backlog first" true (!r >= 1);
+      Scoop.Stats.snapshot (R.stats rt))
+  in
+  check_bool "backlog aborted" true (s.Scoop.Stats.s_aborted_requests > 0)
+
+let test_backpressure_block () =
+  (* [`Block] admission: clients yield at the bound until the handler
+     drains, so everything completes — even on one domain, where the
+     admission loop must hand the domain to the handler fiber. *)
+  R.run ~bound:2 ~overflow:`Block (fun rt ->
+    let h = R.processor rt in
+    let r = ref 0 in
+    let cell = Sh.create h r in
+    R.separate rt h (fun reg ->
+      for _ = 1 to 10 do
+        Sh.apply reg cell incr
+      done;
+      check_int "all calls served" 10 (Sh.get reg cell (fun r -> !r)));
+    let s = Scoop.Stats.snapshot (R.stats rt) in
+    check_int "nothing shed" 0 s.Scoop.Stats.s_shed_requests)
+
+let test_backpressure_fail () =
+  (* [`Fail] admission: the bound refuses the third in-flight call at
+     issue with [Scoop.Overloaded]. *)
+  let s =
+    R.run ~bound:2 ~overflow:`Fail (fun rt ->
+      let h = R.processor rt in
+      let r = ref 0 in
+      let cell = Sh.create h r in
+      let overloaded = ref false in
+      R.separate rt h (fun reg ->
+        try
+          (* Single domain: the handler gets no cycles while we log, so
+             the backlog crosses the bound deterministically. *)
+          for _ = 1 to 10 do
+            Sh.apply reg cell incr
+          done
+        with Scoop.Overloaded _ -> overloaded := true);
+      check_bool "admission refused at the bound" true !overloaded;
+      Scoop.Stats.snapshot (R.stats rt))
+  in
+  check_bool "refusals counted" true (s.Scoop.Stats.s_shed_requests >= 1)
+
+let test_backpressure_shed_oldest () =
+  (* [`Shed_oldest]: every admission past the bound sheds the oldest
+     pending request; the shed calls fail with [Overloaded], which
+     poisons the registration like any failed call. *)
+  let s =
+    R.run ~bound:2 ~overflow:`Shed_oldest (fun rt ->
+      let h = R.processor rt in
+      let r = ref 0 in
+      let cell = Sh.create h r in
+      let surfaced = ref false in
+      (try
+         R.separate rt h (fun reg ->
+           for _ = 1 to 6 do
+             Sh.apply reg cell incr
+           done;
+           match Sh.get reg cell (fun r -> !r) with
+           | _ -> ()
+           | exception Scoop.Handler_failure (_, Scoop.Overloaded _) ->
+             surfaced := true)
+       with Scoop.Handler_failure (_, Scoop.Overloaded _) -> surfaced := true);
+      check_bool "shedding surfaced as Overloaded poison" true !surfaced;
+      check_bool "the newest calls survived" true (!r >= 1 && !r < 6);
+      Scoop.Stats.snapshot (R.stats rt))
+  in
+  check_int "four of six calls shed" 4 s.Scoop.Stats.s_shed_requests
+
 (* Poisoning is per-registration: one chaos client injecting failures
    never loses other clients' effects, and after an awaited shutdown the
    request accounting balances — every batched request is exactly one
@@ -963,6 +1154,59 @@ let prop_query_async_equiv config =
         Latch.wait latch);
       Atomic.get ok)
 
+(* A generous deadline must be semantically invisible: the same random
+   client programs as [prop_query_async_equiv], but with every blocking
+   operation (reservation, query, promise force) carrying a [?timeout]
+   far larger than any real wait.  Runs across every preset and both
+   mailboxes — the deadline plumbing must not perturb either request
+   path. *)
+let prop_generous_timeout_equiv config mailbox =
+  QCheck2.Test.make ~count:15
+    ~name:
+      (Printf.sprintf "generous timeout is invisible [%s/%s]" config.Cfg.name
+         (match mailbox with `Qoq -> "qoq" | `Direct -> "direct"))
+    pprog_gen
+    (fun clients ->
+      let ok = Atomic.make true in
+      let expect_or_fail v expect = if v <> expect then Atomic.set ok false in
+      R.run ~domains:2 ~config ~mailbox (fun rt ->
+        let latch = Latch.create (List.length clients) in
+        List.iter
+          (fun ops ->
+            S.spawn (fun () ->
+              let h = R.processor rt in
+              let r = ref 0 in
+              R.separate ~timeout:60.0 rt h (fun reg ->
+                let sum = ref 0 in
+                let deferred = ref [] in
+                List.iter
+                  (function
+                    | PAdd n ->
+                      sum := !sum + n;
+                      Reg.call reg (fun () -> r := !r + n)
+                    | PQuery ->
+                      expect_or_fail
+                        (Reg.query ~timeout:60.0 reg (fun () -> !r))
+                        !sum
+                    | PForceNow ->
+                      let expect = !sum in
+                      expect_or_fail
+                        (Scoop.Promise.await ~timeout:60.0
+                           (Reg.query_async reg (fun () -> !r)))
+                        expect
+                    | PForceLater ->
+                      deferred :=
+                        (Reg.query_async reg (fun () -> !r), !sum) :: !deferred)
+                  ops;
+                List.iter
+                  (fun (p, expect) ->
+                    expect_or_fail (Scoop.Promise.await ~timeout:60.0 p) expect)
+                  !deferred);
+              Latch.count_down latch))
+          clients;
+        Latch.wait latch);
+      Atomic.get ok)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "scoop"
@@ -1034,8 +1278,47 @@ let () =
           Alcotest.test_case "failed handler reported" `Quick
             test_failed_lifecycle;
         ] );
+      ( "deadlines",
+        List.concat_map
+          (fun config ->
+            List.map
+              (fun (mname, mailbox) ->
+                Alcotest.test_case
+                  (Printf.sprintf "wedged query times out [%s/%s]"
+                     config.Cfg.name mname)
+                  `Quick
+                  (fun () -> test_wedged_query_timeout config mailbox))
+              [ ("qoq", `Qoq); ("direct", `Direct) ])
+          [ Cfg.none; Cfg.all ]
+        @ [
+            Alcotest.test_case "timeout does not poison" `Quick
+              test_timeout_does_not_poison;
+            Alcotest.test_case "default deadline" `Quick test_default_deadline;
+            Alcotest.test_case "promise force timeout" `Quick
+              test_promise_await_timeout;
+            Alcotest.test_case "wait-condition timeout" `Quick
+              test_wait_condition_timeout;
+            Alcotest.test_case "lock reservation timeout" `Quick
+              test_lock_reservation_timeout;
+            Alcotest.test_case "shutdown grace escalates" `Quick
+              test_shutdown_grace_escalates;
+          ] );
+      ( "backpressure",
+        [
+          Alcotest.test_case "block completes" `Quick test_backpressure_block;
+          Alcotest.test_case "fail refuses at bound" `Quick
+            test_backpressure_fail;
+          Alcotest.test_case "shed_oldest sheds backlog" `Quick
+            test_backpressure_shed_oldest;
+        ] );
       ( "properties",
         List.map (fun c -> qc (prop_random_programs c)) Cfg.presets
         @ List.map (fun c -> qc (prop_query_async_equiv c)) Cfg.presets
-        @ List.map (fun c -> qc (prop_poisoning_isolated c)) Cfg.presets );
+        @ List.map (fun c -> qc (prop_poisoning_isolated c)) Cfg.presets
+        @ List.concat_map
+            (fun c ->
+              List.map
+                (fun m -> qc (prop_generous_timeout_equiv c m))
+                [ `Qoq; `Direct ])
+            Cfg.presets );
     ]
