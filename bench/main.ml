@@ -21,7 +21,7 @@ let all_artifacts =
   [
     "table1"; "fig16"; "table2"; "fig17"; "table3"; "table4"; "fig18";
     "fig19"; "table5"; "fig20"; "summary"; "eve"; "switches"; "micro";
-    "pipeline"; "timeout";
+    "pipeline"; "timeout"; "pools";
   ]
 
 (* §4.3 attributes the QoQ gains to "fewer context switches, since the
@@ -403,6 +403,116 @@ let timeout_ablation (s : H.scale) =
     "socket transport allocation" alloc_per_msg;
   (ns plain, ns timed, probe, alloc_per_msg)
 
+(* -- scheduler-pool ablation ------------------------------------------------- *)
+
+(* Two questions about the sharded injection path and elastic pools:
+
+   1. Injection contention: the same cross-domain push/pop flood through
+      the sharded MPMC at one shard (every producer funnels into a single
+      queue — the pre-pool global-inject shape) vs eight shards (the
+      per-worker layout the scheduler runs).  Identical code, only the
+      shard count moves, so the row pair isolates the sharding itself.
+   2. What does pinning cost?  The same call-heavy handler workload with
+      the handler riding the default pool vs pinned to a dedicated pool
+      that starts empty — the pinned run pays pool migration and the
+      elastic absorb/shrink machinery on every park/unpark cycle.
+
+   Plus a forced-imbalance probe for the per-pool counters: a pinned
+   handler flooded from default-pool clients.  CI asserts the probe's
+   [pool_migrations] is nonzero — idle workers really do move. *)
+let pools_ablation (s : H.scale) =
+  let module BT = Qs_benchmarks.Bench_types in
+  print_newline ();
+  print_endline
+    "pools ablation: sharded injection, pinned handlers, per-pool counters";
+  print_endline (String.make 72 '-');
+  let reps = max 3 s.H.reps in
+  let row name ~ops f =
+    let samples =
+      List.init reps (fun _ -> snd (BT.timed f) *. 1e9 /. float_of_int ops)
+    in
+    let n = List.length samples in
+    let mean = List.fold_left ( +. ) 0.0 samples /. float_of_int n in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0.0 samples
+      /. float_of_int n
+    in
+    Printf.printf "%-36s %10.0f ns/op\n" name mean;
+    (Printf.sprintf "qs:%s" name, mean, sqrt var, n)
+  in
+  (* 4 producer domains flood the queue while this domain drains it. *)
+  let inject_flood ~shards () =
+    let producers = 4 and per = 5_000 in
+    let q = Qs_queues.Sharded_mpmc.create_sharded ~shards () in
+    let doms =
+      List.init producers (fun _ ->
+        Domain.spawn (fun () ->
+          for i = 1 to per do
+            Qs_queues.Sharded_mpmc.push q i
+          done))
+    in
+    let budget = producers * per in
+    let popped = ref 0 in
+    while !popped < budget do
+      match Qs_queues.Sharded_mpmc.pop q with
+      | Some _ -> incr popped
+      | None -> Domain.cpu_relax ()
+    done;
+    List.iter Domain.join doms
+  in
+  let handler_flood ?pools ?pool () =
+    Scoop.Runtime.run ~domains:2 ?pools (fun rt ->
+      let h = Scoop.Runtime.processor ?pool rt in
+      let cell = Scoop.Shared.create h (ref 0) in
+      for _ = 1 to 1000 do
+        Scoop.Runtime.separate rt h (fun reg ->
+          Scoop.Shared.apply reg cell incr)
+      done;
+      Scoop.Runtime.separate rt h (fun reg ->
+        ignore (Scoop.Shared.get reg cell (fun r -> !r) : int)))
+  in
+  (* Sequential lets: list literals evaluate right-to-left, which would
+     reverse the printed order. *)
+  let r1 = row "pools:inject-shard1-20000" ~ops:20_000 (inject_flood ~shards:1) in
+  let r2 = row "pools:inject-shard8-20000" ~ops:20_000 (inject_flood ~shards:8) in
+  let r3 =
+    row "pools:handler-default-1000" ~ops:1_000 (fun () -> handler_flood ())
+  in
+  let r4 =
+    row "pools:handler-pinned-1000" ~ops:1_000 (fun () ->
+      handler_flood ~pools:[ "svc" ] ~pool:"svc" ())
+  in
+  let rows = [ r1; r2; r3; r4 ] in
+  (* Forced imbalance: all the work lives in the pinned handler's pool,
+     all the clients in default — the hot pool has to absorb workers. *)
+  let counters =
+    Scoop.Runtime.run ~domains:2 ~pools:[ "hot" ] (fun rt ->
+      let h = Scoop.Runtime.processor ~pool:"hot" rt in
+      let cell = Scoop.Shared.create h (ref 0) in
+      let clients = 4 and per = max 200 (s.H.m / 4) in
+      let latch = Qs_sched.Latch.create clients in
+      for _ = 1 to clients do
+        Qs_sched.Sched.spawn (fun () ->
+          for _ = 1 to per do
+            Scoop.Runtime.separate rt h (fun reg ->
+              Scoop.Shared.apply reg cell incr)
+          done;
+          Qs_sched.Latch.count_down latch)
+      done;
+      Qs_sched.Latch.wait latch;
+      Scoop.Runtime.separate rt h (fun reg ->
+        ignore (Scoop.Shared.get reg cell (fun r -> !r) : int));
+      Scoop.Runtime.pool_counters ())
+  in
+  Printf.printf "imbalance probe:";
+  List.iter
+    (fun (k, v) ->
+      if String.length k < 5 || String.sub k 0 5 <> "pool." then
+        Printf.printf " %s=%d" k v)
+    counters;
+  print_newline ();
+  (rows, counters)
+
 (* -- Bechamel micro-suite: one Test.make per table ------------------------- *)
 
 let micro () =
@@ -495,15 +605,20 @@ let micro () =
            ignore (Qs_queues.Mpsc_queue.pop q : int option)
          done))
   in
+  (* Same row name as the committed baseline, new structure underneath:
+     the scheduler's injection queue is now the sharded MPMC (per-shard
+     Vyukov MPSC behind a consumer spinlock) instead of the generic
+     Michael–Scott queue, so this row tracks the structure the scheduler
+     actually runs on and its delta against the recorded baseline. *)
   let t_mpmc =
     Test.make ~name:"ablation:qoq-mpmc-1000"
       (Staged.stage (fun () ->
-         let q = Qs_queues.Mpmc_queue.create () in
+         let q = Qs_queues.Sharded_mpmc.create_sharded ~shards:4 () in
          for i = 1 to 1000 do
-           Qs_queues.Mpmc_queue.push q i
+           Qs_queues.Sharded_mpmc.push q i
          done;
          for _ = 1 to 1000 do
-           ignore (Qs_queues.Mpmc_queue.pop q : int option)
+           ignore (Qs_queues.Sharded_mpmc.pop q : int option)
          done))
   in
   (* Mailbox ablation: the same 100-call workload through each handler
@@ -641,9 +756,14 @@ let json_ints kvs =
   Qs_obs.Json.Obj (List.map (fun (k, v) -> (k, Qs_obs.Json.Int v)) kvs)
 
 let write_json path (s : H.scale) micro_rows batching_rows pipeline_rows
-    timeout_info =
+    timeout_info pools_info =
   let open Qs_obs.Json in
   let runtime_counters, sched_counters = instrumented_probe s in
+  let pools_json =
+    match pools_info with
+    | None -> []
+    | Some (_, pool_counters) -> [ ("pools", json_ints pool_counters) ]
+  in
   let timeout_json =
     match timeout_info with
     | None -> []
@@ -719,6 +839,7 @@ let write_json path (s : H.scale) micro_rows batching_rows pipeline_rows
         ("pipeline", List pipeline_json);
       ]
       @ timeout_json
+      @ pools_json
       @ [
         ( "counters",
           Obj
@@ -782,19 +903,26 @@ let run scale only json trace_out =
   let timeout_info =
     if want "timeout" then Some (timeout_ablation scale) else None
   in
+  let pools_info = if want "pools" then Some (pools_ablation scale) else None in
+  let pools_rows =
+    match pools_info with Some (rows, _) -> rows | None -> []
+  in
   if want "micro" then begin
     let micro_rows, batching_rows = micro () in
     match json with
     | Some path ->
-      write_json path scale micro_rows batching_rows pipeline_rows timeout_info
+      write_json path scale (micro_rows @ pools_rows) batching_rows
+        pipeline_rows timeout_info pools_info
     | None -> ()
   end
   else
     Option.iter
       (fun path ->
-        (* No micro rows without the micro suite; still emit the
-           counters so the output is valid and self-describing. *)
-        write_json path scale [] [] pipeline_rows timeout_info)
+        (* No micro rows without the micro suite; still emit the pools
+           rows and the counters so the output is valid and
+           self-describing. *)
+        write_json path scale pools_rows [] pipeline_rows timeout_info
+          pools_info)
       json;
   Option.iter (fun path -> write_trace path scale) trace_out
 
@@ -833,7 +961,7 @@ let only_term =
     & info [ "only" ]
         ~doc:"Regenerate only the given artifact (repeatable). One of: table1 \
               fig16 table2 fig17 table3 table4 fig18 fig19 table5 fig20 \
-              summary eve switches micro pipeline timeout.")
+              summary eve switches micro pipeline timeout pools.")
 
 let json_term =
   Arg.(

@@ -8,11 +8,13 @@
            (default: all) and print the removals.
      qs sim [--task t] [--lang l]
          — print simulated scalability curves from the calibrated model.
-     qs demo [--deadline SECS] [--bound N --backpressure POLICY]
+     qs demo [--deadline SECS] [--bound N --backpressure POLICY] [--pools]
          — a small end-to-end SCOOP program with runtime statistics;
            optionally walk through the deadline semantics (a query
-           against a wedged handler raising Scoop.Timeout) and the
-           bounded-mailbox overflow policies.
+           against a wedged handler raising Scoop.Timeout), the
+           bounded-mailbox overflow policies, and the scheduler pools
+           (a pinned handler's pool absorbing and shedding workers,
+           with per-pool counters).
      qs faults [--mailbox m]
          — walk the failure paths (raising query, rejected promise,
            poisoned registration, aborted processor) and print the
@@ -198,7 +200,54 @@ let backpressure_demo mailbox bound overflow =
   Printf.printf "backpressure[%s]: shed_requests = %d\n" policy
     s.Scoop.Stats.s_shed_requests
 
-let demo trace_flag mailbox batch spsc deadline bound overflow =
+(* Scheduler-pool walkthrough (--pools): pin a handler to a dedicated
+   "hot" pool, flood it from default-pool clients, and print the
+   per-pool counters — idle workers migrate into the hot pool while it
+   has pending injections and shrink away once it drains. *)
+let pools_demo mailbox =
+  let clients = 4 and per = 500 in
+  let kv =
+    Scoop.Runtime.run ~domains:2 ~mailbox ~pools:[ "hot" ] (fun rt ->
+      let h = Scoop.Runtime.processor ~pool:"hot" rt in
+      let cell = Scoop.Shared.create h (ref 0) in
+      let latch = Qs_sched.Latch.create clients in
+      for _ = 1 to clients do
+        Qs_sched.Sched.spawn (fun () ->
+          for _ = 1 to per do
+            Scoop.Runtime.separate rt h (fun reg ->
+              Scoop.Shared.apply reg cell incr)
+          done;
+          Qs_sched.Latch.count_down latch)
+      done;
+      Qs_sched.Latch.wait latch;
+      let served =
+        Scoop.Runtime.separate rt h (fun reg ->
+          Scoop.Shared.get reg cell (fun r -> !r))
+      in
+      Printf.printf
+        "pools: handler pinned to \"hot\" served %d calls from %d \
+         default-pool clients\n"
+        served clients;
+      Scoop.Runtime.pool_counters ())
+  in
+  let v k = match List.assoc_opt k kv with Some n -> n | None -> 0 in
+  Printf.printf
+    "pools: pool_drains = %d, pool_migrations = %d, pool_idle_shrinks = %d\n"
+    (v "pool_drains") (v "pool_migrations") (v "pool_idle_shrinks");
+  List.iter
+    (fun name ->
+      Printf.printf
+        "pools: %-8s workers=%d pending=%d drains=%d migrations=%d \
+         idle_shrinks=%d\n"
+        name
+        (v (Printf.sprintf "pool.%s.workers" name))
+        (v (Printf.sprintf "pool.%s.pending" name))
+        (v (Printf.sprintf "pool.%s.drains" name))
+        (v (Printf.sprintf "pool.%s.migrations" name))
+        (v (Printf.sprintf "pool.%s.idle_shrinks" name)))
+    [ "default"; "hot" ]
+
+let demo trace_flag mailbox batch spsc deadline bound overflow pools_flag =
   if batch < 1 then begin
     Printf.eprintf "qs: --batch must be >= 1 (got %d)\n" batch;
     exit 1
@@ -249,7 +298,8 @@ let demo trace_flag mailbox batch spsc deadline bound overflow =
   in
   Format.printf "runtime statistics:@.%a@." Scoop.Stats.pp_snapshot stats;
   Option.iter (fun d -> deadline_demo mailbox d) deadline;
-  if bound > 0 then backpressure_demo mailbox bound overflow
+  if bound > 0 then backpressure_demo mailbox bound overflow;
+  if pools_flag then pools_demo mailbox
 
 (* -- faults ------------------------------------------------------------------- *)
 
@@ -590,10 +640,19 @@ let demo_cmd =
              $(b,fail) (admission raises Scoop.Overloaded) or $(b,shed) \
              (shed the oldest pending request, poisoning its client).")
   in
+  let pools =
+    Arg.(
+      value & flag
+      & info [ "pools" ]
+          ~doc:
+            "Also walk through scheduler pools: pin a handler to a \
+             dedicated $(b,hot) pool, flood it from default-pool clients, \
+             and print the per-pool drain/migration/shrink counters.")
+  in
   Cmd.v
     (Cmd.info "demo" ~doc:"Small end-to-end SCOOP program with statistics")
     Term.(const demo $ trace $ mailbox $ batch $ spsc $ deadline $ bound
-          $ backpressure)
+          $ backpressure $ pools)
 
 let faults_cmd =
   let mailbox =

@@ -42,6 +42,12 @@ type t = {
       (* what a client hitting the bound gets: back off until the handler
          drains, an immediate [Overloaded], or admission with the oldest
          pending request shed instead *)
+  pools : string list;
+      (* extra named scheduler pools created by [Runtime.run] beyond the
+         always-present "default" *)
+  pool : string option;
+      (* pool new processors' handler fibers are pinned to by default;
+         [None] = the spawner's pool *)
 }
 
 let default_batch = 16
@@ -59,6 +65,8 @@ let none =
     default_deadline = None;
     bound = 0;
     overflow = `Block;
+    pools = [];
+    pool = None;
   }
 
 let dynamic = { none with name = "dynamic"; client_query = true; dyn_sync = true }
@@ -78,6 +86,8 @@ let all =
     default_deadline = None;
     bound = 0;
     overflow = `Block;
+    pools = [];
+    pool = None;
   }
 
 (* §4.5: the production-EiffelStudio-like baseline and the EVE/Qs retrofit
@@ -97,6 +107,8 @@ let eve_qs =
     default_deadline = None;
     bound = 0;
     overflow = `Block;
+    pools = [];
+    pool = None;
   }
 
 let presets = [ none; dynamic; static_; qoq; all ]

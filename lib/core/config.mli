@@ -41,6 +41,12 @@ type t = {
       (** policy at the bound: back off until the handler drains ([`Block],
           the default), raise [Scoop.Overloaded] at admission ([`Fail]), or
           admit and shed the oldest pending request ([`Shed_oldest]) *)
+  pools : string list;
+      (** extra named scheduler pools created by [Runtime.run] beyond the
+          always-present ["default"] ([[]] in every preset) *)
+  pool : string option;
+      (** pool new processors' handler fibers are pinned to by default;
+          [None] (every preset) = the spawner's pool *)
 }
 
 val default_batch : int

@@ -306,7 +306,7 @@ let qoq_mailbox qoq cache =
 
 let direct_mailbox q = { drain = (fun buf -> Qs_sched.Bqueue.Mpsc.drain q buf) }
 
-let create ?sink ~id ~config ~stats () =
+let create ?sink ?pool ~id ~config ~stats () =
   Qs_obs.Counter.incr stats.Stats.processors;
   let comm =
     if Config.uses_qoq config then
@@ -346,7 +346,14 @@ let create ?sink ~id ~config ~stats () =
     | Qoq { qoq; cache } -> qoq_mailbox qoq cache
     | Direct { q; _ } -> direct_mailbox q
   in
-  Qs_sched.Sched.spawn (fun () ->
+  (* Pinning: a pooled handler fiber is spawned into its scheduler pool,
+     so only that pool's member workers ever drain its requests. *)
+  let spawn_handler =
+    match pool with
+    | Some name -> Qs_sched.Sched.spawn_in name
+    | None -> Qs_sched.Sched.spawn
+  in
+  spawn_handler (fun () ->
     Fun.protect
       ~finally:(fun () ->
         Atomic.set t.state (if Atomic.get t.failed then Failed else Stopped);

@@ -32,11 +32,20 @@ exception Overloaded of int
 type t
 
 val create :
-  ?sink:Qs_obs.Sink.t -> id:int -> config:Config.t -> stats:Stats.t -> unit -> t
+  ?sink:Qs_obs.Sink.t ->
+  ?pool:string ->
+  id:int ->
+  config:Config.t ->
+  stats:Stats.t ->
+  unit ->
+  t
 (** Create a processor and spawn its handler fiber.  Must run inside a
     scheduler.  With [sink], the handler records one ["core"]/["batch"]
     complete span per drained batch (track = processor id, arg = batch
-    size). *)
+    size).  With [pool], the handler fiber is pinned to that scheduler
+    pool ([Qs_sched.Sched.spawn_in]): only the pool's member workers
+    drain its requests.
+    @raise Invalid_argument on an unknown pool name. *)
 
 val id : t -> int
 

@@ -9,8 +9,10 @@ type t = {
 (* The request-path knobs are orthogonal to the optimization presets, so
    they are overridable per run without defining a new preset: [mailbox]
    swaps the communication structure, [batch] the drain width, [spsc] the
-   private-queue backing. *)
-let override ?mailbox ?batch ?spsc ?deadline ?bound ?overflow config =
+   private-queue backing, [pools]/[pool] the scheduler-pool topology and
+   default processor pinning. *)
+let override ?mailbox ?batch ?spsc ?deadline ?bound ?overflow ?pools ?pool
+    config =
   let config =
     match mailbox with
     | Some m -> { config with Config.mailbox = m }
@@ -42,8 +44,18 @@ let override ?mailbox ?batch ?spsc ?deadline ?bound ?overflow config =
       { config with Config.bound = b }
     | None -> config
   in
-  match overflow with
-  | Some p -> { config with Config.overflow = p }
+  let config =
+    match overflow with
+    | Some p -> { config with Config.overflow = p }
+    | None -> config
+  in
+  let config =
+    match pools with
+    | Some ps -> { config with Config.pools = ps }
+    | None -> config
+  in
+  match pool with
+  | Some _ -> { config with Config.pool = pool }
   | None -> config
 
 (* [obs] wins over [trace]: both enable tracing, but [obs] lets the
@@ -55,12 +67,13 @@ let resolve_sink ?obs ~trace () =
   | None -> if trace then Some (Qs_obs.Sink.create ()) else None
 
 let create ?(config = Config.all) ?mailbox ?batch ?spsc ?deadline ?bound
-    ?overflow ?(trace = false) ?obs () =
+    ?overflow ?pools ?pool ?(trace = false) ?obs () =
   {
     ctx =
       Ctx.create
         ?sink:(resolve_sink ?obs ~trace ())
-        (override ?mailbox ?batch ?spsc ?deadline ?bound ?overflow config);
+        (override ?mailbox ?batch ?spsc ?deadline ?bound ?overflow ?pools
+           ?pool config);
     procs = Qs_queues.Treiber_stack.create ();
     next_id = Atomic.make 0;
   }
@@ -71,10 +84,20 @@ let trace t = t.ctx.Ctx.trace
 let obs t = t.ctx.Ctx.sink
 let sched_counters () = Qs_sched.Sched.current_counters ()
 
-let processor t =
+let pool_counters () =
+  Qs_sched.Sched.(pool_counters_assoc (current_pool_counters ()))
+
+(* [?pool] pins the new processor's handler fiber to a scheduler pool;
+   it defaults to the runtime's [Config.pool] (if any), so a whole
+   runtime can route its handlers to a dedicated pool with one config
+   field. *)
+let processor ?pool t =
   let id = Atomic.fetch_and_add t.next_id 1 in
+  let pool =
+    match pool with Some _ -> pool | None -> t.ctx.Ctx.config.Config.pool
+  in
   let proc =
-    Processor.create ?sink:t.ctx.Ctx.sink ~id ~config:t.ctx.Ctx.config
+    Processor.create ?sink:t.ctx.Ctx.sink ?pool ~id ~config:t.ctx.Ctx.config
       ~stats:t.ctx.Ctx.stats ()
   in
   (match t.ctx.Ctx.eve with
@@ -83,7 +106,7 @@ let processor t =
   Qs_queues.Treiber_stack.push t.procs proc;
   proc
 
-let processors t n = List.init n (fun _ -> processor t)
+let processors ?pool t n = List.init n (fun _ -> processor ?pool t)
 
 (* Pop every registered processor and apply [close] (Processor.shutdown
    or Processor.abort).  The pop-based registry makes repeated lifecycle
@@ -148,18 +171,26 @@ let separate_list_when ?timeout t procs ~pred body =
   Separate.many_when ?timeout t.ctx procs ~pred body
 
 let run ?(domains = 1) ?(config = Config.all) ?mailbox ?batch ?spsc ?deadline
-    ?bound ?overflow ?(trace = false) ?obs ?on_stall ?on_counters main =
+    ?bound ?overflow ?pools ?pool ?grace ?(trace = false) ?obs ?on_stall
+    ?on_counters main =
+  (* Resolve the config up front: the scheduler needs the pool topology
+     before the runtime exists. *)
+  let config =
+    override ?mailbox ?batch ?spsc ?deadline ?bound ?overflow ?pools ?pool
+      config
+  in
   (* Build the sink before the scheduler starts so its workers share it:
      one sink then collects scheduler, handler and client events. *)
   let sink = resolve_sink ?obs ~trace () in
-  Qs_sched.Sched.run ~domains ?on_stall ?on_counters ?obs:sink (fun () ->
-    let t =
-      create ~config ?mailbox ?batch ?spsc ?deadline ?bound ?overflow
-        ?obs:sink ()
-    in
+  Qs_sched.Sched.run ~domains ~pools:config.Config.pools ?on_stall
+    ?on_counters ?obs:sink (fun () ->
+    let t = create ~config ?obs:sink () in
     match main t with
     | v ->
-      shutdown t;
+      (* Pool teardown rides on the processor drain: closing every
+         handler stream empties each pool's injection queue, and the
+         final latch awaits cover pinned handlers in every pool. *)
+      shutdown ?grace t;
       v
     | exception e ->
       let bt = Printexc.get_raw_backtrace () in

@@ -20,6 +20,8 @@ val create :
   ?deadline:float ->
   ?bound:int ->
   ?overflow:[ `Block | `Fail | `Shed_oldest ] ->
+  ?pools:string list ->
+  ?pool:string ->
   ?trace:bool ->
   ?obs:Qs_obs.Sink.t ->
   unit ->
@@ -31,10 +33,13 @@ val create :
     override the time-awareness fields ([deadline] sets
     [default_deadline], the implicit [?timeout] of blocking queries and
     syncs; [bound]/[overflow] configure bounded mailboxes — see
-    {!Config.t}); [trace] enables detailed event tracing
-    (see {!Trace}) over a fresh private sink, while [obs] (which
-    implies [trace]) supplies the sink — pass the sink already attached
-    to the scheduler to get all layers' events in one place.
+    {!Config.t}); [pools]/[pool] override the scheduler-pool topology
+    fields (note that [create] does not make scheduler pools — only
+    {!run} does; an unknown [pool] fails at {!processor} time); [trace]
+    enables detailed event tracing (see {!Trace}) over a fresh private
+    sink, while [obs] (which implies [trace]) supplies the sink — pass
+    the sink already attached to the scheduler to get all layers' events
+    in one place.
     @raise Invalid_argument if [batch < 1]. *)
 
 val run :
@@ -46,6 +51,9 @@ val run :
   ?deadline:float ->
   ?bound:int ->
   ?overflow:[ `Block | `Fail | `Shed_oldest ] ->
+  ?pools:string list ->
+  ?pool:string ->
+  ?grace:float ->
   ?trace:bool ->
   ?obs:Qs_obs.Sink.t ->
   ?on_stall:[ `Raise | `Warn ] ->
@@ -57,17 +65,28 @@ val run :
     [main] returns.  A deadlocked program raises {!Qs_sched.Sched.Stalled}
     (see paper §2.5).
 
+    [pools] (or [config.pools]) names extra scheduler pools for this run
+    (see [Qs_sched.Sched.run]); [pool] (or [config.pool]) pins every
+    processor created without an explicit [?pool] to that pool.  The
+    shutdown on return drains every pool: stream closes propagate to
+    pinned handlers wherever they run, and their exit latches are awaited
+    like any other ([grace] is passed to {!shutdown}).
+
     With [~trace:true] (or an explicit [~obs] sink) the whole stack is
     instrumented into one shared sink: scheduler workers record
     dispatch/park spans and steal/handoff instants (["sched"]), handlers
-    record per-batch spans (["core"]), and client operations record
-    reserve/call/sync/query events (["client"]/["core"]) — see
+    record per-batch spans (["core"]), client operations record
+    reserve/call/sync/query events (["client"]/["core"]), and pool
+    membership changes land as ["pool"]-category lanes — see
     {!Qs_obs.Chrome} for exporting it. *)
 
-val processor : t -> Processor.t
-(** Spawn a new processor (handler fiber). *)
+val processor : ?pool:string -> t -> Processor.t
+(** Spawn a new processor (handler fiber).  [pool] pins its handler fiber
+    to the named scheduler pool (default: the runtime's [Config.pool] if
+    set, else the spawner's pool).
+    @raise Invalid_argument on an unknown pool name. *)
 
-val processors : t -> int -> Processor.t list
+val processors : ?pool:string -> t -> int -> Processor.t list
 
 val separate : ?timeout:float -> t -> Processor.t -> (Registration.t -> 'a) -> 'a
 (** [separate rt h body] is SCOOP's [separate h do body end]. *)
@@ -138,3 +157,8 @@ val sched_counters : unit -> Qs_sched.Sched.counters option
     handoffs, steals, parks); [None] outside a scheduler.  Mid-run the
     values are approximate (racy reads), exact once the scheduler has
     quiesced. *)
+
+val pool_counters : unit -> (string * int) list
+(** Flat per-pool counter view of the surrounding scheduler (aggregates
+    [pool_drains] / [pool_migrations] / [pool_idle_shrinks], then
+    [pool.<name>.<field>] per pool); [[]] outside a scheduler. *)

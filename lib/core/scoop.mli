@@ -77,6 +77,9 @@ val run :
   ?deadline:float ->
   ?bound:int ->
   ?overflow:[ `Block | `Fail | `Shed_oldest ] ->
+  ?pools:string list ->
+  ?pool:string ->
+  ?grace:float ->
   ?trace:bool ->
   ?obs:Qs_obs.Sink.t ->
   ?on_stall:[ `Raise | `Warn ] ->

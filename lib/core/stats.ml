@@ -42,25 +42,30 @@ type t = {
 let create () =
   let registry = Qs_obs.Counter.registry () in
   let c name = Qs_obs.Counter.make registry name in
+  (* Hot-path counters — bumped on every async call / query / handler
+     batch, from every domain at once — use per-domain sharded cells so
+     the instrumentation itself never bounces a cache line between
+     workers (ROADMAP item 4).  The rest are cold enough for one word. *)
+  let h name = Qs_obs.Counter.make_sharded registry name in
   (* Bind before constructing the record: record fields evaluate in
      unspecified order, and registration order is the snapshot order. *)
   let processors = c "processors" in
   let reservations = c "reservations" in
   let multi_reservations = c "multi_reservations" in
-  let calls = c "calls" in
-  let queries = c "queries" in
+  let calls = h "calls" in
+  let queries = h "queries" in
   let packaged_queries = c "packaged_queries" in
   let promises_created = c "promises_created" in
   let promises_fulfilled = c "promises_fulfilled" in
   let promises_ready = c "promises_ready_on_first_poll" in
   let promises_blocked = c "promises_forced_blocking" in
-  let syncs_sent = c "syncs_sent" in
-  let syncs_elided = c "syncs_elided" in
+  let syncs_sent = h "syncs_sent" in
+  let syncs_elided = h "syncs_elided" in
   let eve_lookups = c "eve_lookups" in
   let wait_retries = c "wait_retries" in
   let wait_backoffs = c "wait_backoffs" in
-  let handler_wakeups = c "handler_wakeups" in
-  let batched_requests = c "batched_requests" in
+  let handler_wakeups = h "handler_wakeups" in
+  let batched_requests = h "batched_requests" in
   let ends_drained = c "ends_drained" in
   let handler_failures = c "handler_failures" in
   let poisoned_registrations = c "poisoned_registrations" in

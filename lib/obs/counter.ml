@@ -6,11 +6,32 @@
    set of counters and can snapshot them all as one name→value view.  The
    higher layers (Scoop.Stats, the bench JSON output) are thin views over
    these snapshots, so adding a counter anywhere in the stack is one
-   [make] call — no hand-written record/snapshot/diff triplication. *)
+   [make] call — no hand-written record/snapshot/diff triplication.
+
+   Two cell layouts share the same interface:
+   - [Central]: one atomic word — right for counters bumped rarely or from
+     one domain.
+   - [Sharded]: per-domain cells (padded apart so they never share a cache
+     line), summed on read.  Hot-path counters bumped from every domain
+     (async calls, queries, handler wakeups) otherwise turn into a single
+     contended line bouncing between cores — the classic statistics
+     anti-pattern the sharded layout exists to kill.  Reads are O(cells)
+     and racy-by-summation, which snapshots already are. *)
+
+type cell =
+  | Central of int Atomic.t
+  | Sharded of padded_cell array (* length is a power of two *)
+
+and padded_cell = {
+  c : int Atomic.t;
+  (* Separate heap blocks plus filler keep two cells from sharing a cache
+     line (OCaml 5.1 has no [Atomic.make_contended]). *)
+  _pad : int array;
+}
 
 type t = {
   name : string;
-  cell : int Atomic.t;
+  cell : cell;
 }
 
 type registry = {
@@ -20,22 +41,52 @@ type registry = {
 
 let registry () = { lock = Mutex.create (); counters = [] }
 
-let make registry name =
-  let c = { name; cell = Atomic.make 0 } in
+let register registry name cell =
+  let t = { name; cell } in
   Mutex.lock registry.lock;
   (match List.find_opt (fun c' -> c'.name = name) registry.counters with
   | Some _ ->
     Mutex.unlock registry.lock;
     invalid_arg ("Qs_obs.Counter.make: duplicate counter " ^ name)
   | None -> ());
-  registry.counters <- c :: registry.counters;
+  registry.counters <- t :: registry.counters;
   Mutex.unlock registry.lock;
-  c
+  t
+
+let make registry name = register registry name (Central (Atomic.make 0))
+
+(* Enough cells that the default worker counts in this repo (≤ 8 domains)
+   map 1:1; more domains alias harmlessly. *)
+let default_shards = 8
+
+let make_sharded ?(shards = default_shards) registry name =
+  let n =
+    let rec pow2 p = if p >= max 1 shards then p else pow2 (p * 2) in
+    pow2 1
+  in
+  register registry name
+    (Sharded (Array.init n (fun _ -> { c = Atomic.make 0; _pad = Array.make 8 0 })))
 
 let name t = t.name
-let get t = Atomic.get t.cell
-let incr t = Atomic.incr t.cell
-let add t n = ignore (Atomic.fetch_and_add t.cell n : int)
+
+let my_cell cells =
+  cells.((Domain.self () :> int) land (Array.length cells - 1)).c
+
+let get t =
+  match t.cell with
+  | Central c -> Atomic.get c
+  | Sharded cells ->
+    Array.fold_left (fun acc pc -> acc + Atomic.get pc.c) 0 cells
+
+let incr t =
+  match t.cell with
+  | Central c -> Atomic.incr c
+  | Sharded cells -> Atomic.incr (my_cell cells)
+
+let add t n =
+  match t.cell with
+  | Central c -> ignore (Atomic.fetch_and_add c n : int)
+  | Sharded cells -> ignore (Atomic.fetch_and_add (my_cell cells) n : int)
 
 type snapshot = (string * int) list
 

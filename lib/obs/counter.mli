@@ -17,6 +17,15 @@ val make : registry -> string -> t
 (** Register a fresh counter under [name].
     @raise Invalid_argument if [name] is already registered. *)
 
+val make_sharded : ?shards:int -> registry -> string -> t
+(** Like {!make}, but the count lives in per-domain cells (default
+    {!default_shards}, rounded up to a power of two), padded apart so
+    concurrent bumps from different domains never contend on one cache
+    line.  Use for hot-path counters bumped from every domain; {!get}
+    sums the cells (racy-by-summation, like any live snapshot). *)
+
+val default_shards : int
+
 val name : t -> string
 val get : t -> int
 val incr : t -> unit

@@ -1,0 +1,59 @@
+(** Sharded multiple-producer multiple-consumer queue.
+
+    An array of Vyukov-style shards, spaced apart to kill false sharing.
+    Producers enqueue to a domain-stable shard with one atomic exchange
+    (so per-producer FIFO order is preserved and a single-producer stream
+    behaves exactly like one MPSC queue); consumers rotate over all
+    shards, claiming each element with a single CAS on the shard's tail
+    — lock-free on both ends.
+
+    This is the scheduler's replacement for the single Michael–Scott
+    global inject queue: same MAILBOX contract, but cross-domain traffic
+    is split over [shards] independent cache-line groups, and the common
+    uncontended operation costs one RMW per end instead of the MS
+    contended-CAS-loop dance. *)
+
+type 'a t
+
+val create_sharded : ?shards:int -> unit -> 'a t
+(** [create_sharded ~shards ()] makes a queue with [shards] shards
+    (rounded up to a power of two; default {!default_shards}). *)
+
+val default_shards : int
+
+val num_shards : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Append to the producer's domain-stable shard.
+    @raise Mailbox.Closed after {!close}. *)
+
+val pop : 'a t -> 'a option
+(** Rotate over all shards from shard 0 (consumers that want to fan out
+    pass their own stable start to {!pop_from}).  [None] means every
+    shard was observed empty — a shard caught in a producer's
+    exchange-then-link transient is re-checked (with backoff) rather
+    than skipped, so [None] is never a concurrency artifact. *)
+
+val pop_from : 'a t -> int -> 'a option
+(** [pop_from t start] is {!pop} beginning the sweep at shard
+    [start land mask] — lets a scheduler worker drain "its" shard first. *)
+
+val is_empty : 'a t -> bool
+(** Racy emptiness test; short-circuits at the first non-empty shard. *)
+
+val drain : 'a t -> 'a array -> int
+(** Batched {!pop} across shards in rotation order. *)
+
+val close : 'a t -> unit
+(** Close every shard; pending elements remain poppable. *)
+
+val is_closed : 'a t -> bool
+
+val create : unit -> 'a t
+(** {!Mailbox.S} alias: {!create_sharded} with the default shard count. *)
+
+val enqueue : 'a t -> 'a -> unit
+(** {!Mailbox.S} alias of {!push}. *)
+
+val dequeue : 'a t -> 'a option
+(** {!Mailbox.S} alias of {!pop}. *)

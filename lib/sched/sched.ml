@@ -12,8 +12,22 @@
      paper's direct client/handler handoff ("control passes directly from
      the handler to the client, ... avoiding the global scheduler").
    - a Chase–Lev deque for local work (LIFO for the owner, stolen FIFO).
-   - a global MPMC injection queue used by [yield] (round-robin fairness)
-     and by overflow/remote scheduling.
+   - a *sharded* injection queue per pool (see below) used by [yield]
+     (round-robin fairness) and by overflow/remote scheduling.  The old
+     single Michael–Scott MPMC here was the hottest contention point in the
+     runtime (see the qoq-mpmc ablation); [Sharded_mpmc] splits that
+     traffic per worker.
+
+   Pools: a scheduler owns one or more named pools, each with its own
+   injection queue and an (elastic) set of member workers.  Every fiber
+   belongs to the pool it was spawned in; scheduling a fiber from a worker
+   of another pool routes it to its home pool's injection queue instead of
+   the local deque, and steals are pool-local (a stolen job that turns out
+   to belong elsewhere is sent home, never run).  Workers re-evaluate pool
+   membership every [reeval_period] dispatches and whenever they run dry:
+   hot pools absorb idle workers, idle pools shrink to zero members.  Pool
+   0 is always ["default"] and is where [run]'s main fiber and unpinned
+   work live, so a single-pool scheduler behaves exactly as before.
 
    Idle workers spin briefly, steal, then sleep on a condition variable.
    The last worker to go idle while live fibers remain has found a global
@@ -29,10 +43,30 @@ type resumer = unit -> unit
 
 type task = unit -> unit
 
+(* A pool: a named injection queue plus load/membership accounting.  The
+   jobs it carries know their pool, so any worker can prove where a piece
+   of work belongs no matter which queue it surfaced from. *)
+type pool = {
+  pool_id : int;
+  pool_name : string;
+  inject : job Qs_queues.Sharded_mpmc.t;
+  pending : int Atomic.t; (* jobs in [inject], for migration scoring *)
+  assigned : int Atomic.t; (* member workers (parked workers leave) *)
+  pn_drains : int Atomic.t; (* jobs taken out of [inject] *)
+  pn_migrations : int Atomic.t; (* workers that joined from another pool *)
+  pn_idle_shrinks : int Atomic.t; (* times the pool emptied of workers *)
+}
+
+and job = {
+  run : task;
+  jpool : pool; (* home pool; fibers never change pools *)
+}
+
 type worker = {
   wid : int;
-  deque : task Qs_queues.Ws_deque.t;
-  mutable hot : task option;
+  deque : job Qs_queues.Ws_deque.t;
+  mutable hot : job option;
+  mutable pool : pool; (* current membership; only [wid] writes it *)
   mutable tick : int;
   mutable steal_seed : int;
   (* per-worker plain counters, aggregated after the run *)
@@ -45,7 +79,8 @@ type worker = {
 (* Scheduling counters — the "SCOOP-specific instrumentation" of paper §7
    at the scheduler layer.  [handoffs] counts hot-slot direct transfers
    (the §3.2 optimization), [parks] counts worker sleeps: together they
-   quantify the context-switch claims of §4.3. *)
+   quantify the context-switch claims of §4.3.  The pool trio aggregates
+   the per-pool cells (see {!pool_counters} for the breakdown). *)
 type counters = {
   c_executed : int; (* fiber dispatches *)
   c_handoffs : int; (* direct handoffs through the hot slot *)
@@ -53,11 +88,23 @@ type counters = {
   c_parks : int; (* worker park episodes *)
   c_timer_arms : int; (* timers armed *)
   c_timer_fires : int; (* timers that expired and ran their action *)
+  c_pool_drains : int; (* jobs taken from pool injection queues *)
+  c_pool_migrations : int; (* workers switching pools *)
+  c_pool_idle_shrinks : int; (* pools emptied of member workers *)
+}
+
+type pool_counters = {
+  p_name : string;
+  p_workers : int; (* current member workers (racy) *)
+  p_pending : int; (* jobs waiting in the injection queue (racy) *)
+  p_drains : int;
+  p_migrations : int;
+  p_idle_shrinks : int;
 }
 
 type t = {
+  pools : pool array; (* index 0 is always "default" *)
   workers : worker array;
-  inject : task Qs_queues.Mpmc_queue.t;
   timers : Timer.t; (* per-scheduler deadline queue *)
   live : int Atomic.t; (* spawned but not yet completed fibers *)
   idle_hint : int Atomic.t;
@@ -74,9 +121,14 @@ type t = {
 
 (* Worker events land in the shared observability sink under the "sched"
    category, one track per worker: dispatch spans, park spans, steal and
-   handoff instants.  Everything is behind [t.obs = Some _], so an
-   untraced run pays one branch. *)
+   handoff instants.  Pool membership events get their own lanes (category
+   "pool", track 1000 + pool id) so a Chrome trace shows each pool's
+   worker arrivals and shrink-to-zero moments as a separate row.
+   Everything is behind [t.obs = Some _], so an untraced run pays one
+   branch. *)
 let obs_cat = "sched"
+
+let pool_track p = 1000 + p.pool_id
 
 type _ Effect.t +=
   | Suspend : (resumer -> unit) -> unit Effect.t
@@ -90,6 +142,20 @@ let get_worker () = Domain.DLS.get current
 
 let num_workers t = Array.length t.workers
 
+let default_pool t = t.pools.(0)
+
+let find_pool t name =
+  let n = Array.length t.pools in
+  let rec go i =
+    if i = n then None
+    else if t.pools.(i).pool_name = name then Some t.pools.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let pool_names t =
+  Array.to_list (Array.map (fun p -> p.pool_name) t.pools)
+
 let wake_idlers t =
   if Atomic.get t.idle_hint > 0 then begin
     Mutex.lock t.idle_mutex;
@@ -97,37 +163,47 @@ let wake_idlers t =
     Mutex.unlock t.idle_mutex
   end
 
-let push_global t task =
-  Qs_queues.Mpmc_queue.push t.inject task;
+(* Send a job to its home pool's injection queue.  [pending] is bumped
+   before the push so a migrating worker never observes the queue fuller
+   than the score says — the transient is a phantom pending unit, which at
+   worst wakes a worker early. *)
+let push_job t job =
+  Atomic.incr job.jpool.pending;
+  Qs_queues.Sharded_mpmc.push job.jpool.inject job;
   wake_idlers t
 
-(* Schedule [task] for execution: hot slot if the caller is a worker of [t]
-   and the slot is free, else the caller's deque, else the global queue. *)
-let schedule t task =
+let push_pool t pool run = push_job t { run; jpool = pool }
+
+(* Schedule [job] for execution: hot slot if the caller is a worker of [t]
+   *member of the job's pool* and the slot is free, else the caller's
+   deque, else the pool's injection queue.  The pool guard is what makes
+   pinning sound: work for pool P only ever sits in queues drained by P's
+   workers. *)
+let schedule t job =
   match get_worker () with
-  | Some (t', w) when t' == t ->
+  | Some (t', w) when t' == t && w.pool == job.jpool ->
     if w.hot = None then begin
       w.n_handoffs <- w.n_handoffs + 1;
       (match t.obs with
       | Some sink ->
         Qs_obs.Sink.instant sink ~cat:obs_cat ~name:"handoff" ~track:w.wid ()
       | None -> ());
-      w.hot <- Some task
+      w.hot <- Some job
     end
     else begin
-      Qs_queues.Ws_deque.push w.deque task;
+      Qs_queues.Ws_deque.push w.deque job;
       wake_idlers t
     end
-  | Some _ | None -> push_global t task
+  | Some _ | None -> push_job t job
 
 (* Like [schedule] but never uses the hot slot: used by [spawn] so a parent
    that spawns many fibers does not serialize behind each child. *)
-let schedule_cold t task =
+let schedule_cold t job =
   match get_worker () with
-  | Some (t', w) when t' == t ->
-    Qs_queues.Ws_deque.push w.deque task;
+  | Some (t', w) when t' == t && w.pool == job.jpool ->
+    Qs_queues.Ws_deque.push w.deque job;
     wake_idlers t
-  | Some _ | None -> push_global t task
+  | Some _ | None -> push_job t job
 
 (* Arm a one-shot timer on [t]'s timer queue.  The armed→fired interval is
    recorded as a "timer" span when tracing; parked workers are nudged so a
@@ -165,8 +241,11 @@ let fiber_done t =
   end
 
 (* Run a fresh fiber body under the effect handler.  Continuations resumed
-   later re-enter this handler automatically. *)
-let exec t (body : unit -> unit) =
+   later re-enter this handler automatically.  [pool] is the fiber's home
+   pool, captured once at spawn: every later resumption and yield routes
+   through it, so a fiber pinned to a pool stays pinned across suspension
+   points. *)
+let exec t pool (body : unit -> unit) =
   let open Effect.Deep in
   match_with body ()
     {
@@ -184,23 +263,48 @@ let exec t (body : unit -> unit) =
                 let resumed = Atomic.make false in
                 let resume () =
                   if Atomic.compare_and_set resumed false true then
-                    schedule t (fun () -> continue k ())
+                    schedule t { run = (fun () -> continue k ()); jpool = pool }
                 in
                 register resume)
           | Yield ->
             Some (fun (k : (a, unit) continuation) ->
-              push_global t (fun () -> continue k ()))
+              push_pool t pool (fun () -> continue k ()))
           | _ -> None);
     }
 
-let spawn_on t body =
+let spawn_on_pool t pool body =
   Atomic.incr t.live;
-  schedule_cold t (fun () -> exec t body)
+  schedule_cold t { run = (fun () -> exec t pool body); jpool = pool }
+
+(* Fibers inherit the spawner's *current* pool.  During a job's execution
+   the worker's membership equals the job's home pool (membership only
+   changes between jobs), so inheritance is deterministic: children live
+   where their parent lives unless spawned through [spawn_in]. *)
+let spawn_on t body =
+  let pool =
+    match get_worker () with
+    | Some (t', w) when t' == t -> w.pool
+    | Some _ | None -> default_pool t
+  in
+  spawn_on_pool t pool body
 
 let spawn body =
   match get_worker () with
-  | Some (t, _) -> spawn_on t body
+  | Some (t, w) -> spawn_on_pool t w.pool body
   | None -> invalid_arg "Sched.spawn: not running inside a scheduler"
+
+let spawn_in name body =
+  match get_worker () with
+  | Some (t, _) -> (
+    match find_pool t name with
+    | Some pool -> spawn_on_pool t pool body
+    | None -> invalid_arg ("Sched.spawn_in: unknown pool " ^ name))
+  | None -> invalid_arg "Sched.spawn_in: not running inside a scheduler"
+
+let current_pool () =
+  match get_worker () with
+  | Some (_, w) -> w.pool.pool_name
+  | None -> invalid_arg "Sched.current_pool: not running inside a scheduler"
 
 let suspend register = Effect.perform (Suspend register)
 
@@ -247,15 +351,124 @@ let suspend_timeout register delay =
         end));
     if Atomic.get state = 2 then `Timed_out else `Resumed
 
+(* -- Pool membership ------------------------------------------------------ *)
+
+(* Workers re-evaluate which pool to drain every [reeval_period] dispatches
+   (the elastic-pool cadence): often enough that a flooded pool absorbs
+   idle capacity within microseconds, rare enough that the scoring loads
+   are invisible next to the dispatches themselves. *)
+let reeval_period = 32
+
+(* Load score: queued jobs per member worker.  The +1 keeps empty pools
+   comparable and models the candidate worker itself joining. *)
+let pool_score p =
+  float_of_int (Atomic.get p.pending) /. float_of_int (1 + max 0 (Atomic.get p.assigned))
+
+let leave_pool t w =
+  let p = w.pool in
+  Atomic.decr p.assigned;
+  if Atomic.get p.assigned <= 0 && Atomic.get p.pending = 0 then begin
+    Atomic.incr p.pn_idle_shrinks;
+    match t.obs with
+    | Some sink ->
+      Qs_obs.Sink.instant sink ~cat:"pool" ~name:"shrink" ~track:(pool_track p)
+        ~arg:w.wid ()
+    | None -> ()
+  end
+
+let join_pool t w p ~migrated =
+  w.pool <- p;
+  Atomic.incr p.assigned;
+  if migrated then begin
+    Atomic.incr p.pn_migrations;
+    match t.obs with
+    | Some sink ->
+      Qs_obs.Sink.instant sink ~cat:"pool" ~name:"migrate" ~track:(pool_track p)
+        ~arg:w.wid ()
+    | None -> ()
+  end
+
+(* Best migration target other than [cur]: highest score among pools with
+   queued work. *)
+let best_other_pool t cur =
+  let best = ref None in
+  let best_score = ref 0.0 in
+  Array.iter
+    (fun p ->
+      if p != cur && Atomic.get p.pending > 0 then begin
+        let s = pool_score p in
+        if s > !best_score then begin
+          best := Some p;
+          best_score := s
+        end
+      end)
+    t.pools;
+  (!best, !best_score)
+
+(* Periodic re-evaluation, between jobs only (hot slot and deque must be
+   empty so no already-claimed work crosses pools with the worker). *)
+let maybe_reeval t w =
+  if
+    Array.length t.pools > 1
+    && w.n_executed mod reeval_period = 0
+    && w.hot = None
+    && Qs_queues.Ws_deque.size w.deque = 0
+  then begin
+    let cur = w.pool in
+    match best_other_pool t cur with
+    | Some p, s
+      when Atomic.get cur.pending = 0 || s > 2.0 *. pool_score cur ->
+      leave_pool t w;
+      join_pool t w p ~migrated:true
+    | _ -> ()
+  end
+
+let migrate_to t w p =
+  leave_pool t w;
+  join_pool t w p ~migrated:true
+
+(* A worker that found no work at all: before spinning or parking, move to
+   any pool with queued jobs.  This is the absorb side of autoscaling and
+   also what prevents livelock — without it, work injected into a pool
+   whose membership shrank to zero would only be picked up via the park
+   path.  With no injection backlog anywhere, a pool whose members hold
+   stealable deque work is the fallback target (steals are pool-local, so
+   helping requires joining first). *)
+let idle_migrate t w =
+  if Array.length t.pools <= 1 then false
+  else
+    match best_other_pool t w.pool with
+    | Some p, _ ->
+      migrate_to t w p;
+      true
+    | None, _ ->
+      let n = Array.length t.workers in
+      let rec find i =
+        if i = n then false
+        else
+          let v = t.workers.(i) in
+          if v.pool != w.pool && Qs_queues.Ws_deque.size v.deque > 0 then begin
+            migrate_to t w v.pool;
+            true
+          end
+          else find (i + 1)
+      in
+      find 0
+
 (* -- Worker loop ---------------------------------------------------------- *)
 
 let take_hot w =
   match w.hot with
-  | Some _ as task ->
+  | Some _ as job ->
     w.hot <- None;
-    task
+    job
   | None -> None
 
+(* Pool-local stealing: only workers of the same pool are victims, so a
+   pinned pool's work stays on its members.  Membership reads race with
+   migration, so a stolen job is re-checked against its [jpool] tag: a
+   mismatch (the victim migrated after pushing it) sends the job home via
+   its pool's injection queue instead of running it here. *)
 let try_steal t w =
   let n = Array.length t.workers in
   if n <= 1 then None
@@ -272,30 +485,34 @@ let try_steal t w =
       if i = n then None
       else
         let v = t.workers.((start + i) mod n) in
-        if v.wid = w.wid then loop (i + 1)
+        if v.wid = w.wid || v.pool != w.pool then loop (i + 1)
         else
           match Qs_queues.Ws_deque.steal v.deque with
-          | Some _ as task ->
+          | Some job when job.jpool != w.pool ->
+            push_job t job;
+            loop (i + 1)
+          | Some _ as job ->
             w.n_steals <- w.n_steals + 1;
             (match t.obs with
             | Some sink ->
               Qs_obs.Sink.instant sink ~cat:obs_cat ~name:"steal" ~track:w.wid
                 ~arg:v.wid ()
             | None -> ());
-            task
+            job
           | None -> loop (i + 1)
     in
     loop 0
   end
 
-(* Every [global_check_period] dispatches, look at the global queue before
-   every other source — including the hot slot — so that yielded fibers are
-   not starved by a busy local supply (needed by retry loops, e.g. the
-   `condition` benchmark).  The hot slot must be subject to this check too:
-   a direct-handoff ping-pong pair (client↔handler on one worker) refills
-   the slot on every dispatch, so consulting it first would starve the
-   global queue indefinitely.  A hot task skipped by the periodic check is
-   not lost — it stays in the slot and runs on the next dispatch. *)
+(* Every [global_check_period] dispatches, look at the pool's injection
+   queue before every other source — including the hot slot — so that
+   yielded fibers are not starved by a busy local supply (needed by retry
+   loops, e.g. the `condition` benchmark).  The hot slot must be subject
+   to this check too: a direct-handoff ping-pong pair (client↔handler on
+   one worker) refills the slot on every dispatch, so consulting it first
+   would starve the global queue indefinitely.  A hot task skipped by the
+   periodic check is not lost — it stays in the slot and runs on the next
+   dispatch. *)
 let global_check_period = 17
 
 (* Cheap timer poll for busy workers: one atomic load when no deadline is
@@ -309,34 +526,49 @@ let fire_due_timers t =
 
 let next_task t w =
   w.tick <- w.tick + 1;
-  let from_global () = Qs_queues.Mpmc_queue.pop t.inject in
+  let from_inject () =
+    (* Start the shard sweep at the worker's own shard so concurrent
+       drainers fan out instead of convoying. *)
+    match Qs_queues.Sharded_mpmc.pop_from w.pool.inject w.wid with
+    | Some job as r ->
+      Atomic.decr job.jpool.pending;
+      Atomic.incr job.jpool.pn_drains;
+      r
+    | None -> None
+  in
   let local () = Qs_queues.Ws_deque.pop w.deque in
   let periodic = w.tick mod global_check_period = 0 in
   if periodic then begin
     fire_due_timers t;
-    match from_global () with
-    | Some _ as task -> task
+    match from_inject () with
+    | Some _ as job -> job
     | None -> (
       match take_hot w with
-      | Some _ as task -> task
+      | Some _ as job -> job
       | None -> (
         match local () with
-        | Some _ as task -> task
+        | Some _ as job -> job
         | None -> try_steal t w))
   end
   else
     match take_hot w with
-    | Some _ as task -> task
+    | Some _ as job -> job
     | None -> (
       match local () with
-      | Some _ as task -> task
+      | Some _ as job -> job
       | None -> (
-        match from_global () with
-        | Some _ as task -> task
+        match from_inject () with
+        | Some _ as job -> job
         | None -> try_steal t w))
 
+(* Any runnable work anywhere?  Consulted on every park decision, so both
+   levels short-circuit: the pool scan stops at the first pool whose
+   sharded queue admits non-emptiness, and [Sharded_mpmc.is_empty] itself
+   stops at the first non-empty shard. *)
 let any_work t =
-  (not (Qs_queues.Mpmc_queue.is_empty t.inject))
+  Array.exists
+    (fun p -> not (Qs_queues.Sharded_mpmc.is_empty p.inject))
+    t.pools
   || Array.exists
        (fun w -> w.hot <> None || Qs_queues.Ws_deque.size w.deque > 0)
        t.workers
@@ -441,6 +673,31 @@ let park t =
     wait_for_work ()
   end
 
+(* After a park, rejoin the most loaded pool (a parked worker belongs to no
+   pool, which is how idle pools shrink to zero members); with nothing
+   pending anywhere, resume the previous membership. *)
+let rejoin_pool t w =
+  let old = w.pool in
+  let target =
+    if Array.length t.pools = 1 then old
+    else begin
+      let best = ref old in
+      let best_score = ref (pool_score old) in
+      Array.iter
+        (fun p ->
+          if Atomic.get p.pending > 0 then begin
+            let s = pool_score p in
+            if s > !best_score then begin
+              best := p;
+              best_score := s
+            end
+          end)
+        t.pools;
+      !best
+    end
+  in
+  join_pool t w target ~migrated:(target != old)
+
 let worker_loop t w =
   Domain.DLS.set current (Some (t, w));
   let spins = ref 0 in
@@ -448,55 +705,101 @@ let worker_loop t w =
     if t.stop then ()
     else
       match next_task t w with
-      | Some task ->
+      | Some job ->
         spins := 0;
         w.n_executed <- w.n_executed + 1;
         (match t.obs with
-        | None -> task ()
+        | None -> job.run ()
         | Some sink ->
           (* Dispatch span: one fiber slice on this worker. *)
           let t0 = Qs_obs.Sink.now sink in
-          task ();
+          job.run ();
           Qs_obs.Sink.complete sink ~cat:obs_cat ~name:"dispatch" ~track:w.wid
             ~ts:t0
             ~dur:(Qs_obs.Sink.now sink -. t0)
             ());
+        maybe_reeval t w;
         loop ()
       | None ->
-        incr spins;
-        if !spins < 64 then begin
-          Domain.cpu_relax ();
-          loop ()
-        end
+        if idle_migrate t w then loop ()
         else begin
-          spins := 0;
-          w.n_parks <- w.n_parks + 1;
-          match t.obs with
-          | None -> if park t then loop ()
-          | Some sink ->
-            (* Park span: the worker is asleep (or deciding to). *)
-            let t0 = Qs_obs.Sink.now sink in
-            let continue_ = park t in
-            Qs_obs.Sink.complete sink ~cat:obs_cat ~name:"park" ~track:w.wid
-              ~ts:t0
-              ~dur:(Qs_obs.Sink.now sink -. t0)
-              ();
-            if continue_ then loop ()
+          incr spins;
+          if !spins < 64 then begin
+            Domain.cpu_relax ();
+            loop ()
+          end
+          else begin
+            spins := 0;
+            w.n_parks <- w.n_parks + 1;
+            (* Membership is released for the duration of the sleep: a
+               parked worker counts toward no pool. *)
+            leave_pool t w;
+            let continue_ =
+              match t.obs with
+              | None -> park t
+              | Some sink ->
+                (* Park span: the worker is asleep (or deciding to). *)
+                let t0 = Qs_obs.Sink.now sink in
+                let continue_ = park t in
+                Qs_obs.Sink.complete sink ~cat:obs_cat ~name:"park" ~track:w.wid
+                  ~ts:t0
+                  ~dur:(Qs_obs.Sink.now sink -. t0)
+                  ();
+                continue_
+            in
+            if continue_ then begin
+              rejoin_pool t w;
+              loop ()
+            end
+          end
         end
   in
   loop ();
   Domain.DLS.set current None
 
-let make ?(domains = 1) ?obs ~on_stall () =
+let make ?(domains = 1) ?(pools = []) ?obs ~on_stall () =
   let domains = max 1 domains in
+  let names = "default" :: pools in
+  let () =
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun name ->
+        if name = "" then invalid_arg "Sched.make: empty pool name";
+        if Hashtbl.mem seen name then
+          invalid_arg ("Sched.make: duplicate pool " ^ name);
+        Hashtbl.add seen name ())
+      names
+  in
+  let pools =
+    Array.of_list
+      (List.mapi
+         (fun pool_id pool_name ->
+           {
+             pool_id;
+             pool_name;
+             (* One shard per worker: injection traffic splits across
+                domains instead of convoying on one queue. *)
+             inject = Qs_queues.Sharded_mpmc.create_sharded ~shards:domains ();
+             pending = Atomic.make 0;
+             (* Every worker starts in the default pool; the others fill
+                elastically. *)
+             assigned = Atomic.make (if pool_id = 0 then domains else 0);
+             pn_drains = Atomic.make 0;
+             pn_migrations = Atomic.make 0;
+             pn_idle_shrinks = Atomic.make 0;
+           })
+         names)
+  in
   {
     obs;
+    pools;
     workers =
       Array.init domains (fun wid ->
         {
           wid;
           deque = Qs_queues.Ws_deque.create ();
           hot = None;
+          pool = pools.(0);
           tick = 0;
           steal_seed = (wid * 0x9E3779B9) + 0x5DEECE66D;
           n_executed = 0;
@@ -504,7 +807,6 @@ let make ?(domains = 1) ?obs ~on_stall () =
           n_steals = 0;
           n_parks = 0;
         });
-    inject = Qs_queues.Mpmc_queue.create ();
     timers = Timer.create ();
     live = Atomic.make 0;
     idle_hint = Atomic.make 0;
@@ -524,6 +826,13 @@ let make ?(domains = 1) ?obs ~on_stall () =
    quiescence (end of run) it is exact. *)
 let counters t =
   let tc = Timer.counters t.timers in
+  let pd = ref 0 and pm = ref 0 and ps = ref 0 in
+  Array.iter
+    (fun p ->
+      pd := !pd + Atomic.get p.pn_drains;
+      pm := !pm + Atomic.get p.pn_migrations;
+      ps := !ps + Atomic.get p.pn_idle_shrinks)
+    t.pools;
   Array.fold_left
     (fun acc w ->
       {
@@ -540,8 +849,52 @@ let counters t =
       c_parks = 0;
       c_timer_arms = tc.Timer.t_armed;
       c_timer_fires = tc.Timer.t_fired;
+      c_pool_drains = !pd;
+      c_pool_migrations = !pm;
+      c_pool_idle_shrinks = !ps;
     }
     t.workers
+
+let pool_counters t =
+  Array.to_list
+    (Array.map
+       (fun p ->
+         {
+           p_name = p.pool_name;
+           p_workers = max 0 (Atomic.get p.assigned);
+           p_pending = max 0 (Atomic.get p.pending);
+           p_drains = Atomic.get p.pn_drains;
+           p_migrations = Atomic.get p.pn_migrations;
+           p_idle_shrinks = Atomic.get p.pn_idle_shrinks;
+         })
+       t.pools)
+
+let current_pool_counters () =
+  match get_worker () with
+  | Some (t, _) -> pool_counters t
+  | None -> []
+
+(* Flat name→value view: the three aggregates first (stable keys for the
+   bench JSON / CI assertions), then a per-pool breakdown under
+   [pool.<name>.<field>]. *)
+let pool_counters_assoc per =
+  let agg name field =
+    (name, List.fold_left (fun acc p -> acc + field p) 0 per)
+  in
+  agg "pool_drains" (fun p -> p.p_drains)
+  :: agg "pool_migrations" (fun p -> p.p_migrations)
+  :: agg "pool_idle_shrinks" (fun p -> p.p_idle_shrinks)
+  :: List.concat_map
+       (fun p ->
+         let key f = Printf.sprintf "pool.%s.%s" p.p_name f in
+         [
+           (key "workers", p.p_workers);
+           (key "pending", p.p_pending);
+           (key "drains", p.p_drains);
+           (key "migrations", p.p_migrations);
+           (key "idle_shrinks", p.p_idle_shrinks);
+         ])
+       per
 
 let current_counters () =
   match get_worker () with
@@ -556,23 +909,28 @@ let counters_assoc c =
     ("sched_parks", c.c_parks);
     ("sched_timer_arms", c.c_timer_arms);
     ("sched_timer_fires", c.c_timer_fires);
+    ("pool_drains", c.c_pool_drains);
+    ("pool_migrations", c.c_pool_migrations);
+    ("pool_idle_shrinks", c.c_pool_idle_shrinks);
   ]
 
 let pp_counters ppf c =
   Format.fprintf ppf
     "@[<v>dispatches: %d@,handoffs:   %d@,steals:     %d@,parks:      \
-     %d@,timer arms: %d@,timer fires:%d@]"
+     %d@,timer arms: %d@,timer fires:%d@,pool drains:%d@,migrations: \
+     %d@,idle shrinks:%d@]"
     c.c_executed c.c_handoffs c.c_steals c.c_parks c.c_timer_arms
-    c.c_timer_fires
+    c.c_timer_fires c.c_pool_drains c.c_pool_migrations c.c_pool_idle_shrinks
 
-let run ?(domains = 1) ?(on_stall = `Raise) ?on_counters ?obs main =
+let run ?(domains = 1) ?(pools = []) ?(on_stall = `Raise) ?on_counters ?obs
+    main =
   if get_worker () <> None then
     invalid_arg "Sched.run: already inside a scheduler (nested run)";
-  let t = make ~domains ?obs ~on_stall () in
+  let t = make ~domains ~pools ?obs ~on_stall () in
   let result = ref None in
   Atomic.incr t.live;
-  push_global t (fun () ->
-    exec t (fun () -> result := Some (main ())));
+  push_pool t (default_pool t) (fun () ->
+    exec t (default_pool t) (fun () -> result := Some (main ())));
   let others =
     Array.init
       (Array.length t.workers - 1)

@@ -501,6 +501,49 @@ module Props_socket =
       let dispose = Qs_remote.Socket_queue.destroy
     end)
 
+(* The sharded MPMC queue at 1, 2 and 8 shards: producers pick a shard by
+   domain, so these sequential (single-domain) properties exercise one
+   shard's FIFO order at every shard count while still sweeping the
+   rotate-all dequeue / drain / close paths over all shards. *)
+module Props_sharded_1 =
+  Mailbox_props
+    (struct
+      include Q.Sharded_mpmc
+
+      let create () = create_sharded ~shards:1 ()
+    end)
+    (struct
+      include Raw_defaults
+
+      let name = "sharded-mpmc:1"
+    end)
+
+module Props_sharded_2 =
+  Mailbox_props
+    (struct
+      include Q.Sharded_mpmc
+
+      let create () = create_sharded ~shards:2 ()
+    end)
+    (struct
+      include Raw_defaults
+
+      let name = "sharded-mpmc:2"
+    end)
+
+module Props_sharded_8 =
+  Mailbox_props
+    (struct
+      include Q.Sharded_mpmc
+
+      let create () = create_sharded ~shards:8 ()
+    end)
+    (struct
+      include Raw_defaults
+
+      let name = "sharded-mpmc:8"
+    end)
+
 module Bq = Qs_sched.Bqueue
 
 module Bq_defaults = struct
@@ -571,6 +614,52 @@ let test_mailbox_registry () =
           (List.rev !rest))
       Bq.mailboxes)
 
+(* Cross-domain stress over the sharded MPMC queue: nothing lost, nothing
+   duplicated, and per-producer FIFO (each producer's elements arrive in
+   push order, the ordering contract the domain-stable shard choice
+   preserves). *)
+let test_sharded_mpmc_stress () =
+  let q = Q.Sharded_mpmc.create_sharded ~shards:4 () in
+  let producers = 3 and consumers = 3 and per = 2_000 in
+  let total = producers * per in
+  let consumed = Atomic.make 0 in
+  let seen = Array.make total 0 in
+  let order_ok = Atomic.make true in
+  let ps =
+    List.init producers (fun p ->
+      Domain.spawn (fun () ->
+        for i = 1 to per do
+          Q.Sharded_mpmc.push q ((p * per) + i)
+        done))
+  in
+  let cs =
+    List.init consumers (fun _ ->
+      Domain.spawn (fun () ->
+        (* Per-producer FIFO: one producer's elements share a shard, so
+           each consumer's subsequence of them must be ascending (the
+           check is per consumer — cross-consumer recording would race). *)
+        let last_of = Array.make producers 0 in
+        let continue_ = ref true in
+        while !continue_ do
+          match Q.Sharded_mpmc.pop q with
+          | Some v ->
+            let p = (v - 1) / per in
+            if last_of.(p) >= v then Atomic.set order_ok false;
+            last_of.(p) <- v;
+            seen.(v - 1) <- seen.(v - 1) + 1;
+            if Atomic.fetch_and_add consumed 1 + 1 >= total then
+              continue_ := false
+          | None ->
+            if Atomic.get consumed >= total then continue_ := false
+            else Domain.cpu_relax ()
+        done))
+  in
+  List.iter Domain.join ps;
+  List.iter Domain.join cs;
+  check_int "all consumed exactly once" total
+    (Array.fold_left (fun acc c -> if c = 1 then acc + 1 else acc) 0 seen);
+  Alcotest.(check bool) "per-producer order" true (Atomic.get order_ok)
+
 let test_spinlock_mutual_exclusion () =
   let l = Q.Spinlock.create () in
   let counter = ref 0 in
@@ -609,13 +698,17 @@ let () =
         [ qc prop_spsc; qc prop_mpsc; qc prop_mpmc; qc prop_treiber; qc prop_ring_model ] );
       ( "mailbox",
         Props_spsc_linked.tests @ Props_spsc_ring.tests @ Props_mpsc.tests
-        @ Props_mpmc.tests @ Props_socket.tests @ Props_bq_spsc_linked.tests
-        @ Props_bq_spsc_ring.tests @ Props_bq_mpsc.tests
+        @ Props_mpmc.tests @ Props_sharded_1.tests @ Props_sharded_2.tests
+        @ Props_sharded_8.tests @ Props_socket.tests
+        @ Props_bq_spsc_linked.tests @ Props_bq_spsc_ring.tests
+        @ Props_bq_mpsc.tests
         @ [ Alcotest.test_case "bqueue registry" `Quick test_mailbox_registry ] );
       ( "parallel",
         [
           Alcotest.test_case "mpsc 4 producers" `Quick test_mpsc_producers;
           Alcotest.test_case "mpmc 3x3 stress" `Quick test_mpmc_stress;
+          Alcotest.test_case "sharded-mpmc 3x3 stress" `Quick
+            test_sharded_mpmc_stress;
           Alcotest.test_case "spsc pipeline order" `Quick test_spsc_parallel;
           Alcotest.test_case "ws_deque 2 thieves" `Quick test_ws_deque_thieves;
           Alcotest.test_case "ring pipeline order" `Quick test_ring_parallel;

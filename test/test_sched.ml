@@ -806,6 +806,127 @@ let test_hot_slot_fairness () =
   check_bool "yielded fiber progressed before the round cap" true
     (!rounds < cap)
 
+(* -- scheduler pools -------------------------------------------------------- *)
+
+let test_pool_unknown_rejected () =
+  check_bool "unknown pool" true
+    (try
+       S.run (fun () -> S.spawn_in "nope" (fun () -> ()));
+       false
+     with Invalid_argument _ -> true);
+  check_bool "duplicate pool name" true
+    (try
+       S.run ~pools:[ "a"; "a" ] (fun () -> ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_pool_pinning () =
+  (* A fiber spawned into a pool observes that pool at every execution
+     slice — across yields, suspensions and resumptions — because only
+     member workers of its pool ever run it.  Unpinned fibers stay in
+     "default" likewise. *)
+  let ok_hot = Atomic.make true and ok_def = Atomic.make true in
+  let observe flag expected =
+    if S.current_pool () <> expected then Atomic.set flag false
+  in
+  S.run ~domains:2 ~pools:[ "hot" ] (fun () ->
+    let latch = Latch.create 40 in
+    for _ = 1 to 20 do
+      S.spawn_in "hot" (fun () ->
+        observe ok_hot "hot";
+        S.yield ();
+        observe ok_hot "hot";
+        S.sleep 0.001;
+        observe ok_hot "hot";
+        S.spawn (fun () ->
+          (* children inherit the pool *)
+          observe ok_hot "hot";
+          Latch.count_down latch);
+        Latch.count_down latch)
+    done;
+    check_int "spawner still in default" 0
+      (if S.current_pool () = "default" then 0 else 1);
+    Latch.wait latch;
+    observe ok_def "default");
+  check_bool "pinned fibers ran only in their pool" true (Atomic.get ok_hot);
+  check_bool "main fiber stayed in default" true (Atomic.get ok_def)
+
+let test_pool_absorbs_and_shrinks () =
+  (* Autoscaling, observed deterministically with one worker: the worker
+     starts in "default", migrates into "hot" when work floods it, and
+     when "hot" runs dry it leaves for the waiting default work —
+     shrinking the idle pool to zero members. *)
+  let final = ref None in
+  let observed = ref [] in
+  S.run ~pools:[ "hot" ] ~on_counters:(fun c -> final := Some c) (fun () ->
+    let latch = Latch.create 50 in
+    for _ = 1 to 50 do
+      S.spawn_in "hot" (fun () ->
+        S.yield ();
+        Latch.count_down latch)
+    done;
+    Latch.wait latch;
+    (* The latch resumption brought the worker back to this (default)
+       fiber, so "hot" has already lost its last member. *)
+    observed := S.current_pool_counters ());
+  let hot =
+    match List.find_opt (fun p -> p.S.p_name = "hot") !observed with
+    | Some p -> p
+    | None -> Alcotest.fail "hot pool missing from pool_counters"
+  in
+  check_int "hot pool shrank to zero workers" 0 hot.S.p_workers;
+  check_bool "hot pool recorded idle shrinks" true (hot.S.p_idle_shrinks >= 1);
+  check_bool "hot pool drained its injections" true (hot.S.p_drains >= 50);
+  match !final with
+  | Some c ->
+    check_bool "aggregate migrations counted" true (c.S.c_pool_migrations >= 2);
+    check_bool "aggregate drains include hot" true
+      (c.S.c_pool_drains >= hot.S.p_drains)
+  | None -> Alcotest.fail "final counters missing"
+
+let test_pool_multi_domain_flood () =
+  (* Cross-domain pools under load: all fibers complete, pinning holds,
+     and idle workers migrate into the flooded pool. *)
+  let n = 2_000 in
+  let hits = Atomic.make 0 in
+  let ok = Atomic.make true in
+  let final = ref None in
+  S.run ~domains:4 ~pools:[ "hot"; "cold" ]
+    ~on_counters:(fun c -> final := Some c)
+    (fun () ->
+      let latch = Latch.create n in
+      for i = 1 to n do
+        let pool = if i mod 4 = 0 then "cold" else "hot" in
+        S.spawn_in pool (fun () ->
+          if S.current_pool () <> pool then Atomic.set ok false;
+          S.yield ();
+          if S.current_pool () <> pool then Atomic.set ok false;
+          Atomic.incr hits;
+          Latch.count_down latch)
+      done;
+      Latch.wait latch);
+  check_int "all pooled fibers ran" n (Atomic.get hits);
+  check_bool "pinning held under load" true (Atomic.get ok);
+  match !final with
+  | Some c -> check_bool "workers migrated" true (c.S.c_pool_migrations > 0)
+  | None -> Alcotest.fail "final counters missing"
+
+let test_pool_counters_assoc_shape () =
+  (* The flat view carries the aggregate keys (CI asserts on them) and a
+     per-pool breakdown for every declared pool. *)
+  let assoc = ref [] in
+  S.run ~pools:[ "hot" ] (fun () ->
+    S.spawn_in "hot" (fun () -> S.yield ());
+    S.yield ();
+    assoc := S.pool_counters_assoc (S.current_pool_counters ()));
+  let has k = List.mem_assoc k !assoc in
+  check_bool "pool_drains" true (has "pool_drains");
+  check_bool "pool_migrations" true (has "pool_migrations");
+  check_bool "pool_idle_shrinks" true (has "pool_idle_shrinks");
+  check_bool "per-pool default" true (has "pool.default.drains");
+  check_bool "per-pool hot" true (has "pool.hot.workers");
+  check_bool "empty outside a scheduler" true (S.current_pool_counters () = [])
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "qs_sched"
@@ -828,6 +949,19 @@ let () =
             test_spawned_exception_propagates;
           Alcotest.test_case "multi-domain sum" `Quick test_multi_domain_sum;
           Alcotest.test_case "nested run rejected" `Quick test_nested_run_rejected;
+        ] );
+      ( "pools",
+        [
+          Alcotest.test_case "unknown/duplicate rejected" `Quick
+            test_pool_unknown_rejected;
+          Alcotest.test_case "pinning across suspensions" `Quick
+            test_pool_pinning;
+          Alcotest.test_case "absorb and shrink to zero" `Quick
+            test_pool_absorbs_and_shrinks;
+          Alcotest.test_case "multi-domain flood" `Quick
+            test_pool_multi_domain_flood;
+          Alcotest.test_case "counters assoc shape" `Quick
+            test_pool_counters_assoc_shape;
         ] );
       ( "timer",
         [
