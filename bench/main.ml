@@ -21,7 +21,7 @@ let all_artifacts =
   [
     "table1"; "fig16"; "table2"; "fig17"; "table3"; "table4"; "fig18";
     "fig19"; "table5"; "fig20"; "summary"; "eve"; "switches"; "micro";
-    "pipeline"; "timeout"; "pools";
+    "pipeline"; "timeout"; "pools"; "alloc"; "conformance";
   ]
 
 (* §4.3 attributes the QoQ gains to "fewer context switches, since the
@@ -269,14 +269,39 @@ let pipeline (s : H.scale) =
       ( CW.thresh_threshold ~hist ~total:(nr * nr) ~p:s.H.p,
         Scoop.Stats.diff (Scoop.Stats.snapshot stats) before ))
   in
+  (* Dynamic sync elision (§3.4.1, handler side): one handler, one call
+     plus one result pull per round, the pull forced {e inside} the
+     block.  Blocking mode pays the full query round trip every round.
+     Pipelined mode issues [query_async] and forces immediately: the
+     handler reaches the pipelined request with the registration's log
+     drained, marks the promise, and the force doubles as the sync —
+     counted under [syncs_elided] (asserted nonzero by CI). *)
+  let elision ~pipelined () =
+    Scoop.Runtime.run ~domains ~config (fun rt ->
+      let stats = Scoop.Runtime.stats rt in
+      let before = Scoop.Stats.snapshot stats in
+      let h = Scoop.Runtime.processor rt in
+      let r = ref 0 in
+      let total = ref 0 in
+      for _ = 1 to rounds do
+        Scoop.Runtime.separate rt h (fun reg ->
+          Scoop.Registration.call reg (fun () -> incr r);
+          if pipelined then begin
+            let p = Scoop.Registration.query_async reg (fun () -> !r) in
+            total := !total + Scoop.Promise.await p
+          end
+          else total := !total + Scoop.Registration.query reg (fun () -> !r))
+      done;
+      (!total, Scoop.Stats.diff (Scoop.Stats.snapshot stats) before))
+  in
   print_newline ();
   Printf.printf
     "promise pipelining: blocking queries vs query_async fan-out (%d \
      handlers, %d domains, median of %d)\n"
     handlers domains (max 1 s.H.reps);
   print_endline (String.make 72 '-');
-  Printf.printf "%-10s %-10s %10s %10s %8s %8s %8s\n" "workload" "mode"
-    "seconds" "promises" "ready" "blocked" "overlap";
+  Printf.printf "%-10s %-10s %10s %10s %8s %8s %8s %8s\n" "workload" "mode"
+    "seconds" "promises" "ready" "blocked" "overlap" "elided";
   let bench name workload =
     let variant pipelined mode =
       let runs =
@@ -287,9 +312,10 @@ let pipeline (s : H.scale) =
       let secs = BT.median (List.map (fun (t, _, _) -> t) runs) in
       (* Counters come from the first rep; every rep does identical work. *)
       let _, value, snap = List.hd runs in
-      Printf.printf "%-10s %-10s %10.4f %10d %8d %8d %8.2f\n" name mode secs
-        snap.Scoop.Stats.s_promises_created snap.Scoop.Stats.s_promises_ready
-        snap.Scoop.Stats.s_promises_blocked (Scoop.Stats.overlap_ratio snap);
+      Printf.printf "%-10s %-10s %10.4f %10d %8d %8d %8.2f %8d\n" name mode
+        secs snap.Scoop.Stats.s_promises_created
+        snap.Scoop.Stats.s_promises_ready snap.Scoop.Stats.s_promises_blocked
+        (Scoop.Stats.overlap_ratio snap) snap.Scoop.Stats.s_syncs_elided;
       (value, (name, mode, secs, snap))
     in
     let vb, row_b = variant false "blocking" in
@@ -301,7 +327,8 @@ let pipeline (s : H.scale) =
   in
   let prodcons_rows = bench "prodcons" prodcons in
   let cowichan_rows = bench "cowichan" cowichan in
-  prodcons_rows @ cowichan_rows
+  let elision_rows = bench "elision" elision in
+  prodcons_rows @ cowichan_rows @ elision_rows
 
 (* -- timeout & backpressure ablation ---------------------------------------- *)
 
@@ -426,7 +453,10 @@ let pools_ablation (s : H.scale) =
   print_endline
     "pools ablation: sharded injection, pinned handlers, per-pool counters";
   print_endline (String.make 72 '-');
-  let reps = max 3 s.H.reps in
+  (* Sampled like the Bechamel rows (which collect ~100+ measurements),
+     not like the seconds-long macro tables: 3 samples gave the pools
+     rows meaningless stddevs in the committed baseline. *)
+  let reps = max 128 s.H.reps in
   let row name ~ops f =
     let samples =
       List.init reps (fun _ -> snd (BT.timed f) *. 1e9 /. float_of_int ops)
@@ -512,6 +542,140 @@ let pools_ablation (s : H.scale) =
     counters;
   print_newline ();
   (rows, counters)
+
+(* -- per-request allocation probe ------------------------------------------- *)
+
+(* What does one request allocate?  The call+query round-trip workload
+   on the qoq preset, measured with GC word deltas (the same idiom as
+   the transport row of the timeout ablation), with the flat-request
+   pool on (the default) and forced off ([~pooling:false]) so the
+   delta isolates the pooled flat representation.  One domain: client
+   and handler then allocate on the measured domain, so the minor-word
+   delta is the whole story. *)
+let allocation_probe (s : H.scale) =
+  print_newline ();
+  print_endline
+    "request allocation: GC words per request, call+query round trips on \
+     the qoq preset";
+  print_endline (String.make 72 '-');
+  let rounds = max 2_000 s.H.m in
+  let measure ~pooling =
+    Scoop.Runtime.run ~domains:1 ~config:Scoop.Config.qoq ~pooling (fun rt ->
+      let h = Scoop.Runtime.processor rt in
+      let stats = Scoop.Runtime.stats rt in
+      let r = ref 0 in
+      Scoop.Runtime.separate rt h (fun reg ->
+        (* Warm-up: fault in the pool, the private queue and the code
+           paths before the window opens. *)
+        for _ = 1 to 128 do
+          Scoop.Registration.call reg (fun () -> incr r);
+          ignore (Scoop.Registration.query reg (fun () -> !r) : int)
+        done;
+        let before = Scoop.Stats.snapshot stats in
+        let minor0 = Gc.minor_words () in
+        let major0 = (Gc.quick_stat ()).Gc.major_words in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to rounds do
+          Scoop.Registration.call reg (fun () -> incr r);
+          ignore (Scoop.Registration.query reg (fun () -> !r) : int)
+        done;
+        let secs = Unix.gettimeofday () -. t0 in
+        let minor = Gc.minor_words () -. minor0 in
+        let major = (Gc.quick_stat ()).Gc.major_words -. major0 in
+        let d = Scoop.Stats.diff (Scoop.Stats.snapshot stats) before in
+        let requests = float_of_int (2 * rounds) in
+        ( minor /. requests,
+          major /. requests,
+          secs *. 1e9 /. requests,
+          d.Scoop.Stats.s_requests_flat,
+          d.Scoop.Stats.s_requests_pooled,
+          d.Scoop.Stats.s_pool_misses )))
+  in
+  (* Best-of-reps on each side: per-request allocation is deterministic,
+     the timing is the quietest observed interleaving. *)
+  let best side =
+    List.init (max 3 s.H.reps) (fun _ -> measure ~pooling:side)
+    |> List.fold_left
+         (fun acc ((_, _, ns, _, _, _) as m) ->
+           match acc with
+           | Some ((_, _, best_ns, _, _, _) as b) ->
+             Some (if ns < best_ns then m else b)
+           | None -> Some m)
+         None
+    |> Option.get
+  in
+  let pooled_minor, pooled_major, pooled_ns, p_flat, p_pooled, p_miss =
+    best true
+  in
+  let plain_minor, plain_major, plain_ns, _, _, _ = best false in
+  Printf.printf
+    "%-36s %10.1f minor + %6.1f major words, %6.0f ns/request (%d flat: %d \
+     pooled, %d misses)\n"
+    "pooled flat requests (default)" pooled_minor pooled_major pooled_ns
+    p_flat p_pooled p_miss;
+  Printf.printf "%-36s %10.1f minor + %6.1f major words, %6.0f ns/request\n"
+    "pooling disabled" plain_minor plain_major plain_ns;
+  ( (pooled_minor, pooled_major, pooled_ns),
+    (plain_minor, plain_major, plain_ns),
+    2 * rounds )
+
+(* -- trace conformance probe ------------------------------------------------- *)
+
+(* Run the elision workload traced and replay the recorded SCOOP events
+   through the conformance automaton of the operational semantics
+   (Qs_semantics.Replay): the handler never executes a call before it
+   was logged, and every dynamically elided sync happened in the synced
+   state (a round trip established the drained log and nothing was
+   logged since).  This is the evidence that the pooled fast path and
+   the handler-side elision preserve the reasoning rules. *)
+let conformance_probe (s : H.scale) =
+  print_newline ();
+  print_endline
+    "trace conformance: elision workload replayed through the semantics \
+     automaton";
+  print_endline (String.make 72 '-');
+  let sink = Qs_obs.Sink.create () in
+  let rounds = max 50 (s.H.m / 8) in
+  let elided =
+    Scoop.Runtime.run ~domains:2 ~obs:sink (fun rt ->
+      let h = Scoop.Runtime.processor rt in
+      let r = ref 0 in
+      let total = ref 0 in
+      for _ = 1 to rounds do
+        Scoop.Runtime.separate rt h (fun reg ->
+          Scoop.Registration.call reg (fun () -> incr r);
+          let p = Scoop.Registration.query_async reg (fun () -> !r) in
+          total := !total + Scoop.Promise.await p)
+      done;
+      let snap = Scoop.Stats.snapshot (Scoop.Runtime.stats rt) in
+      assert (!total = rounds * (rounds + 1) / 2);
+      snap.Scoop.Stats.s_syncs_elided)
+  in
+  let module R = Qs_semantics.Replay in
+  let events =
+    List.filter_map
+      (fun (e : Scoop.Trace.event) ->
+        let p = e.Scoop.Trace.proc in
+        match e.Scoop.Trace.kind with
+        | Scoop.Trace.Reserved -> Some (R.Reserved p)
+        | Scoop.Trace.Call_logged -> Some (R.Logged p)
+        | Scoop.Trace.Call_executed _ -> Some (R.Executed p)
+        | Scoop.Trace.Sync_round_trip _ | Scoop.Trace.Query_round_trip _ ->
+          Some (R.Synced p)
+        | Scoop.Trace.Query_pipelined _ -> Some (R.Pipelined p)
+        | Scoop.Trace.Sync_elided -> Some (R.Elided p)
+        | Scoop.Trace.Handler_failed | Scoop.Trace.Registration_poisoned
+        | Scoop.Trace.Promise_rejected ->
+          None)
+      (Scoop.Trace.events (Scoop.Trace.of_sink sink))
+  in
+  let violations = R.check_all events in
+  Printf.printf "%d traced events, %d syncs elided, %d violations\n"
+    (List.length events) elided (List.length violations);
+  List.iter
+    (fun v -> Format.printf "  VIOLATION: %a@." R.pp_violation v)
+    violations;
+  (List.length events, elided, List.length violations)
 
 (* -- Bechamel micro-suite: one Test.make per table ------------------------- *)
 
@@ -756,13 +920,47 @@ let json_ints kvs =
   Qs_obs.Json.Obj (List.map (fun (k, v) -> (k, Qs_obs.Json.Int v)) kvs)
 
 let write_json path (s : H.scale) micro_rows batching_rows pipeline_rows
-    timeout_info pools_info =
+    timeout_info pools_info alloc_info conformance_info =
   let open Qs_obs.Json in
   let runtime_counters, sched_counters = instrumented_probe s in
   let pools_json =
     match pools_info with
     | None -> []
     | Some (_, pool_counters) -> [ ("pools", json_ints pool_counters) ]
+  in
+  let alloc_json =
+    match alloc_info with
+    | None -> []
+    | Some ((p_minor, p_major, p_ns), (u_minor, u_major, u_ns), requests) ->
+      [
+        ( "allocation",
+          Obj
+            [
+              ("preset", String "qoq");
+              ("requests", Int requests);
+              ("minor_words_per_request", Float p_minor);
+              ("major_words_per_request", Float p_major);
+              ("ns_per_request", Float p_ns);
+              ("minor_words_per_request_unpooled", Float u_minor);
+              ("major_words_per_request_unpooled", Float u_major);
+              ("ns_per_request_unpooled", Float u_ns);
+            ] );
+      ]
+  in
+  let conformance_json =
+    match conformance_info with
+    | None -> []
+    | Some (events, elided, violations) ->
+      [
+        ( "conformance",
+          Obj
+            [
+              ("events", Int events);
+              ("syncs_elided", Int elided);
+              ("violations", Int violations);
+              ("ok", Bool (violations = 0));
+            ] );
+      ]
   in
   let timeout_json =
     match timeout_info with
@@ -794,6 +992,8 @@ let write_json path (s : H.scale) micro_rows batching_rows pipeline_rows
             ( "promises_forced_blocking",
               Int snap.Scoop.Stats.s_promises_blocked );
             ("overlap_ratio", Float (Scoop.Stats.overlap_ratio snap));
+            ("requests_flat", Int snap.Scoop.Stats.s_requests_flat);
+            ("syncs_elided", Int snap.Scoop.Stats.s_syncs_elided);
           ])
       pipeline_rows
   in
@@ -840,6 +1040,8 @@ let write_json path (s : H.scale) micro_rows batching_rows pipeline_rows
       ]
       @ timeout_json
       @ pools_json
+      @ alloc_json
+      @ conformance_json
       @ [
         ( "counters",
           Obj
@@ -907,12 +1109,18 @@ let run scale only json trace_out =
   let pools_rows =
     match pools_info with Some (rows, _) -> rows | None -> []
   in
+  let alloc_info =
+    if want "alloc" then Some (allocation_probe scale) else None
+  in
+  let conformance_info =
+    if want "conformance" then Some (conformance_probe scale) else None
+  in
   if want "micro" then begin
     let micro_rows, batching_rows = micro () in
     match json with
     | Some path ->
       write_json path scale (micro_rows @ pools_rows) batching_rows
-        pipeline_rows timeout_info pools_info
+        pipeline_rows timeout_info pools_info alloc_info conformance_info
     | None -> ()
   end
   else
@@ -922,7 +1130,7 @@ let run scale only json trace_out =
            rows and the counters so the output is valid and
            self-describing. *)
         write_json path scale pools_rows [] pipeline_rows timeout_info
-          pools_info)
+          pools_info alloc_info conformance_info)
       json;
   Option.iter (fun path -> write_trace path scale) trace_out
 
@@ -961,7 +1169,8 @@ let only_term =
     & info [ "only" ]
         ~doc:"Regenerate only the given artifact (repeatable). One of: table1 \
               fig16 table2 fig17 table3 table4 fig18 fig19 table5 fig20 \
-              summary eve switches micro pipeline timeout pools.")
+              summary eve switches micro pipeline timeout pools alloc \
+              conformance.")
 
 let json_term =
   Arg.(

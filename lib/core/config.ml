@@ -48,6 +48,11 @@ type t = {
   pool : string option;
       (* pool new processors' handler fibers are pinned to by default;
          [None] = the spawner's pool *)
+  pooling : bool;
+      (* pooled flat request representation on the arity-named API;
+         [false] forces the packaged-closure path everywhere (debug /
+         equivalence-testing knob — also disables the handler-side
+         drained hint that feeds dynamic sync elision) *)
 }
 
 let default_batch = 16
@@ -67,6 +72,7 @@ let none =
     overflow = `Block;
     pools = [];
     pool = None;
+    pooling = true;
   }
 
 let dynamic = { none with name = "dynamic"; client_query = true; dyn_sync = true }
@@ -88,6 +94,7 @@ let all =
     overflow = `Block;
     pools = [];
     pool = None;
+    pooling = true;
   }
 
 (* §4.5: the production-EiffelStudio-like baseline and the EVE/Qs retrofit
@@ -109,6 +116,7 @@ let eve_qs =
     overflow = `Block;
     pools = [];
     pool = None;
+    pooling = true;
   }
 
 let presets = [ none; dynamic; static_; qoq; all ]

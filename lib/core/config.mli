@@ -47,6 +47,12 @@ type t = {
   pool : string option;
       (** pool new processors' handler fibers are pinned to by default;
           [None] (every preset) = the spawner's pool *)
+  pooling : bool;
+      (** pooled flat request representation on the arity-named API
+          ([true] in every preset); [false] forces the packaged-closure
+          path everywhere — a debugging / differential-testing knob
+          that also disables the handler-side drained hint feeding
+          dynamic sync elision *)
 }
 
 val default_batch : int

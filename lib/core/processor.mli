@@ -60,6 +60,36 @@ val admit : t -> unit
     pending request for shedding.  Sync and End are never admitted
     through this (they are control flow, not work). *)
 
+(** {1 Flat request pool}
+
+    A per-processor free list of preallocated {!Request.flat} records
+    (the §3.2 queue-cache pattern applied to requests): clients pop a
+    record, fill its inline fields and enqueue its knotted [self]; the
+    handler loop pushes it back after serving (blocking queries are
+    recycled by the awaiting client instead, after it consumes the
+    embedded cell).  Both operations are allocation-free — an intrusive
+    ABA-tagged Treiber stack over the preallocated slot array. *)
+
+val no_flat : Request.flat
+(** Shared sentinel returned by {!alloc_flat} on a pool miss (compare
+    physically).  Callers must then issue the request in packaged form:
+    the sentinel is never filled, enqueued or recycled. *)
+
+val alloc_flat : t -> Request.flat
+(** A reset record ready to fill when the free list has one (counted
+    under [requests_flat] / [requests_pooled]), {!no_flat} otherwise
+    (counted under [pool_misses] — the caller falls back to the packaged
+    representation, so an empty pool degrades to the baseline path). *)
+
+val recycle_flat : t -> Request.flat -> unit
+(** Reset a record ({!Request.reset_flat} — recycling its embedded cell,
+    so stale awaiters observe [Cell.Stale]) and return it to the free
+    list.  Call only when the record's current use is provably over:
+    after the handler served a call/pipelined query, after the awaiting
+    client consumed a blocking query's cell, or — for an abandoned
+    (timed-out) blocking query — on whichever side lost the cell's fill
+    CAS, which proves the other side is done with the record. *)
+
 (** {1 Queue-of-queues mode ([`Qoq])}
 
     These raise [Invalid_argument] on a [`Direct]-mode processor. *)

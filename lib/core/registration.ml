@@ -35,6 +35,11 @@ type t = {
   proc : Processor.t;
   ctx : Ctx.t;
   enqueue : Request.t -> unit;
+  flat : bool;
+      (* may this registration issue pooled flat requests?  True for the
+         single-reservation (arity-named) entries, false for multi-
+         reservation blocks ([many]/[when_]), which keep the packaged
+         fallback *)
   mutable synced : bool;
   mutable closed : bool;
   mutable logged : int;
@@ -42,18 +47,11 @@ type t = {
          was logged after it was issued (see [query_async]) *)
   poison : (exn * Printexc.raw_backtrace) option Atomic.t;
       (* first failed asynchronous call, set by the handler fiber *)
+  mutable fail_to : exn -> Printexc.raw_backtrace -> unit;
+      (* the [poison] completion, preallocated once per registration so
+         logging a call shares one closure instead of building one each
+         time; knotted right after [make] builds the record *)
 }
-
-let make ~proc ~ctx ~enqueue =
-  {
-    proc;
-    ctx;
-    enqueue;
-    synced = false;
-    closed = false;
-    logged = 0;
-    poison = Atomic.make None;
-  }
 
 let processor t = t.proc
 let is_synced t = t.synced
@@ -75,6 +73,35 @@ let poison t e bt =
       Trace.record tr ~proc:(Processor.id t.proc) Trace.Registration_poisoned
     | None -> ()
   end
+
+let make ?(flat = false) ~proc ~ctx ~enqueue () =
+  let t =
+    {
+      proc;
+      ctx;
+      enqueue;
+      flat;
+      synced = false;
+      closed = false;
+      logged = 0;
+      poison = Atomic.make None;
+      fail_to = (fun _ _ -> ());
+    }
+  in
+  t.fail_to <- poison t;
+  t
+
+(* Flat fast path available?  Requires a single-reservation registration
+   and the pooling knob. *)
+let use_flat t = t.flat && t.ctx.Ctx.config.Config.pooling
+
+(* Pop a record from the processor's pool; [Processor.no_flat] on a
+   miss, which sends the request down the packaged fallback (an empty
+   pool degrades to the baseline, never below it).  The processor
+   accounts the representation counters. *)
+let alloc_flat t = Processor.alloc_flat t.proc
+
+let no_flat = Processor.no_flat
 
 let touch t =
   if t.closed then
@@ -101,17 +128,13 @@ let timed_out t =
   Qs_obs.Counter.incr stats.Stats.deadline_exceeded;
   raise Qs_sched.Timer.Timeout
 
-let call t f =
-  touch t;
-  Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.calls;
-  (* An asynchronous call invalidates the synced status: the handler has
-     work again and may be mid-execution during subsequent client reads. *)
-  t.synced <- false;
-  t.logged <- t.logged + 1;
-  Processor.admit t.proc;
-  let fail = poison t in
+(* Log an asynchronous call in the packaged-closure representation —
+   the fallback for multi-reservation registrations, disabled pooling,
+   and traced runs (the trace wraps [run] with span bookkeeping, which
+   needs the closure form). *)
+let log_call_packaged t run =
   match t.ctx.Ctx.trace with
-  | None -> t.enqueue (Request.Call { run = f; fail })
+  | None -> t.enqueue (Request.Call { run; fail = t.fail_to })
   | Some tr ->
     (* Trace the queueing delay: logged now, executed by the handler
        later (§7 instrumentation). *)
@@ -125,9 +148,55 @@ let call t f =
              (fun () ->
                Trace.record tr ~proc
                  (Trace.Call_executed (Trace.now tr -. logged));
-               f ());
-           fail;
+               run ());
+           fail = t.fail_to;
          })
+
+let call t f =
+  touch t;
+  Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.calls;
+  (* An asynchronous call invalidates the synced status: the handler has
+     work again and may be mid-execution during subsequent client reads. *)
+  t.synced <- false;
+  t.logged <- t.logged + 1;
+  Processor.admit t.proc;
+  let r =
+    if use_flat t && Option.is_none t.ctx.Ctx.trace then alloc_flat t
+    else no_flat
+  in
+  if r != no_flat then begin
+    (* Flat fast path: the thunk goes straight into the pooled record's
+       inline slot — no packaged record, no Call block, no per-call
+       failure closure.  [fail_to] is rewritten only when the record
+       last served a different registration. *)
+    r.Request.tag <- Request.Call0;
+    r.Request.f0 <- f;
+    if r.Request.fail_to != t.fail_to then r.Request.fail_to <- t.fail_to;
+    t.enqueue r.Request.self
+  end
+  else log_call_packaged t f
+
+let call1 t f x =
+  touch t;
+  Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.calls;
+  t.synced <- false;
+  t.logged <- t.logged + 1;
+  Processor.admit t.proc;
+  let r =
+    if use_flat t && Option.is_none t.ctx.Ctx.trace then alloc_flat t
+    else no_flat
+  in
+  if r != no_flat then begin
+    (* One-argument flat call: function and argument stored inline under
+       the uniform-representation coercion (the [f1]/[a1] pairing
+       invariant — both written here, from this one typed call site). *)
+    r.Request.tag <- Request.Call1;
+    r.Request.f1 <- (Obj.magic (f : _ -> unit) : Obj.t -> unit);
+    r.Request.a1 <- Obj.repr x;
+    if r.Request.fail_to != t.fail_to then r.Request.fail_to <- t.fail_to;
+    t.enqueue r.Request.self
+  end
+  else log_call_packaged t (fun () -> f x)
 
 let force_sync ?timeout t =
   Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.syncs_sent;
@@ -173,6 +242,69 @@ let sync ?timeout t =
      and any failure among them recorded. *)
   check_poison t
 
+(* Tail of a packaged-flavour round trip, shared by the ivar and cell
+   representations: close the trace span, re-establish synced (the
+   handler has drained everything logged up to the query), surface an
+   earlier failed call (matching the client-executed flavour, where
+   [sync] raises before [f] ever runs), then unwrap. *)
+let finish_round_trip t ~t0 outcome =
+  (match t.ctx.Ctx.trace with
+  | Some tr ->
+    Trace.record tr ~proc:(Processor.id t.proc)
+      (Trace.Query_round_trip (Trace.now tr -. t0))
+  | None -> ());
+  t.synced <- true;
+  check_poison t;
+  match outcome with
+  | Ok v -> v
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+
+(* Blocking wait on a packaged query's heap ivar. *)
+let await_ivar ?timeout t result ~t0 =
+  let outcome =
+    match effective_timeout t timeout with
+    | None -> Qs_sched.Ivar.result result
+    | Some dt -> (
+      Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.timer_arms;
+      match Qs_sched.Ivar.result_timeout result dt with
+      | Some outcome -> outcome
+      | None ->
+        (* The packaged call stays logged and will still run; only the
+           rendezvous is abandoned.  No poisoning, no synced status. *)
+        timed_out t)
+  in
+  finish_round_trip t ~t0 outcome
+
+(* Blocking wait on a flat query's embedded cell.  On success the record
+   is recycled here — the awaiting client is the last party touching it,
+   after the outcome has been consumed.  On timeout the client abandons
+   the rendezvous by error-filling the cell at its generation: the
+   cell's CAS then elects exactly one recycler — if the abandon wins,
+   the handler's later fill fails and *it* recycles; if the handler
+   already filled, the handler is done with the record and the client
+   recycles on its way out.  Either way the slot returns to the pool
+   (an abandoned record must never be recycled by the abandoning side
+   alone: the handler might be about to run the query). *)
+let await_cell ?timeout t (r : Request.flat) ~gen ~t0 =
+  let outcome =
+    match effective_timeout t timeout with
+    | None -> Qs_sched.Cell.result r.Request.cell ~gen
+    | Some dt -> (
+      Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.timer_arms;
+      match Qs_sched.Cell.result_timeout r.Request.cell ~gen dt with
+      | Some outcome -> outcome
+      | None ->
+        let bt = Printexc.get_callstack 0 in
+        if
+          not
+            (Qs_sched.Cell.try_fill_error ~bt r.Request.cell ~gen
+               Qs_sched.Timer.Timeout)
+        then Processor.recycle_flat t.proc r;
+        timed_out t)
+  in
+  Processor.recycle_flat t.proc r;
+  Obj.obj (finish_round_trip t ~t0 outcome)
+
 let query ?timeout t f =
   touch t;
   Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.queries;
@@ -187,50 +319,76 @@ let query ?timeout t f =
   end
   else begin
     (* Original rule (Fig. 10a): package the call, round-trip the result.
-       A raising [f] rejects the result ivar and re-raises here, making
+       A raising [f] rejects the rendezvous and re-raises here, making
        the packaged flavour observably identical to the client-executed
        one. *)
     Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.packaged_queries;
     let t0 =
       match t.ctx.Ctx.trace with Some tr -> Trace.now tr | None -> 0.0
     in
-    let result = Qs_sched.Ivar.create () in
     t.logged <- t.logged + 1;
     Processor.admit t.proc;
-    t.enqueue
-      (Request.Call
-         {
-           run = (fun () -> Qs_sched.Ivar.fill result (f ()));
-           fail =
-             (fun e bt ->
-               ignore (Qs_sched.Ivar.try_fill_error ~bt result e : bool));
-         });
-    let outcome =
-      match effective_timeout t timeout with
-      | None -> Qs_sched.Ivar.result result
-      | Some dt -> (
-        Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.timer_arms;
-        match Qs_sched.Ivar.result_timeout result dt with
-        | Some outcome -> outcome
-        | None ->
-          (* The packaged call stays logged and will still run; only the
-             rendezvous is abandoned.  No poisoning, no synced status. *)
-          timed_out t)
+    let r = if use_flat t then alloc_flat t else no_flat in
+    if r != no_flat then begin
+      (* Flat round trip: the completion cell is embedded in the pooled
+         record — no ivar allocation, no result-filling closure. *)
+      let gen = Qs_sched.Cell.generation r.Request.cell in
+      r.Request.tag <- Request.Query0;
+      r.Request.cgen <- gen;
+      r.Request.q0 <- (Obj.magic (f : unit -> _) : unit -> Obj.t);
+      t.enqueue r.Request.self;
+      await_cell ?timeout t r ~gen ~t0
+    end
+    else begin
+      let result = Qs_sched.Ivar.create () in
+      t.enqueue
+        (Request.Call
+           {
+             run = (fun () -> Qs_sched.Ivar.fill result (f ()));
+             fail =
+               (fun e bt ->
+                 ignore (Qs_sched.Ivar.try_fill_error ~bt result e : bool));
+           });
+      await_ivar ?timeout t result ~t0
+    end
+  end
+
+let query1 ?timeout t f x =
+  touch t;
+  Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.queries;
+  if t.ctx.Ctx.config.Config.client_query then begin
+    sync ?timeout t;
+    f x
+  end
+  else begin
+    Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.packaged_queries;
+    let t0 =
+      match t.ctx.Ctx.trace with Some tr -> Trace.now tr | None -> 0.0
     in
-    (match t.ctx.Ctx.trace with
-    | Some tr ->
-      Trace.record tr ~proc:(Processor.id t.proc)
-        (Trace.Query_round_trip (Trace.now tr -. t0))
-    | None -> ());
-    (* The handler has drained everything we logged up to the query. *)
-    t.synced <- true;
-    (* Match the client-executed flavour: an earlier failed call wins
-       over the query's own outcome (there, [sync] raises before [f]
-       ever runs). *)
-    check_poison t;
-    match outcome with
-    | Ok v -> v
-    | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+    t.logged <- t.logged + 1;
+    Processor.admit t.proc;
+    let r = if use_flat t then alloc_flat t else no_flat in
+    if r != no_flat then begin
+      let gen = Qs_sched.Cell.generation r.Request.cell in
+      r.Request.tag <- Request.Query1;
+      r.Request.cgen <- gen;
+      r.Request.q1 <- (Obj.magic (f : _ -> _) : Obj.t -> Obj.t);
+      r.Request.a1 <- Obj.repr x;
+      t.enqueue r.Request.self;
+      await_cell ?timeout t r ~gen ~t0
+    end
+    else begin
+      let result = Qs_sched.Ivar.create () in
+      t.enqueue
+        (Request.Call
+           {
+             run = (fun () -> Qs_sched.Ivar.fill result (f x));
+             fail =
+               (fun e bt ->
+                 ignore (Qs_sched.Ivar.try_fill_error ~bt result e : bool));
+           });
+      await_ivar ?timeout t result ~t0
+    end
   end
 
 (* Promise-pipelined query (the deferred flavour of Fig. 10a): package
@@ -261,39 +419,70 @@ let query_async t f =
   t.logged <- t.logged + 1;
   let mark = t.logged in
   let stats = t.ctx.Ctx.stats in
+  let trace = t.ctx.Ctx.trace in
+  let proc = Processor.id t.proc in
+  let dyn = t.ctx.Ctx.config.Config.dyn_sync in
+  (* The hook must consult the promise it belongs to (for the handler's
+     drained hint), so knot it through a slot. *)
+  let promise_slot = ref None in
   let promise =
     Qs_sched.Promise.create
       ~on_force:(fun was_ready ->
         Qs_obs.Counter.incr
           (if was_ready then stats.Stats.promises_ready
            else stats.Stats.promises_blocked);
-        if (not t.closed) && t.logged = mark then t.synced <- true)
+        if (not t.closed) && t.logged = mark then begin
+          t.synced <- true;
+          (* Dynamic handler-side sync elision (§3.4.1 generalized to
+             pipelined traffic): the handler saw a drained log at
+             fulfilment and the watermark proves nothing was logged
+             since, so this force doubles as the sync — the separate
+             round trip that would re-establish synced status is
+             skipped, and counted as elided. *)
+          match !promise_slot with
+          | Some p when dyn && Qs_sched.Promise.was_drained p -> (
+            Qs_obs.Counter.incr stats.Stats.syncs_elided;
+            match trace with
+            | Some tr -> Trace.record tr ~proc Trace.Sync_elided
+            | None -> ())
+          | _ -> ()
+        end)
       ()
   in
-  let trace = t.ctx.Ctx.trace in
+  promise_slot := Some promise;
   (match trace with
   | Some tr ->
     (* Span from issue to fulfilment: the handler-side pipeline latency,
        recorded by the fulfilling handler via the completion callback. *)
-    let proc = Processor.id t.proc in
     let t0 = Trace.now tr in
     Qs_sched.Promise.on_fulfill promise (fun _ ->
       Trace.record tr ~proc (Trace.Query_pipelined (Trace.now tr -. t0)))
   | None -> ());
-  let proc = Processor.id t.proc in
   Processor.admit t.proc;
-  t.enqueue
-    (Request.Query
-       {
-         run = (fun () -> Qs_sched.Promise.fulfill promise (f ()));
-         fail =
-           (fun e bt ->
-             Qs_obs.Counter.incr stats.Stats.rejected_promises;
-             (match trace with
-             | Some tr -> Trace.record tr ~proc Trace.Promise_rejected
-             | None -> ());
-             ignore (Qs_sched.Promise.try_fulfill_error ~bt promise e : bool));
-       });
+  let r = if use_flat t then alloc_flat t else no_flat in
+  if r != no_flat then begin
+    (* Flat pipelined query: producer and promise stored inline; the
+       handler decodes the tag, fulfils the promise (recording the
+       drained hint first) and recycles the record itself — the promise,
+       not the record, is the client's rendezvous. *)
+    r.Request.tag <- Request.Pipelined;
+    r.Request.q0 <- (Obj.magic (f : unit -> _) : unit -> Obj.t);
+    r.Request.pr <- Obj.repr promise;
+    t.enqueue r.Request.self
+  end
+  else
+    t.enqueue
+      (Request.Query
+         {
+           run = (fun () -> Qs_sched.Promise.fulfill promise (f ()));
+           fail =
+             (fun e bt ->
+               Qs_obs.Counter.incr stats.Stats.rejected_promises;
+               (match trace with
+               | Some tr -> Trace.record tr ~proc Trace.Promise_rejected
+               | None -> ());
+               ignore (Qs_sched.Promise.try_fulfill_error ~bt promise e : bool));
+         });
   promise
 
 (* Block exit: append the END marker in both modes (the end rule).  In

@@ -12,7 +12,7 @@ type t = {
    private-queue backing, [pools]/[pool] the scheduler-pool topology and
    default processor pinning. *)
 let override ?mailbox ?batch ?spsc ?deadline ?bound ?overflow ?pools ?pool
-    config =
+    ?pooling config =
   let config =
     match mailbox with
     | Some m -> { config with Config.mailbox = m }
@@ -54,8 +54,13 @@ let override ?mailbox ?batch ?spsc ?deadline ?bound ?overflow ?pools ?pool
     | Some ps -> { config with Config.pools = ps }
     | None -> config
   in
-  match pool with
-  | Some _ -> { config with Config.pool = pool }
+  let config =
+    match pool with
+    | Some _ -> { config with Config.pool = pool }
+    | None -> config
+  in
+  match pooling with
+  | Some p -> { config with Config.pooling = p }
   | None -> config
 
 (* [obs] wins over [trace]: both enable tracing, but [obs] lets the
@@ -67,13 +72,13 @@ let resolve_sink ?obs ~trace () =
   | None -> if trace then Some (Qs_obs.Sink.create ()) else None
 
 let create ?(config = Config.all) ?mailbox ?batch ?spsc ?deadline ?bound
-    ?overflow ?pools ?pool ?(trace = false) ?obs () =
+    ?overflow ?pools ?pool ?pooling ?(trace = false) ?obs () =
   {
     ctx =
       Ctx.create
         ?sink:(resolve_sink ?obs ~trace ())
         (override ?mailbox ?batch ?spsc ?deadline ?bound ?overflow ?pools
-           ?pool config);
+           ?pool ?pooling config);
     procs = Qs_queues.Treiber_stack.create ();
     next_id = Atomic.make 0;
   }
@@ -171,13 +176,13 @@ let separate_list_when ?timeout t procs ~pred body =
   Separate.many_when ?timeout t.ctx procs ~pred body
 
 let run ?(domains = 1) ?(config = Config.all) ?mailbox ?batch ?spsc ?deadline
-    ?bound ?overflow ?pools ?pool ?grace ?(trace = false) ?obs ?on_stall
-    ?on_counters main =
+    ?bound ?overflow ?pools ?pool ?pooling ?grace ?(trace = false) ?obs
+    ?on_stall ?on_counters main =
   (* Resolve the config up front: the scheduler needs the pool topology
      before the runtime exists. *)
   let config =
     override ?mailbox ?batch ?spsc ?deadline ?bound ?overflow ?pools ?pool
-      config
+      ?pooling config
   in
   (* Build the sink before the scheduler starts so its workers share it:
      one sink then collects scheduler, handler and client events. *)

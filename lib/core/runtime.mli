@@ -22,6 +22,7 @@ val create :
   ?overflow:[ `Block | `Fail | `Shed_oldest ] ->
   ?pools:string list ->
   ?pool:string ->
+  ?pooling:bool ->
   ?trace:bool ->
   ?obs:Qs_obs.Sink.t ->
   unit ->
@@ -35,7 +36,10 @@ val create :
     syncs; [bound]/[overflow] configure bounded mailboxes — see
     {!Config.t}); [pools]/[pool] override the scheduler-pool topology
     fields (note that [create] does not make scheduler pools — only
-    {!run} does; an unknown [pool] fails at {!processor} time); [trace]
+    {!run} does; an unknown [pool] fails at {!processor} time);
+    [pooling] overrides [Config.pooling] — [~pooling:false] forces the
+    packaged-closure request path everywhere (debugging / differential
+    testing); [trace]
     enables detailed event tracing (see {!Trace}) over a fresh private
     sink, while [obs] (which implies [trace]) supplies the sink — pass
     the sink already attached to the scheduler to get all layers' events
@@ -53,6 +57,7 @@ val run :
   ?overflow:[ `Block | `Fail | `Shed_oldest ] ->
   ?pools:string list ->
   ?pool:string ->
+  ?pooling:bool ->
   ?grace:float ->
   ?trace:bool ->
   ?obs:Qs_obs.Sink.t ->

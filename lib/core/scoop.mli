@@ -79,6 +79,7 @@ val run :
   ?overflow:[ `Block | `Fail | `Shed_oldest ] ->
   ?pools:string list ->
   ?pool:string ->
+  ?pooling:bool ->
   ?grace:float ->
   ?trace:bool ->
   ?obs:Qs_obs.Sink.t ->

@@ -56,11 +56,13 @@ let enter_one ?deadline ctx proc =
   if Config.uses_qoq ctx.Ctx.config then begin
     let pq = Processor.take_private_queue proc in
     Processor.enqueue_private_queue proc pq;
-    Registration.make ~proc ~ctx ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq)
+    Registration.make ~flat:true ~proc ~ctx
+      ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq) ()
   end
   else begin
     lock_within ctx proc deadline;
-    Registration.make ~proc ~ctx ~enqueue:(Processor.enqueue_direct proc)
+    Registration.make ~flat:true ~proc ~ctx
+      ~enqueue:(Processor.enqueue_direct proc) ()
   end
 
 let exit_one ctx reg =
@@ -94,9 +96,13 @@ let enter_many ?deadline ctx procs =
     List.iter (fun (p, pq) -> Processor.enqueue_private_queue p pq) pqs;
     List.iter (fun p -> Qs_queues.Spinlock.release (Processor.reserve p))
       (List.rev sorted);
+    (* Multi-reservation registrations keep the packaged fallback
+       (no [~flat]): the flat pooled path is reserved for the
+       single-reservation entries. *)
     List.map
       (fun (p, pq) ->
-        Registration.make ~proc:p ~ctx ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq))
+        Registration.make ~proc:p ~ctx
+          ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq) ())
       pqs
   end
   else begin
@@ -116,7 +122,7 @@ let enter_many ?deadline ctx procs =
     take [] sorted;
     List.map
       (fun p ->
-        Registration.make ~proc:p ~ctx ~enqueue:(Processor.enqueue_direct p))
+        Registration.make ~proc:p ~ctx ~enqueue:(Processor.enqueue_direct p) ())
       procs
   end
 
@@ -159,10 +165,10 @@ let enter_two ?deadline ctx p1 p2 =
     Processor.enqueue_private_queue p2 pq2;
     Qs_queues.Spinlock.release (Processor.reserve hi);
     Qs_queues.Spinlock.release (Processor.reserve lo);
-    ( Registration.make ~proc:p1 ~ctx
-        ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq1),
-      Registration.make ~proc:p2 ~ctx
-        ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq2) )
+    ( Registration.make ~flat:true ~proc:p1 ~ctx
+        ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq1) (),
+      Registration.make ~flat:true ~proc:p2 ~ctx
+        ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq2) () )
   end
   else begin
     lock_within ctx lo deadline;
@@ -170,8 +176,10 @@ let enter_two ?deadline ctx p1 p2 =
      with e ->
        Processor.unlock_handler lo;
        raise e);
-    ( Registration.make ~proc:p1 ~ctx ~enqueue:(Processor.enqueue_direct p1),
-      Registration.make ~proc:p2 ~ctx ~enqueue:(Processor.enqueue_direct p2) )
+    ( Registration.make ~flat:true ~proc:p1 ~ctx
+        ~enqueue:(Processor.enqueue_direct p1) (),
+      Registration.make ~flat:true ~proc:p2 ~ctx
+        ~enqueue:(Processor.enqueue_direct p2) () )
   end
 
 let two ?timeout ctx p1 p2 body =

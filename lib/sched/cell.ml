@@ -1,0 +1,128 @@
+(* Generation-stamped reusable result cells — the pooled flavour of
+   {!Ivar}.
+
+   An [Ivar] is write-once and heap-allocated per rendezvous: every
+   packaged query used to pay one fresh cell (plus its waiter list) per
+   round trip.  A [Cell] is the same one-shot rendezvous made reusable:
+   the owner recycles the cell between uses, and a *generation stamp*
+   makes recycling safe to observe.  Every resolution is tagged with the
+   generation it belongs to, and every read carries the generation the
+   reader was issued; a reader holding a stale generation can never be
+   handed a later generation's result — it gets [Stale] instead.
+
+   Discipline (enforced by the SCOOP request path, checked by qcheck):
+
+   - one filler and one awaiter per generation;
+   - the owner calls [recycle] only after the awaiter of the current
+     generation has consumed the outcome (or provably abandoned it);
+   - a reader that timed out abandons by error-filling its generation:
+     the fill CAS then elects a single owner for the aftermath — if the
+     abandon won, the real filler's late fill fails and the filler side
+     cleans up; if the real fill won, the abandoning reader knows the
+     filler is done and cleans up itself.
+
+   The stamp is the safety net for when the discipline is violated by a
+   straggler: a resumer subscribed under an old generation that fires
+   after a recycle re-reads the state, finds a mismatched tag, and
+   raises [Stale] rather than returning someone else's value. *)
+
+exception Stale
+
+type 'a outcome = ('a, exn * Printexc.raw_backtrace) result
+
+type 'a state =
+  | Empty of Sched.resumer list
+  | Resolved of int * 'a outcome (* tagged with the filling generation *)
+
+type 'a t = {
+  mutable gen : int;
+      (* current generation; written only by the owner, between uses *)
+  state : 'a state Atomic.t;
+}
+
+let create () = { gen = 0; state = Atomic.make (Empty []) }
+let generation t = t.gen
+
+(* Owner-only: start the next generation.  Any waiters still subscribed
+   belong to violated discipline — they are dropped (their eventual
+   wake-up, if the old generation ever resolves, is impossible now, and
+   their reads would raise [Stale] anyway). *)
+let recycle t =
+  t.gen <- t.gen + 1;
+  Atomic.set t.state (Empty [])
+
+let resolve t ~gen outcome =
+  let rec loop () =
+    match Atomic.get t.state with
+    | Resolved _ -> false
+    | Empty waiters as old ->
+      if Atomic.compare_and_set t.state old (Resolved (gen, outcome)) then begin
+        (* FIFO wake-up: waiters accumulated head-first. *)
+        List.iter (fun resume -> resume ()) (List.rev waiters);
+        true
+      end
+      else loop ()
+  in
+  loop ()
+
+let try_fill t ~gen v = resolve t ~gen (Ok v)
+
+let try_fill_error ?bt t ~gen e =
+  let bt =
+    match bt with Some bt -> bt | None -> Printexc.get_raw_backtrace ()
+  in
+  resolve t ~gen (Error (e, bt))
+
+(* Read an outcome the state claims is resolved, validating the tag. *)
+let checked ~gen (rg, outcome) = if rg = gen then outcome else raise Stale
+
+let peek_result t ~gen =
+  match Atomic.get t.state with
+  | Resolved (rg, outcome) -> Some (checked ~gen (rg, outcome))
+  | Empty _ -> if t.gen <> gen then raise Stale else None
+
+let subscribe t resume =
+  let rec loop () =
+    match Atomic.get t.state with
+    | Resolved _ ->
+      (* Resolved between the caller's first check and suspension. *)
+      resume ()
+    | Empty waiters as old ->
+      if not (Atomic.compare_and_set t.state old (Empty (resume :: waiters)))
+      then loop ()
+  in
+  loop ()
+
+let result t ~gen =
+  match Atomic.get t.state with
+  | Resolved (rg, outcome) -> checked ~gen (rg, outcome)
+  | Empty _ ->
+    if t.gen <> gen then raise Stale;
+    Sched.suspend (fun resume -> subscribe t resume);
+    (match Atomic.get t.state with
+    | Resolved (rg, outcome) -> checked ~gen (rg, outcome)
+    | Empty _ ->
+      (* Woken without a resolution: only a recycle can do that, and a
+         recycle means this reader's generation is over. *)
+      raise Stale)
+
+(* Timed read; [None] on expiry.  Like [Ivar.result_timeout], the
+   subscribed resumer stays in the waiter list as dead weight until the
+   cell resolves or recycles; the one-shot CAS in [suspend_timeout]
+   makes the eventual invocation a no-op. *)
+let result_timeout t ~gen dt =
+  match Atomic.get t.state with
+  | Resolved (rg, outcome) -> Some (checked ~gen (rg, outcome))
+  | Empty _ -> (
+    if t.gen <> gen then raise Stale;
+    match Sched.suspend_timeout (fun resume -> subscribe t resume) dt with
+    | `Timed_out -> None
+    | `Resumed -> (
+      match Atomic.get t.state with
+      | Resolved (rg, outcome) -> Some (checked ~gen (rg, outcome))
+      | Empty _ -> raise Stale))
+
+let read t ~gen =
+  match result t ~gen with
+  | Ok v -> v
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt

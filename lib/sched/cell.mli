@@ -1,0 +1,60 @@
+(** Generation-stamped reusable result cells.
+
+    A [Cell.t] is an {!Ivar} made recyclable: one rendezvous per
+    {e generation}, with the owner bumping the generation between uses
+    instead of allocating a fresh cell.  Fills and reads both carry the
+    generation they were issued under; a reader whose generation has
+    passed raises {!Stale} instead of ever observing a later
+    generation's value.  This is what lets the pooled flat-request path
+    embed one completion cell per request record for the record's whole
+    life.
+
+    Discipline: one filler and one awaiter per generation; only the
+    owner calls {!recycle}, and only after the current generation's
+    awaiter has consumed the outcome.  The generation stamp turns any
+    violation into a [Stale] exception rather than silent value
+    confusion. *)
+
+exception Stale
+(** Raised when a read discovers its generation has been recycled. *)
+
+type 'a outcome = ('a, exn * Printexc.raw_backtrace) result
+
+type 'a t
+
+val create : unit -> 'a t
+(** A fresh cell at generation 0, unresolved. *)
+
+val generation : 'a t -> int
+(** The current generation.  Capture this when issuing a request and
+    pass it back to {!result}/{!try_fill}. *)
+
+val recycle : 'a t -> unit
+(** Owner-only: clear the resolution and start the next generation.
+    Any reader still holding the old generation will see [Stale]. *)
+
+val try_fill : 'a t -> gen:int -> 'a -> bool
+(** Resolve with a value, tagging the resolution with [gen].  [false]
+    if the cell was already resolved. *)
+
+val try_fill_error : ?bt:Printexc.raw_backtrace -> 'a t -> gen:int -> exn -> bool
+(** Resolve with an error ([bt] defaults to the current backtrace). *)
+
+val peek_result : 'a t -> gen:int -> 'a outcome option
+(** Non-blocking: [Some] if resolved for [gen], [None] if still empty.
+    @raise Stale if the cell has moved past [gen]. *)
+
+val result : 'a t -> gen:int -> 'a outcome
+(** Block the calling fiber until the cell resolves for [gen].
+    @raise Stale if the cell was recycled past [gen]. *)
+
+val result_timeout : 'a t -> gen:int -> float -> 'a outcome option
+(** Like {!result} with a relative deadline in seconds; [None] on
+    expiry.  The abandoning reader should then error-fill the cell at
+    its generation: the fill CAS decides whether the reader or the
+    eventual real filler is responsible for recycling (see the request
+    path in [Scoop.Registration]/[Scoop.Processor]). *)
+
+val read : 'a t -> gen:int -> 'a
+(** [result] unwrapped: returns the value or re-raises the error with
+    its original backtrace. *)

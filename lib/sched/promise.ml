@@ -38,12 +38,23 @@ type 'a t = {
   ivar : 'a Ivar.t;
   on_force : (bool -> unit) option Atomic.t;
       (* argument: was the value already resolved when first observed *)
+  mutable drained : bool;
+      (* handler-side hint: at fulfilment time the registration's
+         private queue held no later requests.  Written (at most once,
+         by the fulfilling handler) strictly before the resolution CAS,
+         read by a forcing client strictly after it — the ivar's
+         resolution is the release/acquire edge, so no atomics are
+         needed here. *)
 }
 
 let create ?on_force () =
-  { ivar = Ivar.create (); on_force = Atomic.make on_force }
+  { ivar = Ivar.create (); on_force = Atomic.make on_force; drained = false }
 
-let of_value v = { ivar = Ivar.create_full v; on_force = Atomic.make None }
+let of_value v =
+  { ivar = Ivar.create_full v; on_force = Atomic.make None; drained = false }
+
+let mark_drained t = t.drained <- true
+let was_drained t = t.drained
 
 let fulfill t v = Ivar.fill t.ivar v
 let try_fulfill t v = Ivar.try_fill t.ivar v

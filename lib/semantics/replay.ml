@@ -1,0 +1,101 @@
+(* Trace conformance checking (see replay.mli).
+
+   One tiny automaton per processor id, driven over the merged event
+   stream in observed order.  The state is the client-side view of the
+   request log: how many calls were logged, how many the handler is
+   known to have executed, and whether the synced status currently
+   holds.  The two checked properties are the ones the pooled flat
+   request path and the dynamic sync elision could plausibly break:
+
+   - execution order: a handler must never execute more calls than were
+     logged (a recycled record served twice, or served before its
+     enqueue, would show up here);
+   - elision legality: a skipped sync round trip must coincide with the
+     synced state — an earlier Synced/Pipelined event with no Logged
+     event in between (the watermark rule of §3.4.1). *)
+
+type event =
+  | Reserved of int
+  | Logged of int
+  | Executed of int
+  | Synced of int
+  | Pipelined of int
+  | Elided of int
+
+let pp_event ppf = function
+  | Reserved p -> Format.fprintf ppf "reserved(%d)" p
+  | Logged p -> Format.fprintf ppf "logged(%d)" p
+  | Executed p -> Format.fprintf ppf "executed(%d)" p
+  | Synced p -> Format.fprintf ppf "synced(%d)" p
+  | Pipelined p -> Format.fprintf ppf "pipelined(%d)" p
+  | Elided p -> Format.fprintf ppf "elided(%d)" p
+
+type violation = { index : int; event : event; reason : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "event %d (%a): %s" v.index pp_event v.event v.reason
+
+type proc_state = {
+  mutable logged : int;
+  mutable executed : int;
+  mutable synced : bool;
+}
+
+let proc_of = function
+  | Reserved p | Logged p | Executed p | Synced p | Pipelined p | Elided p -> p
+
+let check_all events =
+  let procs : (int, proc_state) Hashtbl.t = Hashtbl.create 8 in
+  let state p =
+    match Hashtbl.find_opt procs p with
+    | Some s -> s
+    | None ->
+      (* A fresh processor has an empty, drained log; it is not in the
+         synced state (no round trip has told the client anything). *)
+      let s = { logged = 0; executed = 0; synced = false } in
+      Hashtbl.add procs p s;
+      s
+  in
+  let violations = ref [] in
+  List.iteri
+    (fun index event ->
+      let s = state (proc_of event) in
+      match event with
+      | Reserved _ -> ()
+      | Logged _ ->
+        s.logged <- s.logged + 1;
+        s.synced <- false
+      | Executed _ ->
+        if s.executed >= s.logged then
+          violations :=
+            {
+              index;
+              event;
+              reason =
+                Printf.sprintf
+                  "execution before logging: %d calls executed but only %d \
+                   logged"
+                  (s.executed + 1) s.logged;
+            }
+            :: !violations
+          (* clamp: do not let one spurious execution cascade *)
+        else s.executed <- s.executed + 1
+      | Synced _ | Pipelined _ ->
+        s.executed <- s.logged;
+        s.synced <- true
+      | Elided _ ->
+        if not s.synced then
+          violations :=
+            {
+              index;
+              event;
+              reason =
+                "sync elided outside the synced state (no prior round trip, \
+                 or a call was logged since)";
+            }
+            :: !violations)
+    events;
+  List.rev !violations
+
+let check events =
+  match check_all events with [] -> Ok () | vs -> Error vs

@@ -1,0 +1,68 @@
+(** Trace conformance: replay an observed event stream against the
+    logging/execution discipline of the operational semantics.
+
+    The runtime's tracer ([Scoop.Trace]) observes client- and
+    handler-side events of real executions.  This module checks such a
+    stream against the per-processor request-log automaton implied by
+    the semantics in {!Step}: calls are executed in logging order and
+    never before they are logged, and a {e sync elision} (the dynamic
+    coalescing of §3.4.1 and its handler-side generalization) is only
+    legal while the processor is in the synced state — i.e. some
+    earlier round trip established that the log was drained, and
+    nothing has been logged since.
+
+    The checker is deliberately representation-agnostic: callers map
+    their concrete trace vocabulary onto {!event} (the benchmark
+    harness maps [Scoop.Trace.kind], a test can hand-build sequences).
+    It is sound for single-client-per-processor traces, which is what
+    the traced workloads produce; with several concurrent clients the
+    interleaving of their log watermarks is not recoverable from the
+    merged stream. *)
+
+type event =
+  | Reserved of int  (** a separate block reserved the processor *)
+  | Logged of int  (** an asynchronous call was logged *)
+  | Executed of int  (** the handler executed one logged call *)
+  | Synced of int
+      (** a blocking round trip completed (sync or blocking query):
+          the log is drained and the client knows it *)
+  | Pipelined of int
+      (** a pipelined query was fulfilled by the handler: everything
+          logged before it has been executed *)
+  | Elided of int
+      (** a sync round trip was skipped (dynamic elision) — legal only
+          in the synced state *)
+
+val pp_event : Format.formatter -> event -> unit
+
+type violation = {
+  index : int;  (** position of the offending event in the stream *)
+  event : event;
+  reason : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : event list -> (unit, violation list) result
+(** Replay the stream through one automaton per processor id.
+
+    Per processor, track [logged] (calls logged so far), [executed]
+    (calls the handler has applied) and [synced] (does the client know
+    the log is drained?):
+
+    - [Logged]: [logged + 1]; leaves the synced state.
+    - [Executed]: [executed + 1]; a violation if it would exceed
+      [logged] (execution before logging breaks program order).
+    - [Synced] / [Pipelined]: the handler has necessarily drained the
+      log ([executed := logged]); enters the synced state.
+    - [Elided]: a violation unless in the synced state — an elision
+      claims a round trip was unnecessary, which is only true if the
+      drained status was established and nothing was logged since.
+    - [Reserved]: recorded for completeness; no state change.
+
+    Returns [Ok ()] on a conforming stream, or [Error vs] with every
+    violation found (the automaton keeps consuming after a violation,
+    clamping state, so one bad event does not cascade). *)
+
+val check_all : event list -> violation list
+(** [check] flattened: the (possibly empty) violation list. *)

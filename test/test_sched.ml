@@ -927,6 +927,163 @@ let test_pool_counters_assoc_shape () =
   check_bool "per-pool hot" true (has "pool.hot.workers");
   check_bool "empty outside a scheduler" true (S.current_pool_counters () = [])
 
+(* -- generation-stamped cells ------------------------------------------------ *)
+
+module Cell = Qs_sched.Cell
+
+let test_cell_roundtrip () =
+  S.run (fun () ->
+    let c : int Cell.t = Cell.create () in
+    let gen = Cell.generation c in
+    check_int "fresh generation" 0 gen;
+    check_bool "fill" true (Cell.try_fill c ~gen 41);
+    check_bool "double fill refused" false (Cell.try_fill c ~gen 42);
+    (match Cell.result c ~gen with
+    | Ok v -> check_int "value" 41 v
+    | Error _ -> Alcotest.fail "expected Ok");
+    Cell.recycle c;
+    check_int "generation bumped" 1 (Cell.generation c);
+    let gen = Cell.generation c in
+    check_bool "refill after recycle" true (Cell.try_fill c ~gen 7);
+    check_int "next generation's value" 7 (Cell.read c ~gen))
+
+let test_cell_error () =
+  S.run (fun () ->
+    let c : int Cell.t = Cell.create () in
+    let gen = Cell.generation c in
+    check_bool "error fill" true (Cell.try_fill_error c ~gen Exit);
+    (match Cell.result c ~gen with
+    | Error (Exit, _) -> ()
+    | _ -> Alcotest.fail "expected Error Exit");
+    check_bool "read re-raises" true
+      (try
+         ignore (Cell.read c ~gen : int);
+         false
+       with Exit -> true))
+
+let test_cell_stale_read () =
+  S.run (fun () ->
+    let c : int Cell.t = Cell.create () in
+    let old = Cell.generation c in
+    check_bool "fill old" true (Cell.try_fill c ~gen:old 1);
+    Cell.recycle c;
+    let gen = Cell.generation c in
+    check_bool "fill new" true (Cell.try_fill c ~gen 2);
+    (* A reader still holding the recycled generation must never see the
+       new generation's value. *)
+    check_bool "stale result raises" true
+      (try
+         ignore (Cell.result c ~gen:old : int Cell.outcome);
+         false
+       with Cell.Stale -> true);
+    check_bool "stale peek raises" true
+      (try
+         ignore (Cell.peek_result c ~gen:old : int Cell.outcome option);
+         false
+       with Cell.Stale -> true);
+    (* The current generation still reads its own value. *)
+    check_int "current generation unaffected" 2 (Cell.read c ~gen))
+
+let test_cell_stale_while_empty () =
+  S.run (fun () ->
+    let c : int Cell.t = Cell.create () in
+    let old = Cell.generation c in
+    check_bool "fill+consume" true (Cell.try_fill c ~gen:old 1);
+    Cell.recycle c;
+    (* Recycled but not yet refilled: a stale reader must raise, not
+       block forever waiting for a generation that is over. *)
+    check_bool "stale read of empty next gen" true
+      (try
+         ignore (Cell.result c ~gen:old : int Cell.outcome);
+         false
+       with Cell.Stale -> true))
+
+let test_cell_timeout_abandon () =
+  S.run (fun () ->
+    let c : int Cell.t = Cell.create () in
+    let gen = Cell.generation c in
+    check_bool "times out unfilled" true
+      (Cell.result_timeout c ~gen 0.02 = None);
+    (* The abandon protocol: the timed-out reader error-fills; the late
+       real fill then fails, telling the filler the rendezvous is dead. *)
+    check_bool "abandon fill wins" true (Cell.try_fill_error c ~gen Exit);
+    check_bool "late real fill loses" false (Cell.try_fill c ~gen 9))
+
+(* The qcheck property behind the pooled request path: across an
+   arbitrary sequence of generations with an awaiter each, every awaiter
+   either reads exactly its own generation's value or observes [Stale] —
+   a recycled cell is never observed by a stale awaiter.  Readers are
+   spawned concurrently and the owner recycles as soon as the value is
+   consumed, across 4 domains to give stale wake-ups a chance. *)
+let prop_cell_generations =
+  QCheck2.Test.make ~count:30 ~name:"cell: stale awaiter never sees a value"
+    QCheck2.Gen.(int_range 1 40)
+    (fun gens ->
+      S.run ~domains:4 (fun () ->
+        let c : int Cell.t = Cell.create () in
+        let ok = Atomic.make true in
+        let mism = Atomic.make 0 in
+        for g = 0 to gens - 1 do
+          let gen = Cell.generation c in
+          if gen <> g then Atomic.set ok false;
+          let consumed = Ivar.create () in
+          (* the generation's awaiter *)
+          S.spawn (fun () ->
+            (match Cell.result c ~gen with
+            | Ok v -> if v <> g * 1000 then Atomic.set ok false
+            | Error _ -> Atomic.set ok false
+            | exception Cell.Stale ->
+              (* possible only if the owner recycled first, which it
+                 never does before consumption — count, don't fail *)
+              Atomic.incr mism);
+            Ivar.fill consumed ());
+          (* a straggler holding the previous generation: it may observe
+             its own generation's leftover value or [Stale], never the
+             current generation's value *)
+          if g > 0 then
+            S.spawn (fun () ->
+              match Cell.peek_result c ~gen:(g - 1) with
+              | Some (Ok v) -> if v <> (g - 1) * 1000 then Atomic.set ok false
+              | Some (Error _) -> Atomic.set ok false
+              | None -> ()
+              | exception Cell.Stale -> ());
+          ignore (Cell.try_fill c ~gen (g * 1000) : bool);
+          Ivar.read consumed;
+          Cell.recycle c
+        done;
+        Atomic.get ok && Atomic.get mism = 0))
+
+let test_cell_multi_domain_stress () =
+  (* 4 domains, many generations: one filler domain races the awaiter
+     and a pack of stale readers; nobody may ever observe a value from a
+     generation they did not issue. *)
+  let rounds = 500 in
+  let wrong = Atomic.make 0 in
+  S.run ~domains:4 (fun () ->
+    let c : int Cell.t = Cell.create () in
+    for g = 0 to rounds - 1 do
+      let gen = Cell.generation c in
+      let consumed = Ivar.create () in
+      S.spawn (fun () ->
+        (match Cell.result c ~gen with
+        | Ok v -> if v <> g then Atomic.incr wrong
+        | Error _ -> Atomic.incr wrong
+        | exception Cell.Stale -> ());
+        Ivar.fill consumed ());
+      S.spawn (fun () -> ignore (Cell.try_fill c ~gen g : bool));
+      (* stale readers from arbitrary earlier generations *)
+      if g mod 7 = 0 && g > 0 then
+        S.spawn (fun () ->
+          match Cell.peek_result c ~gen:(g - 1) with
+          | Some (Ok v) -> if v <> g - 1 then Atomic.incr wrong
+          | Some (Error _) -> Atomic.incr wrong
+          | None -> ()
+          | exception Cell.Stale -> ());
+      Ivar.read consumed;
+      Cell.recycle c
+    done);
+  check_int "no cross-generation value observed" 0 (Atomic.get wrong)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "qs_sched"
@@ -1042,5 +1199,23 @@ let () =
           Alcotest.test_case "reduce" `Quick test_parfor_reduce;
           Alcotest.test_case "single chunk" `Quick test_parfor_single_chunk;
         ] );
-      ("properties", [ qc prop_parfor_partition; qc prop_spawn_all_run ]);
+      ( "cells",
+        [
+          Alcotest.test_case "fill/read/recycle roundtrip" `Quick
+            test_cell_roundtrip;
+          Alcotest.test_case "error outcome" `Quick test_cell_error;
+          Alcotest.test_case "stale read" `Quick test_cell_stale_read;
+          Alcotest.test_case "stale read of empty next gen" `Quick
+            test_cell_stale_while_empty;
+          Alcotest.test_case "timeout abandon handoff" `Quick
+            test_cell_timeout_abandon;
+          Alcotest.test_case "multi-domain stress" `Quick
+            test_cell_multi_domain_stress;
+        ] );
+      ( "properties",
+        [
+          qc prop_parfor_partition;
+          qc prop_spawn_all_run;
+          qc prop_cell_generations;
+        ] );
     ]

@@ -1295,6 +1295,162 @@ let prop_generous_timeout_equiv config mailbox =
         Latch.wait latch);
       Atomic.get ok)
 
+(* -- pooled flat requests ----------------------------------------------------- *)
+
+(* One mixed workload, parameterized only by the pooling knob: calls,
+   1-arg calls, blocking queries (0- and 1-arg), pipelined queries.
+   Returns the observable outcome — final balance plus every query
+   result — so pooled and unpooled runs can be compared bit for bit. *)
+let flat_workload ~pooling config =
+  R.run ~domains:2 ~config ~pooling (fun rt ->
+    let h = R.processor rt in
+    let r = ref 0 in
+    let results = ref [] in
+    let keep v = results := v :: !results in
+    R.separate rt h (fun reg ->
+      for i = 1 to 40 do
+        Reg.call reg (fun () -> r := !r + 1);
+        Reg.call1 reg (fun n -> r := !r + n) i;
+        keep (Reg.query reg (fun () -> !r));
+        keep (Reg.query1 reg (fun n -> !r + n) 100);
+        let p = Reg.query_async reg (fun () -> !r) in
+        keep (Scoop.Promise.await p)
+      done);
+    let final = R.separate rt h (fun reg -> Reg.query reg (fun () -> !r)) in
+    let s = Scoop.Stats.snapshot (R.stats rt) in
+    (final, List.rev !results, s))
+
+let test_pooled_unpooled_equiv config =
+  let f_pooled, rs_pooled, s_pooled = flat_workload ~pooling:true config in
+  let f_plain, rs_plain, s_plain = flat_workload ~pooling:false config in
+  check_int "same final balance" f_plain f_pooled;
+  Alcotest.(check (list int)) "same query results" rs_plain rs_pooled;
+  check_int "same calls" s_plain.Scoop.Stats.s_calls s_pooled.Scoop.Stats.s_calls;
+  check_int "same queries" s_plain.Scoop.Stats.s_queries
+    s_pooled.Scoop.Stats.s_queries;
+  check_int "unpooled run issued no flat requests" 0
+    s_plain.Scoop.Stats.s_requests_flat;
+  (* Single-reservation traffic under a pooling config must actually
+     exercise the flat path (the qoq preset and friends enable it). *)
+  if config.Cfg.pooling then
+    check_bool "pooled run issued flat requests" true
+      (s_pooled.Scoop.Stats.s_requests_flat > 0)
+
+let test_pool_recycles config =
+  (* Far more round-trip requests than the pool holds: the free list
+     must cycle (requests_pooled keeps growing) instead of draining
+     once and falling back forever. *)
+  if config.Cfg.pooling then begin
+    let s =
+      R.run ~config ~pooling:true (fun rt ->
+        let h = R.processor rt in
+        let r = ref 0 in
+        R.separate rt h (fun reg ->
+          for _ = 1 to 500 do
+            Reg.call reg (fun () -> incr r);
+            ignore (Reg.query reg (fun () -> !r) : int)
+          done);
+        Scoop.Stats.snapshot (R.stats rt))
+    in
+    check_bool "pool cycled many times" true
+      (s.Scoop.Stats.s_requests_pooled > 400);
+    check_int "flat == pooled under the fallback design"
+      s.Scoop.Stats.s_requests_pooled s.Scoop.Stats.s_requests_flat
+  end
+
+let test_pool_miss_falls_back config =
+  (* Flood asynchronous calls without ever syncing: the 64-slot pool
+     empties and every further call must degrade to the packaged path
+     (counted as misses), with nothing lost. *)
+  if config.Cfg.pooling then begin
+    let n = 2_000 in
+    let total, s =
+      R.run ~config ~pooling:true (fun rt ->
+        let h = R.processor rt in
+        let r = ref 0 in
+        let total =
+          R.separate rt h (fun reg ->
+            for _ = 1 to n do
+              Reg.call reg (fun () -> incr r)
+            done;
+            Reg.query reg (fun () -> !r))
+        in
+        (total, Scoop.Stats.snapshot (R.stats rt)))
+    in
+    check_int "every call served" n total;
+    check_bool "some calls fell back" true (s.Scoop.Stats.s_pool_misses > 0)
+  end
+
+let test_flat_timeout_recovers config =
+  (* A timed-out flat query abandons its record; the cell CAS hands the
+     recycle to whichever side finishes last, so the pool keeps working
+     and later round trips still succeed.  Only packaged-flavour queries
+     round-trip through the handler (under [client_query] the body runs
+     on the client fiber, which would self-deadlock on the gate). *)
+  if config.Cfg.pooling && not config.Cfg.client_query then begin
+    let after =
+      R.run ~domains:2 ~config ~pooling:true (fun rt ->
+        let h = R.processor rt in
+        let gate = Atomic.make false in
+        let r = ref 0 in
+        R.separate rt h (fun reg ->
+          (match
+             Reg.query ~timeout:0.02 reg (fun () ->
+               while not (Atomic.get gate) do
+                 Domain.cpu_relax ()
+               done;
+               incr r;
+               !r)
+           with
+          | (_ : int) -> Alcotest.fail "expected Timeout"
+          | exception Qs_sched.Timer.Timeout -> ());
+          Atomic.set gate true;
+          (* the handler finishes the abandoned query; subsequent flat
+             round trips must observe a healthy pool *)
+          for _ = 1 to 50 do
+            ignore (Reg.query reg (fun () -> !r) : int)
+          done;
+          Reg.query reg (fun () -> !r)))
+    in
+    check_int "abandoned query still executed" 1 after
+  end
+
+let test_handler_elision_pipelined () =
+  (* The handler-side drained hint: pipelined query fulfilled at the
+     tail of a drained batch + watermark-clean force ⇒ the sync that
+     would re-establish the synced state is elided. *)
+  let s =
+    R.run ~config:Cfg.all (fun rt ->
+      let h = R.processor rt in
+      let r = ref 0 in
+      R.separate rt h (fun reg ->
+        for _ = 1 to 30 do
+          Reg.call reg (fun () -> incr r);
+          let p = Reg.query_async reg (fun () -> !r) in
+          ignore (Scoop.Promise.await p : int);
+          (* synced was re-established by the force; this read needs no
+             round trip *)
+          Reg.sync reg
+        done);
+      Scoop.Stats.snapshot (R.stats rt))
+  in
+  check_bool "syncs elided" true (s.Scoop.Stats.s_syncs_elided > 0)
+
+let test_pooling_knob_off () =
+  (* Config.pooling=false (or the per-run override) must disable the
+     flat path entirely. *)
+  let s =
+    R.run ~config:Cfg.qoq ~pooling:false (fun rt ->
+      let h = R.processor rt in
+      let r = ref 0 in
+      R.separate rt h (fun reg ->
+        Reg.call reg (fun () -> incr r);
+        ignore (Reg.query reg (fun () -> !r) : int));
+      Scoop.Stats.snapshot (R.stats rt))
+  in
+  check_int "no flat requests" 0 s.Scoop.Stats.s_requests_flat;
+  check_int "no pool traffic" 0 s.Scoop.Stats.s_requests_pooled
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "scoop"
@@ -1319,6 +1475,16 @@ let () =
         @ per_config "shared ownership" test_shared_wrong_block
         @ per_config "handler as client" test_handler_as_client
         @ per_config "sequential blocks" test_sequential_blocks );
+      ( "flat requests",
+        per_config "pooled = unpooled" test_pooled_unpooled_equiv
+        @ per_config "pool recycles" test_pool_recycles
+        @ per_config "miss falls back" test_pool_miss_falls_back
+        @ per_config "timeout recovers" test_flat_timeout_recovers
+        @ [
+            Alcotest.test_case "handler-side elision" `Quick
+              test_handler_elision_pipelined;
+            Alcotest.test_case "pooling knob off" `Quick test_pooling_knob_off;
+          ] );
       ( "mailbox",
         [
           Alcotest.test_case "qoq/direct x batch equivalence" `Quick

@@ -380,6 +380,52 @@ let prop_all_calls_execute =
           List.length logged = List.length executed)
         runs)
 
+(* -- trace conformance (Replay) ---------------------------------------------- *)
+
+let test_replay_legal_stream () =
+  let open Replay in
+  check_bool "call/execute/sync conforms" true
+    (check
+       [
+         Reserved 1; Logged 1; Logged 1; Executed 1; Executed 1; Synced 1;
+         Elided 1; Logged 1; Executed 1; Pipelined 1; Elided 1;
+       ]
+    = Ok ());
+  check_bool "empty stream conforms" true (check [] = Ok ())
+
+let test_replay_execute_before_log () =
+  let open Replay in
+  (match check [ Logged 1; Executed 1; Executed 1 ] with
+  | Error [ v ] ->
+    check_int "offending index" 2 v.index;
+    check_bool "offending event" true (v.event = Executed 1)
+  | _ -> Alcotest.fail "expected exactly one violation");
+  (* the automaton clamps: one bad event must not cascade *)
+  check_bool "recovers after clamp" true
+    (check [ Logged 1; Executed 1; Executed 1; Logged 1; Executed 1 ]
+    <> Ok ())
+
+let test_replay_elide_unsynced () =
+  let open Replay in
+  (match check [ Logged 1; Elided 1 ] with
+  | Error [ v ] -> check_bool "elide flagged" true (v.event = Elided 1)
+  | _ -> Alcotest.fail "expected the unsynced elision to be flagged");
+  (* logging after a sync leaves the synced state: a later elision is
+     illegal again *)
+  (match check [ Logged 1; Executed 1; Synced 1; Logged 1; Elided 1 ] with
+  | Error [ v ] -> check_int "second elide flagged" 4 v.index
+  | _ -> Alcotest.fail "expected the post-log elision to be flagged");
+  (* a pipelined fulfilment also establishes the synced state *)
+  check_bool "pipelined enables elision" true
+    (check [ Logged 1; Pipelined 1; Elided 1 ] = Ok ())
+
+let test_replay_per_processor () =
+  let open Replay in
+  (* processor 2's violation must not contaminate processor 1 *)
+  match check [ Logged 1; Executed 1; Synced 1; Elided 1; Elided 2 ] with
+  | Error [ v ] -> check_bool "only proc 2 flagged" true (v.event = Elided 2)
+  | _ -> Alcotest.fail "expected exactly processor 2's elision"
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "qs_semantics"
@@ -461,5 +507,15 @@ let () =
           Alcotest.test_case "fig1 runs" `Quick test_fifo_service_on_fig1;
           Alcotest.test_case "checker catches violation" `Quick
             test_fifo_checker_catches_violation;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "legal stream" `Quick test_replay_legal_stream;
+          Alcotest.test_case "execute before log" `Quick
+            test_replay_execute_before_log;
+          Alcotest.test_case "elide outside synced" `Quick
+            test_replay_elide_unsynced;
+          Alcotest.test_case "per-processor isolation" `Quick
+            test_replay_per_processor;
         ] );
     ]
