@@ -21,7 +21,7 @@ let all_artifacts =
   [
     "table1"; "fig16"; "table2"; "fig17"; "table3"; "table4"; "fig18";
     "fig19"; "table5"; "fig20"; "summary"; "eve"; "switches"; "micro";
-    "pipeline"; "timeout"; "pools"; "alloc"; "conformance";
+    "pipeline"; "timeout"; "pools"; "alloc"; "conformance"; "remote";
   ]
 
 (* §4.3 attributes the QoQ gains to "fewer context switches, since the
@@ -142,7 +142,10 @@ let mailbox_batching () =
   List.map
     (fun (mailbox, batch) ->
       let s =
-        Scoop.Runtime.run ~domains:2 ~mailbox ~batch (fun rt ->
+        Scoop.Runtime.run ~domains:2
+          ~config:
+            Scoop.Config.(qoq |> with_mailbox mailbox |> with_batch batch)
+          (fun rt ->
           let buffer = Scoop.Runtime.processor rt in
           let queue = Scoop.Shared.create buffer (Queue.create ()) in
           let producers = 4 and per = 200 in
@@ -373,7 +376,9 @@ let timeout_ablation (s : H.scale) =
   Printf.printf "%-36s %10.0f ns/round\n" "deadline arm+cancel overhead"
     (ns (timed -. plain));
   let probe =
-    Scoop.Runtime.run ~domains:2 ~bound:4 ~overflow:`Shed_oldest (fun rt ->
+    Scoop.Runtime.run ~domains:2
+      ~config:Scoop.Config.(qoq |> with_bound 4 |> with_overflow `Shed_oldest)
+      (fun rt ->
       let h = Scoop.Runtime.processor rt in
       (try
          Scoop.Runtime.separate rt h (fun reg ->
@@ -490,8 +495,10 @@ let pools_ablation (s : H.scale) =
     done;
     List.iter Domain.join doms
   in
-  let handler_flood ?pools ?pool () =
-    Scoop.Runtime.run ~domains:2 ?pools (fun rt ->
+  let handler_flood ?(pools = []) ?pool () =
+    Scoop.Runtime.run ~domains:2
+      ~config:Scoop.Config.(qoq |> with_pools pools)
+      (fun rt ->
       let h = Scoop.Runtime.processor ?pool rt in
       let cell = Scoop.Shared.create h (ref 0) in
       for _ = 1 to 1000 do
@@ -516,7 +523,9 @@ let pools_ablation (s : H.scale) =
   (* Forced imbalance: all the work lives in the pinned handler's pool,
      all the clients in default — the hot pool has to absorb workers. *)
   let counters =
-    Scoop.Runtime.run ~domains:2 ~pools:[ "hot" ] (fun rt ->
+    Scoop.Runtime.run ~domains:2
+      ~config:Scoop.Config.(qoq |> with_pools [ "hot" ])
+      (fun rt ->
       let h = Scoop.Runtime.processor ~pool:"hot" rt in
       let cell = Scoop.Shared.create h (ref 0) in
       let clients = 4 and per = max 200 (s.H.m / 4) in
@@ -542,6 +551,98 @@ let pools_ablation (s : H.scale) =
     counters;
   print_newline ();
   (rows, counters)
+
+(* -- remote-endpoint ablation ------------------------------------------------ *)
+
+(* Distributed-runtime handler state: remote closures execute against the
+   node's module-level globals, so the benchmark's counter lives here. *)
+let remote_cell = Atomic.make 0
+
+(* What does moving a processor behind a socket cost, and does promise
+   pipelining buy the latency back?  Three rows over the same 1000-query
+   stream:
+
+   - [remote:qoq-1000]            — in-process qoq endpoint (baseline)
+   - [remote:qoq-vs-socket-1000]  — same blocking queries against a node
+                                    over a unix socket: every query pays
+                                    a full marshal + syscall round trip
+   - [remote:socket-pipelined-1000] — the same stream as pipelined
+                                    [query_async] promises: requests
+                                    overlap in flight, so the per-query
+                                    cost collapses toward the transport's
+                                    throughput bound (CI asserts this row
+                                    beats the blocking one). *)
+let remote_ablation (s : H.scale) =
+  let module BT = Qs_benchmarks.Bench_types in
+  print_newline ();
+  print_endline
+    "remote ablation: in-process vs socket endpoint, blocking vs pipelined";
+  print_endline (String.make 72 '-');
+  let rounds = 1000 in
+  let blocking rt =
+    let p = Scoop.Runtime.processor rt in
+    Scoop.Runtime.separate rt p (fun reg ->
+      for _ = 1 to rounds do
+        ignore
+          (Scoop.Registration.query reg (fun () ->
+             Atomic.fetch_and_add remote_cell 1)
+            : int)
+      done)
+  in
+  let pipelined rt =
+    let p = Scoop.Runtime.processor rt in
+    Scoop.Runtime.separate rt p (fun reg ->
+      List.init rounds (fun _ ->
+        Scoop.Registration.query_async reg (fun () ->
+          Atomic.fetch_and_add remote_cell 1))
+      |> List.iter (fun pr -> ignore (Scoop.Promise.await pr : int)))
+  in
+  let reps = max 8 (s.H.reps / 2) in
+  let row name f =
+    let samples =
+      List.init reps (fun _ ->
+        snd (BT.timed f) *. 1e9 /. float_of_int rounds)
+    in
+    let n = List.length samples in
+    let mean = List.fold_left ( +. ) 0.0 samples /. float_of_int n in
+    let var =
+      List.fold_left
+        (fun acc x -> acc +. ((x -. mean) *. (x -. mean)))
+        0.0 samples
+      /. float_of_int n
+    in
+    Printf.printf "%-36s %10.0f ns/op\n" name mean;
+    (Printf.sprintf "qs:%s" name, mean, sqrt var, n)
+  in
+  let r_local =
+    row "remote:qoq-1000" (fun () ->
+      Scoop.Runtime.run ~domains:1 ~config:Scoop.Config.qoq blocking)
+  in
+  (* One self-hosted node serves every remote rep: connections are
+     per-rep, the node is not. *)
+  let path =
+    Printf.sprintf "%s/qs_bench_%d.sock"
+      (Filename.get_temp_dir_name ())
+      (Unix.getpid ())
+  in
+  let addr = Scoop.Config.Unix_sock path in
+  let node = Domain.spawn (fun () -> Scoop.Remote.listen addr) in
+  let remotely f () =
+    Scoop.Runtime.run
+      ~config:(Scoop.Remote.connect [ addr ])
+      (fun rt -> f rt)
+  in
+  let r_blocking = row "remote:qoq-vs-socket-1000" (remotely blocking) in
+  let r_pipelined = row "remote:socket-pipelined-1000" (remotely pipelined) in
+  Scoop.Runtime.run
+    ~config:(Scoop.Remote.connect [ addr ])
+    Scoop.Runtime.shutdown_nodes;
+  Domain.join node;
+  let mean (_, m, _, _) = m in
+  Printf.printf
+    "pipelining recovered %.1fx of the socket round-trip cost\n"
+    (mean r_blocking /. mean r_pipelined);
+  [ r_local; r_blocking; r_pipelined ]
 
 (* -- per-request allocation probe ------------------------------------------- *)
 
@@ -797,7 +898,10 @@ let micro () =
     in
     Test.make ~name
       (Staged.stage (fun () ->
-         Scoop.Runtime.run ~domains:1 ~mailbox ~batch (fun rt ->
+         Scoop.Runtime.run ~domains:1
+           ~config:
+             Scoop.Config.(qoq |> with_mailbox mailbox |> with_batch batch)
+           (fun rt ->
            let h = Scoop.Runtime.processor rt in
            let cell = Scoop.Shared.create h (ref 0) in
            for _ = 1 to 100 do
@@ -1109,6 +1213,7 @@ let run scale only json trace_out =
   let pools_rows =
     match pools_info with Some (rows, _) -> rows | None -> []
   in
+  let remote_rows = if want "remote" then remote_ablation scale else [] in
   let alloc_info =
     if want "alloc" then Some (allocation_probe scale) else None
   in
@@ -1119,8 +1224,10 @@ let run scale only json trace_out =
     let micro_rows, batching_rows = micro () in
     match json with
     | Some path ->
-      write_json path scale (micro_rows @ pools_rows) batching_rows
-        pipeline_rows timeout_info pools_info alloc_info conformance_info
+      write_json path scale
+        (micro_rows @ pools_rows @ remote_rows)
+        batching_rows pipeline_rows timeout_info pools_info alloc_info
+        conformance_info
     | None -> ()
   end
   else
@@ -1129,8 +1236,8 @@ let run scale only json trace_out =
         (* No micro rows without the micro suite; still emit the pools
            rows and the counters so the output is valid and
            self-describing. *)
-        write_json path scale pools_rows [] pipeline_rows timeout_info
-          pools_info alloc_info conformance_info)
+        write_json path scale (pools_rows @ remote_rows) [] pipeline_rows
+          timeout_info pools_info alloc_info conformance_info)
       json;
   Option.iter (fun path -> write_trace path scale) trace_out
 
@@ -1170,7 +1277,7 @@ let only_term =
         ~doc:"Regenerate only the given artifact (repeatable). One of: table1 \
               fig16 table2 fig17 table3 table4 fig18 fig19 table5 fig20 \
               summary eve switches micro pipeline timeout pools alloc \
-              conformance.")
+              conformance remote.")
 
 let json_term =
   Arg.(

@@ -23,7 +23,15 @@
          — run a traced example workload and print the merged
            per-processor / per-worker observability summary; optionally
            export a Chrome trace-event JSON file (chrome://tracing,
-           ui.perfetto.dev). *)
+           ui.perfetto.dev).
+     qs node <addr>
+         — host SCOOP handlers at the address and serve remote clients
+           until one sends a shutdown request.
+     qs remote [--connect ADDRS]
+         — run the same bank workload against the in-process endpoint
+           and a remote node (self-hosted on a scratch socket unless
+           --connect points at running `qs node` processes), and print
+           the remote round-trip counters. *)
 
 open Cmdliner
 
@@ -134,7 +142,9 @@ let sim task lang =
    does not poison the registration, the same handle still answers once
    the handler recovers. *)
 let deadline_demo mailbox d =
-  Scoop.Runtime.run ~domains:1 ~mailbox (fun rt ->
+  Scoop.Runtime.run ~domains:1
+    ~config:Scoop.Config.(qoq |> with_mailbox mailbox)
+    (fun rt ->
     let w = Scoop.Runtime.processor rt in
     Scoop.Runtime.separate rt w (fun reg ->
       Scoop.Registration.call reg (fun () -> Qs_sched.Sched.sleep (4.0 *. d));
@@ -166,7 +176,12 @@ let backpressure_demo mailbox bound overflow =
   in
   let flood = 8 * bound in
   let s =
-    Scoop.Runtime.run ~domains:2 ~mailbox ~bound ~overflow (fun rt ->
+    Scoop.Runtime.run ~domains:2
+      ~config:
+        Scoop.Config.(
+          qoq |> with_mailbox mailbox |> with_bound bound
+          |> with_overflow overflow)
+      (fun rt ->
       let w = Scoop.Runtime.processor rt in
       let served = Scoop.Shared.create w (ref 0) in
       (try
@@ -207,7 +222,10 @@ let backpressure_demo mailbox bound overflow =
 let pools_demo mailbox =
   let clients = 4 and per = 500 in
   let kv =
-    Scoop.Runtime.run ~domains:2 ~mailbox ~pools:[ "hot" ] (fun rt ->
+    Scoop.Runtime.run ~domains:2
+      ~config:
+        Scoop.Config.(qoq |> with_mailbox mailbox |> with_pools [ "hot" ])
+      (fun rt ->
       let h = Scoop.Runtime.processor ~pool:"hot" rt in
       let cell = Scoop.Shared.create h (ref 0) in
       let latch = Qs_sched.Latch.create clients in
@@ -262,7 +280,11 @@ let demo trace_flag mailbox batch spsc deadline bound overflow pools_flag =
     exit 1
   | _ -> ());
   let stats =
-    Scoop.Runtime.run ~domains:1 ~mailbox ~batch ~spsc ~trace:trace_flag
+    Scoop.Runtime.run ~domains:1
+      ~config:
+        Scoop.Config.(
+          qoq |> with_mailbox mailbox |> with_batch batch |> with_spsc spsc
+          |> with_trace trace_flag)
       (fun rt ->
       let account = Scoop.Runtime.processor rt in
       let balance = Scoop.Shared.create account (ref 100) in
@@ -315,7 +337,9 @@ let faults mailbox =
     | Scoop.Processor.Failed -> "failed"
   in
   let stats =
-    Scoop.Runtime.run ~domains:1 ~mailbox (fun rt ->
+    Scoop.Runtime.run ~domains:1
+      ~config:Scoop.Config.(qoq |> with_mailbox mailbox)
+      (fun rt ->
       let worker = Scoop.Runtime.processor rt in
       let cell = Scoop.Shared.create worker (ref 0) in
       (* A raising blocking query re-raises on the client; the
@@ -360,7 +384,9 @@ let faults mailbox =
   in
   (* Aborting discards still-pending requests unexecuted. *)
   let aborted =
-    Scoop.Runtime.run ~domains:1 ~mailbox (fun rt ->
+    Scoop.Runtime.run ~domains:1
+      ~config:Scoop.Config.(qoq |> with_mailbox mailbox)
+      (fun rt ->
       let w = Scoop.Runtime.processor rt in
       let cell = Scoop.Shared.create w (ref 0) in
       Scoop.Runtime.separate rt w (fun reg ->
@@ -450,7 +476,9 @@ let trace_run name out domains mailbox batch =
   let sink = Qs_obs.Sink.create () in
   let sched = ref None in
   let stats =
-    Scoop.Runtime.run ~domains ~mailbox ~batch ~obs:sink
+    Scoop.Runtime.run ~domains
+      ~config:Scoop.Config.(qoq |> with_mailbox mailbox |> with_batch batch)
+      ~obs:sink
       ~on_counters:(fun c -> sched := Some c)
       (fun rt ->
         workload rt;
@@ -481,6 +509,109 @@ let trace_run name out domains mailbox batch =
     Printf.printf
       "wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n"
       path
+
+(* -- node / remote ------------------------------------------------------------ *)
+
+let parse_addr s =
+  match Scoop.Config.addr_of_string s with
+  | Some a -> a
+  | None ->
+    Printf.eprintf
+      "qs: bad address %S (expected unix:PATH or tcp:HOST:PORT)\n" s;
+    exit 1
+
+let node_run addr_s domains =
+  Scoop.Remote.listen ~domains (parse_addr addr_s)
+
+(* Distributed demo state.  Remote closures execute against the *node's*
+   module-level globals (Marshal.Closures ships code, not captured
+   state), so the workload keeps its handler state here — and that same
+   discipline is what lets it run unmodified against both endpoints. *)
+let remote_balance = Atomic.make 0
+
+(* The demo bank, written once and run against either endpoint: every
+   touch of the balance goes through the registration, including the
+   initial reset, so the state lives wherever the processor does. *)
+let remote_workload rt =
+  let account = Scoop.Runtime.processor rt in
+  let tellers = 4 and deposits = 250 in
+  Scoop.Runtime.separate rt account (fun reg ->
+    Scoop.Registration.call reg (fun () -> Atomic.set remote_balance 100));
+  let latch = Qs_sched.Latch.create tellers in
+  for _ = 1 to tellers do
+    Qs_sched.Sched.spawn (fun () ->
+      for i = 1 to deposits do
+        Scoop.Runtime.separate rt account (fun reg ->
+          Scoop.Registration.call reg (fun () -> Atomic.incr remote_balance);
+          (* Periodic audits keep query round trips in the mix. *)
+          if i mod 50 = 0 then
+            ignore
+              (Scoop.Registration.query reg (fun () ->
+                 Atomic.get remote_balance)
+                : int))
+      done;
+      Qs_sched.Latch.count_down latch)
+  done;
+  Qs_sched.Latch.wait latch;
+  Scoop.Runtime.separate rt account (fun reg ->
+    Scoop.Registration.query reg (fun () -> Atomic.get remote_balance))
+
+let remote_demo connect shutdown_flag =
+  let expected = 100 + (4 * 250) in
+  (* Bad addresses fail before any endpoint runs. *)
+  let connect_addrs =
+    Option.map
+      (fun s -> List.map parse_addr (String.split_on_char ',' s))
+      connect
+  in
+  (* In-process endpoint first: the reference run. *)
+  let local =
+    Scoop.Runtime.run ~domains:2 ~config:Scoop.Config.qoq remote_workload
+  in
+  Printf.printf "in-process endpoint: final balance %d (expected %d)\n" local
+    expected;
+  (* Then the same workload over a connection.  Self-host a node on a
+     scratch unix socket unless --connect names running nodes. *)
+  let addrs, hosted =
+    match connect_addrs with
+    | Some addrs -> (addrs, None)
+    | None ->
+      let path =
+        Printf.sprintf "%s/qs_demo_%d.sock"
+          (Filename.get_temp_dir_name ())
+          (Unix.getpid ())
+      in
+      let addr = Scoop.Config.Unix_sock path in
+      let d = Domain.spawn (fun () -> Scoop.Remote.listen addr) in
+      ([ addr ], Some d)
+  in
+  let remote, stats =
+    Scoop.Runtime.run
+      ~config:(Scoop.Remote.connect addrs)
+      (fun rt ->
+        let v = remote_workload rt in
+        let s = Scoop.Stats.snapshot (Scoop.Runtime.stats rt) in
+        if shutdown_flag || hosted <> None then Scoop.Runtime.shutdown_nodes rt;
+        (v, s))
+  in
+  Option.iter Domain.join hosted;
+  Printf.printf "remote endpoint (%s): final balance %d (expected %d)\n"
+    (String.concat "," (List.map Scoop.Config.addr_to_string addrs))
+    remote expected;
+  Printf.printf
+    "remote round trips: %d requests, %d replies, %d failures, rtt %.3f ms \
+     total\n"
+    stats.Scoop.Stats.s_remote_requests stats.Scoop.Stats.s_remote_replies
+    stats.Scoop.Stats.s_remote_failures
+    (float_of_int stats.Scoop.Stats.s_remote_rtt_ns /. 1e6);
+  if local <> expected || remote <> expected then begin
+    Printf.eprintf "qs: endpoint results diverge\n";
+    exit 1
+  end;
+  if stats.Scoop.Stats.s_remote_requests = 0 then begin
+    Printf.eprintf "qs: no remote round trips recorded\n";
+    exit 1
+  end
 
 (* -- lang --------------------------------------------------------------------- *)
 
@@ -705,6 +836,48 @@ let trace_cmd =
           per-worker observability summary")
     Term.(const trace_run $ example $ out $ domains $ mailbox $ batch)
 
+let node_cmd =
+  let addr =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ADDR"
+          ~doc:"Address to listen on: $(b,unix:PATH) or $(b,tcp:HOST:PORT).")
+  in
+  let domains = Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N") in
+  Cmd.v
+    (Cmd.info "node"
+       ~doc:
+         "Host SCOOP handlers behind the socket transport and serve remote \
+          clients until one sends a shutdown request")
+    Term.(const node_run $ addr $ domains)
+
+let remote_cmd =
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDRS"
+          ~doc:
+            "Comma-separated node addresses (processor $(b,id) is routed to \
+             node $(b,id mod n): the static shard map).  Without this flag \
+             the demo self-hosts a node on a scratch unix socket.")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:
+            "Ask the connected nodes to stop after the workload (implied \
+             for the self-hosted node).")
+  in
+  Cmd.v
+    (Cmd.info "remote"
+       ~doc:
+         "Run the same workload against the in-process and remote endpoints \
+          and print the remote round-trip counters")
+    Term.(const remote_demo $ connect $ shutdown)
+
 let lang_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let optimize =
@@ -731,5 +904,7 @@ let () =
             demo_cmd;
             faults_cmd;
             trace_cmd;
+            node_cmd;
+            remote_cmd;
             lang_cmd;
           ]))

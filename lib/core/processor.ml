@@ -57,9 +57,43 @@ let () =
     | Overloaded id -> Some (Printf.sprintf "Scoop.Processor.Overloaded(%d)" id)
     | _ -> None)
 
+(* Per-registration proxy operations implemented by the remote client
+   layer (a connection's demultiplexer + wire encoder).  Defined here —
+   not in [Remote_client] — to break the type cycle: [Registration]
+   branches on this record, [Remote_client] builds it, and both already
+   depend on [Processor].  All payload closures cross the wire under
+   [Marshal.Closures], so they must only reference module-level state of
+   the shared binary (the node executes them against {e its} globals).
+
+   [px_query] is the blocking round trip (the remote analogue of the
+   packaged Fig. 10a path — client-side query execution is meaningless
+   across a process boundary, so remote registrations always package);
+   [px_query_async] returns the promise immediately, which is what makes
+   remote queries pipeline.  [px_on_poison] installs the registration's
+   poison completion: the demultiplexer invokes it when the node reports
+   a handler failure (dirty-processor rule across the connection) or
+   when the connection is lost. *)
+type reg_proxy = {
+  px_call : (unit -> unit) -> unit;
+  px_query : timeout:float option -> (unit -> Obj.t) -> Obj.t;
+  px_query_async :
+    (unit -> Obj.t) -> on_force:(bool -> unit) -> Obj.t Qs_sched.Promise.t;
+  px_sync : timeout:float option -> unit;
+  px_close : unit -> unit;
+  px_on_poison : (exn -> Printexc.raw_backtrace -> unit) -> unit;
+}
+
+type remote_ops = {
+  rem_node : string; (* address label, for errors and pp *)
+  rem_open : unit -> reg_proxy; (* open one registration on the node *)
+}
+
 (* The two communication structures of the paper, as one closed variant:
    every other module goes through the accessors below, so adding a new
-   structure (sharded queues, remote handlers) only touches this file. *)
+   structure (sharded queues, remote handlers) only touches this file.
+   [Remote] is the distributed case: the processor is a client-side
+   stand-in whose requests travel over a connection — it has no local
+   mailbox and no handler fiber (those live on the node). *)
 type comm =
   | Qoq of {
       qoq : pq Qs_sched.Bqueue.Mpsc.t; (* queue of private queues (Fig. 4) *)
@@ -69,6 +103,7 @@ type comm =
       q : Request.t Qs_sched.Bqueue.Mpsc.t; (* single request queue (Fig. 2) *)
       lock : Qs_sched.Fiber_mutex.t; (* handler lock serializing clients *)
     }
+  | Remote of remote_ops
 
 type t = {
   id : int;
@@ -463,9 +498,14 @@ let shed t req =
   | Request.Sync _ | Request.End -> assert false
 
 (* Admission control, called by registrations before enqueueing a Call or
-   Query.  With [bound = 0] (every preset) this is one branch. *)
+   Query.  With [bound = 0] (every preset) this is one branch.  Remote
+   processors skip client-side admission: the bound is enforced on the
+   node (its own [admit] + the serve fiber blocking on a full private
+   queue + the kernel socket buffers give end-to-end backpressure). *)
 let admit t =
-  let cap = t.config.Config.bound in
+  let cap =
+    match t.comm with Remote _ -> 0 | Qoq _ | Direct _ -> t.config.Config.bound
+  in
   if cap > 0 then begin
     match t.config.Config.overflow with
     | `Block ->
@@ -634,6 +674,7 @@ let create ?sink ?pool ~id ~config ~stats () =
     match comm with
     | Qoq { qoq; cache } -> qoq_mailbox qoq cache
     | Direct { q; _ } -> direct_mailbox q
+    | Remote _ -> assert false (* [create] never builds a Remote comm *)
   in
   (* Pinning: a pooled handler fiber is spawned into its scheduler pool,
      so only that pool's member workers ever drain its requests. *)
@@ -650,8 +691,51 @@ let create ?sink ?pool ~id ~config ~stats () =
       (fun () -> handler_loop t mailbox));
   t
 
+(* A remote processor: same [t], no handler fiber — the handler runs on
+   the node.  The exit latch is pre-filled (there is nothing to await
+   locally; teardown of the connection is the runtime's job) and the
+   flat pool is disabled (remote registrations always use the packaged
+   wire representation). *)
+let create_remote ?sink ~id ~config ~stats ~ops () =
+  Qs_obs.Counter.incr stats.Stats.processors;
+  {
+    id;
+    config;
+    stats;
+    sink;
+    comm = Remote ops;
+    reserve = Qs_queues.Spinlock.create ();
+    shadow = [||];
+    shadow_top = 0;
+    state = Atomic.make Running;
+    aborted = Atomic.make false;
+    failed = Atomic.make false;
+    stream_closed = Atomic.make false;
+    exited = Qs_sched.Ivar.create_full ();
+    pending = Atomic.make 0;
+    shed_debt = Atomic.make 0;
+    recycle_buf = [||];
+    recycle_n = 0;
+    flat_pool = make_pool false;
+  }
+
 let id t = t.id
 let reserve t = t.reserve
+
+let is_remote t = match t.comm with Remote _ -> true | Qoq _ | Direct _ -> false
+
+let remote_node t =
+  match t.comm with
+  | Remote ops -> Some ops.rem_node
+  | Qoq _ | Direct _ -> None
+
+(* Open a registration on the remote node; the returned proxy carries the
+   per-registration wire operations.  Only valid on remote processors. *)
+let remote_open t =
+  match t.comm with
+  | Remote ops -> ops.rem_open ()
+  | Qoq _ | Direct _ ->
+    invalid_arg "Scoop.Processor.remote_open: processor is local"
 
 (* -- queue-of-queues client operations -------------------------------------- *)
 
@@ -661,13 +745,13 @@ let take_private_queue t =
     match Qs_queues.Treiber_stack.pop cache with
     | Some pq -> pq
     | None -> Qs_sched.Bqueue.Spsc.create ~backing:t.config.Config.spsc ())
-  | Direct _ ->
+  | Direct _ | Remote _ ->
     invalid_arg "Scoop.Processor.take_private_queue: processor is in lock mode"
 
 let enqueue_private_queue t pq =
   match t.comm with
   | Qoq { qoq; _ } -> Qs_sched.Bqueue.Mpsc.enqueue qoq pq
-  | Direct _ ->
+  | Direct _ | Remote _ ->
     invalid_arg
       "Scoop.Processor.enqueue_private_queue: processor is in lock mode"
 
@@ -678,22 +762,22 @@ let wrong_mode fn = invalid_arg ("Scoop.Processor." ^ fn ^ ": processor is in qo
 let lock_handler t =
   match t.comm with
   | Direct { lock; _ } -> Qs_sched.Fiber_mutex.lock lock
-  | Qoq _ -> wrong_mode "lock_handler"
+  | Qoq _ | Remote _ -> wrong_mode "lock_handler"
 
 let lock_handler_timeout t dt =
   match t.comm with
   | Direct { lock; _ } -> Qs_sched.Fiber_mutex.lock_timeout lock dt
-  | Qoq _ -> wrong_mode "lock_handler_timeout"
+  | Qoq _ | Remote _ -> wrong_mode "lock_handler_timeout"
 
 let unlock_handler t =
   match t.comm with
   | Direct { lock; _ } -> Qs_sched.Fiber_mutex.unlock lock
-  | Qoq _ -> wrong_mode "unlock_handler"
+  | Qoq _ | Remote _ -> wrong_mode "unlock_handler"
 
 let enqueue_direct t req =
   match t.comm with
   | Direct { q; _ } -> Qs_sched.Bqueue.Mpsc.enqueue q req
-  | Qoq _ -> wrong_mode "enqueue_direct"
+  | Qoq _ | Remote _ -> wrong_mode "enqueue_direct"
 
 (* -- lifecycle ---------------------------------------------------------------- *)
 
@@ -706,6 +790,8 @@ let close_stream t =
     match t.comm with
     | Qoq { qoq; _ } -> Qs_sched.Bqueue.Mpsc.close qoq
     | Direct { q; _ } -> Qs_sched.Bqueue.Mpsc.close q
+    | Remote _ -> () (* the stream lives on the node; teardown is the
+                        connection's job *)
 
 let shutdown t =
   ignore (Atomic.compare_and_set t.state Running Draining : bool);

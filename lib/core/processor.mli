@@ -29,6 +29,27 @@ exception Overloaded of int
     id).  Raised at admission under [`Fail]; delivered as the failure
     completion of shed requests under [`Shed_oldest]. *)
 
+type reg_proxy = {
+  px_call : (unit -> unit) -> unit;
+  px_query : timeout:float option -> (unit -> Obj.t) -> Obj.t;
+  px_query_async :
+    (unit -> Obj.t) -> on_force:(bool -> unit) -> Obj.t Qs_sched.Promise.t;
+  px_sync : timeout:float option -> unit;
+  px_close : unit -> unit;
+  px_on_poison : (exn -> Printexc.raw_backtrace -> unit) -> unit;
+}
+(** Per-registration wire operations of a remote processor, implemented
+    by [Remote_client] and consumed by [Registration.make_remote]
+    (defined here to break the type cycle between the two).  Payload
+    closures cross the connection under [Marshal.Closures]: they must
+    only reference module-level state of the shared binary — the node
+    executes them against {e its} globals. *)
+
+type remote_ops = {
+  rem_node : string;  (** address label, for errors and [pp] *)
+  rem_open : unit -> reg_proxy;  (** open one registration on the node *)
+}
+
 type t
 
 val create :
@@ -47,10 +68,34 @@ val create :
     drain its requests.
     @raise Invalid_argument on an unknown pool name. *)
 
+val create_remote :
+  ?sink:Qs_obs.Sink.t ->
+  id:int ->
+  config:Config.t ->
+  stats:Stats.t ->
+  ops:remote_ops ->
+  unit ->
+  t
+(** A remote processor: a client-side stand-in whose handler runs on a
+    node reached through [ops].  No handler fiber is spawned and the
+    exit latch is pre-filled ({!await_stopped} returns immediately —
+    connection teardown is the runtime's job); the flat pool is disabled
+    (remote registrations always use the packaged wire representation);
+    {!admit} is a no-op (backpressure is enforced node-side). *)
+
 val id : t -> int
 
 val reserve : t -> Qs_queues.Spinlock.t
 (** The multi-reservation spinlock (§3.3). *)
+
+val is_remote : t -> bool
+
+val remote_node : t -> string option
+(** The node address label of a remote processor, [None] if local. *)
+
+val remote_open : t -> reg_proxy
+(** Open a registration on the remote node (the remote half of the
+    separate rule).  @raise Invalid_argument on a local processor. *)
 
 val admit : t -> unit
 (** Admission control for a Call or Query about to be logged.  A no-op

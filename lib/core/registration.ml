@@ -51,11 +51,16 @@ type t = {
       (* the [poison] completion, preallocated once per registration so
          logging a call shares one closure instead of building one each
          time; knotted right after [make] builds the record *)
+  remote : Processor.reg_proxy option;
+      (* [Some px] iff the reserved processor is remote: every operation
+         is rerouted through the per-registration wire proxy instead of
+         the local enqueue (the packaged Fig. 10a shapes, shipped) *)
 }
 
 let processor t = t.proc
 let is_synced t = t.synced
 let is_poisoned t = Atomic.get t.poison <> None
+let poisoned t = Option.map fst (Atomic.get t.poison)
 
 let check_poison t =
   match Atomic.get t.poison with
@@ -86,9 +91,37 @@ let make ?(flat = false) ~proc ~ctx ~enqueue () =
       logged = 0;
       poison = Atomic.make None;
       fail_to = (fun _ _ -> ());
+      remote = None;
     }
   in
   t.fail_to <- poison t;
+  t
+
+(* Remote registration: open the wire-level registration on the node and
+   install this registration's poison completion as the proxy's poison
+   callback — the demultiplexer invokes it when the node reports a
+   handler failure on this stream, or when the connection is lost, so
+   the dirty-processor rule crosses the connection unchanged. *)
+let make_remote ~proc ~ctx () =
+  let px = Processor.remote_open proc in
+  let t =
+    {
+      proc;
+      ctx;
+      enqueue =
+        (fun _ ->
+          invalid_arg "Scoop.Registration: remote registration has no local queue");
+      flat = false;
+      synced = false;
+      closed = false;
+      logged = 0;
+      poison = Atomic.make None;
+      fail_to = (fun _ _ -> ());
+      remote = Some px;
+    }
+  in
+  t.fail_to <- poison t;
+  px.Processor.px_on_poison t.fail_to;
   t
 
 (* Flat fast path available?  Requires a single-reservation registration
@@ -159,49 +192,79 @@ let call t f =
      work again and may be mid-execution during subsequent client reads. *)
   t.synced <- false;
   t.logged <- t.logged + 1;
-  Processor.admit t.proc;
-  let r =
-    if use_flat t && Option.is_none t.ctx.Ctx.trace then alloc_flat t
-    else no_flat
-  in
-  if r != no_flat then begin
-    (* Flat fast path: the thunk goes straight into the pooled record's
-       inline slot — no packaged record, no Call block, no per-call
-       failure closure.  [fail_to] is rewritten only when the record
-       last served a different registration. *)
-    r.Request.tag <- Request.Call0;
-    r.Request.f0 <- f;
-    if r.Request.fail_to != t.fail_to then r.Request.fail_to <- t.fail_to;
-    t.enqueue r.Request.self
-  end
-  else log_call_packaged t f
+  match t.remote with
+  | Some px ->
+    (* Remote: ship the thunk itself.  No trace wrapper — a wrapper
+       closure would capture the local trace buffer, which must not
+       cross the wire; the logging instant is recorded locally. *)
+    (match t.ctx.Ctx.trace with
+    | Some tr -> Trace.record tr ~proc:(Processor.id t.proc) Trace.Call_logged
+    | None -> ());
+    px.Processor.px_call f
+  | None ->
+    Processor.admit t.proc;
+    let r =
+      if use_flat t && Option.is_none t.ctx.Ctx.trace then alloc_flat t
+      else no_flat
+    in
+    if r != no_flat then begin
+      (* Flat fast path: the thunk goes straight into the pooled record's
+         inline slot — no packaged record, no Call block, no per-call
+         failure closure.  [fail_to] is rewritten only when the record
+         last served a different registration. *)
+      r.Request.tag <- Request.Call0;
+      r.Request.f0 <- f;
+      if r.Request.fail_to != t.fail_to then r.Request.fail_to <- t.fail_to;
+      t.enqueue r.Request.self
+    end
+    else log_call_packaged t f
 
 let call1 t f x =
   touch t;
   Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.calls;
   t.synced <- false;
   t.logged <- t.logged + 1;
-  Processor.admit t.proc;
-  let r =
-    if use_flat t && Option.is_none t.ctx.Ctx.trace then alloc_flat t
-    else no_flat
-  in
-  if r != no_flat then begin
-    (* One-argument flat call: function and argument stored inline under
-       the uniform-representation coercion (the [f1]/[a1] pairing
-       invariant — both written here, from this one typed call site). *)
-    r.Request.tag <- Request.Call1;
-    r.Request.f1 <- (Obj.magic (f : _ -> unit) : Obj.t -> unit);
-    r.Request.a1 <- Obj.repr x;
-    if r.Request.fail_to != t.fail_to then r.Request.fail_to <- t.fail_to;
-    t.enqueue r.Request.self
-  end
-  else log_call_packaged t (fun () -> f x)
+  match t.remote with
+  | Some px ->
+    (match t.ctx.Ctx.trace with
+    | Some tr -> Trace.record tr ~proc:(Processor.id t.proc) Trace.Call_logged
+    | None -> ());
+    px.Processor.px_call (fun () -> f x)
+  | None ->
+    Processor.admit t.proc;
+    let r =
+      if use_flat t && Option.is_none t.ctx.Ctx.trace then alloc_flat t
+      else no_flat
+    in
+    if r != no_flat then begin
+      (* One-argument flat call: function and argument stored inline under
+         the uniform-representation coercion (the [f1]/[a1] pairing
+         invariant — both written here, from this one typed call site). *)
+      r.Request.tag <- Request.Call1;
+      r.Request.f1 <- (Obj.magic (f : _ -> unit) : Obj.t -> unit);
+      r.Request.a1 <- Obj.repr x;
+      if r.Request.fail_to != t.fail_to then r.Request.fail_to <- t.fail_to;
+      t.enqueue r.Request.self
+    end
+    else log_call_packaged t (fun () -> f x)
 
 let force_sync ?timeout t =
   Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.syncs_sent;
   let round_trip () =
-    match effective_timeout t timeout with
+    match t.remote with
+    | Some px -> (
+      let timeout = effective_timeout t timeout in
+      if Option.is_some timeout then
+        Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.timer_arms;
+      (* The wire sync: the node acknowledges once every request this
+         registration logged before it has been served (the wait/release
+         pair of §3.2, stretched over the connection).  A timeout leaves
+         the sync outstanding node-side, exactly like the local flavour
+         leaves the Sync request logged. *)
+      try px.Processor.px_sync ~timeout
+      with Qs_sched.Timer.Timeout -> timed_out t)
+    | None -> (
+      match effective_timeout t timeout with
     | None ->
       Qs_sched.Sched.suspend (fun resume -> t.enqueue (Request.Sync resume))
     | Some dt -> (
@@ -216,7 +279,7 @@ let force_sync ?timeout t =
         (* The Sync request stays logged; when the handler reaches it the
            resumer is a no-op (its claim was lost to the timer).  The
            synced status is *not* established. *)
-        timed_out t)
+        timed_out t))
   in
   (match t.ctx.Ctx.trace with
   | None -> round_trip ()
@@ -305,9 +368,43 @@ let await_cell ?timeout t (r : Request.flat) ~gen ~t0 =
   Processor.recycle_flat t.proc r;
   Obj.obj (finish_round_trip t ~t0 outcome)
 
+(* Remote packaged query (Fig. 10a over the wire): the producer closure
+   ships to the node; the demultiplexer fills the rendezvous with the
+   typed completion that came back.  [client_query] is deliberately
+   ignored for remote registrations — running the producer client-side
+   is meaningless when the handler's state lives in the node's globals.
+   The closure is shipped as-is (no trace wrapper: a wrapper would
+   capture the local trace buffer, which must not cross the wire). *)
+let remote_query ?timeout t px f =
+  Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.packaged_queries;
+  let t0 =
+    match t.ctx.Ctx.trace with Some tr -> Trace.now tr | None -> 0.0
+  in
+  t.logged <- t.logged + 1;
+  let timeout = effective_timeout t timeout in
+  if Option.is_some timeout then
+    Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.timer_arms;
+  let outcome =
+    match px.Processor.px_query ~timeout f with
+    | v -> Ok v
+    | exception Qs_sched.Timer.Timeout ->
+      (* The wire request stays outstanding node-side and will still be
+         served; only the rendezvous is abandoned (same contract as the
+         local packaged flavour). *)
+      timed_out t
+    | exception e -> Error (e, Printexc.get_raw_backtrace ())
+  in
+  finish_round_trip t ~t0 outcome
+
 let query ?timeout t f =
   touch t;
   Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.queries;
+  match t.remote with
+  | Some px ->
+    Obj.obj
+      (remote_query ?timeout t px
+         (Obj.magic (f : unit -> _) : unit -> Obj.t))
+  | None ->
   if t.ctx.Ctx.config.Config.client_query then begin
     (* Modified query rule (§3.2): synchronize, then run [f] on the client.
        No packaging, no result transfer, and the OCaml compiler sees the
@@ -356,6 +453,10 @@ let query ?timeout t f =
 let query1 ?timeout t f x =
   touch t;
   Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.queries;
+  match t.remote with
+  | Some px ->
+    Obj.obj (remote_query ?timeout t px (fun () -> Obj.repr (f x)))
+  | None ->
   if t.ctx.Ctx.config.Config.client_query then begin
     sync ?timeout t;
     f x
@@ -425,29 +526,43 @@ let query_async t f =
   (* The hook must consult the promise it belongs to (for the handler's
      drained hint), so knot it through a slot. *)
   let promise_slot = ref None in
+  let on_force was_ready =
+    Qs_obs.Counter.incr
+      (if was_ready then stats.Stats.promises_ready
+       else stats.Stats.promises_blocked);
+    if (not t.closed) && t.logged = mark then begin
+      t.synced <- true;
+      (* Dynamic handler-side sync elision (§3.4.1 generalized to
+         pipelined traffic): the handler saw a drained log at
+         fulfilment and the watermark proves nothing was logged
+         since, so this force doubles as the sync — the separate
+         round trip that would re-establish synced status is
+         skipped, and counted as elided. *)
+      match !promise_slot with
+      | Some p when dyn && Qs_sched.Promise.was_drained p -> (
+        Qs_obs.Counter.incr stats.Stats.syncs_elided;
+        match trace with
+        | Some tr -> Trace.record tr ~proc Trace.Sync_elided
+        | None -> ())
+      | _ -> ()
+    end
+  in
   let promise =
-    Qs_sched.Promise.create
-      ~on_force:(fun was_ready ->
-        Qs_obs.Counter.incr
-          (if was_ready then stats.Stats.promises_ready
-           else stats.Stats.promises_blocked);
-        if (not t.closed) && t.logged = mark then begin
-          t.synced <- true;
-          (* Dynamic handler-side sync elision (§3.4.1 generalized to
-             pipelined traffic): the handler saw a drained log at
-             fulfilment and the watermark proves nothing was logged
-             since, so this force doubles as the sync — the separate
-             round trip that would re-establish synced status is
-             skipped, and counted as elided. *)
-          match !promise_slot with
-          | Some p when dyn && Qs_sched.Promise.was_drained p -> (
-            Qs_obs.Counter.incr stats.Stats.syncs_elided;
-            match trace with
-            | Some tr -> Trace.record tr ~proc Trace.Sync_elided
-            | None -> ())
-          | _ -> ()
-        end)
-      ()
+    match t.remote with
+    | Some px ->
+      (* Remote pipelined query: the proxy ships the producer and hands
+         back the promise the demultiplexer will fulfil.  The drained
+         hint is not forwarded over the wire, so [was_drained] stays
+         false and forcing never elides a remote sync — conservative,
+         and correct.  The uniform-representation coercion mirrors the
+         flat [q0] pairing invariant: producer and promise are paired at
+         this one typed call site. *)
+      (Obj.magic
+         (px.Processor.px_query_async
+            (Obj.magic (f : unit -> _) : unit -> Obj.t)
+            ~on_force)
+        : _ Qs_sched.Promise.t)
+    | None -> Qs_sched.Promise.create ~on_force ()
   in
   promise_slot := Some promise;
   (match trace with
@@ -458,31 +573,35 @@ let query_async t f =
     Qs_sched.Promise.on_fulfill promise (fun _ ->
       Trace.record tr ~proc (Trace.Query_pipelined (Trace.now tr -. t0)))
   | None -> ());
-  Processor.admit t.proc;
-  let r = if use_flat t then alloc_flat t else no_flat in
-  if r != no_flat then begin
-    (* Flat pipelined query: producer and promise stored inline; the
-       handler decodes the tag, fulfils the promise (recording the
-       drained hint first) and recycles the record itself — the promise,
-       not the record, is the client's rendezvous. *)
-    r.Request.tag <- Request.Pipelined;
-    r.Request.q0 <- (Obj.magic (f : unit -> _) : unit -> Obj.t);
-    r.Request.pr <- Obj.repr promise;
-    t.enqueue r.Request.self
-  end
-  else
-    t.enqueue
-      (Request.Query
-         {
-           run = (fun () -> Qs_sched.Promise.fulfill promise (f ()));
-           fail =
-             (fun e bt ->
-               Qs_obs.Counter.incr stats.Stats.rejected_promises;
-               (match trace with
-               | Some tr -> Trace.record tr ~proc Trace.Promise_rejected
-               | None -> ());
-               ignore (Qs_sched.Promise.try_fulfill_error ~bt promise e : bool));
-         });
+  (match t.remote with
+  | Some _ -> () (* already shipped through the proxy *)
+  | None ->
+    Processor.admit t.proc;
+    let r = if use_flat t then alloc_flat t else no_flat in
+    if r != no_flat then begin
+      (* Flat pipelined query: producer and promise stored inline; the
+         handler decodes the tag, fulfils the promise (recording the
+         drained hint first) and recycles the record itself — the promise,
+         not the record, is the client's rendezvous. *)
+      r.Request.tag <- Request.Pipelined;
+      r.Request.q0 <- (Obj.magic (f : unit -> _) : unit -> Obj.t);
+      r.Request.pr <- Obj.repr promise;
+      t.enqueue r.Request.self
+    end
+    else
+      t.enqueue
+        (Request.Query
+           {
+             run = (fun () -> Qs_sched.Promise.fulfill promise (f ()));
+             fail =
+               (fun e bt ->
+                 Qs_obs.Counter.incr stats.Stats.rejected_promises;
+                 (match trace with
+                 | Some tr -> Trace.record tr ~proc Trace.Promise_rejected
+                 | None -> ());
+                 ignore
+                   (Qs_sched.Promise.try_fulfill_error ~bt promise e : bool));
+           }));
   promise
 
 (* Block exit: append the END marker in both modes (the end rule).  In
@@ -496,4 +615,6 @@ let query_async t f =
 let close t =
   if t.closed then invalid_arg "Scoop.Registration: closed twice";
   t.closed <- true;
-  t.enqueue Request.End
+  match t.remote with
+  | Some px -> px.Processor.px_close ()
+  | None -> t.enqueue Request.End

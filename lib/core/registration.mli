@@ -117,6 +117,11 @@ val is_poisoned : t -> bool
     inherent asynchrony: [false] only means no failure has been {e
     observed} yet; a definitive answer needs a sync point. *)
 
+val poisoned : t -> exn option
+(** The poisoning exception, if any — what {!check_poison} would wrap in
+    [Handler_failure].  Used by the node's serve loop to order a poison
+    report before a completion on the reply stream. *)
+
 val check_poison : t -> unit
 (** @raise Handler_failure if the registration is poisoned.  Usable even
     after the block closed (used by {!Separate} to re-surface the poison
@@ -134,6 +139,15 @@ val make :
 (** [flat] (default [false]) permits the pooled flat representation —
     set by the single-reservation entries of {!Separate}; multi-
     reservation blocks keep the packaged fallback. *)
+
+val make_remote : proc:Processor.t -> ctx:Ctx.t -> unit -> t
+(** Registration on a remote processor: opens a wire-level registration
+    on the node ({!Processor.remote_open}) and reroutes every operation
+    through the resulting proxy.  Always packaged; [client_query] and
+    the flat pool do not apply.  The proxy's poison callback is wired to
+    this registration, so the dirty-processor rule crosses the
+    connection (including connection loss, which poisons with
+    [Connection_lost]). *)
 
 val close : t -> unit
 val force_sync : ?timeout:float -> t -> unit

@@ -1,0 +1,29 @@
+(* Public surface of the distributed runtime (re-exported as
+   [Scoop.Remote]): the hosting half ([listen]) and the client half
+   ([connect], a configuration you hand to [Runtime.run]).
+
+   The same program runs against either endpoint unmodified:
+
+     let main rt =
+       let p = Scoop.Runtime.processor rt in
+       Scoop.Runtime.separate rt p (fun reg -> ...)
+
+     (* in-process *)   Scoop.Runtime.run main
+     (* distributed *)  Scoop.Runtime.run ~config:(Remote.connect [addr]) main
+
+   with the caveat that shipped closures execute against the *node's*
+   module-level globals (Marshal.Closures, same binary on both sides). *)
+
+exception Remote_error = Remote_proto.Remote_error
+exception Connection_lost = Remote_proto.Connection_lost
+
+let connect addrs = Config.remote addrs
+
+(* Host handlers at [addr] and serve remote clients until one of them
+   sends the shutdown request ([Runtime.shutdown_nodes] client-side).
+   Blocks the calling process: this *is* the node's main loop. *)
+let listen ?(domains = 1) ?(config = Config.qoq) addr =
+  let config = Config.with_listen addr (Config.with_name "node" config) in
+  Runtime.run ~domains ~config (fun rt -> Node.serve rt addr)
+
+let shutdown_nodes = Runtime.shutdown_nodes

@@ -4,64 +4,31 @@ type t = {
   ctx : Ctx.t;
   procs : Processor.t Qs_queues.Treiber_stack.t;
   next_id : int Atomic.t;
+  remotes : Remote_client.t option;
+      (* node connections when [config.endpoint = Connect _]: new
+         processors become client-side proxies routed by the static
+         shard map (processor id mod connection count) *)
 }
 
-(* The request-path knobs are orthogonal to the optimization presets, so
-   they are overridable per run without defining a new preset: [mailbox]
-   swaps the communication structure, [batch] the drain width, [spsc] the
-   private-queue backing, [pools]/[pool] the scheduler-pool topology and
-   default processor pinning. *)
+(* Legacy per-run overrides, kept as thin deprecated wrappers over the
+   [Config.with_*] builders (the builder chain is the supported way to
+   derive a configuration; these labels only survive so existing callers
+   keep compiling).  Each simply applies the matching builder, which
+   performs the validation the runtime used to do here. *)
+let opt f v config = match v with Some v -> f v config | None -> config
+
 let override ?mailbox ?batch ?spsc ?deadline ?bound ?overflow ?pools ?pool
     ?pooling config =
-  let config =
-    match mailbox with
-    | Some m -> { config with Config.mailbox = m }
-    | None -> config
-  in
-  let config =
-    match batch with
-    | Some b ->
-      if b < 1 then invalid_arg "Scoop.Runtime: batch must be >= 1";
-      { config with Config.batch = b }
-    | None -> config
-  in
-  let config =
-    match spsc with
-    | Some s -> { config with Config.spsc = s }
-    | None -> config
-  in
-  let config =
-    match deadline with
-    | Some d ->
-      if d <= 0.0 then invalid_arg "Scoop.Runtime: deadline must be > 0";
-      { config with Config.default_deadline = Some d }
-    | None -> config
-  in
-  let config =
-    match bound with
-    | Some b ->
-      if b < 0 then invalid_arg "Scoop.Runtime: bound must be >= 0";
-      { config with Config.bound = b }
-    | None -> config
-  in
-  let config =
-    match overflow with
-    | Some p -> { config with Config.overflow = p }
-    | None -> config
-  in
-  let config =
-    match pools with
-    | Some ps -> { config with Config.pools = ps }
-    | None -> config
-  in
-  let config =
-    match pool with
-    | Some _ -> { config with Config.pool = pool }
-    | None -> config
-  in
-  match pooling with
-  | Some p -> { config with Config.pooling = p }
-  | None -> config
+  config
+  |> opt Config.with_mailbox mailbox
+  |> opt Config.with_batch batch
+  |> opt Config.with_spsc spsc
+  |> opt Config.with_deadline deadline
+  |> opt Config.with_bound bound
+  |> opt Config.with_overflow overflow
+  |> opt Config.with_pools pools
+  |> opt Config.with_pool pool
+  |> opt Config.with_pooling pooling
 
 (* [obs] wins over [trace]: both enable tracing, but [obs] lets the
    caller supply the sink (e.g. the one already attached to the
@@ -72,18 +39,34 @@ let resolve_sink ?obs ~trace () =
   | None -> if trace then Some (Qs_obs.Sink.create ()) else None
 
 let create ?(config = Config.all) ?mailbox ?batch ?spsc ?deadline ?bound
-    ?overflow ?pools ?pool ?pooling ?(trace = false) ?obs () =
+    ?overflow ?pools ?pool ?pooling ?trace ?obs () =
+  let config =
+    override ?mailbox ?batch ?spsc ?deadline ?bound ?overflow ?pools ?pool
+      ?pooling config
+  in
+  let trace =
+    match trace with Some t -> t | None -> config.Config.trace
+  in
+  let ctx = Ctx.create ?sink:(resolve_sink ?obs ~trace ()) config in
+  let remotes =
+    match config.Config.endpoint with
+    | Config.Connect addrs ->
+      (* Establish the node connections up front (and their
+         demultiplexer fibers): [create] with a [Connect] endpoint must
+         run inside the scheduler, like [run] arranges. *)
+      Some (Remote_client.connect ~stats:ctx.Ctx.stats addrs)
+    | Config.In_process | Config.Listen _ -> None
+  in
   {
-    ctx =
-      Ctx.create
-        ?sink:(resolve_sink ?obs ~trace ())
-        (override ?mailbox ?batch ?spsc ?deadline ?bound ?overflow ?pools
-           ?pool ?pooling config);
+    ctx;
     procs = Qs_queues.Treiber_stack.create ();
     next_id = Atomic.make 0;
+    remotes;
   }
 
 let config t = t.ctx.Ctx.config
+let ctx t = t.ctx
+let is_remote t = t.remotes <> None
 let stats t = t.ctx.Ctx.stats
 let trace t = t.ctx.Ctx.trace
 let obs t = t.ctx.Ctx.sink
@@ -102,8 +85,22 @@ let processor ?pool t =
     match pool with Some _ -> pool | None -> t.ctx.Ctx.config.Config.pool
   in
   let proc =
-    Processor.create ?sink:t.ctx.Ctx.sink ?pool ~id ~config:t.ctx.Ctx.config
-      ~stats:t.ctx.Ctx.stats ()
+    match t.remotes with
+    | Some rc ->
+      (* Remote endpoint: the processor is a client-side stand-in whose
+         handler lives on the node the shard map routes this id to. *)
+      let conn = Remote_client.route rc id in
+      let ops =
+        {
+          Processor.rem_node = Remote_client.conn_label conn;
+          rem_open = (fun () -> Remote_client.open_reg conn ~proc:id);
+        }
+      in
+      Processor.create_remote ?sink:t.ctx.Ctx.sink ~id
+        ~config:t.ctx.Ctx.config ~stats:t.ctx.Ctx.stats ~ops ()
+    | None ->
+      Processor.create ?sink:t.ctx.Ctx.sink ?pool ~id ~config:t.ctx.Ctx.config
+        ~stats:t.ctx.Ctx.stats ()
   in
   (match t.ctx.Ctx.eve with
   | Some eve -> Eve.register eve id
@@ -112,6 +109,20 @@ let processor ?pool t =
   proc
 
 let processors ?pool t n = List.init n (fun _ -> processor ?pool t)
+
+(* Orderly remote teardown, after local handlers have drained: announce
+   Bye on every node connection and unblock the demultiplexers. *)
+let close_remotes t =
+  match t.remotes with
+  | Some rc -> ( try Remote_client.close rc with _ -> ())
+  | None -> ()
+
+(* Ask every connected node process to stop serving (pairs with
+   [Scoop.Remote.listen] on the node side). *)
+let shutdown_nodes t =
+  match t.remotes with
+  | Some rc -> Remote_client.shutdown_nodes rc
+  | None -> ()
 
 (* Pop every registered processor and apply [close] (Processor.shutdown
    or Processor.abort).  The pop-based registry makes repeated lifecycle
@@ -138,7 +149,7 @@ let shutdown ?grace t =
      returns, but it does bound the *backlog*, which is the common way a
      drain overruns. *)
   let procs = drain_procs t Processor.shutdown in
-  match grace with
+  (match grace with
   | None -> List.iter Processor.await_stopped procs
   | Some g ->
     let deadline = Qs_sched.Timer.now () +. Float.max 0.0 g in
@@ -152,16 +163,20 @@ let shutdown ?grace t =
         procs
     in
     List.iter Processor.abort laggards;
-    List.iter Processor.await_stopped laggards
+    List.iter Processor.await_stopped laggards);
+  close_remotes t
 
 let abort t =
-  List.iter Processor.await_stopped (drain_procs t Processor.abort)
+  List.iter Processor.await_stopped (drain_procs t Processor.abort);
+  close_remotes t
 
 (* Exceptional exit from [run]: close the streams but do not await the
    latches.  If [main] raised (including a scheduler [Stalled]), client
    fibers may be wedged holding registrations open, and a blocking wait
    here could hang the very error path that is trying to report them. *)
-let quench t = ignore (drain_procs t Processor.shutdown : Processor.t list)
+let quench t =
+  ignore (drain_procs t Processor.shutdown : Processor.t list);
+  close_remotes t
 
 let separate ?timeout t proc body = Separate.one ?timeout t.ctx proc body
 let separate2 ?timeout t p1 p2 body = Separate.two ?timeout t.ctx p1 p2 body
@@ -176,13 +191,16 @@ let separate_list_when ?timeout t procs ~pred body =
   Separate.many_when ?timeout t.ctx procs ~pred body
 
 let run ?(domains = 1) ?(config = Config.all) ?mailbox ?batch ?spsc ?deadline
-    ?bound ?overflow ?pools ?pool ?pooling ?grace ?(trace = false) ?obs
+    ?bound ?overflow ?pools ?pool ?pooling ?grace ?trace ?obs
     ?on_stall ?on_counters main =
   (* Resolve the config up front: the scheduler needs the pool topology
      before the runtime exists. *)
   let config =
     override ?mailbox ?batch ?spsc ?deadline ?bound ?overflow ?pools ?pool
       ?pooling config
+  in
+  let trace =
+    match trace with Some t -> t | None -> config.Config.trace
   in
   (* Build the sink before the scheduler starts so its workers share it:
      one sink then collects scheduler, handler and client events. *)

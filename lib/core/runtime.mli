@@ -41,9 +41,19 @@ val create :
     packaged-closure request path everywhere (debugging / differential
     testing); [trace]
     enables detailed event tracing (see {!Trace}) over a fresh private
-    sink, while [obs] (which implies [trace]) supplies the sink — pass
-    the sink already attached to the scheduler to get all layers' events
-    in one place.
+    sink (default: [config.trace]), while [obs] (which implies [trace])
+    supplies the sink — pass the sink already attached to the scheduler
+    to get all layers' events in one place.
+
+    The non-[config] optional labels are {e deprecated} thin wrappers
+    over the {!Config.with_*} builders; prefer
+    [~config:Config.(all |> with_batch 8 |> with_deadline 0.5)].
+
+    With [config.endpoint = Connect addrs] (see {!Config.remote}), the
+    runtime connects to those nodes up front and every subsequent
+    {!processor} is a client-side proxy whose handler runs remotely —
+    in that case [create] must be called inside a running scheduler
+    (as {!run} arranges).
     @raise Invalid_argument if [batch < 1]. *)
 
 val run :
@@ -88,8 +98,20 @@ val run :
 val processor : ?pool:string -> t -> Processor.t
 (** Spawn a new processor (handler fiber).  [pool] pins its handler fiber
     to the named scheduler pool (default: the runtime's [Config.pool] if
-    set, else the spawner's pool).
+    set, else the spawner's pool).  On a runtime with a [Connect]
+    endpoint, the processor is instead a remote proxy: its handler runs
+    on the node the static shard map routes this processor id to
+    (id mod connection count), and [pool] is ignored.
     @raise Invalid_argument on an unknown pool name. *)
+
+val is_remote : t -> bool
+(** Whether this runtime's processors are remote proxies
+    ([config.endpoint] is [Connect]). *)
+
+val shutdown_nodes : t -> unit
+(** Ask every connected node {e process} to stop serving once its
+    connections drain (pairs with [Scoop.Remote.listen] returning on the
+    node side).  No-op on an in-process runtime. *)
 
 val processors : ?pool:string -> t -> int -> Processor.t list
 
@@ -148,6 +170,14 @@ val abort : t -> unit
 
 val config : t -> Config.t
 val stats : t -> Stats.t
+
+(**/**)
+
+val ctx : t -> Ctx.t
+(** The runtime's client-operation context — internal; used by the node
+    serve loop to enter separate blocks on behalf of remote clients. *)
+
+(**/**)
 
 val trace : t -> Trace.t option
 (** The event trace, when the runtime was created with [~trace:true]

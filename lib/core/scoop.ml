@@ -10,15 +10,22 @@ module Separate = Separate
 module Runtime = Runtime
 module Shared = Shared
 module Trace = Trace
+module Remote = Remote
 
 exception Handler_failure = Registration.Handler_failure
 exception Timeout = Qs_sched.Timer.Timeout
 exception Overloaded = Processor.Overloaded
+exception Remote_error = Remote_proto.Remote_error
+exception Connection_lost = Remote_proto.Connection_lost
 
 module Internal = struct
   module Ctx = Ctx
   module Eve = Eve
   module Request = Request
+  module Socket_queue = Qs_remote.Socket_queue
+  module Remote_proto = Remote_proto
+  module Remote_client = Remote_client
+  module Node = Node
 end
 
 let run = Runtime.run

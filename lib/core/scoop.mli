@@ -45,6 +45,14 @@ module Shared = Shared
 module Trace = Trace
 (** Detailed event tracing over the shared observability sink. *)
 
+module Remote = Remote
+(** Distributed runtime surface: {!Remote.listen} hosts handlers behind
+    the socket transport (the node side); {!Remote.connect} builds the
+    client configuration whose processors are remote proxies.  The same
+    workload runs unmodified against an in-process or a remote endpoint
+    — shipped closures execute against the {e node's} module-level
+    globals (same binary both sides, [Marshal.Closures]). *)
+
 exception Handler_failure of int * exn
 (** A handler is {e dirty} for this client (SCOOP's dirty-processor
     rule): an asynchronous call logged through the registration raised
@@ -67,6 +75,20 @@ exception Overloaded of int
     overflow policy, and delivered as the failure completion — poisoning
     the registration like any failed call — when [`Shed_oldest] sheds a
     logged request.  (Same exception as {!Processor.Overloaded}.) *)
+
+exception Remote_error of string
+(** A handler-side exception crossing a node connection: exception
+    identity does not survive marshalling, so the node ships the
+    original's [Printexc.to_string] rendering and the client re-raises
+    this.  A remote query whose producer raised re-raises it directly;
+    a remote {e call} that raised poisons the registration, surfacing as
+    [Handler_failure (id, Remote_error msg)]. *)
+
+exception Connection_lost of string
+(** The connection to the named node died with operations outstanding:
+    every pending remote rendezvous is rejected with this, and every
+    open registration on the connection is poisoned with it — a client
+    blocked on a remote query gets a typed failure, never a hang. *)
 
 val run :
   ?domains:int ->
@@ -103,4 +125,18 @@ module Internal : sig
 
   module Request = Request
   (** The client→handler request representation. *)
+
+  module Socket_queue = Qs_remote.Socket_queue
+  (** The framed socket transport under the distributed runtime
+      (re-exported from [Qs_remote]; use {!Remote} for the supported
+      distributed surface). *)
+
+  module Remote_proto = Remote_proto
+  (** Wire message types and the handshake guard. *)
+
+  module Remote_client = Remote_client
+  (** Per-connection demultiplexer and registration proxies. *)
+
+  module Node = Node
+  (** The node's accept loop and serve fibers (behind {!Remote.listen}). *)
 end

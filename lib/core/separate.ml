@@ -53,7 +53,13 @@ let trace_reserved ctx proc =
 let enter_one ?deadline ctx proc =
   Qs_obs.Counter.incr ctx.Ctx.stats.Stats.reservations;
   trace_reserved ctx proc;
-  if Config.uses_qoq ctx.Ctx.config then begin
+  if Processor.is_remote proc then
+    (* Remote separate rule: the wire-level Open the proxy issues plays
+       the private-queue enqueue — asynchronous, like qoq reservation.
+       The node enters a real separate block on its side and serves this
+       registration's stream in order. *)
+    Registration.make_remote ~proc ~ctx ()
+  else if Config.uses_qoq ctx.Ctx.config then begin
     let pq = Processor.take_private_queue proc in
     Processor.enqueue_private_queue proc pq;
     Registration.make ~flat:true ~proc ~ctx
@@ -67,8 +73,9 @@ let enter_one ?deadline ctx proc =
 
 let exit_one ctx reg =
   Registration.close reg;
-  if not (Config.uses_qoq ctx.Ctx.config) then
-    Processor.unlock_handler (Registration.processor reg)
+  let proc = Registration.processor reg in
+  if (not (Config.uses_qoq ctx.Ctx.config)) && not (Processor.is_remote proc)
+  then Processor.unlock_handler proc
 
 let one ?timeout ctx proc body =
   let reg = enter_one ?deadline:(deadline_of_timeout timeout) ctx proc in
@@ -81,11 +88,21 @@ let check_distinct procs =
   if List.length (List.sort_uniq Int.compare ids) <> List.length ids then
     invalid_arg "Scoop.Separate: the same processor reserved twice"
 
+(* Multi-reservation needs the insertions of all handlers to be one
+   atomic event (the generalized separate rule) — there is no wire
+   protocol for a cross-node atomic reservation, so remote processors
+   are restricted to single-reservation blocks. *)
+let check_local procs =
+  if List.exists Processor.is_remote procs then
+    invalid_arg
+      "Scoop.Separate: remote processors support single reservation only"
+
 let enter_many ?deadline ctx procs =
   Qs_obs.Counter.incr ctx.Ctx.stats.Stats.reservations;
   Qs_obs.Counter.incr ctx.Ctx.stats.Stats.multi_reservations;
   List.iter (trace_reserved ctx) procs;
   check_distinct procs;
+  check_local procs;
   let sorted = List.sort Processor.compare_by_id procs in
   if Config.uses_qoq ctx.Ctx.config then begin
     (* Prepare all private queues first, then insert them while holding
@@ -153,6 +170,7 @@ let enter_two ?deadline ctx p1 p2 =
   trace_reserved ctx p2;
   if Processor.id p1 = Processor.id p2 then
     invalid_arg "Scoop.Separate: the same processor reserved twice";
+  check_local [ p1; p2 ];
   let lo, hi =
     if Processor.id p1 < Processor.id p2 then (p1, p2) else (p2, p1)
   in

@@ -56,3 +56,16 @@ val many_when :
   pred:(Registration.t list -> bool) ->
   (Registration.t list -> 'a) ->
   'a
+
+(**/**)
+
+val enter_one : ?deadline:float -> Ctx.t -> Processor.t -> Registration.t
+(** Reserve one handler without a scoped body — internal; the node's
+    serve loop holds registrations open across many incoming wire
+    messages, so its block structure cannot be a single OCaml scope.
+    Pair with {!exit_one}. *)
+
+val exit_one : Ctx.t -> Registration.t -> unit
+(** Close a registration obtained from {!enter_one} (logs End, releases
+    the handler lock in lock mode).  Does not re-surface poison — callers
+    check {!Registration.poisoned} themselves. *)

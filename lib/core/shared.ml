@@ -25,6 +25,13 @@ type 'a t = {
 }
 
 let create proc data =
+  (* A shared object's payload lives in *this* process; a remote
+     processor's state must live in node-side globals instead (shipped
+     closures execute against the node's globals — a [Shared.t] captured
+     by one would be a silently diverging copy). *)
+  if Processor.is_remote proc then
+    invalid_arg
+      "Scoop.Shared: remote processors cannot own in-process shared        objects; keep their state in module-level globals on the node";
   let rec t =
     {
       proc;

@@ -40,6 +40,10 @@ type t = {
   timeouts_fired : Qs_obs.Counter.t; (* armed deadlines that expired *)
   deadline_exceeded : Qs_obs.Counter.t; (* client operations that raised Timeout *)
   shed_requests : Qs_obs.Counter.t; (* requests refused or shed by backpressure *)
+  remote_requests : Qs_obs.Counter.t; (* calls/queries/syncs shipped to a node *)
+  remote_replies : Qs_obs.Counter.t; (* completions received from a node *)
+  remote_rtt_ns : Qs_obs.Counter.t; (* summed blocking remote round-trip time *)
+  remote_failures : Qs_obs.Counter.t; (* lost connections and wire-level errors *)
 }
 
 let create () =
@@ -81,6 +85,10 @@ let create () =
   let timeouts_fired = c "timeouts_fired" in
   let deadline_exceeded = c "deadline_exceeded" in
   let shed_requests = c "shed_requests" in
+  let remote_requests = c "remote_requests" in
+  let remote_replies = c "remote_replies" in
+  let remote_rtt_ns = c "remote_rtt_ns" in
+  let remote_failures = c "remote_failures" in
   {
     registry;
     processors;
@@ -112,6 +120,10 @@ let create () =
     timeouts_fired;
     deadline_exceeded;
     shed_requests;
+    remote_requests;
+    remote_replies;
+    remote_rtt_ns;
+    remote_failures;
   }
 
 let registry t = t.registry
@@ -147,6 +159,10 @@ type snapshot = {
   s_timeouts_fired : int;
   s_deadline_exceeded : int;
   s_shed_requests : int;
+  s_remote_requests : int;
+  s_remote_replies : int;
+  s_remote_rtt_ns : int;
+  s_remote_failures : int;
 }
 
 let snapshot t =
@@ -181,6 +197,10 @@ let snapshot t =
     s_timeouts_fired = g t.timeouts_fired;
     s_deadline_exceeded = g t.deadline_exceeded;
     s_shed_requests = g t.shed_requests;
+    s_remote_requests = g t.remote_requests;
+    s_remote_replies = g t.remote_replies;
+    s_remote_rtt_ns = g t.remote_rtt_ns;
+    s_remote_failures = g t.remote_failures;
   }
 
 let diff later earlier =
@@ -218,6 +238,10 @@ let diff later earlier =
     s_deadline_exceeded =
       later.s_deadline_exceeded - earlier.s_deadline_exceeded;
     s_shed_requests = later.s_shed_requests - earlier.s_shed_requests;
+    s_remote_requests = later.s_remote_requests - earlier.s_remote_requests;
+    s_remote_replies = later.s_remote_replies - earlier.s_remote_replies;
+    s_remote_rtt_ns = later.s_remote_rtt_ns - earlier.s_remote_rtt_ns;
+    s_remote_failures = later.s_remote_failures - earlier.s_remote_failures;
   }
 
 (* Mean requests delivered per handler wakeup: the batching efficiency
@@ -250,7 +274,8 @@ let pp_snapshot ppf s =
      ends drained:      %d@,\
      handler failures:  %d (poisoned regs: %d, rejected promises: %d, aborted: %d)@,\
      deadlines:         %d armed, %d fired, %d exceeded@,\
-     shed requests:     %d@]"
+     shed requests:     %d@,\
+     remote:            %d requests, %d replies, %d failures@]"
     s.s_processors s.s_reservations s.s_multi_reservations s.s_calls
     s.s_queries s.s_packaged_queries s.s_promises_created s.s_requests_flat
     s.s_requests_pooled s.s_pool_misses s.s_promises_fulfilled s.s_promises_ready s.s_promises_blocked
@@ -259,3 +284,4 @@ let pp_snapshot ppf s =
     s.s_ends_drained s.s_handler_failures s.s_poisoned_registrations
     s.s_rejected_promises s.s_aborted_requests s.s_timer_arms
     s.s_timeouts_fired s.s_deadline_exceeded s.s_shed_requests
+    s.s_remote_requests s.s_remote_replies s.s_remote_failures

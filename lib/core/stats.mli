@@ -68,6 +68,15 @@ type t = {
   shed_requests : Qs_obs.Counter.t;
       (** requests refused at admission ([`Fail]) or shed from the
           backlog ([`Shed_oldest]) by a bounded mailbox *)
+  remote_requests : Qs_obs.Counter.t;
+      (** calls, queries and syncs shipped over a node connection *)
+  remote_replies : Qs_obs.Counter.t;
+      (** typed completions received back from a node *)
+  remote_rtt_ns : Qs_obs.Counter.t;
+      (** summed wall-clock nanoseconds of blocking remote round trips
+          (queries and syncs); divide by their count for the mean RTT *)
+  remote_failures : Qs_obs.Counter.t;
+      (** lost connections and wire-level protocol errors *)
 }
 
 val create : unit -> t
@@ -107,6 +116,10 @@ type snapshot = {
   s_timeouts_fired : int;
   s_deadline_exceeded : int;
   s_shed_requests : int;
+  s_remote_requests : int;
+  s_remote_replies : int;
+  s_remote_rtt_ns : int;
+  s_remote_failures : int;
 }
 
 val snapshot : t -> snapshot

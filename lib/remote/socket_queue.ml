@@ -25,6 +25,12 @@ let () =
     | Truncated_frame -> Some "Qs_remote.Socket_queue.Truncated_frame"
     | _ -> None)
 
+(* A peer dying mid-conversation must surface as [Closed]: writes report
+   EPIPE only when SIGPIPE is ignored — otherwise the signal kills the
+   process before the error is seen. *)
+let () =
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
 (* Frame-level transport counters, one registry per queue: what the
    `transport:*` ablations pay per message, now observable directly. *)
 type counters = {
@@ -54,6 +60,7 @@ let make_counters () =
 type 'a t = {
   read_fd : Unix.file_descr;
   write_fd : Unix.file_descr;
+  flags : Marshal.extern_flags list; (* e.g. [Closures] for same-binary peers *)
   write_lock : Qs_sched.Fiber_mutex.t; (* frames from producers must not interleave *)
   ctrs : counters;
   mutable read_buffer : Bytes.t; (* accumulated unparsed input *)
@@ -63,13 +70,11 @@ type 'a t = {
   mutable truncated : bool; (* EOF landed inside a frame (counted once) *)
 }
 
-let create () =
-  let read_fd, write_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.set_nonblock read_fd;
-  Unix.set_nonblock write_fd;
+let make ?(flags = []) ~read_fd ~write_fd () =
   {
     read_fd;
     write_fd;
+    flags;
     write_lock = Qs_sched.Fiber_mutex.create ();
     ctrs = make_counters ();
     read_buffer = Bytes.create 4096;
@@ -79,12 +84,28 @@ let create () =
     truncated = false;
   }
 
+let create ?flags () =
+  let read_fd, write_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock read_fd;
+  Unix.set_nonblock write_fd;
+  make ?flags ~read_fd ~write_fd ()
+
+(* Wrap externally established fds (e.g. one end of an accepted TCP or
+   unix-domain connection).  [read_fd] and [write_fd] may be the same
+   descriptor: a duplex connection is typically wrapped twice, once as a
+   receive-only queue and once as a send-only one.  [set_nonblock] is
+   idempotent, so double-wrapping one fd is fine. *)
+let of_fds ?flags ~read_fd ~write_fd () =
+  (try Unix.set_nonblock read_fd with Unix.Unix_error _ -> ());
+  (try Unix.set_nonblock write_fd with Unix.Unix_error _ -> ());
+  make ?flags ~read_fd ~write_fd ()
+
 let counters t = Qs_obs.Counter.snapshot t.ctrs.registry
 
 let frame_header_size = 8
 
-let encode v =
-  let payload = Marshal.to_bytes v [] in
+let encode t v =
+  let payload = Marshal.to_bytes v t.flags in
   let frame = Bytes.create (frame_header_size + Bytes.length payload) in
   Bytes.set_int64_le frame 0 (Int64.of_int (Bytes.length payload));
   Bytes.blit payload 0 frame frame_header_size (Bytes.length payload);
@@ -100,10 +121,15 @@ let write_all t frame =
         Qs_obs.Counter.add t.ctrs.bytes_sent n;
         go (off + n)
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        (* Readiness wait instead of a yield-spin: the fiber parks until
+           the kernel drains the send buffer, so a slow peer costs no
+           scheduler churn. *)
         Qs_obs.Counter.incr t.ctrs.would_blocks;
-        Qs_sched.Sched.yield ();
+        Qs_sched.Sched.await_writable t.write_fd;
         go off
-      | exception Unix.Unix_error (Unix.EPIPE, _, _) -> raise Closed
+      | exception
+          Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        raise Closed
     end
   in
   go 0;
@@ -111,7 +137,7 @@ let write_all t frame =
 
 let enqueue t v =
   if t.write_closed then raise Closed;
-  let frame = encode v in
+  let frame = encode t v in
   (* Producers serialize frame writes so frames cannot interleave. *)
   Qs_sched.Fiber_mutex.with_lock t.write_lock (fun () -> write_all t frame)
 
@@ -137,9 +163,14 @@ let fill t =
     t.read_len <- t.read_len + n;
     true
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    (* Park on readability: the consumer of an idle queue costs nothing
+       until a frame (or EOF) arrives. *)
     Qs_obs.Counter.incr t.ctrs.would_blocks;
-    Qs_sched.Sched.yield ();
+    Qs_sched.Sched.await_readable t.read_fd;
     true
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+    t.eof <- true;
+    false
 
 let take_frame t =
   if t.read_len < frame_header_size then None
@@ -204,6 +235,9 @@ let fill_nowait t =
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
     Qs_obs.Counter.incr t.ctrs.would_blocks;
     false
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+    t.eof <- true;
+    false
 
 (* Batched receive: block (yielding) for the first message, then take
    every message already framed in the buffer or readable without
@@ -256,7 +290,7 @@ let is_empty t =
 module As_mailbox = struct
   type nonrec 'a t = 'a t
 
-  let create = create
+  let create () = create ()
   let enqueue = enqueue
   let dequeue = dequeue
   let drain = drain

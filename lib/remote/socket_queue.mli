@@ -19,7 +19,24 @@ exception Truncated_frame
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?flags:Marshal.extern_flags list -> unit -> 'a t
+(** Fresh socket-pair transport.  [flags] are passed to
+    [Marshal.to_bytes] on every send — [[Marshal.Closures]] lets
+    same-binary peers ship code (the distributed runtime's wire format);
+    the default ships data only. *)
+
+val of_fds :
+  ?flags:Marshal.extern_flags list ->
+  read_fd:Unix.file_descr ->
+  write_fd:Unix.file_descr ->
+  unit ->
+  'a t
+(** Wrap externally established descriptors (an accepted TCP or
+    unix-domain connection).  Both are switched to non-blocking.
+    [read_fd] and [write_fd] may be the same descriptor — a duplex
+    connection is typically wrapped twice, once used only for
+    {!dequeue}/{!drain} and once only for {!enqueue}.  {!destroy} closes
+    both (closing a shared fd twice is harmless). *)
 
 val enqueue : 'a t -> 'a -> unit
 (** Send one message.  @raise Closed after {!close_writer}. *)

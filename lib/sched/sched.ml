@@ -106,6 +106,7 @@ type t = {
   pools : pool array; (* index 0 is always "default" *)
   workers : worker array;
   timers : Timer.t; (* per-scheduler deadline queue *)
+  poller : Poller.t; (* per-scheduler fd-readiness queue *)
   live : int Atomic.t; (* spawned but not yet completed fibers *)
   idle_hint : int Atomic.t;
   idle_mutex : Mutex.t;
@@ -309,6 +310,25 @@ let current_pool () =
 let suspend register = Effect.perform (Suspend register)
 
 let yield () = Effect.perform Yield
+
+(* Fd-readiness waits: park this fiber until [fd] is ready (or a closed
+   fd triggers the poller's error sweep — the caller's retried syscall
+   then surfaces the error in its own context).  The registration is
+   one-shot; callers loop: try the syscall, on EAGAIN await and retry. *)
+let await_fd name dir fd =
+  match get_worker () with
+  | Some (t, _) ->
+    suspend (fun resume ->
+      Poller.register t.poller fd dir resume;
+      (* A parked worker must notice the new wake source and claim the
+         timekeeper/poller role: the count is visible before this
+         broadcast, and parked workers re-check under the idle mutex. *)
+      wake_idlers t)
+  | None -> invalid_arg (name ^ ": not running inside a scheduler")
+
+let await_readable fd = await_fd "Sched.await_readable" Poller.Read fd
+
+let await_writable fd = await_fd "Sched.await_writable" Poller.Write fd
 
 let arm_timer ~delay action =
   match get_worker () with
@@ -540,6 +560,11 @@ let next_task t w =
   let periodic = w.tick mod global_check_period = 0 in
   if periodic then begin
     fire_due_timers t;
+    (* Zero-timeout readiness sweep: busy workers service fd waiters at
+       the same cadence as due timers, so I/O completions don't wait for
+       the whole runtime to go idle. *)
+    if Poller.has_waiters t.poller then
+      ignore (Poller.poll t.poller ~timeout:0.0 : int);
     match from_inject () with
     | Some _ as job -> job
     | None -> (
@@ -609,7 +634,7 @@ let park t =
     let rec wait_for_work () =
       if t.stop then leave false
       else if any_work t then leave true
-      else if Timer.pending t.timers then
+      else if Timer.pending t.timers || Poller.has_waiters t.poller then
         if t.has_timekeeper then begin
           (* Someone else is watching the clock. *)
           Condition.wait t.idle_cond t.idle_mutex;
@@ -635,7 +660,8 @@ let park t =
         if t.stop || any_work t then relinquish ()
         else begin
           let deadline = Timer.next_deadline t.timers in
-          if deadline = infinity then relinquish ()
+          if deadline = infinity && not (Poller.has_waiters t.poller) then
+            relinquish ()
           else begin
             let now = Timer.now () in
             if deadline <= now then begin
@@ -647,15 +673,24 @@ let park t =
               Atomic.decr t.idle_hint;
               Mutex.unlock t.idle_mutex;
               ignore (Timer.fire_due t.timers ~now : int);
-              (* If deadlines remain, make sure some parked worker claims
-                 the clock — this worker is about to get busy. *)
-              if Timer.pending t.timers then wake_idlers t;
+              (* If deadlines or fd waiters remain, make sure some parked
+                 worker claims the clock — this worker is about to get
+                 busy. *)
+              if Timer.pending t.timers || Poller.has_waiters t.poller then
+                wake_idlers t;
               true
             end
             else begin
+              (* [deadline] may be [infinity] here (pure I/O wait): the
+                 [min] still clamps the slice.  With fd waiters present
+                 the doze is a [select] bounded by the slice — readiness
+                 ends it early, so frames on an idle runtime wake their
+                 fiber immediately instead of at the slice boundary. *)
               let slice = Float.min (deadline -. now) timekeeper_slice in
               Mutex.unlock t.idle_mutex;
-              Unix.sleepf slice;
+              if Poller.has_waiters t.poller then
+                ignore (Poller.poll t.poller ~timeout:slice : int)
+              else Unix.sleepf slice;
               Mutex.lock t.idle_mutex;
               doze ()
             end
@@ -663,7 +698,8 @@ let park t =
         end
       and relinquish () =
         t.has_timekeeper <- false;
-        if Timer.pending t.timers then Condition.broadcast t.idle_cond;
+        if Timer.pending t.timers || Poller.has_waiters t.poller then
+          Condition.broadcast t.idle_cond;
         wait_for_work ()
       in
       doze ()
@@ -808,6 +844,7 @@ let make ?(domains = 1) ?(pools = []) ?obs ~on_stall () =
           n_parks = 0;
         });
     timers = Timer.create ();
+    poller = Poller.create ();
     live = Atomic.make 0;
     idle_hint = Atomic.make 0;
     idle_mutex = Mutex.create ();

@@ -148,6 +148,20 @@ val suspend_timeout :
     but the resumer may still be held by whatever [register] subscribed it
     to, so registrations must tolerate stale waiters. *)
 
+val await_readable : Unix.file_descr -> unit
+(** Suspend the current fiber until [fd] is readable (per [select]).
+    The registration is one-shot: callers loop — attempt the syscall,
+    on [EAGAIN]/[EWOULDBLOCK] await and retry.  Fd waiters are a wake
+    source exactly like pending timers: the parked timekeeper dozes in
+    a [select] bounded by the timer slice, busy workers run zero-timeout
+    sweeps on the periodic global check, and the stall detector never
+    declares a deadlock while a fiber waits on an fd.  If the fd is
+    closed while waited on, the fiber is resumed anyway (error sweep)
+    and the retried syscall surfaces [EBADF] in its own context. *)
+
+val await_writable : Unix.file_descr -> unit
+(** Like {!await_readable}, for writability. *)
+
 val arm_timer : delay:float -> (unit -> unit) -> Timer.handle
 (** [arm_timer ~delay action] arms a one-shot timer on the current fiber's
     scheduler, firing [action] after [delay] seconds (see {!Timer.arm} for

@@ -245,6 +245,250 @@ let prop_any_payload =
           in
           drain [] = messages)))
 
+
+(* -- Distributed runtime: remote processors over the socket transport --
+
+   Node and client run in one test process but across two schedulers on
+   two domains, talking through a real unix-domain socket — the same
+   code path as the two-process deployment.  Handler state lives in
+   module-level globals: shipped closures reference globals by symbol
+   (Marshal.Closures), which is the distributed runtime's state
+   discipline. *)
+
+module Proto = Scoop.Internal.Remote_proto
+
+let remote_counter = Atomic.make 0
+
+let next_sock =
+  let n = Atomic.make 0 in
+  fun () ->
+    Printf.sprintf "%s/qs_rt_%d_%d.sock"
+      (Filename.get_temp_dir_name ())
+      (Unix.getpid ())
+      (Atomic.fetch_and_add n 1)
+
+(* Host a node on a fresh unix socket in its own domain; [f addr] runs
+   client-side and must ask the node to shut down before returning
+   (the [with_client] helper does). *)
+let with_node f =
+  let path = next_sock () in
+  let addr = Scoop.Config.Unix_sock path in
+  let node = Domain.spawn (fun () -> Scoop.Remote.listen addr) in
+  Fun.protect ~finally:(fun () -> Domain.join node) (fun () -> f addr)
+
+let with_client addr f =
+  Scoop.Runtime.run
+    ~config:(Scoop.Remote.connect [ addr ])
+    (fun rt ->
+      Fun.protect
+        ~finally:(fun () -> Scoop.Runtime.shutdown_nodes rt)
+        (fun () -> f rt))
+
+let test_remote_round_trip () =
+  with_node (fun addr ->
+    with_client addr (fun rt ->
+      Atomic.set remote_counter 0;
+      let p = Scoop.Runtime.processor rt in
+      check_bool "runtime knows it is remote" true (Scoop.Runtime.is_remote rt);
+      let total =
+        Scoop.Runtime.separate rt p (fun reg ->
+          for _ = 1 to 100 do
+            Scoop.Registration.call reg (fun () -> Atomic.incr remote_counter)
+          done;
+          Scoop.Registration.sync reg;
+          Scoop.Registration.query reg (fun () -> Atomic.get remote_counter))
+      in
+      check_int "100 remote calls served before the query" 100 total;
+      let s = Scoop.Stats.snapshot (Scoop.Runtime.stats rt) in
+      check_bool "remote requests counted" true
+        (s.Scoop.Stats.s_remote_requests >= 102);
+      check_bool "remote replies counted" true
+        (s.Scoop.Stats.s_remote_replies >= 2);
+      check_int "no failures" 0 s.Scoop.Stats.s_remote_failures))
+
+let test_remote_poison () =
+  (* The dirty-processor rule across the connection: a failing remote
+     call poisons the registration; the next sync point surfaces
+     [Handler_failure] carrying the node's rendering of the original. *)
+  with_node (fun addr ->
+    with_client addr (fun rt ->
+      let p = Scoop.Runtime.processor rt in
+      let observed =
+        try
+          Scoop.Runtime.separate rt p (fun reg ->
+            Scoop.Registration.call reg (fun () -> failwith "boom");
+            ignore (Scoop.Registration.query reg (fun () -> 1) : int);
+            `No_failure)
+        with
+        | Scoop.Handler_failure (_, Scoop.Remote_error msg) -> `Poisoned msg
+        | Scoop.Handler_failure (_, e) -> `Wrong_payload (Printexc.to_string e)
+      in
+      match observed with
+      | `Poisoned msg ->
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          go 0
+        in
+        check_bool "carries the original failure text" true (contains msg "boom")
+      | `No_failure -> Alcotest.fail "poison never surfaced"
+      | `Wrong_payload e -> Alcotest.fail ("unexpected payload: " ^ e)))
+
+let test_remote_query_failure_no_poison () =
+  (* A raising query producer rejects only its own rendezvous. *)
+  with_node (fun addr ->
+    with_client addr (fun rt ->
+      let p = Scoop.Runtime.processor rt in
+      let v =
+        Scoop.Runtime.separate rt p (fun reg ->
+          (match Scoop.Registration.query reg (fun () -> failwith "q") with
+          | (_ : int) -> Alcotest.fail "query should have raised"
+          | exception Scoop.Remote_error _ -> ());
+          Scoop.Registration.query reg (fun () -> 41 + 1))
+      in
+      check_int "registration survives a failed query" 42 v))
+
+let test_remote_pipelined () =
+  with_node (fun addr ->
+    with_client addr (fun rt ->
+      let p = Scoop.Runtime.processor rt in
+      let ok =
+        Scoop.Runtime.separate rt p (fun reg ->
+          let promises =
+            List.init 16 (fun i ->
+              Scoop.Registration.query_async reg (fun () -> i * i))
+          in
+          List.mapi
+            (fun i pr -> Scoop.Promise.await pr = i * i)
+            promises
+          |> List.for_all Fun.id)
+      in
+      check_bool "16 pipelined remote queries" true ok))
+
+let test_remote_timeout () =
+  with_node (fun addr ->
+    with_client addr (fun rt ->
+      let p = Scoop.Runtime.processor rt in
+      let late =
+        Scoop.Runtime.separate rt p (fun reg ->
+          Scoop.Registration.call reg (fun () -> Unix.sleepf 0.3);
+          (match Scoop.Registration.query ~timeout:0.05 reg (fun () -> 0) with
+          | (_ : int) -> Alcotest.fail "expected Timeout"
+          | exception Scoop.Timeout -> ());
+          (* The abandoned request is still served; the registration
+             stays usable and an unbounded query completes. *)
+          Scoop.Registration.query reg (fun () -> 7))
+      in
+      check_int "registration usable after a remote timeout" 7 late))
+
+let test_remote_disconnect_mid_query () =
+  (* A peer that dies with a query outstanding must produce a typed
+     rejection, not a hang: the rogue node accepts, swallows a few
+     bytes, and slams the connection. *)
+  let path = next_sock () in
+  let addr = Scoop.Config.Unix_sock path in
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX path);
+  Unix.listen lfd 1;
+  let rogue =
+    Domain.spawn (fun () ->
+      let fd, _ = Unix.accept lfd in
+      let buf = Bytes.create 64 in
+      ignore (Unix.read fd buf 0 64 : int);
+      Unix.close fd;
+      Unix.close lfd)
+  in
+  Scoop.Runtime.run
+    ~config:(Scoop.Remote.connect [ addr ])
+    (fun rt ->
+      let p = Scoop.Runtime.processor rt in
+      let ok =
+        try
+          Scoop.Runtime.separate rt p (fun reg ->
+            ignore (Scoop.Registration.query reg (fun () -> 1) : int);
+            false)
+        with
+        | Scoop.Connection_lost _ -> true
+        | Scoop.Handler_failure (_, Scoop.Connection_lost _) -> true
+      in
+      check_bool "typed rejection, not a hang" true ok;
+      let s = Scoop.Stats.snapshot (Scoop.Runtime.stats rt) in
+      check_bool "connection loss counted" true
+        (s.Scoop.Stats.s_remote_failures >= 1));
+  Domain.join rogue;
+  try Unix.unlink path with Unix.Unix_error _ -> ()
+
+let test_remote_node_survives_garbage () =
+  (* Truncated-frame recovery, node side: a peer that handshakes then
+     dies mid-frame must cost the node that connection only — the next
+     client gets normal service. *)
+  with_node (fun addr ->
+    S.run (fun () ->
+      let fd = Proto.connect_to addr in
+      let sq : Proto.client_msg Sq.t =
+        Sq.of_fds ~flags:[ Marshal.Closures ] ~read_fd:fd ~write_fd:fd ()
+      in
+      Sq.enqueue sq (Proto.hello ());
+      (* Frame header promising 1000 bytes, followed by 3 and EOF. *)
+      let torn = Bytes.create 11 in
+      Bytes.set_int64_le torn 0 1000L;
+      write_raw fd torn;
+      Unix.close fd);
+    with_client addr (fun rt ->
+      let p = Scoop.Runtime.processor rt in
+      let v =
+        Scoop.Runtime.separate rt p (fun reg ->
+          Scoop.Registration.query reg (fun () -> 2026))
+      in
+      check_int "node still serving after a torn peer" 2026 v))
+
+(* Two shard-mapped nodes: processor id routes to node id mod 2, and the
+   same workload spreads across both without client changes. *)
+let test_remote_shard_map () =
+  let path1 = next_sock () and path2 = next_sock () in
+  let a1 = Scoop.Config.Unix_sock path1
+  and a2 = Scoop.Config.Unix_sock path2 in
+  let n1 = Domain.spawn (fun () -> Scoop.Remote.listen a1) in
+  let n2 = Domain.spawn (fun () -> Scoop.Remote.listen a2) in
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.join n1;
+      Domain.join n2)
+    (fun () ->
+      Scoop.Runtime.run
+        ~config:(Scoop.Remote.connect [ a1; a2 ])
+        (fun rt ->
+          Fun.protect
+            ~finally:(fun () -> Scoop.Runtime.shutdown_nodes rt)
+            (fun () ->
+              let procs = Scoop.Runtime.processors rt 4 in
+              let vs =
+                List.mapi
+                  (fun i p ->
+                    Scoop.Runtime.separate rt p (fun reg ->
+                      Scoop.Registration.query reg (fun () -> i * 10)))
+                  procs
+              in
+              Alcotest.(check (list int))
+                "all four processors answer across two nodes"
+                [ 0; 10; 20; 30 ] vs)))
+
+let prop_remote_timeout_equiv =
+  QCheck2.Test.make ~count:6
+    ~name:"generous timeout = no timeout over the remote preset"
+    QCheck2.Gen.(list_size (int_range 0 16) small_int)
+    (fun xs ->
+      with_node (fun addr ->
+        with_client addr (fun rt ->
+          let p = Scoop.Runtime.processor rt in
+          Scoop.Runtime.separate rt p (fun reg ->
+            let sum xs = List.fold_left ( + ) 0 xs in
+            let a = Scoop.Registration.query reg (fun () -> sum xs) in
+            let b =
+              Scoop.Registration.query ~timeout:10.0 reg (fun () -> sum xs)
+            in
+            a = b && a = sum xs))))
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "qs_remote"
@@ -263,5 +507,20 @@ let () =
           Alcotest.test_case "header-only truncation" `Quick
             test_header_only_truncation;
         ] );
-      ("properties", [ qc prop_any_payload ]);
+      ( "distributed runtime",
+        [
+          Alcotest.test_case "remote round trip" `Quick test_remote_round_trip;
+          Alcotest.test_case "remote poison" `Quick test_remote_poison;
+          Alcotest.test_case "failed query does not poison" `Quick
+            test_remote_query_failure_no_poison;
+          Alcotest.test_case "pipelined remote queries" `Quick
+            test_remote_pipelined;
+          Alcotest.test_case "remote timeout" `Quick test_remote_timeout;
+          Alcotest.test_case "disconnect mid-query" `Quick
+            test_remote_disconnect_mid_query;
+          Alcotest.test_case "node survives torn peer" `Quick
+            test_remote_node_survives_garbage;
+          Alcotest.test_case "static shard map" `Quick test_remote_shard_map;
+        ] );
+      ("properties", [ qc prop_any_payload; qc prop_remote_timeout_equiv ]);
     ]

@@ -1084,6 +1084,109 @@ let test_cell_multi_domain_stress () =
     done);
   check_int "no cross-generation value observed" 0 (Atomic.get wrong)
 
+(* -- poller: fd readiness as a wake source ------------------------------- *)
+
+let nonblock_pipe () =
+  let r, w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock r;
+  Unix.set_nonblock w;
+  (r, w)
+
+let test_await_readable_wakes () =
+  let r, w = nonblock_pipe () in
+  S.run (fun () ->
+    S.spawn (fun () ->
+      S.sleep 0.02;
+      ignore (Unix.write w (Bytes.of_string "x") 0 1 : int));
+    S.await_readable r;
+    let buf = Bytes.create 1 in
+    check_int "byte arrived after the park" 1 (Unix.read r buf 0 1);
+    check_bool "payload" true (Bytes.get buf 0 = 'x'));
+  Unix.close r;
+  Unix.close w
+
+let test_await_writable_full_pipe () =
+  let r, w = nonblock_pipe () in
+  (* Fill the pipe until the kernel pushes back. *)
+  let chunk = Bytes.make 4096 'z' in
+  let filled = ref true in
+  while !filled do
+    match Unix.write w chunk 0 4096 with
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      filled := false
+  done;
+  S.run (fun () ->
+    S.spawn (fun () ->
+      S.sleep 0.02;
+      (* Drain enough for a write to fit again. *)
+      let buf = Bytes.create 65536 in
+      ignore (Unix.read r buf 0 65536 : int));
+    S.await_writable w;
+    check_bool "write succeeds after the drain" true
+      (Unix.write w chunk 0 1 = 1));
+  Unix.close r;
+  Unix.close w
+
+let test_timer_fires_while_fd_parked () =
+  (* A parked fd waiter must not starve the timer heap: the poller dozes
+     only to the nearest deadline. *)
+  let r, w = nonblock_pipe () in
+  S.run (fun () ->
+    S.spawn (fun () ->
+      S.await_readable r;
+      let buf = Bytes.create 1 in
+      ignore (Unix.read r buf 0 1 : int));
+    let t0 = Unix.gettimeofday () in
+    S.sleep 0.03;
+    let dt = Unix.gettimeofday () -. t0 in
+    check_bool "sleep fired promptly despite the fd waiter" true (dt < 1.0);
+    ignore (Unix.write w (Bytes.of_string "y") 0 1 : int));
+  Unix.close r;
+  Unix.close w
+
+let test_closed_fd_unblocks_waiter () =
+  (* Closing a descriptor out from under its waiter must resume it (the
+     poller's EBADF sweep), not strand the scheduler. *)
+  let r, w = nonblock_pipe () in
+  let resumed = ref false in
+  S.run (fun () ->
+    S.spawn (fun () ->
+      S.await_readable r;
+      resumed := true);
+    S.sleep 0.02;
+    Unix.close r);
+  check_bool "waiter resumed after close" true !resumed;
+  Unix.close w
+
+let test_many_fd_waiters_wake_independently () =
+  let pipes = Array.init 4 (fun _ -> nonblock_pipe ()) in
+  let woken = Array.make 4 false in
+  S.run (fun () ->
+    Array.iteri
+      (fun i (r, _) ->
+        S.spawn (fun () ->
+          S.await_readable r;
+          let buf = Bytes.create 1 in
+          ignore (Unix.read r buf 0 1 : int);
+          woken.(i) <- true))
+      pipes;
+    (* Release them one at a time, out of registration order. *)
+    List.iter
+      (fun i ->
+        S.sleep 0.005;
+        let _, w = pipes.(i) in
+        ignore (Unix.write w (Bytes.of_string "k") 0 1 : int))
+      [ 2; 0; 3; 1 ]);
+  Array.iteri
+    (fun i ok -> check_bool (Printf.sprintf "waiter %d woke" i) true ok)
+    woken;
+  Array.iter
+    (fun (r, w) ->
+      Unix.close r;
+      Unix.close w)
+    pipes
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "qs_sched"
@@ -1140,6 +1243,19 @@ let () =
             test_timeout_race_exactly_once;
           Alcotest.test_case "hot-slot fairness regression" `Quick
             test_hot_slot_fairness;
+        ] );
+      ( "poller",
+        [
+          Alcotest.test_case "await_readable wakes" `Quick
+            test_await_readable_wakes;
+          Alcotest.test_case "await_writable on a full pipe" `Quick
+            test_await_writable_full_pipe;
+          Alcotest.test_case "timer fires while fd parked" `Quick
+            test_timer_fires_while_fd_parked;
+          Alcotest.test_case "closed fd unblocks waiter" `Quick
+            test_closed_fd_unblocks_waiter;
+          Alcotest.test_case "many waiters wake independently" `Quick
+            test_many_fd_waiters_wake_independently;
         ] );
       ( "ivar",
         [

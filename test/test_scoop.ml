@@ -1451,6 +1451,99 @@ let test_pooling_knob_off () =
   check_int "no flat requests" 0 s.Scoop.Stats.s_requests_flat;
   check_int "no pool traffic" 0 s.Scoop.Stats.s_requests_pooled
 
+(* -- config builders and the endpoint grammar ----------------------------- *)
+
+let test_builder_chain () =
+  let c =
+    Cfg.qoq
+    |> Cfg.with_name "tuned"
+    |> Cfg.with_batch 4
+    |> Cfg.with_mailbox `Direct
+    |> Cfg.with_deadline 0.5
+    |> Cfg.with_bound 64
+    |> Cfg.with_overflow `Fail
+    |> Cfg.with_trace true
+  in
+  check_bool "name" true (c.Cfg.name = "tuned");
+  check_int "batch" 4 c.Cfg.batch;
+  check_bool "mailbox" true (c.Cfg.mailbox = `Direct);
+  check_bool "deadline" true (c.Cfg.default_deadline = Some 0.5);
+  check_int "bound" 64 c.Cfg.bound;
+  check_bool "overflow" true (c.Cfg.overflow = `Fail);
+  check_bool "trace" true c.Cfg.trace;
+  (* The source preset is untouched: builders are functional. *)
+  check_int "preset batch unchanged" Cfg.default_batch Cfg.qoq.Cfg.batch;
+  check_bool "no-deadline undoes with_deadline" true
+    ((c |> Cfg.with_no_deadline).Cfg.default_deadline = None)
+
+let test_builder_validation () =
+  let rejects name f =
+    check_bool name true
+      (match f () with
+      | (_ : Cfg.t) -> false
+      | exception Invalid_argument _ -> true)
+  in
+  rejects "batch 0" (fun () -> Cfg.with_batch 0 Cfg.qoq);
+  rejects "deadline 0" (fun () -> Cfg.with_deadline 0.0 Cfg.qoq);
+  rejects "negative bound" (fun () -> Cfg.with_bound (-1) Cfg.qoq)
+
+let test_addr_string_round_trip () =
+  let round a =
+    check_bool
+      ("round trip " ^ Cfg.addr_to_string a)
+      true
+      (Cfg.addr_of_string (Cfg.addr_to_string a) = Some a)
+  in
+  round (Cfg.Unix_sock "/tmp/qs.sock");
+  round (Cfg.Tcp ("localhost", 7070));
+  round (Cfg.Tcp ("::1", 7070));
+  let bad s =
+    check_bool ("rejects " ^ s) true (Cfg.addr_of_string s = None)
+  in
+  bad "";
+  bad "unix:";
+  bad "tcp:nohost";
+  bad "tcp:host:0";
+  bad "tcp:host:notaport";
+  bad "quic:host:1"
+
+let test_by_name_remote () =
+  (match Cfg.by_name "connect:unix:/tmp/a.sock,tcp:db:9000" with
+  | None -> Alcotest.fail "connect form not recognized"
+  | Some c ->
+    check_bool "shard map in argument order" true
+      (c.Cfg.endpoint
+      = Cfg.Connect [ Cfg.Unix_sock "/tmp/a.sock"; Cfg.Tcp ("db", 9000) ]));
+  (match Cfg.by_name "listen:tcp:0.0.0.0:7070" with
+  | None -> Alcotest.fail "listen form not recognized"
+  | Some c ->
+    check_bool "node preset" true
+      (c.Cfg.endpoint = Cfg.Listen (Cfg.Tcp ("0.0.0.0", 7070)));
+    check_bool "node is qoq" true (c.Cfg.mailbox = `Qoq));
+  check_bool "malformed connect rejected" true
+    (Cfg.by_name "connect:unix:/a,bogus" = None);
+  check_bool "empty connect rejected" true (Cfg.by_name "connect:" = None)
+
+let test_pp_endpoint () =
+  let str c = Format.asprintf "%a" Cfg.pp c in
+  check_bool "in-process configs print bare" true (str Cfg.qoq = "qoq");
+  check_bool "remote configs print name@endpoint" true
+    (str (Cfg.remote [ Cfg.Unix_sock "/tmp/a" ])
+    = "remote@connect:unix:/tmp/a");
+  check_bool "node configs print the listen address" true
+    (str (Cfg.node (Cfg.Tcp ("h", 1234))) = "node@listen:tcp:h:1234")
+
+let test_deprecated_labels_still_work () =
+  (* The old optional-argument sprawl survives as thin wrappers over the
+     builders: passing labels must behave exactly like the chain. *)
+  R.run ~config:Cfg.qoq ~batch:3 ~mailbox:`Direct ~bound:32 ~overflow:`Fail
+    (fun rt ->
+      let c = R.config rt in
+      check_int "batch label" 3 c.Cfg.batch;
+      check_bool "mailbox label" true (c.Cfg.mailbox = `Direct);
+      check_int "bound label" 32 c.Cfg.bound;
+      check_bool "overflow label" true (c.Cfg.overflow = `Fail))
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "scoop"
@@ -1512,6 +1605,17 @@ let () =
             Alcotest.test_case "trace pipelined spans" `Quick
               test_trace_pipelined_queries;
           ] );
+      ( "config builders",
+        [
+          Alcotest.test_case "chain" `Quick test_builder_chain;
+          Alcotest.test_case "validation" `Quick test_builder_validation;
+          Alcotest.test_case "addr round trip" `Quick
+            test_addr_string_round_trip;
+          Alcotest.test_case "by_name remote forms" `Quick test_by_name_remote;
+          Alcotest.test_case "pp endpoint" `Quick test_pp_endpoint;
+          Alcotest.test_case "deprecated labels" `Quick
+            test_deprecated_labels_still_work;
+        ] );
       ( "instrumentation",
         [
           Alcotest.test_case "query accounting" `Quick test_stats_queries;
