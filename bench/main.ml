@@ -21,7 +21,7 @@ let all_artifacts =
   [
     "table1"; "fig16"; "table2"; "fig17"; "table3"; "table4"; "fig18";
     "fig19"; "table5"; "fig20"; "summary"; "eve"; "switches"; "micro";
-    "pipeline"; "timeout"; "pools"; "alloc"; "conformance"; "remote";
+    "pipeline"; "timeout"; "pools"; "alloc"; "conformance"; "remote"; "load";
   ]
 
 (* §4.3 attributes the QoQ gains to "fewer context switches, since the
@@ -661,7 +661,9 @@ let allocation_probe (s : H.scale) =
   print_endline (String.make 72 '-');
   let rounds = max 2_000 s.H.m in
   let measure ~pooling =
-    Scoop.Runtime.run ~domains:1 ~config:Scoop.Config.qoq ~pooling (fun rt ->
+    Scoop.Runtime.run ~domains:1
+      ~config:Scoop.Config.(qoq |> with_pooling pooling)
+      (fun rt ->
       let h = Scoop.Runtime.processor rt in
       let stats = Scoop.Runtime.stats rt in
       let r = ref 0 in
@@ -1018,7 +1020,7 @@ let instrumented_probe ?obs (s : H.scale) =
          with Scoop.Handler_failure _ -> ());
         Scoop.Runtime.stats rt)
   in
-  (Scoop.Stats.assoc stats, !sched)
+  (Scoop.Stats.assoc stats, Scoop.Stats.hist_assoc stats, !sched)
 
 let json_ints kvs =
   Qs_obs.Json.Obj (List.map (fun (k, v) -> (k, Qs_obs.Json.Int v)) kvs)
@@ -1026,7 +1028,7 @@ let json_ints kvs =
 let write_json path (s : H.scale) micro_rows batching_rows pipeline_rows
     timeout_info pools_info alloc_info conformance_info =
   let open Qs_obs.Json in
-  let runtime_counters, sched_counters = instrumented_probe s in
+  let runtime_counters, runtime_hists, sched_counters = instrumented_probe s in
   let pools_json =
     match pools_info with
     | None -> []
@@ -1153,6 +1155,11 @@ let write_json path (s : H.scale) micro_rows batching_rows pipeline_rows
               ("runtime", json_ints runtime_counters);
               ("sched", json_ints sched_counters);
             ] );
+        ( "histograms",
+          Obj
+            (List.map
+               (fun (n, d) -> (n, Qs_obs.Histogram.summary_json d))
+               runtime_hists) );
       ])
   in
   write_file path doc;
@@ -1160,15 +1167,63 @@ let write_json path (s : H.scale) micro_rows batching_rows pipeline_rows
 
 let write_trace path (s : H.scale) =
   let sink = Qs_obs.Sink.create () in
-  let runtime_counters, sched_counters = instrumented_probe ~obs:sink s in
-  Qs_obs.Chrome.write_file ~counters:(runtime_counters @ sched_counters) sink
-    path;
+  let runtime_counters, runtime_hists, sched_counters =
+    instrumented_probe ~obs:sink s
+  in
+  Qs_obs.Chrome.write_file
+    ~counters:(runtime_counters @ sched_counters)
+    ~histograms:runtime_hists sink path;
   Printf.printf
     "\nwrote Chrome trace of the instrumented probe to %s (load in \
      chrome://tracing or ui.perfetto.dev)\n"
     path
 
 (* -- driver ----------------------------------------------------------------- *)
+
+(* Open-loop SLO curve (BENCH_load.json): sweep arrival rates through the
+   saturation knee under a deadline + shed-oldest admission policy and
+   record coordinated-omission-safe latency per rate.  Rates and the
+   per-request service time are sized for a small box: the low end sits
+   well inside the SLO, the high end visibly degrades. *)
+let load_probe (s : H.scale) =
+  let deadline = 0.05 in
+  let spec =
+    {
+      Qs_load.Load_gen.default with
+      clients = 4;
+      handlers = 2;
+      duration = (if s.H.reps <= 1 then 0.5 else 1.0);
+      service_us = 500.;
+    }
+  in
+  let config =
+    Scoop.Config.qoq
+    |> Scoop.Config.with_deadline deadline
+    |> Scoop.Config.with_bound 512
+    |> Scoop.Config.with_overflow `Shed_oldest
+  in
+  let rates = [ 500.; 1000.; 1500.; 2000.; 3000. ] in
+  Printf.printf "\nopen-loop SLO sweep (service %.0f us, deadline %.0f ms)\n"
+    spec.Qs_load.Load_gen.service_us (deadline *. 1e3);
+  let points =
+    List.map
+      (fun r ->
+        let p =
+          Qs_load.Load_gen.run_point ~domains:1 ~config
+            { spec with Qs_load.Load_gen.rate = r }
+        in
+        Format.printf "  %a@." (Qs_load.Load_gen.pp_point ~deadline) p;
+        p)
+      rates
+  in
+  (match Qs_load.Load_gen.knee ~deadline points with
+  | Some ok, Some bad ->
+    Printf.printf "  knee: %.1f/s in SLO, degrades by %.1f/s\n" ok bad
+  | _ -> ());
+  let path = "BENCH_load.json" in
+  Qs_obs.Json.write_file path
+    (Qs_load.Load_gen.report_json ~deadline ~domains:1 spec points);
+  Printf.printf "  wrote %s\n" path
 
 let run scale only json trace_out =
   let want name = only = [] || List.mem name only in
@@ -1220,6 +1275,7 @@ let run scale only json trace_out =
   let conformance_info =
     if want "conformance" then Some (conformance_probe scale) else None
   in
+  if want "load" then load_probe scale;
   if want "micro" then begin
     let micro_rows, batching_rows = micro () in
     match json with
@@ -1277,7 +1333,7 @@ let only_term =
         ~doc:"Regenerate only the given artifact (repeatable). One of: table1 \
               fig16 table2 fig17 table3 table4 fig18 fig19 table5 fig20 \
               summary eve switches micro pipeline timeout pools alloc \
-              conformance remote.")
+              conformance remote load.")
 
 let json_term =
   Arg.(

@@ -505,7 +505,9 @@ let trace_run name out domains mailbox batch =
         | Some c -> Qs_sched.Sched.counters_assoc c
         | None -> [])
     in
-    Qs_obs.Chrome.write_file ~counters sink path;
+    Qs_obs.Chrome.write_file ~counters
+      ~histograms:(Scoop.Stats.hist_assoc stats)
+      sink path;
     Printf.printf
       "wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n"
       path
@@ -585,25 +587,30 @@ let remote_demo connect shutdown_flag =
       let d = Domain.spawn (fun () -> Scoop.Remote.listen addr) in
       ([ addr ], Some d)
   in
-  let remote, stats =
+  let remote, stats, rtt =
     Scoop.Runtime.run
       ~config:(Scoop.Remote.connect addrs)
       (fun rt ->
+        let st = Scoop.Runtime.stats rt in
         let v = remote_workload rt in
-        let s = Scoop.Stats.snapshot (Scoop.Runtime.stats rt) in
+        let s = Scoop.Stats.snapshot st in
+        let rtt =
+          Qs_obs.Histogram.dist (Scoop.Stats.histograms st) "query_remote_ns"
+        in
         if shutdown_flag || hosted <> None then Scoop.Runtime.shutdown_nodes rt;
-        (v, s))
+        (v, s, rtt))
   in
   Option.iter Domain.join hosted;
   Printf.printf "remote endpoint (%s): final balance %d (expected %d)\n"
     (String.concat "," (List.map Scoop.Config.addr_to_string addrs))
     remote expected;
   Printf.printf
-    "remote round trips: %d requests, %d replies, %d failures, rtt %.3f ms \
-     total\n"
+    "remote round trips: %d requests, %d replies, %d failures, rtt p50 %.3f \
+     ms, p99 %.3f ms\n"
     stats.Scoop.Stats.s_remote_requests stats.Scoop.Stats.s_remote_replies
     stats.Scoop.Stats.s_remote_failures
-    (float_of_int stats.Scoop.Stats.s_remote_rtt_ns /. 1e6);
+    (float_of_int (Qs_obs.Histogram.quantile rtt 0.5) /. 1e6)
+    (float_of_int (Qs_obs.Histogram.quantile rtt 0.99) /. 1e6);
   if local <> expected || remote <> expected then begin
     Printf.eprintf "qs: endpoint results diverge\n";
     exit 1
@@ -673,6 +680,92 @@ let lang file optimize explore_flag domains =
   | Qs_lang.To_semantics.Unsupported message ->
     Printf.eprintf "%s: cannot explore: %s\n" file message;
     exit 1
+
+(* -- serve --------------------------------------------------------------------- *)
+
+(* Open-loop SLO harness: drive the runtime at one or more target arrival
+   rates and report coordinated-omission-safe latency per rate.  A sweep
+   makes the knee visible: the highest rate still inside the SLO next to
+   the first rate that sheds or blows the deadline. *)
+let serve_run rate sweep clients handlers duration arrivals burst service_us
+    deadline bound overflow seed domains json check_slo =
+  let duration =
+    let s =
+      if String.length duration > 1
+         && duration.[String.length duration - 1] = 's'
+      then String.sub duration 0 (String.length duration - 1)
+      else duration
+    in
+    match float_of_string_opt s with
+    | Some f when f > 0. -> f
+    | _ ->
+      Printf.eprintf "qs: bad --duration %S (expected e.g. 2 or 2s)\n" duration;
+      exit 124
+  in
+  let spec =
+    {
+      Qs_load.Load_gen.rate;
+      clients;
+      handlers;
+      duration;
+      arrivals =
+        (match arrivals with
+        | `Poisson -> Qs_load.Load_gen.Poisson
+        | `Bursty -> Qs_load.Load_gen.Bursty burst);
+      service_us;
+      mix = (1, 1, 2);
+      seed;
+    }
+  in
+  let config =
+    Scoop.Config.qoq
+    |> Scoop.Config.with_deadline deadline
+    |> fun c ->
+    if bound > 0 then
+      c |> Scoop.Config.with_bound bound |> Scoop.Config.with_overflow overflow
+    else c
+  in
+  let rates =
+    match sweep with
+    | None -> [ rate ]
+    | Some s ->
+      List.map
+        (fun r ->
+          match float_of_string_opt (String.trim r) with
+          | Some f when f > 0. -> f
+          | _ ->
+            Printf.eprintf "qs: bad rate %S in --sweep\n" r;
+            exit 124)
+        (String.split_on_char ',' s)
+  in
+  let points =
+    List.map
+      (fun r ->
+        let p =
+          Qs_load.Load_gen.run_point ~domains ~config { spec with rate = r }
+        in
+        Format.printf "%a@." (Qs_load.Load_gen.pp_point ~deadline) p;
+        p)
+      rates
+  in
+  (match Qs_load.Load_gen.knee ~deadline points with
+  | Some ok, Some bad ->
+    Format.printf "knee: %.1f/s in SLO, degrades by %.1f/s@." ok bad
+  | Some ok, None -> Format.printf "all swept rates in SLO (up to %.1f/s)@." ok
+  | None, Some bad ->
+    Format.printf "no swept rate meets the SLO (first tried %.1f/s)@." bad
+  | None, None -> ());
+  Option.iter
+    (fun path ->
+      Qs_obs.Json.write_file path
+        (Qs_load.Load_gen.report_json ~deadline ~domains spec points);
+      Printf.printf "wrote %s\n" path)
+    json;
+  if check_slo && not (List.for_all (Qs_load.Load_gen.in_slo ~deadline) points)
+  then begin
+    Printf.eprintf "qs: SLO violated (deadline %.3fs)\n" deadline;
+    exit 1
+  end
 
 (* -- CLI wiring ---------------------------------------------------------------- *)
 
@@ -892,6 +985,105 @@ let lang_cmd =
        ~doc:"Run, optimize or explore a Quicksilver-mini (.scoop) program")
     Term.(const lang $ file $ optimize $ explore $ domains)
 
+let serve_cmd =
+  let rate =
+    Arg.(
+      value & opt float 400.
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Target aggregate arrival rate, requests per second.")
+  in
+  let sweep =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sweep" ] ~docv:"R1,R2,..."
+          ~doc:
+            "Comma-separated rates to sweep (one fresh runtime per rate); \
+             overrides $(b,--rate) and prints the knee.")
+  in
+  let clients =
+    Arg.(value & opt int 8 & info [ "clients" ] ~docv:"N"
+         ~doc:"Simulated open-loop clients.")
+  in
+  let handlers =
+    Arg.(value & opt int 2 & info [ "handlers" ] ~docv:"N"
+         ~doc:"Handler processors receiving the traffic.")
+  in
+  let duration =
+    Arg.(value & opt string "2"
+         & info [ "duration" ] ~docv:"SECONDS"
+             ~doc:
+               "Open-loop issue window (drain time excluded); a trailing \
+                $(b,s) is accepted, e.g. $(b,2s).")
+  in
+  let arrivals =
+    Arg.(
+      value
+      & opt (enum [ ("poisson", `Poisson); ("bursty", `Bursty) ]) `Poisson
+      & info [ "arrivals" ] ~docv:"KIND"
+          ~doc:"Arrival process: $(b,poisson) or $(b,bursty).")
+  in
+  let burst =
+    Arg.(value & opt int 16 & info [ "burst" ] ~docv:"N"
+         ~doc:"Burst size for $(b,--arrivals bursty).")
+  in
+  let service_us =
+    Arg.(value & opt float 50.
+         & info [ "service-us" ] ~docv:"US"
+             ~doc:"Busy-work burned per request on the handler.")
+  in
+  let deadline =
+    Arg.(value & opt float 0.05
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:
+               "Default deadline on blocking queries; also the SLO bound \
+                checked against the client p99.")
+  in
+  let bound =
+    Arg.(value & opt int 512
+         & info [ "bound" ] ~docv:"N"
+             ~doc:"Per-handler queue bound (0 = unbounded).")
+  in
+  let overflow =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("block", `Block); ("fail", `Fail); ("shed-oldest", `Shed_oldest) ])
+          `Shed_oldest
+      & info [ "overflow" ] ~docv:"POLICY"
+          ~doc:"Admission policy past the bound.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+         ~doc:"Root RNG seed; arrivals are deterministic per seed.")
+  in
+  let domains = Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N") in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the per-rate time series as BENCH_load.json schema.")
+  in
+  let check_slo =
+    Arg.(
+      value & flag
+      & info [ "check-slo" ]
+          ~doc:
+            "Exit non-zero unless every measured rate meets the SLO: p99 at \
+             or under the deadline with zero sheds, timeouts and failures.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Open-loop load harness: drive the runtime at target arrival rates \
+          and report coordinated-omission-safe latency, sheds and timeouts")
+    Term.(
+      const serve_run $ rate $ sweep $ clients $ handlers $ duration
+      $ arrivals $ burst $ service_us $ deadline $ bound $ overflow $ seed
+      $ domains $ json $ check_slo)
+
 let () =
   let doc = "SCOOP/Qs companion tool: semantics explorer, sync-coalescing pass, simulator" in
   exit
@@ -906,5 +1098,6 @@ let () =
             trace_cmd;
             node_cmd;
             remote_cmd;
+            serve_cmd;
             lang_cmd;
           ]))

@@ -128,6 +128,13 @@ type t = {
      line clients and handler contend on).  Handler-fiber only. *)
   recycle_buf : int array;
   mutable recycle_n : int;
+  (* The handler's current notion of "now" (ns), used as the service
+     start stamp of the next request it serves: refreshed once per
+     drained batch and after every completed request, so latency
+     recording costs exactly one clock read per request — the
+     completion stamp, which doubles as the successor's start stamp.
+     Handler-fiber only. *)
+  mutable h_now : int;
   (* flat-request free list (the §3.2 queue-cache pattern applied to
      request records).  Per-processor rather than per-domain: the
      handler recycles on its own domain while clients allocate on
@@ -255,6 +262,30 @@ let flush_recycled t =
   if t.recycle_n > 0 then begin
     pool_splice t.flat_pool t.recycle_buf t.recycle_n;
     t.recycle_n <- 0
+  end
+
+(* Latency recording at request completion, into the per-class
+   histogram (birth -> done) plus the two pipeline-splitting ones
+   (admitted -> served, served -> done).  [birth = 0] marks a request
+   issued before stamping existed (never happens through Registration)
+   and is skipped.  Control requests (Sync, End) and the discard/shed
+   paths never record and never refresh [h_now]; their cost lands in
+   the next request's queueing time, keeping them off the clock-read
+   budget. *)
+let record_served t ~kind ~birth ~admit =
+  if birth > 0 then begin
+    let served = t.h_now in
+    let done_ = Qs_obs.Clock.now_ns () in
+    t.h_now <- done_;
+    let h =
+      match kind with
+      | Request.K_call -> t.stats.Stats.h_call_local
+      | Request.K_query -> t.stats.Stats.h_query_local
+      | Request.K_pipelined -> t.stats.Stats.h_pipelined_local
+    in
+    Qs_obs.Histogram.record h (done_ - birth);
+    Qs_obs.Histogram.record t.stats.Stats.h_queue_wait (served - admit);
+    Qs_obs.Histogram.record t.stats.Stats.h_exec (done_ - served)
   end
 
 let log_failure t req e =
@@ -386,12 +417,13 @@ let guarded_flat t req ~last ~quiet (r : Request.flat) =
    unless its await timed out, in which case nobody recycles and the
    record is left to the GC. *)
 let execute_flat t req ~last ~quiet (r : Request.flat) =
-  (* Capture the tag before running: filling a blocking query's cell
-     wakes the awaiting client, which may consume and recycle the record
-     (resetting the tag to [Free]) before this function returns — a
-     post-run read could then recycle a second time, putting the record
-     in the pool twice. *)
+  (* Capture the tag (and the stamps) before running: filling a blocking
+     query's cell wakes the awaiting client, which may consume and
+     recycle the record (resetting the tag to [Free]) before this
+     function returns — a post-run read could then recycle a second
+     time, putting the record in the pool twice. *)
   let tag = r.Request.tag in
+  let birth = r.Request.t_birth and admit = r.Request.t_admit in
   if t.config.Config.eve then begin
     let top = t.shadow_top in
     if top + 2 < Array.length t.shadow then begin
@@ -403,15 +435,26 @@ let execute_flat t req ~last ~quiet (r : Request.flat) =
     t.shadow_top <- top
   end
   else guarded_flat t req ~last ~quiet r;
-  match tag with
+  (match tag with
   | Request.Query0 | Request.Query1 -> ()
   | Request.Call0 | Request.Call1 | Request.Pipelined | Request.Free ->
-    recycle_local t r
+    recycle_local t r);
+  match tag with
+  | Request.Free -> ()
+  | Request.Call0 | Request.Call1 ->
+    record_served t ~kind:Request.K_call ~birth ~admit
+  | Request.Query0 | Request.Query1 ->
+    record_served t ~kind:Request.K_query ~birth ~admit
+  | Request.Pipelined ->
+    record_served t ~kind:Request.K_pipelined ~birth ~admit
 
 (* One request, uniformly in both modes (the run / release / end rules). *)
 let serve t ~last ~quiet req =
   match req with
-  | Request.Call pk -> ignore (execute t req pk : bool)
+  | Request.Call pk ->
+    ignore (execute t req pk : bool);
+    record_served t ~kind:pk.Request.kind ~birth:pk.Request.t_birth
+      ~admit:pk.Request.t_admit
   | Request.Flat r -> execute_flat t req ~last ~quiet r
   | Request.Query pk ->
     (* A pipelined query: the packaged closure computes the result and
@@ -421,7 +464,9 @@ let serve t ~last ~quiet req =
        closure rejects the promise instead, counted under
        [rejected_promises] by the completion. *)
     if execute t req pk then
-      Qs_obs.Counter.incr t.stats.Stats.promises_fulfilled
+      Qs_obs.Counter.incr t.stats.Stats.promises_fulfilled;
+    record_served t ~kind:pk.Request.kind ~birth:pk.Request.t_birth
+      ~admit:pk.Request.t_admit
   | Request.Sync resume ->
     (* Release half of the wait/release pair: wake the client.  The
        scheduler's hot slot turns this into a direct handoff, and the
@@ -549,6 +594,9 @@ let handler_loop t mailbox =
       let t0 =
         match t.sink with Some s -> Qs_obs.Sink.now s | None -> 0.0
       in
+      (* Service-start stamp of the batch's first request; subsequent
+         requests reuse their predecessor's completion stamp. *)
+      t.h_now <- Qs_obs.Clock.now_ns ();
       let bounded = t.config.Config.bound > 0 in
       (* The aborted flag is re-read per request, not per batch: an
          abort (e.g. the [Runtime.shutdown ?grace] escalation) must be
@@ -667,6 +715,7 @@ let create ?sink ?pool ~id ~config ~stats () =
       recycle_buf =
         (if config.Config.pooling then Array.make pool_cap 0 else [||]);
       recycle_n = 0;
+      h_now = 0;
       flat_pool = make_pool config.Config.pooling;
     }
   in
@@ -716,6 +765,7 @@ let create_remote ?sink ~id ~config ~stats ~ops () =
     shed_debt = Atomic.make 0;
     recycle_buf = [||];
     recycle_n = 0;
+    h_now = 0;
     flat_pool = make_pool false;
   }
 

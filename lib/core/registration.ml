@@ -136,6 +136,13 @@ let alloc_flat t = Processor.alloc_flat t.proc
 
 let no_flat = Processor.no_flat
 
+(* Lifecycle stamps.  [t_birth] is read once at operation entry; the
+   second clock read for [t_admit] is only paid when admission can
+   actually block (a bounded mailbox) — otherwise the birth stamp is
+   reused and the nanoscale admit branch folds into queueing time. *)
+let admit_stamp t birth =
+  if t.ctx.Ctx.config.Config.bound > 0 then Qs_obs.Clock.now_ns () else birth
+
 let touch t =
   if t.closed then
     invalid_arg "Scoop.Registration: used outside its separate block";
@@ -165,9 +172,18 @@ let timed_out t =
    the fallback for multi-reservation registrations, disabled pooling,
    and traced runs (the trace wraps [run] with span bookkeeping, which
    needs the closure form). *)
-let log_call_packaged t run =
+let log_call_packaged t ~birth ~admit run =
   match t.ctx.Ctx.trace with
-  | None -> t.enqueue (Request.Call { run; fail = t.fail_to })
+  | None ->
+    t.enqueue
+      (Request.Call
+         {
+           run;
+           fail = t.fail_to;
+           kind = Request.K_call;
+           t_birth = birth;
+           t_admit = admit;
+         })
   | Some tr ->
     (* Trace the queueing delay: logged now, executed by the handler
        later (§7 instrumentation). *)
@@ -183,6 +199,9 @@ let log_call_packaged t run =
                  (Trace.Call_executed (Trace.now tr -. logged));
                run ());
            fail = t.fail_to;
+           kind = Request.K_call;
+           t_birth = birth;
+           t_admit = admit;
          })
 
 let call t f =
@@ -192,6 +211,7 @@ let call t f =
      work again and may be mid-execution during subsequent client reads. *)
   t.synced <- false;
   t.logged <- t.logged + 1;
+  let birth = Qs_obs.Clock.now_ns () in
   match t.remote with
   | Some px ->
     (* Remote: ship the thunk itself.  No trace wrapper — a wrapper
@@ -200,9 +220,15 @@ let call t f =
     (match t.ctx.Ctx.trace with
     | Some tr -> Trace.record tr ~proc:(Processor.id t.proc) Trace.Call_logged
     | None -> ());
-    px.Processor.px_call f
+    px.Processor.px_call f;
+    (* Fire-and-forget: no reply carries a completion to time against,
+       so the remote call histogram measures the send-side handoff
+       (serialization + socket write + any transport backpressure). *)
+    Qs_obs.Histogram.record t.ctx.Ctx.stats.Stats.h_call_remote
+      (Qs_obs.Clock.now_ns () - birth)
   | None ->
     Processor.admit t.proc;
+    let admit = admit_stamp t birth in
     let r =
       if use_flat t && Option.is_none t.ctx.Ctx.trace then alloc_flat t
       else no_flat
@@ -214,24 +240,30 @@ let call t f =
          last served a different registration. *)
       r.Request.tag <- Request.Call0;
       r.Request.f0 <- f;
+      r.Request.t_birth <- birth;
+      r.Request.t_admit <- admit;
       if r.Request.fail_to != t.fail_to then r.Request.fail_to <- t.fail_to;
       t.enqueue r.Request.self
     end
-    else log_call_packaged t f
+    else log_call_packaged t ~birth ~admit f
 
 let call1 t f x =
   touch t;
   Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.calls;
   t.synced <- false;
   t.logged <- t.logged + 1;
+  let birth = Qs_obs.Clock.now_ns () in
   match t.remote with
   | Some px ->
     (match t.ctx.Ctx.trace with
     | Some tr -> Trace.record tr ~proc:(Processor.id t.proc) Trace.Call_logged
     | None -> ());
-    px.Processor.px_call (fun () -> f x)
+    px.Processor.px_call (fun () -> f x);
+    Qs_obs.Histogram.record t.ctx.Ctx.stats.Stats.h_call_remote
+      (Qs_obs.Clock.now_ns () - birth)
   | None ->
     Processor.admit t.proc;
+    let admit = admit_stamp t birth in
     let r =
       if use_flat t && Option.is_none t.ctx.Ctx.trace then alloc_flat t
       else no_flat
@@ -243,10 +275,12 @@ let call1 t f x =
       r.Request.tag <- Request.Call1;
       r.Request.f1 <- (Obj.magic (f : _ -> unit) : Obj.t -> unit);
       r.Request.a1 <- Obj.repr x;
+      r.Request.t_birth <- birth;
+      r.Request.t_admit <- admit;
       if r.Request.fail_to != t.fail_to then r.Request.fail_to <- t.fail_to;
       t.enqueue r.Request.self
     end
-    else log_call_packaged t (fun () -> f x)
+    else log_call_packaged t ~birth ~admit (fun () -> f x)
 
 let force_sync ?timeout t =
   Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.syncs_sent;
@@ -405,14 +439,20 @@ let query ?timeout t f =
       (remote_query ?timeout t px
          (Obj.magic (f : unit -> _) : unit -> Obj.t))
   | None ->
+  let birth = Qs_obs.Clock.now_ns () in
   if t.ctx.Ctx.config.Config.client_query then begin
     (* Modified query rule (§3.2): synchronize, then run [f] on the client.
        No packaging, no result transfer, and the OCaml compiler sees the
        call statically.  A raising [f] raises here naturally; a failure
        among the previously logged calls surfaces from [sync].  The
-       deadline bounds the sync round trip — the only blocking part. *)
+       deadline bounds the sync round trip — the only blocking part.
+       No handler request exists to stamp, so the client records the
+       whole sync-then-run latency itself. *)
     sync ?timeout t;
-    f ()
+    let v = f () in
+    Qs_obs.Histogram.record t.ctx.Ctx.stats.Stats.h_query_local
+      (Qs_obs.Clock.now_ns () - birth);
+    v
   end
   else begin
     (* Original rule (Fig. 10a): package the call, round-trip the result.
@@ -425,6 +465,7 @@ let query ?timeout t f =
     in
     t.logged <- t.logged + 1;
     Processor.admit t.proc;
+    let admit = admit_stamp t birth in
     let r = if use_flat t then alloc_flat t else no_flat in
     if r != no_flat then begin
       (* Flat round trip: the completion cell is embedded in the pooled
@@ -433,6 +474,8 @@ let query ?timeout t f =
       r.Request.tag <- Request.Query0;
       r.Request.cgen <- gen;
       r.Request.q0 <- (Obj.magic (f : unit -> _) : unit -> Obj.t);
+      r.Request.t_birth <- birth;
+      r.Request.t_admit <- admit;
       t.enqueue r.Request.self;
       await_cell ?timeout t r ~gen ~t0
     end
@@ -445,6 +488,9 @@ let query ?timeout t f =
              fail =
                (fun e bt ->
                  ignore (Qs_sched.Ivar.try_fill_error ~bt result e : bool));
+             kind = Request.K_query;
+             t_birth = birth;
+             t_admit = admit;
            });
       await_ivar ?timeout t result ~t0
     end
@@ -457,9 +503,13 @@ let query1 ?timeout t f x =
   | Some px ->
     Obj.obj (remote_query ?timeout t px (fun () -> Obj.repr (f x)))
   | None ->
+  let birth = Qs_obs.Clock.now_ns () in
   if t.ctx.Ctx.config.Config.client_query then begin
     sync ?timeout t;
-    f x
+    let v = f x in
+    Qs_obs.Histogram.record t.ctx.Ctx.stats.Stats.h_query_local
+      (Qs_obs.Clock.now_ns () - birth);
+    v
   end
   else begin
     Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.packaged_queries;
@@ -468,6 +518,7 @@ let query1 ?timeout t f x =
     in
     t.logged <- t.logged + 1;
     Processor.admit t.proc;
+    let admit = admit_stamp t birth in
     let r = if use_flat t then alloc_flat t else no_flat in
     if r != no_flat then begin
       let gen = Qs_sched.Cell.generation r.Request.cell in
@@ -475,6 +526,8 @@ let query1 ?timeout t f x =
       r.Request.cgen <- gen;
       r.Request.q1 <- (Obj.magic (f : _ -> _) : Obj.t -> Obj.t);
       r.Request.a1 <- Obj.repr x;
+      r.Request.t_birth <- birth;
+      r.Request.t_admit <- admit;
       t.enqueue r.Request.self;
       await_cell ?timeout t r ~gen ~t0
     end
@@ -487,6 +540,9 @@ let query1 ?timeout t f x =
              fail =
                (fun e bt ->
                  ignore (Qs_sched.Ivar.try_fill_error ~bt result e : bool));
+             kind = Request.K_query;
+             t_birth = birth;
+             t_admit = admit;
            });
       await_ivar ?timeout t result ~t0
     end
@@ -574,9 +630,12 @@ let query_async t f =
       Trace.record tr ~proc (Trace.Query_pipelined (Trace.now tr -. t0)))
   | None -> ());
   (match t.remote with
-  | Some _ -> () (* already shipped through the proxy *)
+  | Some _ -> () (* already shipped through the proxy, which stamps and
+                    records the wire round trip itself *)
   | None ->
+    let birth = Qs_obs.Clock.now_ns () in
     Processor.admit t.proc;
+    let admit = admit_stamp t birth in
     let r = if use_flat t then alloc_flat t else no_flat in
     if r != no_flat then begin
       (* Flat pipelined query: producer and promise stored inline; the
@@ -586,6 +645,8 @@ let query_async t f =
       r.Request.tag <- Request.Pipelined;
       r.Request.q0 <- (Obj.magic (f : unit -> _) : unit -> Obj.t);
       r.Request.pr <- Obj.repr promise;
+      r.Request.t_birth <- birth;
+      r.Request.t_admit <- admit;
       t.enqueue r.Request.self
     end
     else
@@ -601,6 +662,9 @@ let query_async t f =
                  | None -> ());
                  ignore
                    (Qs_sched.Promise.try_fulfill_error ~bt promise e : bool));
+             kind = Request.K_pipelined;
+             t_birth = birth;
+             t_admit = admit;
            }));
   promise
 

@@ -27,7 +27,10 @@ module SQ = Qs_remote.Socket_queue
 
 type pending =
   | Blocked of Obj.t Qs_sched.Ivar.t (* a blocking query's rendezvous *)
-  | Promised of Obj.t Qs_sched.Promise.t (* a pipelined query's promise *)
+  | Promised of { p : Obj.t Qs_sched.Promise.t; birth : int }
+      (* a pipelined query's promise, with its issue stamp (ns) so the
+         demultiplexer can fold the wire round trip into the remote
+         pipelined latency histogram at fulfilment *)
 
 type conn = {
   label : string; (* "unix:..." / "tcp:...", for errors and stats *)
@@ -91,7 +94,7 @@ let connection_lost conn =
     List.iter
       (function
         | Blocked iv -> ignore (Qs_sched.Ivar.try_fill_error ~bt iv e : bool)
-        | Promised p ->
+        | Promised { p; _ } ->
           ignore (Qs_sched.Promise.try_fulfill_error ~bt p e : bool))
       pend;
     List.iter
@@ -121,7 +124,10 @@ let handle conn = function
         p)
     with
     | Some (Blocked iv) -> ignore (Qs_sched.Ivar.try_fill iv v : bool)
-    | Some (Promised p) -> ignore (Qs_sched.Promise.try_fulfill p v : bool)
+    | Some (Promised { p; birth }) ->
+      Qs_obs.Histogram.record conn.stats.Stats.h_pipelined_remote
+        (Qs_obs.Clock.now_ns () - birth);
+      ignore (Qs_sched.Promise.try_fulfill p v : bool)
     | None -> () (* rendezvous abandoned (timed out) — drop the late result *))
   | Rfailed { qid; msg } -> (
     Qs_obs.Counter.incr conn.stats.Stats.remote_replies;
@@ -132,7 +138,10 @@ let handle conn = function
         p)
     with
     | Some (Blocked iv) -> ignore (Qs_sched.Ivar.try_fill_error iv e : bool)
-    | Some (Promised p) ->
+    | Some (Promised { p; birth }) ->
+      (* A failed round trip is still a completed one: fold it in. *)
+      Qs_obs.Histogram.record conn.stats.Stats.h_pipelined_remote
+        (Qs_obs.Clock.now_ns () - birth);
       ignore (Qs_sched.Promise.try_fulfill_error p e : bool)
     | None -> ())
   | Rsynced { sid } -> (
@@ -164,9 +173,6 @@ let rec demux conn =
 
 (* -- Per-registration proxy ----------------------------------------------- *)
 
-let ns_since t0 =
-  int_of_float ((Qs_sched.Timer.now () -. t0) *. 1e9)
-
 let open_reg conn ~proc =
   let reg = Atomic.fetch_and_add conn.next_reg 1 in
   let stats = conn.stats in
@@ -181,6 +187,10 @@ let open_reg conn ~proc =
   in
   let px_query ~timeout f =
     Qs_obs.Counter.incr stats.Stats.remote_requests;
+    (* Issue stamp *before* the wire write, so the recorded round trip
+       includes serialization and any transport backpressure — the
+       remote analogue of a local request's birth stamp. *)
+    let birth = Qs_obs.Clock.now_ns () in
     let qid = Atomic.fetch_and_add conn.next_qid 1 in
     let iv = Qs_sched.Ivar.create () in
     with_lock conn (fun () ->
@@ -190,13 +200,17 @@ let open_reg conn ~proc =
      with e ->
        with_lock conn (fun () -> Hashtbl.remove conn.pending qid);
        raise e);
-    let t0 = Qs_sched.Timer.now () in
     let outcome =
       match timeout with
       | None -> Some (Qs_sched.Ivar.result iv)
       | Some dt -> Qs_sched.Ivar.result_timeout iv dt
     in
-    Qs_obs.Counter.add stats.Stats.remote_rtt_ns (ns_since t0);
+    (* Completed round trips (including failed ones) fold into the
+       remote query histogram; timeouts abandon the rendezvous without
+       recording — the deadline is accounted separately. *)
+    if Option.is_some outcome then
+      Qs_obs.Histogram.record stats.Stats.h_query_remote
+        (Qs_obs.Clock.now_ns () - birth);
     match outcome with
     | Some (Ok v) -> v
     | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
@@ -209,6 +223,7 @@ let open_reg conn ~proc =
   in
   let px_query_async f ~on_force =
     Qs_obs.Counter.incr stats.Stats.remote_requests;
+    let birth = Qs_obs.Clock.now_ns () in
     let qid = Atomic.fetch_and_add conn.next_qid 1 in
     let p = Qs_sched.Promise.create ~on_force () in
     with_lock conn (fun () ->
@@ -217,7 +232,7 @@ let open_reg conn ~proc =
           (Qs_sched.Promise.try_fulfill_error p
              (Remote_proto.Connection_lost conn.label)
             : bool)
-      else Hashtbl.replace conn.pending qid (Promised p));
+      else Hashtbl.replace conn.pending qid (Promised { p; birth }));
     if not (Qs_sched.Promise.is_resolved p) then begin
       try send conn (Remote_proto.Rquery { reg; qid; f })
       with e ->
@@ -228,6 +243,7 @@ let open_reg conn ~proc =
   in
   let px_sync ~timeout =
     Qs_obs.Counter.incr stats.Stats.remote_requests;
+    let birth = Qs_obs.Clock.now_ns () in
     let sid = Atomic.fetch_and_add conn.next_sid 1 in
     let iv = Qs_sched.Ivar.create () in
     with_lock conn (fun () ->
@@ -237,13 +253,16 @@ let open_reg conn ~proc =
      with e ->
        with_lock conn (fun () -> Hashtbl.remove conn.syncs sid);
        raise e);
-    let t0 = Qs_sched.Timer.now () in
     let outcome =
       match timeout with
       | None -> Some (Qs_sched.Ivar.result iv)
       | Some dt -> Qs_sched.Ivar.result_timeout iv dt
     in
-    Qs_obs.Counter.add stats.Stats.remote_rtt_ns (ns_since t0);
+    (* Syncs are blocking remote round trips too: same histogram as
+       remote queries (this pair replaced the summed [remote_rtt_ns]). *)
+    if Option.is_some outcome then
+      Qs_obs.Histogram.record stats.Stats.h_query_remote
+        (Qs_obs.Clock.now_ns () - birth);
     match outcome with
     | Some (Ok ()) -> ()
     | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt

@@ -35,9 +35,19 @@
    the modified query rule of §3.2.  [End] is the end-of-private-queue
    marker appended when a separate block closes. *)
 
+(* Request class, for routing a completed request's latency into the
+   per-class histogram.  Packaged blocking queries are enqueued as
+   [Call] blocks (the closure fills the client's ivar), so the
+   constructor alone cannot distinguish a call from a blocking query —
+   the kind can. *)
+type kind = K_call | K_query | K_pipelined
+
 type packaged = {
   run : unit -> unit;
   fail : exn -> Printexc.raw_backtrace -> unit;
+  kind : kind;
+  mutable t_birth : int;  (* ns stamp at client issue (Clock.now_ns) *)
+  mutable t_admit : int;  (* ns stamp after backpressure admission *)
 }
 
 type tag =
@@ -70,6 +80,10 @@ type flat = {
   mutable slot : int;
       (* index in the owning processor's pool slot array, or -1 for a
          record allocated on a pool miss (recycled to the GC instead) *)
+  mutable t_birth : int;
+      (* ns stamp at client issue; immediate int, so stamping a pooled
+         (major-heap) record never triggers a write barrier *)
+  mutable t_admit : int;  (* ns stamp after backpressure admission *)
 }
 
 and t =
@@ -102,6 +116,8 @@ let make_flat () =
       fail_to = nofail;
       self = End;
       slot = -1;
+      t_birth = 0;
+      t_admit = 0;
     }
   in
   r.self <- Flat r;
@@ -140,6 +156,9 @@ let reset_flat r =
   | Pipelined ->
     r.q0 <- dq0;
     r.pr <- unit_obj);
+  (* Immediate ints: clearing costs two plain stores, never a barrier. *)
+  r.t_birth <- 0;
+  r.t_admit <- 0;
   r.tag <- Free
 
 let pp_tag ppf = function

@@ -23,9 +23,18 @@
     protocol; [End] the end-of-registration marker a client appends
     when its separate block closes. *)
 
+type kind = K_call | K_query | K_pipelined
+(** Request class for per-class latency accounting.  Packaged blocking
+    queries ship as [Call] blocks (the closure fills the client's
+    ivar), so the constructor alone cannot tell a call from a blocking
+    query — the kind can. *)
+
 type packaged = {
   run : unit -> unit;
   fail : exn -> Printexc.raw_backtrace -> unit;
+  kind : kind;
+  mutable t_birth : int;  (** ns stamp at client issue *)
+  mutable t_admit : int;  (** ns stamp after backpressure admission *)
 }
 
 type tag = Free | Call0 | Call1 | Query0 | Query1 | Pipelined
@@ -44,6 +53,8 @@ type flat = {
   mutable fail_to : exn -> Printexc.raw_backtrace -> unit;
   mutable self : t;
   mutable slot : int;
+  mutable t_birth : int;
+  mutable t_admit : int;
 }
 
 and t =

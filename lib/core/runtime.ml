@@ -10,26 +10,6 @@ type t = {
          shard map (processor id mod connection count) *)
 }
 
-(* Legacy per-run overrides, kept as thin deprecated wrappers over the
-   [Config.with_*] builders (the builder chain is the supported way to
-   derive a configuration; these labels only survive so existing callers
-   keep compiling).  Each simply applies the matching builder, which
-   performs the validation the runtime used to do here. *)
-let opt f v config = match v with Some v -> f v config | None -> config
-
-let override ?mailbox ?batch ?spsc ?deadline ?bound ?overflow ?pools ?pool
-    ?pooling config =
-  config
-  |> opt Config.with_mailbox mailbox
-  |> opt Config.with_batch batch
-  |> opt Config.with_spsc spsc
-  |> opt Config.with_deadline deadline
-  |> opt Config.with_bound bound
-  |> opt Config.with_overflow overflow
-  |> opt Config.with_pools pools
-  |> opt Config.with_pool pool
-  |> opt Config.with_pooling pooling
-
 (* [obs] wins over [trace]: both enable tracing, but [obs] lets the
    caller supply the sink (e.g. the one already attached to the
    scheduler) so every layer's events land in the same rings. *)
@@ -38,12 +18,7 @@ let resolve_sink ?obs ~trace () =
   | Some _ as s -> s
   | None -> if trace then Some (Qs_obs.Sink.create ()) else None
 
-let create ?(config = Config.all) ?mailbox ?batch ?spsc ?deadline ?bound
-    ?overflow ?pools ?pool ?pooling ?trace ?obs () =
-  let config =
-    override ?mailbox ?batch ?spsc ?deadline ?bound ?overflow ?pools ?pool
-      ?pooling config
-  in
+let create ?(config = Config.all) ?trace ?obs () =
   let trace =
     match trace with Some t -> t | None -> config.Config.trace
   in
@@ -190,15 +165,8 @@ let separate_when ?timeout t proc ~pred body =
 let separate_list_when ?timeout t procs ~pred body =
   Separate.many_when ?timeout t.ctx procs ~pred body
 
-let run ?(domains = 1) ?(config = Config.all) ?mailbox ?batch ?spsc ?deadline
-    ?bound ?overflow ?pools ?pool ?pooling ?grace ?trace ?obs
-    ?on_stall ?on_counters main =
-  (* Resolve the config up front: the scheduler needs the pool topology
-     before the runtime exists. *)
-  let config =
-    override ?mailbox ?batch ?spsc ?deadline ?bound ?overflow ?pools ?pool
-      ?pooling config
-  in
+let run ?(domains = 1) ?(config = Config.all) ?grace ?trace ?obs ?on_stall
+    ?on_counters main =
   let trace =
     match trace with Some t -> t | None -> config.Config.trace
   in

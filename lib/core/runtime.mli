@@ -12,62 +12,28 @@
 
 type t
 
-val create :
-  ?config:Config.t ->
-  ?mailbox:[ `Qoq | `Direct ] ->
-  ?batch:int ->
-  ?spsc:[ `Linked | `Ring ] ->
-  ?deadline:float ->
-  ?bound:int ->
-  ?overflow:[ `Block | `Fail | `Shed_oldest ] ->
-  ?pools:string list ->
-  ?pool:string ->
-  ?pooling:bool ->
-  ?trace:bool ->
-  ?obs:Qs_obs.Sink.t ->
-  unit ->
-  t
+val create : ?config:Config.t -> ?trace:bool -> ?obs:Qs_obs.Sink.t -> unit -> t
 (** Create a runtime inside an already-running scheduler.  [config]
-    defaults to {!Config.all} (the full SCOOP/Qs runtime); [mailbox],
-    [batch] and [spsc] override the corresponding request-path fields of
-    [config] (see {!Config.t}); [deadline], [bound] and [overflow]
-    override the time-awareness fields ([deadline] sets
-    [default_deadline], the implicit [?timeout] of blocking queries and
-    syncs; [bound]/[overflow] configure bounded mailboxes — see
-    {!Config.t}); [pools]/[pool] override the scheduler-pool topology
-    fields (note that [create] does not make scheduler pools — only
-    {!run} does; an unknown [pool] fails at {!processor} time);
-    [pooling] overrides [Config.pooling] — [~pooling:false] forces the
-    packaged-closure request path everywhere (debugging / differential
-    testing); [trace]
-    enables detailed event tracing (see {!Trace}) over a fresh private
-    sink (default: [config.trace]), while [obs] (which implies [trace])
-    supplies the sink — pass the sink already attached to the scheduler
-    to get all layers' events in one place.
-
-    The non-[config] optional labels are {e deprecated} thin wrappers
-    over the {!Config.with_*} builders; prefer
+    defaults to {!Config.all} (the full SCOOP/Qs runtime); derive
+    variations with the builder chain, e.g.
     [~config:Config.(all |> with_batch 8 |> with_deadline 0.5)].
+    [trace] enables detailed event tracing (see {!Trace}) over a fresh
+    private sink (default: [config.trace]), while [obs] (which implies
+    [trace]) supplies the sink — pass the sink already attached to the
+    scheduler to get all layers' events in one place.
+
+    Note that [create] does not make scheduler pools — only {!run} does;
+    an unknown [Config.pool] fails at {!processor} time.
 
     With [config.endpoint = Connect addrs] (see {!Config.remote}), the
     runtime connects to those nodes up front and every subsequent
     {!processor} is a client-side proxy whose handler runs remotely —
     in that case [create] must be called inside a running scheduler
-    (as {!run} arranges).
-    @raise Invalid_argument if [batch < 1]. *)
+    (as {!run} arranges). *)
 
 val run :
   ?domains:int ->
   ?config:Config.t ->
-  ?mailbox:[ `Qoq | `Direct ] ->
-  ?batch:int ->
-  ?spsc:[ `Linked | `Ring ] ->
-  ?deadline:float ->
-  ?bound:int ->
-  ?overflow:[ `Block | `Fail | `Shed_oldest ] ->
-  ?pools:string list ->
-  ?pool:string ->
-  ?pooling:bool ->
   ?grace:float ->
   ?trace:bool ->
   ?obs:Qs_obs.Sink.t ->
@@ -80,8 +46,8 @@ val run :
     [main] returns.  A deadlocked program raises {!Qs_sched.Sched.Stalled}
     (see paper §2.5).
 
-    [pools] (or [config.pools]) names extra scheduler pools for this run
-    (see [Qs_sched.Sched.run]); [pool] (or [config.pool]) pins every
+    [config.pools] names extra scheduler pools for this run (see
+    [Qs_sched.Sched.run]); [config.pool] pins every
     processor created without an explicit [?pool] to that pool.  The
     shutdown on return drains every pool: stream closes propagate to
     pinned handlers wherever they run, and their exit latches are awaited

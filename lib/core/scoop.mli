@@ -93,15 +93,6 @@ exception Connection_lost of string
 val run :
   ?domains:int ->
   ?config:Config.t ->
-  ?mailbox:[ `Qoq | `Direct ] ->
-  ?batch:int ->
-  ?spsc:[ `Linked | `Ring ] ->
-  ?deadline:float ->
-  ?bound:int ->
-  ?overflow:[ `Block | `Fail | `Shed_oldest ] ->
-  ?pools:string list ->
-  ?pool:string ->
-  ?pooling:bool ->
   ?grace:float ->
   ?trace:bool ->
   ?obs:Qs_obs.Sink.t ->

@@ -42,8 +42,23 @@ type t = {
   shed_requests : Qs_obs.Counter.t; (* requests refused or shed by backpressure *)
   remote_requests : Qs_obs.Counter.t; (* calls/queries/syncs shipped to a node *)
   remote_replies : Qs_obs.Counter.t; (* completions received from a node *)
-  remote_rtt_ns : Qs_obs.Counter.t; (* summed blocking remote round-trip time *)
   remote_failures : Qs_obs.Counter.t; (* lost connections and wire-level errors *)
+  (* Latency distributions (ns).  One registry per runtime, mirroring
+     the counter registry: registered here in a fixed order so every
+     export (bench JSON, Chrome trace, [qs] subcommands) sees the same
+     snapshot shape.  The six per-class histograms measure birth (client
+     issue) to completion (handler done / reply demuxed); the two
+     cross-class ones split the local pipeline into queueing
+     (admitted -> served) and execution (served -> done). *)
+  hist : Qs_obs.Histogram.registry;
+  h_call_local : Qs_obs.Histogram.t; (* async call: birth -> handler done *)
+  h_query_local : Qs_obs.Histogram.t; (* blocking query: birth -> result *)
+  h_pipelined_local : Qs_obs.Histogram.t; (* pipelined: birth -> fulfilment *)
+  h_call_remote : Qs_obs.Histogram.t; (* remote call: birth -> wire handoff *)
+  h_query_remote : Qs_obs.Histogram.t; (* remote query/sync round-trip time *)
+  h_pipelined_remote : Qs_obs.Histogram.t; (* remote pipelined: issue -> reply *)
+  h_queue_wait : Qs_obs.Histogram.t; (* local: admitted -> served *)
+  h_exec : Qs_obs.Histogram.t; (* local: served -> done *)
 }
 
 let create () =
@@ -87,8 +102,17 @@ let create () =
   let shed_requests = c "shed_requests" in
   let remote_requests = c "remote_requests" in
   let remote_replies = c "remote_replies" in
-  let remote_rtt_ns = c "remote_rtt_ns" in
   let remote_failures = c "remote_failures" in
+  let hist = Qs_obs.Histogram.registry () in
+  let hg name = Qs_obs.Histogram.make hist name in
+  let h_call_local = hg "call_local_ns" in
+  let h_query_local = hg "query_local_ns" in
+  let h_pipelined_local = hg "pipelined_local_ns" in
+  let h_call_remote = hg "call_remote_ns" in
+  let h_query_remote = hg "query_remote_ns" in
+  let h_pipelined_remote = hg "pipelined_remote_ns" in
+  let h_queue_wait = hg "queue_wait_ns" in
+  let h_exec = hg "exec_ns" in
   {
     registry;
     processors;
@@ -122,12 +146,22 @@ let create () =
     shed_requests;
     remote_requests;
     remote_replies;
-    remote_rtt_ns;
     remote_failures;
+    hist;
+    h_call_local;
+    h_query_local;
+    h_pipelined_local;
+    h_call_remote;
+    h_query_remote;
+    h_pipelined_remote;
+    h_queue_wait;
+    h_exec;
   }
 
 let registry t = t.registry
 let assoc t = Qs_obs.Counter.snapshot t.registry
+let histograms t = t.hist
+let hist_assoc t = Qs_obs.Histogram.snapshot t.hist
 
 type snapshot = {
   s_processors : int;
@@ -161,7 +195,6 @@ type snapshot = {
   s_shed_requests : int;
   s_remote_requests : int;
   s_remote_replies : int;
-  s_remote_rtt_ns : int;
   s_remote_failures : int;
 }
 
@@ -199,7 +232,6 @@ let snapshot t =
     s_shed_requests = g t.shed_requests;
     s_remote_requests = g t.remote_requests;
     s_remote_replies = g t.remote_replies;
-    s_remote_rtt_ns = g t.remote_rtt_ns;
     s_remote_failures = g t.remote_failures;
   }
 
@@ -240,7 +272,6 @@ let diff later earlier =
     s_shed_requests = later.s_shed_requests - earlier.s_shed_requests;
     s_remote_requests = later.s_remote_requests - earlier.s_remote_requests;
     s_remote_replies = later.s_remote_replies - earlier.s_remote_replies;
-    s_remote_rtt_ns = later.s_remote_rtt_ns - earlier.s_remote_rtt_ns;
     s_remote_failures = later.s_remote_failures - earlier.s_remote_failures;
   }
 

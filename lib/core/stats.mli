@@ -72,11 +72,30 @@ type t = {
       (** calls, queries and syncs shipped over a node connection *)
   remote_replies : Qs_obs.Counter.t;
       (** typed completions received back from a node *)
-  remote_rtt_ns : Qs_obs.Counter.t;
-      (** summed wall-clock nanoseconds of blocking remote round trips
-          (queries and syncs); divide by their count for the mean RTT *)
   remote_failures : Qs_obs.Counter.t;
       (** lost connections and wire-level protocol errors *)
+  hist : Qs_obs.Histogram.registry;
+      (** latency distributions (ns), one registry per runtime — the
+          histogram sibling of [registry] *)
+  h_call_local : Qs_obs.Histogram.t;
+      (** local asynchronous call: client issue to handler completion *)
+  h_query_local : Qs_obs.Histogram.t;
+      (** local blocking query (any flavour): issue to result *)
+  h_pipelined_local : Qs_obs.Histogram.t;
+      (** local pipelined query: issue to promise fulfilment *)
+  h_call_remote : Qs_obs.Histogram.t;
+      (** remote asynchronous call: issue to wire handoff (fire and
+          forget — the reply carries no completion to time against) *)
+  h_query_remote : Qs_obs.Histogram.t;
+      (** remote blocking round trips (queries {e and} syncs): issue to
+          demuxed reply — the distribution that replaced the old summed
+          [remote_rtt_ns] counter *)
+  h_pipelined_remote : Qs_obs.Histogram.t;
+      (** remote pipelined query: issue to reply-driven fulfilment *)
+  h_queue_wait : Qs_obs.Histogram.t;
+      (** local requests: admission to the start of handler service *)
+  h_exec : Qs_obs.Histogram.t;
+      (** local requests: handler service start to completion *)
 }
 
 val create : unit -> t
@@ -85,6 +104,12 @@ val registry : t -> Qs_obs.Counter.registry
 val assoc : t -> Qs_obs.Counter.snapshot
 (** Name→value snapshot of every registered counter (registration
     order); the machine-readable sibling of {!snapshot}. *)
+
+val histograms : t -> Qs_obs.Histogram.registry
+
+val hist_assoc : t -> Qs_obs.Histogram.snapshot
+(** Name→distribution snapshot of every latency histogram
+    (registration order), for the bench JSON and trace exports. *)
 
 type snapshot = {
   s_processors : int;
@@ -118,7 +143,6 @@ type snapshot = {
   s_shed_requests : int;
   s_remote_requests : int;
   s_remote_replies : int;
-  s_remote_rtt_ns : int;
   s_remote_failures : int;
 }
 

@@ -1,0 +1,74 @@
+(** Open-loop load generator for the SCOOP runtime.
+
+    Simulates [clients] independent clients issuing a mixed
+    call/query/[query_async] workload against [handlers] processors at a
+    target aggregate arrival rate.  Arrivals are scheduled on the clock
+    (Poisson or bursty, deterministic per seed); latency is measured from
+    each request's {e intended} arrival time, so backlog during overload
+    is charged to the requests that suffered it instead of being silently
+    dropped from the record (no coordinated omission). *)
+
+type arrivals =
+  | Poisson  (** exponential inter-arrival gaps at the per-client rate *)
+  | Bursty of int
+      (** groups of [n] simultaneous arrivals, groups spaced to meet the
+          same average rate *)
+
+type spec = {
+  rate : float;  (** target aggregate arrivals per second (all clients) *)
+  clients : int;  (** simulated client fibers, each with its own RNG *)
+  handlers : int;  (** handler processors receiving the traffic *)
+  duration : float;  (** seconds of open-loop issue (excludes drain) *)
+  arrivals : arrivals;
+  service_us : float;  (** busy-work burned per request on the handler *)
+  mix : int * int * int;  (** weights: call, blocking query, query_async *)
+  seed : int;  (** root seed; client [c] uses [[| seed; c |]] *)
+}
+
+val default : spec
+(** 500/s, 8 clients, 2 handlers, 2 s, Poisson, 50 us service, mix
+    (1, 1, 2), seed 42.  Override fields with [{ default with ... }]. *)
+
+(** One measured operating point. *)
+type point = {
+  p_rate : float;  (** target rate of this run *)
+  p_issued : int;  (** requests actually issued *)
+  p_measured : int;  (** completions with a recorded latency sample *)
+  p_achieved : float;  (** completions per second over [duration] *)
+  p_p50_ns : int;
+  p_p99_ns : int;
+  p_p999_ns : int;
+  p_max_ns : int;
+  p_mean_ns : float;
+  p_sheds : int;  (** runtime [shed_requests] during the run *)
+  p_timeouts : int;  (** client-observed {!Scoop.Timeout} raises *)
+  p_failures : int;  (** client-observed overload/poison raises *)
+  p_queue_p99_ns : int;  (** handler-side admitted-to-served p99 *)
+  p_exec_p99_ns : int;  (** handler-side served-to-done p99 *)
+}
+
+val in_slo : ?deadline:float -> point -> bool
+(** No sheds, timeouts or failures — and, when [deadline] (seconds) is
+    given, client p99 at or under it. *)
+
+val run_point : ?domains:int -> ?config:Scoop.Config.t -> spec -> point
+(** Run one operating point on a fresh runtime (so back-to-back points
+    never share queue state).  [config] defaults to {!Scoop.Config.qoq};
+    pass a config with a deadline/bound/overflow policy to exercise
+    admission control.  Blocks until issue and a bounded drain finish. *)
+
+val sweep :
+  ?domains:int -> ?config:Scoop.Config.t -> spec -> rates:float list ->
+  point list
+(** [run_point] per rate, in order, each on a fresh runtime. *)
+
+val knee : ?deadline:float -> point list -> float option * float option
+(** [(highest in-SLO rate, lowest out-of-SLO rate)] over a sweep. *)
+
+val point_json : ?deadline:float -> point -> Qs_obs.Json.t
+
+val report_json :
+  ?deadline:float -> ?domains:int -> spec -> point list -> Qs_obs.Json.t
+(** The [BENCH_load.json] document: [{suite; config; points}]. *)
+
+val pp_point : ?deadline:float -> Format.formatter -> point -> unit

@@ -55,11 +55,23 @@ let metadata_json pids cat =
       "args" @: Json.Obj [ "name" @: Json.String cat ];
     ]
 
-let to_json ?(counters = []) sink =
+let to_json ?(counters = []) ?(histograms = []) sink =
   let events = Sink.events sink in
   let pids, cats = pids events in
   let trace_events =
     List.map (metadata_json pids) cats @ List.map (event_json pids) events
+  in
+  (* Latency distributions ride along as quantile summaries: the trace
+     viewer ignores them, but one file then carries both the event
+     timeline and the per-class latency shape of the same run. *)
+  let hist_json =
+    match histograms with
+    | [] -> []
+    | hs ->
+      [
+        "histograms"
+        @: Json.Obj (List.map (fun (n, d) -> n @: Histogram.summary_json d) hs);
+      ]
   in
   Json.Obj
     [
@@ -71,10 +83,12 @@ let to_json ?(counters = []) sink =
               "recordedEvents" @: Json.Int (Sink.recorded sink);
               "droppedEvents" @: Json.Int (Sink.dropped sink);
             ]
-           @ List.map (fun (name, v) -> name @: Json.Int v) counters);
+           @ List.map (fun (name, v) -> name @: Json.Int v) counters
+           @ hist_json);
     ]
 
-let to_string ?counters sink = Json.to_string (to_json ?counters sink)
+let to_string ?counters ?histograms sink =
+  Json.to_string (to_json ?counters ?histograms sink)
 
-let write_file ?counters sink file =
-  Json.write_file file (to_json ?counters sink)
+let write_file ?counters ?histograms sink file =
+  Json.write_file file (to_json ?counters ?histograms sink)

@@ -4,8 +4,25 @@
     Each event category (layer) becomes one process group, each track a
     thread within it; spans export as complete events ("ph":"X"),
     instants as "ph":"i".  Optional [counters] (e.g. a
-    {!Counter.snapshot}) are embedded under ["otherData"]. *)
+    {!Counter.snapshot}) are embedded under ["otherData"], and optional
+    [histograms] (e.g. a {!Histogram.snapshot}) as quantile summaries
+    under ["otherData"]["histograms"]. *)
 
-val to_json : ?counters:(string * int) list -> Sink.t -> Json.t
-val to_string : ?counters:(string * int) list -> Sink.t -> string
-val write_file : ?counters:(string * int) list -> Sink.t -> string -> unit
+val to_json :
+  ?counters:(string * int) list ->
+  ?histograms:(string * Histogram.dist) list ->
+  Sink.t ->
+  Json.t
+
+val to_string :
+  ?counters:(string * int) list ->
+  ?histograms:(string * Histogram.dist) list ->
+  Sink.t ->
+  string
+
+val write_file :
+  ?counters:(string * int) list ->
+  ?histograms:(string * Histogram.dist) list ->
+  Sink.t ->
+  string ->
+  unit

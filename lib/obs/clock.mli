@@ -1,0 +1,15 @@
+(** Monotonic integer-nanosecond clock for latency stamps.
+
+    {!now_ns} reads CLOCK_MONOTONIC through a [@@noalloc] C stub: no
+    allocation per read (unlike the boxed float of [Unix.gettimeofday]),
+    and differences are never negative.  The absolute value is
+    nanoseconds since an arbitrary epoch (boot) — only differences are
+    meaningful. *)
+
+val now_ns : unit -> int
+
+val ns_of_s : float -> int
+(** Seconds → nanoseconds (for deadlines expressed as [float] config). *)
+
+val s_of_ns : int -> float
+(** Nanoseconds → seconds. *)

@@ -1,0 +1,19 @@
+/* Monotonic nanosecond clock for latency stamps.
+
+   The request hot path stamps birth/admitted/served/completed times on
+   every request, so the clock read must (a) never allocate — a boxed
+   float return from Unix.gettimeofday would put ~3 minor words back on
+   the zero-allocation pooled path — and (b) be monotonic, so a latency
+   is never negative across an NTP step.  CLOCK_MONOTONIC nanoseconds
+   since boot fit comfortably in a 63-bit OCaml int (~146 years), so the
+   stub returns an immediate value and is [@@noalloc]. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value qs_obs_clock_now_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

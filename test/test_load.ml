@@ -1,0 +1,160 @@
+(* Tests for the open-loop load generator: deterministic arrival
+   schedules, latency accounting from intended arrival, SLO
+   classification, knee location and the BENCH_load.json document. *)
+
+module L = Qs_load.Load_gen
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A tame spec: far below single-core capacity, so every request must
+   complete and the point must sit inside any reasonable SLO. *)
+let tame =
+  {
+    L.default with
+    L.rate = 200.;
+    clients = 4;
+    handlers = 2;
+    duration = 0.3;
+    service_us = 20.;
+  }
+
+let test_tame_point_in_slo () =
+  let p = L.run_point tame in
+  check_bool "issued some traffic" true (p.L.p_issued > 10);
+  check_int "every request completed" p.L.p_issued p.L.p_measured;
+  check_int "no sheds" 0 p.L.p_sheds;
+  check_int "no timeouts" 0 p.L.p_timeouts;
+  check_int "no failures" 0 p.L.p_failures;
+  check_bool "achieved rate positive" true (p.L.p_achieved > 0.);
+  check_bool "quantiles ordered" true
+    (p.L.p_p50_ns <= p.L.p_p99_ns
+    && p.L.p_p99_ns <= p.L.p_p999_ns
+    && p.L.p_p999_ns <= p.L.p_max_ns);
+  check_bool "in SLO with a generous deadline" true
+    (L.in_slo ~deadline:5.0 p);
+  check_bool "handler-side histograms populated" true
+    (p.L.p_queue_p99_ns > 0 && p.L.p_exec_p99_ns > 0)
+
+let test_deterministic_arrivals () =
+  (* Same seed, same spec: the arrival schedule (and so the issue count)
+     is reproducible; a different seed draws a different schedule. *)
+  let a = L.run_point tame in
+  let b = L.run_point tame in
+  check_int "same seed, same issue count" a.L.p_issued b.L.p_issued;
+  let c = L.run_point { tame with L.seed = 43 } in
+  check_bool "different seed still issues" true (c.L.p_issued > 10)
+
+let test_bursty_arrivals () =
+  let p = L.run_point { tame with L.arrivals = L.Bursty 8 } in
+  check_bool "bursty issues about rate*duration" true
+    (abs (p.L.p_issued - 60) <= 24);
+  check_int "bursty completes everything" p.L.p_issued p.L.p_measured
+
+let test_overload_degrades () =
+  (* Offered work of 2x the core's capacity cannot meet a 5 ms SLO:
+     latency from intended arrival grows with the backlog.  This is the
+     coordinated-omission guarantee — a closed-loop harness would report
+     a healthy p99 here by silently slowing its own arrivals. *)
+  let p =
+    L.run_point
+      {
+        tame with
+        L.rate = 2000.;
+        duration = 0.4;
+        service_us = 1000.;
+        mix = (1, 1, 2);
+      }
+  in
+  check_bool "p99 beyond the deadline" true (p.L.p_p99_ns > 5_000_000);
+  check_bool "classified out of SLO" false (L.in_slo ~deadline:0.005 p)
+
+let test_knee () =
+  let point rate p99_ms sheds =
+    {
+      L.p_rate = rate;
+      p_issued = 100;
+      p_measured = 100 - sheds;
+      p_achieved = rate;
+      p_p50_ns = 1_000_000;
+      p_p99_ns = int_of_float (p99_ms *. 1e6);
+      p_p999_ns = int_of_float (p99_ms *. 1e6);
+      p_max_ns = int_of_float (p99_ms *. 1e6);
+      p_mean_ns = 1e6;
+      p_sheds = sheds;
+      p_timeouts = 0;
+      p_failures = 0;
+      p_queue_p99_ns = 0;
+      p_exec_p99_ns = 0;
+    }
+  in
+  let points =
+    [ point 100. 2. 0; point 200. 4. 0; point 400. 80. 0; point 800. 200. 5 ]
+  in
+  (match L.knee ~deadline:0.05 points with
+  | Some ok, Some bad ->
+    check_bool "highest in-SLO rate" true (ok = 200.);
+    check_bool "first degrading rate" true (bad = 400.)
+  | _ -> Alcotest.fail "expected a knee on both sides");
+  (match L.knee ~deadline:0.05 [ point 100. 2. 0 ] with
+  | Some _, None -> ()
+  | _ -> Alcotest.fail "all-in-SLO sweep has no degrading side");
+  match L.knee ~deadline:0.001 [ point 100. 2. 0 ] with
+  | None, Some _ -> ()
+  | _ -> Alcotest.fail "all-out-of-SLO sweep has no healthy side"
+
+let test_report_json_schema () =
+  let p = L.run_point tame in
+  let doc = L.report_json ~deadline:0.05 ~domains:1 tame [ p ] in
+  let s = Qs_obs.Json.to_string doc in
+  List.iter
+    (fun needle ->
+      let nl = String.length needle and sl = String.length s in
+      let rec go i =
+        i + nl <= sl && (String.sub s i nl = needle || go (i + 1))
+      in
+      check_bool (needle ^ " present") true (go 0))
+    [
+      "\"suite\":\"qs-load\"";
+      "\"config\":";
+      "\"arrivals\":\"poisson\"";
+      "\"deadline_s\":0.05";
+      "\"points\":";
+      "\"rate\":";
+      "\"p99_ns\":";
+      "\"p999_ns\":";
+      "\"shed_requests\":";
+      "\"timeouts\":";
+      "\"in_slo\":";
+    ]
+
+let test_invalid_specs_rejected () =
+  List.iter
+    (fun spec ->
+      match L.run_point spec with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument")
+    [
+      { tame with L.rate = 0. };
+      { tame with L.clients = 0 };
+      { tame with L.handlers = 0 };
+    ]
+
+let () =
+  Alcotest.run "qs_load"
+    [
+      ( "open-loop generator",
+        [
+          Alcotest.test_case "tame point in SLO" `Quick test_tame_point_in_slo;
+          Alcotest.test_case "deterministic arrivals" `Quick
+            test_deterministic_arrivals;
+          Alcotest.test_case "bursty arrivals" `Quick test_bursty_arrivals;
+          Alcotest.test_case "overload degrades latency" `Quick
+            test_overload_degrades;
+          Alcotest.test_case "knee location" `Quick test_knee;
+          Alcotest.test_case "report json schema" `Quick
+            test_report_json_schema;
+          Alcotest.test_case "invalid specs rejected" `Quick
+            test_invalid_specs_rejected;
+        ] );
+    ]

@@ -62,6 +62,176 @@ let test_counter_multi_domain () =
   List.iter Domain.join ds;
   check_int "no lost increments" (per * domains) (Counter.get c)
 
+(* -- histograms -------------------------------------------------------------- *)
+
+module H = Qs_obs.Histogram
+
+let test_histogram_basics () =
+  let r = H.registry () in
+  let lat = H.make r "lat" in
+  let other = H.make r "other" in
+  List.iter (H.record lat) [ 0; 1; 31; 32; 1000; 1_000_000 ];
+  H.record other 5;
+  let d = H.dist r "lat" in
+  check_int "total" 6 d.H.total;
+  check_int "sum" (0 + 1 + 31 + 32 + 1000 + 1_000_000) d.H.sum;
+  check_int "no overflow" 0 d.H.overflow;
+  (* Exact region: values below [sub_count] land in their own bucket. *)
+  check_int "p50 within a bucket" (H.bound_of_index (H.index_of 31))
+    (H.quantile d 0.5);
+  check_int "q=1 bounds the max" (H.bound_of_index (H.index_of 1_000_000))
+    (H.quantile d 1.0);
+  check_bool "registration order" true
+    (List.map fst (H.snapshot r) = [ "lat"; "other" ]);
+  (* Empty and edge inputs answer, not raise. *)
+  check_int "empty quantile" 0 (H.quantile H.zero 0.99);
+  check_float "empty mean" 0.0 (H.mean H.zero)
+
+let test_histogram_duplicate_rejected () =
+  let r = H.registry () in
+  let _h = H.make r "dup" in
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Qs_obs.Histogram.make: duplicate histogram dup")
+    (fun () -> ignore (H.make r "dup" : H.t))
+
+let test_histogram_overflow_and_clamp () =
+  let r = H.registry () in
+  let h = H.make r "edge" in
+  H.record h (-5);
+  H.record h H.max_value;
+  H.record h (H.max_value + 1);
+  H.record h max_int;
+  let d = H.dist r "edge" in
+  check_int "negatives clamp into bucket 0" 1 d.H.counts.(0);
+  check_int "max_value still bucketed" 1 d.H.counts.(H.index_of H.max_value);
+  check_int "beyond max_value counted as overflow" 2 d.H.overflow;
+  check_int "overflow outside total" 2 d.H.total
+
+let test_bucket_roundtrip () =
+  (* Every value must fall inside its bucket's bounds, and the inclusive
+     upper bound must map back to the same bucket. *)
+  let check_v v =
+    let i = H.index_of v in
+    let hi = H.bound_of_index i in
+    check_bool (Printf.sprintf "v=%d within bound" v) true (v <= hi);
+    check_int (Printf.sprintf "bound of %d in same bucket" v) i (H.index_of hi);
+    check_bool
+      (Printf.sprintf "relative error at %d" v)
+      true
+      (hi - v <= max 1 (v / H.sub_count * 2))
+  in
+  for v = 0 to 4096 do
+    check_v v
+  done;
+  let st = Random.State.make [| 7 |] in
+  for _ = 1 to 10_000 do
+    check_v (Random.State.full_int st H.max_value)
+  done;
+  check_v H.max_value;
+  check_int "last bucket is the top" (H.buckets - 1) (H.index_of H.max_value)
+
+(* Build a dist by recording into a scratch registry. *)
+let dist_of_values vs =
+  let r = H.registry () in
+  let h = H.make r "x" in
+  List.iter (H.record h) vs;
+  H.dist r "x"
+
+let dist_equal a b =
+  a.H.counts = b.H.counts && a.H.total = b.H.total && a.H.sum = b.H.sum
+  && a.H.overflow = b.H.overflow
+
+let value_gen =
+  (* Mix magnitudes so both the exact and the log-linear regions get
+     exercised, plus the occasional overflow. *)
+  QCheck2.Gen.(
+    oneof
+      [
+        int_bound (H.sub_count - 1);
+        int_bound 100_000;
+        map (fun v -> v * 1_000_000) (int_bound 4_000_000);
+        return (H.max_value + 1);
+      ])
+
+let prop_merge_assoc_comm =
+  QCheck2.Test.make ~count:200
+    ~name:"histogram merge is associative and commutative"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_bound 50) value_gen)
+        (list_size (int_bound 50) value_gen)
+        (list_size (int_bound 50) value_gen))
+    (fun (xs, ys, zs) ->
+      let a = dist_of_values xs
+      and b = dist_of_values ys
+      and c = dist_of_values zs in
+      dist_equal (H.merge a (H.merge b c)) (H.merge (H.merge a b) c)
+      && dist_equal (H.merge a b) (H.merge b a)
+      && dist_equal (H.merge a H.zero) a
+      (* ...and merging partitions equals recording everything at once. *)
+      && dist_equal (H.merge a (H.merge b c))
+           (dist_of_values (xs @ ys @ zs)))
+
+let prop_quantile_vs_oracle =
+  QCheck2.Test.make ~count:200
+    ~name:"quantiles match the exact oracle within one bucket"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 200)
+           (oneof [ int_bound (H.sub_count - 1); int_bound 50_000_000 ]))
+        (oneofl [ 0.5; 0.9; 0.99; 0.999; 1.0 ]))
+    (fun (vs, q) ->
+      let d = dist_of_values vs in
+      let sorted = List.sort Int.compare vs in
+      let n = List.length sorted in
+      let rank =
+        Int.max 1 (Int.min n (int_of_float (Float.ceil (q *. float_of_int n))))
+      in
+      let exact = List.nth sorted (rank - 1) in
+      let est = H.quantile d q in
+      (* The estimate is the inclusive upper bound of the exact value's
+         bucket: never below it, high by at most one bucket width. *)
+      est >= exact && est - exact <= Int.max 1 (exact / H.sub_count * 2))
+
+let test_histogram_multi_domain () =
+  (* Concurrent recording with snapshots racing the writers: the final
+     quiesced read accounts for every sample (total + overflow), and no
+     racy mid-snapshot can exceed what was ever recorded. *)
+  let r = H.registry () in
+  let h = H.make r "race" in
+  let per = 25_000 and domains = 4 in
+  let mid_over = Atomic.make false in
+  let writers =
+    List.init domains (fun d ->
+      Domain.spawn (fun () ->
+        let st = Random.State.make [| d |] in
+        for _ = 1 to per do
+          let v =
+            if Random.State.int st 100 = 0 then H.max_value + 1
+            else Random.State.int st 1_000_000
+          in
+          H.record h v
+        done))
+  in
+  let reader =
+    Domain.spawn (fun () ->
+      for _ = 1 to 50 do
+        let d = H.read h in
+        if d.H.total + d.H.overflow > per * domains then
+          Atomic.set mid_over true;
+        Domain.cpu_relax ()
+      done)
+  in
+  List.iter Domain.join writers;
+  Domain.join reader;
+  let d = H.read h in
+  check_int "quiesced read is exact" (per * domains)
+    (d.H.total + d.H.overflow);
+  check_bool "overflow present" true (d.H.overflow > 0);
+  check_int "counts sum to total" d.H.total
+    (Array.fold_left ( + ) 0 d.H.counts);
+  check_bool "no mid-snapshot overcount" false (Atomic.get mid_over)
+
 (* -- event rings ------------------------------------------------------------- *)
 
 let test_sink_retains_below_capacity () =
@@ -309,6 +479,19 @@ let () =
           Alcotest.test_case "diff" `Quick test_counter_diff;
           Alcotest.test_case "multi-domain increments" `Quick
             test_counter_multi_domain;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "basics" `Quick test_histogram_basics;
+          Alcotest.test_case "duplicate rejected" `Quick
+            test_histogram_duplicate_rejected;
+          Alcotest.test_case "overflow and clamp" `Quick
+            test_histogram_overflow_and_clamp;
+          Alcotest.test_case "bucket roundtrip" `Quick test_bucket_roundtrip;
+          QCheck_alcotest.to_alcotest prop_merge_assoc_comm;
+          QCheck_alcotest.to_alcotest prop_quantile_vs_oracle;
+          Alcotest.test_case "multi-domain record vs snapshot" `Quick
+            test_histogram_multi_domain;
         ] );
       ( "event rings",
         [

@@ -254,7 +254,9 @@ let test_mailbox_batch_equivalence () =
       List.iter
         (fun batch ->
           let final =
-            R.run ~domains:2 ~mailbox ~batch (fun rt ->
+            R.run ~domains:2
+              ~config:Cfg.(all |> with_mailbox mailbox |> with_batch batch)
+              (fun rt ->
               let account = R.processor rt in
               let balance = Sh.create account (ref initial) in
               let latch = Latch.create tellers in
@@ -282,7 +284,7 @@ let test_mailbox_batch_equivalence () =
    batch 1 reproduces the old one-request-per-park loop exactly. *)
 let test_mean_batch () =
   let run ~batch =
-    R.run ~domains:2 ~config:Cfg.qoq ~batch (fun rt ->
+    R.run ~domains:2 ~config:Cfg.(qoq |> with_batch batch) (fun rt ->
       let buffer = R.processor rt in
       let queue = Sh.create buffer (Queue.create ()) in
       let producers = 4 and per = 100 in
@@ -324,7 +326,7 @@ let test_mean_batch () =
    under sync elision a synced client executes query closures itself, on
    the client's own pool; only calls are guaranteed handler-side.) *)
 let test_processor_pool_pinning () =
-  R.run ~domains:2 ~pools:[ "hot" ] (fun rt ->
+  R.run ~domains:2 ~config:Cfg.(all |> with_pools [ "hot" ]) (fun rt ->
     let pinned = R.processor ~pool:"hot" rt in
     let free = R.processor rt in
     let cell = Sh.create pinned (ref []) in
@@ -343,10 +345,12 @@ let test_processor_pool_pinning () =
     in
     Alcotest.(check string) "unpinned handler in default" "default" seen_free)
 
-(* [Config.pool] (or [run ~pool]) pins every processor created without an
-   explicit [?pool]; an explicit [?pool] still wins. *)
+(* [Config.pool] pins every processor created without an explicit
+   [?pool]; an explicit [?pool] still wins. *)
 let test_default_pool_pinning () =
-  R.run ~pools:[ "svc"; "aux" ] ~pool:"svc" (fun rt ->
+  R.run
+    ~config:Cfg.(all |> with_pools [ "svc"; "aux" ] |> with_pool "svc")
+    (fun rt ->
     let implicit = R.processor rt in
     let explicit = R.processor ~pool:"aux" rt in
     let a = Sh.create implicit (ref "") in
@@ -374,7 +378,12 @@ let test_pools_equivalence () =
   let tellers = 4 and deposits = 150 and initial = 100 in
   let expected = initial + (tellers * deposits) in
   let run ~pools ~pool =
-    R.run ~domains:2 ~config:Cfg.all ?pools ?pool (fun rt ->
+    let config =
+      Cfg.all
+      |> (match pools with Some ps -> Cfg.with_pools ps | None -> Fun.id)
+      |> match pool with Some p -> Cfg.with_pool p | None -> Fun.id
+    in
+    R.run ~domains:2 ~config (fun rt ->
       let account = R.processor rt in
       let balance = Sh.create account (ref initial) in
       let latch = Latch.create tellers in
@@ -753,7 +762,7 @@ let test_failing_query_reraises config mailbox =
   (* A raising blocking query re-raises the original exception on the
      client — under both query flavours — and, having a rendezvous, does
      not poison the registration. *)
-  R.run ~config ~mailbox (fun rt ->
+  R.run ~config:(Cfg.with_mailbox mailbox config) (fun rt ->
     let h = R.processor rt in
     let cell = Sh.create h (ref 0) in
     R.separate rt h (fun reg ->
@@ -767,7 +776,7 @@ let test_failing_call_poisons config mailbox =
   (* A raising asynchronous call poisons the registration: the failure
      surfaces at the next sync point, later operations fail at issue, and
      the block exit re-raises; the handler itself survives. *)
-  R.run ~config ~mailbox (fun rt ->
+  R.run ~config:(Cfg.with_mailbox mailbox config) (fun rt ->
     let h = R.processor rt in
     let cell = Sh.create h (ref 0) in
     let at_exit = ref false in
@@ -792,7 +801,7 @@ let test_failing_call_poisons config mailbox =
 let test_failing_query_async_rejects config mailbox =
   (* A raising pipelined query rejects its promise; forcing re-raises on
      the client and the registration stays clean. *)
-  R.run ~config ~mailbox (fun rt ->
+  R.run ~config:(Cfg.with_mailbox mailbox config) (fun rt ->
     let h = R.processor rt in
     let cell = Sh.create h (ref 0) in
     R.separate rt h (fun reg ->
@@ -889,7 +898,7 @@ let test_failure_counters () =
    and both mailboxes. *)
 let test_wedged_query_timeout config mailbox =
   let dt =
-    R.run ~config ~mailbox (fun rt ->
+    R.run ~config:(Cfg.with_mailbox mailbox config) (fun rt ->
       let h = R.processor rt in
       R.separate rt h (fun reg ->
         Reg.call reg (fun () -> S.sleep 0.4);
@@ -924,8 +933,8 @@ let test_timeout_does_not_poison () =
     check_int "no poisoning" 0 s.Scoop.Stats.s_poisoned_registrations)
 
 let test_default_deadline () =
-  (* [~deadline] makes every blocking query implicitly timed. *)
-  R.run ~deadline:0.05 (fun rt ->
+  (* [with_deadline] makes every blocking query implicitly timed. *)
+  R.run ~config:Cfg.(all |> with_deadline 0.05) (fun rt ->
     let h = R.processor rt in
     R.separate rt h (fun reg ->
       Reg.call reg (fun () -> S.sleep 0.2);
@@ -966,7 +975,7 @@ let test_lock_reservation_timeout () =
   (* Lock mode: a reservation against a held handler lock times out, the
      timed-out waiter is skipped by the FIFO hand-off, and a later
      reservation still succeeds. *)
-  R.run ~mailbox:`Direct (fun rt ->
+  R.run ~config:Cfg.(all |> with_mailbox `Direct) (fun rt ->
     let h = R.processor rt in
     let entered = Ivar.create () in
     S.spawn (fun () ->
@@ -1011,7 +1020,7 @@ let test_backpressure_block () =
   (* [`Block] admission: clients yield at the bound until the handler
      drains, so everything completes — even on one domain, where the
      admission loop must hand the domain to the handler fiber. *)
-  R.run ~bound:2 ~overflow:`Block (fun rt ->
+  R.run ~config:Cfg.(all |> with_bound 2 |> with_overflow `Block) (fun rt ->
     let h = R.processor rt in
     let r = ref 0 in
     let cell = Sh.create h r in
@@ -1027,7 +1036,7 @@ let test_backpressure_fail () =
   (* [`Fail] admission: the bound refuses the third in-flight call at
      issue with [Scoop.Overloaded]. *)
   let s =
-    R.run ~bound:2 ~overflow:`Fail (fun rt ->
+    R.run ~config:Cfg.(all |> with_bound 2 |> with_overflow `Fail) (fun rt ->
       let h = R.processor rt in
       let r = ref 0 in
       let cell = Sh.create h r in
@@ -1050,7 +1059,9 @@ let test_backpressure_shed_oldest () =
      pending request; the shed calls fail with [Overloaded], which
      poisons the registration like any failed call. *)
   let s =
-    R.run ~bound:2 ~overflow:`Shed_oldest (fun rt ->
+    R.run
+      ~config:Cfg.(all |> with_bound 2 |> with_overflow `Shed_oldest)
+      (fun rt ->
       let h = R.processor rt in
       let r = ref 0 in
       let cell = Sh.create h r in
@@ -1257,7 +1268,7 @@ let prop_generous_timeout_equiv config mailbox =
     (fun clients ->
       let ok = Atomic.make true in
       let expect_or_fail v expect = if v <> expect then Atomic.set ok false in
-      R.run ~domains:2 ~config ~mailbox (fun rt ->
+      R.run ~domains:2 ~config:(Cfg.with_mailbox mailbox config) (fun rt ->
         let latch = Latch.create (List.length clients) in
         List.iter
           (fun ops ->
@@ -1302,7 +1313,7 @@ let prop_generous_timeout_equiv config mailbox =
    Returns the observable outcome — final balance plus every query
    result — so pooled and unpooled runs can be compared bit for bit. *)
 let flat_workload ~pooling config =
-  R.run ~domains:2 ~config ~pooling (fun rt ->
+  R.run ~domains:2 ~config:(Cfg.with_pooling pooling config) (fun rt ->
     let h = R.processor rt in
     let r = ref 0 in
     let results = ref [] in
@@ -1342,7 +1353,7 @@ let test_pool_recycles config =
      once and falling back forever. *)
   if config.Cfg.pooling then begin
     let s =
-      R.run ~config ~pooling:true (fun rt ->
+      R.run ~config:(Cfg.with_pooling true config) (fun rt ->
         let h = R.processor rt in
         let r = ref 0 in
         R.separate rt h (fun reg ->
@@ -1365,7 +1376,7 @@ let test_pool_miss_falls_back config =
   if config.Cfg.pooling then begin
     let n = 2_000 in
     let total, s =
-      R.run ~config ~pooling:true (fun rt ->
+      R.run ~config:(Cfg.with_pooling true config) (fun rt ->
         let h = R.processor rt in
         let r = ref 0 in
         let total =
@@ -1389,7 +1400,7 @@ let test_flat_timeout_recovers config =
      on the client fiber, which would self-deadlock on the gate). *)
   if config.Cfg.pooling && not config.Cfg.client_query then begin
     let after =
-      R.run ~domains:2 ~config ~pooling:true (fun rt ->
+      R.run ~domains:2 ~config:(Cfg.with_pooling true config) (fun rt ->
         let h = R.processor rt in
         let gate = Atomic.make false in
         let r = ref 0 in
@@ -1440,7 +1451,7 @@ let test_pooling_knob_off () =
   (* Config.pooling=false (or the per-run override) must disable the
      flat path entirely. *)
   let s =
-    R.run ~config:Cfg.qoq ~pooling:false (fun rt ->
+    R.run ~config:Cfg.(qoq |> with_pooling false) (fun rt ->
       let h = R.processor rt in
       let r = ref 0 in
       R.separate rt h (fun reg ->
@@ -1533,16 +1544,20 @@ let test_pp_endpoint () =
   check_bool "node configs print the listen address" true
     (str (Cfg.node (Cfg.Tcp ("h", 1234))) = "node@listen:tcp:h:1234")
 
-let test_deprecated_labels_still_work () =
-  (* The old optional-argument sprawl survives as thin wrappers over the
-     builders: passing labels must behave exactly like the chain. *)
-  R.run ~config:Cfg.qoq ~batch:3 ~mailbox:`Direct ~bound:32 ~overflow:`Fail
+let test_config_builder_chain () =
+  (* The builder chain is the one way to derive a configuration: the
+     runtime must run with exactly the chained fields. *)
+  R.run
+    ~config:
+      Cfg.(
+        qoq |> with_batch 3 |> with_mailbox `Direct |> with_bound 32
+        |> with_overflow `Fail)
     (fun rt ->
       let c = R.config rt in
-      check_int "batch label" 3 c.Cfg.batch;
-      check_bool "mailbox label" true (c.Cfg.mailbox = `Direct);
-      check_int "bound label" 32 c.Cfg.bound;
-      check_bool "overflow label" true (c.Cfg.overflow = `Fail))
+      check_int "batch" 3 c.Cfg.batch;
+      check_bool "mailbox" true (c.Cfg.mailbox = `Direct);
+      check_int "bound" 32 c.Cfg.bound;
+      check_bool "overflow" true (c.Cfg.overflow = `Fail))
 
 let () =
   let qc = QCheck_alcotest.to_alcotest in
@@ -1613,8 +1628,8 @@ let () =
             test_addr_string_round_trip;
           Alcotest.test_case "by_name remote forms" `Quick test_by_name_remote;
           Alcotest.test_case "pp endpoint" `Quick test_pp_endpoint;
-          Alcotest.test_case "deprecated labels" `Quick
-            test_deprecated_labels_still_work;
+          Alcotest.test_case "config builder chain" `Quick
+            test_config_builder_chain;
         ] );
       ( "instrumentation",
         [
