@@ -724,61 +724,67 @@ let allocation_probe (s : H.scale) =
 
 (* -- trace conformance probe ------------------------------------------------- *)
 
-(* Run the elision workload traced and replay the recorded SCOOP events
-   through the conformance automaton of the operational semantics
-   (Qs_semantics.Replay): the handler never executes a call before it
-   was logged, and every dynamically elided sync happened in the synced
-   state (a round trip established the drained log and nothing was
-   logged since).  This is the evidence that the pooled fast path and
-   the handler-side elision preserve the reasoning rules. *)
+(* Run the elision workload traced — with several concurrent clients —
+   and replay the recorded SCOOP events through the conformance
+   automaton of the operational semantics (via Qs_conform, which
+   partitions the merged stream per registration before checking): the
+   handler never executes a call before it was logged, and every
+   dynamically elided sync happened in the synced state (a round trip
+   established the drained log and nothing was logged since).  This is
+   the evidence that the pooled fast path and the handler-side elision
+   preserve the reasoning rules.
+
+   The partitioning matters: this probe used to feed the merged
+   multi-client stream straight into Qs_semantics.Replay, whose
+   automaton is only sound per single-client stream — under concurrency
+   the interleaved log watermarks made the check vacuous at best. *)
 let conformance_probe (s : H.scale) =
   print_newline ();
   print_endline
-    "trace conformance: elision workload replayed through the semantics \
-     automaton";
+    "trace conformance: concurrent elision workload replayed through the \
+     semantics automaton (per-registration partitions)";
   print_endline (String.make 72 '-');
   let sink = Qs_obs.Sink.create () in
   let rounds = max 50 (s.H.m / 8) in
+  let clients = 4 in
   let elided =
     Scoop.Runtime.run ~domains:2 ~obs:sink (fun rt ->
       let h = Scoop.Runtime.processor rt in
       let r = ref 0 in
-      let total = ref 0 in
-      for _ = 1 to rounds do
-        Scoop.Runtime.separate rt h (fun reg ->
-          Scoop.Registration.call reg (fun () -> incr r);
-          let p = Scoop.Registration.query_async reg (fun () -> !r) in
-          total := !total + Scoop.Promise.await p)
+      let latch = Qs_sched.Latch.create clients in
+      for _ = 1 to clients do
+        Qs_sched.Sched.spawn (fun () ->
+          for _ = 1 to rounds do
+            Scoop.Runtime.separate rt h (fun reg ->
+              Scoop.Registration.call reg (fun () -> incr r);
+              let p = Scoop.Registration.query_async reg (fun () -> !r) in
+              ignore (Scoop.Promise.await p : int))
+          done;
+          Qs_sched.Latch.count_down latch)
       done;
+      Qs_sched.Latch.wait latch;
       let snap = Scoop.Stats.snapshot (Scoop.Runtime.stats rt) in
-      assert (!total = rounds * (rounds + 1) / 2);
+      assert (!r = clients * rounds);
       snap.Scoop.Stats.s_syncs_elided)
   in
-  let module R = Qs_semantics.Replay in
-  let events =
-    List.filter_map
-      (fun (e : Scoop.Trace.event) ->
-        let p = e.Scoop.Trace.proc in
-        match e.Scoop.Trace.kind with
-        | Scoop.Trace.Reserved -> Some (R.Reserved p)
-        | Scoop.Trace.Call_logged -> Some (R.Logged p)
-        | Scoop.Trace.Call_executed _ -> Some (R.Executed p)
-        | Scoop.Trace.Sync_round_trip _ | Scoop.Trace.Query_round_trip _ ->
-          Some (R.Synced p)
-        | Scoop.Trace.Query_pipelined _ -> Some (R.Pipelined p)
-        | Scoop.Trace.Sync_elided -> Some (R.Elided p)
-        | Scoop.Trace.Handler_failed | Scoop.Trace.Registration_poisoned
-        | Scoop.Trace.Promise_rejected ->
-          None)
-      (Scoop.Trace.events (Scoop.Trace.of_sink sink))
-  in
-  let violations = R.check_all events in
-  Printf.printf "%d traced events, %d syncs elided, %d violations\n"
-    (List.length events) elided (List.length violations);
-  List.iter
-    (fun v -> Format.printf "  VIOLATION: %a@." R.pp_violation v)
-    violations;
-  (List.length events, elided, List.length violations)
+  match Qs_conform.check_trace (Scoop.Trace.of_sink sink) with
+  | Error e ->
+    Format.printf "  UNCHECKABLE: %a@." Qs_conform.pp_error e;
+    (0, elided, 1)
+  | Ok report ->
+    Printf.printf
+      "%d traced events across %d registration streams, %d syncs elided, %d \
+       violations\n"
+      report.Qs_conform.events
+      (List.length report.Qs_conform.streams)
+      elided
+      (List.length report.Qs_conform.violations);
+    List.iter
+      (fun v -> Format.printf "  VIOLATION: %a@." Qs_conform.pp_violation v)
+      report.Qs_conform.violations;
+    ( report.Qs_conform.events,
+      elided,
+      List.length report.Qs_conform.violations )
 
 (* -- Bechamel micro-suite: one Test.make per table ------------------------- *)
 

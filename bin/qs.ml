@@ -47,6 +47,9 @@ let programs =
     ("fig6-queries-outer", Qs_semantics.Examples.fig6_queries_outer);
     ("fail-call", Qs_semantics.Examples.fail_call);
     ("fail-call-no-sync", Qs_semantics.Examples.fail_call_no_sync);
+    ("timeout-call", Qs_semantics.Examples.timeout_call);
+    ("shed-overload", Qs_semantics.Examples.shed_overload);
+    ("poison-probe", Qs_semantics.Examples.poison_probe);
   ]
 
 let modes =
@@ -56,7 +59,7 @@ let modes =
     ("original", Qs_semantics.Step.original);
   ]
 
-let explore name mode_name =
+let explore name mode_name with_reduced max_runs =
   let program = List.assoc name programs in
   let mode = List.assoc mode_name modes in
   let module E = Qs_semantics.Explore in
@@ -71,18 +74,67 @@ let explore name mode_name =
     Format.printf "  a deadlocked configuration:@.%a@." Qs_semantics.State.pp d
   | [] -> ());
   let traces, truncated =
-    E.observable_traces mode program
+    E.observable_traces ?max_runs mode program
       ~filter:(E.on_handler Qs_semantics.Examples.x)
   in
   Printf.printf "  distinct action orders on handler x: %d%s\n"
     (List.length traces)
     (if truncated then " (truncated)" else "");
   List.iter (fun tr -> Printf.printf "    [%s]\n" (String.concat "; " tr)) traces;
-  let violation, runs, _ = Qs_semantics.Guarantees.check_program mode program in
-  (match violation with
-  | None -> Printf.printf "  guarantee 2 holds over %d complete runs\n" runs
+  let report = Qs_semantics.Guarantees.check_program ?max_runs mode program in
+  (match report.Qs_semantics.Guarantees.violation with
+  | None ->
+    Printf.printf "  guarantee 2 holds over %d complete runs%s\n"
+      report.Qs_semantics.Guarantees.runs
+      (if report.Qs_semantics.Guarantees.truncated then
+         " (TRUNCATED: not exhaustive)"
+       else "")
   | Some (_, v) ->
-    Format.printf "  GUARANTEE VIOLATION: %a@." Qs_semantics.Guarantees.pp_violation v)
+    Format.printf "  GUARANTEE VIOLATION: %a@." Qs_semantics.Guarantees.pp_violation v);
+  if with_reduced then begin
+    let runs_reduced, rstats = E.reduced ?max_runs mode program in
+    let reduced_traces =
+      E.observable_of_runs runs_reduced
+        ~filter:(E.on_handler Qs_semantics.Examples.x)
+    in
+    let exhaustive = (not rstats.E.truncated) && not truncated in
+    Printf.printf "  DPOR-reduced search: %d states (unreduced BFS: %d)%s\n"
+      rstats.E.states stats.E.states
+      (if rstats.E.truncated then " (truncated)" else "");
+    Printf.printf "  reduced deadlock states: %d\n"
+      (List.length rstats.E.deadlocks);
+    if reduced_traces = traces then
+      Printf.printf
+        "  observable traces agree between reduced and unreduced search \
+         (%d traces%s)\n"
+        (List.length traces)
+        (if exhaustive then "" else "; both enumerations truncated")
+    else if exhaustive then begin
+      Printf.printf
+        "  OBSERVABLE-TRACE MISMATCH: reduced search found %d traces, \
+         unreduced %d\n"
+        (List.length reduced_traces) (List.length traces);
+      exit 1
+    end
+    else
+      Printf.printf
+        "  observable-trace comparison inconclusive under truncated \
+         budgets (reduced %d, unreduced %d)\n"
+        (List.length reduced_traces) (List.length traces);
+    if
+      (not rstats.E.truncated)
+      && (List.length rstats.E.deadlocks > 0)
+         <> (List.length stats.E.deadlocks > 0)
+    then begin
+      Printf.printf
+        "  DEADLOCK DISAGREEMENT between reduced and unreduced search\n";
+      exit 1
+    end;
+    if rstats.E.states < stats.E.states then
+      Printf.printf "  reduction: %d of %d states pruned\n"
+        (stats.E.states - rstats.E.states)
+        stats.E.states
+  end
 
 (* -- syncopt ---------------------------------------------------------------- *)
 
@@ -512,6 +564,193 @@ let trace_run name out domains mailbox batch =
       "wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n"
       path
 
+(* -- check -------------------------------------------------------------------- *)
+
+(* Traced conformance scenarios for `qs check`: each runs a small
+   workload under tracing and then replays the recorded event rings
+   through the conformance automaton of the operational semantics
+   (Qs_conform partitions the merged stream per registration before
+   handing each partition to Qs_semantics.Replay).  The scenarios
+   deliberately cover the failure vocabulary — timeouts, shed requests,
+   poisoned registrations — not just the happy path. *)
+
+let check_basic rt =
+  (* Concurrent clients over two handlers: asynchronous calls, blocking
+     queries, pipelined queries, and the dynamic sync elision those
+     produce.  Several client fibers per handler is the point — the
+     merged ring interleaves their watermarks, which is exactly what the
+     per-registration partitioning must untangle. *)
+  let a = Scoop.Runtime.processor rt in
+  let b = Scoop.Runtime.processor rt in
+  let ca = Scoop.Shared.create a (ref 0) in
+  let cb = Scoop.Shared.create b (ref 0) in
+  let clients = 3 and rounds = 25 in
+  let latch = Qs_sched.Latch.create clients in
+  for _ = 1 to clients do
+    Qs_sched.Sched.spawn (fun () ->
+      for i = 1 to rounds do
+        Scoop.Runtime.separate rt a (fun reg ->
+          Scoop.Shared.apply reg ca incr;
+          if i mod 5 = 0 then
+            ignore (Scoop.Shared.get reg ca (fun r -> !r) : int));
+        Scoop.Runtime.separate rt b (fun reg ->
+          Scoop.Shared.apply reg cb incr;
+          let p = Scoop.Registration.query_async reg (fun () -> 0) in
+          ignore (Scoop.Promise.await p : int))
+      done;
+      Qs_sched.Latch.count_down latch)
+  done;
+  Qs_sched.Latch.wait latch
+
+let check_timeout rt =
+  (* A deliberately wedged handler: the bounded query abandons its
+     rendezvous (a TimedOut event — a no-op on the automaton, the log
+     stays intact) and the same registration then recovers with an
+     unbounded query after the slow call drains. *)
+  let h = Scoop.Runtime.processor rt in
+  let r = ref 0 in
+  Scoop.Runtime.separate rt h (fun reg ->
+    Scoop.Registration.call reg (fun () ->
+      Qs_sched.Sched.sleep 0.15;
+      incr r);
+    (match Scoop.Registration.query ~timeout:0.02 reg (fun () -> !r) with
+    | _ -> failwith "wedged query must time out"
+    | exception Scoop.Timeout -> ());
+    if Scoop.Registration.query reg (fun () -> !r) <> 1 then
+      failwith "recovery query must observe the slow call")
+
+let check_shed rt =
+  (* Overflow a bounded handler under [`Shed_oldest]: the wedge call
+     holds the handler while the flood crosses the bound, so the oldest
+     pending calls are shed (Shed events, attributed to this
+     registration) and the poison surfaces as [Overloaded] at the sync
+     point. *)
+  let h = Scoop.Runtime.processor rt in
+  let r = ref 0 in
+  let surfaced = ref false in
+  (try
+     Scoop.Runtime.separate rt h (fun reg ->
+       Scoop.Registration.call reg (fun () -> Qs_sched.Sched.sleep 0.05);
+       for _ = 1 to 6 do
+         Scoop.Registration.call reg (fun () -> incr r)
+       done;
+       match Scoop.Registration.query reg (fun () -> !r) with
+       | _ -> ()
+       | exception Scoop.Handler_failure (_, Scoop.Overloaded _) ->
+         surfaced := true)
+   with Scoop.Handler_failure (_, Scoop.Overloaded _) -> surfaced := true);
+  if not !surfaced then
+    print_endline
+      "  note: flood drained without shedding (fast handler); trace still \
+       checked"
+
+let check_poison rt =
+  (* A raising asynchronous call poisons its registration; the next sync
+     point surfaces [Handler_failure].  The Poisoned event marks the
+     stream dirty — from here an elided sync would be a violation, and
+     the runtime indeed never elides across the poison.  The handler
+     itself survives for the next registration. *)
+  let h = Scoop.Runtime.processor rt in
+  let cell = Scoop.Shared.create h (ref 0) in
+  (try
+     Scoop.Runtime.separate rt h (fun reg ->
+       Scoop.Registration.call reg (fun () -> failwith "check: call fault");
+       ignore (Scoop.Shared.get reg cell (fun r -> !r) : int));
+     failwith "poisoned sync must raise Handler_failure"
+   with Scoop.Handler_failure _ -> ());
+  let v =
+    Scoop.Runtime.separate rt h (fun reg ->
+      Scoop.Shared.apply reg cell incr;
+      Scoop.Shared.get reg cell (fun r -> !r))
+  in
+  if v <> 1 then failwith "handler must survive the poisoned registration"
+
+let check_scenarios =
+  [
+    ( "basic",
+      (check_basic, Scoop.Config.all, "concurrent calls/queries/elisions") );
+    ( "timeout",
+      (check_timeout, Scoop.Config.all, "wedged query abandons its rendezvous")
+    );
+    ( "shed",
+      ( check_shed,
+        Scoop.Config.(all |> with_bound 2 |> with_overflow `Shed_oldest),
+        "bounded handler sheds oldest under overflow" ) );
+    ( "poison",
+      (check_poison, Scoop.Config.all, "failed call poisons the registration")
+    );
+  ]
+
+let check_run only break_flag domains =
+  let scenarios =
+    match only with
+    | None -> check_scenarios
+    | Some n -> [ (n, List.assoc n check_scenarios) ]
+  in
+  let failures = ref 0 in
+  let injected_caught = ref 0 in
+  List.iter
+    (fun (name, (workload, config, blurb)) ->
+      Printf.printf "== %s: %s ==\n%!" name blurb;
+      let sink = Qs_obs.Sink.create () in
+      Scoop.Runtime.run ~domains ~config ~obs:sink (fun rt -> workload rt);
+      let tr = Scoop.Trace.of_sink sink in
+      (match Qs_conform.check_trace tr with
+      | Error e ->
+        incr failures;
+        Format.printf "  UNCHECKABLE: %a@." Qs_conform.pp_error e
+      | Ok report ->
+        Format.printf "  @[<v>%a@]@." Qs_conform.pp_report report;
+        if report.Qs_conform.violations <> [] then incr failures
+        else if break_flag then begin
+          (* Negative control: hand-break the trace by appending an
+             execution the client never logged, on a stream that really
+             exists, and insist the checker notices. *)
+          match report.Qs_conform.streams with
+          | [] -> ()
+          | s :: _ ->
+            Scoop.Trace.record tr ~proc:s.Qs_conform.st_proc
+              ~client:s.Qs_conform.st_client
+              (Scoop.Trace.Call_executed 0.);
+            (match Qs_conform.check_trace tr with
+            | Ok broken when broken.Qs_conform.violations <> [] ->
+              incr injected_caught;
+              Format.printf
+                "  injected phantom execution caught: %a@."
+                Qs_conform.pp_violation
+                (List.hd broken.Qs_conform.violations)
+            | Ok _ ->
+              incr failures;
+              print_endline
+                "  BROKEN TRACE NOT DETECTED: injected phantom execution \
+                 passed the checker"
+            | Error e ->
+              incr failures;
+              Format.printf "  UNCHECKABLE after injection: %a@."
+                Qs_conform.pp_error e)
+        end);
+      print_newline ())
+    scenarios;
+  if !failures > 0 then begin
+    Printf.printf "qs check: FAILED (%d scenario(s) with violations)\n"
+      !failures;
+    exit 1
+  end;
+  if break_flag then
+    if !injected_caught = List.length scenarios then
+      Printf.printf
+        "qs check: ok — %d scenario(s) conform, all injected breaks caught\n"
+        (List.length scenarios)
+    else begin
+      Printf.printf
+        "qs check: FAILED — only %d of %d injected breaks caught\n"
+        !injected_caught (List.length scenarios);
+      exit 1
+    end
+  else
+    Printf.printf "qs check: ok — %d scenario(s), 0 violations\n"
+      (List.length scenarios)
+
 (* -- node / remote ------------------------------------------------------------ *)
 
 let parse_addr s =
@@ -782,9 +1021,27 @@ let explore_cmd =
       & opt (enum (List.map (fun (n, _) -> (n, n)) modes)) "qs"
       & info [ "semantics" ] ~doc:"Rule set: qs, qs-client-exec or original.")
   in
+  let reduced =
+    Arg.(
+      value & flag
+      & info [ "reduced" ]
+          ~doc:
+            "Also run the DPOR-reduced search and cross-check it against \
+             the unreduced enumeration (exits non-zero on disagreement).")
+  in
+  let max_runs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-runs" ] ~docv:"N"
+          ~doc:
+            "Run-enumeration budget for the trace, guarantee and DPOR \
+             searches (default $(b,100000)); raise it until no \
+             enumeration reports truncation for an exhaustive verdict.")
+  in
   Cmd.v
     (Cmd.info "explore" ~doc:"Exhaustively explore a paper example program")
-    Term.(const explore $ prog $ mode)
+    Term.(const explore $ prog $ mode $ reduced $ max_runs)
 
 let syncopt_cmd =
   let kernel =
@@ -928,6 +1185,36 @@ let trace_cmd =
          "Run a traced example and print the merged per-processor / \
           per-worker observability summary")
     Term.(const trace_run $ example $ out $ domains $ mailbox $ batch)
+
+let check_cmd =
+  let scenario =
+    Arg.(
+      value
+      & pos 0
+          (some (enum (List.map (fun (n, _) -> (n, n)) check_scenarios)))
+          None
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            "Run only one scenario: $(b,basic), $(b,timeout), $(b,shed) or \
+             $(b,poison).  Default: all of them.")
+  in
+  let break_flag =
+    Arg.(
+      value & flag
+      & info [ "break" ]
+          ~doc:
+            "Negative control: after each conforming run, append a phantom \
+             execution to the recorded trace and fail unless the checker \
+             reports it as a violation.")
+  in
+  let domains = Arg.(value & opt int 2 & info [ "domains" ] ~docv:"N") in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run traced workloads (including timeout, shed and poison \
+          scenarios) and replay the event rings through the semantics' \
+          conformance automaton; non-zero exit on any violation")
+    Term.(const check_run $ scenario $ break_flag $ domains)
 
 let node_cmd =
   let addr =
@@ -1096,6 +1383,7 @@ let () =
             demo_cmd;
             faults_cmd;
             trace_cmd;
+            check_cmd;
             node_cmd;
             remote_cmd;
             serve_cmd;

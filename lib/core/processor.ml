@@ -521,21 +521,39 @@ let rec take_debt t =
    client's registration (the dirty-processor rule — load shedding is a
    failure the client must observe); for a Query it rejects the promise. *)
 let shed t req =
+  (* The shed event carries the request's registration id (arg) so a
+     conformance checker can attribute it to the client whose logged
+     slot it consumed.  Call sheds and query sheds are distinct events:
+     only a call shed consumes a logged slot and poisons the
+     registration — a query shed merely rejects the rendezvous, which
+     the awaiting client observes directly as [Overloaded]. *)
+  let trace_shed name reg =
+    match t.sink with
+    | Some s -> Qs_obs.Sink.instant s ~cat:"core" ~name ~track:t.id ~arg:reg ()
+    | None -> ()
+  in
   match req with
-  | (Request.Call pk | Request.Query pk) as r ->
+  | Request.Call pk as r ->
     Qs_obs.Counter.incr t.stats.Stats.shed_requests;
-    (match t.sink with
-    | Some s -> Qs_obs.Sink.instant s ~cat:"core" ~name:"shed" ~track:t.id ()
-    | None -> ());
+    trace_shed "shed" pk.Request.reg;
+    let bt = Printexc.get_callstack 0 in
+    (try pk.Request.fail (Overloaded t.id) bt with e -> log_failure t r e)
+  | Request.Query pk as r ->
+    Qs_obs.Counter.incr t.stats.Stats.shed_requests;
+    trace_shed "shed_query" pk.Request.reg;
     let bt = Printexc.get_callstack 0 in
     (try pk.Request.fail (Overloaded t.id) bt with e -> log_failure t r e)
   | Request.Flat r ->
     Qs_obs.Counter.incr t.stats.Stats.shed_requests;
-    (match t.sink with
-    | Some s -> Qs_obs.Sink.instant s ~cat:"core" ~name:"shed" ~track:t.id ()
-    | None -> ());
-    let bt = Printexc.get_callstack 0 in
+    (* Captured before the fail: failing a blocking query wakes the
+       client, which may recycle (and zero) the record concurrently. *)
+    let reg = r.Request.reg in
     let tag = r.Request.tag in
+    (match tag with
+    | Request.Query0 | Request.Query1 | Request.Pipelined ->
+      trace_shed "shed_query" reg
+    | _ -> trace_shed "shed" reg);
+    let bt = Printexc.get_callstack 0 in
     fail_flat t req r (Overloaded t.id) bt;
     (match tag with
     | Request.Query0 | Request.Query1 -> ()

@@ -31,7 +31,15 @@ let () =
            (Printexc.to_string e))
     | _ -> None)
 
+(* Registration ids: a process-global counter starting at 1, so [0] can
+   mean "unattributed" in trace events.  Every trace event a registration
+   emits (and every request it enqueues) carries this id, which is what
+   lets conformance checking partition a merged multi-client event stream
+   back into per-registration streams. *)
+let next_rid = Atomic.make 1
+
 type t = {
+  rid : int; (* unique id of this registration, for event attribution *)
   proc : Processor.t;
   ctx : Ctx.t;
   enqueue : Request.t -> unit;
@@ -58,6 +66,7 @@ type t = {
 }
 
 let processor t = t.proc
+let rid t = t.rid
 let is_synced t = t.synced
 let is_poisoned t = Atomic.get t.poison <> None
 let poisoned t = Option.map fst (Atomic.get t.poison)
@@ -75,13 +84,15 @@ let poison t e bt =
     Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.poisoned_registrations;
     match t.ctx.Ctx.trace with
     | Some tr ->
-      Trace.record tr ~proc:(Processor.id t.proc) Trace.Registration_poisoned
+      Trace.record tr ~proc:(Processor.id t.proc) ~client:t.rid
+        Trace.Registration_poisoned
     | None -> ()
   end
 
 let make ?(flat = false) ~proc ~ctx ~enqueue () =
   let t =
     {
+      rid = Atomic.fetch_and_add next_rid 1;
       proc;
       ctx;
       enqueue;
@@ -106,6 +117,7 @@ let make_remote ~proc ~ctx () =
   let px = Processor.remote_open proc in
   let t =
     {
+      rid = Atomic.fetch_and_add next_rid 1;
       proc;
       ctx;
       enqueue =
@@ -166,6 +178,11 @@ let timed_out t =
   let stats = t.ctx.Ctx.stats in
   Qs_obs.Counter.incr stats.Stats.timeouts_fired;
   Qs_obs.Counter.incr stats.Stats.deadline_exceeded;
+  (match t.ctx.Ctx.trace with
+  | Some tr ->
+    Trace.record tr ~proc:(Processor.id t.proc) ~client:t.rid
+      Trace.Request_timeout
+  | None -> ());
   raise Qs_sched.Timer.Timeout
 
 (* Log an asynchronous call in the packaged-closure representation —
@@ -181,6 +198,7 @@ let log_call_packaged t ~birth ~admit run =
            run;
            fail = t.fail_to;
            kind = Request.K_call;
+           reg = t.rid;
            t_birth = birth;
            t_admit = admit;
          })
@@ -188,18 +206,20 @@ let log_call_packaged t ~birth ~admit run =
     (* Trace the queueing delay: logged now, executed by the handler
        later (§7 instrumentation). *)
     let proc = Processor.id t.proc in
-    Trace.record tr ~proc Trace.Call_logged;
+    let rid = t.rid in
+    Trace.record tr ~proc ~client:rid Trace.Call_logged;
     let logged = Trace.now tr in
     t.enqueue
       (Request.Call
          {
            run =
              (fun () ->
-               Trace.record tr ~proc
+               Trace.record tr ~proc ~client:rid
                  (Trace.Call_executed (Trace.now tr -. logged));
                run ());
            fail = t.fail_to;
            kind = Request.K_call;
+           reg = rid;
            t_birth = birth;
            t_admit = admit;
          })
@@ -218,7 +238,9 @@ let call t f =
        closure would capture the local trace buffer, which must not
        cross the wire; the logging instant is recorded locally. *)
     (match t.ctx.Ctx.trace with
-    | Some tr -> Trace.record tr ~proc:(Processor.id t.proc) Trace.Call_logged
+    | Some tr ->
+      Trace.record tr ~proc:(Processor.id t.proc) ~client:t.rid
+        Trace.Call_logged
     | None -> ());
     px.Processor.px_call f;
     (* Fire-and-forget: no reply carries a completion to time against,
@@ -240,6 +262,7 @@ let call t f =
          last served a different registration. *)
       r.Request.tag <- Request.Call0;
       r.Request.f0 <- f;
+      r.Request.reg <- t.rid;
       r.Request.t_birth <- birth;
       r.Request.t_admit <- admit;
       if r.Request.fail_to != t.fail_to then r.Request.fail_to <- t.fail_to;
@@ -256,7 +279,9 @@ let call1 t f x =
   match t.remote with
   | Some px ->
     (match t.ctx.Ctx.trace with
-    | Some tr -> Trace.record tr ~proc:(Processor.id t.proc) Trace.Call_logged
+    | Some tr ->
+      Trace.record tr ~proc:(Processor.id t.proc) ~client:t.rid
+        Trace.Call_logged
     | None -> ());
     px.Processor.px_call (fun () -> f x);
     Qs_obs.Histogram.record t.ctx.Ctx.stats.Stats.h_call_remote
@@ -275,6 +300,7 @@ let call1 t f x =
       r.Request.tag <- Request.Call1;
       r.Request.f1 <- (Obj.magic (f : _ -> unit) : Obj.t -> unit);
       r.Request.a1 <- Obj.repr x;
+      r.Request.reg <- t.rid;
       r.Request.t_birth <- birth;
       r.Request.t_admit <- admit;
       if r.Request.fail_to != t.fail_to then r.Request.fail_to <- t.fail_to;
@@ -320,16 +346,25 @@ let force_sync ?timeout t =
   | Some tr ->
     let t0 = Trace.now tr in
     round_trip ();
-    Trace.record tr ~proc:(Processor.id t.proc)
+    Trace.record tr ~proc:(Processor.id t.proc) ~client:t.rid
       (Trace.Sync_round_trip (Trace.now tr -. t0)));
   t.synced <- true
 
 let sync ?timeout t =
   touch t;
+  (* A known-dirty registration surfaces its failure at the sync point
+     without a round trip and without counting an elision: an elision
+     on a poisoned registration is exactly what the conformance model
+     forbids, and the round trip would learn nothing — the failure is
+     already in hand, and the poison is never cleared, so raising now
+     is the dirty-processor rule verbatim. *)
+  check_poison t;
   if t.synced && t.ctx.Ctx.config.Config.dyn_sync then begin
     Qs_obs.Counter.incr t.ctx.Ctx.stats.Stats.syncs_elided;
     match t.ctx.Ctx.trace with
-    | Some tr -> Trace.record tr ~proc:(Processor.id t.proc) Trace.Sync_elided
+    | Some tr ->
+      Trace.record tr ~proc:(Processor.id t.proc) ~client:t.rid
+        Trace.Sync_elided
     | None -> ()
   end
   else force_sync ?timeout t;
@@ -347,7 +382,7 @@ let sync ?timeout t =
 let finish_round_trip t ~t0 outcome =
   (match t.ctx.Ctx.trace with
   | Some tr ->
-    Trace.record tr ~proc:(Processor.id t.proc)
+    Trace.record tr ~proc:(Processor.id t.proc) ~client:t.rid
       (Trace.Query_round_trip (Trace.now tr -. t0))
   | None -> ());
   t.synced <- true;
@@ -474,6 +509,7 @@ let query ?timeout t f =
       r.Request.tag <- Request.Query0;
       r.Request.cgen <- gen;
       r.Request.q0 <- (Obj.magic (f : unit -> _) : unit -> Obj.t);
+      r.Request.reg <- t.rid;
       r.Request.t_birth <- birth;
       r.Request.t_admit <- admit;
       t.enqueue r.Request.self;
@@ -489,6 +525,7 @@ let query ?timeout t f =
                (fun e bt ->
                  ignore (Qs_sched.Ivar.try_fill_error ~bt result e : bool));
              kind = Request.K_query;
+             reg = t.rid;
              t_birth = birth;
              t_admit = admit;
            });
@@ -526,6 +563,7 @@ let query1 ?timeout t f x =
       r.Request.cgen <- gen;
       r.Request.q1 <- (Obj.magic (f : _ -> _) : Obj.t -> Obj.t);
       r.Request.a1 <- Obj.repr x;
+      r.Request.reg <- t.rid;
       r.Request.t_birth <- birth;
       r.Request.t_admit <- admit;
       t.enqueue r.Request.self;
@@ -541,6 +579,7 @@ let query1 ?timeout t f x =
                (fun e bt ->
                  ignore (Qs_sched.Ivar.try_fill_error ~bt result e : bool));
              kind = Request.K_query;
+             reg = t.rid;
              t_birth = birth;
              t_admit = admit;
            });
@@ -578,6 +617,7 @@ let query_async t f =
   let stats = t.ctx.Ctx.stats in
   let trace = t.ctx.Ctx.trace in
   let proc = Processor.id t.proc in
+  let rid = t.rid in
   let dyn = t.ctx.Ctx.config.Config.dyn_sync in
   (* The hook must consult the promise it belongs to (for the handler's
      drained hint), so knot it through a slot. *)
@@ -595,10 +635,15 @@ let query_async t f =
          round trip that would re-establish synced status is
          skipped, and counted as elided. *)
       match !promise_slot with
-      | Some p when dyn && Qs_sched.Promise.was_drained p -> (
+      | Some p
+        when dyn && Qs_sched.Promise.was_drained p
+             && Atomic.get t.poison = None -> (
+        (* Never counted on a dirty registration: an elision there
+           would claim a sync the conformance model forbids — the
+           pending failure still has to surface at a real sync point. *)
         Qs_obs.Counter.incr stats.Stats.syncs_elided;
         match trace with
-        | Some tr -> Trace.record tr ~proc Trace.Sync_elided
+        | Some tr -> Trace.record tr ~proc ~client:rid Trace.Sync_elided
         | None -> ())
       | _ -> ()
     end
@@ -627,7 +672,8 @@ let query_async t f =
        recorded by the fulfilling handler via the completion callback. *)
     let t0 = Trace.now tr in
     Qs_sched.Promise.on_fulfill promise (fun _ ->
-      Trace.record tr ~proc (Trace.Query_pipelined (Trace.now tr -. t0)))
+      Trace.record tr ~proc ~client:rid
+        (Trace.Query_pipelined (Trace.now tr -. t0)))
   | None -> ());
   (match t.remote with
   | Some _ -> () (* already shipped through the proxy, which stamps and
@@ -645,6 +691,7 @@ let query_async t f =
       r.Request.tag <- Request.Pipelined;
       r.Request.q0 <- (Obj.magic (f : unit -> _) : unit -> Obj.t);
       r.Request.pr <- Obj.repr promise;
+      r.Request.reg <- t.rid;
       r.Request.t_birth <- birth;
       r.Request.t_admit <- admit;
       t.enqueue r.Request.self
@@ -658,11 +705,13 @@ let query_async t f =
                (fun e bt ->
                  Qs_obs.Counter.incr stats.Stats.rejected_promises;
                  (match trace with
-                 | Some tr -> Trace.record tr ~proc Trace.Promise_rejected
+                 | Some tr ->
+                   Trace.record tr ~proc ~client:rid Trace.Promise_rejected
                  | None -> ());
                  ignore
                    (Qs_sched.Promise.try_fulfill_error ~bt promise e : bool));
              kind = Request.K_pipelined;
+             reg = rid;
              t_birth = birth;
              t_admit = admit;
            }));

@@ -109,6 +109,13 @@ val sync : ?timeout:float -> t -> unit
 
 val processor : t -> Processor.t
 
+val rid : t -> int
+(** The registration's unique id (a process-global counter starting at
+    1).  Trace events emitted through this registration — and the
+    requests it enqueues — carry this id, letting conformance checking
+    ({!Trace.event.client}, [Qs_conform]) partition a merged trace back
+    into per-registration streams.  [0] never names a registration. *)
+
 val is_synced : t -> bool
 (** Whether the handler is known to be idle w.r.t. this registration. *)
 

@@ -46,6 +46,7 @@ type packaged = {
   run : unit -> unit;
   fail : exn -> Printexc.raw_backtrace -> unit;
   kind : kind;
+  reg : int;  (* issuing registration id, for shed-event attribution *)
   mutable t_birth : int;  (* ns stamp at client issue (Clock.now_ns) *)
   mutable t_admit : int;  (* ns stamp after backpressure admission *)
 }
@@ -80,6 +81,10 @@ type flat = {
   mutable slot : int;
       (* index in the owning processor's pool slot array, or -1 for a
          record allocated on a pool miss (recycled to the GC instead) *)
+  mutable reg : int;
+      (* issuing registration id, stamped at every issue (an immediate
+         int, so no write barrier); read by the shed path to attribute
+         the shed event to its registration *)
   mutable t_birth : int;
       (* ns stamp at client issue; immediate int, so stamping a pooled
          (major-heap) record never triggers a write barrier *)
@@ -116,6 +121,7 @@ let make_flat () =
       fail_to = nofail;
       self = End;
       slot = -1;
+      reg = 0;
       t_birth = 0;
       t_admit = 0;
     }
@@ -156,7 +162,8 @@ let reset_flat r =
   | Pipelined ->
     r.q0 <- dq0;
     r.pr <- unit_obj);
-  (* Immediate ints: clearing costs two plain stores, never a barrier. *)
+  (* Immediate ints: clearing costs plain stores, never a barrier. *)
+  r.reg <- 0;
   r.t_birth <- 0;
   r.t_admit <- 0;
   r.tag <- Free

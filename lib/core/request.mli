@@ -33,6 +33,7 @@ type packaged = {
   run : unit -> unit;
   fail : exn -> Printexc.raw_backtrace -> unit;
   kind : kind;
+  reg : int;  (** issuing registration id ([Registration.rid]) *)
   mutable t_birth : int;  (** ns stamp at client issue *)
   mutable t_admit : int;  (** ns stamp after backpressure admission *)
 }
@@ -53,6 +54,7 @@ type flat = {
   mutable fail_to : exn -> Printexc.raw_backtrace -> unit;
   mutable self : t;
   mutable slot : int;
+  mutable reg : int;  (** issuing registration id, stamped per issue *)
   mutable t_birth : int;
   mutable t_admit : int;
 }

@@ -91,6 +91,11 @@ val separate2 :
 
 val separate_list :
   ?timeout:float -> t -> Processor.t list -> (Registration.t list -> 'a) -> 'a
+(** Atomic multi-handler reservation.  Multi-reservation ([separate2],
+    [separate_list] and [separate_list_when]) is a local protocol:
+    remote proxies (see {!is_remote}) cannot take part, and passing one
+    raises [Scoop.Remote_error] naming the offending processors before
+    anything has been reserved. *)
 
 val separate_when :
   ?timeout:float ->

@@ -45,31 +45,43 @@ let deadline_of_timeout = function
   | None -> None
   | Some dt -> Some (Qs_sched.Timer.now () +. Float.max 0.0 dt)
 
-let trace_reserved ctx proc =
+(* Recorded once the registration exists — after the reservation has
+   actually happened (the queue insertion or lock acquisition), not
+   before it — and attributed to the registration's id, so conformance
+   checking sees each stream open with its own Reserved event.  (The old
+   pre-reservation recording both misordered the event against a racing
+   handler and left it unattributed.) *)
+let trace_reserved ctx reg =
   match ctx.Ctx.trace with
-  | Some tr -> Trace.record tr ~proc:(Processor.id proc) Trace.Reserved
+  | Some tr ->
+    Trace.record tr
+      ~proc:(Processor.id (Registration.processor reg))
+      ~client:(Registration.rid reg) Trace.Reserved
   | None -> ()
 
 let enter_one ?deadline ctx proc =
   Qs_obs.Counter.incr ctx.Ctx.stats.Stats.reservations;
-  trace_reserved ctx proc;
-  if Processor.is_remote proc then
-    (* Remote separate rule: the wire-level Open the proxy issues plays
-       the private-queue enqueue — asynchronous, like qoq reservation.
-       The node enters a real separate block on its side and serves this
-       registration's stream in order. *)
-    Registration.make_remote ~proc ~ctx ()
-  else if Config.uses_qoq ctx.Ctx.config then begin
-    let pq = Processor.take_private_queue proc in
-    Processor.enqueue_private_queue proc pq;
-    Registration.make ~flat:true ~proc ~ctx
-      ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq) ()
-  end
-  else begin
-    lock_within ctx proc deadline;
-    Registration.make ~flat:true ~proc ~ctx
-      ~enqueue:(Processor.enqueue_direct proc) ()
-  end
+  let reg =
+    if Processor.is_remote proc then
+      (* Remote separate rule: the wire-level Open the proxy issues plays
+         the private-queue enqueue — asynchronous, like qoq reservation.
+         The node enters a real separate block on its side and serves
+         this registration's stream in order. *)
+      Registration.make_remote ~proc ~ctx ()
+    else if Config.uses_qoq ctx.Ctx.config then begin
+      let pq = Processor.take_private_queue proc in
+      Processor.enqueue_private_queue proc pq;
+      Registration.make ~flat:true ~proc ~ctx
+        ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq) ()
+    end
+    else begin
+      lock_within ctx proc deadline;
+      Registration.make ~flat:true ~proc ~ctx
+        ~enqueue:(Processor.enqueue_direct proc) ()
+    end
+  in
+  trace_reserved ctx reg;
+  reg
 
 let exit_one ctx reg =
   Registration.close reg;
@@ -91,18 +103,35 @@ let check_distinct procs =
 (* Multi-reservation needs the insertions of all handlers to be one
    atomic event (the generalized separate rule) — there is no wire
    protocol for a cross-node atomic reservation, so remote processors
-   are restricted to single-reservation blocks. *)
+   are restricted to single-reservation blocks.  Raises the typed
+   [Scoop.Remote_error] naming every offending processor (a bare
+   [Invalid_argument] left callers no way to distinguish this
+   recoverable topology error from an API misuse).  Checked before any
+   queue insertion or lock acquisition, so a rejected mixed reservation
+   leaves no local handler reserved. *)
 let check_local procs =
-  if List.exists Processor.is_remote procs then
-    invalid_arg
-      "Scoop.Separate: remote processors support single reservation only"
+  match List.filter Processor.is_remote procs with
+  | [] -> ()
+  | remotes ->
+    let name p =
+      match Processor.remote_node p with
+      | Some node -> Printf.sprintf "%d@%s" (Processor.id p) node
+      | None -> string_of_int (Processor.id p)
+    in
+    raise
+      (Remote_proto.Remote_error
+         (Printf.sprintf
+            "atomic multi-reservation requires local processors; remote: %s"
+            (String.concat ", " (List.map name remotes))))
 
 let enter_many ?deadline ctx procs =
+  (* Remote refusal first: proxy ids are numbered per runtime, so a
+     remote proxy can collide with a local id without being the same
+     processor — the topology error is the real diagnosis. *)
+  check_local procs;
+  check_distinct procs;
   Qs_obs.Counter.incr ctx.Ctx.stats.Stats.reservations;
   Qs_obs.Counter.incr ctx.Ctx.stats.Stats.multi_reservations;
-  List.iter (trace_reserved ctx) procs;
-  check_distinct procs;
-  check_local procs;
   let sorted = List.sort Processor.compare_by_id procs in
   if Config.uses_qoq ctx.Ctx.config then begin
     (* Prepare all private queues first, then insert them while holding
@@ -116,11 +145,15 @@ let enter_many ?deadline ctx procs =
     (* Multi-reservation registrations keep the packaged fallback
        (no [~flat]): the flat pooled path is reserved for the
        single-reservation entries. *)
-    List.map
-      (fun (p, pq) ->
-        Registration.make ~proc:p ~ctx
-          ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq) ())
-      pqs
+    let regs =
+      List.map
+        (fun (p, pq) ->
+          Registration.make ~proc:p ~ctx
+            ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq) ())
+        pqs
+    in
+    List.iter (trace_reserved ctx) regs;
+    regs
   end
   else begin
     (* Lock mode: take the handler locks in id order (atomic w.r.t. other
@@ -137,10 +170,15 @@ let enter_many ?deadline ctx procs =
         take (p :: held) rest)
     in
     take [] sorted;
-    List.map
-      (fun p ->
-        Registration.make ~proc:p ~ctx ~enqueue:(Processor.enqueue_direct p) ())
-      procs
+    let regs =
+      List.map
+        (fun p ->
+          Registration.make ~proc:p ~ctx
+            ~enqueue:(Processor.enqueue_direct p) ())
+        procs
+    in
+    List.iter (trace_reserved ctx) regs;
+    regs
   end
 
 let exit_many ctx regs =
@@ -164,13 +202,11 @@ let many ?timeout ctx procs body =
    protocol as [enter_many] (acquire in id order, release in reverse)
    specialized to two handlers, no intermediate lists to destructure. *)
 let enter_two ?deadline ctx p1 p2 =
-  Qs_obs.Counter.incr ctx.Ctx.stats.Stats.reservations;
-  Qs_obs.Counter.incr ctx.Ctx.stats.Stats.multi_reservations;
-  trace_reserved ctx p1;
-  trace_reserved ctx p2;
+  check_local [ p1; p2 ];
   if Processor.id p1 = Processor.id p2 then
     invalid_arg "Scoop.Separate: the same processor reserved twice";
-  check_local [ p1; p2 ];
+  Qs_obs.Counter.incr ctx.Ctx.stats.Stats.reservations;
+  Qs_obs.Counter.incr ctx.Ctx.stats.Stats.multi_reservations;
   let lo, hi =
     if Processor.id p1 < Processor.id p2 then (p1, p2) else (p2, p1)
   in
@@ -183,10 +219,16 @@ let enter_two ?deadline ctx p1 p2 =
     Processor.enqueue_private_queue p2 pq2;
     Qs_queues.Spinlock.release (Processor.reserve hi);
     Qs_queues.Spinlock.release (Processor.reserve lo);
-    ( Registration.make ~flat:true ~proc:p1 ~ctx
-        ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq1) (),
+    let r1 =
+      Registration.make ~flat:true ~proc:p1 ~ctx
+        ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq1) ()
+    and r2 =
       Registration.make ~flat:true ~proc:p2 ~ctx
-        ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq2) () )
+        ~enqueue:(Qs_sched.Bqueue.Spsc.enqueue pq2) ()
+    in
+    trace_reserved ctx r1;
+    trace_reserved ctx r2;
+    (r1, r2)
   end
   else begin
     lock_within ctx lo deadline;
@@ -194,10 +236,16 @@ let enter_two ?deadline ctx p1 p2 =
      with e ->
        Processor.unlock_handler lo;
        raise e);
-    ( Registration.make ~flat:true ~proc:p1 ~ctx
-        ~enqueue:(Processor.enqueue_direct p1) (),
+    let r1 =
+      Registration.make ~flat:true ~proc:p1 ~ctx
+        ~enqueue:(Processor.enqueue_direct p1) ()
+    and r2 =
       Registration.make ~flat:true ~proc:p2 ~ctx
-        ~enqueue:(Processor.enqueue_direct p2) () )
+        ~enqueue:(Processor.enqueue_direct p2) ()
+    in
+    trace_reserved ctx r1;
+    trace_reserved ctx r2;
+    (r1, r2)
   end
 
 let two ?timeout ctx p1 p2 body =

@@ -29,13 +29,18 @@ val two :
 (** Two-handler atomic reservation (Fig. 11), with a dedicated pairwise
     entry path — the registrations are passed as two typed arguments, not
     destructured from a list.
-    @raise Invalid_argument if both arguments are the same processor. *)
+    @raise Invalid_argument if both arguments are the same processor.
+    @raise Remote_proto.Remote_error if either processor is a remote
+    proxy (checked first: multi-reservation is a local protocol). *)
 
 val many :
   ?timeout:float -> Ctx.t -> Processor.t list -> (Registration.t list -> 'a) -> 'a
 (** Atomic multi-handler reservation; registrations are returned in the
     same order as the argument processors.
-    @raise Invalid_argument if a processor appears twice. *)
+    @raise Invalid_argument if a processor appears twice.
+    @raise Remote_proto.Remote_error if any processor is a remote proxy
+    (checked before any queue insertion or lock acquisition, so a
+    rejected mixed reservation leaves nothing reserved). *)
 
 val when_ :
   ?timeout:float ->

@@ -26,10 +26,28 @@ type kind =
       (** a failed asynchronous call dirtied its registration (SCOOP's
           dirty-processor rule) *)
   | Promise_rejected  (** a pipelined query resolved with an exception *)
+  | Request_timeout
+      (** a blocking rendezvous (sync, query, reservation retry) was
+          abandoned at its deadline; the request itself stays logged *)
+  | Request_shed
+      (** the mailbox shed a logged-but-unexecuted call under the
+          [`Shed_oldest] overflow policy, poisoning the issuing
+          registration *)
+  | Query_shed
+      (** the mailbox shed a query-flavoured request under
+          [`Shed_oldest]: the rendezvous is rejected with [Overloaded]
+          at the query/await site, but no logged-call slot is consumed
+          and the registration is not poisoned *)
 
 type event = {
   at : float;  (** seconds since the trace started *)
   proc : int;
+  client : int;
+      (** issuing registration id ([Registration.rid]) — the attribution
+          conformance checking partitions on; [0] when the emitting code
+          path had no registration in hand (scheduler- or handler-global
+          events) *)
+  seq : int;  (** global sink record order, for pinpointing ring slots *)
   kind : kind;
 }
 
@@ -45,7 +63,10 @@ val of_sink : Qs_obs.Sink.t -> t
 val sink : t -> Qs_obs.Sink.t
 
 val now : t -> float
-val record : t -> proc:int -> kind -> unit
+
+val record : t -> proc:int -> ?client:int -> kind -> unit
+(** [client] (default [0] = unattributed) is the issuing registration's
+    id, stored in the sink event's [arg] field. *)
 
 val events : t -> event list
 (** All retained SCOOP-level events, oldest first (sink events from

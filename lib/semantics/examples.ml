@@ -141,6 +141,55 @@ let fail_call =
 let fail_call_no_sync =
   State.init [ (1, Separate ([ x ], seq [ CallFail (x, "boom") ])) ]
 
+(* Timeout (PR 4 deadline semantics): client 1 logs a call, then a query
+   under a deadline.  The wait is abandonable: runs split between the
+   rendezvous completing (Synced) and the deadline firing (TimedOut), but
+   the handler executes both logged actions in every complete run — a
+   timeout abandons the wait, never the work, and poisons nothing. *)
+let timeout_call =
+  State.init
+    [ (1, Separate ([ x ], seq [ Call (x, "work"); QueryTimeout (x, "probe") ])) ]
+
+let timeout_call_trace = [ "work"; "probe" ]
+
+(* Shed (PR 5 admission control): handler x is bounded at one pending
+   request while client 1 logs a gate call and three more.  Whenever more
+   than one countable request is pending at a service step, the oldest is
+   shed instead of executed ([`Shed_oldest]); the interleaving of logging
+   and serving decides how many survive.  The fastest-handler run executes
+   everything; the slowest-handler run sheds all but the last. *)
+let shed_overload =
+  State.with_cap ~target:x
+    (State.init
+       [
+         ( 1,
+           Separate
+             ( [ x ],
+               seq
+                 [
+                   Call (x, "gate");
+                   Call (x, "a1");
+                   Call (x, "a2");
+                   Call (x, "a3");
+                 ] ) );
+       ])
+    1
+
+(* Poison at the boundary (PR 4 block-exit check): a wedge call, a failing
+   call, then a query.  The wedge makes the runtime analogue deterministic
+   (everything is logged before the handler serves); every complete run
+   executes the wedge, marks the handler dirty (Failed), executes the
+   probe, and delivers the failure at the query's sync point (Raised). *)
+let poison_probe =
+  State.init
+    [
+      ( 1,
+        Separate
+          ( [ x ],
+            seq [ Call (x, "wedge"); CallFail (x, "boom"); Query (x, "probe") ]
+          ) );
+    ]
+
 (* State predicate for the Fig. 5 consistency property: some observer
    could see different colours iff the registration orders of clients 1
    and 2 differ between x's and y's request queues. *)

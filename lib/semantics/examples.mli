@@ -25,7 +25,28 @@ val fail_call : State.t
 
 val fail_call_no_sync : State.t
 (** A failing call with no later sync point: terminates with no
-    [Raised] transition (the dirt dies with the registration). *)
+    [Raised] transition — the dirt surfaces as [Poisoned] when the
+    registration ends (the runtime's block-exit check). *)
+
+val timeout_call : State.t
+(** A call followed by a query under a deadline: runs split between
+    [Synced] and [TimedOut], but every complete run executes both logged
+    actions ({!timeout_call_trace}) — a timeout abandons the wait, never
+    the work. *)
+
+val timeout_call_trace : Syntax.action list
+(** The single observable trace on [x] of {!timeout_call}. *)
+
+val shed_overload : State.t
+(** A gate call plus three more against a handler bounded at one pending
+    request ([State.with_cap]): service sheds the oldest countable
+    request while over the bound, so observable traces range from all
+    four actions (fast handler) down to just the last (slow handler). *)
+
+val poison_probe : State.t
+(** A wedge call, a failing call, then a query: every complete run
+    executes wedge and probe, marks the handler dirty ([Failed]) and
+    delivers the failure at the query's sync point ([Raised]). *)
 
 val fig5_mismatch : State.t -> bool
 (** Reachable-state witness that Fig. 5's consistency can be violated

@@ -11,6 +11,7 @@ type stats = {
   terminals : State.t list;
   deadlocks : State.t list;
   truncated : bool;
+  reduced : bool;
 }
 
 let reachable ?(max_states = 200_000) mode init =
@@ -43,6 +44,7 @@ let reachable ?(max_states = 200_000) mode init =
     terminals = !terminals;
     deadlocks = !deadlocks;
     truncated = !truncated;
+    reduced = false;
   }
 
 type run = {
@@ -84,15 +86,206 @@ let runs ?(max_runs = 100_000) ?(max_depth = 10_000) mode init =
 
 (* Distinct projections of complete (non-deadlocked) runs through [filter],
    e.g. "the actions executed on handler x, in order". *)
+let observable_of_runs all ~filter =
+  all
+  |> List.filter (fun r -> not r.deadlocked)
+  |> List.map (fun r -> List.filter_map filter r.labels)
+  |> List.sort_uniq compare
+
 let observable_traces ?max_runs ?max_depth mode init ~filter =
   let all, truncated = runs ?max_runs ?max_depth mode init in
-  let traces =
-    all
-    |> List.filter (fun r -> not r.deadlocked)
-    |> List.map (fun r -> List.filter_map filter r.labels)
-    |> List.sort_uniq compare
+  (observable_of_runs all ~filter, truncated)
+
+(* -- Dynamic partial-order reduction (Flanagan–Godefroid style) ---------- *)
+
+(* Participants of a label: the handler ids whose local state the
+   transition reads or writes.  Two labels are dependent iff their
+   participant sets intersect — same handler or a shared client; labels
+   over disjoint handlers commute, so only one order of each such pair
+   needs exploring. *)
+let participants = function
+  | Step.Reserved { client; targets } -> client :: targets
+  | Step.Logged { client; target; _ } -> [ client; target ]
+  | Step.Executed { handler; client = Some c; _ } -> [ handler; c ]
+  | Step.Executed { handler; client = None; _ } -> [ handler ]
+  | Step.Synced { client; target } -> [ client; target ]
+  | Step.EndServed { handler; client } -> [ handler; client ]
+  | Step.Failed { handler; client; _ }
+  | Step.Shed { handler; client; _ }
+  | Step.Poisoned { handler; client; _ } ->
+    [ handler; client ]
+  | Step.Raised { client; target; _ } -> [ client; target ]
+  | Step.TimedOut { client; target } -> [ client; target ]
+  | Step.Stepped ids -> ids
+
+let dependent l1 l2 =
+  let p1 = participants l1 in
+  List.exists (fun h -> List.mem h p1) (participants l2)
+
+(* The process(es) whose program/queue drives a transition — the
+   "process id" of Flanagan–Godefroid.  Per handler, transitions are
+   (almost) deterministic: clients step their sequential programs,
+   servers pop the head of the head private queue.  An [Executed] with a
+   client attached is ambiguous (a service step is driven by the
+   handler, a §3.2 client-side query body by the client), so both are
+   returned — a sound over-approximation. *)
+let initiators = function
+  | Step.Executed { handler; client = Some c; _ } -> [ handler; c ]
+  | l -> ( match participants l with [] -> [] | p :: _ -> [ p ])
+
+type dpor_entry = {
+  d_state : State.t;
+  d_enabled : (Step.label * State.t) array;
+  mutable d_backtrack : int list; (* indices into [d_enabled] to explore *)
+  mutable d_done : int list; (* indices already explored *)
+  mutable d_chosen : Step.label option; (* transition taken on current path *)
+  mutable d_sleep : Step.label list;
+      (* sleep set: transitions whose interleavings from here are fully
+         covered by an already-explored sibling branch — skipped, and a
+         state with only sleeping transitions is a pruned leaf, not a
+         deadlock *)
+}
+
+(* DFS with backtrack sets and sleep sets: instead of branching on every
+   enabled transition at every state, start with one and add
+   alternatives only where a later transition of the current path turns
+   out to be dependent on the one taken (Flanagan–Godefroid backtrack
+   sets); symmetrically, once a branch has been fully explored its
+   transition goes to sleep in the remaining sibling branches — as long
+   as only independent transitions execute, re-running it would only
+   commute into an already-covered interleaving (Godefroid sleep sets).
+   Transitions are identified across states by label equality.  The
+   reduction is dynamic: no static independence declaration, only the
+   participant sets of the labels actually taken. *)
+let reduced ?(max_runs = 100_000) ?(max_depth = 10_000) mode init =
+  let visited : (State.t, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let see s = if not (Hashtbl.mem visited s) then Hashtbl.replace visited s () in
+  let collected = ref [] in
+  let count = ref 0 in
+  let truncated = ref false in
+  let terminals = ref [] in
+  let deadlocks = ref [] in
+  let emit acc final =
+    let deadlocked = not (State.is_terminal final) in
+    (if deadlocked then begin
+       if not (List.mem final !deadlocks) then deadlocks := final :: !deadlocks
+     end
+     else if not (List.mem final !terminals) then
+       terminals := final :: !terminals);
+    collected := { labels = List.rev acc; final; deadlocked } :: !collected;
+    incr count;
+    if !count >= max_runs then raise Limit_reached
   in
-  (traces, truncated)
+  let mk_entry s sleep =
+    let enabled = Array.of_list (Step.steps mode s) in
+    (* seed the backtrack set with the first non-sleeping transition; a
+       state whose every enabled transition sleeps is a pruned leaf *)
+    let first = ref None in
+    Array.iteri
+      (fun i (l, _) ->
+        if !first = None && not (List.mem l sleep) then first := Some i)
+      enabled;
+    {
+      d_state = s;
+      d_enabled = enabled;
+      d_backtrack = (match !first with Some i -> [ i ] | None -> []);
+      d_done = [];
+      d_chosen = None;
+      d_sleep = sleep;
+    }
+  in
+  (* Register a backtrack point for [lbl] at the deepest entry of the
+     current path whose chosen transition is dependent with it.  If [lbl]
+     itself is enabled there, schedule exactly it; otherwise schedule the
+     enabled transitions of [lbl]'s initiating process(es) — each process
+     is sequential, so its currently-enabled transition lies on every
+     path from that point that eventually enables [lbl] (the F–G
+     process-based backtrack rule).  Only if the initiators have nothing
+     enabled either is every alternative scheduled. *)
+  let add_backtrack path lbl =
+    let rec go = function
+      | [] -> ()
+      | e :: older -> (
+        match e.d_chosen with
+        | Some l when dependent l lbl ->
+          let add i =
+            if not (List.mem i e.d_backtrack) then
+              e.d_backtrack <- i :: e.d_backtrack
+          in
+          let idx = ref None in
+          Array.iteri
+            (fun i (l', _) -> if !idx = None && l' = lbl then idx := Some i)
+            e.d_enabled;
+          (match !idx with
+          | Some i -> add i
+          | None ->
+            let inits = initiators lbl in
+            let added = ref false in
+            Array.iteri
+              (fun i (l', _) ->
+                if
+                  List.exists (fun p -> List.mem p (initiators l')) inits
+                then begin
+                  add i;
+                  added := true
+                end)
+              e.d_enabled;
+            if not !added then
+              e.d_backtrack <- List.init (Array.length e.d_enabled) Fun.id)
+        | _ -> go older)
+    in
+    go path
+  in
+  let rec explore stack acc depth =
+    match stack with
+    | [] -> assert false
+    | top :: path ->
+      if Array.length top.d_enabled = 0 then emit acc top.d_state
+      else begin
+        Array.iter (fun (lbl, _) -> add_backtrack path lbl) top.d_enabled;
+        let rec drain () =
+          (* deeper exploration may grow [d_backtrack]; re-check after
+             every child *)
+          match
+            List.find_opt
+              (fun i -> not (List.mem i top.d_done))
+              top.d_backtrack
+          with
+          | None -> ()
+          | Some i ->
+            top.d_done <- i :: top.d_done;
+            let lbl, s' = top.d_enabled.(i) in
+            if List.mem lbl top.d_sleep then drain ()
+            else begin
+              top.d_chosen <- Some lbl;
+              see s';
+              (* the child keeps sleeping only what stays independent of
+                 the step taken — a dependent step wakes the transition *)
+              let child_sleep =
+                List.filter (fun z -> not (dependent z lbl)) top.d_sleep
+              in
+              (if depth >= max_depth then truncated := true
+               else explore (mk_entry s' child_sleep :: stack) (lbl :: acc)
+                      (depth + 1));
+              (* the branch through [lbl] is fully covered: siblings need
+                 not re-interleave it *)
+              top.d_sleep <- lbl :: top.d_sleep;
+              drain ()
+            end
+        in
+        drain ()
+      end
+  in
+  see init;
+  (try explore [ mk_entry init [] ] [] 0 with Limit_reached -> truncated := true);
+  ( List.rev !collected,
+    {
+      states = Hashtbl.length visited;
+      terminals = !terminals;
+      deadlocks = !deadlocks;
+      truncated = !truncated;
+      reduced = true;
+    } )
 
 (* Projection: actions executed on handler [x] (by the handler or by a
    synced client running a query body). *)

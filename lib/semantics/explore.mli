@@ -5,10 +5,14 @@ type stats = {
   terminals : State.t list;
   deadlocks : State.t list; (** stuck states that are not terminal (§2.5) *)
   truncated : bool;
+  reduced : bool;
+      (** produced by the DPOR search ({!reduced}): [states] counts only
+          the states the reduced search visited *)
 }
 
 val reachable : ?max_states:int -> Step.mode -> State.t -> stats
-(** BFS over all distinct reachable states. *)
+(** BFS over all distinct reachable states (unreduced;
+    [stats.reduced = false]). *)
 
 type run = {
   labels : Step.label list;
@@ -33,6 +37,34 @@ val observable_traces :
   filter:(Step.label -> 'a option) ->
   'a list list * bool
 (** Distinct per-run projections of non-deadlocked complete runs. *)
+
+val observable_of_runs :
+  run list -> filter:(Step.label -> 'a option) -> 'a list list
+(** The projection of {!observable_traces} applied to an existing run
+    list (e.g. one produced by {!reduced}), for cross-checking reduced
+    against unreduced enumeration. *)
+
+val participants : Step.label -> Syntax.hid list
+(** Handler ids whose local state a transition reads or writes; two
+    labels are {e dependent} iff their participant sets intersect (the
+    independence relation of the DPOR search). *)
+
+val reduced :
+  ?max_runs:int ->
+  ?max_depth:int ->
+  Step.mode ->
+  State.t ->
+  run list * stats
+(** Dynamic partial-order reduction (Flanagan–Godefroid style backtrack
+    sets): a DFS that starts with a single transition per state and adds
+    alternatives only where a later transition of the current path is
+    dependent on the one taken.  Sound for the properties checked here:
+    every Mazurkiewicz trace — hence every observable projection and
+    every reachable deadlock — is represented by at least one explored
+    run, while commuting interleavings (and the states only they reach)
+    are pruned.  [stats.reduced = true]; [stats.states] counts the
+    distinct states the reduced search visited, comparable against
+    {!reachable}'s exhaustive count. *)
 
 val on_handler : Syntax.hid -> Step.label -> Syntax.action option
 (** Projection selecting the actions executed on one handler. *)

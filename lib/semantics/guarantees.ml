@@ -61,10 +61,12 @@ let check_run (labels : Step.label list) =
                "handler %d executed %s but client %d logged %s first" handler
                action client expected)
         | Some _ -> ())
-      | Step.Failed { handler; client; action } -> (
-        (* A failing call still occupies its slot in the logged order:
-           ORDER and NON-INTERLEAVING constrain it exactly like a
-           successful execution. *)
+      | Step.Failed { handler; client; action }
+      | Step.Shed { handler; client; action } -> (
+        (* A failing or shed call still occupies its slot in the logged
+           order: ORDER and NON-INTERLEAVING constrain it exactly like a
+           successful execution (the runtime fails the request's
+           completion in place of running it). *)
         (match Hashtbl.find_opt serving handler with
         | Some c when c <> client ->
           fail at
@@ -84,7 +86,8 @@ let check_run (labels : Step.label list) =
                "handler %d failed %s but client %d logged %s first" handler
                action client expected)
         | Some _ -> ())
-      | Step.EndServed { handler; client } -> (
+      | Step.EndServed { handler; client }
+      | Step.Poisoned { handler; client; action = _ } -> (
         match Hashtbl.find_opt serving handler with
         | Some c when c <> client ->
           fail at
@@ -93,7 +96,8 @@ let check_run (labels : Step.label list) =
                client c)
         | _ -> Hashtbl.remove serving handler)
       | Step.Executed { client = None; _ }
-      | Step.Reserved _ | Step.Synced _ | Step.Raised _ | Step.Stepped ->
+      | Step.Reserved _ | Step.Synced _ | Step.Raised _ | Step.TimedOut _
+      | Step.Stepped _ ->
         ())
     labels;
   match !error with
@@ -122,7 +126,8 @@ let check_fifo_service (labels : Step.label list) =
         match label with
         | Step.Reserved { client; targets } ->
           List.iter (fun h -> Queue.push client (queue_for h)) targets
-        | Step.EndServed { handler; client } -> (
+        | Step.EndServed { handler; client }
+        | Step.Poisoned { handler; client; action = _ } -> (
           match Queue.take_opt (queue_for handler) with
           | Some expected when expected = client -> ()
           | Some expected ->
@@ -151,7 +156,17 @@ let check_fifo_service (labels : Step.label list) =
   match !error with Some v -> Error v | None -> Ok ()
 
 (* Check every complete run of a program (bounded); returns the first
-   violating run if any. *)
+   violating run if any.  The result is a record so that truncation can
+   never be silently positionally discarded: a caller claiming the
+   guarantee was checked exhaustively must consult [exhaustive]. *)
+type report = {
+  violation : (Explore.run * violation) option;
+  runs : int;
+  truncated : bool;
+}
+
+let exhaustive r = not r.truncated
+
 let check_program ?max_runs ?max_depth mode init =
   let all, truncated = Explore.runs ?max_runs ?max_depth mode init in
   let violation =
@@ -162,4 +177,4 @@ let check_program ?max_runs ?max_depth mode init =
         | Error v -> Some (r, v))
       all
   in
-  (violation, List.length all, truncated)
+  { violation; runs = List.length all; truncated }

@@ -16,12 +16,22 @@ val check_fifo_service : Step.label list -> (unit, violation) result
 (** Check the queue-of-queues FIFO property (§2.3): each handler completes
     registrations in the order they were inserted. *)
 
+type report = {
+  violation : (Explore.run * violation) option;
+      (** first violating run, if any *)
+  runs : int;  (** number of complete runs examined *)
+  truncated : bool;
+      (** the enumeration hit a budget: the check is {e not} exhaustive
+          and absence of a violation is not a guarantee *)
+}
+
+val exhaustive : report -> bool
+(** [not report.truncated]: only an exhaustive, violation-free report
+    establishes the guarantee. *)
+
 val check_program :
-  ?max_runs:int ->
-  ?max_depth:int ->
-  Step.mode ->
-  State.t ->
-  (Explore.run * violation) option * int * bool
-(** Check every complete run of a program.  Returns the first violating
-    run (if any), the number of runs examined, and whether exploration was
-    truncated. *)
+  ?max_runs:int -> ?max_depth:int -> Step.mode -> State.t -> report
+(** Check every complete run of a program (bounded).  Callers must
+    consult {!report.truncated} (or {!exhaustive}) before treating a
+    [None] violation as a proof — a truncated search is a smoke test,
+    not a guarantee. *)

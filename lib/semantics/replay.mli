@@ -5,19 +5,21 @@
     handler-side events of real executions.  This module checks such a
     stream against the per-processor request-log automaton implied by
     the semantics in {!Step}: calls are executed in logging order and
-    never before they are logged, and a {e sync elision} (the dynamic
+    never before they are logged, a shed request consumes a logged slot
+    and poisons the registration, and a {e sync elision} (the dynamic
     coalescing of §3.4.1 and its handler-side generalization) is only
-    legal while the processor is in the synced state — i.e. some
-    earlier round trip established that the log was drained, and
-    nothing has been logged since.
+    legal while the processor is in the synced state on a clean
+    registration.
 
     The checker is deliberately representation-agnostic: callers map
-    their concrete trace vocabulary onto {!event} (the benchmark
-    harness maps [Scoop.Trace.kind], a test can hand-build sequences).
-    It is sound for single-client-per-processor traces, which is what
-    the traced workloads produce; with several concurrent clients the
-    interleaving of their log watermarks is not recoverable from the
-    merged stream. *)
+    their concrete trace vocabulary onto {!event} ([Qs_conform] maps
+    [Scoop.Trace.kind], a test can hand-build sequences).  It is sound
+    for single-client-per-processor streams — one registration's
+    events, or sequential registrations, on each processor id.  With
+    several concurrent clients merged into one stream the interleaving
+    of their log watermarks is not recoverable; [Qs_conform] partitions
+    real traces per (processor, registration) before checking, and
+    rejects unattributed streams instead of guessing. *)
 
 type event =
   | Reserved of int  (** a separate block reserved the processor *)
@@ -31,7 +33,17 @@ type event =
           logged before it has been executed *)
   | Elided of int
       (** a sync round trip was skipped (dynamic elision) — legal only
-          in the synced state *)
+          in the synced state on a clean registration *)
+  | TimedOut of int
+      (** a blocking rendezvous was abandoned at its deadline: nothing
+          is learned about the log, and nothing is poisoned *)
+  | Shed of int
+      (** the mailbox shed a logged-but-unexecuted request
+          ([`Shed_oldest]): consumes a logged slot, poisons the
+          registration *)
+  | Poisoned of int
+      (** a failure completion was delivered: the registration is dirty
+          until the failure is raised at the client *)
 
 val pp_event : Format.formatter -> event -> unit
 
@@ -47,18 +59,31 @@ val check : event list -> (unit, violation list) result
 (** Replay the stream through one automaton per processor id.
 
     Per processor, track [logged] (calls logged so far), [executed]
-    (calls the handler has applied) and [synced] (does the client know
-    the log is drained?):
+    (calls the handler has applied), [shed] (calls the mailbox failed
+    instead of running), [synced] (does the client know the log is
+    drained?) and [dirty] (was a failure completion delivered?):
 
     - [Logged]: [logged + 1]; leaves the synced state.
-    - [Executed]: [executed + 1]; a violation if it would exceed
-      [logged] (execution before logging breaks program order).
-    - [Synced] / [Pipelined]: the handler has necessarily drained the
-      log ([executed := logged]); enters the synced state.
-    - [Elided]: a violation unless in the synced state — an elision
-      claims a round trip was unnecessary, which is only true if the
-      drained status was established and nothing was logged since.
-    - [Reserved]: recorded for completeness; no state change.
+    - [Executed]: [executed + 1]; a violation if [executed + shed]
+      would exceed [logged] — execution before logging, or execution of
+      a request that was already shed, breaks program order.
+    - [Shed]: [shed + 1] and the registration becomes dirty; a
+      violation if there is no logged-but-unaccounted slot to consume.
+    - [Poisoned]: the registration becomes dirty.
+    - [Synced]: the handler has necessarily drained the log
+      ([executed := logged - shed]); enters the synced state.
+    - [Pipelined]: enters the synced state, but does {e not} clamp the
+      executed watermark — a fulfilment proves draining only up to the
+      query's issue point, and calls logged between issue and
+      fulfilment may precede this event while still unexecuted.
+    - [TimedOut]: no state change — an abandoned rendezvous learns
+      nothing and poisons nothing.
+    - [Elided]: a violation unless in the synced state on a clean
+      registration — an elision claims a round trip was unnecessary,
+      which is false if something was logged since the last round trip
+      or a failure is pending delivery.
+    - [Reserved]: a new registration starts clean and unsynced; the
+      log watermarks are cumulative across sequential registrations.
 
     Returns [Ok ()] on a conforming stream, or [Error vs] with every
     violation found (the automaton keeps consuming after a violation,

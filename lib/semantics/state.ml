@@ -24,6 +24,14 @@ type handler = {
          action each): SCOOP's dirty-processor state.  Set by the Fail
          service rule, cleared when the failure is raised at a sync point
          or the registration ends. *)
+  abandoned : Syntax.hid list;
+      (* clients that abandoned a timed wait on this handler: their
+         pending release marker is discharged silently when served
+         (timeout rule, see [Step.sync_steps]/[Step.service_steps]). *)
+  cap : int option;
+      (* admission bound: with [Some n], serving sheds the oldest
+         countable request while more than [n] are pending (the
+         runtime's bounded mailbox under [`Shed_oldest]). *)
 }
 
 type t = handler list (* sorted by id *)
@@ -46,8 +54,15 @@ let init roots =
       let prog =
         match List.assoc_opt id roots with Some s -> s | None -> Syntax.Skip
       in
-      { id; rq = []; prog; locked_by = None; dirty = [] })
+      { id; rq = []; prog; locked_by = None; dirty = []; abandoned = []; cap = None })
     mentioned
+
+(* Bound [target]'s admission: serving sheds the oldest countable request
+   whenever more than [n] are pending (models a bounded mailbox under the
+   [`Shed_oldest] overflow policy). *)
+let with_cap t ~target n =
+  let h = handler t target in
+  update t { h with cap = Some n }
 
 (* Append an empty private queue for [client] at the end of [target]'s
    request queue (the separate rule). *)
@@ -77,7 +92,9 @@ let log_many t ~client ~target items =
 let is_idle h = h.prog = Syntax.Skip
 
 let is_terminal t =
-  List.for_all (fun h -> is_idle h && h.rq = [] && h.locked_by = None) t
+  List.for_all
+    (fun h -> is_idle h && h.rq = [] && h.locked_by = None && h.abandoned = [])
+    t
 
 let pp_pqueue ppf pq =
   Format.fprintf ppf "%d:[%a]" pq.client
@@ -87,7 +104,7 @@ let pp_pqueue ppf pq =
     pq.items
 
 let pp_handler ppf h =
-  Format.fprintf ppf "@[<h>(%d, {%a}%s%s, %a)@]" h.id
+  Format.fprintf ppf "@[<h>(%d, {%a}%s%s%s%s, %a)@]" h.id
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ")
        pp_pqueue)
@@ -101,6 +118,13 @@ let pp_handler ppf h =
       " dirty:"
       ^ String.concat ","
           (List.map (fun (c, a) -> Printf.sprintf "%d:%s" c a) ds))
+    (match h.abandoned with
+    | [] -> ""
+    | cs ->
+      " abandoned:" ^ String.concat "," (List.map string_of_int cs))
+    (match h.cap with
+    | None -> ""
+    | Some n -> Printf.sprintf " cap:%d" n)
     Syntax.pp h.prog
 
 let pp ppf t =

@@ -15,6 +15,12 @@ type handler = {
   dirty : (Syntax.hid * Syntax.action) list;
       (** clients whose logged call failed on this handler (SCOOP's
           dirty-processor state), with the first failing action *)
+  abandoned : Syntax.hid list;
+      (** clients that abandoned a timed wait on this handler; their
+          pending release marker is discharged silently when served *)
+  cap : int option;
+      (** admission bound: serving sheds the oldest countable request
+          while more than [n] are pending ([`Shed_oldest]) *)
 }
 
 type t = handler list
@@ -29,6 +35,11 @@ val update : t -> handler -> t
 
 val reserve : t -> client:Syntax.hid -> target:Syntax.hid -> t
 (** Append an empty private queue for [client] on [target] (separate rule). *)
+
+val with_cap : t -> target:Syntax.hid -> int -> t
+(** Bound [target]'s admission: serving sheds the oldest countable request
+    whenever more than [n] are pending (a bounded mailbox under the
+    [`Shed_oldest] overflow policy). *)
 
 val log : t -> client:Syntax.hid -> target:Syntax.hid -> Syntax.stmt -> t
 (** Append one request to [client]'s most recent private queue on

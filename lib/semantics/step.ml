@@ -47,7 +47,29 @@ type label =
       target : Syntax.hid;
       action : Syntax.action;
     } (* the pending failure was delivered to the client at a sync point *)
-  | Stepped (* administrative transition *)
+  | TimedOut of {
+      client : Syntax.hid;
+      target : Syntax.hid;
+    } (* a blocking rendezvous was abandoned at its deadline: the client
+         resumes without poisoning anything; the handler's release marker
+         is discharged silently when it surfaces *)
+  | Shed of {
+      handler : Syntax.hid;
+      client : Syntax.hid;
+      action : Syntax.action;
+    } (* admission-level [`Shed_oldest]: the oldest pending countable
+         request was failed instead of executed; the handler is dirty
+         for that client (the runtime delivers [Overloaded]) *)
+  | Poisoned of {
+      handler : Syntax.hid;
+      client : Syntax.hid;
+      action : Syntax.action;
+    } (* dirty-processor propagation at the registration boundary: the
+         registration ended while the handler was dirty for the client
+         (the runtime's block-exit [Handler_failure] check) *)
+  | Stepped of Syntax.hid list
+    (* administrative transition; carries the participating handler ids
+       (for the exploration independence relation) *)
 
 let pp_label ppf = function
   | Reserved { client; targets } ->
@@ -69,7 +91,13 @@ let pp_label ppf = function
     Format.fprintf ppf "fail(%d for %d: %s)" handler client action
   | Raised { client; target; action } ->
     Format.fprintf ppf "raise(%d <- %d: %s)" client target action
-  | Stepped -> Format.pp_print_string ppf "tau"
+  | TimedOut { client; target } ->
+    Format.fprintf ppf "timeout(%d -x %d)" client target
+  | Shed { handler; client; action } ->
+    Format.fprintf ppf "shed(%d of %d: %s)" handler client action
+  | Poisoned { handler; client; action } ->
+    Format.fprintf ppf "poison(%d of %d: %s)" handler client action
+  | Stepped _ -> Format.pp_print_string ppf "tau"
 
 let rec norm s =
   match s with
@@ -157,7 +185,10 @@ let program_steps mode state (h : State.handler) =
           else state'
         else state'
       in
-      [ (Stepped, set_prog state' (State.handler state' h.id) (ctx Syntax.Skip)) ]
+      [
+        ( Stepped [ h.id; x ],
+          set_prog state' (State.handler state' h.id) (ctx Syntax.Skip) );
+      ]
     | Syntax.Query (x, a) ->
       if mode.client_exec then begin
         (* Modified rule (§3.2): only the release marker is logged; the
@@ -182,19 +213,70 @@ let program_steps mode state (h : State.handler) =
             set_prog state' (State.handler state' h.id) (ctx (Syntax.Wait x)) );
         ]
       end
-    | Syntax.Wait _ | Syntax.Release _ -> [] (* joint sync rule only *)
+    | Syntax.QueryTimeout (x, a) ->
+      (* Timeout rule, logging half: logged exactly like a plain query —
+         the handler executes the body whatever the wait's outcome, which
+         is what the runtime does (a timed-out query's request is already
+         in the private queue and is still served).  The client waits
+         with the abandonable [WaitT] form; the §3.2 client-exec
+         optimization never applies to timed queries (they always take
+         the packaged round-trip shape). *)
+      let state' =
+        State.log_many state ~client:h.id ~target:x
+          [ Syntax.Atom a; Syntax.Release h.id ]
+      in
+      [
+        ( Logged { client = h.id; target = x; action = a },
+          set_prog state' (State.handler state' h.id) (ctx (Syntax.WaitT x)) );
+      ]
+    | Syntax.Wait _ | Syntax.WaitT _ | Syntax.Release _ ->
+      [] (* joint sync rule only *)
     | Syntax.End | Syntax.Fail _ -> assert false (* queue items, never programs *)
     | Syntax.Skip | Syntax.Seq _ -> assert false (* excluded by norm/redex *))
 
-(* The run and end rules: an idle handler serves the head private queue. *)
+(* Queue items the admission bound counts (and may shed): the runtime's
+   bounded mailbox counts calls/queries, never syncs or ends. *)
+let countable = function Syntax.Atom _ | Syntax.Fail _ -> true | _ -> false
+
+(* The run and end rules: an idle handler serves the head private queue.
+   With an admission cap ([State.with_cap]), the shed rule preempts
+   execution: while more countable requests are pending than the cap
+   allows, the oldest one is failed instead of executed, exactly like the
+   runtime's [`Shed_oldest] debt, which is paid oldest-first immediately
+   before serving a countable request. *)
 let service_steps state (h : State.handler) =
   if norm h.prog <> Syntax.Skip then []
   else
     match h.rq with
     | [] -> []
     | pq :: rest_rq -> (
+      let over_cap =
+        match h.cap with
+        | None -> false
+        | Some n ->
+          List.fold_left
+            (fun acc (q : State.pqueue) ->
+              acc + List.length (List.filter countable q.State.items))
+            0 h.rq
+          > n
+      in
       match pq.State.items with
       | [] -> [] (* client still logging; nothing to run yet *)
+      | (Syntax.Atom a | Syntax.Fail a) :: rest when over_cap ->
+        (* Shed rule: the mailbox is over its bound, so the oldest pending
+           countable request is failed instead of executed.  The client's
+           view is a failed call: the handler is dirty for it (the runtime
+           delivers [Overloaded] as the failure completion). *)
+        let dirty =
+          if List.mem_assoc pq.State.client h.dirty then h.dirty
+          else h.dirty @ [ (pq.State.client, a) ]
+        in
+        [
+          ( Shed { handler = h.id; client = pq.State.client; action = a },
+            State.update state
+              { h with dirty; rq = { pq with State.items = rest } :: rest_rq }
+          );
+        ]
       | Syntax.Atom a :: rest ->
         [
           ( Executed { handler = h.id; client = Some pq.State.client; action = a },
@@ -218,9 +300,23 @@ let service_steps state (h : State.handler) =
               { h with dirty; rq = { pq with State.items = rest } :: rest_rq }
           );
         ]
+      | Syntax.Release c :: rest when List.mem c h.abandoned ->
+        (* Timeout rule, handler half: the client abandoned this
+           rendezvous at its deadline, so the release marker is
+           discharged silently instead of blocking the handler on a
+           wait that will never come. *)
+        [
+          ( Stepped [ h.id; c ],
+            State.update state
+              {
+                h with
+                abandoned = List.filter (fun c' -> c' <> c) h.abandoned;
+                rq = { pq with State.items = rest } :: rest_rq;
+              } );
+        ]
       | Syntax.Release c :: rest ->
         [
-          ( Stepped,
+          ( Stepped [ h.id; c ],
             State.update state
               {
                 h with
@@ -228,30 +324,42 @@ let service_steps state (h : State.handler) =
                 rq = { pq with State.items = rest } :: rest_rq;
               } );
         ]
-      | Syntax.End :: rest ->
+      | Syntax.End :: rest -> (
         assert (rest = []);
-        [
-          ( EndServed { handler = h.id; client = pq.State.client },
-            State.update state
-              {
-                h with
-                rq = rest_rq;
-                (* Dirt does not outlive the registration: an un-synced
-                   failure is dropped here (the runtime's block-exit
-                   poison check is the boundary analogue). *)
-                dirty = List.remove_assoc pq.State.client h.dirty;
-              } );
-        ]
+        let served =
+          State.update state
+            {
+              h with
+              rq = rest_rq;
+              (* Dirt does not outlive the registration; but dropping it
+                 is observable — see [Poisoned] below. *)
+              dirty = List.remove_assoc pq.State.client h.dirty;
+            }
+        in
+        match List.assoc_opt pq.State.client h.dirty with
+        | Some a ->
+          (* Exception-propagation rule at the registration boundary:
+             the registration ends while the handler is still dirty for
+             the client — the runtime's block-exit poison check raises
+             [Handler_failure] here. *)
+          [
+            ( Poisoned { handler = h.id; client = pq.State.client; action = a },
+              served );
+          ]
+        | None ->
+          [ (EndServed { handler = h.id; client = pq.State.client }, served) ])
       | _ -> assert false)
 
-(* The sync rule: wait x (client) meets release h (handler). *)
+(* The sync rule: wait x (client) meets release h (handler).  The timed
+   wait [WaitT] admits the same rendezvous, plus a [TimedOut] transition
+   that may fire at any moment while the wait blocks (the deadline is not
+   modelled quantitatively — both outcomes are explored). *)
 let sync_steps state (h : State.handler) =
   match norm h.prog with
   | Syntax.Skip -> []
   | p -> (
     let r, ctx = redex p in
-    match r with
-    | Syntax.Wait x -> (
+    let rendezvous x =
       let hx = State.handler state x in
       if norm hx.prog = Syntax.Release h.id then
         let state' = set_prog state h (ctx Syntax.Skip) in
@@ -275,7 +383,29 @@ let sync_steps state (h : State.handler) =
               }
           in
           [ (Raised { client = h.id; target = x; action = a }, state') ]
-      else [])
+      else []
+    in
+    match r with
+    | Syntax.Wait x -> rendezvous x
+    | Syntax.WaitT x ->
+      (* Timeout rule, client half: the client resumes without the
+         result and without poisoning anything — pending dirt stays
+         pending (it surfaces at the next sync point or the registration
+         boundary), and the handler still serves everything logged.  If
+         the handler is already offering the release, the offer is
+         discharged directly; otherwise the client is remembered in
+         [abandoned] so the release is discharged when served. *)
+      let timeout =
+        let state' = set_prog state h (ctx Syntax.Skip) in
+        let hx = State.handler state' x in
+        let state' =
+          if norm hx.prog = Syntax.Release h.id then
+            State.update state' { hx with prog = Syntax.Skip }
+          else State.update state' { hx with abandoned = hx.abandoned @ [ h.id ] }
+        in
+        [ (TimedOut { client = h.id; target = x }, state') ]
+      in
+      rendezvous x @ timeout
     | _ -> [])
 
 let steps mode state =

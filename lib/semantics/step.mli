@@ -46,7 +46,31 @@ type label =
       (** The pending failure [action] was delivered to [client] at a
           sync point with the dirty handler [target]; the handler is
           clean for [client] again. *)
-  | Stepped
+  | TimedOut of { client : Syntax.hid; target : Syntax.hid }
+      (** A blocking rendezvous ([Syntax.QueryTimeout]) was abandoned at
+          its deadline: the client resumes {e without} poisoning
+          anything — the handler still serves everything logged, and its
+          release marker is discharged silently. *)
+  | Shed of {
+      handler : Syntax.hid;
+      client : Syntax.hid;
+      action : Syntax.action;
+    }
+      (** Admission-level [`Shed_oldest] ([State.with_cap]): the oldest
+          pending countable request was failed instead of executed; the
+          handler is dirty for [client] (the runtime delivers
+          [Overloaded] as the failure completion). *)
+  | Poisoned of {
+      handler : Syntax.hid;
+      client : Syntax.hid;
+      action : Syntax.action;
+    }
+      (** The registration ended while the handler was dirty for
+          [client]: the un-synced failure surfaces at the block boundary
+          (the runtime's block-exit [Handler_failure] check). *)
+  | Stepped of Syntax.hid list
+      (** Administrative transition, carrying the participating handler
+          ids (used by the exploration independence relation). *)
 
 val pp_label : Format.formatter -> label -> unit
 

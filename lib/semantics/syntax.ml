@@ -13,7 +13,14 @@
    call whose body raises on the handler.  Logging it produces a [Fail]
    queue item; serving a [Fail] marks the handler dirty for that client
    (SCOOP's dirty-processor rule), and the dirt surfaces as a [Raised]
-   transition at the client's next sync point (see [Step]). *)
+   transition at the client's next sync point (see [Step]).
+
+   [QueryTimeout] models a blocking query issued under a deadline: the
+   body and release marker are logged exactly like a plain query (the
+   handler executes the body regardless), but the client waits with the
+   abandonable [WaitT] form, which admits a [TimedOut] transition — the
+   client gives up the rendezvous without poisoning anything, and the
+   handler's eventual release is discharged silently (see [Step]). *)
 
 type hid = int
 (** Handler identity. *)
@@ -29,7 +36,9 @@ type stmt =
   | Call of hid * action (* asynchronous call on a handler *)
   | CallEnd of hid (* call(x, end): close registration on x *)
   | Query of hid * action (* synchronous query on a handler *)
+  | QueryTimeout of hid * action (* synchronous query under a deadline *)
   | Wait of hid
+  | WaitT of hid (* internal: abandonable wait (deadline running) *)
   | Release of hid
   | QueryExec of hid * action (* internal: client-side query body (§3.2) *)
   | CallFail of hid * action (* asynchronous call whose body fails *)
@@ -45,8 +54,8 @@ let rec seq = function
 let rec handlers_of = function
   | Skip | End | Atom _ | Fail _ -> []
   | Separate (xs, s) -> xs @ handlers_of s
-  | Call (x, _) | CallEnd x | Query (x, _) | Wait x | Release x
-  | QueryExec (x, _) | CallFail (x, _) ->
+  | Call (x, _) | CallEnd x | Query (x, _) | QueryTimeout (x, _) | Wait x
+  | WaitT x | Release x | QueryExec (x, _) | CallFail (x, _) ->
     [ x ]
   | Seq (a, b) -> handlers_of a @ handlers_of b
 
@@ -63,7 +72,9 @@ let rec pp ppf = function
   | Call (x, a) -> Format.fprintf ppf "call(%d,%s)" x a
   | CallEnd x -> Format.fprintf ppf "call(%d,end)" x
   | Query (x, a) -> Format.fprintf ppf "query(%d,%s)" x a
+  | QueryTimeout (x, a) -> Format.fprintf ppf "query_t(%d,%s)" x a
   | Wait x -> Format.fprintf ppf "wait %d" x
+  | WaitT x -> Format.fprintf ppf "wait_t %d" x
   | Release x -> Format.fprintf ppf "release %d" x
   | QueryExec (x, a) -> Format.fprintf ppf "qexec(%d,%s)" x a
   | CallFail (x, a) -> Format.fprintf ppf "call_fail(%d,%s)" x a

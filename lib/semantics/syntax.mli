@@ -1,10 +1,13 @@
 (** Abstract syntax of the SCOOP/Qs operational semantics (paper §2.3).
 
-    Programs are written with [Separate], [Call], [CallFail], [Query]
-    and [Atom]; the remaining constructors ([Wait], [Release], [End],
-    [CallEnd], [QueryExec], [Fail]) are runtime forms produced by the
-    rules.  [CallFail] is an asynchronous call whose body raises on the
-    handler — the source form of the exception-propagation rule. *)
+    Programs are written with [Separate], [Call], [CallFail], [Query],
+    [QueryTimeout] and [Atom]; the remaining constructors ([Wait],
+    [WaitT], [Release], [End], [CallEnd], [QueryExec], [Fail]) are
+    runtime forms produced by the rules.  [CallFail] is an asynchronous
+    call whose body raises on the handler — the source form of the
+    exception-propagation rule.  [QueryTimeout] is a blocking query
+    under a deadline — the source form of the timeout rule (the wait is
+    abandonable; the handler executes the body regardless). *)
 
 type hid = int
 type action = string
@@ -17,7 +20,9 @@ type stmt =
   | Call of hid * action
   | CallEnd of hid
   | Query of hid * action
+  | QueryTimeout of hid * action
   | Wait of hid
+  | WaitT of hid
   | Release of hid
   | QueryExec of hid * action
   | CallFail of hid * action

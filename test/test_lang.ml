@@ -299,11 +299,12 @@ let test_semantics_guarantee_on_surface_program () =
           = h.x; h.x := 2; } } client c2 { separate h { h.x := 3; let w = \
           h.x; } }")
   in
-  let violation, runs, _ =
+  let report =
     Qs_semantics.Guarantees.check_program Qs_semantics.Step.qs_client_exec init
   in
-  check_bool "guarantee 2 holds" true (violation = None);
-  check_bool "explored runs" true (runs > 10)
+  check_bool "guarantee 2 holds" true
+    (report.Qs_semantics.Guarantees.violation = None);
+  check_bool "explored runs" true (report.Qs_semantics.Guarantees.runs > 10)
 
 (* -- property: the language's counter programs are exact ------------------------------ *)
 

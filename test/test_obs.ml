@@ -382,7 +382,11 @@ let test_stats_diff_and_mean_batch () =
 let test_trace_summarize_fixture () =
   (* Hand-computed distributions over an explicit event list. *)
   let open Scoop.Trace in
-  let e at proc kind = { at; proc; kind } in
+  let seq = ref 0 in
+  let e at proc kind =
+    incr seq;
+    { at; proc; client = 1; seq = !seq; kind }
+  in
   let events =
     [
       e 0.0 0 Reserved;

@@ -473,6 +473,57 @@ let test_remote_shard_map () =
                 "all four processors answer across two nodes"
                 [ 0; 10; 20; 30 ] vs)))
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_mixed_reservation_rejected () =
+  (* Atomic multi-reservation is a local protocol (the wait/release pair
+     spans handler queues the client enqueues into directly) and remote
+     proxies cannot take part.  Passing one must fail with a typed
+     [Scoop.Remote_error] naming the offending processors — raised
+     before anything local is reserved, so neither side is left
+     wedged. *)
+  with_node (fun addr ->
+    with_client addr (fun rt ->
+      let remote_p = Scoop.Runtime.processor rt in
+      let local_rt = Scoop.Runtime.create () in
+      let local_p = Scoop.Runtime.processor local_rt in
+      Fun.protect
+        ~finally:(fun () -> Scoop.Runtime.shutdown local_rt)
+        (fun () ->
+          (match
+             Scoop.Runtime.separate_list rt [ local_p; remote_p ] (fun _ ->
+               `Reserved)
+           with
+          | `Reserved -> Alcotest.fail "mixed reservation must be refused"
+          | exception Scoop.Remote_error msg ->
+            check_bool "names the remote processor" true
+              (contains msg (string_of_int (Scoop.Processor.id remote_p))));
+          (* nothing was left reserved on either side *)
+          let v =
+            Scoop.Runtime.separate local_rt local_p (fun reg ->
+              Scoop.Registration.query reg (fun () -> 7))
+          in
+          check_int "local processor still serves" 7 v;
+          let w =
+            Scoop.Runtime.separate rt remote_p (fun reg ->
+              Scoop.Registration.query reg (fun () -> 8))
+          in
+          check_int "remote processor still serves" 8 w;
+          (* an all-remote pair is refused the same way *)
+          let remote_p2 = Scoop.Runtime.processor rt in
+          match
+            Scoop.Runtime.separate2 rt remote_p remote_p2 (fun _ _ ->
+              `Reserved)
+          with
+          | `Reserved -> Alcotest.fail "all-remote pair must be refused"
+          | exception Scoop.Remote_error msg ->
+            check_bool "names both remote processors" true
+              (contains msg (string_of_int (Scoop.Processor.id remote_p))
+              && contains msg (string_of_int (Scoop.Processor.id remote_p2))))))
+
 let prop_remote_timeout_equiv =
   QCheck2.Test.make ~count:6
     ~name:"generous timeout = no timeout over the remote preset"
@@ -521,6 +572,8 @@ let () =
           Alcotest.test_case "node survives torn peer" `Quick
             test_remote_node_survives_garbage;
           Alcotest.test_case "static shard map" `Quick test_remote_shard_map;
+          Alcotest.test_case "mixed local/remote reservation rejected" `Quick
+            test_mixed_reservation_rejected;
         ] );
       ("properties", [ qc prop_any_payload; qc prop_remote_timeout_equiv ]);
     ]

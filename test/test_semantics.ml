@@ -145,9 +145,10 @@ let test_fig1_two_interleavings mode () =
     (List.sort compare traces = List.sort compare Examples.fig1_orders)
 
 let test_fig1_guarantee mode () =
-  let violation, runs, _ = Guarantees.check_program mode Examples.fig1 in
-  check_bool "guarantee 2 holds" true (violation = None);
-  check_bool "nontrivial exploration" true (runs > 100)
+  let report = Guarantees.check_program mode Examples.fig1 in
+  check_bool "guarantee 2 holds" true (report.Guarantees.violation = None);
+  check_bool "exhaustive" true (Guarantees.exhaustive report);
+  check_bool "nontrivial exploration" true (report.Guarantees.runs > 100)
 
 let test_fig5_atomic_consistent () =
   check_bool "no mismatched registration orders" false
@@ -232,9 +233,11 @@ let test_fail_call_no_sync_drops_dirt () =
 let test_fail_call_guarantee mode () =
   (* Failed transitions obey the same order/non-interleaving guarantee as
      successful executions. *)
-  let violation, runs, _ = Guarantees.check_program mode Examples.fail_call in
-  check_bool "guarantee holds with failures" true (violation = None);
-  check_bool "nontrivial exploration" true (runs > 0)
+  let report = Guarantees.check_program mode Examples.fail_call in
+  check_bool "guarantee holds with failures" true
+    (report.Guarantees.violation = None);
+  check_bool "exhaustive" true (Guarantees.exhaustive report);
+  check_bool "nontrivial exploration" true (report.Guarantees.runs > 0)
 
 (* -- equivalence of the two query rules ----------------------------------------- *)
 
@@ -305,10 +308,10 @@ let print_program (queries, st) =
 let prop_guarantee_all_modes mode name =
   QCheck2.Test.make ~count:60 ~name ~print:print_program gen_program
     (fun (_, program) ->
-      let violation, _, _ =
+      let report =
         Guarantees.check_program ~max_runs:2_000 ~max_depth:400 mode program
       in
-      violation = None)
+      report.Guarantees.violation = None)
 
 let prop_no_deadlock_without_queries =
   QCheck2.Test.make ~count:60
@@ -426,6 +429,189 @@ let test_replay_per_processor () =
   | Error [ v ] -> check_bool "only proc 2 flagged" true (v.event = Elided 2)
   | _ -> Alcotest.fail "expected exactly processor 2's elision"
 
+let test_replay_timeout_noop () =
+  let open Replay in
+  (* an abandoned rendezvous learns nothing and poisons nothing: the
+     stream around it must check exactly as if it were absent *)
+  check_bool "timeout stream conforms" true
+    (check [ Reserved 1; Logged 1; TimedOut 1; Executed 1; Synced 1; Elided 1 ]
+    = Ok ())
+
+let test_replay_shed () =
+  let open Replay in
+  check_bool "shed consumes a logged slot" true
+    (check [ Logged 1; Shed 1 ] = Ok ());
+  (match check [ Shed 1 ] with
+  | Error [ v ] -> check_bool "slotless shed flagged" true (v.event = Shed 1)
+  | _ -> Alcotest.fail "expected the slotless shed to be flagged");
+  (* the shed slot is consumed: the handler must not also execute it *)
+  (match check [ Logged 1; Shed 1; Executed 1 ] with
+  | Error [ v ] -> check_int "executed-after-shed index" 2 v.index
+  | _ -> Alcotest.fail "expected the executed-after-shed to be flagged");
+  (* shedding dirties the registration: eliding a later sync would skip
+     the round trip that delivers the Overloaded failure *)
+  match check [ Logged 1; Logged 1; Shed 1; Executed 1; Synced 1; Elided 1 ] with
+  | Error [ v ] -> check_int "post-shed elision index" 5 v.index
+  | _ -> Alcotest.fail "expected the post-shed elision to be flagged"
+
+let test_replay_poisoned_blocks_elision () =
+  let open Replay in
+  check_bool "poison then round trips conform" true
+    (check [ Logged 1; Executed 1; Poisoned 1; Synced 1 ] = Ok ());
+  match check [ Logged 1; Executed 1; Poisoned 1; Synced 1; Elided 1 ] with
+  | Error [ v ] -> check_bool "dirty elision flagged" true (v.event = Elided 1)
+  | _ -> Alcotest.fail "expected the dirty elision to be flagged"
+
+(* -- failure vocabulary examples (timeout / shed / poison) -------------------- *)
+
+let test_timeout_call () =
+  let traces, truncated =
+    Explore.observable_traces Step.qs Examples.timeout_call
+      ~filter:(Explore.on_handler Examples.x)
+  in
+  check_bool "complete enumeration" false truncated;
+  (* a timeout abandons the wait, never the work: one observable trace *)
+  check_bool "single observable trace" true
+    (traces = [ Examples.timeout_call_trace ]);
+  let runs, _ = Explore.runs Step.qs Examples.timeout_call in
+  let some p =
+    List.exists
+      (fun (r : Explore.run) -> List.exists p r.Explore.labels)
+      runs
+  in
+  check_bool "a run abandons the wait" true
+    (some (function Step.TimedOut _ -> true | _ -> false));
+  check_bool "a run completes the rendezvous" true
+    (some (function Step.Synced _ -> true | _ -> false));
+  check_bool "no deadlocks" true
+    (List.for_all (fun (r : Explore.run) -> not r.Explore.deadlocked) runs)
+
+let test_shed_overload () =
+  let traces, truncated =
+    Explore.observable_traces Step.qs Examples.shed_overload
+      ~filter:(Explore.on_handler Examples.x)
+  in
+  check_bool "complete enumeration" false truncated;
+  let full = [ "gate"; "a1"; "a2"; "a3" ] in
+  check_bool "fast handler executes everything" true (List.mem full traces);
+  check_bool "slow handler sheds all but the last" true
+    (List.mem [ "a3" ] traces);
+  (* shedding never reorders: every trace is a program-order subsequence *)
+  let rec subseq xs ys =
+    match (xs, ys) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs', y :: ys' -> if x = y then subseq xs' ys' else subseq xs ys'
+  in
+  check_bool "every trace preserves program order" true
+    (List.for_all (fun t -> subseq t full) traces);
+  let runs, _ = Explore.runs Step.qs Examples.shed_overload in
+  check_bool "some run sheds" true
+    (List.exists
+       (fun (r : Explore.run) ->
+         List.exists
+           (function Step.Shed _ -> true | _ -> false)
+           r.Explore.labels)
+       runs)
+
+let test_poison_probe () =
+  let traces, truncated =
+    Explore.observable_traces Step.qs Examples.poison_probe
+      ~filter:(Explore.on_handler Examples.x)
+  in
+  check_bool "complete enumeration" false truncated;
+  check_bool "wedge and probe execute in every run" true
+    (traces = [ [ "wedge"; "probe" ] ]);
+  let runs, _ = Explore.runs Step.qs Examples.poison_probe in
+  check_bool "every run dirties and then raises" true
+    (List.for_all
+       (fun (r : Explore.run) ->
+         List.exists
+           (function Step.Failed _ -> true | _ -> false)
+           r.Explore.labels
+         && List.exists
+              (function Step.Raised _ -> true | _ -> false)
+              r.Explore.labels)
+       runs)
+
+(* -- truncation is loud ------------------------------------------------------- *)
+
+let test_truncation_propagates () =
+  (* Every bounded entry point must report that it hit its budget:
+     a truncated search silently treated as exhaustive is how a
+     "verified" guarantee turns out not to hold. *)
+  let _, truncated = Explore.runs ~max_runs:1 Step.qs Examples.fig1 in
+  check_bool "runs reports truncation" true truncated;
+  let _, truncated =
+    Explore.observable_traces ~max_runs:1 Step.qs Examples.fig1
+      ~filter:(Explore.on_handler Examples.x)
+  in
+  check_bool "observable_traces reports truncation" true truncated;
+  let _, stats = Explore.reduced ~max_runs:1 Step.qs Examples.fig1 in
+  check_bool "reduced reports truncation" true stats.Explore.truncated;
+  let stats = Explore.reachable ~max_states:3 Step.qs Examples.fig1 in
+  check_bool "reachable reports truncation" true stats.Explore.truncated;
+  let _, truncated = Explore.runs ~max_depth:2 Step.qs Examples.fig1 in
+  check_bool "depth budget reports truncation" true truncated
+
+let test_guarantee_report_truncation () =
+  let tiny = Guarantees.check_program ~max_runs:1 Step.qs Examples.fig1 in
+  check_bool "tiny budget is truncated" true tiny.Guarantees.truncated;
+  check_bool "tiny budget is not exhaustive" false (Guarantees.exhaustive tiny);
+  check_bool "truncated but no violation found" true
+    (tiny.Guarantees.violation = None);
+  let full = Guarantees.check_program Step.qs Examples.fig1 in
+  check_bool "full budget is exhaustive" true (Guarantees.exhaustive full);
+  check_bool "full budget finds no violation" true
+    (full.Guarantees.violation = None)
+
+(* -- DPOR reduction ----------------------------------------------------------- *)
+
+let test_dpor_reduces_fig1 () =
+  let unreduced = Explore.reachable Step.qs Examples.fig1 in
+  let runs, stats = Explore.reduced Step.qs Examples.fig1 in
+  check_bool "reduced flag set" true stats.Explore.reduced;
+  check_bool "reduced search complete" false stats.Explore.truncated;
+  check_bool "strictly fewer states than BFS" true
+    (stats.Explore.states < unreduced.Explore.states);
+  let full_traces, truncated =
+    Explore.observable_traces Step.qs Examples.fig1
+      ~filter:(Explore.on_handler Examples.x)
+  in
+  check_bool "unreduced enumeration complete" false truncated;
+  check_bool "observable traces agree with exhaustive enumeration" true
+    (List.sort compare
+       (Explore.observable_of_runs runs ~filter:(Explore.on_handler Examples.x))
+    = List.sort compare full_traces)
+
+let test_dpor_finds_deadlock () =
+  (* reduction must not prune the reachable deadlock of §2.5 *)
+  let _, stats =
+    Explore.reduced ~max_runs:5_000_000 Step.qs Examples.fig6_queries
+  in
+  check_bool "reduced search complete" false stats.Explore.truncated;
+  check_bool "deadlock survives reduction" true
+    (stats.Explore.deadlocks <> [])
+
+let prop_dpor_agrees =
+  QCheck2.Test.make ~count:30
+    ~name:"DPOR agrees with exhaustive enumeration on observable traces"
+    ~print:print_program gen_program
+    (fun (_, program) ->
+      let project runs h =
+        List.sort compare (Explore.observable_of_runs runs ~filter:(Explore.on_handler h))
+      in
+      let full, t_full =
+        Explore.runs ~max_runs:4_000 ~max_depth:400 Step.qs program
+      in
+      let reduced, stats =
+        Explore.reduced ~max_runs:4_000 ~max_depth:400 Step.qs program
+      in
+      (* a truncated search on either side proves nothing — skip *)
+      t_full || stats.Explore.truncated
+      || (project reduced 10 = project full 10
+         && project reduced 11 = project full 11))
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "qs_semantics"
@@ -501,6 +687,28 @@ let () =
           qc prop_no_deadlock_without_queries;
           qc prop_all_calls_execute;
           qc prop_fifo_service;
+          qc prop_dpor_agrees;
+        ] );
+      ( "failure vocabulary",
+        [
+          Alcotest.test_case "timeout abandons the wait, not the work" `Quick
+            test_timeout_call;
+          Alcotest.test_case "shed overload traces" `Quick test_shed_overload;
+          Alcotest.test_case "poison probe traces" `Quick test_poison_probe;
+        ] );
+      ( "truncation",
+        [
+          Alcotest.test_case "explorer budgets are loud" `Quick
+            test_truncation_propagates;
+          Alcotest.test_case "guarantee reports carry truncation" `Quick
+            test_guarantee_report_truncation;
+        ] );
+      ( "dpor",
+        [
+          Alcotest.test_case "fig1 reduced below BFS" `Quick
+            test_dpor_reduces_fig1;
+          Alcotest.test_case "reduction keeps the deadlock" `Quick
+            test_dpor_finds_deadlock;
         ] );
       ( "fifo service",
         [
@@ -517,5 +725,11 @@ let () =
             test_replay_elide_unsynced;
           Alcotest.test_case "per-processor isolation" `Quick
             test_replay_per_processor;
+          Alcotest.test_case "timeout is a no-op" `Quick
+            test_replay_timeout_noop;
+          Alcotest.test_case "shed consumes and dirties" `Quick
+            test_replay_shed;
+          Alcotest.test_case "poison blocks elision" `Quick
+            test_replay_poisoned_blocks_elision;
         ] );
     ]
